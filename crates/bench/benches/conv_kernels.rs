@@ -1,0 +1,36 @@
+//! Real wall-clock micro-benchmarks of the executable convolution kernels: the measured
+//! counterpart of the analytic cost model, demonstrating that the best implementation
+//! choice (tiling) depends on the input resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescnn_tensor::{
+    conv2d_direct, conv2d_im2col, conv2d_tiled, Conv2dParams, ConvTiling, Shape, Tensor,
+};
+
+fn conv_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(10);
+    let params = Conv2dParams::new(16, 32, 3, 1, 1);
+    let weight = Tensor::kaiming(Shape::new(32, 16, 3, 3), 16 * 9, 1);
+    for &res in &[28usize, 56] {
+        let input = Tensor::random_uniform(Shape::chw(16, res, res), 1.0, res as u64);
+        group.bench_with_input(BenchmarkId::new("direct", res), &res, |b, _| {
+            b.iter(|| conv2d_direct(&input, &weight, None, &params).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("im2col", res), &res, |b, _| {
+            b.iter(|| conv2d_im2col(&input, &weight, None, &params).unwrap())
+        });
+        for (label, tiling) in [
+            ("tiled_small", ConvTiling::new(8, 4, 16)),
+            ("tiled_large", ConvTiling::new(32, 8, 64)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, res), &res, |b, _| {
+                b.iter(|| conv2d_tiled(&input, &weight, None, &params, tiling).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, conv_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Wall-clock benchmarks of the image-processing substrate: rendering, resizing, cropping,
+//! and the SSIM quality metric used by storage calibration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescnn_imaging::{
+    crop_and_resize, render_scene, resize_square, ssim, CropRatio, Filter, SceneSpec,
+};
+
+fn imaging_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("imaging");
+    group.sample_size(10);
+    let scene = SceneSpec::new(472, 405, 17).with_detail(0.7);
+    let image = render_scene(&scene).unwrap();
+    group.bench_function("render_472x405", |b| b.iter(|| render_scene(&scene).unwrap()));
+    for &res in &[112usize, 224, 448] {
+        group.bench_with_input(BenchmarkId::new("resize_bilinear", res), &res, |b, &res| {
+            b.iter(|| resize_square(&image, res, Filter::Bilinear).unwrap())
+        });
+    }
+    let crop = CropRatio::new(0.75).unwrap();
+    group.bench_function("crop_and_resize_224", |b| {
+        b.iter(|| crop_and_resize(&image, crop, 224).unwrap())
+    });
+    let reference = resize_square(&image, 224, Filter::Bilinear).unwrap();
+    let distorted = resize_square(
+        &resize_square(&image, 112, Filter::Bilinear).unwrap(),
+        224,
+        Filter::Bilinear,
+    )
+    .unwrap();
+    group.bench_function("ssim_224", |b| b.iter(|| ssim(&reference, &distorted).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, imaging_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Wall-clock benchmarks of the dynamic-resolution decision path (feature extraction,
+//! scale-model prediction) and of the analytic kernel autotuner, i.e. the per-image
+//! overhead the pipeline adds on top of backbone inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rescnn_core::{extract_features, ScaleModel, ScaleModelConfig, TrainingExample, FEATURE_COUNT};
+use rescnn_hwsim::{AutoTuner, CpuProfile, TunerConfig};
+use rescnn_imaging::{crop_and_resize, render_scene, CropRatio, SceneSpec};
+use rescnn_models::ModelKind;
+
+fn pipeline_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    let image = render_scene(&SceneSpec::new(472, 405, 9).with_detail(0.5)).unwrap();
+    let preview = crop_and_resize(&image, CropRatio::new(0.75).unwrap(), 112).unwrap();
+    group.bench_function("feature_extraction_112", |b| {
+        b.iter(|| extract_features(&preview).unwrap())
+    });
+
+    let examples: Vec<TrainingExample> = (0..64)
+        .map(|i| TrainingExample {
+            features: (0..FEATURE_COUNT).map(|f| ((i * 7 + f) % 13) as f64 / 13.0).collect(),
+            labels: vec![i % 2 == 0; 7],
+        })
+        .collect();
+    let model = ScaleModel::train(&ScaleModelConfig::default(), &examples).unwrap();
+    let features = examples[0].features.clone();
+    group.bench_function("scale_model_predict", |b| {
+        b.iter(|| model.choose_resolution(&features))
+    });
+
+    let profile = CpuProfile::intel_4790k();
+    let arch = ModelKind::ResNet18.arch(1000);
+    let layer = arch.conv_layers(224).unwrap()[5];
+    let tuner = AutoTuner::new(TunerConfig::default());
+    group.bench_function("autotune_one_layer", |b| {
+        b.iter(|| tuner.tune_layer(&layer, &profile))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Wall-clock benchmarks of the progressive codec: encoding and partial-scan decoding,
+//! the storage-side cost of the dynamic-resolution pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescnn_imaging::{render_scene, SceneSpec};
+use rescnn_projpeg::{ProgressiveImage, ScanPlan};
+
+fn codec_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projpeg");
+    group.sample_size(10);
+    let image = render_scene(&SceneSpec::new(472, 405, 3).with_detail(0.6)).unwrap();
+    group.bench_function("encode_q90", |b| {
+        b.iter(|| ProgressiveImage::encode(&image, 90, ScanPlan::standard()).unwrap())
+    });
+    let encoded = ProgressiveImage::encode(&image, 90, ScanPlan::standard()).unwrap();
+    for scans in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("decode_scans", scans), &scans, |b, &scans| {
+            b.iter(|| encoded.decode(scans).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Reproduces Figure 2: cumulative bytes and quality per progressive scan.
+
+use rescnn_bench::{experiments, report, HarnessConfig};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    let rows = experiments::fig2(&config);
+    let formatted: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("scan {}", r.scan),
+                format!("{} bytes", r.cumulative_bytes),
+                report::fmt(r.ssim, 4),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "Figure 2: progressive scans of one image (cumulative bytes, SSIM vs. source)",
+        &["Scan", "Cumulative bytes", "SSIM"],
+        &formatted,
+    );
+    report::save_json("fig2", &rows);
+}

@@ -1,0 +1,34 @@
+//! Reproduces Figure 6: storage calibration (accuracy change vs. relative read size) for
+//! ResNet-18/50 on ImageNet-like and Cars-like data, three seeds each.
+
+use rescnn_bench::{experiments, report, HarnessConfig};
+use rescnn_data::DatasetKind;
+use rescnn_models::{ModelKind, PAPER_RESOLUTIONS};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    let mut all = Vec::new();
+    for dataset in [DatasetKind::ImageNetLike, DatasetKind::CarsLike] {
+        for model in [ModelKind::ResNet18, ModelKind::ResNet50] {
+            let rows = experiments::fig6(&config, dataset, model, &PAPER_RESOLUTIONS);
+            let formatted: Vec<Vec<String>> = rows
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.resolution.to_string(),
+                        format!("seed{}", p.seed),
+                        report::fmt(p.read_fraction, 3),
+                        report::fmt(p.accuracy_change, 2),
+                    ]
+                })
+                .collect();
+            report::print_table(
+                &format!("Figure 6: {} {} storage calibration", dataset.name(), model.name()),
+                &["Resolution", "Seed", "Relative read size", "Accuracy change (%)"],
+                &formatted,
+            );
+            all.extend(rows);
+        }
+    }
+    report::save_json("fig6", &all);
+}

@@ -1,0 +1,47 @@
+//! Reproduces Figure 7: tuned vs. library throughput across resolutions on both CPUs, plus
+//! the §VII-a speedup summary.
+
+use rescnn_bench::{experiments, report, HarnessConfig};
+use rescnn_models::ModelKind;
+
+fn main() {
+    let _config = HarnessConfig::from_env();
+    let rows = experiments::fig7_table2(&[ModelKind::ResNet18, ModelKind::ResNet50]);
+    let formatted: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.cpu.clone(),
+                r.model.clone(),
+                r.resolution.to_string(),
+                report::fmt(r.tuned_gflops_s, 1),
+                report::fmt(r.library_gflops_s, 1),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "Figure 7: throughput (GFLOPs/s) of tuned vs. library kernels",
+        &["CPU", "Model", "Resolution", "Tuned", "Library (MKLDNN-like)"],
+        &formatted,
+    );
+    let summary = experiments::speedup_summary(&rows);
+    let formatted: Vec<Vec<String>> = summary
+        .iter()
+        .map(|s| {
+            vec![
+                s.cpu.clone(),
+                s.model.clone(),
+                report::fmt(s.library_speedup_448_to_112, 1),
+                report::fmt(s.tuned_speedup_448_to_112, 1),
+                report::fmt(s.tuned280_vs_library224, 2),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "§VII-a summary: 448→112 speedups and tuned@280 vs. library@224",
+        &["CPU", "Model", "Library speedup", "Tuned speedup", "Tuned@280 / Library@224"],
+        &formatted,
+    );
+    report::save_json("fig7", &rows);
+    report::save_json("fig7_summary", &summary);
+}

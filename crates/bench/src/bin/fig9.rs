@@ -1,0 +1,33 @@
+//! Reproduces Figure 9: accuracy vs. FLOPs for static and dynamic resolution on
+//! Cars-like data, ResNet-18 and ResNet-50, crops 25–100%.
+
+use rescnn_bench::{experiments, report, HarnessConfig};
+use rescnn_data::DatasetKind;
+use rescnn_models::ModelKind;
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    let mut all = Vec::new();
+    for model in [ModelKind::ResNet18, ModelKind::ResNet50] {
+        let rows = experiments::fig8_fig9(&config, DatasetKind::CarsLike, model);
+        let formatted: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.crop.clone(),
+                    r.method.clone(),
+                    if r.resolution == 0 { "-".into() } else { r.resolution.to_string() },
+                    report::fmt(r.gflops, 2),
+                    report::fmt(r.accuracy * 100.0, 1),
+                ]
+            })
+            .collect();
+        report::print_table(
+            &format!("Figure 9: Cars {} accuracy vs. FLOPs", model.name()),
+            &["Crop", "Method", "Resolution", "GFLOPs", "Accuracy (%)"],
+            &formatted,
+        );
+        all.extend(rows);
+    }
+    report::save_json("fig9", &all);
+}

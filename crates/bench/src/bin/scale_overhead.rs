@@ -1,0 +1,25 @@
+//! Reproduces §VII-c: runtime overhead of the scale model relative to the backbone.
+
+use rescnn_bench::{experiments, report};
+
+fn main() {
+    let rows = experiments::scale_overhead();
+    let formatted: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.cpu.clone(),
+                report::fmt(r.scale_model_library_ms, 1),
+                report::fmt(r.scale_model_tuned_ms, 1),
+                report::fmt(r.backbone_tuned_ms, 1),
+                report::fmt(r.overhead_percent, 0),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "§VII-c: scale-model (MobileNetV2@112) overhead vs. tuned ResNet-50@224",
+        &["CPU", "Scale untuned (ms)", "Scale tuned (ms)", "Backbone tuned (ms)", "Overhead (%)"],
+        &formatted,
+    );
+    report::save_json("scale_overhead", &rows);
+}

@@ -1,0 +1,25 @@
+//! Reproduces Table I: compute complexity and accuracy of ResNet-18 across resolutions.
+
+use rescnn_bench::{experiments, report, HarnessConfig};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    let rows = experiments::table1(&config);
+    let formatted: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                "ResNet-18".to_string(),
+                format!("{0}x{0}", r.resolution),
+                report::fmt(r.gflops, 1),
+                report::fmt(r.accuracy, 1),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "Table I: ResNet-18 compute complexity and accuracy vs. resolution (75% crop)",
+        &["Model", "Resolution", "GFLOPs", "Accuracy"],
+        &formatted,
+    );
+    report::save_json("table1", &rows);
+}

@@ -1,0 +1,27 @@
+//! Reproduces Table II: ResNet-50 wall-clock latency with tuned and library kernels on the
+//! Intel 4790K and AMD 2990WX.
+
+use rescnn_bench::{experiments, report, HarnessConfig};
+use rescnn_models::ModelKind;
+
+fn main() {
+    let _config = HarnessConfig::from_env();
+    let rows = experiments::fig7_table2(&[ModelKind::ResNet50]);
+    let mut formatted = Vec::new();
+    for res in [112usize, 168, 224, 280, 336, 392, 448] {
+        let mut row = vec![res.to_string()];
+        for cpu in ["4790K", "2990WX"] {
+            if let Some(r) = rows.iter().find(|r| r.cpu == cpu && r.resolution == res) {
+                row.push(report::fmt(r.tuned_ms, 1));
+                row.push(report::fmt(r.library_ms, 1));
+            }
+        }
+        formatted.push(row);
+    }
+    report::print_table(
+        "Table II: ResNet-50 wall-clock latency (ms)",
+        &["Res", "4790K tuned", "4790K library", "2990WX tuned", "2990WX library"],
+        &formatted,
+    );
+    report::save_json("table2", &rows);
+}

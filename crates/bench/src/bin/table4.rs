@@ -1,0 +1,41 @@
+//! Reproduces Table IV: Cars read-bandwidth savings (default vs. calibrated accuracy
+//! and read savings per resolution, plus the dynamic pipeline row).
+
+use rescnn_bench::{experiments, report, HarnessConfig};
+use rescnn_data::DatasetKind;
+use rescnn_models::{ModelKind, PAPER_RESOLUTIONS};
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    let mut all = Vec::new();
+    for model in [ModelKind::ResNet18, ModelKind::ResNet50] {
+        for crop in [0.75, 0.56, 0.25] {
+            let rows = experiments::table3_table4(
+                &config,
+                DatasetKind::CarsLike,
+                model,
+                crop,
+                &PAPER_RESOLUTIONS,
+            );
+            let formatted: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.crop.clone(),
+                        r.resolution.clone(),
+                        report::fmt(r.default_accuracy, 1),
+                        report::fmt(r.calibrated_accuracy, 1),
+                        report::fmt(r.read_savings, 1),
+                    ]
+                })
+                .collect();
+            report::print_table(
+                &format!("Table IV: Cars {} read-bandwidth savings", model.name()),
+                &["Crop", "Resolution", "Default acc", "Calibrated acc", "Read savings (%)"],
+                &formatted,
+            );
+            all.extend(rows);
+        }
+    }
+    report::save_json("table4", &all);
+}

@@ -1,0 +1,78 @@
+//! Harness configuration shared by every experiment binary.
+//!
+//! All experiments run out of the box at a laptop-friendly scale; set the environment
+//! variables below to approach the paper's original sample counts.
+
+/// Runtime configuration for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessConfig {
+    /// Number of evaluation samples per dataset (`RESCNN_SAMPLES`, default 400).
+    pub eval_samples: usize,
+    /// Number of calibration samples (`RESCNN_CALIB_SAMPLES`, default 48; the paper uses
+    /// 10 000 per split).
+    pub calibration_samples: usize,
+    /// Number of scale-model training samples (`RESCNN_TRAIN_SAMPLES`, default 96).
+    pub train_samples: usize,
+    /// Cap on rendered image dimensions (`RESCNN_MAX_DIM`, default 256; 0 = natural sizes).
+    pub max_dimension: usize,
+    /// Base random seed (`RESCNN_SEED`, default 0).
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            eval_samples: 400,
+            calibration_samples: 48,
+            train_samples: 96,
+            max_dimension: 256,
+            seed: 0,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Reads the configuration from the environment, falling back to defaults.
+    pub fn from_env() -> Self {
+        let read = |key: &str, default: usize| -> usize {
+            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        };
+        let defaults = Self::default();
+        HarnessConfig {
+            eval_samples: read("RESCNN_SAMPLES", defaults.eval_samples).max(8),
+            calibration_samples: read("RESCNN_CALIB_SAMPLES", defaults.calibration_samples)
+                .max(4),
+            train_samples: read("RESCNN_TRAIN_SAMPLES", defaults.train_samples).max(12),
+            max_dimension: read("RESCNN_MAX_DIM", defaults.max_dimension),
+            seed: read("RESCNN_SEED", defaults.seed as usize) as u64,
+        }
+    }
+
+    /// A deliberately tiny configuration used by the crate's own tests.
+    pub fn tiny() -> Self {
+        HarnessConfig {
+            eval_samples: 24,
+            calibration_samples: 6,
+            train_samples: 24,
+            max_dimension: 96,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_env_fallback() {
+        let d = HarnessConfig::default();
+        assert!(d.eval_samples >= 100);
+        let t = HarnessConfig::tiny();
+        assert!(t.eval_samples < d.eval_samples);
+        // from_env falls back to defaults when variables are unset or invalid.
+        let e = HarnessConfig::from_env();
+        assert!(e.eval_samples >= 8);
+        assert!(e.calibration_samples >= 4);
+    }
+}

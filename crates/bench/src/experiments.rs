@@ -1,0 +1,518 @@
+//! Experiment implementations: one function per table/figure of the paper.
+//!
+//! Each function returns plain serde-serializable rows; the `bin/` targets print them as
+//! text tables and emit JSON next to the binary output so EXPERIMENTS.md can be
+//! regenerated from machine-readable data.
+
+use serde::Serialize;
+
+use rescnn_core::{
+    CalibrationCurves, DynamicResolutionPipeline, PipelineConfig,
+    ScaleModelConfig, ScaleModelTrainer, StorageCalibrator, StoragePolicy,
+};
+use rescnn_data::{DatasetKind, DatasetSpec};
+use rescnn_hwsim::{AutoTuner, CpuProfile, LibraryKernels, TunerConfig};
+use rescnn_imaging::{render_scene, ssim, CropRatio, SceneSpec};
+use rescnn_models::{ModelKind, PAPER_RESOLUTIONS};
+use rescnn_oracle::{AccuracyOracle, EvalContext};
+use rescnn_projpeg::{ProgressiveImage, ScanPlan};
+
+use crate::config::HarnessConfig;
+
+/// One row of Table I: compute cost and accuracy of ResNet-18 across resolutions.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Inference resolution.
+    pub resolution: usize,
+    /// GFLOPs at that resolution (paper MAC-counting convention).
+    pub gflops: f64,
+    /// Top-1 accuracy (percent) on the ImageNet-like evaluation set, 75 % crop.
+    pub accuracy: f64,
+}
+
+/// Reproduces Table I.
+pub fn table1(config: &HarnessConfig) -> Vec<Table1Row> {
+    let arch = ModelKind::ResNet18.arch(DatasetKind::ImageNetLike.num_classes());
+    let data = DatasetSpec::imagenet_like()
+        .with_len(config.eval_samples)
+        .with_max_dimension(config.max_dimension)
+        .build(config.seed);
+    let oracle = AccuracyOracle::new(config.seed);
+    let crop = CropRatio::new(0.75).expect("valid crop");
+    PAPER_RESOLUTIONS
+        .iter()
+        .map(|&res| Table1Row {
+            resolution: res,
+            gflops: arch.gflops(res).expect("paper resolutions are valid"),
+            accuracy: oracle.accuracy(
+                &data,
+                &EvalContext::full_quality(
+                    ModelKind::ResNet18,
+                    DatasetKind::ImageNetLike,
+                    res,
+                    crop,
+                ),
+            ) * 100.0,
+        })
+        .collect()
+}
+
+/// One row of the Figure 2 reproduction: cumulative bytes and quality per scan.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Row {
+    /// Scan index (1-based).
+    pub scan: usize,
+    /// Cumulative bytes read after this scan.
+    pub cumulative_bytes: u64,
+    /// SSIM of the partial reconstruction against the source image.
+    pub ssim: f64,
+}
+
+/// Reproduces Figure 2: progressive scans of one representative image.
+pub fn fig2(config: &HarnessConfig) -> Vec<Fig2Row> {
+    let scene = SceneSpec::new(472, 405, 284)
+        .with_object_scale(0.55)
+        .with_detail(0.75)
+        .with_seed(config.seed);
+    let image = render_scene(&scene).expect("scene renders");
+    let encoded =
+        ProgressiveImage::encode(&image, 90, ScanPlan::standard()).expect("encoding succeeds");
+    (1..=encoded.num_scans())
+        .map(|scan| {
+            let decoded = encoded.decode(scan).expect("decoding succeeds");
+            Fig2Row {
+                scan,
+                cumulative_bytes: encoded.cumulative_bytes(scan),
+                ssim: ssim(&image, &decoded).expect("dimensions match"),
+            }
+        })
+        .collect()
+}
+
+/// One point of Figure 6: storage-calibration sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Point {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model name.
+    pub model: String,
+    /// Inference resolution.
+    pub resolution: usize,
+    /// Seed index (the paper's seed1/seed2/seed3).
+    pub seed: u64,
+    /// Mean relative read size.
+    pub read_fraction: f64,
+    /// Accuracy change vs. reading everything, in percentage points.
+    pub accuracy_change: f64,
+}
+
+/// Reproduces one panel of Figure 6 (a dataset × model pair, three seeds).
+pub fn fig6(
+    config: &HarnessConfig,
+    dataset: DatasetKind,
+    model: ModelKind,
+    resolutions: &[usize],
+) -> Vec<Fig6Point> {
+    let crop = CropRatio::new(0.75).expect("valid crop");
+    let mut rows = Vec::new();
+    for seed in 1..=3u64 {
+        let data = DatasetSpec::for_kind(dataset)
+            .with_len(config.calibration_samples)
+            .with_max_dimension(config.max_dimension)
+            .build(config.seed ^ seed);
+        let curves = CalibrationCurves::compute(&data, model, crop, resolutions, 90)
+            .expect("calibration curves");
+        let oracle = AccuracyOracle::new(seed);
+        for (res_idx, &res) in resolutions.iter().enumerate() {
+            for (read_fraction, accuracy_change) in
+                curves.read_size_sweep(&oracle, res_idx, 0.55, 10)
+            {
+                rows.push(Fig6Point {
+                    dataset: dataset.name().to_string(),
+                    model: model.name().to_string(),
+                    resolution: res,
+                    seed,
+                    read_fraction,
+                    accuracy_change,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One row of Figure 7 / Table II: tuned vs. library kernel performance.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelRow {
+    /// CPU name.
+    pub cpu: String,
+    /// Model name.
+    pub model: String,
+    /// Inference resolution.
+    pub resolution: usize,
+    /// Autotuned latency in milliseconds.
+    pub tuned_ms: f64,
+    /// Library (MKLDNN-like) latency in milliseconds.
+    pub library_ms: f64,
+    /// Autotuned throughput in GFLOPs/s (MAC convention).
+    pub tuned_gflops_s: f64,
+    /// Library throughput in GFLOPs/s.
+    pub library_gflops_s: f64,
+}
+
+/// Reproduces Figure 7 (throughput curves) and Table II (latency), for both CPUs and both
+/// backbones.
+pub fn fig7_table2(models: &[ModelKind]) -> Vec<KernelRow> {
+    let tuner = AutoTuner::new(TunerConfig::default());
+    let library = LibraryKernels::mkldnn_like();
+    let mut rows = Vec::new();
+    for profile in CpuProfile::paper_platforms() {
+        for &model in models {
+            let arch = model.arch(1000);
+            for &res in &PAPER_RESOLUTIONS {
+                let tuned = tuner.tune_network(&arch, res, &profile).expect("tuning succeeds");
+                let lib = library.plan(&arch, res, &profile).expect("library plan succeeds");
+                rows.push(KernelRow {
+                    cpu: profile.name.clone(),
+                    model: model.name().to_string(),
+                    resolution: res,
+                    tuned_ms: tuned.latency_ms(),
+                    library_ms: lib.latency_ms(),
+                    tuned_gflops_s: tuned.throughput_gmacs(),
+                    library_gflops_s: lib.throughput_gmacs(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One point of Figures 8/9: accuracy vs. compute cost for static and dynamic resolution.
+#[derive(Debug, Clone, Serialize)]
+pub struct AccuracyFlopsRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model name.
+    pub model: String,
+    /// Centre-crop percentage label ("25%", …).
+    pub crop: String,
+    /// "static" or "dynamic resolution".
+    pub method: String,
+    /// Static resolution (0 for the dynamic pipeline).
+    pub resolution: usize,
+    /// Mean compute cost in GFLOPs.
+    pub gflops: f64,
+    /// Top-1 accuracy in [0, 1].
+    pub accuracy: f64,
+}
+
+/// Trains a scale model and builds the dynamic pipeline for a (dataset, model, crop)
+/// combination.
+fn build_pipeline(
+    config: &HarnessConfig,
+    dataset: DatasetKind,
+    model: ModelKind,
+    crop: CropRatio,
+    storage: StoragePolicy,
+) -> DynamicResolutionPipeline {
+    let train = DatasetSpec::for_kind(dataset)
+        .with_len(config.train_samples)
+        .with_max_dimension(config.max_dimension)
+        .build(config.seed ^ 0xA11CE);
+    let trainer = ScaleModelTrainer::new(
+        ScaleModelConfig { seed: config.seed, ..Default::default() },
+        model,
+        dataset,
+    );
+    let scale_model = trainer.train(&train, 4).expect("scale-model training succeeds");
+    let pipeline_config = PipelineConfig::new(model, dataset)
+        .with_crop(crop)
+        .with_storage(storage);
+    DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(config.seed))
+        .expect("pipeline construction succeeds")
+}
+
+/// Reproduces one panel row of Figure 8 (ImageNet) or Figure 9 (Cars): all four crops for
+/// one backbone.
+pub fn fig8_fig9(
+    config: &HarnessConfig,
+    dataset: DatasetKind,
+    model: ModelKind,
+) -> Vec<AccuracyFlopsRow> {
+    let eval = DatasetSpec::for_kind(dataset)
+        .with_len(config.eval_samples)
+        .with_max_dimension(config.max_dimension)
+        .build(config.seed ^ 0xE7A1);
+    let mut rows = Vec::new();
+    for &crop_area in &CropRatio::PAPER_SET {
+        let crop = CropRatio::new(crop_area).expect("paper crops are valid");
+        let pipeline =
+            build_pipeline(config, dataset, model, crop, StoragePolicy::read_all());
+        // Static baselines (oracle-only: full-quality reads).
+        for &res in &PAPER_RESOLUTIONS {
+            let report = pipeline
+                .evaluate_static(&eval, res, false)
+                .expect("static evaluation succeeds");
+            rows.push(AccuracyFlopsRow {
+                dataset: dataset.name().to_string(),
+                model: model.name().to_string(),
+                crop: crop.label(),
+                method: "static".to_string(),
+                resolution: res,
+                gflops: report.mean_gflops,
+                accuracy: report.accuracy,
+            });
+        }
+        // Dynamic resolution.
+        let dynamic = pipeline.evaluate(&eval).expect("dynamic evaluation succeeds");
+        rows.push(AccuracyFlopsRow {
+            dataset: dataset.name().to_string(),
+            model: model.name().to_string(),
+            crop: crop.label(),
+            method: "dynamic resolution".to_string(),
+            resolution: 0,
+            gflops: dynamic.mean_gflops,
+            accuracy: dynamic.accuracy,
+        });
+    }
+    rows
+}
+
+/// One row of Tables III/IV: default vs. calibrated accuracy and read savings.
+#[derive(Debug, Clone, Serialize)]
+pub struct SavingsRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model name.
+    pub model: String,
+    /// Crop label.
+    pub crop: String,
+    /// Resolution, or "dynamic".
+    pub resolution: String,
+    /// Accuracy reading all data (percent).
+    pub default_accuracy: f64,
+    /// Accuracy reading only calibrated data (percent).
+    pub calibrated_accuracy: f64,
+    /// Read savings (percent of bytes not read).
+    pub read_savings: f64,
+}
+
+/// Reproduces Table III (ImageNet) or Table IV (Cars) for one backbone at one crop.
+pub fn table3_table4(
+    config: &HarnessConfig,
+    dataset: DatasetKind,
+    model: ModelKind,
+    crop_area: f64,
+    resolutions: &[usize],
+) -> Vec<SavingsRow> {
+    let crop = CropRatio::new(crop_area).expect("valid crop");
+    // Calibrate the storage policy on a calibration split.
+    let calib_data = DatasetSpec::for_kind(dataset)
+        .with_len(config.calibration_samples)
+        .with_max_dimension(config.max_dimension)
+        .build(config.seed ^ 0xCA11B);
+    let curves = CalibrationCurves::compute(&calib_data, model, crop, resolutions, 90)
+        .expect("calibration curves");
+    let oracle = AccuracyOracle::new(config.seed);
+    let policy = StorageCalibrator::default().calibrate(&curves, &oracle);
+
+    // Evaluation split.
+    let eval = DatasetSpec::for_kind(dataset)
+        .with_len(config.eval_samples.min(4 * config.calibration_samples))
+        .with_max_dimension(config.max_dimension)
+        .build(config.seed ^ 0xE7A1);
+
+    let pipeline = build_pipeline(config, dataset, model, crop, policy.clone());
+    let read_all_pipeline = build_pipeline(config, dataset, model, crop, StoragePolicy::read_all());
+
+    let mut rows = Vec::new();
+    for &res in resolutions {
+        let default = pipeline
+            .evaluate_static(&eval, res, false)
+            .expect("default static evaluation");
+        let calibrated = pipeline
+            .evaluate_static(&eval, res, true)
+            .expect("calibrated static evaluation");
+        rows.push(SavingsRow {
+            dataset: dataset.name().to_string(),
+            model: model.name().to_string(),
+            crop: crop.label(),
+            resolution: res.to_string(),
+            default_accuracy: default.accuracy * 100.0,
+            calibrated_accuracy: calibrated.accuracy * 100.0,
+            read_savings: (1.0 - calibrated.mean_read_fraction) * 100.0,
+        });
+    }
+    // Dynamic rows: read-all vs. calibrated dynamic pipeline.
+    let dynamic_default = read_all_pipeline.evaluate(&eval).expect("dynamic evaluation");
+    let dynamic_calibrated = pipeline.evaluate(&eval).expect("dynamic evaluation");
+    rows.push(SavingsRow {
+        dataset: dataset.name().to_string(),
+        model: model.name().to_string(),
+        crop: crop.label(),
+        resolution: "dynamic".to_string(),
+        default_accuracy: dynamic_default.accuracy * 100.0,
+        calibrated_accuracy: dynamic_calibrated.accuracy * 100.0,
+        read_savings: (1.0 - dynamic_calibrated.mean_read_fraction) * 100.0,
+    });
+    rows
+}
+
+/// Scale-model overhead figures (§VII-c).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleOverheadRow {
+    /// CPU name.
+    pub cpu: String,
+    /// Untuned (library) MobileNetV2@112 latency in ms.
+    pub scale_model_library_ms: f64,
+    /// Tuned MobileNetV2@112 latency in ms.
+    pub scale_model_tuned_ms: f64,
+    /// Tuned ResNet-50@224 latency in ms (the backbone it is compared against).
+    pub backbone_tuned_ms: f64,
+    /// Overhead of the untuned scale model relative to the tuned backbone, in percent.
+    pub overhead_percent: f64,
+}
+
+/// Reproduces the §VII-c scale-model overhead measurement.
+pub fn scale_overhead() -> Vec<ScaleOverheadRow> {
+    let tuner = AutoTuner::new(TunerConfig::default());
+    let library = LibraryKernels::mkldnn_like();
+    let mb2 = ModelKind::MobileNetV2.arch(1000);
+    let r50 = ModelKind::ResNet50.arch(1000);
+    CpuProfile::paper_platforms()
+        .into_iter()
+        .map(|profile| {
+            let scale_lib = library.plan(&mb2, 112, &profile).expect("library plan").latency_ms();
+            let scale_tuned =
+                tuner.tune_network(&mb2, 112, &profile).expect("tuning").latency_ms();
+            let backbone =
+                tuner.tune_network(&r50, 224, &profile).expect("tuning").latency_ms();
+            ScaleOverheadRow {
+                cpu: profile.name.clone(),
+                scale_model_library_ms: scale_lib,
+                scale_model_tuned_ms: scale_tuned,
+                backbone_tuned_ms: backbone,
+                overhead_percent: scale_lib / backbone * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Summary statistics the paper quotes in §VII-a (speedups from 448 to 112, and tuned@280
+/// vs. library@224).
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupSummary {
+    /// CPU name.
+    pub cpu: String,
+    /// Model name.
+    pub model: String,
+    /// Library speedup when dropping 448 → 112.
+    pub library_speedup_448_to_112: f64,
+    /// Tuned speedup when dropping 448 → 112.
+    pub tuned_speedup_448_to_112: f64,
+    /// Tuned latency at 280 relative to library latency at 224 (>1 means tuned@280 is
+    /// faster).
+    pub tuned280_vs_library224: f64,
+}
+
+/// Derives the §VII-a summary from kernel rows produced by [`fig7_table2`].
+pub fn speedup_summary(rows: &[KernelRow]) -> Vec<SpeedupSummary> {
+    let mut out = Vec::new();
+    let cpus: Vec<String> = {
+        let mut v: Vec<String> = rows.iter().map(|r| r.cpu.clone()).collect();
+        v.dedup();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let models: Vec<String> = {
+        let mut v: Vec<String> = rows.iter().map(|r| r.model.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    for cpu in &cpus {
+        for model in &models {
+            let find = |res: usize| {
+                rows.iter().find(|r| &r.cpu == cpu && &r.model == model && r.resolution == res)
+            };
+            let (Some(r112), Some(r224), Some(r280), Some(r448)) =
+                (find(112), find(224), find(280), find(448))
+            else {
+                continue;
+            };
+            out.push(SpeedupSummary {
+                cpu: cpu.clone(),
+                model: model.clone(),
+                library_speedup_448_to_112: r448.library_ms / r112.library_ms,
+                tuned_speedup_448_to_112: r448.tuned_ms / r112.tuned_ms,
+                tuned280_vs_library224: r224.library_ms / r280.tuned_ms,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_paper_shape() {
+        let rows = table1(&HarnessConfig::tiny());
+        assert_eq!(rows.len(), 7);
+        // GFLOPs grow monotonically; accuracy peaks somewhere in the middle.
+        assert!(rows.windows(2).all(|w| w[1].gflops > w[0].gflops));
+        let acc112 = rows[0].accuracy;
+        let peak = rows.iter().map(|r| r.accuracy).fold(0.0, f64::max);
+        assert!(peak > acc112 + 5.0, "peak {peak} must clearly beat 112 ({acc112})");
+        assert!((rows[2].gflops - 1.8).abs() < 0.3, "ResNet-18@224 ≈ 1.8 GFLOPs");
+    }
+
+    #[test]
+    fn fig2_bytes_and_quality_grow() {
+        let rows = fig2(&HarnessConfig::tiny());
+        assert_eq!(rows.len(), 5);
+        assert!(rows.windows(2).all(|w| w[1].cumulative_bytes > w[0].cumulative_bytes));
+        assert!(rows.last().unwrap().ssim > rows.first().unwrap().ssim);
+    }
+
+    #[test]
+    fn fig6_points_are_bounded() {
+        let rows = fig6(
+            &HarnessConfig::tiny(),
+            DatasetKind::CarsLike,
+            ModelKind::ResNet18,
+            &[112, 224],
+        );
+        assert!(!rows.is_empty());
+        for p in &rows {
+            assert!(p.read_fraction > 0.0 && p.read_fraction <= 1.0);
+            assert!(p.accuracy_change <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn speedup_summary_from_kernel_rows() {
+        let rows = fig7_table2(&[ModelKind::ResNet18]);
+        assert_eq!(rows.len(), 2 * 7);
+        let summary = speedup_summary(&rows);
+        assert_eq!(summary.len(), 2);
+        for s in &summary {
+            assert!(s.tuned_speedup_448_to_112 > s.library_speedup_448_to_112 * 0.9);
+            assert!(s.tuned_speedup_448_to_112 > 4.0);
+            assert!(s.tuned280_vs_library224 > 0.8);
+        }
+    }
+
+    #[test]
+    fn scale_overhead_is_small_fraction_of_backbone() {
+        let rows = scale_overhead();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.scale_model_tuned_ms < r.scale_model_library_ms);
+            assert!(r.overhead_percent < 60.0, "overhead {}% too large", r.overhead_percent);
+            assert!(r.scale_model_library_ms < r.backbone_tuned_ms);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # rescnn-bench
+//!
+//! Experiment harnesses reproducing every table and figure of the paper, plus Criterion
+//! micro-benchmarks of the executable kernels. Each `bin/` target regenerates one
+//! table/figure; sample counts are controlled by `RESCNN_*` environment variables (see
+//! [`HarnessConfig`]).
+//!
+//! | Target | Paper artefact |
+//! |---|---|
+//! | `table1` | Table I — GFLOPs & accuracy vs. resolution |
+//! | `fig2` | Figure 2 — progressive scan sizes |
+//! | `fig6` | Figure 6 — storage-calibration curves |
+//! | `fig7` | Figure 7 — tuned vs. library throughput (+ §VII-a speedups) |
+//! | `table2` | Table II — ResNet-50 wall-clock latency |
+//! | `fig8` | Figure 8 — accuracy vs. FLOPs on ImageNet-like data |
+//! | `fig9` | Figure 9 — accuracy vs. FLOPs on Cars-like data |
+//! | `table3` | Table III — ImageNet read-bandwidth savings |
+//! | `table4` | Table IV — Cars read-bandwidth savings |
+//! | `scale_overhead` | §VII-c — scale-model runtime overhead |
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+
+pub use config::HarnessConfig;

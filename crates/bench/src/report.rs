@@ -1,0 +1,71 @@
+//! Small helpers for printing experiment results and saving them as JSON.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Prints a named table with a header row and formatted data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}
+
+/// Serializes experiment rows to `results/<name>.json` (best effort: failures are reported
+/// but do not abort the experiment).
+pub fn save_json<T: Serialize>(name: &str, rows: &T) -> Option<PathBuf> {
+    let dir = PathBuf::from("results");
+    if let Err(err) = fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create results directory: {err}");
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(rows) {
+        Ok(json) => {
+            if let Err(err) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {err}", path.display());
+                None
+            } else {
+                println!("(wrote {})", path.display());
+                Some(path)
+            }
+        }
+        Err(err) => {
+            eprintln!("warning: could not serialize {name}: {err}");
+            None
+        }
+    }
+}
+
+/// Formats a float with a fixed number of decimals.
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(10.0, 1), "10.0");
+    }
+
+    #[test]
+    fn save_json_round_trips() {
+        let tmp = std::env::temp_dir().join(format!("rescnn-report-test-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&tmp).unwrap();
+        let rows = vec![1u32, 2, 3];
+        let path = save_json("unit-test", &rows).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains('2'));
+        std::env::set_current_dir(old).unwrap();
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+}

@@ -1,0 +1,469 @@
+//! Storage calibration (§V of the paper).
+//!
+//! Given a calibration set of progressively encoded images, [`CalibrationCurves`] records,
+//! for every sample and every candidate resolution, how reconstruction quality (SSIM
+//! against the ground-truth resize) and cumulative bytes read grow with the number of
+//! scans. [`StorageCalibrator`] then binary-searches, per resolution, the minimal SSIM
+//! threshold whose induced read policy loses at most 0.05 % accuracy — exactly the
+//! procedure the paper describes (binary search over `[0.94, 1.0]`, terminating at a step
+//! of 1e-4). The result is a [`StoragePolicy`] mapping resolutions to thresholds.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rescnn_data::{Dataset, DatasetKind, Sample};
+use rescnn_imaging::{crop_and_resize, ssim, CropRatio, Image};
+use rescnn_models::ModelKind;
+use rescnn_oracle::{AccuracyOracle, EvalContext};
+use rescnn_projpeg::{ProgressiveImage, ScanPlan};
+
+use crate::error::{CoreError, Result};
+
+/// Quality/read-size of one (sample, resolution, scan-count) point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScanPoint {
+    /// Number of scans read.
+    pub scans: usize,
+    /// Fraction of the full file read.
+    pub read_fraction: f64,
+    /// SSIM of the decoded, cropped, resized image against the ground-truth resize.
+    pub ssim: f64,
+}
+
+/// The per-resolution scan curves of one sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleCurve {
+    /// Points for 1..=num_scans scans, in order.
+    pub points: Vec<ScanPoint>,
+}
+
+impl SampleCurve {
+    /// The first (cheapest) point whose SSIM reaches `threshold`, or the final point if
+    /// none does (read everything).
+    pub fn point_for_threshold(&self, threshold: f64) -> ScanPoint {
+        for p in &self.points {
+            if p.ssim >= threshold {
+                return *p;
+            }
+        }
+        *self.points.last().expect("scan curves are never empty")
+    }
+}
+
+/// Precomputed quality/read-size curves for a calibration set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationCurves {
+    /// Dataset family of the calibration samples.
+    pub dataset: DatasetKind,
+    /// Backbone model being calibrated for.
+    pub model: ModelKind,
+    /// Crop ratio applied before resizing.
+    pub crop: CropRatio,
+    /// Candidate resolutions, in order.
+    pub resolutions: Vec<usize>,
+    /// The calibration samples (metadata only; pixels are regenerated on demand).
+    samples: Vec<Sample>,
+    /// `curves[res_idx][sample_idx]`.
+    curves: Vec<Vec<SampleCurve>>,
+}
+
+impl CalibrationCurves {
+    /// Renders, encodes, and measures every sample of `dataset` at every resolution.
+    ///
+    /// `encode_quality` is the progressive encoder's quality factor (the paper transcodes
+    /// existing JPEGs; 90 is a representative archival quality).
+    ///
+    /// # Errors
+    /// Returns an error if the dataset is empty or any render/encode/decode step fails.
+    pub fn compute(
+        dataset: &Dataset,
+        model: ModelKind,
+        crop: CropRatio,
+        resolutions: &[usize],
+        encode_quality: u8,
+    ) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        if resolutions.is_empty() {
+            return Err(CoreError::InvalidConfig { reason: "no resolutions".into() });
+        }
+        let mut curves = vec![Vec::with_capacity(dataset.len()); resolutions.len()];
+        for sample in dataset {
+            let original = sample.render()?;
+            let encoded = ProgressiveImage::encode(&original, encode_quality, ScanPlan::standard())?;
+            let per_sample = Self::sample_curves(&original, &encoded, crop, resolutions)?;
+            for (res_idx, curve) in per_sample.into_iter().enumerate() {
+                curves[res_idx].push(curve);
+            }
+        }
+        Ok(CalibrationCurves {
+            dataset: dataset.kind(),
+            model,
+            crop,
+            resolutions: resolutions.to_vec(),
+            samples: dataset.samples().to_vec(),
+            curves,
+        })
+    }
+
+    /// Computes the per-resolution scan curves for one already-encoded image.
+    ///
+    /// # Errors
+    /// Returns an error if decoding or resizing fails.
+    pub fn sample_curves(
+        original: &Image,
+        encoded: &ProgressiveImage,
+        crop: CropRatio,
+        resolutions: &[usize],
+    ) -> Result<Vec<SampleCurve>> {
+        // Ground-truth reference at each resolution comes from the original pixels.
+        let references: Vec<Image> = resolutions
+            .iter()
+            .map(|&res| crop_and_resize(original, crop, res))
+            .collect::<std::result::Result<_, _>>()?;
+        let mut out: Vec<SampleCurve> =
+            resolutions.iter().map(|_| SampleCurve { points: Vec::new() }).collect();
+        for scans in 1..=encoded.num_scans() {
+            let decoded = encoded.decode(scans)?;
+            let read_fraction = encoded.read_fraction(scans);
+            for (res_idx, &res) in resolutions.iter().enumerate() {
+                let presented = crop_and_resize(&decoded, crop, res)?;
+                let quality = ssim(&references[res_idx], &presented)?;
+                out[res_idx].points.push(ScanPoint { scans, read_fraction, ssim: quality });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of calibration samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the calibration set is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The calibration samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The curve of one sample at one resolution index.
+    pub fn curve(&self, res_idx: usize, sample_idx: usize) -> &SampleCurve {
+        &self.curves[res_idx][sample_idx]
+    }
+
+    /// Accuracy and mean read fraction when every sample is read up to the first scan that
+    /// reaches `threshold` SSIM at resolution `resolutions[res_idx]`.
+    pub fn accuracy_at_threshold(
+        &self,
+        oracle: &AccuracyOracle,
+        res_idx: usize,
+        threshold: f64,
+    ) -> (f64, f64) {
+        let res = self.resolutions[res_idx];
+        let mut correct = 0usize;
+        let mut read = 0.0f64;
+        for (sample, curve) in self.samples.iter().zip(&self.curves[res_idx]) {
+            let point = curve.point_for_threshold(threshold);
+            read += point.read_fraction;
+            let ctx = EvalContext {
+                model: self.model,
+                dataset: self.dataset,
+                resolution: res,
+                crop: self.crop,
+                quality: point.ssim,
+            };
+            correct += usize::from(oracle.is_correct(sample, &ctx));
+        }
+        let n = self.samples.len() as f64;
+        (correct as f64 / n, read / n)
+    }
+
+    /// Accuracy when every sample is read in full (all scans, quality 1.0).
+    pub fn full_read_accuracy(&self, oracle: &AccuracyOracle, res_idx: usize) -> f64 {
+        let res = self.resolutions[res_idx];
+        let ctx = EvalContext::full_quality(self.model, self.dataset, res, self.crop);
+        oracle.accuracy(self.samples.iter(), &ctx)
+    }
+
+    /// Sweeps SSIM thresholds and reports `(mean read fraction, accuracy change)` pairs —
+    /// the data behind Figure 6. `steps` thresholds are sampled uniformly in
+    /// `[min_threshold, 1.0]`.
+    pub fn read_size_sweep(
+        &self,
+        oracle: &AccuracyOracle,
+        res_idx: usize,
+        min_threshold: f64,
+        steps: usize,
+    ) -> Vec<(f64, f64)> {
+        let full = self.full_read_accuracy(oracle, res_idx);
+        let steps = steps.max(2);
+        (0..steps)
+            .map(|i| {
+                let threshold =
+                    min_threshold + (1.0 - min_threshold) * i as f64 / (steps - 1) as f64;
+                let (acc, read) = self.accuracy_at_threshold(oracle, res_idx, threshold);
+                (read, (acc - full) * 100.0)
+            })
+            .collect()
+    }
+}
+
+/// A calibrated storage policy: the minimal SSIM threshold per resolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoragePolicy {
+    thresholds: BTreeMap<usize, f64>,
+}
+
+impl StoragePolicy {
+    /// The trivial policy that always reads the entire file.
+    pub fn read_all() -> Self {
+        StoragePolicy { thresholds: BTreeMap::new() }
+    }
+
+    /// Builds a policy from explicit thresholds.
+    pub fn from_thresholds(thresholds: BTreeMap<usize, f64>) -> Self {
+        StoragePolicy { thresholds }
+    }
+
+    /// The SSIM threshold for a resolution, if one was calibrated.
+    pub fn threshold_for(&self, resolution: usize) -> Option<f64> {
+        self.thresholds.get(&resolution).copied()
+    }
+
+    /// All calibrated thresholds.
+    pub fn thresholds(&self) -> &BTreeMap<usize, f64> {
+        &self.thresholds
+    }
+
+    /// Whether the policy always reads everything.
+    pub fn is_read_all(&self) -> bool {
+        self.thresholds.is_empty()
+    }
+
+    /// Decides how many scans to read for an encoded image at `resolution`, returning the
+    /// scan count, the fraction of the file read, and the achieved SSIM.
+    ///
+    /// This is an ingest-time decision (the full image is available to measure quality
+    /// against), matching the paper's setup where per-image scan counts follow calibrated
+    /// thresholds.
+    ///
+    /// # Errors
+    /// Returns an error if decoding or resizing fails.
+    pub fn scans_for(
+        &self,
+        original: &Image,
+        encoded: &ProgressiveImage,
+        crop: CropRatio,
+        resolution: usize,
+    ) -> Result<ScanPoint> {
+        let curves =
+            CalibrationCurves::sample_curves(original, encoded, crop, &[resolution])?;
+        let curve = &curves[0];
+        match self.threshold_for(resolution) {
+            Some(threshold) => Ok(curve.point_for_threshold(threshold)),
+            None => Ok(*curve.points.last().expect("scan curves are never empty")),
+        }
+    }
+}
+
+/// The calibration search (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageCalibrator {
+    /// Maximum tolerated accuracy loss (paper: 0.05 %, i.e. 0.0005).
+    pub accuracy_budget: f64,
+    /// Lower end of the searched SSIM interval (paper: 0.94).
+    pub min_threshold: f64,
+    /// Binary-search termination step (paper: 1e-4).
+    pub min_step: f64,
+}
+
+impl Default for StorageCalibrator {
+    fn default() -> Self {
+        StorageCalibrator { accuracy_budget: 0.0005, min_threshold: 0.94, min_step: 1e-4 }
+    }
+}
+
+impl StorageCalibrator {
+    /// Binary-searches the minimal acceptable SSIM threshold for one resolution.
+    pub fn calibrate_resolution(
+        &self,
+        curves: &CalibrationCurves,
+        oracle: &AccuracyOracle,
+        res_idx: usize,
+    ) -> f64 {
+        let full = curves.full_read_accuracy(oracle, res_idx);
+        let acceptable = |threshold: f64| {
+            let (acc, _) = curves.accuracy_at_threshold(oracle, res_idx, threshold);
+            full - acc <= self.accuracy_budget
+        };
+        // If even the lowest threshold is acceptable, use it.
+        if acceptable(self.min_threshold) {
+            return self.min_threshold;
+        }
+        let mut lo = self.min_threshold;
+        let mut hi = 1.0f64;
+        while hi - lo > self.min_step {
+            let mid = 0.5 * (lo + hi);
+            if acceptable(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+
+    /// Calibrates every resolution in the curves, producing a [`StoragePolicy`].
+    pub fn calibrate(&self, curves: &CalibrationCurves, oracle: &AccuracyOracle) -> StoragePolicy {
+        let mut thresholds = BTreeMap::new();
+        for (res_idx, &res) in curves.resolutions.iter().enumerate() {
+            thresholds.insert(res, self.calibrate_resolution(curves, oracle, res_idx));
+        }
+        StoragePolicy { thresholds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescnn_data::DatasetSpec;
+
+    fn small_curves() -> CalibrationCurves {
+        let dataset =
+            DatasetSpec::cars_like().with_len(12).with_max_dimension(96).build(3);
+        CalibrationCurves::compute(
+            &dataset,
+            ModelKind::ResNet18,
+            CropRatio::new(0.75).unwrap(),
+            &[112, 224],
+            88,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn curves_are_monotone_in_scans() {
+        let curves = small_curves();
+        assert_eq!(curves.len(), 12);
+        assert!(!curves.is_empty());
+        assert_eq!(curves.samples().len(), 12);
+        for res_idx in 0..2 {
+            for sample_idx in 0..curves.len() {
+                let curve = curves.curve(res_idx, sample_idx);
+                assert_eq!(curve.points.len(), 5);
+                for pair in curve.points.windows(2) {
+                    assert!(pair[1].read_fraction >= pair[0].read_fraction);
+                    assert!(pair[1].ssim >= pair[0].ssim - 0.03, "quality regressed: {pair:?}");
+                }
+                let last = curve.points.last().unwrap();
+                assert!((last.read_fraction - 1.0).abs() < 1e-9);
+                assert!(last.ssim > 0.8);
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_lookup_selects_cheapest_sufficient_point() {
+        let curves = small_curves();
+        let curve = curves.curve(1, 0);
+        let relaxed = curve.point_for_threshold(0.0);
+        assert_eq!(relaxed.scans, 1);
+        let strict = curve.point_for_threshold(2.0);
+        assert_eq!(strict.scans, 5);
+        let mid = curve.point_for_threshold(curve.points[2].ssim);
+        assert!(mid.scans <= 3);
+    }
+
+    #[test]
+    fn accuracy_at_threshold_is_monotone_and_bounded() {
+        let curves = small_curves();
+        let oracle = AccuracyOracle::new(0);
+        let full = curves.full_read_accuracy(&oracle, 1);
+        let (acc_hi, read_hi) = curves.accuracy_at_threshold(&oracle, 1, 0.999);
+        let (acc_lo, read_lo) = curves.accuracy_at_threshold(&oracle, 1, 0.5);
+        assert!(acc_hi >= acc_lo);
+        assert!(read_hi >= read_lo);
+        assert!(acc_hi <= full + 1e-9);
+        assert!((0.0..=1.0).contains(&read_lo));
+    }
+
+    #[test]
+    fn calibration_respects_the_accuracy_budget() {
+        let curves = small_curves();
+        let oracle = AccuracyOracle::new(0);
+        let calibrator = StorageCalibrator::default();
+        let policy = calibrator.calibrate(&curves, &oracle);
+        assert!(!policy.is_read_all());
+        for (res_idx, &res) in curves.resolutions.iter().enumerate() {
+            let threshold = policy.threshold_for(res).unwrap();
+            assert!((0.94..=1.0).contains(&threshold));
+            let full = curves.full_read_accuracy(&oracle, res_idx);
+            let (acc, read) = curves.accuracy_at_threshold(&oracle, res_idx, threshold);
+            assert!(full - acc <= calibrator.accuracy_budget + 1e-9);
+            assert!(read <= 1.0);
+        }
+    }
+
+    #[test]
+    fn read_size_sweep_shape() {
+        let curves = small_curves();
+        let oracle = AccuracyOracle::new(0);
+        let sweep = curves.read_size_sweep(&oracle, 0, 0.5, 8);
+        assert_eq!(sweep.len(), 8);
+        // Accuracy change is never positive (reading less cannot beat reading everything)
+        // and read fraction stays in (0, 1].
+        for (read, change) in &sweep {
+            assert!(*read > 0.0 && *read <= 1.0);
+            assert!(*change <= 1e-9);
+        }
+        // The strictest threshold reads the most data.
+        assert!(sweep.last().unwrap().0 >= sweep.first().unwrap().0);
+    }
+
+    #[test]
+    fn storage_policy_scans_for_matches_thresholds() {
+        let dataset = DatasetSpec::imagenet_like().with_len(1).with_max_dimension(96).build(8);
+        let sample = &dataset[0];
+        let original = sample.render().unwrap();
+        let encoded = sample.encode_progressive(88).unwrap();
+        let crop = CropRatio::new(0.75).unwrap();
+        let read_all = StoragePolicy::read_all();
+        assert!(read_all.is_read_all());
+        let all = read_all.scans_for(&original, &encoded, crop, 224).unwrap();
+        assert_eq!(all.scans, encoded.num_scans());
+        let mut thresholds = BTreeMap::new();
+        thresholds.insert(224usize, 0.0f64);
+        let lax = StoragePolicy::from_thresholds(thresholds);
+        assert_eq!(lax.thresholds().len(), 1);
+        let cheap = lax.scans_for(&original, &encoded, crop, 224).unwrap();
+        assert_eq!(cheap.scans, 1);
+        assert!(cheap.read_fraction < all.read_fraction);
+        // Un-calibrated resolution falls back to reading everything.
+        let fallback = lax.scans_for(&original, &encoded, crop, 112).unwrap();
+        assert_eq!(fallback.scans, encoded.num_scans());
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let empty = DatasetSpec::imagenet_like().with_len(0).build(0);
+        assert!(matches!(
+            CalibrationCurves::compute(
+                &empty,
+                ModelKind::ResNet18,
+                CropRatio::full(),
+                &[112],
+                90
+            ),
+            Err(CoreError::EmptyDataset)
+        ));
+        let tiny = DatasetSpec::imagenet_like().with_len(1).with_max_dimension(48).build(0);
+        assert!(CalibrationCurves::compute(&tiny, ModelKind::ResNet18, CropRatio::full(), &[], 90)
+            .is_err());
+    }
+}

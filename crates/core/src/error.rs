@@ -1,0 +1,91 @@
+//! Error type for the dynamic-resolution pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by pipeline construction, calibration, training, or inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An image-processing step failed.
+    Imaging(String),
+    /// The progressive codec failed.
+    Codec(String),
+    /// A model/architecture operation failed.
+    Model(String),
+    /// The configuration is inconsistent (empty resolution set, bad thresholds, …).
+    InvalidConfig {
+        /// Explanation of the defect.
+        reason: String,
+    },
+    /// A dataset required for training or calibration was empty.
+    EmptyDataset,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Imaging(msg) => write!(f, "imaging error: {msg}"),
+            CoreError::Codec(msg) => write!(f, "codec error: {msg}"),
+            CoreError::Model(msg) => write!(f, "model error: {msg}"),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::EmptyDataset => write!(f, "dataset must contain at least one sample"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<rescnn_imaging::ImagingError> for CoreError {
+    fn from(err: rescnn_imaging::ImagingError) -> Self {
+        CoreError::Imaging(err.to_string())
+    }
+}
+
+impl From<rescnn_projpeg::CodecError> for CoreError {
+    fn from(err: rescnn_projpeg::CodecError) -> Self {
+        CoreError::Codec(err.to_string())
+    }
+}
+
+impl From<rescnn_models::ModelError> for CoreError {
+    fn from(err: rescnn_models::ModelError) -> Self {
+        CoreError::Model(err.to_string())
+    }
+}
+
+impl From<rescnn_hwsim::HwError> for CoreError {
+    fn from(err: rescnn_hwsim::HwError) -> Self {
+        CoreError::Model(err.to_string())
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(CoreError::EmptyDataset.to_string().contains("at least one"));
+        assert!(CoreError::InvalidConfig { reason: "no resolutions".into() }
+            .to_string()
+            .contains("no resolutions"));
+        let e: CoreError = rescnn_imaging::ImagingError::EmptyImage.into();
+        assert!(e.to_string().contains("imaging"));
+        let e: CoreError = rescnn_projpeg::CodecError::InvalidQuality { quality: 0 }.into();
+        assert!(e.to_string().contains("codec"));
+        let e: CoreError =
+            rescnn_models::ModelError::BadInput { reason: "x".into() }.into();
+        assert!(e.to_string().contains("model"));
+        let e: CoreError = rescnn_hwsim::HwError::Model("y".into()).into();
+        assert!(e.to_string().contains("model"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

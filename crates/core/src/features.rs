@@ -1,0 +1,212 @@
+//! Feature extraction for the scale model.
+//!
+//! The scale model sees only a low-resolution preview (112 × 112 in the paper) and must
+//! predict which backbone resolutions will classify the image correctly. The dominant
+//! signal is the apparent size of the object and how much fine detail it carries, so the
+//! features are: luma statistics, multi-scale edge energy, an object-extent estimate from
+//! the gradient field, centre/border contrast, and a coarse frequency-band split.
+
+use rescnn_imaging::{resize_square, Filter, Image};
+
+use crate::error::Result;
+
+/// Number of features produced by [`extract_features`].
+pub const FEATURE_COUNT: usize = 12;
+
+/// Mean and standard deviation of a slice.
+fn mean_std(values: &[f32]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+    let var = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Mean gradient magnitude of a luma plane.
+fn edge_energy(luma: &[f32], width: usize, height: usize) -> f64 {
+    if width < 2 || height < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for y in 0..height - 1 {
+        for x in 0..width - 1 {
+            let v = luma[y * width + x];
+            let dx = luma[y * width + x + 1] - v;
+            let dy = luma[(y + 1) * width + x] - v;
+            total += ((dx * dx + dy * dy) as f64).sqrt();
+        }
+    }
+    total / ((width - 1) * (height - 1)) as f64
+}
+
+/// Estimates how much of the frame the foreground object occupies by measuring how many
+/// pixels differ markedly from the colour of the image border (the background). Returns
+/// `(area_fraction, linear_fraction)`.
+fn object_extent(preview: &Image) -> (f64, f64) {
+    let (w, h) = preview.dimensions();
+    let margin_x = (w / 10).max(1);
+    let margin_y = (h / 10).max(1);
+    // Mean colour of the border frame.
+    let mut border_sum = [0.0f64; 3];
+    let mut border_count = 0usize;
+    for y in 0..h {
+        for x in 0..w {
+            if x < margin_x || x >= w - margin_x || y < margin_y || y >= h - margin_y {
+                let p = preview.pixel(x, y);
+                for (s, &v) in border_sum.iter_mut().zip(&p) {
+                    *s += v as f64;
+                }
+                border_count += 1;
+            }
+        }
+    }
+    if border_count == 0 {
+        return (0.0, 0.0);
+    }
+    let border_mean = [
+        border_sum[0] / border_count as f64,
+        border_sum[1] / border_count as f64,
+        border_sum[2] / border_count as f64,
+    ];
+    // Count interior pixels that differ strongly from the background colour.
+    let mut object_pixels = 0usize;
+    for y in 0..h {
+        for x in 0..w {
+            let p = preview.pixel(x, y);
+            let dist: f64 = p
+                .iter()
+                .zip(&border_mean)
+                .map(|(&v, &m)| (v as f64 - m) * (v as f64 - m))
+                .sum::<f64>()
+                .sqrt();
+            if dist > 0.25 {
+                object_pixels += 1;
+            }
+        }
+    }
+    let area_fraction = object_pixels as f64 / (w * h) as f64;
+    (area_fraction, area_fraction.sqrt())
+}
+
+/// Extracts the [`FEATURE_COUNT`]-dimensional feature vector from a preview image.
+///
+/// # Errors
+/// Returns an error if the internal downsampling fails (cannot happen for non-empty
+/// images).
+pub fn extract_features(preview: &Image) -> Result<Vec<f64>> {
+    let (w, h) = preview.dimensions();
+    let luma = preview.to_luma();
+    let (mean, std) = mean_std(&luma);
+
+    // Multi-scale edge energy: full, half, quarter resolution.
+    let edge_full = edge_energy(&luma, w, h);
+    let half = resize_square(preview, (w.min(h) / 2).max(2), Filter::Bilinear)?;
+    let quarter = resize_square(preview, (w.min(h) / 4).max(2), Filter::Bilinear)?;
+    let edge_half = edge_energy(&half.to_luma(), half.width(), half.height());
+    let edge_quarter = edge_energy(&quarter.to_luma(), quarter.width(), quarter.height());
+
+    // Detail ratio: how much edge energy survives downsampling. High values mean the
+    // image's structure is coarse (big objects); low values mean fine detail dominates.
+    let detail_ratio_half = if edge_full > 1e-9 { edge_half / edge_full } else { 1.0 };
+    let detail_ratio_quarter = if edge_full > 1e-9 { edge_quarter / edge_full } else { 1.0 };
+
+    // Object extent from colour contrast against the background.
+    let (extent_area, extent_linear) = object_extent(preview);
+
+    // Centre vs. border statistics (objects are roughly centred in both datasets).
+    let centre_box = |frac: f64| -> Vec<f32> {
+        let bw = ((w as f64 * frac) as usize).max(1);
+        let bh = ((h as f64 * frac) as usize).max(1);
+        let x0 = (w - bw) / 2;
+        let y0 = (h - bh) / 2;
+        let mut out = Vec::with_capacity(bw * bh);
+        for y in y0..y0 + bh {
+            for x in x0..x0 + bw {
+                out.push(luma[y * w + x]);
+            }
+        }
+        out
+    };
+    let (centre_mean, centre_std) = mean_std(&centre_box(0.4));
+    let border_contrast = (centre_mean - mean).abs();
+
+    Ok(vec![
+        mean,
+        std,
+        edge_full,
+        edge_half,
+        edge_quarter,
+        detail_ratio_half,
+        detail_ratio_quarter,
+        extent_area,
+        extent_linear,
+        centre_mean,
+        centre_std,
+        border_contrast,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescnn_imaging::{render_scene, SceneSpec};
+
+    fn preview(scale: f64, detail: f64) -> Image {
+        let img = render_scene(
+            &SceneSpec::new(160, 160, 7).with_object_scale(scale).with_detail(detail).with_seed(3),
+        )
+        .unwrap();
+        resize_square(&img, 112, Filter::Bilinear).unwrap()
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_length_and_is_finite() {
+        let f = extract_features(&preview(0.5, 0.5)).unwrap();
+        assert_eq!(f.len(), FEATURE_COUNT);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn object_extent_tracks_object_scale() {
+        let small = extract_features(&preview(0.15, 0.5)).unwrap();
+        let large = extract_features(&preview(0.85, 0.5)).unwrap();
+        // Features 7 and 8 are the row/column extents.
+        let small_extent = small[7] + small[8];
+        let large_extent = large[7] + large[8];
+        assert!(
+            large_extent > small_extent,
+            "extent features must grow with object scale: {small_extent} vs {large_extent}"
+        );
+    }
+
+    #[test]
+    fn detail_ratio_tracks_texture_detail() {
+        let flat = extract_features(&preview(0.6, 0.05)).unwrap();
+        let fine = extract_features(&preview(0.6, 0.95)).unwrap();
+        // Feature 6 is the quarter-scale detail ratio: fine textures lose more energy.
+        assert!(fine[6] < flat[6] + 1e-9, "fine {} vs flat {}", fine[6], flat[6]);
+    }
+
+    #[test]
+    fn features_are_deterministic() {
+        let a = extract_features(&preview(0.4, 0.4)).unwrap();
+        let b = extract_features(&preview(0.4, 0.4)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_image_has_zero_edges() {
+        let img = Image::filled(64, 64, [0.5; 3]).unwrap();
+        let f = extract_features(&img).unwrap();
+        assert!(f[2].abs() < 1e-9);
+        assert!(f[1].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,507 @@
+//! The dynamic-resolution inference pipeline (Figure 4) and its evaluation harness.
+//!
+//! Storage holds progressively encoded images. For each image the pipeline first reads the
+//! scans its storage policy prescribes for the 112 × 112 preview, runs the scale model on
+//! that preview, picks the backbone resolution predicted most likely to be correct, reads
+//! any additional scans the chosen resolution requires, and finally runs the backbone.
+//! Accuracy is judged by the calibrated oracle on exactly what was decoded; compute cost
+//! is accounted in FLOPs of the backbone at the chosen resolution plus the scale model.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rescnn_data::{Dataset, DatasetKind, Sample};
+use rescnn_imaging::{crop_and_resize, CropRatio};
+use rescnn_models::ModelKind;
+use rescnn_oracle::{AccuracyOracle, EvalContext};
+use rescnn_projpeg::{ProgressiveImage, ScanPlan};
+
+use crate::calibration::{CalibrationCurves, StoragePolicy};
+use crate::error::{CoreError, Result};
+use crate::features::extract_features;
+use crate::scale_model::ScaleModel;
+
+/// Configuration of a dynamic-resolution deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Backbone model family.
+    pub backbone: ModelKind,
+    /// Dataset family the backbone serves.
+    pub dataset: DatasetKind,
+    /// Candidate inference resolutions.
+    pub resolutions: Vec<usize>,
+    /// Centre-crop ratio applied at inference time.
+    pub crop: CropRatio,
+    /// Progressive-encoding quality factor of the stored images.
+    pub encode_quality: u8,
+    /// Storage policy (calibrated SSIM thresholds per resolution, or read-all).
+    pub storage: StoragePolicy,
+    /// Model family used for the scale model's cost accounting (MobileNetV2 in the paper).
+    pub scale_model_kind: ModelKind,
+}
+
+impl PipelineConfig {
+    /// A configuration with the paper's defaults: seven candidate resolutions, 75 % crop,
+    /// quality-90 storage, read-all policy, MobileNetV2 scale model.
+    pub fn new(backbone: ModelKind, dataset: DatasetKind) -> Self {
+        PipelineConfig {
+            backbone,
+            dataset,
+            resolutions: vec![112, 168, 224, 280, 336, 392, 448],
+            crop: CropRatio::new(0.75).expect("0.75 is a valid crop ratio"),
+            encode_quality: 90,
+            storage: StoragePolicy::read_all(),
+            scale_model_kind: ModelKind::MobileNetV2,
+        }
+    }
+
+    /// Sets the crop ratio.
+    pub fn with_crop(mut self, crop: CropRatio) -> Self {
+        self.crop = crop;
+        self
+    }
+
+    /// Sets the storage policy.
+    pub fn with_storage(mut self, storage: StoragePolicy) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Sets the candidate resolutions.
+    pub fn with_resolutions(mut self, resolutions: Vec<usize>) -> Self {
+        self.resolutions = resolutions;
+        self
+    }
+}
+
+/// The outcome of one dynamic-resolution inference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRecord {
+    /// Sample identifier.
+    pub sample_id: u64,
+    /// Resolution the scale model chose.
+    pub chosen_resolution: usize,
+    /// Scans actually read from storage.
+    pub scans_read: usize,
+    /// Bytes actually read from storage.
+    pub bytes_read: u64,
+    /// Full encoded size of the image.
+    pub total_bytes: u64,
+    /// SSIM quality of what the backbone saw (vs. the ground-truth resize).
+    pub quality: f64,
+    /// Whether the backbone classified the image correctly.
+    pub correct: bool,
+    /// Backbone compute cost at the chosen resolution, in GFLOPs (paper convention).
+    pub backbone_gflops: f64,
+    /// Scale-model compute cost, in GFLOPs.
+    pub scale_gflops: f64,
+}
+
+impl InferenceRecord {
+    /// Fraction of the stored file that was read.
+    pub fn read_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            1.0
+        } else {
+            self.bytes_read as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Total compute cost (scale model + backbone) in GFLOPs.
+    pub fn total_gflops(&self) -> f64 {
+        self.backbone_gflops + self.scale_gflops
+    }
+}
+
+/// Aggregate results of evaluating a pipeline (or a static baseline) over a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Human-readable label ("dynamic", "static-224", …).
+    pub label: String,
+    /// Top-1 accuracy.
+    pub accuracy: f64,
+    /// Mean compute cost per image in GFLOPs.
+    pub mean_gflops: f64,
+    /// Mean fraction of stored bytes read per image.
+    pub mean_read_fraction: f64,
+    /// Mean bytes read per image (0 when byte accounting was skipped).
+    pub mean_bytes_read: f64,
+    /// How often each resolution was chosen.
+    pub resolution_histogram: BTreeMap<usize, usize>,
+    /// Number of samples evaluated.
+    pub num_samples: usize,
+}
+
+impl PipelineReport {
+    fn from_parts(
+        label: String,
+        correct: usize,
+        gflops: f64,
+        read_fraction: f64,
+        bytes: f64,
+        histogram: BTreeMap<usize, usize>,
+        n: usize,
+    ) -> Self {
+        let nf = n.max(1) as f64;
+        PipelineReport {
+            label,
+            accuracy: correct as f64 / nf,
+            mean_gflops: gflops / nf,
+            mean_read_fraction: read_fraction / nf,
+            mean_bytes_read: bytes / nf,
+            resolution_histogram: histogram,
+            num_samples: n,
+        }
+    }
+}
+
+/// The dynamic-resolution pipeline.
+#[derive(Debug, Clone)]
+pub struct DynamicResolutionPipeline {
+    config: PipelineConfig,
+    scale_model: ScaleModel,
+    oracle: AccuracyOracle,
+    backbone_gflops: BTreeMap<usize, f64>,
+    scale_gflops: f64,
+}
+
+impl DynamicResolutionPipeline {
+    /// Assembles a pipeline from its parts.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration has no candidate resolutions or the FLOP
+    /// accounting fails.
+    pub fn new(
+        config: PipelineConfig,
+        scale_model: ScaleModel,
+        oracle: AccuracyOracle,
+    ) -> Result<Self> {
+        if config.resolutions.is_empty() {
+            return Err(CoreError::InvalidConfig { reason: "no candidate resolutions".into() });
+        }
+        let backbone_arch = config.backbone.arch(config.dataset.num_classes());
+        let mut backbone_gflops = BTreeMap::new();
+        for &res in &config.resolutions {
+            backbone_gflops.insert(res, backbone_arch.gflops(res)?);
+        }
+        let scale_arch = config.scale_model_kind.arch(config.dataset.num_classes());
+        let scale_gflops = scale_arch.gflops(scale_model.preview_resolution())?;
+        Ok(DynamicResolutionPipeline {
+            config,
+            scale_model,
+            oracle,
+            backbone_gflops,
+            scale_gflops,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Compute cost of the scale model per image, in GFLOPs.
+    pub fn scale_model_gflops(&self) -> f64 {
+        self.scale_gflops
+    }
+
+    /// Backbone compute cost at a candidate resolution, in GFLOPs.
+    pub fn backbone_gflops(&self, resolution: usize) -> Option<f64> {
+        self.backbone_gflops.get(&resolution).copied()
+    }
+
+    /// Runs the full dynamic pipeline on one sample.
+    ///
+    /// # Errors
+    /// Returns an error if rendering, encoding, decoding, or feature extraction fails.
+    pub fn infer(&self, sample: &Sample) -> Result<InferenceRecord> {
+        let crop = self.config.crop;
+        let preview_res = self.scale_model.preview_resolution();
+        let original = sample.render()?;
+        let encoded =
+            ProgressiveImage::encode(&original, self.config.encode_quality, ScanPlan::standard())?;
+
+        // Quality/read curves for the preview resolution and every candidate resolution.
+        let mut all_res = vec![preview_res];
+        all_res.extend(self.config.resolutions.iter().copied());
+        all_res.dedup();
+        let curves = CalibrationCurves::sample_curves(&original, &encoded, crop, &all_res)?;
+
+        // Stage 1: read the preview's scans and run the scale model.
+        let preview_point = match self.config.storage.threshold_for(preview_res) {
+            Some(t) => curves[0].point_for_threshold(t),
+            None => *curves[0].points.last().expect("non-empty curve"),
+        };
+        let preview_decoded = encoded.decode(preview_point.scans)?;
+        let preview_image = crop_and_resize(&preview_decoded, crop, preview_res)?;
+        let features = extract_features(&preview_image)?;
+        let chosen_resolution = self.scale_model.choose_resolution(&features);
+
+        // Stage 2: read whatever extra data the chosen resolution requires.
+        let chosen_idx = all_res
+            .iter()
+            .position(|&r| r == chosen_resolution)
+            .unwrap_or(0);
+        let chosen_point = match self.config.storage.threshold_for(chosen_resolution) {
+            Some(t) => curves[chosen_idx].point_for_threshold(t),
+            None => *curves[chosen_idx].points.last().expect("non-empty curve"),
+        };
+        let scans_read = preview_point.scans.max(chosen_point.scans);
+        let quality = curves[chosen_idx].points[scans_read - 1].ssim;
+        let bytes_read = encoded.cumulative_bytes(scans_read);
+
+        // Stage 3: backbone correctness on exactly what was decoded.
+        let ctx = EvalContext {
+            model: self.config.backbone,
+            dataset: self.config.dataset,
+            resolution: chosen_resolution,
+            crop,
+            quality,
+        };
+        let correct = self.oracle.is_correct(sample, &ctx);
+
+        Ok(InferenceRecord {
+            sample_id: sample.id,
+            chosen_resolution,
+            scans_read,
+            bytes_read,
+            total_bytes: encoded.total_bytes(),
+            quality,
+            correct,
+            backbone_gflops: self.backbone_gflops.get(&chosen_resolution).copied().unwrap_or(0.0),
+            scale_gflops: self.scale_gflops,
+        })
+    }
+
+    /// Evaluates the dynamic pipeline over a dataset.
+    ///
+    /// # Errors
+    /// Returns an error if the dataset is empty or any per-sample step fails.
+    pub fn evaluate(&self, dataset: &Dataset) -> Result<PipelineReport> {
+        if dataset.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let mut correct = 0usize;
+        let mut gflops = 0.0;
+        let mut read_fraction = 0.0;
+        let mut bytes = 0.0;
+        let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        for sample in dataset {
+            let record = self.infer(sample)?;
+            correct += usize::from(record.correct);
+            gflops += record.total_gflops();
+            read_fraction += record.read_fraction();
+            bytes += record.bytes_read as f64;
+            *histogram.entry(record.chosen_resolution).or_insert(0) += 1;
+        }
+        Ok(PipelineReport::from_parts(
+            "dynamic".to_string(),
+            correct,
+            gflops,
+            read_fraction,
+            bytes,
+            histogram,
+            dataset.len(),
+        ))
+    }
+
+    /// Evaluates a *static* baseline at a fixed resolution.
+    ///
+    /// With `use_storage_policy = false` the baseline reads every byte (quality 1.0) and
+    /// no pixels need to be rendered, making large sweeps cheap. With `true`, images are
+    /// rendered, encoded, and read according to the calibrated thresholds — the
+    /// "Calibrated" columns of Tables III/IV.
+    ///
+    /// # Errors
+    /// Returns an error if the dataset is empty, the resolution is unknown to the FLOP
+    /// table, or any per-sample step fails.
+    pub fn evaluate_static(
+        &self,
+        dataset: &Dataset,
+        resolution: usize,
+        use_storage_policy: bool,
+    ) -> Result<PipelineReport> {
+        if dataset.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let backbone_gflops = self
+            .backbone_gflops
+            .get(&resolution)
+            .copied()
+            .ok_or_else(|| CoreError::InvalidConfig {
+                reason: format!("resolution {resolution} is not a configured candidate"),
+            })?;
+        let mut correct = 0usize;
+        let mut read_fraction_total = 0.0;
+        let mut bytes_total = 0.0;
+        let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        *histogram.entry(resolution).or_insert(0) += dataset.len();
+
+        for sample in dataset {
+            let (quality, read_fraction, bytes) = if use_storage_policy
+                && !self.config.storage.is_read_all()
+            {
+                let original = sample.render()?;
+                let encoded = ProgressiveImage::encode(
+                    &original,
+                    self.config.encode_quality,
+                    ScanPlan::standard(),
+                )?;
+                let point = self.config.storage.scans_for(
+                    &original,
+                    &encoded,
+                    self.config.crop,
+                    resolution,
+                )?;
+                (
+                    point.ssim,
+                    point.read_fraction,
+                    encoded.cumulative_bytes(point.scans) as f64,
+                )
+            } else {
+                (1.0, 1.0, 0.0)
+            };
+            let ctx = EvalContext {
+                model: self.config.backbone,
+                dataset: self.config.dataset,
+                resolution,
+                crop: self.config.crop,
+                quality,
+            };
+            correct += usize::from(self.oracle.is_correct(sample, &ctx));
+            read_fraction_total += read_fraction;
+            bytes_total += bytes;
+        }
+        let label = if use_storage_policy {
+            format!("static-{resolution}-calibrated")
+        } else {
+            format!("static-{resolution}")
+        };
+        Ok(PipelineReport::from_parts(
+            label,
+            correct,
+            backbone_gflops * dataset.len() as f64,
+            read_fraction_total,
+            bytes_total,
+            histogram,
+            dataset.len(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale_model::{ScaleModelConfig, ScaleModelTrainer};
+    use rescnn_data::DatasetSpec;
+
+    fn build_pipeline(crop: f64, resolutions: Vec<usize>) -> DynamicResolutionPipeline {
+        let config = ScaleModelConfig {
+            resolutions: resolutions.clone(),
+            epochs: 30,
+            ..Default::default()
+        };
+        let trainer =
+            ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+        let train = DatasetSpec::cars_like().with_len(60).with_max_dimension(96).build(1);
+        let scale_model = trainer.train(&train, 3).unwrap();
+        let pipeline_config = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+            .with_crop(CropRatio::new(crop).unwrap())
+            .with_resolutions(resolutions);
+        DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(77))
+            .unwrap()
+    }
+
+    #[test]
+    fn pipeline_construction_validates_config() {
+        let config = ScaleModelConfig { resolutions: vec![112, 224], epochs: 5, ..Default::default() };
+        let trainer =
+            ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+        let train = DatasetSpec::cars_like().with_len(12).with_max_dimension(64).build(1);
+        let scale_model = trainer.train(&train, 2).unwrap();
+        let bad = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+            .with_resolutions(vec![]);
+        assert!(DynamicResolutionPipeline::new(bad, scale_model, AccuracyOracle::new(0)).is_err());
+    }
+
+    #[test]
+    fn inference_record_is_well_formed() {
+        let pipeline = build_pipeline(0.56, vec![112, 224, 336]);
+        let data = DatasetSpec::cars_like().with_len(4).with_max_dimension(96).build(50);
+        for sample in &data {
+            let record = pipeline.infer(sample).unwrap();
+            assert!(pipeline.config().resolutions.contains(&record.chosen_resolution));
+            assert!(record.scans_read >= 1 && record.scans_read <= 5);
+            assert!(record.bytes_read <= record.total_bytes);
+            assert!((0.0..=1.0).contains(&record.quality) || record.quality > 0.99);
+            assert!(record.read_fraction() <= 1.0);
+            assert!(record.total_gflops() > record.backbone_gflops);
+            assert!(record.scale_gflops < 0.2, "scale model must be cheap");
+        }
+    }
+
+    #[test]
+    fn dynamic_beats_worst_static_and_tracks_best_static() {
+        let pipeline = build_pipeline(0.56, vec![112, 224, 336]);
+        let test = DatasetSpec::cars_like().with_len(40).with_max_dimension(96).build(123);
+        let dynamic = pipeline.evaluate(&test).unwrap();
+        let statics: Vec<PipelineReport> = [112usize, 224, 336]
+            .iter()
+            .map(|&r| pipeline.evaluate_static(&test, r, false).unwrap())
+            .collect();
+        let best = statics.iter().map(|r| r.accuracy).fold(0.0, f64::max);
+        let worst = statics.iter().map(|r| r.accuracy).fold(1.0, f64::min);
+        assert!(dynamic.accuracy >= worst, "dynamic {} vs worst {}", dynamic.accuracy, worst);
+        assert!(
+            dynamic.accuracy >= best - 0.12,
+            "dynamic {} should be near the best static {}",
+            dynamic.accuracy,
+            best
+        );
+        // Average compute cost must be below always running the largest resolution.
+        assert!(dynamic.mean_gflops < statics.last().unwrap().mean_gflops);
+        assert_eq!(dynamic.num_samples, 40);
+        assert_eq!(
+            dynamic.resolution_histogram.values().sum::<usize>(),
+            40,
+            "every sample must pick a resolution"
+        );
+    }
+
+    #[test]
+    fn static_reports_have_expected_shape() {
+        let pipeline = build_pipeline(0.75, vec![112, 224, 336]);
+        let test = DatasetSpec::cars_like().with_len(25).with_max_dimension(64).build(7);
+        let low = pipeline.evaluate_static(&test, 112, false).unwrap();
+        let high = pipeline.evaluate_static(&test, 336, false).unwrap();
+        assert!(high.accuracy >= low.accuracy, "at 75% crop more resolution helps");
+        assert!(high.mean_gflops > low.mean_gflops);
+        assert_eq!(low.label, "static-112");
+        assert!((low.mean_read_fraction - 1.0).abs() < 1e-12);
+        assert!(pipeline.evaluate_static(&test, 999, false).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let pipeline = build_pipeline(0.75, vec![112, 224]);
+        let empty = DatasetSpec::cars_like().with_len(0).build(0);
+        assert!(matches!(pipeline.evaluate(&empty), Err(CoreError::EmptyDataset)));
+        assert!(matches!(
+            pipeline.evaluate_static(&empty, 112, false),
+            Err(CoreError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn gflops_accounting_matches_architectures() {
+        let pipeline = build_pipeline(0.75, vec![112, 224]);
+        let r18 = ModelKind::ResNet18.arch(DatasetKind::CarsLike.num_classes());
+        assert!(
+            (pipeline.backbone_gflops(224).unwrap() - r18.gflops(224).unwrap()).abs() < 1e-9
+        );
+        assert!(pipeline.backbone_gflops(999).is_none());
+        let mb2 = ModelKind::MobileNetV2.arch(DatasetKind::CarsLike.num_classes());
+        assert!((pipeline.scale_model_gflops() - mb2.gflops(112).unwrap()).abs() < 1e-9);
+    }
+}

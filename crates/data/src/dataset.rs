@@ -1,0 +1,398 @@
+//! Dataset kinds, generation, and cross-validation sharding.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use rescnn_imaging::SceneSpec;
+
+use crate::sample::Sample;
+
+/// The two dataset families the paper evaluates on, reproduced as synthetic equivalents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// ImageNet-like: 1000 broad classes, moderate image sizes, wide object-scale spread,
+    /// classes that hinge on fine-grained texture (high detail requirements).
+    ImageNetLike,
+    /// Stanford-Cars-like: 196 fine-grained classes, larger images, objects that fill more
+    /// of the frame, and classes dominated by overall shape (lower detail requirements —
+    /// the reason the paper finds Cars tolerates far more aggressive data reduction).
+    CarsLike,
+}
+
+impl DatasetKind {
+    /// Both dataset kinds.
+    pub const ALL: [DatasetKind; 2] = [DatasetKind::ImageNetLike, DatasetKind::CarsLike];
+
+    /// Human-readable name used in figures and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::ImageNetLike => "ImageNet",
+            DatasetKind::CarsLike => "Cars",
+        }
+    }
+
+    /// Number of classes (1000 for ImageNet, 196 for Stanford Cars).
+    pub fn num_classes(&self) -> usize {
+        match self {
+            DatasetKind::ImageNetLike => 1000,
+            DatasetKind::CarsLike => 196,
+        }
+    }
+
+    /// Mean training-image dimensions reported by the paper (§V): 472×405 for ImageNet,
+    /// 699×482 for Cars.
+    pub fn mean_dimensions(&self) -> (usize, usize) {
+        match self {
+            DatasetKind::ImageNetLike => (472, 405),
+            DatasetKind::CarsLike => (699, 482),
+        }
+    }
+
+    /// Log-normal-ish parameters of the object-scale distribution (mean, spread of the
+    /// natural-log scale).
+    fn object_scale_distribution(&self) -> (f64, f64) {
+        match self {
+            // ImageNet objects vary widely in apparent size.
+            DatasetKind::ImageNetLike => (0.50, 0.38),
+            // Photographed cars tend to fill a larger, more consistent share of the frame.
+            DatasetKind::CarsLike => (0.55, 0.24),
+        }
+    }
+
+    /// Range of the texture-detail requirement.
+    fn detail_range(&self) -> (f64, f64) {
+        match self {
+            // Fine-grained textures matter for many ImageNet classes.
+            DatasetKind::ImageNetLike => (0.35, 0.95),
+            // Car identity is mostly carried by shape; less high-frequency detail needed.
+            DatasetKind::CarsLike => (0.15, 0.60),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builder for synthetic datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    kind: DatasetKind,
+    len: usize,
+    max_dimension: usize,
+    num_classes: Option<usize>,
+}
+
+impl DatasetSpec {
+    /// Starts a spec for an ImageNet-like dataset (default length 256).
+    pub fn imagenet_like() -> Self {
+        DatasetSpec {
+            kind: DatasetKind::ImageNetLike,
+            len: 256,
+            max_dimension: 0,
+            num_classes: None,
+        }
+    }
+
+    /// Starts a spec for a Cars-like dataset (default length 256).
+    pub fn cars_like() -> Self {
+        DatasetSpec { kind: DatasetKind::CarsLike, len: 256, max_dimension: 0, num_classes: None }
+    }
+
+    /// Starts a spec for an explicit kind.
+    pub fn for_kind(kind: DatasetKind) -> Self {
+        DatasetSpec { kind, len: 256, max_dimension: 0, num_classes: None }
+    }
+
+    /// Sets the number of samples.
+    pub fn with_len(mut self, len: usize) -> Self {
+        self.len = len;
+        self
+    }
+
+    /// Caps image dimensions (useful to keep tests fast); 0 means the dataset's natural
+    /// size distribution.
+    pub fn with_max_dimension(mut self, max_dimension: usize) -> Self {
+        self.max_dimension = max_dimension;
+        self
+    }
+
+    /// Overrides the number of classes (defaults to the dataset kind's real class count).
+    pub fn with_num_classes(mut self, num_classes: usize) -> Self {
+        self.num_classes = Some(num_classes.max(2));
+        self
+    }
+
+    /// Generates the dataset deterministically from a seed.
+    pub fn build(self, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A_5E7);
+        let num_classes = self.num_classes.unwrap_or_else(|| self.kind.num_classes());
+        let (mean_w, mean_h) = self.kind.mean_dimensions();
+        let (scale_mean, scale_spread) = self.kind.object_scale_distribution();
+        let (detail_lo, detail_hi) = self.kind.detail_range();
+
+        let mut samples = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            let id = seed.wrapping_mul(1_000_003).wrapping_add(i as u64);
+            let class = rng.gen_range(0..num_classes);
+            // Dimension jitter around the dataset means (±30 %).
+            let jitter_w = rng.gen_range(0.7..1.3);
+            let jitter_h = rng.gen_range(0.7..1.3);
+            let mut width = ((mean_w as f64 * jitter_w) as usize).max(64);
+            let mut height = ((mean_h as f64 * jitter_h) as usize).max(64);
+            if self.max_dimension > 0 {
+                let cap = self.max_dimension as f64;
+                let scale = (cap / width.max(height) as f64).min(1.0);
+                width = ((width as f64 * scale) as usize).max(32);
+                height = ((height as f64 * scale) as usize).max(32);
+            }
+            // Log-normal object scale, clamped to the renderable range.
+            let z: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+            let object_scale =
+                (scale_mean * (z * scale_spread).exp()).clamp(0.08, 0.95);
+            let detail = rng.gen_range(detail_lo..detail_hi);
+            let background = rng.gen_range(0.15..0.6);
+            // Objects are photographed roughly centred, with some offset.
+            let cx = 0.5 + rng.gen_range(-0.12..0.12);
+            let cy = 0.5 + rng.gen_range(-0.12..0.12);
+            let scene = SceneSpec::new(width, height, class)
+                .with_object_scale(object_scale)
+                .with_detail(detail)
+                .with_background(background)
+                .with_center(cx, cy)
+                .with_seed(id);
+            let difficulty = rng.gen_range(0.0..1.0);
+            samples.push(Sample { id, class, scene, difficulty });
+        }
+        Dataset { kind: self.kind, num_classes, samples }
+    }
+}
+
+/// A generated dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    kind: DatasetKind,
+    num_classes: usize,
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// The dataset family.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// The samples as a slice.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Splits the dataset into `n` disjoint shards of (nearly) equal size, as used by the
+    /// paper's cross-validation training of the scale model (Figure 5).
+    ///
+    /// Shard `i` contains the samples whose index is congruent to `i` modulo `n`.
+    pub fn shards(&self, n: usize) -> Vec<Dataset> {
+        let n = n.max(1);
+        let mut shards: Vec<Vec<Sample>> = vec![Vec::new(); n];
+        for (i, sample) in self.samples.iter().enumerate() {
+            shards[i % n].push(sample.clone());
+        }
+        shards
+            .into_iter()
+            .map(|samples| Dataset { kind: self.kind, num_classes: self.num_classes, samples })
+            .collect()
+    }
+
+    /// Produces the cross-validation splits of Figure 5: for each of the `n` shards, a
+    /// training set of the other `n − 1` shards and the held-out shard itself.
+    pub fn cross_validation(&self, n: usize) -> Vec<ShardSplit> {
+        let shards = self.shards(n);
+        (0..shards.len())
+            .map(|held_out| {
+                let mut train = Vec::new();
+                for (i, shard) in shards.iter().enumerate() {
+                    if i != held_out {
+                        train.extend(shard.samples.iter().cloned());
+                    }
+                }
+                ShardSplit {
+                    held_out_index: held_out,
+                    train: Dataset {
+                        kind: self.kind,
+                        num_classes: self.num_classes,
+                        samples: train,
+                    },
+                    held_out: shards[held_out].clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Deterministically selects a subset of at most `n` samples (used for calibration,
+    /// which the paper limits to 10 000 images per split).
+    pub fn take(&self, n: usize) -> Dataset {
+        Dataset {
+            kind: self.kind,
+            num_classes: self.num_classes,
+            samples: self.samples.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Dataset {
+    type Output = Sample;
+
+    fn index(&self, index: usize) -> &Sample {
+        &self.samples[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+/// One cross-validation split: the training shards and the held-out shard (Figure 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSplit {
+    /// Index of the held-out shard.
+    pub held_out_index: usize,
+    /// Union of the other shards (used to train a backbone).
+    pub train: Dataset,
+    /// The held-out shard (used to train the scale model against that backbone).
+    pub held_out: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_kind_metadata() {
+        assert_eq!(DatasetKind::ImageNetLike.num_classes(), 1000);
+        assert_eq!(DatasetKind::CarsLike.num_classes(), 196);
+        assert_eq!(DatasetKind::ImageNetLike.mean_dimensions(), (472, 405));
+        assert_eq!(DatasetKind::CarsLike.to_string(), "Cars");
+        assert_eq!(DatasetKind::ALL.len(), 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetSpec::imagenet_like().with_len(20).build(5);
+        let b = DatasetSpec::imagenet_like().with_len(20).build(5);
+        let c = DatasetSpec::imagenet_like().with_len(20).build(6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 20);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn cars_images_are_larger_and_less_detailed() {
+        let imagenet = DatasetSpec::imagenet_like().with_len(64).build(1);
+        let cars = DatasetSpec::cars_like().with_len(64).build(1);
+        let mean = |d: &Dataset, f: &dyn Fn(&Sample) -> f64| {
+            d.iter().map(f).sum::<f64>() / d.len() as f64
+        };
+        let area = |s: &Sample| (s.scene.width * s.scene.height) as f64;
+        assert!(mean(&cars, &area) > mean(&imagenet, &area));
+        assert!(mean(&cars, &|s| s.detail_level()) < mean(&imagenet, &|s| s.detail_level()));
+        assert!(mean(&cars, &|s| s.object_scale()) > mean(&imagenet, &|s| s.object_scale()) - 0.05);
+    }
+
+    #[test]
+    fn class_labels_within_range() {
+        let d = DatasetSpec::cars_like().with_len(100).with_num_classes(12).build(2);
+        assert_eq!(d.num_classes(), 12);
+        assert!(d.iter().all(|s| s.class < 12));
+        // Sample ids are unique.
+        let mut ids: Vec<_> = d.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), d.len());
+    }
+
+    #[test]
+    fn max_dimension_caps_sizes() {
+        let d = DatasetSpec::imagenet_like().with_len(16).with_max_dimension(128).build(9);
+        for s in &d {
+            assert!(s.scene.width <= 128 && s.scene.height <= 128);
+            assert!(s.scene.width >= 32 && s.scene.height >= 32);
+        }
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_cover() {
+        let d = DatasetSpec::imagenet_like().with_len(23).build(4);
+        let shards = d.shards(4);
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        assert_eq!(total, 23);
+        let mut all_ids: Vec<_> = shards.iter().flat_map(|s| s.iter().map(|x| x.id)).collect();
+        all_ids.sort_unstable();
+        all_ids.dedup();
+        assert_eq!(all_ids.len(), 23);
+        // Sizes differ by at most 1.
+        let sizes: Vec<_> = shards.iter().map(Dataset::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn cross_validation_structure() {
+        let d = DatasetSpec::cars_like().with_len(40).build(7);
+        let splits = d.cross_validation(4);
+        assert_eq!(splits.len(), 4);
+        for (i, split) in splits.iter().enumerate() {
+            assert_eq!(split.held_out_index, i);
+            assert_eq!(split.train.len() + split.held_out.len(), 40);
+            // Held-out samples never appear in the corresponding training set.
+            for sample in &split.held_out {
+                assert!(split.train.iter().all(|s| s.id != sample.id));
+            }
+        }
+    }
+
+    #[test]
+    fn take_limits_size() {
+        let d = DatasetSpec::imagenet_like().with_len(10).build(0);
+        assert_eq!(d.take(3).len(), 3);
+        assert_eq!(d.take(100).len(), 10);
+        assert_eq!(d[2].id, d.take(3)[2].id);
+    }
+
+    #[test]
+    fn degenerate_shard_counts() {
+        let d = DatasetSpec::imagenet_like().with_len(5).build(0);
+        assert_eq!(d.shards(0).len(), 1);
+        assert_eq!(d.shards(1)[0].len(), 5);
+        let many = d.shards(10);
+        assert_eq!(many.iter().map(Dataset::len).sum::<usize>(), 5);
+    }
+}

@@ -1,0 +1,105 @@
+//! Individual dataset samples.
+
+use serde::{Deserialize, Serialize};
+
+use rescnn_imaging::{render_scene, Image, ImagingError, SceneSpec};
+use rescnn_projpeg::{CodecError, ProgressiveImage, ScanPlan};
+
+/// Stable identifier of a sample within a dataset (also used to seed all per-sample
+/// deterministic draws downstream, e.g. the accuracy oracle).
+pub type SampleId = u64;
+
+/// One synthetic dataset sample: ground-truth metadata plus a deterministic recipe for its
+/// pixels.
+///
+/// # Examples
+/// ```
+/// use rescnn_data::DatasetSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dataset = DatasetSpec::imagenet_like().with_len(4).build(7);
+/// let sample = &dataset[0];
+/// let image = sample.render()?;
+/// assert_eq!(image.dimensions(), sample.dimensions());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Stable identifier (unique within the dataset).
+    pub id: SampleId,
+    /// Ground-truth class label.
+    pub class: usize,
+    /// Scene recipe (dimensions, object scale, detail level, seed).
+    pub scene: SceneSpec,
+    /// Per-sample intrinsic difficulty in `[0, 1]` (1 = hardest); models photographic
+    /// factors (occlusion, lighting) that the renderer does not capture.
+    pub difficulty: f64,
+}
+
+impl Sample {
+    /// Image dimensions `(width, height)` of the stored image.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.scene.width, self.scene.height)
+    }
+
+    /// Ground-truth object scale: object diameter as a fraction of the image's short side.
+    pub fn object_scale(&self) -> f64 {
+        self.scene.object_scale
+    }
+
+    /// Ground-truth texture-detail level in `[0, 1]`.
+    pub fn detail_level(&self) -> f64 {
+        self.scene.detail_level
+    }
+
+    /// Renders the sample's pixels.
+    ///
+    /// # Errors
+    /// Returns an error if the scene recipe is invalid (cannot happen for samples built by
+    /// [`crate::DatasetSpec`]).
+    pub fn render(&self) -> Result<Image, ImagingError> {
+        render_scene(&self.scene)
+    }
+
+    /// Renders and progressively encodes the sample at the given quality with the standard
+    /// five-scan plan — the on-disk representation assumed by the storage experiments.
+    ///
+    /// # Errors
+    /// Returns an error if rendering or encoding fails.
+    pub fn encode_progressive(&self, quality: u8) -> Result<ProgressiveImage, CodecError> {
+        let image = self.render().map_err(CodecError::from)?;
+        ProgressiveImage::encode(&image, quality, ScanPlan::standard())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+
+    #[test]
+    fn sample_accessors_and_render() {
+        let dataset = DatasetSpec::cars_like().with_len(3).build(11);
+        let sample = &dataset[1];
+        let (w, h) = sample.dimensions();
+        assert!(w > 0 && h > 0);
+        assert!(sample.object_scale() > 0.0 && sample.object_scale() <= 1.0);
+        assert!((0.0..=1.0).contains(&sample.detail_level()));
+        assert!((0.0..=1.0).contains(&sample.difficulty));
+        let img = sample.render().unwrap();
+        assert_eq!(img.dimensions(), (w, h));
+        // Rendering is deterministic.
+        assert_eq!(sample.render().unwrap(), img);
+    }
+
+    #[test]
+    fn progressive_encoding_round_trip() {
+        let dataset = DatasetSpec::imagenet_like().with_len(1).with_max_dimension(96).build(3);
+        let encoded = dataset[0].encode_progressive(80).unwrap();
+        assert_eq!(encoded.num_scans(), 5);
+        assert!(encoded.total_bytes() > 0);
+        let decoded = encoded.decode(5).unwrap();
+        assert_eq!(decoded.dimensions(), dataset[0].dimensions());
+    }
+}

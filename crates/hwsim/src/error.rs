@@ -1,0 +1,47 @@
+//! Error types for the hardware simulation crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building kernel plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwError {
+    /// The underlying model/architecture walk failed.
+    Model(String),
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Explanation of the defect.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::Model(msg) => write!(f, "model error: {msg}"),
+            HwError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for HwError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HwError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(HwError::Model("bad".into()).to_string().contains("bad"));
+        assert!(HwError::InvalidConfig { reason: "trials".into() }.to_string().contains("trials"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HwError>();
+    }
+}

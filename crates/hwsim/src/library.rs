@@ -1,0 +1,225 @@
+//! The "library implementation" baseline (MKLDNN-like).
+//!
+//! The paper compares its autotuned kernels against Intel MKLDNN as exposed through
+//! PyTorch: a hand-optimized library whose schedules are excellent for the shapes it was
+//! engineered around (224-class ImageNet models) but generic elsewhere. We model that as:
+//!
+//! 1. per layer, the library uses the schedule that is optimal *for the corresponding
+//!    layer at the anchor resolution* (224 by default), not for the actual shape;
+//! 2. a constant *generality tax* on achieved utilization, reflecting that a pre-compiled
+//!    generic kernel cannot exploit shape-specific unrolling/layout tricks a
+//!    shape-specialized generated kernel can; and
+//! 3. an extra penalty when the actual spatial extent is *smaller* than the anchor (tiles
+//!    overshoot, vector tails dominate) — shrinking shapes hurt a fixed implementation far
+//!    more than growing ones, which simply iterate more.
+
+use serde::{Deserialize, Serialize};
+
+use rescnn_models::{ArchSpec, ConvLayerShape};
+
+use crate::autotune::{AutoTuner, KernelPlan, TunedKernel, TunerConfig};
+use crate::cost::{CostModel, KernelEstimate};
+use crate::error::{HwError, Result};
+use crate::profile::CpuProfile;
+
+/// Configuration of the library baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LibraryConfig {
+    /// The resolution whose layer shapes the library's schedules are optimized for.
+    pub anchor_resolution: usize,
+    /// Fraction of a shape-specialized kernel's utilization a generic library kernel
+    /// achieves on its home shapes.
+    pub generality_tax: f64,
+    /// Exponent of the shrink penalty applied when the actual spatial extent is smaller
+    /// than the anchor extent.
+    pub shrink_exponent: f64,
+}
+
+impl Default for LibraryConfig {
+    fn default() -> Self {
+        LibraryConfig { anchor_resolution: 224, generality_tax: 0.62, shrink_exponent: 0.7 }
+    }
+}
+
+/// The MKLDNN-like library kernel provider.
+#[derive(Debug, Clone)]
+pub struct LibraryKernels {
+    config: LibraryConfig,
+    cost: CostModel,
+    tuner: AutoTuner,
+}
+
+impl Default for LibraryKernels {
+    fn default() -> Self {
+        Self::mkldnn_like()
+    }
+}
+
+impl LibraryKernels {
+    /// Creates a library baseline with the default (MKLDNN-like) configuration.
+    pub fn mkldnn_like() -> Self {
+        Self::with_config(LibraryConfig::default())
+    }
+
+    /// Creates a library baseline with an explicit configuration.
+    pub fn with_config(config: LibraryConfig) -> Self {
+        LibraryKernels {
+            config,
+            cost: CostModel::new(),
+            tuner: AutoTuner::new(TunerConfig { trials: 128, refine_rounds: 4, seed: 7 }),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> LibraryConfig {
+        self.config
+    }
+
+    /// Adjusts a shape-specialized estimate into the library's (worse) estimate for the
+    /// actual layer.
+    fn adjust(
+        &self,
+        actual: &ConvLayerShape,
+        anchor: &ConvLayerShape,
+        base: KernelEstimate,
+        profile: &CpuProfile,
+    ) -> KernelEstimate {
+        let actual_out = actual.params.output_shape(actual.input).unwrap_or(actual.input);
+        let anchor_out = anchor.params.output_shape(anchor.input).unwrap_or(anchor.input);
+        let shrink = if actual_out.w < anchor_out.w {
+            (actual_out.w as f64 / anchor_out.w as f64).powf(self.config.shrink_exponent)
+        } else {
+            1.0
+        };
+        let slowdown =
+            1.0 / (self.config.generality_tax * profile.library_affinity * shrink).max(1e-3);
+        let busy = base.seconds - base.overhead_seconds;
+        let seconds = busy * slowdown + base.overhead_seconds;
+        let utilization =
+            (base.macs as f64 / seconds / profile.attainable_macs_per_s()).clamp(0.0, 1.0);
+        KernelEstimate {
+            seconds,
+            compute_seconds: base.compute_seconds * slowdown,
+            memory_seconds: base.memory_seconds,
+            overhead_seconds: base.overhead_seconds,
+            utilization,
+            ..base
+        }
+    }
+
+    /// Builds the library's kernel plan for an architecture at a resolution.
+    ///
+    /// # Errors
+    /// Returns an error if the architecture cannot be instantiated at the requested or the
+    /// anchor resolution.
+    pub fn plan(
+        &self,
+        arch: &ArchSpec,
+        resolution: usize,
+        profile: &CpuProfile,
+    ) -> Result<KernelPlan> {
+        let actual_layers = arch
+            .conv_layers(resolution)
+            .map_err(|e| HwError::Model(e.to_string()))?;
+        let anchor_layers = arch
+            .conv_layers(self.config.anchor_resolution)
+            .map_err(|e| HwError::Model(e.to_string()))?;
+        if actual_layers.len() != anchor_layers.len() {
+            return Err(HwError::Model(format!(
+                "layer count mismatch between resolution {} and anchor {}",
+                resolution, self.config.anchor_resolution
+            )));
+        }
+        let mut kernels = Vec::with_capacity(actual_layers.len());
+        for (actual, anchor) in actual_layers.iter().zip(&anchor_layers) {
+            // The library's schedule: optimal for the anchor shape.
+            let anchor_kernel = self.tuner.tune_layer(anchor, profile);
+            let schedule = anchor_kernel.schedule.clamped_to(actual);
+            let base = self.cost.estimate(actual, schedule, profile);
+            let estimate = self.adjust(actual, anchor, base, profile);
+            kernels.push(TunedKernel { layer: *actual, schedule, estimate });
+        }
+        Ok(KernelPlan {
+            model: arch.kind,
+            resolution,
+            cpu: profile.name.clone(),
+            tuned: false,
+            kernels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescnn_models::ModelKind;
+
+    #[test]
+    fn library_is_slower_than_tuned_everywhere() {
+        let profile = CpuProfile::intel_4790k();
+        let arch = ModelKind::ResNet50.arch(1000);
+        let tuner = AutoTuner::new(TunerConfig::default());
+        let library = LibraryKernels::mkldnn_like();
+        for res in [112usize, 224, 448] {
+            let tuned = tuner.tune_network(&arch, res, &profile).unwrap();
+            let lib = library.plan(&arch, res, &profile).unwrap();
+            assert!(
+                lib.latency_ms() > tuned.latency_ms(),
+                "library must be slower at {res}: {} vs {}",
+                lib.latency_ms(),
+                tuned.latency_ms()
+            );
+            assert!(!lib.tuned);
+            assert_eq!(lib.kernels.len(), tuned.kernels.len());
+        }
+    }
+
+    #[test]
+    fn library_gap_is_largest_at_low_resolution() {
+        // Figure 7 / §VII-a: the tuned/library speedup is biggest for small inputs.
+        let profile = CpuProfile::intel_4790k();
+        let arch = ModelKind::ResNet50.arch(1000);
+        let tuner = AutoTuner::new(TunerConfig::default());
+        let library = LibraryKernels::mkldnn_like();
+        let ratio = |res: usize| {
+            let tuned = tuner.tune_network(&arch, res, &profile).unwrap().latency_ms();
+            let lib = library.plan(&arch, res, &profile).unwrap().latency_ms();
+            lib / tuned
+        };
+        let low = ratio(112);
+        let high = ratio(448);
+        assert!(low > high, "speedup at 112 ({low:.2}) should exceed speedup at 448 ({high:.2})");
+        assert!(low > 1.4, "speedup at 112 too small: {low:.2}");
+        assert!(high > 1.05, "library should still lose at 448: {high:.2}");
+    }
+
+    #[test]
+    fn library_throughput_broadly_rises_with_resolution() {
+        // The trend of Figure 7: throughput grows from 112 to 448 for the library as well,
+        // though non-power-of-two feature-map sizes (280, 336) cause local dips.
+        let profile = CpuProfile::amd_2990wx();
+        let arch = ModelKind::ResNet18.arch(1000);
+        let library = LibraryKernels::mkldnn_like();
+        let tput = |res: usize| library.plan(&arch, res, &profile).unwrap().throughput_gmacs();
+        let at_112 = tput(112);
+        let at_224 = tput(224);
+        let at_336 = tput(336);
+        let at_448 = tput(448);
+        assert!(at_224 > at_112 * 1.5, "224 ({at_224:.0}) should beat 112 ({at_112:.0})");
+        assert!(at_448 > at_112 * 2.0, "448 ({at_448:.0}) should beat 112 ({at_112:.0})");
+        assert!(at_336 > at_112, "336 ({at_336:.0}) should beat 112 ({at_112:.0})");
+        assert!(at_336 > at_224 * 0.6, "336 dip too deep: {at_336:.0} vs {at_224:.0}");
+    }
+
+    #[test]
+    fn custom_config_round_trips() {
+        let config =
+            LibraryConfig { anchor_resolution: 168, generality_tax: 0.8, shrink_exponent: 0.5 };
+        let lib = LibraryKernels::with_config(config);
+        assert_eq!(lib.config().anchor_resolution, 168);
+        let profile = CpuProfile::intel_4790k();
+        let arch = ModelKind::ResNet18.arch(10);
+        let plan = lib.plan(&arch, 112, &profile).unwrap();
+        assert!(plan.latency_ms() > 0.0);
+    }
+}

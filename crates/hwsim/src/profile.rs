@@ -1,0 +1,170 @@
+//! CPU hardware profiles.
+//!
+//! The paper measures on an Intel i7-4790K (4 cores, AVX2) and an AMD Threadripper 2990WX
+//! (32 cores, AVX2). We model the architectural parameters that determine convolution
+//! throughput: core count, SIMD width, FMA issue rate, frequency, cache capacities, and
+//! sustained memory bandwidth. The cost model consumes these profiles; the Criterion
+//! benches additionally measure real kernels on the host CPU.
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural description of a CPU used by the kernel cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuProfile {
+    /// Marketing name ("4790K", "2990WX").
+    pub name: String,
+    /// Physical core count (the paper runs with half the hardware threads, i.e. one thread
+    /// per physical core).
+    pub cores: usize,
+    /// f32 lanes per SIMD vector (8 for AVX2).
+    pub simd_width: usize,
+    /// Fused multiply–add instructions issued per cycle per core.
+    pub fma_per_cycle: usize,
+    /// Sustained all-core frequency in GHz.
+    pub frequency_ghz: f64,
+    /// L1 data cache per core in KiB.
+    pub l1_kib: usize,
+    /// L2 cache per core in KiB.
+    pub l2_kib: usize,
+    /// Shared last-level cache in MiB.
+    pub llc_mib: usize,
+    /// Sustained memory bandwidth in GiB/s.
+    pub dram_gib_s: f64,
+    /// Fraction of theoretical peak a perfectly tuned dense kernel can sustain on this
+    /// microarchitecture (captures frontend/port limits the structural model ignores).
+    pub peak_efficiency: f64,
+    /// Per-kernel-launch overhead in microseconds (thread wake-up, cache warm-up).
+    pub launch_overhead_us: f64,
+    /// How well the vendor kernel library (MKLDNN) is tuned for this microarchitecture
+    /// (1.0 = the library's home platform). MKLDNN is an Intel library; the paper's AMD
+    /// numbers reflect its weaker showing there.
+    pub library_affinity: f64,
+}
+
+impl CpuProfile {
+    /// Intel Core i7-4790K: 4 cores / 8 threads, AVX2, 4.0–4.4 GHz.
+    pub fn intel_4790k() -> Self {
+        CpuProfile {
+            name: "4790K".to_string(),
+            cores: 4,
+            simd_width: 8,
+            fma_per_cycle: 2,
+            frequency_ghz: 4.0,
+            l1_kib: 32,
+            l2_kib: 256,
+            llc_mib: 8,
+            dram_gib_s: 22.0,
+            peak_efficiency: 0.66,
+            launch_overhead_us: 18.0,
+            library_affinity: 1.0,
+        }
+    }
+
+    /// AMD Threadripper 2990WX: 32 cores / 64 threads, AVX2 (split 256-bit), 3.0 GHz all-core.
+    ///
+    /// The 2990WX is NUMA-constrained (half its dies have no local memory), which the
+    /// paper's numbers reflect; we fold that into a lower peak efficiency and a modest
+    /// sustained bandwidth figure.
+    pub fn amd_2990wx() -> Self {
+        CpuProfile {
+            name: "2990WX".to_string(),
+            cores: 32,
+            simd_width: 8,
+            fma_per_cycle: 1,
+            frequency_ghz: 3.0,
+            l1_kib: 32,
+            l2_kib: 512,
+            llc_mib: 64,
+            dram_gib_s: 55.0,
+            peak_efficiency: 0.50,
+            launch_overhead_us: 35.0,
+            library_affinity: 0.62,
+        }
+    }
+
+    /// The two platforms evaluated in the paper, in presentation order.
+    pub fn paper_platforms() -> Vec<CpuProfile> {
+        vec![CpuProfile::intel_4790k(), CpuProfile::amd_2990wx()]
+    }
+
+    /// Theoretical peak multiply–accumulate throughput in MACs per second
+    /// (`cores × simd × fma/cycle × frequency`).
+    pub fn peak_macs_per_s(&self) -> f64 {
+        self.cores as f64 * self.simd_width as f64 * self.fma_per_cycle as f64
+            * self.frequency_ghz
+            * 1e9
+    }
+
+    /// Attainable peak (theoretical peak × microarchitectural efficiency ceiling).
+    pub fn attainable_macs_per_s(&self) -> f64 {
+        self.peak_macs_per_s() * self.peak_efficiency
+    }
+
+    /// Sustained memory bandwidth in bytes per second.
+    pub fn dram_bytes_per_s(&self) -> f64 {
+        self.dram_gib_s * 1024.0 * 1024.0 * 1024.0
+    }
+
+    /// L1 data cache size in bytes.
+    pub fn l1_bytes(&self) -> usize {
+        self.l1_kib * 1024
+    }
+
+    /// L2 cache size in bytes.
+    pub fn l2_bytes(&self) -> usize {
+        self.l2_kib * 1024
+    }
+}
+
+impl Default for CpuProfile {
+    fn default() -> Self {
+        CpuProfile::intel_4790k()
+    }
+}
+
+impl std::fmt::Display for CpuProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} cores, AVX{}x{}, {:.1} GHz)",
+            self.name,
+            self.cores,
+            self.simd_width * 32,
+            self.fma_per_cycle,
+            self.frequency_ghz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_throughput_magnitudes() {
+        let intel = CpuProfile::intel_4790k();
+        // 4 × 8 × 2 × 4.0 GHz = 256 GMAC/s.
+        assert!((intel.peak_macs_per_s() / 1e9 - 256.0).abs() < 1.0);
+        let amd = CpuProfile::amd_2990wx();
+        // 32 × 8 × 1 × 3.0 GHz = 768 GMAC/s.
+        assert!((amd.peak_macs_per_s() / 1e9 - 768.0).abs() < 1.0);
+        // The 32-core part has higher attainable peak than the 4-core part.
+        assert!(amd.attainable_macs_per_s() > intel.attainable_macs_per_s());
+    }
+
+    #[test]
+    fn cache_and_bandwidth_accessors() {
+        let p = CpuProfile::intel_4790k();
+        assert_eq!(p.l1_bytes(), 32 * 1024);
+        assert_eq!(p.l2_bytes(), 256 * 1024);
+        assert!(p.dram_bytes_per_s() > 2e10);
+    }
+
+    #[test]
+    fn display_and_default() {
+        let p = CpuProfile::default();
+        assert_eq!(p.name, "4790K");
+        assert!(p.to_string().contains("4 cores"));
+        assert_eq!(CpuProfile::paper_platforms().len(), 2);
+    }
+}

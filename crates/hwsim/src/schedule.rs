@@ -1,0 +1,248 @@
+//! Convolution schedule (implementation) descriptions and the search space over them.
+//!
+//! A *schedule* captures the implementation decisions an optimized convolution kernel
+//! makes: loop tiling along output channels/rows/columns, input-channel blocking, and the
+//! thread count. Library implementations ship a fixed set of schedules; the autotuner
+//! searches this space per layer and per resolution (§VI of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use rescnn_models::ConvLayerShape;
+
+use crate::profile::CpuProfile;
+
+/// One concrete convolution implementation choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSchedule {
+    /// Output-channel tile (register/cache blocking along OC).
+    pub tile_oc: usize,
+    /// Output-row tile.
+    pub tile_oh: usize,
+    /// Output-column tile (the vectorized dimension).
+    pub tile_ow: usize,
+    /// Input-channel blocking.
+    pub tile_ic: usize,
+    /// Number of worker threads.
+    pub threads: usize,
+}
+
+impl ConvSchedule {
+    /// A conservative default schedule (what a naive implementation would do).
+    pub fn naive(profile: &CpuProfile) -> Self {
+        ConvSchedule { tile_oc: 8, tile_oh: 1, tile_ow: profile.simd_width, tile_ic: 32, threads: profile.cores }
+    }
+
+    /// Clamps the schedule to the layer's actual extents (a tile can never usefully exceed
+    /// the loop bound it tiles).
+    pub fn clamped_to(&self, layer: &ConvLayerShape) -> Self {
+        let out = layer
+            .params
+            .output_shape(layer.input)
+            .unwrap_or(layer.input);
+        ConvSchedule {
+            tile_oc: self.tile_oc.min(layer.params.out_channels).max(1),
+            tile_oh: self.tile_oh.min(out.h).max(1),
+            tile_ow: self.tile_ow.min(out.w).max(1),
+            tile_ic: self.tile_ic.min(layer.params.in_channels).max(1),
+            threads: self.threads.max(1),
+        }
+    }
+}
+
+/// The discrete schedule search space for one layer on one CPU.
+#[derive(Debug, Clone)]
+pub struct ScheduleSpace {
+    candidates_oc: Vec<usize>,
+    candidates_oh: Vec<usize>,
+    candidates_ow: Vec<usize>,
+    candidates_ic: Vec<usize>,
+    threads: usize,
+}
+
+impl ScheduleSpace {
+    /// Builds the candidate space for a layer on a CPU.
+    ///
+    /// Candidate tile extents are powers of two (and the full extent) capped by the layer's
+    /// dimensions, mirroring the axis-split candidates used by tensor-program autotuners.
+    pub fn for_layer(layer: &ConvLayerShape, profile: &CpuProfile) -> Self {
+        let out = layer
+            .params
+            .output_shape(layer.input)
+            .unwrap_or(layer.input);
+        let pow2_up_to = |limit: usize| -> Vec<usize> {
+            let mut v = vec![1usize, 2, 4, 8, 16, 32, 64, 128];
+            v.retain(|&x| x <= limit.max(1));
+            if !v.contains(&limit) && limit > 0 {
+                v.push(limit);
+            }
+            v
+        };
+        let simd = profile.simd_width;
+        let mut ow: Vec<usize> = vec![simd, 2 * simd, 4 * simd, 8 * simd];
+        ow.retain(|&x| x <= out.w.max(1));
+        if ow.is_empty() || !ow.contains(&out.w) {
+            ow.push(out.w.max(1));
+        }
+        ScheduleSpace {
+            candidates_oc: pow2_up_to(layer.params.out_channels),
+            candidates_oh: pow2_up_to(out.h),
+            candidates_ow: ow,
+            candidates_ic: pow2_up_to(layer.params.in_channels),
+            threads: profile.cores,
+        }
+    }
+
+    /// Number of distinct schedules in the space.
+    pub fn len(&self) -> usize {
+        self.candidates_oc.len()
+            * self.candidates_oh.len()
+            * self.candidates_ow.len()
+            * self.candidates_ic.len()
+    }
+
+    /// Whether the space is empty (never true for valid layers).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the `index`-th schedule (row-major over the candidate lists).
+    ///
+    /// # Panics
+    /// Panics if `index >= self.len()`.
+    pub fn schedule(&self, index: usize) -> ConvSchedule {
+        assert!(index < self.len(), "schedule index out of range");
+        let n_ic = self.candidates_ic.len();
+        let n_ow = self.candidates_ow.len();
+        let n_oh = self.candidates_oh.len();
+        let ic = index % n_ic;
+        let ow = (index / n_ic) % n_ow;
+        let oh = (index / (n_ic * n_ow)) % n_oh;
+        let oc = index / (n_ic * n_ow * n_oh);
+        ConvSchedule {
+            tile_oc: self.candidates_oc[oc],
+            tile_oh: self.candidates_oh[oh],
+            tile_ow: self.candidates_ow[ow],
+            tile_ic: self.candidates_ic[ic],
+            threads: self.threads,
+        }
+    }
+
+    /// Iterates over every schedule in the space.
+    pub fn iter(&self) -> impl Iterator<Item = ConvSchedule> + '_ {
+        (0..self.len()).map(|i| self.schedule(i))
+    }
+
+    /// Returns the neighbours of a schedule: all schedules that differ in exactly one
+    /// tiling dimension by one candidate step. Used by the greedy refinement phase of the
+    /// autotuner.
+    pub fn neighbours(&self, schedule: ConvSchedule) -> Vec<ConvSchedule> {
+        let mut out = Vec::new();
+        let push_variants = |values: &[usize], current: usize, out: &mut Vec<usize>| {
+            if let Some(pos) = values.iter().position(|&v| v == current) {
+                if pos > 0 {
+                    out.push(values[pos - 1]);
+                }
+                if pos + 1 < values.len() {
+                    out.push(values[pos + 1]);
+                }
+            } else if let Some(&first) = values.first() {
+                out.push(first);
+            }
+        };
+        let mut oc_vars = Vec::new();
+        push_variants(&self.candidates_oc, schedule.tile_oc, &mut oc_vars);
+        for v in oc_vars {
+            out.push(ConvSchedule { tile_oc: v, ..schedule });
+        }
+        let mut oh_vars = Vec::new();
+        push_variants(&self.candidates_oh, schedule.tile_oh, &mut oh_vars);
+        for v in oh_vars {
+            out.push(ConvSchedule { tile_oh: v, ..schedule });
+        }
+        let mut ow_vars = Vec::new();
+        push_variants(&self.candidates_ow, schedule.tile_ow, &mut ow_vars);
+        for v in ow_vars {
+            out.push(ConvSchedule { tile_ow: v, ..schedule });
+        }
+        let mut ic_vars = Vec::new();
+        push_variants(&self.candidates_ic, schedule.tile_ic, &mut ic_vars);
+        for v in ic_vars {
+            out.push(ConvSchedule { tile_ic: v, ..schedule });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescnn_models::ModelKind;
+
+    fn sample_layer(resolution: usize) -> ConvLayerShape {
+        ModelKind::ResNet18.arch(10).conv_layers(resolution).unwrap()[5]
+    }
+
+    #[test]
+    fn space_enumerates_unique_schedules() {
+        let layer = sample_layer(224);
+        let profile = CpuProfile::intel_4790k();
+        let space = ScheduleSpace::for_layer(&layer, &profile);
+        assert!(!space.is_empty());
+        assert!(space.len() > 50, "space too small: {}", space.len());
+        let all: Vec<ConvSchedule> = space.iter().collect();
+        assert_eq!(all.len(), space.len());
+        let mut dedup = all.clone();
+        dedup.sort_by_key(|s| (s.tile_oc, s.tile_oh, s.tile_ow, s.tile_ic));
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "duplicate schedules in space");
+    }
+
+    #[test]
+    fn schedules_respect_layer_bounds() {
+        let layer = sample_layer(112);
+        let out = layer.params.output_shape(layer.input).unwrap();
+        let profile = CpuProfile::amd_2990wx();
+        let space = ScheduleSpace::for_layer(&layer, &profile);
+        for s in space.iter() {
+            let c = s.clamped_to(&layer);
+            assert!(c.tile_oc <= layer.params.out_channels);
+            assert!(c.tile_oh <= out.h);
+            assert!(c.tile_ow <= out.w);
+            assert!(c.tile_ic <= layer.params.in_channels);
+            assert_eq!(c.threads, profile.cores);
+        }
+    }
+
+    #[test]
+    fn neighbours_differ_in_one_dimension() {
+        let layer = sample_layer(224);
+        let profile = CpuProfile::intel_4790k();
+        let space = ScheduleSpace::for_layer(&layer, &profile);
+        let s = space.schedule(space.len() / 2);
+        let neighbours = space.neighbours(s);
+        assert!(!neighbours.is_empty());
+        for n in neighbours {
+            let diffs = usize::from(n.tile_oc != s.tile_oc)
+                + usize::from(n.tile_oh != s.tile_oh)
+                + usize::from(n.tile_ow != s.tile_ow)
+                + usize::from(n.tile_ic != s.tile_ic);
+            assert_eq!(diffs, 1, "{n:?} vs {s:?}");
+        }
+    }
+
+    #[test]
+    fn naive_schedule_is_valid() {
+        let profile = CpuProfile::intel_4790k();
+        let s = ConvSchedule::naive(&profile);
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.tile_ow, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let layer = sample_layer(112);
+        let space = ScheduleSpace::for_layer(&layer, &CpuProfile::intel_4790k());
+        let _ = space.schedule(space.len());
+    }
+}

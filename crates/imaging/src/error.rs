@@ -1,0 +1,110 @@
+//! Error types for image construction and processing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by image construction, cropping, resizing, or quality-metric evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImagingError {
+    /// The pixel buffer length does not match `width * height * channels`.
+    BufferMismatch {
+        /// Required number of samples.
+        expected: usize,
+        /// Provided number of samples.
+        actual: usize,
+    },
+    /// An image dimension was zero.
+    EmptyImage,
+    /// A crop region falls outside the image or has zero extent.
+    InvalidCrop {
+        /// Image width.
+        width: usize,
+        /// Image height.
+        height: usize,
+        /// Requested crop width.
+        crop_width: usize,
+        /// Requested crop height.
+        crop_height: usize,
+    },
+    /// A resize target dimension was zero.
+    InvalidResize {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// Two images that must share dimensions do not.
+    DimensionMismatch {
+        /// Dimensions of the first image (width, height).
+        first: (usize, usize),
+        /// Dimensions of the second image (width, height).
+        second: (usize, usize),
+    },
+    /// A fraction parameter (crop ratio, quality, …) was outside `(0, 1]`.
+    InvalidFraction {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Provided value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ImagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImagingError::BufferMismatch { expected, actual } => {
+                write!(f, "pixel buffer length {actual} does not match expected {expected}")
+            }
+            ImagingError::EmptyImage => write!(f, "image dimensions must be non-zero"),
+            ImagingError::InvalidCrop { width, height, crop_width, crop_height } => write!(
+                f,
+                "crop {crop_width}x{crop_height} does not fit in image {width}x{height}"
+            ),
+            ImagingError::InvalidResize { width, height } => {
+                write!(f, "resize target {width}x{height} must be non-zero")
+            }
+            ImagingError::DimensionMismatch { first, second } => write!(
+                f,
+                "image dimensions differ: {}x{} vs {}x{}",
+                first.0, first.1, second.0, second.1
+            ),
+            ImagingError::InvalidFraction { name, value } => {
+                write!(f, "parameter `{name}` must lie in (0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl Error for ImagingError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ImagingError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ImagingError::EmptyImage.to_string().contains("non-zero"));
+        assert!(ImagingError::BufferMismatch { expected: 3, actual: 4 }
+            .to_string()
+            .contains('3'));
+        assert!(ImagingError::InvalidCrop { width: 4, height: 4, crop_width: 8, crop_height: 8 }
+            .to_string()
+            .contains("8x8"));
+        assert!(ImagingError::InvalidResize { width: 0, height: 3 }.to_string().contains("0x3"));
+        assert!(ImagingError::DimensionMismatch { first: (1, 2), second: (3, 4) }
+            .to_string()
+            .contains("3x4"));
+        assert!(ImagingError::InvalidFraction { name: "crop", value: 1.5 }
+            .to_string()
+            .contains("crop"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImagingError>();
+    }
+}

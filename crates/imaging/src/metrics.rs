@@ -1,0 +1,301 @@
+//! Image quality metrics: PSNR and SSIM.
+//!
+//! The paper's storage-calibration stage (§V) uses SSIM of a degraded image against the
+//! full-quality reference (both at the target inference resolution) as a cheap proxy for
+//! "enough detail for the model", and binary-searches an SSIM threshold per resolution.
+//! PSNR is included as a comparison metric for the ablation benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ImagingError, Result};
+use crate::image::Image;
+
+/// Peak signal-to-noise ratio in decibels between two images of identical dimensions,
+/// computed over all three channels with peak value 1.0.
+///
+/// Identical images return `f64::INFINITY`.
+///
+/// # Errors
+/// Returns [`ImagingError::DimensionMismatch`] if the image dimensions differ.
+pub fn psnr(reference: &Image, distorted: &Image) -> Result<f64> {
+    if reference.dimensions() != distorted.dimensions() {
+        return Err(ImagingError::DimensionMismatch {
+            first: reference.dimensions(),
+            second: distorted.dimensions(),
+        });
+    }
+    let mse: f64 = reference
+        .as_planar()
+        .iter()
+        .zip(distorted.as_planar())
+        .map(|(&a, &b)| {
+            let d = (a - b) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / reference.as_planar().len() as f64;
+    if mse <= f64::EPSILON {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * (1.0 / mse).log10())
+}
+
+/// Configuration for the windowed SSIM computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsimConfig {
+    /// Square window extent in pixels.
+    pub window: usize,
+    /// Stride between window origins (larger strides trade accuracy for speed; the
+    /// calibration harness uses 4).
+    pub stride: usize,
+    /// Stabilisation constant `C1 = (k1 * L)^2` with `L = 1`.
+    pub k1: f64,
+    /// Stabilisation constant `C2 = (k2 * L)^2` with `L = 1`.
+    pub k2: f64,
+}
+
+impl Default for SsimConfig {
+    fn default() -> Self {
+        SsimConfig { window: 8, stride: 4, k1: 0.01, k2: 0.03 }
+    }
+}
+
+impl SsimConfig {
+    /// A dense (stride-1, 11-pixel window) configuration closer to the canonical SSIM
+    /// definition; slower but slightly more faithful.
+    pub fn dense() -> Self {
+        SsimConfig { window: 11, stride: 1, ..Self::default() }
+    }
+}
+
+/// Mean structural similarity between two images of identical dimensions, computed on the
+/// luma plane over uniform windows.
+///
+/// The result lies in `[-1, 1]`; identical images score exactly `1.0`.
+///
+/// # Errors
+/// Returns [`ImagingError::DimensionMismatch`] if the image dimensions differ, or
+/// [`ImagingError::EmptyImage`] if the window or stride is zero.
+pub fn ssim_with(reference: &Image, distorted: &Image, config: SsimConfig) -> Result<f64> {
+    if reference.dimensions() != distorted.dimensions() {
+        return Err(ImagingError::DimensionMismatch {
+            first: reference.dimensions(),
+            second: distorted.dimensions(),
+        });
+    }
+    if config.window == 0 || config.stride == 0 {
+        return Err(ImagingError::EmptyImage);
+    }
+    let (w, h) = reference.dimensions();
+    let lx = reference.to_luma();
+    let ly = distorted.to_luma();
+    let win = config.window.min(w).min(h);
+    let c1 = (config.k1 * 1.0_f64).powi(2);
+    let c2 = (config.k2 * 1.0_f64).powi(2);
+
+    let mut total = 0.0;
+    let mut count = 0usize;
+    let mut y0 = 0;
+    while y0 + win <= h {
+        let mut x0 = 0;
+        while x0 + win <= w {
+            let mut sum_x = 0.0f64;
+            let mut sum_y = 0.0f64;
+            let mut sum_xx = 0.0f64;
+            let mut sum_yy = 0.0f64;
+            let mut sum_xy = 0.0f64;
+            for dy in 0..win {
+                let row = (y0 + dy) * w + x0;
+                for dx in 0..win {
+                    let a = lx[row + dx] as f64;
+                    let b = ly[row + dx] as f64;
+                    sum_x += a;
+                    sum_y += b;
+                    sum_xx += a * a;
+                    sum_yy += b * b;
+                    sum_xy += a * b;
+                }
+            }
+            let n = (win * win) as f64;
+            let mu_x = sum_x / n;
+            let mu_y = sum_y / n;
+            let var_x = (sum_xx / n - mu_x * mu_x).max(0.0);
+            let var_y = (sum_yy / n - mu_y * mu_y).max(0.0);
+            let cov = sum_xy / n - mu_x * mu_y;
+            let score = ((2.0 * mu_x * mu_y + c1) * (2.0 * cov + c2))
+                / ((mu_x * mu_x + mu_y * mu_y + c1) * (var_x + var_y + c2));
+            total += score;
+            count += 1;
+            x0 += config.stride;
+        }
+        y0 += config.stride;
+    }
+    if count == 0 {
+        // Images smaller than the window: fall back to a single global window.
+        let shrunk = SsimConfig { window: w.min(h), stride: 1, ..config };
+        if shrunk.window == win {
+            // Degenerate 0-sized dimension cannot happen (Image forbids it); return 1 for
+            // safety.
+            return Ok(1.0);
+        }
+        return ssim_with(reference, distorted, shrunk);
+    }
+    Ok((total / count as f64).clamp(-1.0, 1.0))
+}
+
+/// Mean SSIM with the default configuration. See [`ssim_with`].
+///
+/// # Errors
+/// Returns [`ImagingError::DimensionMismatch`] if the image dimensions differ.
+pub fn ssim(reference: &Image, distorted: &Image) -> Result<f64> {
+    ssim_with(reference, distorted, SsimConfig::default())
+}
+
+/// Which quality metric to use for storage calibration (the paper uses SSIM; PSNR is kept
+/// for the ablation study in the benchmark harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QualityMetric {
+    /// Structural similarity in `[-1, 1]`.
+    Ssim,
+    /// Peak signal-to-noise ratio in dB, squashed to `[0, 1]` via `db / 50` for
+    /// threshold-search compatibility.
+    Psnr,
+}
+
+impl QualityMetric {
+    /// Evaluates the metric, returning a value in a roughly `[0, 1]` range where larger is
+    /// better.
+    ///
+    /// # Errors
+    /// Returns an error if the image dimensions differ.
+    pub fn evaluate(&self, reference: &Image, distorted: &Image) -> Result<f64> {
+        match self {
+            QualityMetric::Ssim => ssim(reference, distorted),
+            QualityMetric::Psnr => {
+                let db = psnr(reference, distorted)?;
+                Ok((db / 50.0).clamp(0.0, 1.0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image(seed: u32) -> Image {
+        Image::from_fn(48, 40, |x, y| {
+            let v = ((x as f32 * 0.3 + seed as f32).sin() + (y as f32 * 0.2).cos()) * 0.25 + 0.5;
+            [v, v * 0.8, 1.0 - v]
+        })
+        .unwrap()
+    }
+
+    fn add_noise(img: &Image, amplitude: f32) -> Image {
+        let mut out = img.clone();
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let mut p = img.pixel(x, y);
+                let n = (((x * 31 + y * 17) % 13) as f32 / 13.0 - 0.5) * amplitude;
+                for v in &mut p {
+                    *v = (*v + n).clamp(0.0, 1.0);
+                }
+                out.set_pixel(x, y, p);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let img = test_image(0);
+        assert!(psnr(&img, &img).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let img = test_image(1);
+        let light = add_noise(&img, 0.05);
+        let heavy = add_noise(&img, 0.4);
+        let p_light = psnr(&img, &light).unwrap();
+        let p_heavy = psnr(&img, &heavy).unwrap();
+        assert!(p_light > p_heavy);
+        assert!(p_light > 20.0);
+    }
+
+    #[test]
+    fn psnr_requires_matching_dimensions() {
+        let a = test_image(0);
+        let b = Image::zeros(3, 3).unwrap();
+        assert!(psnr(&a, &b).is_err());
+        assert!(ssim(&a, &b).is_err());
+    }
+
+    #[test]
+    fn ssim_identity_is_one() {
+        let img = test_image(2);
+        let s = ssim(&img, &img).unwrap();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssim_orders_degradations() {
+        let img = test_image(3);
+        let light = add_noise(&img, 0.05);
+        let heavy = add_noise(&img, 0.5);
+        let s_light = ssim(&img, &light).unwrap();
+        let s_heavy = ssim(&img, &heavy).unwrap();
+        assert!(s_light > s_heavy, "{s_light} vs {s_heavy}");
+        assert!(s_light > 0.8);
+        assert!(s_heavy < 0.9);
+    }
+
+    #[test]
+    fn ssim_bounds() {
+        let img = test_image(4);
+        let inverted = Image::from_fn(img.width(), img.height(), |x, y| {
+            let p = img.pixel(x, y);
+            [1.0 - p[0], 1.0 - p[1], 1.0 - p[2]]
+        })
+        .unwrap();
+        let s = ssim(&img, &inverted).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn ssim_handles_images_smaller_than_window() {
+        let a = Image::filled(4, 4, [0.5; 3]).unwrap();
+        let b = Image::filled(4, 4, [0.25; 3]).unwrap();
+        let s = ssim_with(&a, &b, SsimConfig { window: 16, stride: 4, ..Default::default() }).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+        assert!(s < 1.0);
+    }
+
+    #[test]
+    fn ssim_rejects_degenerate_config() {
+        let img = test_image(5);
+        assert!(ssim_with(&img, &img, SsimConfig { window: 0, ..Default::default() }).is_err());
+        assert!(ssim_with(&img, &img, SsimConfig { stride: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn dense_config_close_to_default() {
+        let img = test_image(6);
+        let noisy = add_noise(&img, 0.1);
+        let fast = ssim(&img, &noisy).unwrap();
+        let dense = ssim_with(&img, &noisy, SsimConfig::dense()).unwrap();
+        assert!((fast - dense).abs() < 0.08, "fast {fast} vs dense {dense}");
+    }
+
+    #[test]
+    fn quality_metric_enum_dispatch() {
+        let img = test_image(7);
+        let noisy = add_noise(&img, 0.2);
+        let s = QualityMetric::Ssim.evaluate(&img, &noisy).unwrap();
+        let p = QualityMetric::Psnr.evaluate(&img, &noisy).unwrap();
+        assert!((0.0..=1.0).contains(&s));
+        assert!((0.0..=1.0).contains(&p));
+        let perfect = QualityMetric::Psnr.evaluate(&img, &img).unwrap();
+        assert_eq!(perfect, 1.0);
+    }
+}

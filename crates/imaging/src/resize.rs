@@ -1,0 +1,299 @@
+//! Resizing and cropping.
+//!
+//! The paper's pipeline is built around two geometric operations: *center cropping* a
+//! fraction of the source image (which changes the apparent scale of objects, Figure 3)
+//! and *resizing* the crop to the inference resolution (which changes the level of detail
+//! and the compute cost). Both are implemented here from scratch.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ImagingError, Result};
+use crate::image::Image;
+
+/// Interpolation filters supported by [`resize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Filter {
+    /// Nearest-neighbour sampling (fast, blocky).
+    Nearest,
+    /// Bilinear interpolation (the default used throughout the workspace, matching common
+    /// training pipelines).
+    Bilinear,
+}
+
+/// Resizes an image to `target_width × target_height`.
+///
+/// # Errors
+/// Returns [`ImagingError::InvalidResize`] when either target dimension is zero.
+pub fn resize(image: &Image, target_width: usize, target_height: usize, filter: Filter) -> Result<Image> {
+    if target_width == 0 || target_height == 0 {
+        return Err(ImagingError::InvalidResize { width: target_width, height: target_height });
+    }
+    if (target_width, target_height) == image.dimensions() {
+        return Ok(image.clone());
+    }
+    let mut out = Image::zeros(target_width, target_height)?;
+    let (sw, sh) = (image.width() as f32, image.height() as f32);
+    let x_ratio = sw / target_width as f32;
+    let y_ratio = sh / target_height as f32;
+
+    match filter {
+        Filter::Nearest => {
+            for y in 0..target_height {
+                let sy = ((y as f32 + 0.5) * y_ratio).floor().clamp(0.0, sh - 1.0) as usize;
+                for x in 0..target_width {
+                    let sx = ((x as f32 + 0.5) * x_ratio).floor().clamp(0.0, sw - 1.0) as usize;
+                    out.set_pixel(x, y, image.pixel(sx, sy));
+                }
+            }
+        }
+        Filter::Bilinear => {
+            for y in 0..target_height {
+                // Align sample centres (the "half-pixel centres" convention).
+                let fy = ((y as f32 + 0.5) * y_ratio - 0.5).clamp(0.0, sh - 1.0);
+                let y0 = fy.floor() as usize;
+                let y1 = (y0 + 1).min(image.height() - 1);
+                let wy = fy - y0 as f32;
+                for x in 0..target_width {
+                    let fx = ((x as f32 + 0.5) * x_ratio - 0.5).clamp(0.0, sw - 1.0);
+                    let x0 = fx.floor() as usize;
+                    let x1 = (x0 + 1).min(image.width() - 1);
+                    let wx = fx - x0 as f32;
+                    let p00 = image.pixel(x0, y0);
+                    let p10 = image.pixel(x1, y0);
+                    let p01 = image.pixel(x0, y1);
+                    let p11 = image.pixel(x1, y1);
+                    let mut rgb = [0.0f32; 3];
+                    for (c, v) in rgb.iter_mut().enumerate() {
+                        let top = p00[c] * (1.0 - wx) + p10[c] * wx;
+                        let bottom = p01[c] * (1.0 - wx) + p11[c] * wx;
+                        *v = top * (1.0 - wy) + bottom * wy;
+                    }
+                    out.set_pixel(x, y, rgb);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Resizes an image to a square `resolution × resolution`, the shape consumed by the
+/// backbone models.
+///
+/// # Errors
+/// Returns [`ImagingError::InvalidResize`] when `resolution` is zero.
+pub fn resize_square(image: &Image, resolution: usize, filter: Filter) -> Result<Image> {
+    resize(image, resolution, resolution, filter)
+}
+
+/// Extracts a rectangular region.
+///
+/// # Errors
+/// Returns [`ImagingError::InvalidCrop`] when the region has zero extent or exceeds the
+/// image bounds.
+pub fn crop(image: &Image, x0: usize, y0: usize, width: usize, height: usize) -> Result<Image> {
+    if width == 0
+        || height == 0
+        || x0 + width > image.width()
+        || y0 + height > image.height()
+    {
+        return Err(ImagingError::InvalidCrop {
+            width: image.width(),
+            height: image.height(),
+            crop_width: width,
+            crop_height: height,
+        });
+    }
+    Image::from_fn(width, height, |x, y| image.pixel(x0 + x, y0 + y))
+}
+
+/// A centre-crop policy expressed as the *fraction of image area* retained, following the
+/// paper's 25 % / 56 % / 75 % / 100 % crop settings (§VII-b). The linear crop extent is the
+/// square root of the area fraction, so `CropRatio::new(0.25)` keeps the central half of
+/// each dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CropRatio(f64);
+
+impl CropRatio {
+    /// The four crop settings evaluated by the paper.
+    pub const PAPER_SET: [f64; 4] = [0.25, 0.56, 0.75, 1.0];
+
+    /// Creates a crop ratio.
+    ///
+    /// # Errors
+    /// Returns [`ImagingError::InvalidFraction`] unless `0 < area_fraction <= 1`.
+    pub fn new(area_fraction: f64) -> Result<Self> {
+        if !(area_fraction > 0.0 && area_fraction <= 1.0) {
+            return Err(ImagingError::InvalidFraction { name: "crop ratio", value: area_fraction });
+        }
+        Ok(CropRatio(area_fraction))
+    }
+
+    /// The full-image (no-op) crop.
+    pub const fn full() -> Self {
+        CropRatio(1.0)
+    }
+
+    /// The retained area fraction.
+    pub fn area_fraction(&self) -> f64 {
+        self.0
+    }
+
+    /// The retained linear fraction (`sqrt(area)`).
+    pub fn linear_fraction(&self) -> f64 {
+        self.0.sqrt()
+    }
+
+    /// Percentage label used in figures ("25%", "56%", …).
+    pub fn label(&self) -> String {
+        format!("{:.0}%", self.0 * 100.0)
+    }
+}
+
+impl Default for CropRatio {
+    fn default() -> Self {
+        CropRatio::full()
+    }
+}
+
+/// Centre-crops an image according to a [`CropRatio`].
+///
+/// The crop is square with side `linear_fraction * min(width, height)` — the common
+/// "center crop of the short side" convention — so the result is directly resizable to a
+/// square inference resolution.
+///
+/// # Errors
+/// Returns an error if the crop degenerates to zero pixels.
+pub fn center_crop(image: &Image, ratio: CropRatio) -> Result<Image> {
+    let short = image.width().min(image.height());
+    let side = ((short as f64) * ratio.linear_fraction()).round().max(1.0) as usize;
+    let side = side.min(short);
+    let x0 = (image.width() - side) / 2;
+    let y0 = (image.height() - side) / 2;
+    crop(image, x0, y0, side, side)
+}
+
+/// Centre-crops to the given ratio and resizes the crop to `resolution × resolution`,
+/// the standard preprocessing applied before backbone inference.
+///
+/// # Errors
+/// Propagates crop and resize errors.
+pub fn crop_and_resize(image: &Image, ratio: CropRatio, resolution: usize) -> Result<Image> {
+    let cropped = center_crop(image, ratio)?;
+    resize_square(&cropped, resolution, Filter::Bilinear)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(width: usize, height: usize) -> Image {
+        Image::from_fn(width, height, |x, y| {
+            [x as f32 / width as f32, y as f32 / height as f32, 0.5]
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn resize_identity_is_noop() {
+        let img = gradient(16, 12);
+        let out = resize(&img, 16, 12, Filter::Bilinear).unwrap();
+        assert_eq!(img, out);
+    }
+
+    #[test]
+    fn resize_rejects_zero_targets() {
+        let img = gradient(8, 8);
+        assert!(resize(&img, 0, 8, Filter::Bilinear).is_err());
+        assert!(resize(&img, 8, 0, Filter::Nearest).is_err());
+    }
+
+    #[test]
+    fn bilinear_preserves_constant_images() {
+        let img = Image::filled(17, 9, [0.3, 0.6, 0.9]).unwrap();
+        for (w, h) in [(8, 8), (33, 21), (1, 1), (224, 224)] {
+            let out = resize(&img, w, h, Filter::Bilinear).unwrap();
+            for y in 0..h {
+                for x in 0..w {
+                    let p = out.pixel(x, y);
+                    assert!((p[0] - 0.3).abs() < 1e-5);
+                    assert!((p[1] - 0.6).abs() < 1e-5);
+                    assert!((p[2] - 0.9).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downscale_then_upscale_approximates_smooth_image() {
+        // A smooth gradient survives a 2x round trip with small error.
+        let img = gradient(64, 64);
+        let small = resize(&img, 32, 32, Filter::Bilinear).unwrap();
+        let back = resize(&small, 64, 64, Filter::Bilinear).unwrap();
+        assert!(img.mean_abs_diff(&back).unwrap() < 0.02);
+    }
+
+    #[test]
+    fn nearest_only_copies_existing_samples() {
+        let img = Image::from_fn(4, 4, |x, y| [((x + y) % 2) as f32, 0.0, 0.0]).unwrap();
+        let out = resize(&img, 9, 9, Filter::Nearest).unwrap();
+        for y in 0..9 {
+            for x in 0..9 {
+                let v = out.pixel(x, y)[0];
+                assert!(v == 0.0 || v == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn crop_bounds_checking() {
+        let img = gradient(10, 8);
+        assert!(crop(&img, 0, 0, 10, 8).is_ok());
+        assert!(crop(&img, 2, 2, 9, 2).is_err());
+        assert!(crop(&img, 0, 0, 0, 4).is_err());
+        let c = crop(&img, 3, 2, 4, 5).unwrap();
+        assert_eq!(c.dimensions(), (4, 5));
+        assert_eq!(c.pixel(0, 0), img.pixel(3, 2));
+        assert_eq!(c.pixel(3, 4), img.pixel(6, 6));
+    }
+
+    #[test]
+    fn crop_ratio_validation_and_labels() {
+        assert!(CropRatio::new(0.0).is_err());
+        assert!(CropRatio::new(1.2).is_err());
+        assert!(CropRatio::new(-0.1).is_err());
+        let r = CropRatio::new(0.25).unwrap();
+        assert!((r.linear_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(r.label(), "25%");
+        assert_eq!(CropRatio::full().label(), "100%");
+        assert_eq!(CropRatio::default().area_fraction(), 1.0);
+    }
+
+    #[test]
+    fn center_crop_sizes() {
+        let img = gradient(100, 60);
+        let full = center_crop(&img, CropRatio::full()).unwrap();
+        assert_eq!(full.dimensions(), (60, 60));
+        let quarter = center_crop(&img, CropRatio::new(0.25).unwrap()).unwrap();
+        assert_eq!(quarter.dimensions(), (30, 30));
+        // Centred: the centre pixel of the crop matches the centre of the original.
+        let c = quarter.pixel(15, 15);
+        let o = img.pixel(50, 45);
+        assert!((c[0] - o[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crop_and_resize_produces_square_resolution() {
+        let img = gradient(300, 200);
+        for res in [112usize, 224, 448] {
+            let out = crop_and_resize(&img, CropRatio::new(0.56).unwrap(), res).unwrap();
+            assert_eq!(out.dimensions(), (res, res));
+        }
+    }
+
+    #[test]
+    fn tiny_images_still_crop() {
+        let img = gradient(2, 2);
+        let out = center_crop(&img, CropRatio::new(0.05).unwrap()).unwrap();
+        assert_eq!(out.dimensions(), (1, 1));
+    }
+}

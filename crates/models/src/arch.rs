@@ -1,0 +1,504 @@
+//! Symbolic architecture descriptions.
+//!
+//! The experiment harness needs to reason about models *without* instantiating weights:
+//! per-resolution FLOP counts (Table I, Figures 8/9), the list of convolution layer shapes
+//! to feed the kernel cost model and autotuner (Figure 7, Table II), and parameter counts.
+//! [`ArchSpec`] provides exactly that; the executable counterpart lives in
+//! [`crate::nn`].
+
+use serde::{Deserialize, Serialize};
+
+use rescnn_tensor::{Conv2dParams, Pool2dParams, Shape};
+
+use crate::error::{ModelError, Result};
+
+/// The model families used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// ResNet-18 backbone.
+    ResNet18,
+    /// ResNet-50 backbone.
+    ResNet50,
+    /// MobileNetV2, used as the lightweight scale model.
+    MobileNetV2,
+}
+
+impl ModelKind {
+    /// All model kinds.
+    pub const ALL: [ModelKind; 3] =
+        [ModelKind::ResNet18, ModelKind::ResNet50, ModelKind::MobileNetV2];
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::ResNet18 => "ResNet-18",
+            ModelKind::ResNet50 => "ResNet-50",
+            ModelKind::MobileNetV2 => "MobileNetV2",
+        }
+    }
+
+    /// Builds the symbolic architecture with the given number of output classes.
+    pub fn arch(&self, num_classes: usize) -> ArchSpec {
+        match self {
+            ModelKind::ResNet18 => resnet18_arch(num_classes),
+            ModelKind::ResNet50 => resnet50_arch(num_classes),
+            ModelKind::MobileNetV2 => mobilenet_v2_arch(num_classes),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Activation applied after a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// No activation (linear).
+    None,
+    /// Standard ReLU.
+    Relu,
+    /// ReLU clamped at 6 (MobileNet convention).
+    Relu6,
+}
+
+/// One block of a network, at the granularity the original architectures are described in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockSpec {
+    /// A plain convolution + batch-norm + activation.
+    ConvBnAct {
+        /// Convolution parameters.
+        params: Conv2dParams,
+        /// Post-convolution activation.
+        act: Activation,
+    },
+    /// Max pooling.
+    MaxPool(Pool2dParams),
+    /// ResNet basic block: two 3×3 convolutions with an identity (or 1×1 projection) skip.
+    BasicBlock {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Stride of the first convolution.
+        stride: usize,
+    },
+    /// ResNet bottleneck block: 1×1 reduce, 3×3, 1×1 expand with a skip connection.
+    Bottleneck {
+        /// Input channels.
+        in_ch: usize,
+        /// Mid (bottleneck) channels.
+        mid_ch: usize,
+        /// Output channels (`4 × mid_ch` in standard ResNets).
+        out_ch: usize,
+        /// Stride of the 3×3 convolution.
+        stride: usize,
+    },
+    /// MobileNetV2 inverted residual: 1×1 expand, 3×3 depthwise, 1×1 project.
+    InvertedResidual {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Stride of the depthwise convolution.
+        stride: usize,
+        /// Expansion factor.
+        expand: usize,
+    },
+    /// Global average pooling over the spatial dimensions.
+    GlobalAvgPool,
+    /// Final fully-connected classifier.
+    Classifier {
+        /// Input feature count.
+        in_features: usize,
+        /// Number of classes.
+        num_classes: usize,
+    },
+}
+
+/// The shape of one convolution layer instantiated at a concrete resolution; the unit of
+/// work the kernel cost model and autotuner operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvLayerShape {
+    /// Convolution parameters.
+    pub params: Conv2dParams,
+    /// Input activation shape (batch 1).
+    pub input: Shape,
+}
+
+impl ConvLayerShape {
+    /// MACs for this layer.
+    pub fn macs(&self) -> u64 {
+        self.params.macs(self.input).unwrap_or(0)
+    }
+
+    /// FLOPs for this layer, using the paper's convention (Table I) of counting one
+    /// multiply–accumulate as one FLOP.
+    pub fn flops(&self) -> u64 {
+        self.macs()
+    }
+}
+
+/// A full symbolic architecture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Model family this spec was generated from.
+    pub kind: ModelKind,
+    /// Ordered blocks.
+    pub blocks: Vec<BlockSpec>,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl ArchSpec {
+    /// Walks the architecture at a given square input resolution, returning every
+    /// convolution layer with its concrete input shape.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::ResolutionTooSmall`] if the resolution collapses to zero
+    /// spatial extent anywhere in the network.
+    pub fn conv_layers(&self, resolution: usize) -> Result<Vec<ConvLayerShape>> {
+        let mut layers = Vec::new();
+        self.walk(resolution, |layer, _| layers.push(layer))?;
+        Ok(layers)
+    }
+
+    /// Total FLOPs of convolution and linear layers at a resolution, using the paper's
+    /// convention (Table I) of counting one multiply–accumulate as one FLOP.
+    ///
+    /// # Errors
+    /// Returns an error if the resolution is too small for the architecture.
+    pub fn flops(&self, resolution: usize) -> Result<u64> {
+        let mut total = 0u64;
+        let linear = self.walk(resolution, |layer, _| total += layer.flops())?;
+        Ok(total + linear)
+    }
+
+    /// Total FLOPs expressed in GFLOPs.
+    ///
+    /// # Errors
+    /// Returns an error if the resolution is too small for the architecture.
+    pub fn gflops(&self, resolution: usize) -> Result<f64> {
+        Ok(self.flops(resolution)? as f64 / 1e9)
+    }
+
+    /// Number of learnable parameters in convolution and linear layers (batch-norm
+    /// parameters excluded; they are a rounding error at this scale).
+    pub fn param_count(&self) -> u64 {
+        let mut total = 0u64;
+        // Parameters do not depend on resolution; walk at a generous resolution so the
+        // shape propagation cannot fail.
+        let linear = self
+            .walk(256, |layer, _| total += layer.params.weight_count() as u64)
+            .unwrap_or(0);
+        // Linear-layer parameter count equals its MAC count at batch 1 (one MAC per weight).
+        total + linear
+    }
+
+    /// Spatial extent of the feature map entering global average pooling at a resolution.
+    ///
+    /// # Errors
+    /// Returns an error if the resolution is too small for the architecture.
+    pub fn final_spatial(&self, resolution: usize) -> Result<usize> {
+        let mut spatial = resolution;
+        self.walk(resolution, |_, spatial_after| spatial = spatial_after)?;
+        Ok(spatial)
+    }
+
+    /// Internal shape-propagation walker. Calls `visit(conv_layer, spatial_after)` for
+    /// every convolution and returns the total linear-layer FLOPs.
+    fn walk<F: FnMut(ConvLayerShape, usize)>(
+        &self,
+        resolution: usize,
+        mut visit: F,
+    ) -> Result<u64> {
+        if resolution == 0 {
+            return Err(ModelError::ResolutionTooSmall { resolution, model: self.kind.name() });
+        }
+        let mut spatial = resolution;
+        let mut channels = 3usize;
+        let mut linear_flops = 0u64;
+
+        let emit = |params: Conv2dParams, channels: &mut usize, spatial: &mut usize, visit: &mut F| -> Result<()> {
+            let input = Shape::chw(*channels, *spatial, *spatial);
+            let out = params.output_shape(input).map_err(|_| ModelError::ResolutionTooSmall {
+                resolution,
+                model: self.kind.name(),
+            })?;
+            visit(ConvLayerShape { params, input }, out.h);
+            *channels = out.c;
+            *spatial = out.h;
+            Ok(())
+        };
+
+        for block in &self.blocks {
+            match *block {
+                BlockSpec::ConvBnAct { params, .. } => {
+                    emit(params, &mut channels, &mut spatial, &mut visit)?;
+                }
+                BlockSpec::MaxPool(pool) => {
+                    let out = pool
+                        .output_shape(Shape::chw(channels, spatial, spatial))
+                        .map_err(|_| ModelError::ResolutionTooSmall {
+                            resolution,
+                            model: self.kind.name(),
+                        })?;
+                    spatial = out.h;
+                }
+                BlockSpec::BasicBlock { in_ch, out_ch, stride } => {
+                    debug_assert_eq!(in_ch, channels, "block wiring mismatch");
+                    let mut ch = channels;
+                    let mut sp = spatial;
+                    emit(Conv2dParams::new(in_ch, out_ch, 3, stride, 1), &mut ch, &mut sp, &mut visit)?;
+                    emit(Conv2dParams::new(out_ch, out_ch, 3, 1, 1), &mut ch, &mut sp, &mut visit)?;
+                    if stride != 1 || in_ch != out_ch {
+                        let mut dc = channels;
+                        let mut ds = spatial;
+                        emit(Conv2dParams::new(in_ch, out_ch, 1, stride, 0), &mut dc, &mut ds, &mut visit)?;
+                    }
+                    channels = ch;
+                    spatial = sp;
+                }
+                BlockSpec::Bottleneck { in_ch, mid_ch, out_ch, stride } => {
+                    debug_assert_eq!(in_ch, channels, "block wiring mismatch");
+                    let mut ch = channels;
+                    let mut sp = spatial;
+                    emit(Conv2dParams::new(in_ch, mid_ch, 1, 1, 0), &mut ch, &mut sp, &mut visit)?;
+                    emit(Conv2dParams::new(mid_ch, mid_ch, 3, stride, 1), &mut ch, &mut sp, &mut visit)?;
+                    emit(Conv2dParams::new(mid_ch, out_ch, 1, 1, 0), &mut ch, &mut sp, &mut visit)?;
+                    if stride != 1 || in_ch != out_ch {
+                        let mut dc = channels;
+                        let mut ds = spatial;
+                        emit(Conv2dParams::new(in_ch, out_ch, 1, stride, 0), &mut dc, &mut ds, &mut visit)?;
+                    }
+                    channels = ch;
+                    spatial = sp;
+                }
+                BlockSpec::InvertedResidual { in_ch, out_ch, stride, expand } => {
+                    debug_assert_eq!(in_ch, channels, "block wiring mismatch");
+                    let hidden = in_ch * expand;
+                    let mut ch = channels;
+                    let mut sp = spatial;
+                    if expand != 1 {
+                        emit(Conv2dParams::new(in_ch, hidden, 1, 1, 0), &mut ch, &mut sp, &mut visit)?;
+                    }
+                    emit(Conv2dParams::depthwise(hidden, 3, stride, 1), &mut ch, &mut sp, &mut visit)?;
+                    emit(Conv2dParams::new(hidden, out_ch, 1, 1, 0), &mut ch, &mut sp, &mut visit)?;
+                    channels = ch;
+                    spatial = sp;
+                }
+                BlockSpec::GlobalAvgPool => {
+                    spatial = 1;
+                }
+                BlockSpec::Classifier { in_features, num_classes } => {
+                    debug_assert_eq!(in_features, channels, "classifier wiring mismatch");
+                    linear_flops += (in_features as u64) * (num_classes as u64);
+                }
+            }
+        }
+        Ok(linear_flops)
+    }
+}
+
+/// Builds the ResNet-18 architecture (He et al., 2016) for `num_classes` outputs.
+pub fn resnet18_arch(num_classes: usize) -> ArchSpec {
+    let mut blocks = vec![
+        BlockSpec::ConvBnAct {
+            params: Conv2dParams::new(3, 64, 7, 2, 3),
+            act: Activation::Relu,
+        },
+        BlockSpec::MaxPool(Pool2dParams::new(3, 2, 1)),
+    ];
+    let stage_channels = [64usize, 128, 256, 512];
+    let mut in_ch = 64usize;
+    for (stage, &out_ch) in stage_channels.iter().enumerate() {
+        for block in 0..2 {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            blocks.push(BlockSpec::BasicBlock { in_ch, out_ch, stride });
+            in_ch = out_ch;
+        }
+    }
+    blocks.push(BlockSpec::GlobalAvgPool);
+    blocks.push(BlockSpec::Classifier { in_features: 512, num_classes });
+    ArchSpec { kind: ModelKind::ResNet18, blocks, num_classes }
+}
+
+/// Builds the ResNet-50 architecture for `num_classes` outputs.
+pub fn resnet50_arch(num_classes: usize) -> ArchSpec {
+    let mut blocks = vec![
+        BlockSpec::ConvBnAct {
+            params: Conv2dParams::new(3, 64, 7, 2, 3),
+            act: Activation::Relu,
+        },
+        BlockSpec::MaxPool(Pool2dParams::new(3, 2, 1)),
+    ];
+    let stage_defs = [(64usize, 256usize, 3usize), (128, 512, 4), (256, 1024, 6), (512, 2048, 3)];
+    let mut in_ch = 64usize;
+    for (stage, &(mid_ch, out_ch, count)) in stage_defs.iter().enumerate() {
+        for block in 0..count {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            blocks.push(BlockSpec::Bottleneck { in_ch, mid_ch, out_ch, stride });
+            in_ch = out_ch;
+        }
+    }
+    blocks.push(BlockSpec::GlobalAvgPool);
+    blocks.push(BlockSpec::Classifier { in_features: 2048, num_classes });
+    ArchSpec { kind: ModelKind::ResNet50, blocks, num_classes }
+}
+
+/// Builds the MobileNetV2 architecture (width multiplier 1.0) for `num_classes` outputs.
+pub fn mobilenet_v2_arch(num_classes: usize) -> ArchSpec {
+    let mut blocks = vec![BlockSpec::ConvBnAct {
+        params: Conv2dParams::new(3, 32, 3, 2, 1),
+        act: Activation::Relu6,
+    }];
+    // (expand, out_channels, repeats, stride) per the MobileNetV2 paper.
+    let settings: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut in_ch = 32usize;
+    for &(expand, out_ch, repeats, stride) in &settings {
+        for i in 0..repeats {
+            let s = if i == 0 { stride } else { 1 };
+            blocks.push(BlockSpec::InvertedResidual { in_ch, out_ch, stride: s, expand });
+            in_ch = out_ch;
+        }
+    }
+    blocks.push(BlockSpec::ConvBnAct {
+        params: Conv2dParams::new(320, 1280, 1, 1, 0),
+        act: Activation::Relu6,
+    });
+    blocks.push(BlockSpec::GlobalAvgPool);
+    blocks.push(BlockSpec::Classifier { in_features: 1280, num_classes });
+    ArchSpec { kind: ModelKind::MobileNetV2, blocks, num_classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_flops_match_paper_table1() {
+        // Paper Table I: ResNet-18 GFLOPs at 112..448 = 0.5, 1.1, 1.8, 2.9, 4.2, 5.8, 7.3.
+        let arch = resnet18_arch(1000);
+        let expected = [
+            (112usize, 0.5f64),
+            (168, 1.1),
+            (224, 1.8),
+            (280, 2.9),
+            (336, 4.2),
+            (392, 5.8),
+            (448, 7.3),
+        ];
+        for (res, gflops) in expected {
+            let got = arch.gflops(res).unwrap();
+            let rel = (got - gflops).abs() / gflops;
+            assert!(rel < 0.15, "ResNet-18@{res}: expected ~{gflops}, got {got:.2}");
+        }
+    }
+
+    #[test]
+    fn resnet50_flops_scale() {
+        let arch = resnet50_arch(1000);
+        let at224 = arch.gflops(224).unwrap();
+        // Literature/paper value ≈ 4.1 GFLOPs.
+        assert!((3.6..=4.6).contains(&at224), "ResNet-50@224 = {at224:.2}");
+        // Near-quadratic scaling with resolution.
+        let at448 = arch.gflops(448).unwrap();
+        assert!(at448 / at224 > 3.5 && at448 / at224 < 4.5);
+    }
+
+    #[test]
+    fn mobilenet_flops_match_paper() {
+        let arch = mobilenet_v2_arch(1000);
+        // Paper §VII-b: MobileNetV2 at 112×112 ≈ 0.08 GFLOPs; at 224×224 ≈ 0.3 GFLOPs.
+        let at112 = arch.gflops(112).unwrap();
+        let at224 = arch.gflops(224).unwrap();
+        assert!((0.05..=0.12).contains(&at112), "MobileNetV2@112 = {at112:.3}");
+        assert!((0.25..=0.40).contains(&at224), "MobileNetV2@224 = {at224:.3}");
+    }
+
+    #[test]
+    fn param_counts_are_plausible() {
+        // ResNet-18 ≈ 11.7 M, ResNet-50 ≈ 25.6 M, MobileNetV2 ≈ 3.4 M (conv+fc only).
+        let r18 = resnet18_arch(1000).param_count() as f64 / 1e6;
+        let r50 = resnet50_arch(1000).param_count() as f64 / 1e6;
+        let mb2 = mobilenet_v2_arch(1000).param_count() as f64 / 1e6;
+        assert!((10.0..=13.0).contains(&r18), "ResNet-18 params {r18:.1}M");
+        assert!((22.0..=28.0).contains(&r50), "ResNet-50 params {r50:.1}M");
+        assert!((2.5..=4.5).contains(&mb2), "MobileNetV2 params {mb2:.1}M");
+    }
+
+    #[test]
+    fn conv_layer_enumeration() {
+        let arch = resnet18_arch(10);
+        let layers = arch.conv_layers(224).unwrap();
+        // 1 stem + 8 basic blocks × 2 convs + 3 downsample projections = 20.
+        assert_eq!(layers.len(), 20);
+        assert_eq!(layers[0].input, Shape::chw(3, 224, 224));
+        assert_eq!(layers[0].params.out_channels, 64);
+        // Total FLOPs from layers matches flops() minus the classifier.
+        let conv_flops: u64 = layers.iter().map(ConvLayerShape::flops).sum();
+        let classifier_flops = 512 * 10;
+        assert_eq!(arch.flops(224).unwrap(), conv_flops + classifier_flops);
+    }
+
+    #[test]
+    fn resnet50_layer_count() {
+        let arch = resnet50_arch(1000);
+        let layers = arch.conv_layers(224).unwrap();
+        // 1 stem + 16 bottlenecks × 3 + 4 downsample projections = 53.
+        assert_eq!(layers.len(), 53);
+    }
+
+    #[test]
+    fn final_spatial_extent() {
+        let arch = resnet18_arch(1000);
+        // 224 → stem 112 → pool 56 → stages 56/28/14/7.
+        assert_eq!(arch.final_spatial(224).unwrap(), 7);
+        assert_eq!(arch.final_spatial(112).unwrap(), 4);
+        let layers = arch.conv_layers(224).unwrap();
+        // Last conv layer input spatial extent is 7 at 224.
+        assert_eq!(layers.last().unwrap().input.h, 7);
+        let layers112 = arch.conv_layers(112).unwrap();
+        assert_eq!(layers112.last().unwrap().input.h, 4);
+    }
+
+    #[test]
+    fn flops_grow_monotonically_with_resolution() {
+        for kind in ModelKind::ALL {
+            let arch = kind.arch(100);
+            let mut prev = 0;
+            for res in [64usize, 112, 168, 224, 280, 336] {
+                let f = arch.flops(res).unwrap();
+                assert!(f > prev, "{kind} flops must grow with resolution");
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn too_small_resolutions_error() {
+        let arch = resnet50_arch(10);
+        assert!(arch.flops(0).is_err());
+        // Thanks to padding and global pooling the architectures degrade gracefully all
+        // the way down to 1×1 inputs instead of erroring.
+        assert!(arch.conv_layers(1).is_ok());
+    }
+
+    #[test]
+    fn model_kind_metadata() {
+        assert_eq!(ModelKind::ResNet18.name(), "ResNet-18");
+        assert_eq!(ModelKind::ResNet50.to_string(), "ResNet-50");
+        assert_eq!(ModelKind::MobileNetV2.arch(42).num_classes, 42);
+        assert_eq!(ModelKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for model construction and inference.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building architectures or running inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The input resolution is too small for the network's downsampling schedule.
+    ResolutionTooSmall {
+        /// Offending resolution.
+        resolution: usize,
+        /// Model name.
+        model: &'static str,
+    },
+    /// The input tensor does not have the expected shape.
+    BadInput {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// An internal kernel failed (propagated from the tensor crate).
+    Kernel(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ResolutionTooSmall { resolution, model } => {
+                write!(f, "resolution {resolution} is too small for {model}")
+            }
+            ModelError::BadInput { reason } => write!(f, "bad model input: {reason}"),
+            ModelError::Kernel(msg) => write!(f, "kernel failure: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+impl From<rescnn_tensor::TensorError> for ModelError {
+    fn from(err: rescnn_tensor::TensorError) -> Self {
+        ModelError::Kernel(err.to_string())
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let err = ModelError::ResolutionTooSmall { resolution: 2, model: "ResNet-18" };
+        assert!(err.to_string().contains("ResNet-18"));
+        let err = ModelError::BadInput { reason: "wrong channels".into() };
+        assert!(err.to_string().contains("wrong channels"));
+        let tensor_err = rescnn_tensor::TensorError::ZeroDimension { name: "kernel" };
+        let converted: ModelError = tensor_err.into();
+        assert!(converted.to_string().contains("kernel"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

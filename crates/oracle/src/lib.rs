@@ -1,0 +1,91 @@
+//! # rescnn-oracle
+//!
+//! The calibrated backbone-accuracy model. The paper's accuracy numbers come from
+//! ResNet-18/50 backbones trained on ImageNet and Stanford Cars; training those models is
+//! outside the scope of a CPU-only reproduction, so this crate encodes the *measured
+//! response surfaces* the paper reports — how accuracy depends on apparent object scale
+//! (crop × resolution), on image quality (SSIM of what was actually decoded), and on the
+//! model family — and re-evaluates them per sample, deterministically.
+//!
+//! Every constant is documented with the paper number it is anchored to (see
+//! [`Calibration`]); every experiment downstream *measures* accuracy by pushing real
+//! (synthetic) images through real cropping, resizing, and progressive decoding and asking
+//! the oracle about exactly what came out, so the pipeline's decisions are evaluated
+//! end-to-end rather than assumed.
+//!
+//! # Examples
+//! ```
+//! use rescnn_data::{DatasetKind, DatasetSpec};
+//! use rescnn_imaging::CropRatio;
+//! use rescnn_models::ModelKind;
+//! use rescnn_oracle::{AccuracyOracle, EvalContext};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = DatasetSpec::imagenet_like().with_len(64).with_max_dimension(96).build(0);
+//! let oracle = AccuracyOracle::new(0);
+//! let at_224 = EvalContext::full_quality(
+//!     ModelKind::ResNet18, DatasetKind::ImageNetLike, 224, CropRatio::new(0.75)?);
+//! let at_112 = at_224.with_resolution(112);
+//! assert!(oracle.accuracy(&data, &at_224) >= oracle.accuracy(&data, &at_112));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod calibration;
+#[allow(clippy::module_inception)]
+mod oracle;
+
+pub use calibration::{Calibration, QualityResponse, ScaleResponse};
+pub use oracle::{AccuracyOracle, EvalContext};
+
+/// Commonly used items, intended for glob import.
+pub mod prelude {
+    pub use crate::{AccuracyOracle, Calibration, EvalContext};
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rescnn_data::{DatasetKind, DatasetSpec};
+    use rescnn_imaging::CropRatio;
+    use rescnn_models::ModelKind;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn probability_always_valid(seed in 0u64..1000, res_idx in 0usize..7,
+                                     crop in 0.1f64..1.0, quality in 0.5f64..1.0) {
+            let res = [112usize, 168, 224, 280, 336, 392, 448][res_idx];
+            let data = DatasetSpec::cars_like().with_len(4).with_max_dimension(64).build(seed);
+            let oracle = AccuracyOracle::new(seed);
+            let ctx = EvalContext {
+                model: ModelKind::ResNet50,
+                dataset: DatasetKind::CarsLike,
+                resolution: res,
+                crop: CropRatio::new(crop).unwrap(),
+                quality,
+            };
+            for s in &data {
+                let p = oracle.probability_correct(s, &ctx);
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+
+        #[test]
+        fn quality_is_monotone(quality_lo in 0.5f64..0.95, delta in 0.01f64..0.05) {
+            let data = DatasetSpec::imagenet_like().with_len(8).with_max_dimension(64).build(3);
+            let oracle = AccuracyOracle::new(0);
+            let base = EvalContext::full_quality(
+                ModelKind::ResNet18, DatasetKind::ImageNetLike, 224, CropRatio::new(0.75).unwrap());
+            for s in &data {
+                let lo = oracle.probability_correct(s, &base.with_quality(quality_lo));
+                let hi = oracle.probability_correct(s, &base.with_quality(quality_lo + delta));
+                prop_assert!(hi + 1e-12 >= lo);
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The accuracy oracle: deterministic per-sample correctness under a given evaluation
+//! configuration.
+
+use serde::{Deserialize, Serialize};
+
+use rescnn_data::{DatasetKind, Sample};
+use rescnn_imaging::CropRatio;
+use rescnn_models::ModelKind;
+
+use crate::calibration::Calibration;
+
+/// Everything about *how* a sample is presented to the backbone that affects correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalContext {
+    /// Backbone model.
+    pub model: ModelKind,
+    /// Dataset family the backbone was trained on.
+    pub dataset: DatasetKind,
+    /// Square inference resolution.
+    pub resolution: usize,
+    /// Centre-crop ratio applied before resizing.
+    pub crop: CropRatio,
+    /// Quality of the presented pixels relative to a full-fidelity resize at the same
+    /// resolution (SSIM in `[0, 1]`; `1.0` when all image data is read).
+    pub quality: f64,
+}
+
+impl EvalContext {
+    /// A full-quality context (all image data read).
+    pub fn full_quality(
+        model: ModelKind,
+        dataset: DatasetKind,
+        resolution: usize,
+        crop: CropRatio,
+    ) -> Self {
+        EvalContext { model, dataset, resolution, crop, quality: 1.0 }
+    }
+
+    /// Returns a copy with a different quality value.
+    pub fn with_quality(mut self, quality: f64) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// Returns a copy with a different resolution.
+    pub fn with_resolution(mut self, resolution: usize) -> Self {
+        self.resolution = resolution;
+        self
+    }
+}
+
+/// Deterministic hash → `[0, 1)` used for per-sample draws.
+fn unit_hash(a: u64, b: u64) -> f64 {
+    let mut x = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The calibrated backbone-accuracy model.
+///
+/// The oracle answers one question: *would a backbone of this family, trained on this
+/// dataset, classify this sample correctly when presented at this resolution, crop, and
+/// quality?* The answer is a deterministic function of the sample identity and the
+/// context, so experiments are exactly reproducible, and it is monotone in the underlying
+/// correctness probability (an image that is correct at probability 0.6 stays correct in
+/// every context whose probability is ≥ 0.6), which is what makes per-image resolution
+/// selection meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyOracle {
+    /// Seed folded into every per-sample draw; different seeds model independently trained
+    /// backbones (the paper's seed1/seed2/seed3 curves in Figure 6).
+    pub training_seed: u64,
+}
+
+impl Default for AccuracyOracle {
+    fn default() -> Self {
+        AccuracyOracle { training_seed: 0 }
+    }
+}
+
+impl AccuracyOracle {
+    /// Creates an oracle representing one trained backbone instance.
+    pub fn new(training_seed: u64) -> Self {
+        AccuracyOracle { training_seed }
+    }
+
+    /// The apparent object size in pixels when `sample` is centre-cropped and resized to
+    /// the context's resolution.
+    pub fn apparent_object_px(sample: &Sample, ctx: &EvalContext) -> f64 {
+        let crop_linear = ctx.crop.linear_fraction();
+        let visible_scale = (sample.object_scale() / crop_linear).min(1.0);
+        visible_scale * ctx.resolution as f64
+    }
+
+    /// Fraction of the object that survives the centre crop (1.0 when it fits entirely).
+    pub fn visible_fraction(sample: &Sample, ctx: &EvalContext) -> f64 {
+        (ctx.crop.linear_fraction() / sample.object_scale()).min(1.0)
+    }
+
+    /// The probability that the backbone classifies `sample` correctly under `ctx`.
+    pub fn probability_correct(&self, sample: &Sample, ctx: &EvalContext) -> f64 {
+        let cal = Calibration::for_pair(ctx.dataset, ctx.model);
+
+        // --- Scale response -----------------------------------------------------------
+        let apparent = Self::apparent_object_px(sample, ctx).max(1.0);
+        let log_ratio = (apparent / cal.scale.optimal_apparent_px).log2();
+        let sigma = if log_ratio < 0.0 { cal.scale.sigma_small } else { cal.scale.sigma_large };
+        let scale_response = (-0.5 * (log_ratio / sigma).powi(2)).exp();
+
+        // --- Clipping response (object larger than the crop) ---------------------------
+        let visible = Self::visible_fraction(sample, ctx);
+        let clip_response = 0.30 + 0.70 * visible;
+
+        // --- Quality response -----------------------------------------------------------
+        let octaves = (ctx.resolution as f64 / 112.0).log2().max(0.0);
+        let knee = cal.quality.knee_at_112 - cal.quality.knee_drop_per_octave * octaves
+            + cal.quality.detail_shift * (sample.detail_level() - 0.5);
+        let quality_response = if ctx.quality >= knee {
+            1.0
+        } else {
+            (1.0 - cal.quality.slope * (knee - ctx.quality)).max(0.0)
+        };
+
+        // --- Per-sample difficulty -------------------------------------------------------
+        let difficulty_response = 1.0 - cal.difficulty_weight * sample.difficulty;
+
+        (cal.base_accuracy * scale_response * clip_response * quality_response
+            * difficulty_response)
+            .clamp(0.0, 1.0)
+    }
+
+    /// Deterministic correctness decision for `sample` under `ctx`.
+    ///
+    /// The per-sample draw is shared across contexts, so correctness is monotone in
+    /// [`Self::probability_correct`]: raising the probability can only flip a sample from
+    /// wrong to right, never the reverse.
+    pub fn is_correct(&self, sample: &Sample, ctx: &EvalContext) -> bool {
+        let draw = unit_hash(sample.id, self.training_seed.wrapping_add(0x5EED));
+        draw < self.probability_correct(sample, ctx)
+    }
+
+    /// Top-1 accuracy of a backbone over a set of samples under one context.
+    pub fn accuracy<'a, I: IntoIterator<Item = &'a Sample>>(
+        &self,
+        samples: I,
+        ctx: &EvalContext,
+    ) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for sample in samples {
+            total += 1;
+            if self.is_correct(sample, ctx) {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescnn_data::DatasetSpec;
+
+    fn imagenet(n: usize) -> rescnn_data::Dataset {
+        DatasetSpec::imagenet_like().with_len(n).with_max_dimension(96).build(1)
+    }
+
+    fn cars(n: usize) -> rescnn_data::Dataset {
+        DatasetSpec::cars_like().with_len(n).with_max_dimension(96).build(1)
+    }
+
+    fn ctx(
+        model: ModelKind,
+        dataset: DatasetKind,
+        res: usize,
+        crop: f64,
+        quality: f64,
+    ) -> EvalContext {
+        EvalContext {
+            model,
+            dataset,
+            resolution: res,
+            crop: CropRatio::new(crop).unwrap(),
+            quality,
+        }
+    }
+
+    #[test]
+    fn probabilities_are_valid_and_deterministic() {
+        let oracle = AccuracyOracle::new(0);
+        let data = imagenet(32);
+        let context = ctx(ModelKind::ResNet18, DatasetKind::ImageNetLike, 224, 0.75, 1.0);
+        for s in &data {
+            let p = oracle.probability_correct(s, &context);
+            assert!((0.0..=1.0).contains(&p));
+            assert_eq!(oracle.is_correct(s, &context), oracle.is_correct(s, &context));
+        }
+    }
+
+    #[test]
+    fn resolution_sweep_peaks_near_280_for_standard_crop() {
+        // Table I shape: accuracy rises to ~280 then flattens/declines slightly.
+        let oracle = AccuracyOracle::new(0);
+        let data = imagenet(600);
+        let acc = |res: usize| {
+            oracle.accuracy(
+                &data,
+                &ctx(ModelKind::ResNet18, DatasetKind::ImageNetLike, res, 0.75, 1.0),
+            )
+        };
+        let a112 = acc(112);
+        let a224 = acc(224);
+        let a280 = acc(280);
+        let a448 = acc(448);
+        assert!(a112 < a224, "112 ({a112}) must lose to 224 ({a224})");
+        assert!(a280 >= a224 - 0.01, "280 ({a280}) should be near the peak ({a224})");
+        assert!(a448 < a280 + 0.01, "448 ({a448}) should not beat 280 ({a280})");
+        assert!(a448 > a112, "448 ({a448}) should still beat 112 ({a112}) at this crop");
+        // Magnitudes in the right neighbourhood of Table I.
+        assert!((0.38..=0.60).contains(&a112), "112 accuracy {a112}");
+        assert!((0.60..=0.75).contains(&a280), "280 accuracy {a280}");
+    }
+
+    #[test]
+    fn small_crops_favor_low_resolutions() {
+        // Figures 8/9: with a 25% centre crop the apparent scale grows, so the best
+        // resolution shifts down and very high resolutions hurt.
+        let oracle = AccuracyOracle::new(0);
+        let data = cars(600);
+        let acc = |res: usize, crop: f64| {
+            oracle.accuracy(&data, &ctx(ModelKind::ResNet18, DatasetKind::CarsLike, res, crop, 1.0))
+        };
+        // At 25% crop on Cars, 448 is worse than 112 (the paper's headline crossover).
+        assert!(acc(448, 0.25) < acc(112, 0.25));
+        // At 75% crop the ordering flips back.
+        assert!(acc(448, 0.75) > acc(112, 0.75));
+    }
+
+    #[test]
+    fn resnet50_beats_resnet18() {
+        let oracle = AccuracyOracle::new(0);
+        let data = imagenet(500);
+        let c18 = ctx(ModelKind::ResNet18, DatasetKind::ImageNetLike, 224, 0.75, 1.0);
+        let c50 = ctx(ModelKind::ResNet50, DatasetKind::ImageNetLike, 224, 0.75, 1.0);
+        assert!(oracle.accuracy(&data, &c50) > oracle.accuracy(&data, &c18));
+    }
+
+    #[test]
+    fn quality_below_knee_costs_accuracy_and_more_so_at_low_resolution() {
+        let oracle = AccuracyOracle::new(0);
+        let data = imagenet(500);
+        let drop = |res: usize| {
+            let full = oracle.accuracy(
+                &data,
+                &ctx(ModelKind::ResNet50, DatasetKind::ImageNetLike, res, 0.75, 1.0),
+            );
+            let degraded = oracle.accuracy(
+                &data,
+                &ctx(ModelKind::ResNet50, DatasetKind::ImageNetLike, res, 0.75, 0.93),
+            );
+            full - degraded
+        };
+        let drop_112 = drop(112);
+        let drop_448 = drop(448);
+        assert!(drop_112 > 0.0, "low quality must cost accuracy at 112");
+        assert!(
+            drop_112 > drop_448,
+            "quality loss should hurt more at 112 ({drop_112}) than at 448 ({drop_448})"
+        );
+    }
+
+    #[test]
+    fn quality_above_knee_is_free() {
+        let oracle = AccuracyOracle::new(0);
+        let data = cars(300);
+        let full = oracle.accuracy(
+            &data,
+            &ctx(ModelKind::ResNet18, DatasetKind::CarsLike, 336, 0.75, 1.0),
+        );
+        let slightly_degraded = oracle.accuracy(
+            &data,
+            &ctx(ModelKind::ResNet18, DatasetKind::CarsLike, 336, 0.75, 0.985),
+        );
+        assert!((full - slightly_degraded).abs() < 0.005);
+    }
+
+    #[test]
+    fn correctness_is_monotone_in_probability() {
+        // If a sample is correct in a context, it stays correct in any context with a
+        // higher probability (shared per-sample draw).
+        let oracle = AccuracyOracle::new(3);
+        let data = imagenet(100);
+        let low = ctx(ModelKind::ResNet18, DatasetKind::ImageNetLike, 112, 0.75, 0.9);
+        let high = ctx(ModelKind::ResNet18, DatasetKind::ImageNetLike, 280, 0.75, 1.0);
+        for s in &data {
+            let p_low = oracle.probability_correct(s, &low);
+            let p_high = oracle.probability_correct(s, &high);
+            if p_high >= p_low && oracle.is_correct(s, &low) {
+                assert!(oracle.is_correct(s, &high));
+            }
+        }
+    }
+
+    #[test]
+    fn different_training_seeds_give_different_but_similar_accuracy() {
+        let data = imagenet(800);
+        let context = ctx(ModelKind::ResNet18, DatasetKind::ImageNetLike, 224, 0.75, 1.0);
+        let a = AccuracyOracle::new(1).accuracy(&data, &context);
+        let b = AccuracyOracle::new(2).accuracy(&data, &context);
+        assert!((a - b).abs() < 0.05, "seeds should agree within a few points: {a} vs {b}");
+        assert_ne!(
+            AccuracyOracle::new(1).is_correct(&data[0], &context),
+            AccuracyOracle::new(1).is_correct(&data[0], &context) ^ true
+        );
+    }
+
+    #[test]
+    fn apparent_size_and_visibility_helpers() {
+        let data = imagenet(4);
+        let s = &data[0];
+        let small_crop = ctx(ModelKind::ResNet18, DatasetKind::ImageNetLike, 224, 0.25, 1.0);
+        let big_crop = ctx(ModelKind::ResNet18, DatasetKind::ImageNetLike, 224, 1.0, 1.0);
+        assert!(
+            AccuracyOracle::apparent_object_px(s, &small_crop)
+                >= AccuracyOracle::apparent_object_px(s, &big_crop)
+        );
+        assert!(AccuracyOracle::visible_fraction(s, &big_crop) >= AccuracyOracle::visible_fraction(s, &small_crop));
+        assert!(AccuracyOracle::visible_fraction(s, &big_crop) <= 1.0);
+    }
+
+    #[test]
+    fn empty_sample_set_gives_zero_accuracy() {
+        let oracle = AccuracyOracle::default();
+        let context = ctx(ModelKind::ResNet18, DatasetKind::ImageNetLike, 224, 0.75, 1.0);
+        assert_eq!(oracle.accuracy(std::iter::empty(), &context), 0.0);
+    }
+}

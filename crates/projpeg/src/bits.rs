@@ -1,0 +1,165 @@
+//! Bit-granular writer and reader used by the entropy coder.
+
+/// Accumulates bits most-significant-first into a byte vector.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits currently buffered in `acc` (0..8).
+    acc: u8,
+    acc_len: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the `count` least-significant bits of `value`, most significant first.
+    ///
+    /// # Panics
+    /// Panics if `count > 32`.
+    pub fn write_bits(&mut self, value: u32, count: u8) {
+        assert!(count <= 32, "cannot write more than 32 bits at once");
+        for i in (0..count).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            self.acc = (self.acc << 1) | bit;
+            self.acc_len += 1;
+            if self.acc_len == 8 {
+                self.bytes.push(self.acc);
+                self.acc = 0;
+                self.acc_len = 0;
+            }
+        }
+    }
+
+    /// Number of complete bytes plus any partial byte written so far.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len() + usize::from(self.acc_len > 0)
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.acc_len as usize
+    }
+
+    /// Finishes the stream, padding the final partial byte with ones (JPEG convention),
+    /// and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.acc_len > 0 {
+            let pad = 8 - self.acc_len;
+            self.acc = (self.acc << pad) | ((1u16 << pad) - 1) as u8;
+            self.bytes.push(self.acc);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits most-significant-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    bit: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0, bit: 0 }
+    }
+
+    /// Reads a single bit, or `None` at end of stream.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<u8> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let byte = self.bytes[self.pos];
+        let bit = (byte >> (7 - self.bit)) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        Some(bit)
+    }
+
+    /// Reads `count` bits into the low bits of a `u32`, or `None` if the stream ends first.
+    pub fn read_bits(&mut self, count: u8) -> Option<u32> {
+        let mut out = 0u32;
+        for _ in 0..count {
+            out = (out << 1) | u32::from(self.read_bit()?);
+        }
+        Some(out)
+    }
+
+    /// Number of bits remaining in the stream.
+    pub fn remaining_bits(&self) -> usize {
+        if self.pos >= self.bytes.len() {
+            0
+        } else {
+            (self.bytes.len() - self.pos) * 8 - self.bit as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_various_widths() {
+        let mut w = BitWriter::new();
+        let values: Vec<(u32, u8)> =
+            vec![(1, 1), (0, 1), (5, 3), (255, 8), (1023, 10), (0, 4), (0x1234, 16), (7, 3)];
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let total_bits: usize = values.iter().map(|&(_, n)| n as usize).sum();
+        assert_eq!(w.bit_len(), total_bits);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n), Some(v), "width {n}");
+        }
+    }
+
+    #[test]
+    fn byte_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        w.write_bits(1, 1);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bits(0xFF, 8);
+        assert_eq!(w.byte_len(), 2);
+        assert_eq!(w.finish().len(), 2);
+    }
+
+    #[test]
+    fn reader_detects_end_of_stream() {
+        let bytes = vec![0b1010_0000];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 8);
+        assert_eq!(r.read_bits(4), Some(0b1010));
+        assert_eq!(r.remaining_bits(), 4);
+        assert_eq!(r.read_bits(4), Some(0));
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(1), None);
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn padding_is_ones() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 3);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0001_1111]);
+    }
+
+    #[test]
+    #[should_panic(expected = "32 bits")]
+    fn oversized_write_panics() {
+        BitWriter::new().write_bits(0, 33);
+    }
+}

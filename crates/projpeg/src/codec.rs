@@ -1,0 +1,704 @@
+//! The progressive encoder/decoder.
+//!
+//! The codec follows the structure of progressive JPEG with spectral selection
+//! (Figure 2 of the paper): each image is stored as a sequence of *scans*, where scan `i`
+//! carries one contiguous band of zig-zag-ordered DCT coefficients for all blocks of all
+//! three components. Reading a prefix of the scans yields a coarse but complete image;
+//! every additional scan refines high-frequency detail. The per-scan byte sizes produced
+//! here are real (Huffman-entropy-coded bits plus headers), so bytes-read vs. quality
+//! trade-offs measured downstream are genuine.
+
+use serde::{Deserialize, Serialize};
+
+use rescnn_imaging::Image;
+
+use crate::bits::{BitReader, BitWriter};
+use crate::color::{rgb_to_ycbcr, ycbcr_to_rgb};
+use crate::dct::{forward_dct, inverse_dct, BLOCK, BLOCK_AREA, ZIGZAG};
+use crate::error::{CodecError, Result};
+use crate::huffman::HuffmanCode;
+use crate::quant::QuantTable;
+
+/// Number of colour components (Y, Cb, Cr).
+const COMPONENTS: usize = 3;
+/// End-of-band symbol.
+const EOB: u8 = 0x00;
+/// Zero-run-length symbol (16 zeros).
+const ZRL: u8 = 0xF0;
+
+/// An inclusive band of zig-zag coefficient indices carried by one scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScanBand {
+    /// First zig-zag index (0 = DC).
+    pub start: usize,
+    /// Last zig-zag index (inclusive, at most 63).
+    pub end: usize,
+}
+
+impl ScanBand {
+    /// Creates a band.
+    pub const fn new(start: usize, end: usize) -> Self {
+        ScanBand { start, end }
+    }
+
+    /// Number of coefficients in the band.
+    pub const fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Whether the band is the DC-only band.
+    pub const fn is_dc(&self) -> bool {
+        self.start == 0
+    }
+
+    /// Returns `false`; bands always carry at least one coefficient.
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The ordered set of spectral-selection bands for an encoded image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanPlan {
+    bands: Vec<ScanBand>,
+}
+
+impl ScanPlan {
+    /// The five-scan plan used throughout the paper's figures: DC first, then four AC bands
+    /// of increasing frequency.
+    pub fn standard() -> Self {
+        ScanPlan {
+            bands: vec![
+                ScanBand::new(0, 0),
+                ScanBand::new(1, 5),
+                ScanBand::new(6, 14),
+                ScanBand::new(15, 27),
+                ScanBand::new(28, 63),
+            ],
+        }
+    }
+
+    /// Builds a custom plan.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::InvalidScanPlan`] unless the bands are non-empty, start with a
+    /// DC-only band, are contiguous, and cover exactly the coefficients `0..=63`.
+    pub fn new(bands: Vec<ScanBand>) -> Result<Self> {
+        if bands.is_empty() {
+            return Err(CodecError::InvalidScanPlan { reason: "no bands".into() });
+        }
+        if bands[0] != ScanBand::new(0, 0) {
+            return Err(CodecError::InvalidScanPlan {
+                reason: "first band must be the DC-only band [0, 0]".into(),
+            });
+        }
+        let mut next = 1usize;
+        for band in &bands[1..] {
+            if band.start != next || band.end < band.start || band.end >= BLOCK_AREA {
+                return Err(CodecError::InvalidScanPlan {
+                    reason: format!(
+                        "band [{}, {}] is not contiguous with previous coverage ending at {}",
+                        band.start,
+                        band.end,
+                        next - 1
+                    ),
+                });
+            }
+            next = band.end + 1;
+        }
+        if next != BLOCK_AREA {
+            return Err(CodecError::InvalidScanPlan {
+                reason: format!("bands cover coefficients 0..{} but must reach 63", next - 1),
+            });
+        }
+        Ok(ScanPlan { bands })
+    }
+
+    /// The bands in scan order.
+    pub fn bands(&self) -> &[ScanBand] {
+        &self.bands
+    }
+
+    /// Number of scans.
+    pub fn len(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Whether the plan has no scans (never true for a validated plan).
+    pub fn is_empty(&self) -> bool {
+        self.bands.is_empty()
+    }
+}
+
+impl Default for ScanPlan {
+    fn default() -> Self {
+        ScanPlan::standard()
+    }
+}
+
+/// One entropy-coded scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedScan {
+    /// The coefficient band this scan carries.
+    pub band: ScanBand,
+    /// Serialized Huffman table (compact DHT layout) followed by the coded bitstream.
+    pub data: Vec<u8>,
+}
+
+impl EncodedScan {
+    /// Total stored size of the scan in bytes (table + bitstream + a fixed 8-byte scan
+    /// header accounting for band markers and length fields).
+    pub fn byte_size(&self) -> u64 {
+        self.data.len() as u64 + 8
+    }
+}
+
+/// Quantized coefficient planes for the three components of an image.
+struct CoefficientPlanes {
+    /// Per component: blocks in raster order, each block raster-order quantized levels.
+    blocks: [Vec<[i16; BLOCK_AREA]>; COMPONENTS],
+    blocks_x: usize,
+    blocks_y: usize,
+}
+
+/// A progressively encoded image.
+///
+/// # Examples
+/// ```
+/// use rescnn_imaging::{render_scene, SceneSpec};
+/// use rescnn_projpeg::{ProgressiveImage, ScanPlan};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let image = render_scene(&SceneSpec::new(64, 48, 7))?;
+/// let encoded = ProgressiveImage::encode(&image, 85, ScanPlan::standard())?;
+/// let coarse = encoded.decode(1)?;          // DC only
+/// let full = encoded.decode(encoded.num_scans())?;
+/// assert_eq!(coarse.dimensions(), (64, 48));
+/// assert!(encoded.cumulative_bytes(1) < encoded.total_bytes());
+/// # drop(full);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProgressiveImage {
+    width: usize,
+    height: usize,
+    quality: u8,
+    plan: ScanPlan,
+    scans: Vec<EncodedScan>,
+}
+
+impl ProgressiveImage {
+    /// Encodes an image at the given JPEG-style quality factor with the given scan plan.
+    ///
+    /// # Errors
+    /// Returns an error for invalid quality factors or scan plans.
+    pub fn encode(image: &Image, quality: u8, plan: ScanPlan) -> Result<Self> {
+        let planes = quantize_image(image, quality)?;
+        let mut scans = Vec::with_capacity(plan.len());
+        for band in plan.bands() {
+            scans.push(encode_scan(&planes, *band));
+        }
+        Ok(ProgressiveImage {
+            width: image.width(),
+            height: image.height(),
+            quality,
+            plan,
+            scans,
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Quality factor the image was encoded at.
+    pub fn quality(&self) -> u8 {
+        self.quality
+    }
+
+    /// Number of scans available.
+    pub fn num_scans(&self) -> usize {
+        self.scans.len()
+    }
+
+    /// The scan plan.
+    pub fn plan(&self) -> &ScanPlan {
+        &self.plan
+    }
+
+    /// Per-scan stored sizes in bytes.
+    pub fn scan_bytes(&self) -> Vec<u64> {
+        self.scans.iter().map(EncodedScan::byte_size).collect()
+    }
+
+    /// Total stored size in bytes when reading the first `num_scans` scans (plus a fixed
+    /// 64-byte file header covering dimensions, quality, and quantization tables).
+    ///
+    /// Reading zero scans still costs the header.
+    pub fn cumulative_bytes(&self, num_scans: usize) -> u64 {
+        let scans = num_scans.min(self.scans.len());
+        64 + self.scans[..scans].iter().map(EncodedScan::byte_size).sum::<u64>()
+    }
+
+    /// Total stored size in bytes of the fully encoded image.
+    pub fn total_bytes(&self) -> u64 {
+        self.cumulative_bytes(self.scans.len())
+    }
+
+    /// Fraction of the full file read when consuming the first `num_scans` scans.
+    pub fn read_fraction(&self, num_scans: usize) -> f64 {
+        self.cumulative_bytes(num_scans) as f64 / self.total_bytes() as f64
+    }
+
+    /// Decodes the image using only the first `num_scans` scans (missing coefficients are
+    /// treated as zero, exactly like an interrupted progressive JPEG download).
+    ///
+    /// # Errors
+    /// Returns [`CodecError::ScanOutOfRange`] if more scans are requested than encoded,
+    /// or a stream error if the data is corrupt.
+    pub fn decode(&self, num_scans: usize) -> Result<Image> {
+        if num_scans > self.scans.len() {
+            return Err(CodecError::ScanOutOfRange {
+                requested: num_scans,
+                available: self.scans.len(),
+            });
+        }
+        let blocks_x = self.width.div_ceil(BLOCK);
+        let blocks_y = self.height.div_ceil(BLOCK);
+        let empty = vec![[0i16; BLOCK_AREA]; blocks_x * blocks_y];
+        let mut planes = CoefficientPlanes {
+            blocks: [empty.clone(), empty.clone(), empty],
+            blocks_x,
+            blocks_y,
+        };
+        for (index, scan) in self.scans[..num_scans].iter().enumerate() {
+            decode_scan(scan, index, &mut planes)?;
+        }
+        reconstruct_image(&planes, self.width, self.height, self.quality)
+    }
+}
+
+/// Converts an image into quantized DCT coefficient planes.
+fn quantize_image(image: &Image, quality: u8) -> Result<CoefficientPlanes> {
+    let luma_table = QuantTable::luma(quality)?;
+    let chroma_table = QuantTable::chroma(quality)?;
+    let (w, h) = image.dimensions();
+    let blocks_x = w.div_ceil(BLOCK);
+    let blocks_y = h.div_ceil(BLOCK);
+
+    // Component planes in [-128, 127] range.
+    let mut comp = vec![vec![0.0f32; blocks_x * BLOCK * blocks_y * BLOCK]; COMPONENTS];
+    let padded_w = blocks_x * BLOCK;
+    for y in 0..blocks_y * BLOCK {
+        let sy = y.min(h - 1);
+        for x in 0..padded_w {
+            let sx = x.min(w - 1);
+            let ycbcr = rgb_to_ycbcr(image.pixel(sx, sy));
+            for c in 0..COMPONENTS {
+                comp[c][y * padded_w + x] = ycbcr[c] * 255.0 - 128.0;
+            }
+        }
+    }
+
+    let mut blocks: [Vec<[i16; BLOCK_AREA]>; COMPONENTS] =
+        [Vec::new(), Vec::new(), Vec::new()];
+    for c in 0..COMPONENTS {
+        let table = if c == 0 { &luma_table } else { &chroma_table };
+        let mut out = Vec::with_capacity(blocks_x * blocks_y);
+        for by in 0..blocks_y {
+            for bx in 0..blocks_x {
+                let mut block = [0.0f32; BLOCK_AREA];
+                for dy in 0..BLOCK {
+                    for dx in 0..BLOCK {
+                        block[dy * BLOCK + dx] =
+                            comp[c][(by * BLOCK + dy) * padded_w + bx * BLOCK + dx];
+                    }
+                }
+                let coeffs = forward_dct(&block);
+                out.push(table.quantize(&coeffs));
+            }
+        }
+        blocks[c] = out;
+    }
+    Ok(CoefficientPlanes { blocks, blocks_x, blocks_y })
+}
+
+/// Magnitude category (number of amplitude bits) of a coefficient value.
+fn magnitude_category(value: i32) -> u8 {
+    let mut v = value.unsigned_abs();
+    let mut bits = 0u8;
+    while v > 0 {
+        bits += 1;
+        v >>= 1;
+    }
+    bits
+}
+
+/// JPEG-style amplitude encoding: positive values as-is, negative values in one's
+/// complement of the magnitude bits.
+fn encode_amplitude(value: i32, bits: u8) -> u32 {
+    if value >= 0 {
+        value as u32
+    } else {
+        (value + (1 << bits) - 1) as u32
+    }
+}
+
+fn decode_amplitude(raw: u32, bits: u8) -> i32 {
+    if bits == 0 {
+        return 0;
+    }
+    let half = 1u32 << (bits - 1);
+    if raw >= half {
+        raw as i32
+    } else {
+        raw as i32 - (1 << bits) + 1
+    }
+}
+
+/// Collects the (symbol, amplitude) pairs for one scan. DC bands use differential coding;
+/// AC bands use (run, size) run-length coding with EOB/ZRL symbols.
+fn scan_symbols(planes: &CoefficientPlanes, band: ScanBand) -> Vec<(u8, u32, u8)> {
+    let mut symbols = Vec::new();
+    for (c, blocks) in planes.blocks.iter().enumerate() {
+        if band.is_dc() {
+            let mut prev = 0i32;
+            for block in blocks {
+                let dc = i32::from(block[0]);
+                let diff = dc - prev;
+                prev = dc;
+                let bits = magnitude_category(diff);
+                symbols.push((bits, encode_amplitude(diff, bits), bits));
+            }
+        } else {
+            for block in blocks {
+                let mut run = 0u32;
+                for zz in band.start..=band.end {
+                    let value = i32::from(block[ZIGZAG[zz]]);
+                    if value == 0 {
+                        run += 1;
+                        continue;
+                    }
+                    while run >= 16 {
+                        symbols.push((ZRL, 0, 0));
+                        run -= 16;
+                    }
+                    let bits = magnitude_category(value);
+                    let symbol = ((run as u8) << 4) | bits;
+                    symbols.push((symbol, encode_amplitude(value, bits), bits));
+                    run = 0;
+                }
+                if run > 0 {
+                    symbols.push((EOB, 0, 0));
+                }
+            }
+        }
+        let _ = c;
+    }
+    symbols
+}
+
+fn encode_scan(planes: &CoefficientPlanes, band: ScanBand) -> EncodedScan {
+    let symbols = scan_symbols(planes, band);
+    let mut freqs = [0u64; 256];
+    for &(sym, _, _) in &symbols {
+        freqs[sym as usize] += 1;
+    }
+    let code = HuffmanCode::from_frequencies(&freqs);
+    let mut data = Vec::new();
+    code.write_table(&mut data);
+    let mut writer = BitWriter::new();
+    for &(sym, amplitude, bits) in &symbols {
+        code.encode(sym, &mut writer);
+        if bits > 0 {
+            writer.write_bits(amplitude, bits);
+        }
+    }
+    data.extend_from_slice(&writer.finish());
+    EncodedScan { band, data }
+}
+
+fn decode_scan(scan: &EncodedScan, scan_index: usize, planes: &mut CoefficientPlanes) -> Result<()> {
+    let (code, consumed) = HuffmanCode::read_table(&scan.data)
+        .ok_or(CodecError::CorruptStream { scan: scan_index })?;
+    let mut reader = BitReader::new(&scan.data[consumed..]);
+    let band = scan.band;
+    let blocks_per_component = planes.blocks_x * planes.blocks_y;
+
+    for c in 0..COMPONENTS {
+        if band.is_dc() {
+            let mut prev = 0i32;
+            for b in 0..blocks_per_component {
+                let bits = code
+                    .decode(&mut reader)
+                    .ok_or(CodecError::TruncatedStream { scan: scan_index })?;
+                let raw = if bits > 0 {
+                    reader
+                        .read_bits(bits)
+                        .ok_or(CodecError::TruncatedStream { scan: scan_index })?
+                } else {
+                    0
+                };
+                let diff = decode_amplitude(raw, bits);
+                let dc = prev + diff;
+                prev = dc;
+                planes.blocks[c][b][0] = dc as i16;
+            }
+        } else {
+            for b in 0..blocks_per_component {
+                let mut zz = band.start;
+                while zz <= band.end {
+                    let symbol = code
+                        .decode(&mut reader)
+                        .ok_or(CodecError::TruncatedStream { scan: scan_index })?;
+                    if symbol == EOB {
+                        break;
+                    }
+                    if symbol == ZRL {
+                        zz += 16;
+                        continue;
+                    }
+                    let run = (symbol >> 4) as usize;
+                    let bits = symbol & 0x0F;
+                    zz += run;
+                    if zz > band.end {
+                        return Err(CodecError::CorruptStream { scan: scan_index });
+                    }
+                    let raw = reader
+                        .read_bits(bits)
+                        .ok_or(CodecError::TruncatedStream { scan: scan_index })?;
+                    planes.blocks[c][b][ZIGZAG[zz]] = decode_amplitude(raw, bits) as i16;
+                    zz += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn reconstruct_image(
+    planes: &CoefficientPlanes,
+    width: usize,
+    height: usize,
+    quality: u8,
+) -> Result<Image> {
+    let luma_table = QuantTable::luma(quality)?;
+    let chroma_table = QuantTable::chroma(quality)?;
+    let padded_w = planes.blocks_x * BLOCK;
+    let padded_h = planes.blocks_y * BLOCK;
+    let mut comp = vec![vec![0.0f32; padded_w * padded_h]; COMPONENTS];
+
+    for c in 0..COMPONENTS {
+        let table = if c == 0 { &luma_table } else { &chroma_table };
+        for by in 0..planes.blocks_y {
+            for bx in 0..planes.blocks_x {
+                let levels = &planes.blocks[c][by * planes.blocks_x + bx];
+                let coeffs = table.dequantize(levels);
+                let spatial = inverse_dct(&coeffs);
+                for dy in 0..BLOCK {
+                    for dx in 0..BLOCK {
+                        comp[c][(by * BLOCK + dy) * padded_w + bx * BLOCK + dx] =
+                            spatial[dy * BLOCK + dx];
+                    }
+                }
+            }
+        }
+    }
+
+    let img = Image::from_fn(width, height, |x, y| {
+        let idx = y * padded_w + x;
+        let ycbcr = [
+            (comp[0][idx] + 128.0) / 255.0,
+            (comp[1][idx] + 128.0) / 255.0,
+            (comp[2][idx] + 128.0) / 255.0,
+        ];
+        ycbcr_to_rgb(ycbcr)
+    })?;
+    Ok(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescnn_imaging::{psnr, render_scene, ssim, SceneSpec};
+
+    fn test_image(detail: f64) -> Image {
+        render_scene(
+            &SceneSpec::new(72, 56, 11).with_detail(detail).with_object_scale(0.6).with_seed(3),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_plan_validation() {
+        assert!(ScanPlan::new(vec![]).is_err());
+        assert!(ScanPlan::new(vec![ScanBand::new(0, 5)]).is_err());
+        assert!(ScanPlan::new(vec![ScanBand::new(0, 0), ScanBand::new(2, 63)]).is_err());
+        assert!(ScanPlan::new(vec![ScanBand::new(0, 0), ScanBand::new(1, 62)]).is_err());
+        assert!(ScanPlan::new(vec![ScanBand::new(0, 0), ScanBand::new(1, 63)]).is_ok());
+        let std_plan = ScanPlan::standard();
+        assert_eq!(std_plan.len(), 5);
+        assert!(!std_plan.is_empty());
+        assert!(ScanPlan::new(std_plan.bands().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn band_accessors() {
+        let band = ScanBand::new(6, 14);
+        assert_eq!(band.len(), 9);
+        assert!(!band.is_dc());
+        assert!(!band.is_empty());
+        assert!(ScanBand::new(0, 0).is_dc());
+    }
+
+    #[test]
+    fn full_decode_is_faithful_at_high_quality() {
+        let img = test_image(0.4);
+        let encoded = ProgressiveImage::encode(&img, 92, ScanPlan::standard()).unwrap();
+        let decoded = encoded.decode(encoded.num_scans()).unwrap();
+        assert_eq!(decoded.dimensions(), img.dimensions());
+        let quality = psnr(&img, &decoded).unwrap();
+        assert!(quality > 28.0, "PSNR {quality} too low for q=92");
+        assert!(ssim(&img, &decoded).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn progressive_scans_monotonically_improve_quality() {
+        let img = test_image(0.8);
+        let encoded = ProgressiveImage::encode(&img, 85, ScanPlan::standard()).unwrap();
+        let mut prev_ssim = -1.0;
+        for scans in 1..=encoded.num_scans() {
+            let decoded = encoded.decode(scans).unwrap();
+            let s = ssim(&img, &decoded).unwrap();
+            assert!(
+                s >= prev_ssim - 0.02,
+                "quality regressed at scan {scans}: {s} < {prev_ssim}"
+            );
+            prev_ssim = s;
+        }
+        assert!(prev_ssim > 0.85);
+    }
+
+    #[test]
+    fn byte_counts_are_cumulative_and_monotone() {
+        let img = test_image(0.6);
+        let encoded = ProgressiveImage::encode(&img, 80, ScanPlan::standard()).unwrap();
+        let per_scan = encoded.scan_bytes();
+        assert_eq!(per_scan.len(), 5);
+        assert!(per_scan.iter().all(|&b| b > 0));
+        let mut prev = 0;
+        for k in 0..=encoded.num_scans() {
+            let cum = encoded.cumulative_bytes(k);
+            assert!(cum >= prev);
+            prev = cum;
+        }
+        assert_eq!(encoded.total_bytes(), encoded.cumulative_bytes(5));
+        assert!(encoded.read_fraction(1) < 1.0);
+        assert!((encoded.read_fraction(5) - 1.0).abs() < 1e-12);
+        // Requesting more scans than available saturates.
+        assert_eq!(encoded.cumulative_bytes(99), encoded.total_bytes());
+    }
+
+    #[test]
+    fn lower_quality_means_fewer_bytes() {
+        let img = test_image(0.7);
+        let high = ProgressiveImage::encode(&img, 95, ScanPlan::standard()).unwrap();
+        let low = ProgressiveImage::encode(&img, 40, ScanPlan::standard()).unwrap();
+        assert!(low.total_bytes() < high.total_bytes());
+    }
+
+    #[test]
+    fn compression_beats_raw_storage() {
+        let img = test_image(0.3);
+        let encoded = ProgressiveImage::encode(&img, 75, ScanPlan::standard()).unwrap();
+        assert!(encoded.total_bytes() < img.raw_byte_size());
+    }
+
+    #[test]
+    fn decode_scan_out_of_range_is_rejected() {
+        let img = test_image(0.5);
+        let encoded = ProgressiveImage::encode(&img, 75, ScanPlan::standard()).unwrap();
+        assert!(matches!(
+            encoded.decode(6),
+            Err(CodecError::ScanOutOfRange { requested: 6, available: 5 })
+        ));
+        assert_eq!(encoded.quality(), 75);
+        assert_eq!(encoded.width(), 72);
+        assert_eq!(encoded.height(), 56);
+        assert_eq!(encoded.plan().len(), 5);
+    }
+
+    #[test]
+    fn zero_scans_decodes_to_flat_image() {
+        let img = test_image(0.5);
+        let encoded = ProgressiveImage::encode(&img, 75, ScanPlan::standard()).unwrap();
+        let flat = encoded.decode(0).unwrap();
+        assert_eq!(flat.dimensions(), img.dimensions());
+        // With no coefficients everything decodes to mid-grey after the +128 shift.
+        let p = flat.pixel(10, 10);
+        assert!((p[0] - p[1]).abs() < 0.05);
+    }
+
+    #[test]
+    fn truncated_scan_data_is_detected() {
+        let img = test_image(0.5);
+        let mut encoded = ProgressiveImage::encode(&img, 75, ScanPlan::standard()).unwrap();
+        // Truncate the last scan's bitstream hard (keep the table header plus a sliver).
+        let scan = &mut encoded.scans[4];
+        let keep = (scan.data.len() / 4).max(40);
+        scan.data.truncate(keep);
+        match encoded.decode(5) {
+            Err(CodecError::TruncatedStream { .. }) | Err(CodecError::CorruptStream { .. }) => {}
+            other => panic!("expected stream error, got {other:?}"),
+        }
+        // Earlier scans still decode fine.
+        assert!(encoded.decode(3).is_ok());
+    }
+
+    #[test]
+    fn invalid_quality_is_rejected() {
+        let img = test_image(0.5);
+        assert!(ProgressiveImage::encode(&img, 0, ScanPlan::standard()).is_err());
+        assert!(ProgressiveImage::encode(&img, 101, ScanPlan::standard()).is_err());
+    }
+
+    #[test]
+    fn non_multiple_of_eight_dimensions_round_trip() {
+        let img = render_scene(&SceneSpec::new(37, 29, 5)).unwrap();
+        let encoded = ProgressiveImage::encode(&img, 85, ScanPlan::standard()).unwrap();
+        let decoded = encoded.decode(5).unwrap();
+        assert_eq!(decoded.dimensions(), (37, 29));
+        assert!(psnr(&img, &decoded).unwrap() > 24.0);
+    }
+
+    #[test]
+    fn amplitude_coding_round_trips() {
+        for v in [-1000, -255, -128, -1, 0, 1, 2, 31, 255, 1000] {
+            let bits = magnitude_category(v);
+            let enc = encode_amplitude(v, bits);
+            assert_eq!(decode_amplitude(enc, bits), v, "value {v}");
+        }
+        assert_eq!(magnitude_category(0), 0);
+        assert_eq!(magnitude_category(1), 1);
+        assert_eq!(magnitude_category(-1), 1);
+        assert_eq!(magnitude_category(255), 8);
+    }
+
+    #[test]
+    fn custom_two_scan_plan_works() {
+        let plan =
+            ScanPlan::new(vec![ScanBand::new(0, 0), ScanBand::new(1, 63)]).unwrap();
+        let img = test_image(0.5);
+        let encoded = ProgressiveImage::encode(&img, 80, plan).unwrap();
+        assert_eq!(encoded.num_scans(), 2);
+        let full = encoded.decode(2).unwrap();
+        assert!(ssim(&img, &full).unwrap() > 0.85);
+    }
+}

@@ -1,0 +1,66 @@
+//! RGB ⇄ YCbCr conversion (BT.601 full-range, as used by JPEG).
+
+/// Converts an RGB pixel in `[0, 1]` to YCbCr in `[0, 1]` (chroma centred at 0.5).
+#[inline]
+pub fn rgb_to_ycbcr(rgb: [f32; 3]) -> [f32; 3] {
+    let [r, g, b] = rgb;
+    let y = 0.299 * r + 0.587 * g + 0.114 * b;
+    let cb = -0.168_736 * r - 0.331_264 * g + 0.5 * b + 0.5;
+    let cr = 0.5 * r - 0.418_688 * g - 0.081_312 * b + 0.5;
+    [y, cb, cr]
+}
+
+/// Converts a YCbCr pixel in `[0, 1]` back to RGB in `[0, 1]` (clamped).
+#[inline]
+pub fn ycbcr_to_rgb(ycbcr: [f32; 3]) -> [f32; 3] {
+    let [y, cb, cr] = ycbcr;
+    let cb = cb - 0.5;
+    let cr = cr - 0.5;
+    let r = y + 1.402 * cr;
+    let g = y - 0.344_136 * cb - 0.714_136 * cr;
+    let b = y + 1.772 * cb;
+    [r.clamp(0.0, 1.0), g.clamp(0.0, 1.0), b.clamp(0.0, 1.0)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_round_trip() {
+        for rgb in [
+            [0.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.25, 0.5, 0.75],
+            [0.9, 0.1, 0.4],
+        ] {
+            let back = ycbcr_to_rgb(rgb_to_ycbcr(rgb));
+            for (a, b) in rgb.iter().zip(&back) {
+                assert!((a - b).abs() < 2e-3, "{rgb:?} -> {back:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn grey_has_neutral_chroma() {
+        let [y, cb, cr] = rgb_to_ycbcr([0.42, 0.42, 0.42]);
+        assert!((y - 0.42).abs() < 1e-5);
+        assert!((cb - 0.5).abs() < 1e-5);
+        assert!((cr - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn luma_matches_image_luma_weights() {
+        let [y, _, _] = rgb_to_ycbcr([1.0, 0.0, 0.0]);
+        assert!((y - 0.299).abs() < 1e-6);
+    }
+
+    #[test]
+    fn output_is_clamped() {
+        let rgb = ycbcr_to_rgb([1.0, 1.0, 1.0]);
+        assert!(rgb.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,153 @@
+//! 8×8 forward and inverse discrete cosine transforms and the zig-zag ordering.
+
+/// Block extent of the transform (8×8, as in JPEG).
+pub const BLOCK: usize = 8;
+/// Number of coefficients per block.
+pub const BLOCK_AREA: usize = BLOCK * BLOCK;
+
+/// Zig-zag ordering mapping scan position → raster position within an 8×8 block.
+pub const ZIGZAG: [usize; BLOCK_AREA] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+fn basis(k: usize, n: usize) -> f32 {
+    // cos((2n+1) k π / 16)
+    (((2 * n + 1) * k) as f32 * std::f32::consts::PI / 16.0).cos()
+}
+
+fn alpha(k: usize) -> f32 {
+    if k == 0 {
+        (1.0_f32 / 8.0).sqrt()
+    } else {
+        (2.0_f32 / 8.0).sqrt()
+    }
+}
+
+/// Forward 8×8 DCT-II of a raster-order block (values typically centred around zero).
+///
+/// The output is in raster order; use [`ZIGZAG`] to reorder for spectral-selection scans.
+pub fn forward_dct(block: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let mut out = [0.0f32; BLOCK_AREA];
+    // Separable: rows then columns.
+    let mut tmp = [0.0f32; BLOCK_AREA];
+    for y in 0..BLOCK {
+        for u in 0..BLOCK {
+            let mut acc = 0.0;
+            for x in 0..BLOCK {
+                acc += block[y * BLOCK + x] * basis(u, x);
+            }
+            tmp[y * BLOCK + u] = acc * alpha(u);
+        }
+    }
+    for u in 0..BLOCK {
+        for v in 0..BLOCK {
+            let mut acc = 0.0;
+            for y in 0..BLOCK {
+                acc += tmp[y * BLOCK + u] * basis(v, y);
+            }
+            out[v * BLOCK + u] = acc * alpha(v);
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT (DCT-III), the exact inverse of [`forward_dct`].
+pub fn inverse_dct(coeffs: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let mut out = [0.0f32; BLOCK_AREA];
+    let mut tmp = [0.0f32; BLOCK_AREA];
+    for u in 0..BLOCK {
+        for y in 0..BLOCK {
+            let mut acc = 0.0;
+            for v in 0..BLOCK {
+                acc += alpha(v) * coeffs[v * BLOCK + u] * basis(v, y);
+            }
+            tmp[y * BLOCK + u] = acc;
+        }
+    }
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let mut acc = 0.0;
+            for u in 0..BLOCK {
+                acc += alpha(u) * tmp[y * BLOCK + u] * basis(u, x);
+            }
+            out[y * BLOCK + x] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; BLOCK_AREA];
+        for &i in &ZIGZAG {
+            assert!(i < BLOCK_AREA);
+            assert!(!seen[i], "duplicate zig-zag entry {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // First entries follow the JPEG spec.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn constant_block_concentrates_in_dc() {
+        let block = [12.5f32; BLOCK_AREA];
+        let coeffs = forward_dct(&block);
+        assert!((coeffs[0] - 12.5 * 8.0).abs() < 1e-3);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-3, "AC coefficient {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let mut block = [0.0f32; BLOCK_AREA];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i as f32 * 1.7).sin() * 100.0) + (i as f32) - 32.0;
+        }
+        let coeffs = forward_dct(&block);
+        let back = inverse_dct(&coeffs);
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn transform_is_orthonormal() {
+        // Parseval: energy preserved.
+        let mut block = [0.0f32; BLOCK_AREA];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37 % 23) as f32) - 11.0;
+        }
+        let coeffs = forward_dct(&block);
+        let e_spatial: f32 = block.iter().map(|v| v * v).sum();
+        let e_freq: f32 = coeffs.iter().map(|v| v * v).sum();
+        assert!((e_spatial - e_freq).abs() / e_spatial < 1e-4);
+    }
+
+    #[test]
+    fn high_frequency_pattern_concentrates_in_high_coeffs() {
+        // Checkerboard: energy in the highest-frequency coefficient.
+        let mut block = [0.0f32; BLOCK_AREA];
+        for y in 0..BLOCK {
+            for x in 0..BLOCK {
+                block[y * BLOCK + x] = if (x + y) % 2 == 0 { 100.0 } else { -100.0 };
+            }
+        }
+        let coeffs = forward_dct(&block);
+        let max_idx = coeffs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 63, "checkerboard must peak at the (7,7) coefficient");
+    }
+}

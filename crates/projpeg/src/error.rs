@@ -1,0 +1,95 @@
+//! Error types for the progressive codec.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while encoding or decoding progressive images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The requested quality factor is outside `1..=100`.
+    InvalidQuality {
+        /// Requested quality.
+        quality: u8,
+    },
+    /// A scan plan is empty, overlapping, or does not cover the coefficient range.
+    InvalidScanPlan {
+        /// Explanation of the defect.
+        reason: String,
+    },
+    /// The encoded stream ended before the expected number of symbols was read.
+    TruncatedStream {
+        /// Scan index in which the truncation was detected.
+        scan: usize,
+    },
+    /// The encoded stream contains a symbol that the Huffman table cannot resolve.
+    CorruptStream {
+        /// Scan index in which the corruption was detected.
+        scan: usize,
+    },
+    /// The requested number of scans exceeds what the encoded image contains.
+    ScanOutOfRange {
+        /// Requested scan count.
+        requested: usize,
+        /// Available scan count.
+        available: usize,
+    },
+    /// The image could not be constructed (propagated from the imaging crate).
+    Imaging(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::InvalidQuality { quality } => {
+                write!(f, "quality factor {quality} must lie in 1..=100")
+            }
+            CodecError::InvalidScanPlan { reason } => write!(f, "invalid scan plan: {reason}"),
+            CodecError::TruncatedStream { scan } => {
+                write!(f, "encoded stream truncated in scan {scan}")
+            }
+            CodecError::CorruptStream { scan } => {
+                write!(f, "encoded stream corrupt in scan {scan}")
+            }
+            CodecError::ScanOutOfRange { requested, available } => {
+                write!(f, "requested {requested} scans but only {available} are encoded")
+            }
+            CodecError::Imaging(msg) => write!(f, "imaging error: {msg}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+impl From<rescnn_imaging::ImagingError> for CodecError {
+    fn from(err: rescnn_imaging::ImagingError) -> Self {
+        CodecError::Imaging(err.to_string())
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CodecError::InvalidQuality { quality: 0 }.to_string().contains("1..=100"));
+        assert!(CodecError::InvalidScanPlan { reason: "gap".into() }.to_string().contains("gap"));
+        assert!(CodecError::TruncatedStream { scan: 2 }.to_string().contains("scan 2"));
+        assert!(CodecError::CorruptStream { scan: 1 }.to_string().contains("corrupt"));
+        assert!(CodecError::ScanOutOfRange { requested: 9, available: 5 }
+            .to_string()
+            .contains('9'));
+        let img_err = rescnn_imaging::ImagingError::EmptyImage;
+        let converted: CodecError = img_err.into();
+        assert!(converted.to_string().contains("imaging"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodecError>();
+    }
+}

@@ -1,0 +1,323 @@
+//! Canonical Huffman coding for the entropy stage of the progressive codec.
+//!
+//! Each scan builds its own code from the symbol histogram of that scan (a "two-pass"
+//! encoder), stores the 256-entry code-length table in the scan header, and then emits the
+//! coded symbol stream. This mirrors the optimized-Huffman mode of libjpeg and makes the
+//! per-scan byte counts honest: they reflect the actual entropy of each spectral band.
+
+use crate::bits::{BitReader, BitWriter};
+
+/// Maximum code length permitted (same limit as JPEG).
+const MAX_CODE_LEN: u8 = 16;
+
+/// A canonical Huffman code over byte-valued symbols.
+#[derive(Debug, Clone)]
+pub struct HuffmanCode {
+    /// Code length per symbol (0 = symbol absent).
+    lengths: [u8; 256],
+    /// Code value per symbol (valid when length > 0).
+    codes: [u16; 256],
+}
+
+impl HuffmanCode {
+    /// Builds a length-limited canonical code from symbol frequencies.
+    ///
+    /// Symbols with zero frequency get no code. If only one distinct symbol occurs it is
+    /// assigned a one-bit code. Package-merge would be optimal; we use the simpler
+    /// "sort by frequency, assign by Shannon length, then rebalance" approach which is
+    /// close to optimal for the skewed distributions produced by DCT coefficients.
+    pub fn from_frequencies(freqs: &[u64; 256]) -> Self {
+        let mut lengths = [0u8; 256];
+        let total: u64 = freqs.iter().sum();
+        if total == 0 {
+            return HuffmanCode { lengths, codes: [0; 256] };
+        }
+        let present: Vec<usize> = (0..256).filter(|&s| freqs[s] > 0).collect();
+        if present.len() == 1 {
+            lengths[present[0]] = 1;
+            return Self::assign_codes(lengths);
+        }
+
+        // Initial lengths from the Shannon bound, clamped to [1, MAX_CODE_LEN].
+        for &s in &present {
+            let p = freqs[s] as f64 / total as f64;
+            let ideal = (-p.log2()).ceil().max(1.0);
+            lengths[s] = ideal.min(MAX_CODE_LEN as f64) as u8;
+        }
+        Self::rebalance(&mut lengths, &present, freqs);
+        Self::assign_codes(lengths)
+    }
+
+    /// Adjusts lengths until the Kraft inequality is satisfied with equality-or-less, so a
+    /// prefix code of those lengths exists.
+    fn rebalance(lengths: &mut [u8; 256], present: &[usize], freqs: &[u64; 256]) {
+        // Kraft sum in units of 2^-MAX_CODE_LEN.
+        let unit = |len: u8| 1u64 << (MAX_CODE_LEN - len);
+        let kraft = |lengths: &[u8; 256], present: &[usize]| -> u64 {
+            present.iter().map(|&s| unit(lengths[s])).sum()
+        };
+        let budget = 1u64 << MAX_CODE_LEN;
+
+        // If over budget, lengthen the least frequent symbols first.
+        let mut order: Vec<usize> = present.to_vec();
+        order.sort_by_key(|&s| freqs[s]);
+        let mut guard = 0;
+        while kraft(lengths, present) > budget && guard < 1_000_000 {
+            guard += 1;
+            let mut changed = false;
+            for &s in &order {
+                if lengths[s] < MAX_CODE_LEN {
+                    lengths[s] += 1;
+                    changed = true;
+                    if kraft(lengths, present) <= budget {
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // If under budget, shorten the most frequent symbols (improves efficiency but is
+        // not required for correctness).
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            if guard > 10_000 {
+                break;
+            }
+            let mut improved = false;
+            for &s in order.iter().rev() {
+                if lengths[s] > 1 {
+                    let gain = unit(lengths[s] - 1) - unit(lengths[s]);
+                    if kraft(lengths, present) + gain <= budget {
+                        lengths[s] -= 1;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+
+    /// Assigns canonical code values given per-symbol lengths.
+    fn assign_codes(lengths: [u8; 256]) -> Self {
+        let mut codes = [0u16; 256];
+        // Canonical order: by (length, symbol).
+        let mut symbols: Vec<usize> = (0..256).filter(|&s| lengths[s] > 0).collect();
+        symbols.sort_by_key(|&s| (lengths[s], s));
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &s in &symbols {
+            let len = lengths[s];
+            code <<= len - prev_len;
+            codes[s] = code as u16;
+            code += 1;
+            prev_len = len;
+        }
+        HuffmanCode { lengths, codes }
+    }
+
+    /// Reconstructs a code from a stored length table (as written by [`Self::write_table`]).
+    pub fn from_lengths(lengths: [u8; 256]) -> Self {
+        Self::assign_codes(lengths)
+    }
+
+    /// Per-symbol code lengths.
+    pub fn lengths(&self) -> &[u8; 256] {
+        &self.lengths
+    }
+
+    /// Encodes one symbol into the writer.
+    ///
+    /// # Panics
+    /// Panics if the symbol has no code (zero frequency at build time).
+    pub fn encode(&self, symbol: u8, writer: &mut BitWriter) {
+        let len = self.lengths[symbol as usize];
+        assert!(len > 0, "symbol {symbol} has no code");
+        writer.write_bits(u32::from(self.codes[symbol as usize]), len);
+    }
+
+    /// Decodes one symbol from the reader, or `None` on end of stream / unknown code.
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Option<u8> {
+        let mut code = 0u32;
+        for len in 1..=MAX_CODE_LEN {
+            code = (code << 1) | u32::from(reader.read_bit()?);
+            // Linear scan is acceptable: tables are small and decode speed is not the
+            // bottleneck of the experiments.
+            for s in 0..256usize {
+                if self.lengths[s] == len && u32::from(self.codes[s]) == code {
+                    return Some(s as u8);
+                }
+            }
+        }
+        None
+    }
+
+    /// Serializes the table in the compact JPEG `DHT` layout: 16 bytes holding the number
+    /// of codes of each length (1–16) followed by the symbols in canonical order.
+    pub fn write_table(&self, out: &mut Vec<u8>) {
+        let mut counts = [0u8; MAX_CODE_LEN as usize];
+        let mut symbols: Vec<usize> = (0..256).filter(|&s| self.lengths[s] > 0).collect();
+        symbols.sort_by_key(|&s| (self.lengths[s], s));
+        for &s in &symbols {
+            counts[self.lengths[s] as usize - 1] += 1;
+        }
+        out.extend_from_slice(&counts);
+        out.extend(symbols.iter().map(|&s| s as u8));
+    }
+
+    /// Reads a table previously written by [`Self::write_table`], returning the code and
+    /// the number of bytes consumed.
+    pub fn read_table(bytes: &[u8]) -> Option<(Self, usize)> {
+        if bytes.len() < MAX_CODE_LEN as usize {
+            return None;
+        }
+        let counts = &bytes[..MAX_CODE_LEN as usize];
+        let total: usize = counts.iter().map(|&c| c as usize).sum();
+        let needed = MAX_CODE_LEN as usize + total;
+        if bytes.len() < needed {
+            return None;
+        }
+        let mut lengths = [0u8; 256];
+        let mut idx = MAX_CODE_LEN as usize;
+        for (len_minus_one, &count) in counts.iter().enumerate() {
+            for _ in 0..count {
+                lengths[bytes[idx] as usize] = len_minus_one as u8 + 1;
+                idx += 1;
+            }
+        }
+        Some((Self::from_lengths(lengths), needed))
+    }
+
+    /// Total coded size in bits for a symbol histogram (excluding the table header).
+    pub fn coded_bits(&self, freqs: &[u64; 256]) -> u64 {
+        freqs
+            .iter()
+            .enumerate()
+            .map(|(s, &f)| f * u64::from(self.lengths[s]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(symbols: &[u8]) -> [u64; 256] {
+        let mut freqs = [0u64; 256];
+        for &s in symbols {
+            freqs[s as usize] += 1;
+        }
+        freqs
+    }
+
+    fn round_trip(symbols: &[u8]) {
+        let freqs = histogram(symbols);
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let mut writer = BitWriter::new();
+        for &s in symbols {
+            code.encode(s, &mut writer);
+        }
+        let bytes = writer.finish();
+        let mut reader = BitReader::new(&bytes);
+        for &s in symbols {
+            assert_eq!(code.decode(&mut reader), Some(s));
+        }
+    }
+
+    #[test]
+    fn round_trip_skewed_distribution() {
+        let mut symbols = vec![0u8; 400];
+        symbols.extend(vec![1u8; 100]);
+        symbols.extend(vec![7u8; 30]);
+        symbols.extend(vec![200u8; 3]);
+        symbols.extend((0..50u8).collect::<Vec<_>>());
+        round_trip(&symbols);
+    }
+
+    #[test]
+    fn round_trip_single_symbol() {
+        round_trip(&[42u8; 64]);
+    }
+
+    #[test]
+    fn round_trip_uniform_all_symbols() {
+        let symbols: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        round_trip(&symbols);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_codes() {
+        let code = HuffmanCode::from_frequencies(&[0; 256]);
+        assert!(code.lengths().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn skewed_code_is_shorter_than_fixed_width() {
+        let mut symbols = vec![0u8; 1000];
+        symbols.extend(vec![1u8; 10]);
+        symbols.extend(vec![2u8; 5]);
+        let freqs = histogram(&symbols);
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let bits = code.coded_bits(&freqs);
+        // Fixed 8-bit coding would take 8 * 1015 bits; entropy coding must beat 2 bits/symbol.
+        assert!(bits < 2 * 1015, "coded bits {bits}");
+    }
+
+    #[test]
+    fn prefix_property_holds() {
+        let mut symbols: Vec<u8> = Vec::new();
+        for s in 0..40u8 {
+            symbols.extend(std::iter::repeat(s).take(1 + (s as usize % 9) * 11));
+        }
+        let code = HuffmanCode::from_frequencies(&histogram(&symbols));
+        // No code may be a prefix of another.
+        for a in 0..256usize {
+            if code.lengths[a] == 0 {
+                continue;
+            }
+            for b in 0..256usize {
+                if a == b || code.lengths[b] == 0 || code.lengths[a] > code.lengths[b] {
+                    continue;
+                }
+                let shift = code.lengths[b] - code.lengths[a];
+                assert!(
+                    (code.codes[b] >> shift) != code.codes[a],
+                    "code {a} is a prefix of {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let freqs = histogram(&[1, 1, 1, 2, 2, 3, 9, 9, 9, 9]);
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let mut table = Vec::new();
+        code.write_table(&mut table);
+        // 16 count bytes + one byte per distinct symbol (4 distinct symbols here).
+        assert_eq!(table.len(), 16 + 4);
+        let (decoded, consumed) = HuffmanCode::read_table(&table).unwrap();
+        assert_eq!(consumed, table.len());
+        assert_eq!(decoded.lengths(), code.lengths());
+        assert!(HuffmanCode::read_table(&table[..10]).is_none());
+        assert!(HuffmanCode::read_table(&table[..17]).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let freqs = histogram(&[5, 5, 6]);
+        let code = HuffmanCode::from_frequencies(&freqs);
+        // A stream of bits that cannot all resolve to symbols eventually returns None.
+        let garbage = vec![0xAA; 1];
+        let mut reader = BitReader::new(&garbage);
+        let mut decoded = 0;
+        while code.decode(&mut reader).is_some() {
+            decoded += 1;
+            assert!(decoded < 64, "decode must terminate");
+        }
+    }
+}

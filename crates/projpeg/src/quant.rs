@@ -1,0 +1,143 @@
+//! Quantization tables and quality scaling (Annex K of the JPEG standard).
+
+use crate::dct::BLOCK_AREA;
+use crate::error::{CodecError, Result};
+
+/// Base luminance quantization table (JPEG Annex K, raster order).
+pub const BASE_LUMA: [u16; BLOCK_AREA] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
+    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Base chrominance quantization table (JPEG Annex K, raster order).
+pub const BASE_CHROMA: [u16; BLOCK_AREA] = [
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99,
+    99, 47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// A scaled quantization table for one component class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantTable {
+    values: [u16; BLOCK_AREA],
+}
+
+impl QuantTable {
+    /// Builds a quality-scaled table using the libjpeg scaling convention.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::InvalidQuality`] unless `1 <= quality <= 100`.
+    pub fn scaled(base: &[u16; BLOCK_AREA], quality: u8) -> Result<Self> {
+        if quality == 0 || quality > 100 {
+            return Err(CodecError::InvalidQuality { quality });
+        }
+        let scale: u32 = if quality < 50 {
+            5000 / u32::from(quality)
+        } else {
+            200 - 2 * u32::from(quality)
+        };
+        let mut values = [0u16; BLOCK_AREA];
+        for (v, &b) in values.iter_mut().zip(base.iter()) {
+            let scaled = (u32::from(b) * scale + 50) / 100;
+            *v = scaled.clamp(1, 255) as u16;
+        }
+        Ok(QuantTable { values })
+    }
+
+    /// Quality-scaled luminance table.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::InvalidQuality`] for out-of-range quality factors.
+    pub fn luma(quality: u8) -> Result<Self> {
+        Self::scaled(&BASE_LUMA, quality)
+    }
+
+    /// Quality-scaled chrominance table.
+    ///
+    /// # Errors
+    /// Returns [`CodecError::InvalidQuality`] for out-of-range quality factors.
+    pub fn chroma(quality: u8) -> Result<Self> {
+        Self::scaled(&BASE_CHROMA, quality)
+    }
+
+    /// The step size for coefficient `index` (raster order).
+    #[inline]
+    pub fn step(&self, index: usize) -> f32 {
+        f32::from(self.values[index])
+    }
+
+    /// Quantizes a raster-order coefficient block to integers.
+    pub fn quantize(&self, coeffs: &[f32; BLOCK_AREA]) -> [i16; BLOCK_AREA] {
+        let mut out = [0i16; BLOCK_AREA];
+        for i in 0..BLOCK_AREA {
+            out[i] = (coeffs[i] / self.step(i)).round().clamp(-32768.0, 32767.0) as i16;
+        }
+        out
+    }
+
+    /// Dequantizes integer levels back to coefficient magnitudes.
+    pub fn dequantize(&self, levels: &[i16; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+        let mut out = [0.0f32; BLOCK_AREA];
+        for i in 0..BLOCK_AREA {
+            out[i] = f32::from(levels[i]) * self.step(i);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_bounds_are_enforced() {
+        assert!(QuantTable::luma(0).is_err());
+        assert!(QuantTable::luma(101).is_err());
+        assert!(QuantTable::luma(1).is_ok());
+        assert!(QuantTable::chroma(100).is_ok());
+    }
+
+    #[test]
+    fn higher_quality_means_smaller_steps() {
+        let q30 = QuantTable::luma(30).unwrap();
+        let q90 = QuantTable::luma(90).unwrap();
+        let sum30: u32 = (0..BLOCK_AREA).map(|i| q30.step(i) as u32).sum();
+        let sum90: u32 = (0..BLOCK_AREA).map(|i| q90.step(i) as u32).sum();
+        assert!(sum90 < sum30);
+        // Quality 50 reproduces the base table exactly.
+        let q50 = QuantTable::luma(50).unwrap();
+        for i in 0..BLOCK_AREA {
+            assert_eq!(q50.step(i) as u16, BASE_LUMA[i]);
+        }
+    }
+
+    #[test]
+    fn steps_never_hit_zero() {
+        let q100 = QuantTable::luma(100).unwrap();
+        for i in 0..BLOCK_AREA {
+            assert!(q100.step(i) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_bounds_error_by_step() {
+        let table = QuantTable::luma(75).unwrap();
+        let mut coeffs = [0.0f32; BLOCK_AREA];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = ((i as f32) - 30.0) * 7.3;
+        }
+        let levels = table.quantize(&coeffs);
+        let back = table.dequantize(&levels);
+        for i in 0..BLOCK_AREA {
+            assert!((coeffs[i] - back[i]).abs() <= table.step(i) / 2.0 + 1e-3);
+        }
+    }
+
+    #[test]
+    fn chroma_is_coarser_than_luma_at_high_frequencies() {
+        let luma = QuantTable::luma(50).unwrap();
+        let chroma = QuantTable::chroma(50).unwrap();
+        assert!(chroma.step(63) >= luma.step(63));
+    }
+}

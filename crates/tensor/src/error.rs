@@ -1,0 +1,114 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by tensor construction and kernel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the provided buffer.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that must be identical (or broadcastable) are not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A convolution/pooling configuration produces an empty or negative output extent.
+    InvalidWindow {
+        /// Input spatial extent.
+        input: usize,
+        /// Kernel extent.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        padding: usize,
+    },
+    /// A dimension that must be non-zero was zero.
+    ZeroDimension {
+        /// Human-readable name of the offending dimension.
+        name: &'static str,
+    },
+    /// Channel counts incompatible with the grouping configuration.
+    InvalidGrouping {
+        /// Input channel count.
+        in_channels: usize,
+        /// Output channel count.
+        out_channels: usize,
+        /// Number of groups.
+        groups: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: {left:?} vs {right:?}")
+            }
+            TensorError::InvalidWindow { input, kernel, stride, padding } => write!(
+                f,
+                "invalid window: input {input}, kernel {kernel}, stride {stride}, padding {padding}"
+            ),
+            TensorError::ZeroDimension { name } => {
+                write!(f, "dimension `{name}` must be non-zero")
+            }
+            TensorError::InvalidGrouping { in_channels, out_channels, groups } => write!(
+                f,
+                "channels ({in_channels} in, {out_channels} out) not divisible by {groups} groups"
+            ),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::LengthMismatch { expected: 12, actual: 10 };
+        assert!(err.to_string().contains("12"));
+        assert!(err.to_string().contains("10"));
+
+        let err = TensorError::ShapeMismatch {
+            left: vec![1, 2],
+            right: vec![2, 1],
+            op: "add",
+        };
+        assert!(err.to_string().contains("add"));
+
+        let err = TensorError::InvalidWindow { input: 1, kernel: 3, stride: 1, padding: 0 };
+        assert!(err.to_string().contains("kernel 3"));
+
+        let err = TensorError::ZeroDimension { name: "channels" };
+        assert!(err.to_string().contains("channels"));
+
+        let err =
+            TensorError::InvalidGrouping { in_channels: 3, out_channels: 8, groups: 2 };
+        assert!(err.to_string().contains("2 groups"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,215 @@
+//! Dense matrix multiplication kernels.
+//!
+//! Two implementations are provided: a straightforward triple loop used as a reference,
+//! and a cache-blocked, register-tiled variant used by the im2col convolution path and by
+//! the Criterion benchmarks to demonstrate the utilization gap between naive and tuned
+//! kernels that the paper's autotuning section (§VI) builds on.
+
+/// A row-major matrix view described by raw dimensions.
+///
+/// The GEMM routines operate on plain slices to avoid committing the tensor type to a
+/// particular matrix layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatDims {
+    /// Rows of the left operand / output.
+    pub m: usize,
+    /// Columns of the right operand / output.
+    pub n: usize,
+    /// Inner (shared) dimension.
+    pub k: usize,
+}
+
+impl MatDims {
+    /// Creates a new dimension triple.
+    pub const fn new(m: usize, n: usize, k: usize) -> Self {
+        MatDims { m, n, k }
+    }
+
+    /// Number of multiply–accumulate operations for one GEMM.
+    pub const fn macs(&self) -> u64 {
+        (self.m as u64) * (self.n as u64) * (self.k as u64)
+    }
+}
+
+/// Reference GEMM: `out[m][n] += a[m][k] * b[k][n]` with a plain triple loop.
+///
+/// `out` must have length `dims.m * dims.n`, `a` length `dims.m * dims.k`, and `b` length
+/// `dims.k * dims.n`. The output is accumulated into (callers zero it first when needed).
+///
+/// # Panics
+/// Panics if any slice is shorter than its required length.
+pub fn gemm_naive(dims: MatDims, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= dims.m * dims.k, "lhs too short");
+    assert!(b.len() >= dims.k * dims.n, "rhs too short");
+    assert!(out.len() >= dims.m * dims.n, "out too short");
+    for i in 0..dims.m {
+        for p in 0..dims.k {
+            let av = a[i * dims.k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * dims.n..(p + 1) * dims.n];
+            let orow = &mut out[i * dims.n..(i + 1) * dims.n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Blocking parameters for the tiled GEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmBlocking {
+    /// Tile extent along `m`.
+    pub mb: usize,
+    /// Tile extent along `n`.
+    pub nb: usize,
+    /// Tile extent along `k`.
+    pub kb: usize,
+}
+
+impl Default for GemmBlocking {
+    fn default() -> Self {
+        // Sized for a 32 KiB L1 data cache: one MB×KB panel of A (64×64 f32 = 16 KiB)
+        // plus streaming rows of B.
+        GemmBlocking { mb: 64, nb: 256, kb: 64 }
+    }
+}
+
+/// Cache-blocked GEMM with the same contract as [`gemm_naive`].
+///
+/// # Panics
+/// Panics if any slice is shorter than its required length.
+pub fn gemm_blocked(dims: MatDims, blocking: GemmBlocking, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= dims.m * dims.k, "lhs too short");
+    assert!(b.len() >= dims.k * dims.n, "rhs too short");
+    assert!(out.len() >= dims.m * dims.n, "out too short");
+    let MatDims { m, n, k } = dims;
+    let mb = blocking.mb.max(1);
+    let nb = blocking.nb.max(1);
+    let kb = blocking.kb.max(1);
+
+    let mut i0 = 0;
+    while i0 < m {
+        let i1 = (i0 + mb).min(m);
+        let mut p0 = 0;
+        while p0 < k {
+            let p1 = (p0 + kb).min(k);
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + nb).min(n);
+                for i in i0..i1 {
+                    let arow = &a[i * k..i * k + k];
+                    let orow = &mut out[i * n + j0..i * n + j1];
+                    for p in p0..p1 {
+                        let av = arow[p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * n + j0..p * n + j1];
+                        for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+                j0 = j1;
+            }
+            p0 = p1;
+        }
+        i0 = i1;
+    }
+}
+
+/// Convenience wrapper allocating and returning the output matrix (`m × n`, zero-initialized
+/// before accumulation), using the blocked kernel.
+pub fn matmul(dims: MatDims, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; dims.m * dims.n];
+    gemm_blocked(dims, GemmBlocking::default(), a, b, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(dims: MatDims, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; dims.m * dims.n];
+        for i in 0..dims.m {
+            for j in 0..dims.n {
+                let mut acc = 0.0;
+                for p in 0..dims.k {
+                    acc += a[i * dims.k + p] * b[p * dims.n + j];
+                }
+                out[i * dims.n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn approx_eq(a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-4)
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let dims = MatDims::new(3, 3, 3);
+        let eye: Vec<f32> =
+            (0..9).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
+        let a: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        assert_eq!(matmul(dims, &a, &eye), a);
+        assert_eq!(matmul(dims, &eye, &a), a);
+    }
+
+    #[test]
+    fn naive_matches_reference() {
+        let dims = MatDims::new(7, 5, 11);
+        let a: Vec<f32> = (0..dims.m * dims.k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..dims.k * dims.n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut out = vec![0.0; dims.m * dims.n];
+        gemm_naive(dims, &a, &b, &mut out);
+        assert!(approx_eq(&out, &reference(dims, &a, &b)));
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_blockings() {
+        let dims = MatDims::new(33, 29, 47);
+        let a: Vec<f32> = (0..dims.m * dims.k).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..dims.k * dims.n).map(|i| ((i * 5) % 11) as f32 - 5.0).collect();
+        let expect = reference(dims, &a, &b);
+        for blocking in [
+            GemmBlocking::default(),
+            GemmBlocking { mb: 1, nb: 1, kb: 1 },
+            GemmBlocking { mb: 8, nb: 7, kb: 100 },
+            GemmBlocking { mb: 100, nb: 3, kb: 2 },
+        ] {
+            let mut out = vec![0.0; dims.m * dims.n];
+            gemm_blocked(dims, blocking, &a, &b, &mut out);
+            assert!(approx_eq(&out, &expect), "blocking {blocking:?} diverged");
+        }
+    }
+
+    #[test]
+    fn zero_blocking_is_clamped() {
+        let dims = MatDims::new(4, 4, 4);
+        let a = vec![1.0; 16];
+        let b = vec![2.0; 16];
+        let mut out = vec![0.0; 16];
+        gemm_blocked(dims, GemmBlocking { mb: 0, nb: 0, kb: 0 }, &a, &b, &mut out);
+        assert!(out.iter().all(|&x| (x - 8.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn macs_accounting() {
+        assert_eq!(MatDims::new(2, 3, 4).macs(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs too short")]
+    fn short_input_panics() {
+        let dims = MatDims::new(2, 2, 2);
+        let a = vec![0.0; 3];
+        let b = vec![0.0; 4];
+        let mut out = vec![0.0; 4];
+        gemm_naive(dims, &a, &b, &mut out);
+    }
+}

@@ -1,0 +1,148 @@
+//! # rescnn-tensor
+//!
+//! A small, dependency-light NCHW `f32` tensor library providing the convolution,
+//! pooling, normalization, and linear-algebra kernels that the rest of the
+//! resolution-characterization workspace is built on.
+//!
+//! The crate intentionally offers *multiple executable implementations* of convolution
+//! ([`conv2d_direct`], [`conv2d_im2col`], [`conv2d_tiled`]) so the benchmark harness can
+//! measure, with real wall-clock time, how kernel implementation choices interact with the
+//! input resolution — the phenomenon the paper's §VI (operator autotuning) is about.
+//!
+//! # Examples
+//! ```
+//! use rescnn_tensor::{conv2d, Conv2dParams, Shape, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = Conv2dParams::new(3, 8, 3, 2, 1);
+//! let input = Tensor::random_uniform(Shape::chw(3, 32, 32), 1.0, 0);
+//! let weight = Tensor::kaiming(Shape::new(8, 3, 3, 3), 27, 1);
+//! let out = conv2d(&input, &weight, None, &params)?;
+//! assert_eq!(out.shape(), Shape::new(1, 8, 16, 16));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+mod gemm;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use conv::{conv2d, conv2d_direct, conv2d_im2col, conv2d_tiled, im2col, ConvTiling};
+pub use error::{Result, TensorError};
+pub use gemm::{gemm_blocked, gemm_naive, matmul, GemmBlocking, MatDims};
+pub use ops::{
+    avg_pool2d, batch_norm, global_avg_pool, linear, max_pool2d, relu, relu6, sigmoid, softmax,
+};
+pub use shape::{conv_output_extent, Conv2dParams, Pool2dParams, Shape};
+pub use tensor::Tensor;
+
+/// Commonly used items, intended for glob import.
+pub mod prelude {
+    pub use crate::{
+        conv2d, Conv2dParams, ConvTiling, Pool2dParams, Shape, Tensor, TensorError,
+    };
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_conv_case() -> impl Strategy<Value = (usize, usize, usize, usize, usize, usize)> {
+        // (in_ch, out_ch, kernel, stride, pad, spatial)
+        (
+            1usize..4,
+            1usize..5,
+            prop_oneof![Just(1usize), Just(3usize), Just(5usize)],
+            1usize..3,
+            0usize..3,
+            6usize..14,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn conv_output_extent_is_consistent((i, k, s, p) in (1usize..64, 1usize..8, 1usize..4, 0usize..4)) {
+            if let Ok(out) = conv_output_extent(i, k, s, p) {
+                // Re-derive: last window start fits inside padded input.
+                prop_assert!( (out - 1) * s + k <= i + 2 * p );
+                prop_assert!(out >= 1);
+            } else {
+                prop_assert!(i + 2 * p < k || s == 0);
+            }
+        }
+
+        #[test]
+        fn im2col_conv_matches_direct((ic, oc, k, s, p, hw) in small_conv_case()) {
+            prop_assume!(hw + 2 * p >= k);
+            let params = Conv2dParams::new(ic, oc, k, s, p);
+            let input = Tensor::random_uniform(Shape::chw(ic, hw, hw), 1.0, (ic * 31 + hw) as u64);
+            let wshape = Shape::new(oc, ic, k, k);
+            let weight = Tensor::random_uniform(wshape, 0.7, (oc * 17 + k) as u64);
+            let direct = conv2d_direct(&input, &weight, None, &params).unwrap();
+            let lowered = conv2d_im2col(&input, &weight, None, &params).unwrap();
+            prop_assert!(direct.max_abs_diff(&lowered).unwrap() < 1e-3);
+        }
+
+        #[test]
+        fn tiled_conv_matches_direct((ic, oc, k, s, p, hw) in small_conv_case(),
+                                      (t0, t1, t2) in (1usize..8, 1usize..8, 1usize..8)) {
+            prop_assume!(hw + 2 * p >= k);
+            let params = Conv2dParams::new(ic, oc, k, s, p);
+            let input = Tensor::random_uniform(Shape::chw(ic, hw, hw), 1.0, (ic + oc) as u64);
+            let weight = Tensor::random_uniform(Shape::new(oc, ic, k, k), 0.7, k as u64);
+            let direct = conv2d_direct(&input, &weight, None, &params).unwrap();
+            let tiled = conv2d_tiled(&input, &weight, None, &params, ConvTiling::new(t0, t1, t2)).unwrap();
+            prop_assert!(direct.max_abs_diff(&tiled).unwrap() < 1e-3);
+        }
+
+        #[test]
+        fn gemm_blocked_matches_naive((m, n, k) in (1usize..20, 1usize..20, 1usize..20),
+                                       (mb, nb, kb) in (1usize..8, 1usize..8, 1usize..8)) {
+            let dims = MatDims::new(m, n, k);
+            let a: Vec<f32> = (0..m * k).map(|i| ((i * 13 % 17) as f32) - 8.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| ((i * 7 % 19) as f32) - 9.0).collect();
+            let mut naive = vec![0.0; m * n];
+            gemm_naive(dims, &a, &b, &mut naive);
+            let mut blocked = vec![0.0; m * n];
+            gemm_blocked(dims, GemmBlocking { mb, nb, kb }, &a, &b, &mut blocked);
+            for (x, y) in naive.iter().zip(&blocked) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn softmax_is_a_distribution(vals in proptest::collection::vec(-50.0f32..50.0, 1..32)) {
+            let c = vals.len();
+            let t = Tensor::from_vec(Shape::new(1, c, 1, 1), vals).unwrap();
+            let s = softmax(&t).unwrap();
+            let sum: f32 = s.as_slice().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+
+        #[test]
+        fn relu_is_idempotent_and_nonnegative(vals in proptest::collection::vec(-10.0f32..10.0, 1..64)) {
+            let len = vals.len();
+            let t = Tensor::from_vec(Shape::new(1, 1, 1, len), vals).unwrap();
+            let r = relu(&t);
+            prop_assert!(r.min() >= 0.0);
+            prop_assert_eq!(relu(&r), r.clone());
+        }
+
+        #[test]
+        fn global_avg_pool_bounded_by_extrema(hw in 1usize..16, c in 1usize..4) {
+            let t = Tensor::random_uniform(Shape::chw(c, hw, hw), 5.0, hw as u64);
+            let g = global_avg_pool(&t);
+            prop_assert!(g.max() <= t.max() + 1e-5);
+            prop_assert!(g.min() >= t.min() - 1e-5);
+        }
+    }
+}

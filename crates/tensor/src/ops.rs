@@ -1,0 +1,333 @@
+//! Non-convolution neural-network operators: activations, pooling, normalization,
+//! fully-connected layers, and softmax.
+
+use crate::error::{Result, TensorError};
+use crate::shape::{Pool2dParams, Shape};
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, elementwise.
+pub fn relu(input: &Tensor) -> Tensor {
+    input.map(|x| x.max(0.0))
+}
+
+/// ReLU6 (used by MobileNetV2), elementwise.
+pub fn relu6(input: &Tensor) -> Tensor {
+    input.map(|x| x.clamp(0.0, 6.0))
+}
+
+/// Inference-mode batch normalization.
+///
+/// `mean`, `var`, `gamma`, and `beta` must each have one entry per channel.
+///
+/// # Errors
+/// Returns [`TensorError::LengthMismatch`] if any parameter vector does not match the
+/// channel count.
+pub fn batch_norm(
+    input: &Tensor,
+    mean: &[f32],
+    var: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> Result<Tensor> {
+    let c = input.shape().c;
+    for (name, v) in [("mean", mean), ("var", var), ("gamma", gamma), ("beta", beta)] {
+        if v.len() != c {
+            let _ = name;
+            return Err(TensorError::LengthMismatch { expected: c, actual: v.len() });
+        }
+    }
+    let shape = input.shape();
+    let mut out = Tensor::zeros(shape);
+    for n in 0..shape.n {
+        for ch in 0..c {
+            let scale = gamma[ch] / (var[ch] + eps).sqrt();
+            let shift = beta[ch] - mean[ch] * scale;
+            let src = input.plane(n, ch);
+            let dst = out.plane_mut(n, ch);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s * scale + shift;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Max pooling over square windows.
+///
+/// # Errors
+/// Returns an error if the window does not fit in the padded input.
+pub fn max_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
+    pool2d(input, params, PoolKind::Max)
+}
+
+/// Average pooling over square windows (zero padding contributes to the divisor only when
+/// inside the image, matching common framework semantics `count_include_pad = false`).
+///
+/// # Errors
+/// Returns an error if the window does not fit in the padded input.
+pub fn avg_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
+    pool2d(input, params, PoolKind::Avg)
+}
+
+#[derive(Clone, Copy)]
+enum PoolKind {
+    Max,
+    Avg,
+}
+
+fn pool2d(input: &Tensor, params: &Pool2dParams, kind: PoolKind) -> Result<Tensor> {
+    let ishape = input.shape();
+    let oshape = params.output_shape(ishape)?;
+    let mut out = Tensor::zeros(oshape);
+    let pad = params.padding as isize;
+    for n in 0..ishape.n {
+        for c in 0..ishape.c {
+            let plane = input.plane(n, c);
+            for oh in 0..oshape.h {
+                for ow in 0..oshape.w {
+                    let mut acc = match kind {
+                        PoolKind::Max => f32::NEG_INFINITY,
+                        PoolKind::Avg => 0.0,
+                    };
+                    let mut count = 0usize;
+                    for kh in 0..params.kernel {
+                        let ih = (oh * params.stride + kh) as isize - pad;
+                        if ih < 0 || ih >= ishape.h as isize {
+                            continue;
+                        }
+                        for kw in 0..params.kernel {
+                            let iw = (ow * params.stride + kw) as isize - pad;
+                            if iw < 0 || iw >= ishape.w as isize {
+                                continue;
+                            }
+                            let v = plane[ih as usize * ishape.w + iw as usize];
+                            match kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
+                            count += 1;
+                        }
+                    }
+                    let value = match kind {
+                        PoolKind::Max => {
+                            if count == 0 {
+                                0.0
+                            } else {
+                                acc
+                            }
+                        }
+                        PoolKind::Avg => {
+                            if count == 0 {
+                                0.0
+                            } else {
+                                acc / count as f32
+                            }
+                        }
+                    };
+                    out.set(n, c, oh, ow, value);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: reduces each channel plane to a single value, producing an
+/// `N × C × 1 × 1` tensor. This is what makes ResNet-style models resolution-agnostic.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let ishape = input.shape();
+    let mut out = Tensor::zeros(Shape::new(ishape.n, ishape.c, 1, 1));
+    let area = (ishape.h * ishape.w).max(1) as f32;
+    for n in 0..ishape.n {
+        for c in 0..ishape.c {
+            let sum: f32 = input.plane(n, c).iter().sum();
+            out.set(n, c, 0, 0, sum / area);
+        }
+    }
+    out
+}
+
+/// Fully-connected (linear) layer: `out[n][o] = Σ_i in[n][i] * weight[o][i] + bias[o]`.
+///
+/// The input must have spatial extent `1 × 1` (i.e. already globally pooled); `weight` is an
+/// `out_features × in_features` row-major matrix.
+///
+/// # Errors
+/// Returns an error if the input is not `N × C × 1 × 1`, or if the weight/bias sizes do not
+/// match.
+pub fn linear(
+    input: &Tensor,
+    weight: &[f32],
+    bias: Option<&[f32]>,
+    out_features: usize,
+) -> Result<Tensor> {
+    let ishape = input.shape();
+    if ishape.h != 1 || ishape.w != 1 {
+        return Err(TensorError::ShapeMismatch {
+            left: ishape.as_array().to_vec(),
+            right: vec![ishape.n, ishape.c, 1, 1],
+            op: "linear input",
+        });
+    }
+    let in_features = ishape.c;
+    if weight.len() != out_features * in_features {
+        return Err(TensorError::LengthMismatch {
+            expected: out_features * in_features,
+            actual: weight.len(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != out_features {
+            return Err(TensorError::LengthMismatch { expected: out_features, actual: b.len() });
+        }
+    }
+    let mut out = Tensor::zeros(Shape::new(ishape.n, out_features, 1, 1));
+    for n in 0..ishape.n {
+        for o in 0..out_features {
+            let mut acc = bias.map_or(0.0, |b| b[o]);
+            let wrow = &weight[o * in_features..(o + 1) * in_features];
+            for i in 0..in_features {
+                acc += input.get(n, i, 0, 0) * wrow[i];
+            }
+            out.set(n, o, 0, 0, acc);
+        }
+    }
+    Ok(out)
+}
+
+/// Numerically-stable softmax over the channel dimension of an `N × C × 1 × 1` tensor.
+///
+/// # Errors
+/// Returns an error if the input has spatial extent other than `1 × 1`.
+pub fn softmax(input: &Tensor) -> Result<Tensor> {
+    let ishape = input.shape();
+    if ishape.h != 1 || ishape.w != 1 {
+        return Err(TensorError::ShapeMismatch {
+            left: ishape.as_array().to_vec(),
+            right: vec![ishape.n, ishape.c, 1, 1],
+            op: "softmax input",
+        });
+    }
+    let mut out = Tensor::zeros(ishape);
+    for n in 0..ishape.n {
+        let mut maxv = f32::NEG_INFINITY;
+        for c in 0..ishape.c {
+            maxv = maxv.max(input.get(n, c, 0, 0));
+        }
+        let mut denom = 0.0;
+        for c in 0..ishape.c {
+            denom += (input.get(n, c, 0, 0) - maxv).exp();
+        }
+        for c in 0..ishape.c {
+            out.set(n, c, 0, 0, (input.get(n, c, 0, 0) - maxv).exp() / denom);
+        }
+    }
+    Ok(out)
+}
+
+/// Sigmoid activation, elementwise (used by the multi-label scale model head).
+pub fn sigmoid(input: &Tensor) -> Tensor {
+    input.map(|x| 1.0 / (1.0 + (-x).exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_relu6() {
+        let t = Tensor::from_vec(Shape::new(1, 1, 1, 4), vec![-1.0, 0.5, 3.0, 9.0]).unwrap();
+        assert_eq!(relu(&t).as_slice(), &[0.0, 0.5, 3.0, 9.0]);
+        assert_eq!(relu6(&t).as_slice(), &[0.0, 0.5, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn batch_norm_normalizes() {
+        let input = Tensor::from_fn(Shape::new(1, 2, 2, 2), |_, c, _, _| c as f32 * 10.0 + 5.0);
+        let out = batch_norm(
+            &input,
+            &[5.0, 15.0],
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[0.0, 1.0],
+            1e-5,
+        )
+        .unwrap();
+        // channel 0: (5-5)/1*1+0 = 0; channel 1: (15-15)/1*2+1 = 1.
+        assert!(out.plane(0, 0).iter().all(|x| x.abs() < 1e-3));
+        assert!(out.plane(0, 1).iter().all(|x| (x - 1.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn batch_norm_validates_lengths() {
+        let input = Tensor::zeros(Shape::new(1, 3, 2, 2));
+        assert!(batch_norm(&input, &[0.0; 2], &[1.0; 3], &[1.0; 3], &[0.0; 3], 1e-5).is_err());
+        assert!(batch_norm(&input, &[0.0; 3], &[1.0; 3], &[1.0; 3], &[0.0; 2], 1e-5).is_err());
+    }
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let input = Tensor::from_fn(Shape::new(1, 1, 4, 4), |_, _, h, w| (h * 4 + w) as f32);
+        let out = max_pool2d(&input, &Pool2dParams::new(2, 2, 0)).unwrap();
+        assert_eq!(out.shape(), Shape::new(1, 1, 2, 2));
+        assert_eq!(out.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_excludes_padding_from_divisor() {
+        let input = Tensor::ones(Shape::new(1, 1, 2, 2));
+        let out = avg_pool2d(&input, &Pool2dParams::new(3, 1, 1)).unwrap();
+        // Every window only ever sees ones, so excluding padded cells keeps the average 1.
+        assert!(out.as_slice().iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn pooling_window_validation() {
+        let input = Tensor::ones(Shape::new(1, 1, 2, 2));
+        assert!(max_pool2d(&input, &Pool2dParams::new(5, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_planes() {
+        let input = Tensor::from_fn(Shape::new(2, 3, 4, 4), |n, c, _, _| (n + c) as f32);
+        let out = global_avg_pool(&input);
+        assert_eq!(out.shape(), Shape::new(2, 3, 1, 1));
+        assert!((out.get(1, 2, 0, 0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_layer() {
+        let input = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![1.0, 2.0, 3.0]).unwrap();
+        let weight = vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0];
+        let out = linear(&input, &weight, Some(&[0.5, -0.5]), 2).unwrap();
+        assert_eq!(out.as_slice(), &[1.5, 4.5]);
+        // Non-pooled input rejected.
+        let spatial = Tensor::zeros(Shape::new(1, 3, 2, 2));
+        assert!(linear(&spatial, &weight, None, 2).is_err());
+        // Wrong weight length rejected.
+        assert!(linear(&input, &weight[..4], None, 2).is_err());
+        assert!(linear(&input, &weight, Some(&[0.0; 3]), 2).is_err());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let input =
+            Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![1000.0, 1001.0, 1002.0]).unwrap();
+        let out = softmax(&input).unwrap();
+        let sum: f32 = out.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(!out.has_non_finite());
+        assert!(out.get(0, 2, 0, 0) > out.get(0, 0, 0, 0));
+        assert!(softmax(&Tensor::zeros(Shape::new(1, 3, 2, 2))).is_err());
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        let input = Tensor::from_vec(Shape::new(1, 1, 1, 3), vec![-100.0, 0.0, 100.0]).unwrap();
+        let out = sigmoid(&input);
+        assert!(out.get(0, 0, 0, 0) < 1e-6);
+        assert!((out.get(0, 0, 0, 1) - 0.5).abs() < 1e-6);
+        assert!(out.get(0, 0, 0, 2) > 1.0 - 1e-6);
+    }
+}

@@ -1,0 +1,353 @@
+//! Shape arithmetic for NCHW tensors and convolution/pooling windows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, TensorError};
+
+/// Shape of a 4-D tensor laid out as `N × C × H × W` (batch, channels, height, width).
+///
+/// All computer-vision tensors in this workspace use this layout; 2-D matrices are
+/// represented as `1 × 1 × rows × cols` where convenient or handled by dedicated GEMM
+/// routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    /// Batch size.
+    pub n: usize,
+    /// Channel count.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape {
+    /// Creates a new NCHW shape.
+    ///
+    /// # Examples
+    /// ```
+    /// use rescnn_tensor::Shape;
+    /// let s = Shape::new(1, 3, 224, 224);
+    /// assert_eq!(s.volume(), 3 * 224 * 224);
+    /// ```
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape { n, c, h, w }
+    }
+
+    /// Shape of a single feature map `1 × c × h × w`.
+    pub const fn chw(c: usize, h: usize, w: usize) -> Self {
+        Shape::new(1, c, h, w)
+    }
+
+    /// Total number of elements.
+    pub const fn volume(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Linear offset of the element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if any coordinate is out of range.
+    #[inline]
+    pub fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Returns the shape as a `[n, c, h, w]` array (useful for error messages).
+    pub const fn as_array(&self) -> [usize; 4] {
+        [self.n, self.c, self.h, self.w]
+    }
+
+    /// Returns `true` when any dimension is zero.
+    pub const fn is_empty(&self) -> bool {
+        self.n == 0 || self.c == 0 || self.h == 0 || self.w == 0
+    }
+
+    /// Returns a copy of the shape with a different batch size.
+    pub const fn with_batch(&self, n: usize) -> Self {
+        Shape { n, ..*self }
+    }
+
+    /// Returns a copy of the shape with different spatial dimensions.
+    pub const fn with_spatial(&self, h: usize, w: usize) -> Self {
+        Shape { h, w, ..*self }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// Parameters of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dParams {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Kernel height (and width — square kernels only).
+    pub kernel: usize,
+    /// Stride applied in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding applied symmetrically to both spatial dimensions.
+    pub padding: usize,
+    /// Number of channel groups (`1` = dense convolution, `in_channels` = depthwise).
+    pub groups: usize,
+}
+
+impl Conv2dParams {
+    /// Creates a dense (non-grouped) convolution parameter set.
+    pub const fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Conv2dParams { in_channels, out_channels, kernel, stride, padding, groups: 1 }
+    }
+
+    /// Creates a depthwise convolution parameter set (one group per channel).
+    pub const fn depthwise(channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        Conv2dParams {
+            in_channels: channels,
+            out_channels: channels,
+            kernel,
+            stride,
+            padding,
+            groups: channels,
+        }
+    }
+
+    /// Returns a copy with a different group count.
+    pub const fn with_groups(mut self, groups: usize) -> Self {
+        self.groups = groups;
+        self
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    /// Returns an error if any structural dimension is zero, or if the channel counts are
+    /// not divisible by the group count.
+    pub fn validate(&self) -> Result<()> {
+        if self.in_channels == 0 {
+            return Err(TensorError::ZeroDimension { name: "in_channels" });
+        }
+        if self.out_channels == 0 {
+            return Err(TensorError::ZeroDimension { name: "out_channels" });
+        }
+        if self.kernel == 0 {
+            return Err(TensorError::ZeroDimension { name: "kernel" });
+        }
+        if self.stride == 0 {
+            return Err(TensorError::ZeroDimension { name: "stride" });
+        }
+        if self.groups == 0
+            || self.in_channels % self.groups != 0
+            || self.out_channels % self.groups != 0
+        {
+            return Err(TensorError::InvalidGrouping {
+                in_channels: self.in_channels,
+                out_channels: self.out_channels,
+                groups: self.groups,
+            });
+        }
+        Ok(())
+    }
+
+    /// Spatial output extent for an input extent, or an error if the window is invalid.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidWindow`] when the padded input is smaller than the
+    /// kernel.
+    pub fn output_extent(&self, input: usize) -> Result<usize> {
+        conv_output_extent(input, self.kernel, self.stride, self.padding)
+    }
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Errors
+    /// Returns an error if the parameters are invalid for the input shape (channel
+    /// mismatch or empty output window).
+    pub fn output_shape(&self, input: Shape) -> Result<Shape> {
+        self.validate()?;
+        if input.c != self.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                left: input.as_array().to_vec(),
+                right: vec![self.in_channels],
+                op: "conv2d input channels",
+            });
+        }
+        let oh = self.output_extent(input.h)?;
+        let ow = self.output_extent(input.w)?;
+        Ok(Shape::new(input.n, self.out_channels, oh, ow))
+    }
+
+    /// Number of multiply–accumulate operations for one forward pass at `input`.
+    ///
+    /// This is the canonical FLOP accounting used by the paper (one MAC counted as two
+    /// FLOPs by [`Conv2dParams::flops`]).
+    pub fn macs(&self, input: Shape) -> Result<u64> {
+        let out = self.output_shape(input)?;
+        let per_output = (self.in_channels / self.groups) * self.kernel * self.kernel;
+        Ok(out.volume() as u64 * per_output as u64)
+    }
+
+    /// Number of floating-point operations (2 × MACs) for one forward pass.
+    pub fn flops(&self, input: Shape) -> Result<u64> {
+        Ok(self.macs(input)? * 2)
+    }
+
+    /// Number of weight parameters (excluding bias).
+    pub const fn weight_count(&self) -> usize {
+        self.out_channels * (self.in_channels / self.groups) * self.kernel * self.kernel
+    }
+}
+
+/// Computes the output extent of a strided, padded sliding window.
+///
+/// # Errors
+/// Returns [`TensorError::InvalidWindow`] when `input + 2 * padding < kernel` or when
+/// `stride == 0`.
+pub fn conv_output_extent(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<usize> {
+    if stride == 0 || kernel == 0 {
+        return Err(TensorError::InvalidWindow { input, kernel, stride, padding });
+    }
+    let padded = input + 2 * padding;
+    if padded < kernel {
+        return Err(TensorError::InvalidWindow { input, kernel, stride, padding });
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+/// Parameters of a 2-D pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pool2dParams {
+    /// Window extent (square windows only).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+}
+
+impl Pool2dParams {
+    /// Creates a pooling parameter set.
+    pub const fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        Pool2dParams { kernel, stride, padding }
+    }
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Errors
+    /// Returns an error when the window does not fit in the padded input.
+    pub fn output_shape(&self, input: Shape) -> Result<Shape> {
+        let oh = conv_output_extent(input.h, self.kernel, self.stride, self.padding)?;
+        let ow = conv_output_extent(input.w, self.kernel, self.stride, self.padding)?;
+        Ok(Shape::new(input.n, input.c, oh, ow))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_volume_and_offset() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.volume(), 120);
+        assert_eq!(s.offset(0, 0, 0, 0), 0);
+        assert_eq!(s.offset(1, 2, 3, 4), 119);
+        assert_eq!(s.offset(0, 1, 0, 0), 20);
+        assert_eq!(s.to_string(), "2x3x4x5");
+        assert!(!s.is_empty());
+        assert!(Shape::new(0, 3, 4, 5).is_empty());
+    }
+
+    #[test]
+    fn shape_modifiers() {
+        let s = Shape::chw(3, 224, 224);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.with_batch(8).n, 8);
+        assert_eq!(s.with_spatial(112, 112).h, 112);
+        assert_eq!(s.as_array(), [1, 3, 224, 224]);
+    }
+
+    #[test]
+    fn conv_output_extent_standard_cases() {
+        // 3x3 stride-1 pad-1 preserves extent.
+        assert_eq!(conv_output_extent(224, 3, 1, 1).unwrap(), 224);
+        // 7x7 stride-2 pad-3: ImageNet stem.
+        assert_eq!(conv_output_extent(224, 7, 2, 3).unwrap(), 112);
+        // 1x1 stride 2.
+        assert_eq!(conv_output_extent(56, 1, 2, 0).unwrap(), 28);
+        // Window larger than padded input.
+        assert!(conv_output_extent(2, 7, 1, 1).is_err());
+        assert!(conv_output_extent(8, 3, 0, 1).is_err());
+    }
+
+    #[test]
+    fn conv_params_output_shape_and_flops() {
+        let p = Conv2dParams::new(3, 64, 7, 2, 3);
+        let out = p.output_shape(Shape::chw(3, 224, 224)).unwrap();
+        assert_eq!(out, Shape::new(1, 64, 112, 112));
+        // MACs = 112*112*64 * 3*7*7
+        assert_eq!(p.macs(Shape::chw(3, 224, 224)).unwrap(), 112 * 112 * 64 * 3 * 7 * 7);
+        assert_eq!(
+            p.flops(Shape::chw(3, 224, 224)).unwrap(),
+            2 * 112 * 112 * 64 * 3 * 7 * 7
+        );
+        assert_eq!(p.weight_count(), 64 * 3 * 7 * 7);
+    }
+
+    #[test]
+    fn conv_params_channel_mismatch_is_rejected() {
+        let p = Conv2dParams::new(16, 32, 3, 1, 1);
+        assert!(p.output_shape(Shape::chw(8, 28, 28)).is_err());
+    }
+
+    #[test]
+    fn depthwise_params() {
+        let p = Conv2dParams::depthwise(32, 3, 1, 1);
+        assert_eq!(p.groups, 32);
+        p.validate().unwrap();
+        let macs = p.macs(Shape::chw(32, 56, 56)).unwrap();
+        assert_eq!(macs, 56 * 56 * 32 * 9);
+        assert_eq!(p.weight_count(), 32 * 9);
+    }
+
+    #[test]
+    fn grouping_validation() {
+        let p = Conv2dParams::new(6, 8, 3, 1, 1).with_groups(4);
+        assert!(p.validate().is_err());
+        let p = Conv2dParams::new(8, 8, 3, 1, 1).with_groups(4);
+        assert!(p.validate().is_ok());
+        let p = Conv2dParams::new(8, 8, 3, 1, 1).with_groups(0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_dimension_validation() {
+        assert!(Conv2dParams::new(0, 8, 3, 1, 1).validate().is_err());
+        assert!(Conv2dParams::new(8, 0, 3, 1, 1).validate().is_err());
+        assert!(Conv2dParams::new(8, 8, 0, 1, 1).validate().is_err());
+        assert!(Conv2dParams::new(8, 8, 3, 0, 1).validate().is_err());
+    }
+
+    #[test]
+    fn pool_output_shape() {
+        let p = Pool2dParams::new(3, 2, 1);
+        let out = p.output_shape(Shape::chw(64, 112, 112)).unwrap();
+        assert_eq!(out, Shape::new(1, 64, 56, 56));
+        assert!(Pool2dParams::new(9, 1, 0).output_shape(Shape::chw(1, 4, 4)).is_err());
+    }
+}

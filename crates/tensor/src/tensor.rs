@@ -1,0 +1,403 @@
+//! The dense `f32` NCHW tensor type.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+
+/// A dense, row-major (NCHW) tensor of `f32` values.
+///
+/// All neural-network activations and weights in this workspace use this type. The
+/// representation is deliberately simple: a contiguous `Vec<f32>` plus a [`Shape`].
+///
+/// # Examples
+/// ```
+/// use rescnn_tensor::{Shape, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let t = Tensor::zeros(Shape::new(1, 3, 4, 4));
+/// assert_eq!(t.shape().volume(), 48);
+/// let u = t.map(|x| x + 1.0);
+/// assert_eq!(u.get(0, 0, 0, 0), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor { shape, data: vec![0.0; shape.volume()] }
+    }
+
+    /// Creates a tensor filled with a constant value.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        Tensor { shape, data: vec![value; shape.volume()] }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: Shape) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::LengthMismatch`] if `data.len() != shape.volume()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self> {
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f(n, c, h, w)` at every coordinate.
+    pub fn from_fn<F: FnMut(usize, usize, usize, usize) -> f32>(shape: Shape, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(shape.volume());
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for h in 0..shape.h {
+                    for w in 0..shape.w {
+                        data.push(f(n, c, h, w));
+                    }
+                }
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor with values drawn from a seeded uniform distribution on `[-scale, scale]`.
+    pub fn random_uniform(shape: Shape, scale: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = rand::distributions::Uniform::new_inclusive(-scale, scale);
+        let data = (0..shape.volume()).map(|_| dist.sample(&mut rng)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor with Kaiming-style initialization for a conv weight of shape
+    /// `out_ch × in_ch_per_group × k × k` (encoded as NCHW), seeded deterministically.
+    pub fn kaiming(shape: Shape, fan_in: usize, seed: u64) -> Self {
+        let scale = (2.0 / fan_in.max(1) as f32).sqrt();
+        Tensor::random_uniform(shape, scale, seed)
+    }
+
+    /// Returns the shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Returns the underlying data as a slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns the underlying data as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.shape.offset(n, c, h, w)]
+    }
+
+    /// Sets the element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        let idx = self.shape.offset(n, c, h, w);
+        self.data[idx] = value;
+    }
+
+    /// Returns the channel plane `(n, c)` as a slice of length `h * w`.
+    pub fn plane(&self, n: usize, c: usize) -> &[f32] {
+        let start = self.shape.offset(n, c, 0, 0);
+        &self.data[start..start + self.shape.h * self.shape.w]
+    }
+
+    /// Returns the channel plane `(n, c)` as a mutable slice.
+    pub fn plane_mut(&mut self, n: usize, c: usize) -> &mut [f32] {
+        let start = self.shape.offset(n, c, 0, 0);
+        let len = self.shape.h * self.shape.w;
+        &mut self.data[start..start + len]
+    }
+
+    /// Applies a function elementwise, returning a new tensor.
+    pub fn map<F: FnMut(f32) -> f32>(&self, mut f: F) -> Self {
+        Tensor { shape: self.shape, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies a function elementwise in place.
+    pub fn map_inplace<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise multiplication.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, "mul", |a, b| a * b)
+    }
+
+    fn zip_with<F: FnMut(f32, f32) -> f32>(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        mut f: F,
+    ) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.as_array().to_vec(),
+                right: other.shape.as_array().to_vec(),
+                op,
+            });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { shape: self.shape, data })
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.as_array().to_vec(),
+                right: other.shape.as_array().to_vec(),
+                op: "add_assign",
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, factor: f32) -> Tensor {
+        self.map(|x| x * factor)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element across the whole tensor (`None` for empty tensors).
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Returns `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Reinterprets the tensor with a new shape of identical volume.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::LengthMismatch`] when the volumes differ.
+    pub fn reshape(&self, shape: Shape) -> Result<Tensor> {
+        if shape.volume() != self.shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.shape.volume(),
+            });
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// Maximum absolute difference between two tensors of identical shape.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.as_array().to_vec(),
+                right: other.shape.as_array().to_vec(),
+                op: "max_abs_diff",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f32, f32::max))
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(Shape::new(1, 1, 1, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let shape = Shape::new(1, 2, 3, 3);
+        let t = Tensor::from_fn(shape, |_, c, h, w| (c * 9 + h * 3 + w) as f32);
+        assert_eq!(t.get(0, 0, 0, 0), 0.0);
+        assert_eq!(t.get(0, 1, 2, 2), 17.0);
+        assert_eq!(t.plane(0, 1).len(), 9);
+        assert_eq!(t.plane(0, 1)[0], 9.0);
+        assert_eq!(t.as_slice().len(), 18);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        let shape = Shape::new(1, 1, 2, 2);
+        assert!(Tensor::from_vec(shape, vec![1.0; 4]).is_ok());
+        assert!(Tensor::from_vec(shape, vec![1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let shape = Shape::new(1, 1, 2, 2);
+        let a = Tensor::from_vec(shape, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::ones(shape);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), a.as_slice());
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+        let mut c = a.clone();
+        c.add_assign(&b).unwrap();
+        assert_eq!(c.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+
+        let other = Tensor::zeros(Shape::new(1, 1, 1, 4));
+        assert!(a.add(&other).is_err());
+        assert!(a.clone().add_assign(&other).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let shape = Shape::new(1, 1, 2, 2);
+        let a = Tensor::from_vec(shape, vec![1.0, -2.0, 3.5, 0.0]).unwrap();
+        assert_eq!(a.sum(), 2.5);
+        assert!((a.mean() - 0.625).abs() < 1e-6);
+        assert_eq!(a.max(), 3.5);
+        assert_eq!(a.min(), -2.0);
+        assert_eq!(a.argmax(), Some(2));
+    }
+
+    #[test]
+    fn reshape_preserves_volume() {
+        let t = Tensor::zeros(Shape::new(1, 4, 2, 2));
+        assert!(t.reshape(Shape::new(1, 1, 4, 4)).is_ok());
+        assert!(t.reshape(Shape::new(1, 1, 4, 5)).is_err());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let shape = Shape::new(1, 3, 8, 8);
+        let a = Tensor::random_uniform(shape, 1.0, 7);
+        let b = Tensor::random_uniform(shape, 1.0, 7);
+        let c = Tensor::random_uniform(shape, 1.0, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.max() <= 1.0 && a.min() >= -1.0);
+    }
+
+    #[test]
+    fn nan_detection_and_diff() {
+        let shape = Shape::new(1, 1, 1, 2);
+        let a = Tensor::from_vec(shape, vec![1.0, f32::NAN]).unwrap();
+        assert!(a.has_non_finite());
+        let b = Tensor::from_vec(shape, vec![1.0, 2.0]).unwrap();
+        let c = Tensor::from_vec(shape, vec![1.5, 2.0]).unwrap();
+        assert!((b.max_abs_diff(&c).unwrap() - 0.5).abs() < 1e-6);
+        assert!(b.max_abs_diff(&Tensor::zeros(Shape::new(1, 1, 2, 1))).is_err());
+    }
+
+    #[test]
+    fn map_and_mutation() {
+        let mut t = Tensor::full(Shape::new(1, 1, 2, 2), -1.0);
+        t.map_inplace(|x| x.abs());
+        assert_eq!(t.as_slice(), &[1.0; 4]);
+        t.set(0, 0, 1, 1, 5.0);
+        assert_eq!(t.get(0, 0, 1, 1), 5.0);
+        t.plane_mut(0, 0)[0] = 9.0;
+        assert_eq!(t.get(0, 0, 0, 0), 9.0);
+        assert_eq!(t.clone().into_vec().len(), 4);
+    }
+
+    #[test]
+    fn default_is_non_empty() {
+        let t = Tensor::default();
+        assert_eq!(t.shape().volume(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: generate a tiny synthetic dataset, inspect the resolution/FLOPs trade-off,
+//! run a real CNN forward pass, and progressively encode an image.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rescnn::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The compute side of the trade-off: FLOPs grow ~quadratically with resolution.
+    let arch = ModelKind::ResNet18.arch(1000);
+    println!("ResNet-18 compute cost by resolution (paper Table I convention):");
+    for res in PAPER_RESOLUTIONS {
+        println!("  {res:>3} x {res:<3} -> {:>5.1} GFLOPs", arch.gflops(res)?);
+    }
+
+    // 2. A tiny synthetic dataset standing in for ImageNet.
+    let dataset = DatasetSpec::imagenet_like().with_len(4).with_max_dimension(192).build(42);
+    println!("\nGenerated {} ImageNet-like samples:", dataset.len());
+    for sample in &dataset {
+        let (w, h) = sample.dimensions();
+        println!(
+            "  sample {:>6}  class {:>3}  {}x{}  object scale {:.2}  detail {:.2}",
+            sample.id,
+            sample.class,
+            w,
+            h,
+            sample.object_scale(),
+            sample.detail_level()
+        );
+    }
+
+    // 3. Run a real (randomly initialized) CNN forward pass on one rendered image.
+    let sample = &dataset[0];
+    let image = sample.render()?;
+    let preview = crop_and_resize(&image, CropRatio::new(0.75)?, 64)?;
+    let network = Network::new(ModelKind::ResNet18, 10, 0);
+    let logits = network.forward(&preview.to_tensor(&Normalization::default()))?;
+    println!("\nResNet-18 forward pass at 64x64 produced {} logits", logits.shape().c);
+
+    // 4. Store the image progressively and read it back scan by scan.
+    let encoded = ProgressiveImage::encode(&image, 90, ScanPlan::standard())?;
+    println!("\nProgressive encoding ({} bytes total):", encoded.total_bytes());
+    for scan in 1..=encoded.num_scans() {
+        let decoded = encoded.decode(scan)?;
+        println!(
+            "  scan {scan}: {:>7} bytes read ({:>4.1}%), SSIM {:.3}",
+            encoded.cumulative_bytes(scan),
+            encoded.read_fraction(scan) * 100.0,
+            ssim(&image, &decoded)?
+        );
+    }
+    Ok(())
+}

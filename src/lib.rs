@@ -1,0 +1,41 @@
+//! # rescnn — Characterizing and Taming Resolution in Convolutional Neural Networks
+//!
+//! Umbrella crate re-exporting the full reproduction of Yan, Luo & Ceze
+//! (IISWC 2021): a dynamic-resolution inference pipeline built on top of a
+//! tensor library, CNN model zoo, progressive image codec, synthetic dataset
+//! generators, a hardware cost model with kernel autotuning, and a calibrated
+//! accuracy oracle.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rescnn::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a tiny synthetic ImageNet-like dataset.
+//! let dataset = DatasetSpec::imagenet_like().with_len(8).build(42);
+//! assert_eq!(dataset.len(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rescnn_core as core;
+pub use rescnn_data as data;
+pub use rescnn_hwsim as hwsim;
+pub use rescnn_imaging as imaging;
+pub use rescnn_models as models;
+pub use rescnn_oracle as oracle;
+pub use rescnn_projpeg as projpeg;
+pub use rescnn_tensor as tensor;
+
+/// Convenience re-exports of the most commonly used types across the workspace.
+pub mod prelude {
+    pub use rescnn_core::prelude::*;
+    pub use rescnn_data::prelude::*;
+    pub use rescnn_hwsim::prelude::*;
+    pub use rescnn_imaging::prelude::*;
+    pub use rescnn_models::prelude::*;
+    pub use rescnn_oracle::prelude::*;
+    pub use rescnn_projpeg::prelude::*;
+    pub use rescnn_tensor::prelude::*;
+}

@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: the dynamic-resolution pipeline assembled end to end,
+//! exercising dataset generation, rendering, progressive storage, calibration, the scale
+//! model, the accuracy oracle, and the kernel cost model together.
+
+use rescnn::prelude::*;
+
+fn trained_pipeline(
+    dataset_kind: DatasetKind,
+    backbone: ModelKind,
+    crop: f64,
+    storage: StoragePolicy,
+) -> DynamicResolutionPipeline {
+    let resolutions = vec![112usize, 224, 336, 448];
+    let train = DatasetSpec::for_kind(dataset_kind).with_len(60).with_max_dimension(96).build(11);
+    let trainer = ScaleModelTrainer::new(
+        ScaleModelConfig { resolutions: resolutions.clone(), epochs: 30, ..Default::default() },
+        backbone,
+        dataset_kind,
+    );
+    let scale_model = trainer.train(&train, 3).expect("scale model trains");
+    let config = PipelineConfig::new(backbone, dataset_kind)
+        .with_crop(CropRatio::new(crop).expect("valid crop"))
+        .with_resolutions(resolutions)
+        .with_storage(storage);
+    DynamicResolutionPipeline::new(config, scale_model, AccuracyOracle::new(5))
+        .expect("pipeline builds")
+}
+
+#[test]
+fn dynamic_pipeline_is_near_best_static_and_cheaper_than_max_resolution() {
+    let pipeline =
+        trained_pipeline(DatasetKind::CarsLike, ModelKind::ResNet18, 0.56, StoragePolicy::read_all());
+    let test = DatasetSpec::cars_like().with_len(48).with_max_dimension(96).build(77);
+
+    let dynamic = pipeline.evaluate(&test).expect("dynamic evaluation");
+    let mut best_static_acc = 0.0f64;
+    let mut max_static_gflops = 0.0f64;
+    for &res in &pipeline.config().resolutions.clone() {
+        let report = pipeline.evaluate_static(&test, res, false).expect("static evaluation");
+        best_static_acc = best_static_acc.max(report.accuracy);
+        max_static_gflops = max_static_gflops.max(report.mean_gflops);
+    }
+    assert!(dynamic.accuracy >= best_static_acc - 0.15);
+    assert!(dynamic.mean_gflops < max_static_gflops);
+    assert!(dynamic.mean_read_fraction <= 1.0 + 1e-9);
+}
+
+#[test]
+fn calibrated_storage_saves_bytes_without_losing_accuracy() {
+    let crop = CropRatio::new(0.75).expect("valid crop");
+    let resolutions = [224usize, 448];
+    let calibration_set =
+        DatasetSpec::cars_like().with_len(10).with_max_dimension(96).build(21);
+    let curves = CalibrationCurves::compute(
+        &calibration_set,
+        ModelKind::ResNet18,
+        crop,
+        &resolutions,
+        90,
+    )
+    .expect("curves");
+    let oracle = AccuracyOracle::new(5);
+    let policy = StorageCalibrator::default().calibrate(&curves, &oracle);
+
+    let pipeline =
+        trained_pipeline(DatasetKind::CarsLike, ModelKind::ResNet18, 0.75, policy.clone());
+    let eval = DatasetSpec::cars_like().with_len(20).with_max_dimension(96).build(31);
+    for &res in &resolutions {
+        let default = pipeline.evaluate_static(&eval, res, false).expect("default");
+        let calibrated = pipeline.evaluate_static(&eval, res, true).expect("calibrated");
+        // Calibration may only cost a sliver of accuracy and must never read more data.
+        assert!(default.accuracy - calibrated.accuracy <= 0.06);
+        assert!(calibrated.mean_read_fraction <= 1.0 + 1e-9);
+        assert!(calibrated.mean_bytes_read > 0.0);
+    }
+}
+
+#[test]
+fn tuned_kernels_beat_library_for_both_backbones_on_both_cpus() {
+    let tuner = AutoTuner::new(TunerConfig { trials: 48, refine_rounds: 2, seed: 0 });
+    let library = LibraryKernels::mkldnn_like();
+    for profile in CpuProfile::paper_platforms() {
+        for kind in [ModelKind::ResNet18, ModelKind::ResNet50] {
+            let arch = kind.arch(1000);
+            for res in [112usize, 280] {
+                let tuned = tuner.tune_network(&arch, res, &profile).expect("tuned plan");
+                let lib = library.plan(&arch, res, &profile).expect("library plan");
+                assert!(
+                    tuned.latency_ms() < lib.latency_ms(),
+                    "{kind} @{res} on {}: tuned {} vs library {}",
+                    profile.name,
+                    tuned.latency_ms(),
+                    lib.latency_ms()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn progressive_storage_round_trips_through_the_real_codec() {
+    let dataset = DatasetSpec::imagenet_like().with_len(3).with_max_dimension(128).build(9);
+    for sample in &dataset {
+        let original = sample.render().expect("render");
+        let encoded = sample.encode_progressive(85).expect("encode");
+        let full = encoded.decode(encoded.num_scans()).expect("decode");
+        assert_eq!(full.dimensions(), original.dimensions());
+        assert!(ssim(&original, &full).expect("ssim") > 0.85);
+        // Byte accounting is consistent.
+        assert!(encoded.cumulative_bytes(1) < encoded.total_bytes());
+        assert!(encoded.total_bytes() < original.raw_byte_size());
+    }
+}
+
+#[test]
+fn real_network_forward_matches_arch_flops_accounting() {
+    // The executable ResNet-18 and the symbolic ArchSpec must agree on structure: the
+    // forward pass works at any resolution the spec can account for.
+    let net = Network::new(ModelKind::ResNet18, 7, 1);
+    let arch = ModelKind::ResNet18.arch(7);
+    for res in [32usize, 48, 64] {
+        let flops = arch.gflops(res).expect("flops");
+        assert!(flops > 0.0);
+        let image = render_scene(&SceneSpec::new(res, res, 3)).expect("render");
+        let logits = net.forward(&image.to_tensor(&Normalization::default())).expect("forward");
+        assert_eq!(logits.shape().c, 7);
+        assert!(!logits.has_non_finite());
+    }
+}
+
+#[test]
+fn oracle_and_pipeline_agree_on_full_quality_static_accuracy() {
+    let pipeline = trained_pipeline(
+        DatasetKind::ImageNetLike,
+        ModelKind::ResNet50,
+        0.75,
+        StoragePolicy::read_all(),
+    );
+    let eval = DatasetSpec::imagenet_like().with_len(64).with_max_dimension(96).build(3);
+    let oracle = AccuracyOracle::new(5);
+    let report = pipeline.evaluate_static(&eval, 224, false).expect("static");
+    let direct = oracle.accuracy(
+        &eval,
+        &EvalContext::full_quality(
+            ModelKind::ResNet50,
+            DatasetKind::ImageNetLike,
+            224,
+            CropRatio::new(0.75).expect("crop"),
+        ),
+    );
+    assert!((report.accuracy - direct).abs() < 1e-9);
+}

@@ -1,11 +1,26 @@
-//! Real wall-clock micro-benchmarks of the executable convolution kernels: the measured
-//! counterpart of the analytic cost model, demonstrating that the best implementation
-//! choice (tiling) depends on the input resolution.
+//! Real wall-clock micro-benchmarks of the executable convolution kernels: the
+//! measured counterpart of the analytic cost model.
+//!
+//! Three groups:
+//!
+//! * `conv2d` — the seed comparison (direct / im2col / tiled) at small resolutions,
+//!   demonstrating that the best tiling depends on the input resolution (§VI).
+//! * `engine` — the packed engine across the paper's resolution ladder 112–448:
+//!   packed GEMM vs the seed's blocked GEMM, the 1×1 fast path, the dedicated
+//!   depthwise kernel, and thread counts 1/2/N.
+//! * `resnet50_forward` — the end-to-end acceptance benchmark: a ResNet-50-style
+//!   forward at 224×224 through the engine vs the seed's im2col path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescnn_models::{ModelKind, Network};
 use rescnn_tensor::{
-    conv2d_direct, conv2d_im2col, conv2d_tiled, Conv2dParams, ConvTiling, Shape, Tensor,
+    conv2d_direct, conv2d_im2col, conv2d_tiled, conv2d_with_algo, force_conv_algo, gemm_blocked,
+    gemm_packed, num_threads, set_num_threads, Conv2dParams, ConvAlgo, ConvTiling, GemmBlocking,
+    MatDims, Shape, Tensor,
 };
+
+/// The paper's inference-resolution ladder (§IV).
+const RESOLUTION_LADDER: [usize; 4] = [112, 168, 224, 448];
 
 fn conv_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv2d");
@@ -32,5 +47,109 @@ fn conv_benchmarks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, conv_benchmarks);
+/// Thread counts to sweep: 1, 2, and the host's full parallelism.
+fn thread_sweep() -> Vec<usize> {
+    let max = num_threads();
+    let mut counts = vec![1];
+    if max >= 2 {
+        counts.push(2);
+    }
+    if max > 2 {
+        counts.push(max);
+    }
+    counts
+}
+
+fn engine_benchmarks(c: &mut Criterion) {
+    let original_threads = num_threads();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    // Packed GEMM vs the seed's blocked GEMM at a ResNet-50 layer-2 shape.
+    let dims = MatDims::new(128, 784, 1152);
+    let a: Vec<f32> = (0..dims.m * dims.k).map(|i| (i as f32 * 0.3).sin()).collect();
+    let b: Vec<f32> = (0..dims.k * dims.n).map(|i| (i as f32 * 0.7).cos()).collect();
+    group.bench_function("gemm_blocked_seed/128x784x1152", |bench| {
+        let mut out = vec![0.0; dims.m * dims.n];
+        bench.iter(|| {
+            out.fill(0.0);
+            gemm_blocked(dims, GemmBlocking::default(), &a, &b, &mut out)
+        })
+    });
+    for threads in thread_sweep() {
+        set_num_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("gemm_packed_128x784x1152/threads", threads),
+            &threads,
+            |bench, _| {
+                let mut out = vec![0.0; dims.m * dims.n];
+                bench.iter(|| {
+                    out.fill(0.0);
+                    gemm_packed(dims, &a, &b, &mut out)
+                })
+            },
+        );
+    }
+    set_num_threads(original_threads);
+
+    // Engine algorithms across the paper's resolution ladder. Channel counts are
+    // ResNet-50 stage-1-like, scaled by resolution as in the paper's ladder.
+    for &res in &RESOLUTION_LADDER {
+        let dense = Conv2dParams::new(32, 64, 3, 1, 1);
+        let input = Tensor::random_uniform(Shape::chw(32, res, res), 1.0, res as u64);
+        let weight = Tensor::kaiming(Shape::new(64, 32, 3, 3), 32 * 9, 2);
+        group.bench_with_input(BenchmarkId::new("im2col_packed_3x3", res), &res, |b, _| {
+            b.iter(|| {
+                conv2d_with_algo(&input, &weight, None, &dense, ConvAlgo::Im2colPacked).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("im2col_seed_3x3", res), &res, |b, _| {
+            b.iter(|| conv2d_with_algo(&input, &weight, None, &dense, ConvAlgo::Im2col).unwrap())
+        });
+
+        let pointwise = Conv2dParams::new(32, 64, 1, 1, 0);
+        let pw_weight = Tensor::kaiming(Shape::new(64, 32, 1, 1), 32, 3);
+        group.bench_with_input(BenchmarkId::new("gemm_1x1", res), &res, |b, _| {
+            b.iter(|| {
+                conv2d_with_algo(&input, &pw_weight, None, &pointwise, ConvAlgo::Gemm1x1).unwrap()
+            })
+        });
+
+        let depthwise = Conv2dParams::depthwise(32, 3, 1, 1);
+        let dw_weight = Tensor::kaiming(Shape::new(32, 1, 3, 3), 9, 4);
+        group.bench_with_input(BenchmarkId::new("depthwise", res), &res, |b, _| {
+            b.iter(|| {
+                conv2d_with_algo(&input, &dw_weight, None, &depthwise, ConvAlgo::Depthwise).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance benchmark: ResNet-50-style forward at 224×224, engine vs the
+/// seed's im2col path (forced through the whole network via [`force_conv_algo`]).
+fn resnet50_forward(c: &mut Criterion) {
+    let original_threads = num_threads();
+    let mut group = c.benchmark_group("resnet50_forward_224");
+    group.sample_size(10);
+    let net = Network::new(ModelKind::ResNet50, 1000, 0);
+    let input = Tensor::random_uniform(Shape::chw(3, 224, 224), 1.0, 1);
+
+    force_conv_algo(None);
+    group.bench_function("engine", |b| b.iter(|| net.forward(&input).unwrap()));
+    for threads in thread_sweep() {
+        set_num_threads(threads);
+        group.bench_with_input(BenchmarkId::new("engine/threads", threads), &threads, |b, _| {
+            b.iter(|| net.forward(&input).unwrap())
+        });
+    }
+    set_num_threads(1);
+    force_conv_algo(Some(ConvAlgo::Im2col));
+    group.bench_function("seed_im2col", |b| b.iter(|| net.forward(&input).unwrap()));
+    force_conv_algo(None);
+    set_num_threads(original_threads);
+    group.finish();
+}
+
+criterion_group!(benches, conv_benchmarks, engine_benchmarks, resnet50_forward);
 criterion_main!(benches);

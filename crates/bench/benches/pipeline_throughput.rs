@@ -26,17 +26,13 @@ fn pipeline_benchmarks(c: &mut Criterion) {
         .collect();
     let model = ScaleModel::train(&ScaleModelConfig::default(), &examples).unwrap();
     let features = examples[0].features.clone();
-    group.bench_function("scale_model_predict", |b| {
-        b.iter(|| model.choose_resolution(&features))
-    });
+    group.bench_function("scale_model_predict", |b| b.iter(|| model.choose_resolution(&features)));
 
     let profile = CpuProfile::intel_4790k();
     let arch = ModelKind::ResNet18.arch(1000);
     let layer = arch.conv_layers(224).unwrap()[5];
     let tuner = AutoTuner::new(TunerConfig::default());
-    group.bench_function("autotune_one_layer", |b| {
-        b.iter(|| tuner.tune_layer(&layer, &profile))
-    });
+    group.bench_function("autotune_one_layer", |b| b.iter(|| tuner.tune_layer(&layer, &profile)));
     group.finish();
 }
 

@@ -40,8 +40,7 @@ impl HarnessConfig {
         let defaults = Self::default();
         HarnessConfig {
             eval_samples: read("RESCNN_SAMPLES", defaults.eval_samples).max(8),
-            calibration_samples: read("RESCNN_CALIB_SAMPLES", defaults.calibration_samples)
-                .max(4),
+            calibration_samples: read("RESCNN_CALIB_SAMPLES", defaults.calibration_samples).max(4),
             train_samples: read("RESCNN_TRAIN_SAMPLES", defaults.train_samples).max(12),
             max_dimension: read("RESCNN_MAX_DIM", defaults.max_dimension),
             seed: read("RESCNN_SEED", defaults.seed as usize) as u64,

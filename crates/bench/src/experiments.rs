@@ -7,8 +7,8 @@
 use serde::Serialize;
 
 use rescnn_core::{
-    CalibrationCurves, DynamicResolutionPipeline, PipelineConfig,
-    ScaleModelConfig, ScaleModelTrainer, StorageCalibrator, StoragePolicy,
+    CalibrationCurves, DynamicResolutionPipeline, PipelineConfig, ScaleModelConfig,
+    ScaleModelTrainer, StorageCalibrator, StoragePolicy,
 };
 use rescnn_data::{DatasetKind, DatasetSpec};
 use rescnn_hwsim::{AutoTuner, CpuProfile, LibraryKernels, TunerConfig};
@@ -225,9 +225,7 @@ fn build_pipeline(
         dataset,
     );
     let scale_model = trainer.train(&train, 4).expect("scale-model training succeeds");
-    let pipeline_config = PipelineConfig::new(model, dataset)
-        .with_crop(crop)
-        .with_storage(storage);
+    let pipeline_config = PipelineConfig::new(model, dataset).with_crop(crop).with_storage(storage);
     DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(config.seed))
         .expect("pipeline construction succeeds")
 }
@@ -246,13 +244,11 @@ pub fn fig8_fig9(
     let mut rows = Vec::new();
     for &crop_area in &CropRatio::PAPER_SET {
         let crop = CropRatio::new(crop_area).expect("paper crops are valid");
-        let pipeline =
-            build_pipeline(config, dataset, model, crop, StoragePolicy::read_all());
+        let pipeline = build_pipeline(config, dataset, model, crop, StoragePolicy::read_all());
         // Static baselines (oracle-only: full-quality reads).
         for &res in &PAPER_RESOLUTIONS {
-            let report = pipeline
-                .evaluate_static(&eval, res, false)
-                .expect("static evaluation succeeds");
+            let report =
+                pipeline.evaluate_static(&eval, res, false).expect("static evaluation succeeds");
             rows.push(AccuracyFlopsRow {
                 dataset: dataset.name().to_string(),
                 model: model.name().to_string(),
@@ -327,12 +323,10 @@ pub fn table3_table4(
 
     let mut rows = Vec::new();
     for &res in resolutions {
-        let default = pipeline
-            .evaluate_static(&eval, res, false)
-            .expect("default static evaluation");
-        let calibrated = pipeline
-            .evaluate_static(&eval, res, true)
-            .expect("calibrated static evaluation");
+        let default =
+            pipeline.evaluate_static(&eval, res, false).expect("default static evaluation");
+        let calibrated =
+            pipeline.evaluate_static(&eval, res, true).expect("calibrated static evaluation");
         rows.push(SavingsRow {
             dataset: dataset.name().to_string(),
             model: model.name().to_string(),
@@ -383,10 +377,8 @@ pub fn scale_overhead() -> Vec<ScaleOverheadRow> {
         .into_iter()
         .map(|profile| {
             let scale_lib = library.plan(&mb2, 112, &profile).expect("library plan").latency_ms();
-            let scale_tuned =
-                tuner.tune_network(&mb2, 112, &profile).expect("tuning").latency_ms();
-            let backbone =
-                tuner.tune_network(&r50, 224, &profile).expect("tuning").latency_ms();
+            let scale_tuned = tuner.tune_network(&mb2, 112, &profile).expect("tuning").latency_ms();
+            let backbone = tuner.tune_network(&r50, 224, &profile).expect("tuning").latency_ms();
             ScaleOverheadRow {
                 cpu: profile.name.clone(),
                 scale_model_library_ms: scale_lib,
@@ -479,12 +471,8 @@ mod tests {
 
     #[test]
     fn fig6_points_are_bounded() {
-        let rows = fig6(
-            &HarnessConfig::tiny(),
-            DatasetKind::CarsLike,
-            ModelKind::ResNet18,
-            &[112, 224],
-        );
+        let rows =
+            fig6(&HarnessConfig::tiny(), DatasetKind::CarsLike, ModelKind::ResNet18, &[112, 224]);
         assert!(!rows.is_empty());
         for p in &rows {
             assert!(p.read_fraction > 0.0 && p.read_fraction <= 1.0);

@@ -1,0 +1,225 @@
+//! Workspace-local, API-compatible subset of `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors a
+//! small wall-clock benchmark harness exposing the criterion surface the `bench`
+//! crate uses: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Results print as `name  time: [mean ± spread]` lines.
+//!
+//! Environment knobs:
+//! * `RESCNN_BENCH_MS` — target measurement time per benchmark in milliseconds
+//!   (default 300).
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    measurement: Duration,
+    /// (mean seconds per iteration, spread) recorded by the last `iter` call.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Measures the mean wall-clock time of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow until one batch takes >= ~2 ms.
+        let mut batch = 1u64;
+        let batch_time = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break elapsed;
+            }
+            batch *= 2;
+        };
+        // Measurement: repeat batches until the time budget is spent.
+        let budget = self.measurement;
+        let mut samples: Vec<f64> = vec![batch_time.as_secs_f64() / batch as f64];
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        self.result = Some((mean, (max - min) / 2.0));
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+fn measurement_budget() -> Duration {
+    let ms = std::env::var("RESCNN_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300u64);
+    Duration::from_millis(ms.max(10))
+}
+
+fn run_one(name: &str, measurement: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { measurement, result: None };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, spread)) => {
+            println!("{name:<50} time: [{} ± {}]", format_time(mean), format_time(spread))
+        }
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op (the vendored harness sizes batches by wall-clock time).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Runs a benchmark with an auxiliary input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.measurement, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.measurement, |b| f(b));
+        self
+    }
+
+    /// Finishes the group (prints a trailing newline for readability).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup { name, measurement: measurement_budget(), _criterion: self }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, measurement_budget(), |b| f(b));
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("RESCNN_BENCH_MS", "15");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 224).to_string(), "f/224");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,183 @@
+//! Workspace-local, API-compatible subset of `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors the
+//! narrow slice of the serde API it actually uses: `Serialize`/`Deserialize` derive
+//! macros plus enough of a data model for `serde_json::to_string_pretty`. The
+//! [`Serialize`] trait here lowers a value to an owned [`json::Value`] tree, which
+//! the companion `serde_json` stub renders.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can be lowered to a JSON value tree.
+pub trait Serialize {
+    /// Converts `self` into an owned JSON value.
+    fn to_json(&self) -> json::Value;
+}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// Nothing in the workspace deserializes at runtime; the derive exists so that
+/// `#[derive(Deserialize)]` attributes in downstream crates keep compiling.
+pub trait Deserialize {}
+
+/// The JSON data model used by [`Serialize`].
+pub mod json {
+    /// An owned JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Unsigned integer.
+        UInt(u64),
+        /// Signed integer.
+        Int(i64),
+        /// Floating-point number.
+        Float(f64),
+        /// String.
+        String(String),
+        /// Array.
+        Array(Vec<Value>),
+        /// Object with insertion-ordered keys.
+        Object(Vec<(String, Value)>),
+    }
+}
+
+use json::Value;
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_json())).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_json(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_json())).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+macro_rules! impl_deserialize_marker {
+    ($($t:ty),*) => {$(impl Deserialize for $t {})*};
+}
+impl_deserialize_marker!(
+    u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, String, char
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_values() {
+        assert_eq!(3usize.to_json(), Value::UInt(3));
+        assert_eq!((-2i32).to_json(), Value::Int(-2));
+        assert_eq!(true.to_json(), Value::Bool(true));
+        assert_eq!("x".to_json(), Value::String("x".into()));
+        assert_eq!(None::<u8>.to_json(), Value::Null);
+        assert_eq!(vec![1u8, 2].to_json(), Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+    }
+}

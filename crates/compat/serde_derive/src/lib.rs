@@ -1,0 +1,296 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace-local serde subset.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are unavailable;
+//! the input item is parsed directly from the [`proc_macro::TokenStream`]. Supported
+//! shapes cover everything this workspace derives on: non-generic structs with named
+//! fields, tuple structs, and enums with unit / tuple / struct variants. No
+//! `#[serde(...)]` attributes are interpreted.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item the derive is attached to.
+enum ItemKind {
+    Struct,
+    Enum,
+}
+
+/// One enum variant (or, for structs, the single pseudo-variant).
+struct Variant {
+    name: String,
+    /// Named fields (`{ a: T }`), if any.
+    named: Vec<String>,
+    /// Number of unnamed fields (`(T, U)`), if any.
+    unnamed: usize,
+    /// True when the variant has no payload at all.
+    unit: bool,
+}
+
+struct Item {
+    kind: ItemKind,
+    name: String,
+    variants: Vec<Variant>,
+}
+
+/// Skips outer attributes (`#[...]`, including doc comments) in a token iterator.
+fn skip_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        // The bracket group of the attribute.
+        if let Some(TokenTree::Group(_)) = tokens.peek() {
+            tokens.next();
+        }
+    }
+}
+
+/// Extracts the field names of a named-field brace group.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        // Optional visibility.
+        match tokens.peek() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => {}
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        fields.push(name);
+        // Skip `:` and the type, up to the next top-level comma. Angle brackets do not
+        // form token groups, so nesting is tracked manually.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the top-level comma-separated entries of a tuple field group.
+fn count_unnamed_fields(group: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0i32;
+    for tok in group {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        // `(T, U)` has one comma for two fields; a trailing comma over-counts by one but
+        // none of the workspace types use one.
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_enum_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        let mut variant = Variant { name, named: Vec::new(), unnamed: 0, unit: true };
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variant.named = parse_named_fields(g.stream());
+                variant.unit = false;
+                tokens.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                variant.unnamed = count_unnamed_fields(g.stream());
+                variant.unit = variant.unnamed == 0;
+                tokens.next();
+            }
+            _ => {}
+        }
+        variants.push(variant);
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        skip_attributes(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        other => panic!("expected item name after `{word}`, found {other:?}"),
+                    };
+                    if word == "enum" {
+                        let body = loop {
+                            match tokens.next() {
+                                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                    break g.stream();
+                                }
+                                Some(_) => continue,
+                                None => panic!("enum `{name}` has no body"),
+                            }
+                        };
+                        return Item {
+                            kind: ItemKind::Enum,
+                            name,
+                            variants: parse_enum_variants(body),
+                        };
+                    }
+                    // Struct: the next group is either named fields `{..}` or tuple `(..)`.
+                    let mut variant =
+                        Variant { name: name.clone(), named: Vec::new(), unnamed: 0, unit: true };
+                    for tok in tokens.by_ref() {
+                        match tok {
+                            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                                variant.named = parse_named_fields(g.stream());
+                                variant.unit = false;
+                                break;
+                            }
+                            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                                variant.unnamed = count_unnamed_fields(g.stream());
+                                variant.unit = variant.unnamed == 0;
+                                break;
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ';' => break,
+                            _ => continue,
+                        }
+                    }
+                    return Item { kind: ItemKind::Struct, name, variants: vec![variant] };
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            Some(_) => continue,
+            None => panic!("derive input contained no struct or enum"),
+        }
+    }
+}
+
+/// Emits the body expression serializing a set of named fields reachable as `{prefix}{f}`.
+fn named_fields_expr(fields: &[String], prefix: &str) -> String {
+    let mut out = String::from("::serde::json::Value::Object(vec![");
+    for f in fields {
+        out.push_str(&format!("(\"{f}\".to_string(), ::serde::Serialize::to_json(&{prefix}{f})),"));
+    }
+    out.push_str("])");
+    out
+}
+
+fn unnamed_fields_expr(count: usize, prefix: &str) -> String {
+    if count == 1 {
+        return format!("::serde::Serialize::to_json(&{prefix}0)");
+    }
+    let mut out = String::from("::serde::json::Value::Array(vec![");
+    for i in 0..count {
+        out.push_str(&format!("::serde::Serialize::to_json(&{prefix}{i}),"));
+    }
+    out.push_str("])");
+    out
+}
+
+/// Derives the workspace-local `serde::Serialize` (lowering to a JSON value tree).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match item.kind {
+        ItemKind::Struct => {
+            let v = &item.variants[0];
+            if v.unit {
+                "::serde::json::Value::Null".to_string()
+            } else if !v.named.is_empty() {
+                named_fields_expr(&v.named, "self.")
+            } else {
+                unnamed_fields_expr(v.unnamed, "self.")
+            }
+        }
+        ItemKind::Enum => {
+            let mut arms = String::new();
+            for v in &item.variants {
+                let vname = &v.name;
+                if v.unit {
+                    arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::json::Value::String(\"{vname}\".to_string()),"
+                    ));
+                } else if !v.named.is_empty() {
+                    let bindings = v.named.join(", ");
+                    let inner = named_fields_expr(&v.named, "");
+                    arms.push_str(&format!(
+                        "{name}::{vname} {{ {bindings} }} => ::serde::json::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),"
+                    ));
+                } else {
+                    let bindings: Vec<String> = (0..v.unnamed).map(|i| format!("f{i}")).collect();
+                    let inner = if v.unnamed == 1 {
+                        "::serde::Serialize::to_json(f0)".to_string()
+                    } else {
+                        let mut s = String::from("::serde::json::Value::Array(vec![");
+                        for b in &bindings {
+                            s.push_str(&format!("::serde::Serialize::to_json({b}),"));
+                        }
+                        s.push_str("])");
+                        s
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{vname}({}) => ::serde::json::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),",
+                        bindings.join(", ")
+                    ));
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives the workspace-local marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}

@@ -1,0 +1,156 @@
+//! Workspace-local subset of `serde_json`: pretty-printing of the
+//! [`serde::json::Value`] tree produced by the vendored `serde` stub.
+
+use std::fmt;
+
+use serde::json::Value;
+use serde::Serialize;
+
+/// Serialization error. The vendored data model is infallible, so this is only ever
+/// constructed for non-finite floats (which JSON cannot represent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render(value: &Value, out: &mut String, indent: usize, pretty: bool) -> Result<(), Error> {
+    let pad = |out: &mut String, level: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..level {
+                out.push_str("  ");
+            }
+        }
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if !x.is_finite() {
+                return Err(Error(format!("non-finite float {x} is not representable")));
+            }
+            // Match serde_json: floats always render with a decimal point or exponent.
+            let s = format!("{x}");
+            out.push_str(&s);
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                out.push_str(".0");
+            }
+        }
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                render(item, out, indent + 1, pretty)?;
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                escape_into(out, key);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                render(item, out, indent + 1, pretty)?;
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a value to a compact JSON string.
+///
+/// # Errors
+/// Returns an error if the value contains a non-finite float.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), &mut out, 0, false)?;
+    Ok(out)
+}
+
+/// Serializes a value to an indented JSON string.
+///
+/// # Errors
+/// Returns an error if the value contains a non-finite float.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json(), &mut out, 0, true)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_arrays_and_objects() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Array(vec![Value::Float(1.5), Value::Bool(false)])),
+        ]);
+        let mut compact = String::new();
+        render(&v, &mut compact, 0, false).unwrap();
+        assert_eq!(compact, r#"{"a":1,"b":[1.5,false]}"#);
+        let pretty = {
+            let mut s = String::new();
+            render(&v, &mut s, 0, true).unwrap();
+            s
+        };
+        assert!(pretty.contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+}

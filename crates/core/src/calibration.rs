@@ -92,7 +92,8 @@ impl CalibrationCurves {
         let mut curves = vec![Vec::with_capacity(dataset.len()); resolutions.len()];
         for sample in dataset {
             let original = sample.render()?;
-            let encoded = ProgressiveImage::encode(&original, encode_quality, ScanPlan::standard())?;
+            let encoded =
+                ProgressiveImage::encode(&original, encode_quality, ScanPlan::standard())?;
             let per_sample = Self::sample_curves(&original, &encoded, crop, resolutions)?;
             for (res_idx, curve) in per_sample.into_iter().enumerate() {
                 curves[res_idx].push(curve);
@@ -262,8 +263,7 @@ impl StoragePolicy {
         crop: CropRatio,
         resolution: usize,
     ) -> Result<ScanPoint> {
-        let curves =
-            CalibrationCurves::sample_curves(original, encoded, crop, &[resolution])?;
+        let curves = CalibrationCurves::sample_curves(original, encoded, crop, &[resolution])?;
         let curve = &curves[0];
         match self.threshold_for(resolution) {
             Some(threshold) => Ok(curve.point_for_threshold(threshold)),
@@ -335,8 +335,7 @@ mod tests {
     use rescnn_data::DatasetSpec;
 
     fn small_curves() -> CalibrationCurves {
-        let dataset =
-            DatasetSpec::cars_like().with_len(12).with_max_dimension(96).build(3);
+        let dataset = DatasetSpec::cars_like().with_len(12).with_max_dimension(96).build(3);
         CalibrationCurves::compute(
             &dataset,
             ModelKind::ResNet18,
@@ -453,13 +452,7 @@ mod tests {
     fn empty_inputs_are_rejected() {
         let empty = DatasetSpec::imagenet_like().with_len(0).build(0);
         assert!(matches!(
-            CalibrationCurves::compute(
-                &empty,
-                ModelKind::ResNet18,
-                CropRatio::full(),
-                &[112],
-                90
-            ),
+            CalibrationCurves::compute(&empty, ModelKind::ResNet18, CropRatio::full(), &[112], 90),
             Err(CoreError::EmptyDataset)
         ));
         let tiny = DatasetSpec::imagenet_like().with_len(1).with_max_dimension(48).build(0);

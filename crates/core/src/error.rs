@@ -76,8 +76,7 @@ mod tests {
         assert!(e.to_string().contains("imaging"));
         let e: CoreError = rescnn_projpeg::CodecError::InvalidQuality { quality: 0 }.into();
         assert!(e.to_string().contains("codec"));
-        let e: CoreError =
-            rescnn_models::ModelError::BadInput { reason: "x".into() }.into();
+        let e: CoreError = rescnn_models::ModelError::BadInput { reason: "x".into() }.into();
         assert!(e.to_string().contains("model"));
         let e: CoreError = rescnn_hwsim::HwError::Model("y".into()).into();
         assert!(e.to_string().contains("model"));

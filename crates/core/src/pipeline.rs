@@ -39,6 +39,12 @@ pub struct PipelineConfig {
     pub storage: StoragePolicy,
     /// Model family used for the scale model's cost accounting (MobileNetV2 in the paper).
     pub scale_model_kind: ModelKind,
+    /// Worker threads the tensor engine may use for backbone kernels (`None` keeps the
+    /// engine's current setting: `RESCNN_THREADS` or the host's available parallelism).
+    /// Note: the engine's thread count is process-global state — constructing a
+    /// pipeline with `Some(n)` applies `n` to every engine kernel in the process
+    /// until something else changes it. Per-request isolation is a roadmap item.
+    pub engine_threads: Option<usize>,
 }
 
 impl PipelineConfig {
@@ -53,6 +59,7 @@ impl PipelineConfig {
             encode_quality: 90,
             storage: StoragePolicy::read_all(),
             scale_model_kind: ModelKind::MobileNetV2,
+            engine_threads: None,
         }
     }
 
@@ -71,6 +78,13 @@ impl PipelineConfig {
     /// Sets the candidate resolutions.
     pub fn with_resolutions(mut self, resolutions: Vec<usize>) -> Self {
         self.resolutions = resolutions;
+        self
+    }
+
+    /// Bounds the tensor engine's kernel parallelism (applied process-globally when
+    /// the pipeline is constructed).
+    pub fn with_engine_threads(mut self, threads: usize) -> Self {
+        self.engine_threads = Some(threads.max(1));
         self
     }
 }
@@ -180,6 +194,9 @@ impl DynamicResolutionPipeline {
         if config.resolutions.is_empty() {
             return Err(CoreError::InvalidConfig { reason: "no candidate resolutions".into() });
         }
+        if let Some(threads) = config.engine_threads {
+            rescnn_tensor::set_num_threads(threads);
+        }
         let backbone_arch = config.backbone.arch(config.dataset.num_classes());
         let mut backbone_gflops = BTreeMap::new();
         for &res in &config.resolutions {
@@ -187,13 +204,7 @@ impl DynamicResolutionPipeline {
         }
         let scale_arch = config.scale_model_kind.arch(config.dataset.num_classes());
         let scale_gflops = scale_arch.gflops(scale_model.preview_resolution())?;
-        Ok(DynamicResolutionPipeline {
-            config,
-            scale_model,
-            oracle,
-            backbone_gflops,
-            scale_gflops,
-        })
+        Ok(DynamicResolutionPipeline { config, scale_model, oracle, backbone_gflops, scale_gflops })
     }
 
     /// The configuration in use.
@@ -239,10 +250,7 @@ impl DynamicResolutionPipeline {
         let chosen_resolution = self.scale_model.choose_resolution(&features);
 
         // Stage 2: read whatever extra data the chosen resolution requires.
-        let chosen_idx = all_res
-            .iter()
-            .position(|&r| r == chosen_resolution)
-            .unwrap_or(0);
+        let chosen_idx = all_res.iter().position(|&r| r == chosen_resolution).unwrap_or(0);
         let chosen_point = match self.config.storage.threshold_for(chosen_resolution) {
             Some(t) => curves[chosen_idx].point_for_threshold(t),
             None => *curves[chosen_idx].points.last().expect("non-empty curve"),
@@ -325,13 +333,11 @@ impl DynamicResolutionPipeline {
         if dataset.is_empty() {
             return Err(CoreError::EmptyDataset);
         }
-        let backbone_gflops = self
-            .backbone_gflops
-            .get(&resolution)
-            .copied()
-            .ok_or_else(|| CoreError::InvalidConfig {
+        let backbone_gflops = self.backbone_gflops.get(&resolution).copied().ok_or_else(|| {
+            CoreError::InvalidConfig {
                 reason: format!("resolution {resolution} is not a configured candidate"),
-            })?;
+            }
+        })?;
         let mut correct = 0usize;
         let mut read_fraction_total = 0.0;
         let mut bytes_total = 0.0;
@@ -339,29 +345,24 @@ impl DynamicResolutionPipeline {
         *histogram.entry(resolution).or_insert(0) += dataset.len();
 
         for sample in dataset {
-            let (quality, read_fraction, bytes) = if use_storage_policy
-                && !self.config.storage.is_read_all()
-            {
-                let original = sample.render()?;
-                let encoded = ProgressiveImage::encode(
-                    &original,
-                    self.config.encode_quality,
-                    ScanPlan::standard(),
-                )?;
-                let point = self.config.storage.scans_for(
-                    &original,
-                    &encoded,
-                    self.config.crop,
-                    resolution,
-                )?;
-                (
-                    point.ssim,
-                    point.read_fraction,
-                    encoded.cumulative_bytes(point.scans) as f64,
-                )
-            } else {
-                (1.0, 1.0, 0.0)
-            };
+            let (quality, read_fraction, bytes) =
+                if use_storage_policy && !self.config.storage.is_read_all() {
+                    let original = sample.render()?;
+                    let encoded = ProgressiveImage::encode(
+                        &original,
+                        self.config.encode_quality,
+                        ScanPlan::standard(),
+                    )?;
+                    let point = self.config.storage.scans_for(
+                        &original,
+                        &encoded,
+                        self.config.crop,
+                        resolution,
+                    )?;
+                    (point.ssim, point.read_fraction, encoded.cumulative_bytes(point.scans) as f64)
+                } else {
+                    (1.0, 1.0, 0.0)
+                };
             let ctx = EvalContext {
                 model: self.config.backbone,
                 dataset: self.config.dataset,
@@ -397,13 +398,9 @@ mod tests {
     use rescnn_data::DatasetSpec;
 
     fn build_pipeline(crop: f64, resolutions: Vec<usize>) -> DynamicResolutionPipeline {
-        let config = ScaleModelConfig {
-            resolutions: resolutions.clone(),
-            epochs: 30,
-            ..Default::default()
-        };
-        let trainer =
-            ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+        let config =
+            ScaleModelConfig { resolutions: resolutions.clone(), epochs: 30, ..Default::default() };
+        let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
         let train = DatasetSpec::cars_like().with_len(60).with_max_dimension(96).build(1);
         let scale_model = trainer.train(&train, 3).unwrap();
         let pipeline_config = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
@@ -415,9 +412,9 @@ mod tests {
 
     #[test]
     fn pipeline_construction_validates_config() {
-        let config = ScaleModelConfig { resolutions: vec![112, 224], epochs: 5, ..Default::default() };
-        let trainer =
-            ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+        let config =
+            ScaleModelConfig { resolutions: vec![112, 224], epochs: 5, ..Default::default() };
+        let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
         let train = DatasetSpec::cars_like().with_len(12).with_max_dimension(64).build(1);
         let scale_model = trainer.train(&train, 2).unwrap();
         let bad = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
@@ -497,9 +494,7 @@ mod tests {
     fn gflops_accounting_matches_architectures() {
         let pipeline = build_pipeline(0.75, vec![112, 224]);
         let r18 = ModelKind::ResNet18.arch(DatasetKind::CarsLike.num_classes());
-        assert!(
-            (pipeline.backbone_gflops(224).unwrap() - r18.gflops(224).unwrap()).abs() < 1e-9
-        );
+        assert!((pipeline.backbone_gflops(224).unwrap() - r18.gflops(224).unwrap()).abs() < 1e-9);
         assert!(pipeline.backbone_gflops(999).is_none());
         let mb2 = ModelKind::MobileNetV2.arch(DatasetKind::CarsLike.num_classes());
         assert!((pipeline.scale_model_gflops() - mb2.gflops(112).unwrap()).abs() < 1e-9);

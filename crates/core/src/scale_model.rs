@@ -127,12 +127,7 @@ impl ScaleModel {
             *s = (*s / examples.len() as f64).sqrt().max(1e-6);
         }
         let standardize = |features: &[f64]| -> Vec<f64> {
-            features
-                .iter()
-                .zip(&mean)
-                .zip(&std)
-                .map(|((&f, m), s)| (f - m) / s)
-                .collect()
+            features.iter().zip(&mean).zip(&std).map(|((&f, m), s)| (f - m) / s).collect()
         };
 
         let mut weights = vec![vec![0.0f64; FEATURE_COUNT + 1]; n_res];
@@ -256,7 +251,8 @@ impl ScaleModelTrainer {
                 .resolutions
                 .iter()
                 .map(|&res| {
-                    let ctx = EvalContext::full_quality(self.backbone, self.dataset_kind, res, crop);
+                    let ctx =
+                        EvalContext::full_quality(self.backbone, self.dataset_kind, res, crop);
                     oracle.is_correct(sample, &ctx)
                 })
                 .collect();
@@ -293,11 +289,7 @@ mod tests {
     use rescnn_data::DatasetSpec;
 
     fn small_config() -> ScaleModelConfig {
-        ScaleModelConfig {
-            resolutions: vec![112, 224, 336, 448],
-            epochs: 30,
-            ..Default::default()
-        }
+        ScaleModelConfig { resolutions: vec![112, 224, 336, 448], epochs: 30, ..Default::default() }
     }
 
     fn synthetic_examples(n: usize) -> Vec<TrainingExample> {
@@ -372,8 +364,7 @@ mod tests {
             ..Default::default()
         };
         let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
-        let train_set =
-            DatasetSpec::cars_like().with_len(90).with_max_dimension(112).build(5);
+        let train_set = DatasetSpec::cars_like().with_len(90).with_max_dimension(112).build(5);
         let model = trainer.train(&train_set, 3).unwrap();
 
         let test_set = DatasetSpec::cars_like().with_len(60).with_max_dimension(112).build(99);
@@ -401,11 +392,8 @@ mod tests {
 
     #[test]
     fn trainer_rejects_empty_dataset() {
-        let trainer = ScaleModelTrainer::new(
-            small_config(),
-            ModelKind::ResNet18,
-            DatasetKind::ImageNetLike,
-        );
+        let trainer =
+            ScaleModelTrainer::new(small_config(), ModelKind::ResNet18, DatasetKind::ImageNetLike);
         let empty = DatasetSpec::imagenet_like().with_len(0).build(0);
         assert!(matches!(trainer.train(&empty, 4), Err(CoreError::EmptyDataset)));
     }

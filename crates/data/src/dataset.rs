@@ -128,7 +128,7 @@ impl DatasetSpec {
 
     /// Generates the dataset deterministically from a seed.
     pub fn build(self, seed: u64) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A_5E7);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0DA7_A5E7);
         let num_classes = self.num_classes.unwrap_or_else(|| self.kind.num_classes());
         let (mean_w, mean_h) = self.kind.mean_dimensions();
         let (scale_mean, scale_spread) = self.kind.object_scale_distribution();
@@ -151,8 +151,7 @@ impl DatasetSpec {
             }
             // Log-normal object scale, clamped to the renderable range.
             let z: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
-            let object_scale =
-                (scale_mean * (z * scale_spread).exp()).clamp(0.08, 0.95);
+            let object_scale = (scale_mean * (z * scale_spread).exp()).clamp(0.08, 0.95);
             let detail = rng.gen_range(detail_lo..detail_hi);
             let background = rng.gen_range(0.15..0.6);
             // Objects are photographed roughly centred, with some offset.
@@ -318,9 +317,8 @@ mod tests {
     fn cars_images_are_larger_and_less_detailed() {
         let imagenet = DatasetSpec::imagenet_like().with_len(64).build(1);
         let cars = DatasetSpec::cars_like().with_len(64).build(1);
-        let mean = |d: &Dataset, f: &dyn Fn(&Sample) -> f64| {
-            d.iter().map(f).sum::<f64>() / d.len() as f64
-        };
+        let mean =
+            |d: &Dataset, f: &dyn Fn(&Sample) -> f64| d.iter().map(f).sum::<f64>() / d.len() as f64;
         let area = |s: &Sample| (s.scene.width * s.scene.height) as f64;
         assert!(mean(&cars, &area) > mean(&imagenet, &area));
         assert!(mean(&cars, &|s| s.detail_level()) < mean(&imagenet, &|s| s.detail_level()));

@@ -75,7 +75,7 @@ impl Sample {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::dataset::DatasetSpec;
 
     #[test]

@@ -173,15 +173,11 @@ impl AutoTuner {
         resolution: usize,
         profile: &CpuProfile,
     ) -> Result<KernelPlan> {
-        let layers = arch
-            .conv_layers(resolution)
-            .map_err(|e| HwError::Model(e.to_string()))?;
+        let layers = arch.conv_layers(resolution).map_err(|e| HwError::Model(e.to_string()))?;
         let mut cache: HashMap<ConvLayerShape, TunedKernel> = HashMap::new();
         let mut kernels = Vec::with_capacity(layers.len());
         for layer in layers {
-            let kernel = *cache
-                .entry(layer)
-                .or_insert_with(|| self.tune_layer(&layer, profile));
+            let kernel = *cache.entry(layer).or_insert_with(|| self.tune_layer(&layer, profile));
             kernels.push(kernel);
         }
         Ok(KernelPlan {
@@ -247,8 +243,7 @@ mod tests {
         assert!(plan.throughput_gmacs() > 10.0);
         assert!(plan.total_bytes_moved() > 1_000_000);
         // Plan MACs equal the architecture's conv MACs.
-        let conv_macs: u64 =
-            arch.conv_layers(224).unwrap().iter().map(|l| l.macs()).sum();
+        let conv_macs: u64 = arch.conv_layers(224).unwrap().iter().map(|l| l.macs()).sum();
         assert_eq!(plan.total_macs(), conv_macs);
     }
 

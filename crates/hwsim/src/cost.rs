@@ -81,9 +81,7 @@ impl CostModel {
     ) -> KernelEstimate {
         let s = schedule.clamped_to(layer);
         let params = layer.params;
-        let out = params
-            .output_shape(layer.input)
-            .unwrap_or(layer.input);
+        let out = params.output_shape(layer.input).unwrap_or(layer.input);
         let macs = layer.macs();
         let simd = profile.simd_width.max(1);
 

@@ -6,8 +6,11 @@
 //! * [`CpuProfile`]s for the two platforms the paper measures (Intel 4790K, AMD 2990WX),
 //! * a [`ConvSchedule`] space describing kernel implementation choices,
 //! * an analytic [`CostModel`] capturing the resolution-dependent utilization effects,
-//! * an [`AutoTuner`] that searches the space per layer (the stand-in for AutoTVM), and
-//! * a [`LibraryKernels`] baseline modelling a shape-overfitted vendor library (MKLDNN).
+//! * an [`AutoTuner`] that searches the space per layer (the stand-in for AutoTVM),
+//! * a [`LibraryKernels`] baseline modelling a shape-overfitted vendor library (MKLDNN), and
+//! * a [`MeasuredTuner`] that sweeps the *executable* engine kernels from
+//!   `rescnn-tensor` (algorithm × tiling × threads) with host wall-clock time,
+//!   closing the loop between the analytic model and real hardware.
 //!
 //! # Examples
 //! ```
@@ -31,6 +34,7 @@ mod autotune;
 mod cost;
 mod error;
 mod library;
+mod measured;
 mod profile;
 mod schedule;
 
@@ -38,6 +42,7 @@ pub use autotune::{AutoTuner, KernelPlan, TunedKernel, TunerConfig};
 pub use cost::{CostModel, KernelEstimate};
 pub use error::{HwError, Result};
 pub use library::{LibraryConfig, LibraryKernels};
+pub use measured::{MeasuredKernel, MeasuredSweepConfig, MeasuredTuner};
 pub use profile::CpuProfile;
 pub use schedule::{ConvSchedule, ScheduleSpace};
 
@@ -45,7 +50,7 @@ pub use schedule::{ConvSchedule, ScheduleSpace};
 pub mod prelude {
     pub use crate::{
         AutoTuner, ConvSchedule, CostModel, CpuProfile, HwError, KernelEstimate, KernelPlan,
-        LibraryKernels, TunerConfig,
+        LibraryKernels, MeasuredTuner, TunerConfig,
     };
 }
 

@@ -118,9 +118,8 @@ impl LibraryKernels {
         resolution: usize,
         profile: &CpuProfile,
     ) -> Result<KernelPlan> {
-        let actual_layers = arch
-            .conv_layers(resolution)
-            .map_err(|e| HwError::Model(e.to_string()))?;
+        let actual_layers =
+            arch.conv_layers(resolution).map_err(|e| HwError::Model(e.to_string()))?;
         let anchor_layers = arch
             .conv_layers(self.config.anchor_resolution)
             .map_err(|e| HwError::Model(e.to_string()))?;

@@ -1,0 +1,212 @@
+//! Measured (wall-clock) kernel sweeps over the executable engine.
+//!
+//! The analytic [`CostModel`](crate::CostModel) predicts how schedules behave; this
+//! module closes the loop by *running* the real kernels from `rescnn-tensor` and
+//! timing them. For every convolution layer shape it sweeps implementation
+//! algorithms ([`ConvAlgo`]) — and, for the tiled kernel, tiling configurations —
+//! exactly the algorithm × tiling × resolution landscape the paper's §VI autotunes
+//! over, but with host wall-clock time instead of a model.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use rescnn_models::ConvLayerShape;
+use rescnn_tensor::{
+    conv2d_tiled, conv2d_with_algo, num_threads, select_algo, set_num_threads, ConvAlgo,
+    ConvTiling, Shape, Tensor,
+};
+
+/// One wall-clock measurement of a kernel implementation on a layer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredKernel {
+    /// The algorithm that ran.
+    pub algo: ConvAlgo,
+    /// Worker-thread count the engine was configured with.
+    pub threads: usize,
+    /// Mean seconds per run.
+    pub seconds: f64,
+    /// Achieved GMAC/s.
+    pub gmacs_per_s: f64,
+}
+
+/// Configuration of the measured sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasuredSweepConfig {
+    /// Repetitions per measurement (the mean is reported).
+    pub reps: usize,
+    /// Thread counts to sweep.
+    pub max_threads: usize,
+    /// Random seed for the synthetic activations/weights.
+    pub seed: u64,
+}
+
+impl Default for MeasuredSweepConfig {
+    fn default() -> Self {
+        MeasuredSweepConfig { reps: 3, max_threads: 1, seed: 0 }
+    }
+}
+
+/// Wall-clock kernel sweeper: the measured counterpart of [`AutoTuner`](crate::AutoTuner).
+#[derive(Debug, Clone, Default)]
+pub struct MeasuredTuner {
+    config: MeasuredSweepConfig,
+}
+
+impl MeasuredTuner {
+    /// Creates a sweeper.
+    pub fn new(config: MeasuredSweepConfig) -> Self {
+        MeasuredTuner { config }
+    }
+
+    fn instantiate(&self, layer: &ConvLayerShape) -> (Tensor, Tensor) {
+        let params = &layer.params;
+        let input = Tensor::random_uniform(layer.input, 1.0, self.config.seed ^ 0x11);
+        let weight = Tensor::random_uniform(
+            Shape::new(
+                params.out_channels,
+                params.in_channels / params.groups,
+                params.kernel,
+                params.kernel,
+            ),
+            0.5,
+            self.config.seed ^ 0x22,
+        );
+        (input, weight)
+    }
+
+    fn time_runs(&self, mut run: impl FnMut()) -> f64 {
+        run(); // warm caches and the scratch arena
+        let start = Instant::now();
+        for _ in 0..self.config.reps.max(1) {
+            run();
+        }
+        start.elapsed().as_secs_f64() / self.config.reps.max(1) as f64
+    }
+
+    /// Times one algorithm on one layer at one thread count. If the requested
+    /// algorithm cannot execute this shape, the engine's fallback
+    /// ([`ConvAlgo::Im2colPacked`]) runs instead and the returned record reports the
+    /// algorithm that actually executed, so sweep data is never mislabeled.
+    pub fn measure_algo(
+        &self,
+        layer: &ConvLayerShape,
+        algo: ConvAlgo,
+        threads: usize,
+    ) -> MeasuredKernel {
+        let algo = if algo.supports(&layer.params) { algo } else { ConvAlgo::Im2colPacked };
+        let (input, weight) = self.instantiate(layer);
+        let params = layer.params;
+        let previous_threads = num_threads();
+        set_num_threads(threads);
+        let seconds = self.time_runs(|| {
+            conv2d_with_algo(&input, &weight, None, &params, algo).expect("valid layer shape");
+        });
+        set_num_threads(previous_threads);
+        MeasuredKernel {
+            algo,
+            threads,
+            seconds,
+            gmacs_per_s: layer.macs() as f64 / seconds.max(1e-12) / 1e9,
+        }
+    }
+
+    /// Sweeps every supported algorithm (at every thread count up to the configured
+    /// maximum) over one layer, slowest kernels included — the full measured
+    /// algorithm × threads landscape for this shape.
+    pub fn sweep_layer(&self, layer: &ConvLayerShape, algos: &[ConvAlgo]) -> Vec<MeasuredKernel> {
+        let mut results = Vec::new();
+        for &algo in algos {
+            if !algo.supports(&layer.params) {
+                continue;
+            }
+            let mut threads = 1;
+            while threads <= self.config.max_threads.max(1) {
+                results.push(self.measure_algo(layer, algo, threads));
+                threads *= 2;
+            }
+        }
+        results
+    }
+
+    /// Times the output-tiled kernel across tiling configurations (dense layers
+    /// only): the measured version of the paper's tiling sweep.
+    pub fn sweep_tilings(
+        &self,
+        layer: &ConvLayerShape,
+        tilings: &[ConvTiling],
+    ) -> Vec<(ConvTiling, f64)> {
+        let (input, weight) = self.instantiate(layer);
+        let params = layer.params;
+        tilings
+            .iter()
+            .map(|&tiling| {
+                let seconds = self.time_runs(|| {
+                    conv2d_tiled(&input, &weight, None, &params, tiling)
+                        .expect("valid layer shape");
+                });
+                (tiling, seconds)
+            })
+            .collect()
+    }
+
+    /// The fastest measured kernel for a layer, comparing the engine's automatic
+    /// choice against every other supported algorithm.
+    pub fn best_kernel(&self, layer: &ConvLayerShape) -> Option<MeasuredKernel> {
+        self.sweep_layer(layer, &ConvAlgo::ALL)
+            .into_iter()
+            .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+    }
+
+    /// What the dispatch layer would choose for this layer (no timing involved).
+    pub fn dispatched_algo(&self, layer: &ConvLayerShape) -> ConvAlgo {
+        select_algo(&layer.params, layer.input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescnn_models::ModelKind;
+
+    fn small_layer() -> ConvLayerShape {
+        let arch = ModelKind::ResNet18.arch(10);
+        // A post-stem 3x3 layer at a small resolution keeps the sweep fast.
+        arch.conv_layers(32).unwrap()[2]
+    }
+
+    #[test]
+    fn sweep_covers_supported_algos_and_is_positive() {
+        let tuner = MeasuredTuner::new(MeasuredSweepConfig { reps: 1, max_threads: 2, seed: 0 });
+        let layer = small_layer();
+        let results = tuner.sweep_layer(&layer, &ConvAlgo::ALL);
+        assert!(!results.is_empty());
+        assert!(results.iter().all(|r| r.seconds > 0.0 && r.gmacs_per_s > 0.0));
+        // The dense layer supports the three general algorithms but not the
+        // specialized 1x1 / depthwise kernels.
+        assert!(results.iter().any(|r| r.algo == ConvAlgo::Im2colPacked));
+        assert!(results.iter().all(|r| r.algo != ConvAlgo::Gemm1x1));
+        // Thread counts 1 and 2 both appear.
+        assert!(results.iter().any(|r| r.threads == 1));
+        assert!(results.iter().any(|r| r.threads == 2));
+    }
+
+    #[test]
+    fn best_kernel_exists_and_dispatch_is_sane() {
+        let tuner = MeasuredTuner::new(MeasuredSweepConfig { reps: 1, max_threads: 1, seed: 1 });
+        let layer = small_layer();
+        let best = tuner.best_kernel(&layer).unwrap();
+        assert!(best.seconds > 0.0);
+        assert_eq!(tuner.dispatched_algo(&layer), ConvAlgo::Im2colPacked);
+    }
+
+    #[test]
+    fn tiling_sweep_reports_every_configuration() {
+        let tuner = MeasuredTuner::new(MeasuredSweepConfig { reps: 1, max_threads: 1, seed: 2 });
+        let layer = small_layer();
+        let tilings = [ConvTiling::new(8, 4, 16), ConvTiling::new(32, 8, 64)];
+        let swept = tuner.sweep_tilings(&layer, &tilings);
+        assert_eq!(swept.len(), 2);
+        assert!(swept.iter().all(|(_, s)| *s > 0.0));
+    }
+}

@@ -90,7 +90,9 @@ impl CpuProfile {
     /// Theoretical peak multiply–accumulate throughput in MACs per second
     /// (`cores × simd × fma/cycle × frequency`).
     pub fn peak_macs_per_s(&self) -> f64 {
-        self.cores as f64 * self.simd_width as f64 * self.fma_per_cycle as f64
+        self.cores as f64
+            * self.simd_width as f64
+            * self.fma_per_cycle as f64
             * self.frequency_ghz
             * 1e9
     }

@@ -29,16 +29,19 @@ pub struct ConvSchedule {
 impl ConvSchedule {
     /// A conservative default schedule (what a naive implementation would do).
     pub fn naive(profile: &CpuProfile) -> Self {
-        ConvSchedule { tile_oc: 8, tile_oh: 1, tile_ow: profile.simd_width, tile_ic: 32, threads: profile.cores }
+        ConvSchedule {
+            tile_oc: 8,
+            tile_oh: 1,
+            tile_ow: profile.simd_width,
+            tile_ic: 32,
+            threads: profile.cores,
+        }
     }
 
     /// Clamps the schedule to the layer's actual extents (a tile can never usefully exceed
     /// the loop bound it tiles).
     pub fn clamped_to(&self, layer: &ConvLayerShape) -> Self {
-        let out = layer
-            .params
-            .output_shape(layer.input)
-            .unwrap_or(layer.input);
+        let out = layer.params.output_shape(layer.input).unwrap_or(layer.input);
         ConvSchedule {
             tile_oc: self.tile_oc.min(layer.params.out_channels).max(1),
             tile_oh: self.tile_oh.min(out.h).max(1),
@@ -65,10 +68,7 @@ impl ScheduleSpace {
     /// Candidate tile extents are powers of two (and the full extent) capped by the layer's
     /// dimensions, mirroring the axis-split candidates used by tensor-program autotuners.
     pub fn for_layer(layer: &ConvLayerShape, profile: &CpuProfile) -> Self {
-        let out = layer
-            .params
-            .output_shape(layer.input)
-            .unwrap_or(layer.input);
+        let out = layer.params.output_shape(layer.input).unwrap_or(layer.input);
         let pow2_up_to = |limit: usize| -> Vec<usize> {
             let mut v = vec![1usize, 2, 4, 8, 16, 32, 64, 128];
             v.retain(|&x| x <= limit.max(1));

@@ -56,10 +56,9 @@ impl fmt::Display for ImagingError {
                 write!(f, "pixel buffer length {actual} does not match expected {expected}")
             }
             ImagingError::EmptyImage => write!(f, "image dimensions must be non-zero"),
-            ImagingError::InvalidCrop { width, height, crop_width, crop_height } => write!(
-                f,
-                "crop {crop_width}x{crop_height} does not fit in image {width}x{height}"
-            ),
+            ImagingError::InvalidCrop { width, height, crop_width, crop_height } => {
+                write!(f, "crop {crop_width}x{crop_height} does not fit in image {width}x{height}")
+            }
             ImagingError::InvalidResize { width, height } => {
                 write!(f, "resize target {width}x{height} must be non-zero")
             }
@@ -87,9 +86,7 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(ImagingError::EmptyImage.to_string().contains("non-zero"));
-        assert!(ImagingError::BufferMismatch { expected: 3, actual: 4 }
-            .to_string()
-            .contains('3'));
+        assert!(ImagingError::BufferMismatch { expected: 3, actual: 4 }.to_string().contains('3'));
         assert!(ImagingError::InvalidCrop { width: 4, height: 4, crop_width: 8, crop_height: 8 }
             .to_string()
             .contains("8x8"));

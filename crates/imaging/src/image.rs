@@ -74,8 +74,8 @@ impl Image {
     /// Returns [`ImagingError::EmptyImage`] if either dimension is zero.
     pub fn filled(width: usize, height: usize, rgb: [f32; 3]) -> Result<Self> {
         let mut img = Image::zeros(width, height)?;
-        for c in 0..Self::CHANNELS {
-            img.plane_mut(c).fill(rgb[c]);
+        for (c, &value) in rgb.iter().enumerate() {
+            img.plane_mut(c).fill(value);
         }
         Ok(img)
     }
@@ -195,11 +195,7 @@ impl Image {
     pub fn to_luma(&self) -> Vec<f32> {
         let size = self.width * self.height;
         let (r, g, b) = (&self.data[..size], &self.data[size..2 * size], &self.data[2 * size..]);
-        r.iter()
-            .zip(g)
-            .zip(b)
-            .map(|((&r, &g), &b)| 0.299 * r + 0.587 * g + 0.114 * b)
-            .collect()
+        r.iter().zip(g).zip(b).map(|((&r, &g), &b)| 0.299 * r + 0.587 * g + 0.114 * b).collect()
     }
 
     /// Converts the image into a `1 × 3 × H × W` tensor with the given normalization.
@@ -250,8 +246,7 @@ impl Image {
                 second: other.dimensions(),
             });
         }
-        let sum: f32 =
-            self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).sum();
+        let sum: f32 = self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).sum();
         Ok(sum / self.data.len() as f32)
     }
 
@@ -308,10 +303,9 @@ mod tests {
 
     #[test]
     fn tensor_round_trip() {
-        let img = Image::from_fn(6, 5, |x, y| {
-            [x as f32 / 6.0, y as f32 / 5.0, ((x + y) % 2) as f32]
-        })
-        .unwrap();
+        let img =
+            Image::from_fn(6, 5, |x, y| [x as f32 / 6.0, y as f32 / 5.0, ((x + y) % 2) as f32])
+                .unwrap();
         let norm = Normalization::default();
         let t = img.to_tensor(&norm);
         assert_eq!(t.shape(), Shape::new(1, 3, 5, 6));

@@ -266,7 +266,8 @@ mod tests {
     fn ssim_handles_images_smaller_than_window() {
         let a = Image::filled(4, 4, [0.5; 3]).unwrap();
         let b = Image::filled(4, 4, [0.25; 3]).unwrap();
-        let s = ssim_with(&a, &b, SsimConfig { window: 16, stride: 4, ..Default::default() }).unwrap();
+        let s =
+            ssim_with(&a, &b, SsimConfig { window: 16, stride: 4, ..Default::default() }).unwrap();
         assert!((-1.0..=1.0).contains(&s));
         assert!(s < 1.0);
     }

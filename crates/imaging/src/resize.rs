@@ -24,7 +24,12 @@ pub enum Filter {
 ///
 /// # Errors
 /// Returns [`ImagingError::InvalidResize`] when either target dimension is zero.
-pub fn resize(image: &Image, target_width: usize, target_height: usize, filter: Filter) -> Result<Image> {
+pub fn resize(
+    image: &Image,
+    target_width: usize,
+    target_height: usize,
+    filter: Filter,
+) -> Result<Image> {
     if target_width == 0 || target_height == 0 {
         return Err(ImagingError::InvalidResize { width: target_width, height: target_height });
     }
@@ -91,11 +96,7 @@ pub fn resize_square(image: &Image, resolution: usize, filter: Filter) -> Result
 /// Returns [`ImagingError::InvalidCrop`] when the region has zero extent or exceeds the
 /// image bounds.
 pub fn crop(image: &Image, x0: usize, y0: usize, width: usize, height: usize) -> Result<Image> {
-    if width == 0
-        || height == 0
-        || x0 + width > image.width()
-        || y0 + height > image.height()
-    {
+    if width == 0 || height == 0 || x0 + width > image.width() || y0 + height > image.height() {
         return Err(ImagingError::InvalidCrop {
             width: image.width(),
             height: image.height(),

@@ -305,12 +305,16 @@ mod tests {
         let flat = render_scene(&SceneSpec::new(128, 128, 9).with_detail(0.05)).unwrap();
         let fine = render_scene(&SceneSpec::new(128, 128, 9).with_detail(0.95)).unwrap();
         let down_up = |img: &Image| {
-            let small = crate::resize::resize_square(img, 32, crate::resize::Filter::Bilinear).unwrap();
+            let small =
+                crate::resize::resize_square(img, 32, crate::resize::Filter::Bilinear).unwrap();
             crate::resize::resize_square(&small, 128, crate::resize::Filter::Bilinear).unwrap()
         };
         let s_flat = ssim(&flat, &down_up(&flat)).unwrap();
         let s_fine = ssim(&fine, &down_up(&fine)).unwrap();
-        assert!(s_flat > s_fine, "flat {s_flat} should survive downsampling better than fine {s_fine}");
+        assert!(
+            s_flat > s_fine,
+            "flat {s_flat} should survive downsampling better than fine {s_fine}"
+        );
     }
 
     #[test]

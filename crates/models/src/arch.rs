@@ -190,9 +190,8 @@ impl ArchSpec {
         let mut total = 0u64;
         // Parameters do not depend on resolution; walk at a generous resolution so the
         // shape propagation cannot fail.
-        let linear = self
-            .walk(256, |layer, _| total += layer.params.weight_count() as u64)
-            .unwrap_or(0);
+        let linear =
+            self.walk(256, |layer, _| total += layer.params.weight_count() as u64).unwrap_or(0);
         // Linear-layer parameter count equals its MAC count at batch 1 (one MAC per weight).
         total + linear
     }
@@ -221,7 +220,11 @@ impl ArchSpec {
         let mut channels = 3usize;
         let mut linear_flops = 0u64;
 
-        let emit = |params: Conv2dParams, channels: &mut usize, spatial: &mut usize, visit: &mut F| -> Result<()> {
+        let emit = |params: Conv2dParams,
+                    channels: &mut usize,
+                    spatial: &mut usize,
+                    visit: &mut F|
+         -> Result<()> {
             let input = Shape::chw(*channels, *spatial, *spatial);
             let out = params.output_shape(input).map_err(|_| ModelError::ResolutionTooSmall {
                 resolution,
@@ -239,24 +242,31 @@ impl ArchSpec {
                     emit(params, &mut channels, &mut spatial, &mut visit)?;
                 }
                 BlockSpec::MaxPool(pool) => {
-                    let out = pool
-                        .output_shape(Shape::chw(channels, spatial, spatial))
-                        .map_err(|_| ModelError::ResolutionTooSmall {
-                            resolution,
-                            model: self.kind.name(),
-                        })?;
+                    let out = pool.output_shape(Shape::chw(channels, spatial, spatial)).map_err(
+                        |_| ModelError::ResolutionTooSmall { resolution, model: self.kind.name() },
+                    )?;
                     spatial = out.h;
                 }
                 BlockSpec::BasicBlock { in_ch, out_ch, stride } => {
                     debug_assert_eq!(in_ch, channels, "block wiring mismatch");
                     let mut ch = channels;
                     let mut sp = spatial;
-                    emit(Conv2dParams::new(in_ch, out_ch, 3, stride, 1), &mut ch, &mut sp, &mut visit)?;
+                    emit(
+                        Conv2dParams::new(in_ch, out_ch, 3, stride, 1),
+                        &mut ch,
+                        &mut sp,
+                        &mut visit,
+                    )?;
                     emit(Conv2dParams::new(out_ch, out_ch, 3, 1, 1), &mut ch, &mut sp, &mut visit)?;
                     if stride != 1 || in_ch != out_ch {
                         let mut dc = channels;
                         let mut ds = spatial;
-                        emit(Conv2dParams::new(in_ch, out_ch, 1, stride, 0), &mut dc, &mut ds, &mut visit)?;
+                        emit(
+                            Conv2dParams::new(in_ch, out_ch, 1, stride, 0),
+                            &mut dc,
+                            &mut ds,
+                            &mut visit,
+                        )?;
                     }
                     channels = ch;
                     spatial = sp;
@@ -266,12 +276,22 @@ impl ArchSpec {
                     let mut ch = channels;
                     let mut sp = spatial;
                     emit(Conv2dParams::new(in_ch, mid_ch, 1, 1, 0), &mut ch, &mut sp, &mut visit)?;
-                    emit(Conv2dParams::new(mid_ch, mid_ch, 3, stride, 1), &mut ch, &mut sp, &mut visit)?;
+                    emit(
+                        Conv2dParams::new(mid_ch, mid_ch, 3, stride, 1),
+                        &mut ch,
+                        &mut sp,
+                        &mut visit,
+                    )?;
                     emit(Conv2dParams::new(mid_ch, out_ch, 1, 1, 0), &mut ch, &mut sp, &mut visit)?;
                     if stride != 1 || in_ch != out_ch {
                         let mut dc = channels;
                         let mut ds = spatial;
-                        emit(Conv2dParams::new(in_ch, out_ch, 1, stride, 0), &mut dc, &mut ds, &mut visit)?;
+                        emit(
+                            Conv2dParams::new(in_ch, out_ch, 1, stride, 0),
+                            &mut dc,
+                            &mut ds,
+                            &mut visit,
+                        )?;
                     }
                     channels = ch;
                     spatial = sp;
@@ -282,9 +302,19 @@ impl ArchSpec {
                     let mut ch = channels;
                     let mut sp = spatial;
                     if expand != 1 {
-                        emit(Conv2dParams::new(in_ch, hidden, 1, 1, 0), &mut ch, &mut sp, &mut visit)?;
+                        emit(
+                            Conv2dParams::new(in_ch, hidden, 1, 1, 0),
+                            &mut ch,
+                            &mut sp,
+                            &mut visit,
+                        )?;
                     }
-                    emit(Conv2dParams::depthwise(hidden, 3, stride, 1), &mut ch, &mut sp, &mut visit)?;
+                    emit(
+                        Conv2dParams::depthwise(hidden, 3, stride, 1),
+                        &mut ch,
+                        &mut sp,
+                        &mut visit,
+                    )?;
                     emit(Conv2dParams::new(hidden, out_ch, 1, 1, 0), &mut ch, &mut sp, &mut visit)?;
                     channels = ch;
                     spatial = sp;
@@ -305,10 +335,7 @@ impl ArchSpec {
 /// Builds the ResNet-18 architecture (He et al., 2016) for `num_classes` outputs.
 pub fn resnet18_arch(num_classes: usize) -> ArchSpec {
     let mut blocks = vec![
-        BlockSpec::ConvBnAct {
-            params: Conv2dParams::new(3, 64, 7, 2, 3),
-            act: Activation::Relu,
-        },
+        BlockSpec::ConvBnAct { params: Conv2dParams::new(3, 64, 7, 2, 3), act: Activation::Relu },
         BlockSpec::MaxPool(Pool2dParams::new(3, 2, 1)),
     ];
     let stage_channels = [64usize, 128, 256, 512];
@@ -328,10 +355,7 @@ pub fn resnet18_arch(num_classes: usize) -> ArchSpec {
 /// Builds the ResNet-50 architecture for `num_classes` outputs.
 pub fn resnet50_arch(num_classes: usize) -> ArchSpec {
     let mut blocks = vec![
-        BlockSpec::ConvBnAct {
-            params: Conv2dParams::new(3, 64, 7, 2, 3),
-            act: Activation::Relu,
-        },
+        BlockSpec::ConvBnAct { params: Conv2dParams::new(3, 64, 7, 2, 3), act: Activation::Relu },
         BlockSpec::MaxPool(Pool2dParams::new(3, 2, 1)),
     ];
     let stage_defs = [(64usize, 256usize, 3usize), (128, 512, 4), (256, 1024, 6), (512, 2048, 3)];

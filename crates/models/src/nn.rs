@@ -8,29 +8,36 @@
 //! deterministic random weights.
 
 use rescnn_tensor::{
-    avg_pool2d, batch_norm, conv2d, global_avg_pool, linear, max_pool2d, relu, relu6, softmax,
-    Conv2dParams, Pool2dParams, Shape, Tensor,
+    add_relu_in_place, avg_pool2d, conv2d_dispatch, global_avg_pool, linear, max_pool2d,
+    relu6_in_place, relu_in_place, softmax, Conv2dParams, Pool2dParams, Shape, Tensor,
 };
 
 use crate::arch::{Activation, ArchSpec, BlockSpec, ModelKind};
 use crate::error::{ModelError, Result};
 
 /// A convolution + batch-norm + activation unit with instantiated weights.
+///
+/// At construction the (inference-mode) batch normalization is folded into the
+/// convolution: `y = γ·(conv(x) − μ)/√(σ² + ε) + β` becomes a convolution with
+/// scaled weights and a per-channel bias. The forward pass is therefore a single
+/// engine-dispatched convolution plus an in-place activation — no extra passes or
+/// allocations over the activation tensor.
 #[derive(Debug, Clone)]
 struct ConvBn {
     params: Conv2dParams,
+    /// Convolution weights with the batch-norm scale folded in.
     weight: Tensor,
-    gamma: Vec<f32>,
-    beta: Vec<f32>,
-    mean: Vec<f32>,
-    var: Vec<f32>,
+    /// Per-channel bias with the batch-norm shift folded in.
+    bias: Vec<f32>,
     act: Activation,
 }
 
 impl ConvBn {
+    const BN_EPS: f32 = 1e-5;
+
     fn new(params: Conv2dParams, act: Activation, seed: u64) -> Self {
         let fan_in = (params.in_channels / params.groups) * params.kernel * params.kernel;
-        let weight = Tensor::kaiming(
+        let mut weight = Tensor::kaiming(
             Shape::new(
                 params.out_channels,
                 params.in_channels / params.groups,
@@ -40,25 +47,34 @@ impl ConvBn {
             fan_in,
             seed,
         );
-        ConvBn {
-            params,
-            weight,
-            gamma: vec![1.0; params.out_channels],
-            beta: vec![0.0; params.out_channels],
-            mean: vec![0.0; params.out_channels],
-            var: vec![1.0; params.out_channels],
-            act,
+        // Freshly-initialized batch-norm statistics: γ = 1, β = 0, μ = 0, σ² = 1.
+        let gamma = vec![1.0f32; params.out_channels];
+        let beta = vec![0.0f32; params.out_channels];
+        let mean = vec![0.0f32; params.out_channels];
+        let var = vec![1.0f32; params.out_channels];
+
+        let per_channel = weight.shape().c * weight.shape().h * weight.shape().w;
+        let wdata = weight.as_mut_slice();
+        let mut bias = Vec::with_capacity(params.out_channels);
+        for oc in 0..params.out_channels {
+            let scale = gamma[oc] / (var[oc] + Self::BN_EPS).sqrt();
+            for w in &mut wdata[oc * per_channel..(oc + 1) * per_channel] {
+                *w *= scale;
+            }
+            bias.push(beta[oc] - mean[oc] * scale);
         }
+        ConvBn { params, weight, bias, act }
     }
 
     fn forward(&self, input: &Tensor) -> Result<Tensor> {
-        let conv = conv2d(input, &self.weight, None, &self.params)?;
-        let normed = batch_norm(&conv, &self.mean, &self.var, &self.gamma, &self.beta, 1e-5)?;
-        Ok(match self.act {
-            Activation::None => normed,
-            Activation::Relu => relu(&normed),
-            Activation::Relu6 => relu6(&normed),
-        })
+        let (mut out, _algo) =
+            conv2d_dispatch(input, &self.weight, Some(&self.bias), &self.params)?;
+        match self.act {
+            Activation::None => {}
+            Activation::Relu => relu_in_place(&mut out),
+            Activation::Relu6 => relu6_in_place(&mut out),
+        }
+        Ok(out)
     }
 }
 
@@ -107,7 +123,8 @@ impl Network {
         let mut layers = Vec::with_capacity(arch.blocks.len());
         let mut next_seed = seed;
         let mut bump = || {
-            next_seed = next_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            next_seed =
+                next_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             next_seed
         };
         for block in &arch.blocks {
@@ -117,36 +134,69 @@ impl Network {
                 }
                 BlockSpec::MaxPool(pool) => LayerImpl::MaxPool(pool),
                 BlockSpec::BasicBlock { in_ch, out_ch, stride } => {
-                    let conv1 =
-                        ConvBn::new(Conv2dParams::new(in_ch, out_ch, 3, stride, 1), Activation::Relu, bump());
-                    let conv2 =
-                        ConvBn::new(Conv2dParams::new(out_ch, out_ch, 3, 1, 1), Activation::None, bump());
+                    let conv1 = ConvBn::new(
+                        Conv2dParams::new(in_ch, out_ch, 3, stride, 1),
+                        Activation::Relu,
+                        bump(),
+                    );
+                    let conv2 = ConvBn::new(
+                        Conv2dParams::new(out_ch, out_ch, 3, 1, 1),
+                        Activation::None,
+                        bump(),
+                    );
                     let downsample = (stride != 1 || in_ch != out_ch).then(|| {
-                        ConvBn::new(Conv2dParams::new(in_ch, out_ch, 1, stride, 0), Activation::None, bump())
+                        ConvBn::new(
+                            Conv2dParams::new(in_ch, out_ch, 1, stride, 0),
+                            Activation::None,
+                            bump(),
+                        )
                     });
                     LayerImpl::Basic { conv1, conv2, downsample }
                 }
                 BlockSpec::Bottleneck { in_ch, mid_ch, out_ch, stride } => {
-                    let conv1 =
-                        ConvBn::new(Conv2dParams::new(in_ch, mid_ch, 1, 1, 0), Activation::Relu, bump());
-                    let conv2 =
-                        ConvBn::new(Conv2dParams::new(mid_ch, mid_ch, 3, stride, 1), Activation::Relu, bump());
-                    let conv3 =
-                        ConvBn::new(Conv2dParams::new(mid_ch, out_ch, 1, 1, 0), Activation::None, bump());
+                    let conv1 = ConvBn::new(
+                        Conv2dParams::new(in_ch, mid_ch, 1, 1, 0),
+                        Activation::Relu,
+                        bump(),
+                    );
+                    let conv2 = ConvBn::new(
+                        Conv2dParams::new(mid_ch, mid_ch, 3, stride, 1),
+                        Activation::Relu,
+                        bump(),
+                    );
+                    let conv3 = ConvBn::new(
+                        Conv2dParams::new(mid_ch, out_ch, 1, 1, 0),
+                        Activation::None,
+                        bump(),
+                    );
                     let downsample = (stride != 1 || in_ch != out_ch).then(|| {
-                        ConvBn::new(Conv2dParams::new(in_ch, out_ch, 1, stride, 0), Activation::None, bump())
+                        ConvBn::new(
+                            Conv2dParams::new(in_ch, out_ch, 1, stride, 0),
+                            Activation::None,
+                            bump(),
+                        )
                     });
                     LayerImpl::Bottleneck { conv1, conv2, conv3, downsample }
                 }
                 BlockSpec::InvertedResidual { in_ch, out_ch, stride, expand } => {
                     let hidden = in_ch * expand;
                     let expand_conv = (expand != 1).then(|| {
-                        ConvBn::new(Conv2dParams::new(in_ch, hidden, 1, 1, 0), Activation::Relu6, bump())
+                        ConvBn::new(
+                            Conv2dParams::new(in_ch, hidden, 1, 1, 0),
+                            Activation::Relu6,
+                            bump(),
+                        )
                     });
-                    let depthwise =
-                        ConvBn::new(Conv2dParams::depthwise(hidden, 3, stride, 1), Activation::Relu6, bump());
-                    let project =
-                        ConvBn::new(Conv2dParams::new(hidden, out_ch, 1, 1, 0), Activation::None, bump());
+                    let depthwise = ConvBn::new(
+                        Conv2dParams::depthwise(hidden, 3, stride, 1),
+                        Activation::Relu6,
+                        bump(),
+                    );
+                    let project = ConvBn::new(
+                        Conv2dParams::new(hidden, out_ch, 1, 1, 0),
+                        Activation::None,
+                        bump(),
+                    );
                     LayerImpl::Inverted {
                         expand: expand_conv,
                         depthwise,
@@ -206,29 +256,26 @@ impl Network {
                 LayerImpl::ConvBn(conv) => conv.forward(&x)?,
                 LayerImpl::MaxPool(pool) => max_pool2d(&x, pool)?,
                 LayerImpl::Basic { conv1, conv2, downsample } => {
-                    let identity = match downsample {
-                        Some(d) => d.forward(&x)?,
-                        None => x.clone(),
-                    };
                     let mut out = conv2.forward(&conv1.forward(&x)?)?;
-                    out.add_assign(&identity)?;
-                    relu(&out)
+                    match downsample {
+                        Some(d) => add_relu_in_place(&mut out, &d.forward(&x)?)?,
+                        None => add_relu_in_place(&mut out, &x)?,
+                    }
+                    out
                 }
                 LayerImpl::Bottleneck { conv1, conv2, conv3, downsample } => {
-                    let identity = match downsample {
-                        Some(d) => d.forward(&x)?,
-                        None => x.clone(),
-                    };
                     let mut out = conv3.forward(&conv2.forward(&conv1.forward(&x)?)?)?;
-                    out.add_assign(&identity)?;
-                    relu(&out)
+                    match downsample {
+                        Some(d) => add_relu_in_place(&mut out, &d.forward(&x)?)?,
+                        None => add_relu_in_place(&mut out, &x)?,
+                    }
+                    out
                 }
                 LayerImpl::Inverted { expand, depthwise, project, skip } => {
-                    let expanded = match expand {
-                        Some(e) => e.forward(&x)?,
-                        None => x.clone(),
+                    let mut out = match expand {
+                        Some(e) => project.forward(&depthwise.forward(&e.forward(&x)?)?)?,
+                        None => project.forward(&depthwise.forward(&x)?)?,
                     };
-                    let mut out = project.forward(&depthwise.forward(&expanded)?)?;
                     if *skip {
                         out.add_assign(&x)?;
                     }
@@ -291,12 +338,8 @@ impl TinyCnn {
             stem: ConvBn::new(Conv2dParams::new(3, 8, 3, 2, 1), Activation::Relu, seed ^ 1),
             stage1: ConvBn::new(Conv2dParams::new(8, 16, 3, 2, 1), Activation::Relu, seed ^ 2),
             stage2: ConvBn::new(Conv2dParams::new(16, 32, 3, 2, 1), Activation::Relu, seed ^ 3),
-            head_weight: Tensor::random_uniform(
-                Shape::new(1, 1, num_classes, 32),
-                0.2,
-                seed ^ 4,
-            )
-            .into_vec(),
+            head_weight: Tensor::random_uniform(Shape::new(1, 1, num_classes, 32), 0.2, seed ^ 4)
+                .into_vec(),
             head_bias: vec![0.0; num_classes],
             num_classes,
         }

@@ -74,16 +74,12 @@ impl Calibration {
     /// Looks up the calibration for a (dataset, model) pair.
     pub fn for_pair(dataset: DatasetKind, model: ModelKind) -> Self {
         let scale = match dataset {
-            DatasetKind::ImageNetLike => ScaleResponse {
-                optimal_apparent_px: 160.0,
-                sigma_small: 1.45,
-                sigma_large: 2.2,
-            },
-            DatasetKind::CarsLike => ScaleResponse {
-                optimal_apparent_px: 200.0,
-                sigma_small: 1.1,
-                sigma_large: 1.2,
-            },
+            DatasetKind::ImageNetLike => {
+                ScaleResponse { optimal_apparent_px: 160.0, sigma_small: 1.45, sigma_large: 2.2 }
+            }
+            DatasetKind::CarsLike => {
+                ScaleResponse { optimal_apparent_px: 200.0, sigma_small: 1.1, sigma_large: 1.2 }
+            }
         };
         let quality = match dataset {
             DatasetKind::ImageNetLike => QualityResponse {

@@ -69,17 +69,11 @@ fn unit_hash(a: u64, b: u64) -> f64 {
 /// correctness probability (an image that is correct at probability 0.6 stays correct in
 /// every context whose probability is ≥ 0.6), which is what makes per-image resolution
 /// selection meaningful.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct AccuracyOracle {
     /// Seed folded into every per-sample draw; different seeds model independently trained
     /// backbones (the paper's seed1/seed2/seed3 curves in Figure 6).
     pub training_seed: u64,
-}
-
-impl Default for AccuracyOracle {
-    fn default() -> Self {
-        AccuracyOracle { training_seed: 0 }
-    }
 }
 
 impl AccuracyOracle {
@@ -128,7 +122,10 @@ impl AccuracyOracle {
         // --- Per-sample difficulty -------------------------------------------------------
         let difficulty_response = 1.0 - cal.difficulty_weight * sample.difficulty;
 
-        (cal.base_accuracy * scale_response * clip_response * quality_response
+        (cal.base_accuracy
+            * scale_response
+            * clip_response
+            * quality_response
             * difficulty_response)
             .clamp(0.0, 1.0)
     }
@@ -282,14 +279,10 @@ mod tests {
     fn quality_above_knee_is_free() {
         let oracle = AccuracyOracle::new(0);
         let data = cars(300);
-        let full = oracle.accuracy(
-            &data,
-            &ctx(ModelKind::ResNet18, DatasetKind::CarsLike, 336, 0.75, 1.0),
-        );
-        let slightly_degraded = oracle.accuracy(
-            &data,
-            &ctx(ModelKind::ResNet18, DatasetKind::CarsLike, 336, 0.75, 0.985),
-        );
+        let full = oracle
+            .accuracy(&data, &ctx(ModelKind::ResNet18, DatasetKind::CarsLike, 336, 0.75, 1.0));
+        let slightly_degraded = oracle
+            .accuracy(&data, &ctx(ModelKind::ResNet18, DatasetKind::CarsLike, 336, 0.75, 0.985));
         assert!((full - slightly_degraded).abs() < 0.005);
     }
 
@@ -333,7 +326,10 @@ mod tests {
             AccuracyOracle::apparent_object_px(s, &small_crop)
                 >= AccuracyOracle::apparent_object_px(s, &big_crop)
         );
-        assert!(AccuracyOracle::visible_fraction(s, &big_crop) >= AccuracyOracle::visible_fraction(s, &small_crop));
+        assert!(
+            AccuracyOracle::visible_fraction(s, &big_crop)
+                >= AccuracyOracle::visible_fraction(s, &small_crop)
+        );
         assert!(AccuracyOracle::visible_fraction(s, &big_crop) <= 1.0);
     }
 

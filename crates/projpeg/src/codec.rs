@@ -199,13 +199,7 @@ impl ProgressiveImage {
         for band in plan.bands() {
             scans.push(encode_scan(&planes, *band));
         }
-        Ok(ProgressiveImage {
-            width: image.width(),
-            height: image.height(),
-            quality,
-            plan,
-            scans,
-        })
+        Ok(ProgressiveImage { width: image.width(), height: image.height(), quality, plan, scans })
     }
 
     /// Image width in pixels.
@@ -273,11 +267,8 @@ impl ProgressiveImage {
         let blocks_x = self.width.div_ceil(BLOCK);
         let blocks_y = self.height.div_ceil(BLOCK);
         let empty = vec![[0i16; BLOCK_AREA]; blocks_x * blocks_y];
-        let mut planes = CoefficientPlanes {
-            blocks: [empty.clone(), empty.clone(), empty],
-            blocks_x,
-            blocks_y,
-        };
+        let mut planes =
+            CoefficientPlanes { blocks: [empty.clone(), empty.clone(), empty], blocks_x, blocks_y };
         for (index, scan) in self.scans[..num_scans].iter().enumerate() {
             decode_scan(scan, index, &mut planes)?;
         }
@@ -307,9 +298,8 @@ fn quantize_image(image: &Image, quality: u8) -> Result<CoefficientPlanes> {
         }
     }
 
-    let mut blocks: [Vec<[i16; BLOCK_AREA]>; COMPONENTS] =
-        [Vec::new(), Vec::new(), Vec::new()];
-    for c in 0..COMPONENTS {
+    let mut blocks: [Vec<[i16; BLOCK_AREA]>; COMPONENTS] = [Vec::new(), Vec::new(), Vec::new()];
+    for (c, plane) in comp.iter().enumerate() {
         let table = if c == 0 { &luma_table } else { &chroma_table };
         let mut out = Vec::with_capacity(blocks_x * blocks_y);
         for by in 0..blocks_y {
@@ -318,7 +308,7 @@ fn quantize_image(image: &Image, quality: u8) -> Result<CoefficientPlanes> {
                 for dy in 0..BLOCK {
                     for dx in 0..BLOCK {
                         block[dy * BLOCK + dx] =
-                            comp[c][(by * BLOCK + dy) * padded_w + bx * BLOCK + dx];
+                            plane[(by * BLOCK + dy) * padded_w + bx * BLOCK + dx];
                     }
                 }
                 let coeffs = forward_dct(&block);
@@ -425,7 +415,11 @@ fn encode_scan(planes: &CoefficientPlanes, band: ScanBand) -> EncodedScan {
     EncodedScan { band, data }
 }
 
-fn decode_scan(scan: &EncodedScan, scan_index: usize, planes: &mut CoefficientPlanes) -> Result<()> {
+fn decode_scan(
+    scan: &EncodedScan,
+    scan_index: usize,
+    planes: &mut CoefficientPlanes,
+) -> Result<()> {
     let (code, consumed) = HuffmanCode::read_table(&scan.data)
         .ok_or(CodecError::CorruptStream { scan: scan_index })?;
     let mut reader = BitReader::new(&scan.data[consumed..]);
@@ -495,7 +489,7 @@ fn reconstruct_image(
     let padded_h = planes.blocks_y * BLOCK;
     let mut comp = vec![vec![0.0f32; padded_w * padded_h]; COMPONENTS];
 
-    for c in 0..COMPONENTS {
+    for (c, plane) in comp.iter_mut().enumerate() {
         let table = if c == 0 { &luma_table } else { &chroma_table };
         for by in 0..planes.blocks_y {
             for bx in 0..planes.blocks_x {
@@ -504,7 +498,7 @@ fn reconstruct_image(
                 let spatial = inverse_dct(&coeffs);
                 for dy in 0..BLOCK {
                     for dx in 0..BLOCK {
-                        comp[c][(by * BLOCK + dy) * padded_w + bx * BLOCK + dx] =
+                        plane[(by * BLOCK + dy) * padded_w + bx * BLOCK + dx] =
                             spatial[dy * BLOCK + dx];
                     }
                 }
@@ -577,10 +571,7 @@ mod tests {
         for scans in 1..=encoded.num_scans() {
             let decoded = encoded.decode(scans).unwrap();
             let s = ssim(&img, &decoded).unwrap();
-            assert!(
-                s >= prev_ssim - 0.02,
-                "quality regressed at scan {scans}: {s} < {prev_ssim}"
-            );
+            assert!(s >= prev_ssim - 0.02, "quality regressed at scan {scans}: {s} < {prev_ssim}");
             prev_ssim = s;
         }
         assert!(prev_ssim > 0.85);
@@ -693,8 +684,7 @@ mod tests {
 
     #[test]
     fn custom_two_scan_plan_works() {
-        let plan =
-            ScanPlan::new(vec![ScanBand::new(0, 0), ScanBand::new(1, 63)]).unwrap();
+        let plan = ScanPlan::new(vec![ScanBand::new(0, 0), ScanBand::new(1, 63)]).unwrap();
         let img = test_image(0.5);
         let encoded = ProgressiveImage::encode(&img, 80, plan).unwrap();
         assert_eq!(encoded.num_scans(), 2);

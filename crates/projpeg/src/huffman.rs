@@ -194,11 +194,7 @@ impl HuffmanCode {
 
     /// Total coded size in bits for a symbol histogram (excluding the table header).
     pub fn coded_bits(&self, freqs: &[u64; 256]) -> u64 {
-        freqs
-            .iter()
-            .enumerate()
-            .map(|(s, &f)| f * u64::from(self.lengths[s]))
-            .sum()
+        freqs.iter().enumerate().map(|(s, &f)| f * u64::from(self.lengths[s])).sum()
     }
 }
 
@@ -271,7 +267,7 @@ mod tests {
     fn prefix_property_holds() {
         let mut symbols: Vec<u8> = Vec::new();
         for s in 0..40u8 {
-            symbols.extend(std::iter::repeat(s).take(1 + (s as usize % 9) * 11));
+            symbols.extend(std::iter::repeat_n(s, 1 + (s as usize % 9) * 11));
         }
         let code = HuffmanCode::from_frequencies(&histogram(&symbols));
         // No code may be a prefix of another.
@@ -284,10 +280,7 @@ mod tests {
                     continue;
                 }
                 let shift = code.lengths[b] - code.lengths[a];
-                assert!(
-                    (code.codes[b] >> shift) != code.codes[a],
-                    "code {a} is a prefix of {b}"
-                );
+                assert!((code.codes[b] >> shift) != code.codes[a], "code {a} is a prefix of {b}");
             }
         }
     }

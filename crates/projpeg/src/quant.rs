@@ -5,16 +5,16 @@ use crate::error::{CodecError, Result};
 
 /// Base luminance quantization table (JPEG Annex K, raster order).
 pub const BASE_LUMA: [u16; BLOCK_AREA] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
-    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Base chrominance quantization table (JPEG Annex K, raster order).
 pub const BASE_CHROMA: [u16; BLOCK_AREA] = [
-    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99,
-    99, 47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
-    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99, 24, 26, 56, 99, 99, 99, 99, 99,
+    47, 66, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
 ];
 
 /// A scaled quantization table for one component class.
@@ -32,11 +32,8 @@ impl QuantTable {
         if quality == 0 || quality > 100 {
             return Err(CodecError::InvalidQuality { quality });
         }
-        let scale: u32 = if quality < 50 {
-            5000 / u32::from(quality)
-        } else {
-            200 - 2 * u32::from(quality)
-        };
+        let scale: u32 =
+            if quality < 50 { 5000 / u32::from(quality) } else { 200 - 2 * u32::from(quality) };
         let mut values = [0u16; BLOCK_AREA];
         for (v, &b) in values.iter_mut().zip(base.iter()) {
             let scaled = (u32::from(b) * scale + 50) / 100;
@@ -107,8 +104,8 @@ mod tests {
         assert!(sum90 < sum30);
         // Quality 50 reproduces the base table exactly.
         let q50 = QuantTable::luma(50).unwrap();
-        for i in 0..BLOCK_AREA {
-            assert_eq!(q50.step(i) as u16, BASE_LUMA[i]);
+        for (i, &base) in BASE_LUMA.iter().enumerate() {
+            assert_eq!(q50.step(i) as u16, base);
         }
     }
 

@@ -1,22 +1,38 @@
-//! 2-D convolution kernels.
+//! 2-D convolution kernels and the resolution-aware dispatch layer.
 //!
-//! Three executable implementations are provided:
+//! Executable implementations, from slowest to fastest:
 //!
 //! * [`conv2d_direct`] — a reference seven-loop implementation, used to validate the others.
-//! * [`conv2d_im2col`] — lowers the convolution to a GEMM via [`im2col`]; the default path.
-//! * [`conv2d_tiled`] — an output-tiled implementation parameterized by [`ConvTiling`], used
-//!   by the benchmark harness to demonstrate (with real wall-clock measurements) that the
-//!   best tiling depends on the input resolution, the mechanism behind the paper's §VI.
+//! * [`conv2d_tiled`] — an output-tiled direct implementation parameterized by
+//!   [`ConvTiling`], used by the benchmark harness to demonstrate (with real wall-clock
+//!   measurements) that the best tiling depends on the input resolution, the mechanism
+//!   behind the paper's §VI.
+//! * [`conv2d_im2col`] — the seed's allocation-heavy im2col + blocked-GEMM lowering, kept
+//!   as the measured baseline the engine is compared against.
+//! * The **packed engine** ([`conv2d_with_algo`]) — packed, multi-threaded kernels built
+//!   on [`engine`](crate::engine): a direct-GEMM fast path for 1×1 stride-1 convolutions
+//!   ([`ConvAlgo::Gemm1x1`]), a dedicated shift-and-accumulate depthwise kernel
+//!   ([`ConvAlgo::Depthwise`]), and a packing-aware im2col for everything else
+//!   ([`ConvAlgo::Im2colPacked`]).
+//!
+//! [`conv2d`] — the entry point the model zoo uses — routes through [`select_algo`],
+//! and [`conv2d_dispatch`] additionally reports which algorithm ran so autotuners and
+//! benchmarks can sweep algorithm × tiling per resolution. [`force_conv_algo`] pins the
+//! choice globally (benchmarks use it to time the legacy path through a whole network).
 //!
 //! Weights are stored as `O × I/g × K × K` tensors (encoded in the NCHW [`Shape`] as
 //! `n = O`, `c = I/g`, `h = w = K`).
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use serde::{Deserialize, Serialize};
 
+use crate::engine::{self, NR};
 use crate::error::{Result, TensorError};
 use crate::gemm::{gemm_blocked, GemmBlocking, MatDims};
 use crate::shape::{Conv2dParams, Shape};
 use crate::tensor::Tensor;
+use crate::{parallel, scratch};
 
 /// Validates that a weight tensor matches the convolution parameters.
 fn validate_weight(params: &Conv2dParams, weight: &Tensor) -> Result<()> {
@@ -108,6 +124,9 @@ pub fn conv2d_direct(
 /// Lowers one image (batch element) and channel group of the input into a column matrix of
 /// shape `(in_per_group * k * k) × (out_h * out_w)`, row-major.
 ///
+/// This is the seed's materializing lowering, kept for the baseline path; the engine
+/// uses the packing-aware stripe variant internally instead.
+///
 /// # Errors
 /// Returns an error if the parameters are inconsistent with the input shape.
 pub fn im2col(
@@ -154,7 +173,8 @@ pub fn im2col(
     Ok(out)
 }
 
-/// im2col + GEMM convolution. This is the default execution path used by the model zoo.
+/// im2col + blocked GEMM convolution: the seed's default execution path, preserved as
+/// the baseline that the packed engine's speedups are measured against.
 ///
 /// # Errors
 /// Returns an error if the parameters, weight shape, or bias length are inconsistent with
@@ -284,10 +304,10 @@ pub fn conv2d_tiled(
                                         let irow = &plane
                                             [ih as usize * ishape.w..(ih as usize + 1) * ishape.w];
                                         let wkr = &wk[kh * k..(kh + 1) * k];
-                                        for kw in 0..k {
+                                        for (kw, &wv) in wkr.iter().enumerate() {
                                             let iw = (ow * stride + kw) as isize - pad;
                                             if iw >= 0 && iw < ishape.w as isize {
-                                                acc += irow[iw as usize] * wkr[kw];
+                                                acc += irow[iw as usize] * wv;
                                             }
                                         }
                                     }
@@ -306,7 +326,146 @@ pub fn conv2d_tiled(
     Ok(out)
 }
 
-/// Default convolution entry point (im2col + blocked GEMM).
+/// Identifies one executable convolution algorithm.
+///
+/// [`select_algo`] picks among the engine paths; the legacy paths stay addressable so
+/// autotuners and benchmarks can sweep every implementation at every resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConvAlgo {
+    /// Reference seven-loop kernel.
+    Direct,
+    /// Seed baseline: materializing im2col + cache-blocked GEMM, one allocation per call.
+    Im2col,
+    /// Engine: packing-aware im2col stripes + packed parallel GEMM.
+    Im2colPacked,
+    /// Engine: direct GEMM over the input planes for 1×1 stride-1 pad-0 convolutions
+    /// (no im2col materialization at all).
+    Gemm1x1,
+    /// Engine: dedicated shift-and-accumulate depthwise kernel.
+    Depthwise,
+}
+
+impl ConvAlgo {
+    /// Every algorithm, in sweep order.
+    pub const ALL: [ConvAlgo; 5] = [
+        ConvAlgo::Direct,
+        ConvAlgo::Im2col,
+        ConvAlgo::Im2colPacked,
+        ConvAlgo::Gemm1x1,
+        ConvAlgo::Depthwise,
+    ];
+
+    /// Whether this algorithm can execute the given convolution shape.
+    pub fn supports(self, params: &Conv2dParams) -> bool {
+        match self {
+            ConvAlgo::Direct | ConvAlgo::Im2col | ConvAlgo::Im2colPacked => true,
+            ConvAlgo::Gemm1x1 => params.kernel == 1 && params.stride == 1 && params.padding == 0,
+            ConvAlgo::Depthwise => {
+                params.groups == params.in_channels && params.in_channels == params.out_channels
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ConvAlgo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ConvAlgo::Direct => "direct",
+            ConvAlgo::Im2col => "im2col",
+            ConvAlgo::Im2colPacked => "im2col_packed",
+            ConvAlgo::Gemm1x1 => "gemm_1x1",
+            ConvAlgo::Depthwise => "depthwise",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Chooses the engine algorithm for a convolution shape.
+///
+/// Dispatch rules, in priority order:
+/// 1. 1×1 stride-1 pad-0 convolutions (the majority of ResNet-50 layers) skip im2col
+///    entirely — the input planes already are the GEMM right-hand side.
+/// 2. Depthwise convolutions (`groups == in == out`, the MobileNetV2 workhorse) run the
+///    dedicated shift-and-accumulate kernel; lowering them to GEMM would spend
+///    `k²`-fold more memory traffic for rank-1 matrix products.
+/// 3. Everything else runs packing-aware im2col stripes + packed GEMM, with stripe
+///    heights sized from the output resolution so packed panels stay cache-resident.
+pub fn select_algo(params: &Conv2dParams, _input: Shape) -> ConvAlgo {
+    if ConvAlgo::Gemm1x1.supports(params) {
+        ConvAlgo::Gemm1x1
+    } else if ConvAlgo::Depthwise.supports(params) {
+        ConvAlgo::Depthwise
+    } else {
+        ConvAlgo::Im2colPacked
+    }
+}
+
+/// `0` = no override; otherwise `ConvAlgo::ALL[value - 1]`.
+static FORCED_ALGO: AtomicU8 = AtomicU8::new(0);
+
+/// Globally overrides [`conv2d`]'s algorithm choice (`None` restores auto-dispatch).
+///
+/// Shapes the forced algorithm cannot execute fall back to [`select_algo`]. Benchmarks
+/// use this to drive an entire network through the legacy path for before/after
+/// comparisons.
+pub fn force_conv_algo(algo: Option<ConvAlgo>) {
+    let encoded = match algo {
+        None => 0,
+        Some(a) => 1 + ConvAlgo::ALL.iter().position(|x| *x == a).expect("algo in ALL") as u8,
+    };
+    FORCED_ALGO.store(encoded, Ordering::Relaxed);
+}
+
+fn forced_algo() -> Option<ConvAlgo> {
+    match FORCED_ALGO.load(Ordering::Relaxed) {
+        0 => None,
+        encoded => Some(ConvAlgo::ALL[encoded as usize - 1]),
+    }
+}
+
+/// Runs a convolution with an explicit algorithm. Shapes the algorithm does not
+/// support fall back to [`ConvAlgo::Im2colPacked`] (which handles every shape), so
+/// sweeps never have to special-case eligibility.
+///
+/// # Errors
+/// Returns an error if the parameters, weight shape, or bias length are inconsistent
+/// with the input shape.
+pub fn conv2d_with_algo(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    algo: ConvAlgo,
+) -> Result<Tensor> {
+    let algo = if algo.supports(params) { algo } else { ConvAlgo::Im2colPacked };
+    match algo {
+        ConvAlgo::Direct => conv2d_direct(input, weight, bias, params),
+        ConvAlgo::Im2col => conv2d_im2col(input, weight, bias, params),
+        ConvAlgo::Im2colPacked => conv2d_im2col_packed(input, weight, bias, params),
+        ConvAlgo::Gemm1x1 => conv2d_gemm_1x1(input, weight, bias, params),
+        ConvAlgo::Depthwise => conv2d_depthwise(input, weight, bias, params),
+    }
+}
+
+/// Runs a convolution through the dispatch layer, reporting which algorithm executed.
+///
+/// # Errors
+/// Returns an error if the parameters, weight shape, or bias length are inconsistent
+/// with the input shape.
+pub fn conv2d_dispatch(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+) -> Result<(Tensor, ConvAlgo)> {
+    let algo = match forced_algo() {
+        Some(forced) if forced.supports(params) => forced,
+        _ => select_algo(params, input.shape()),
+    };
+    conv2d_with_algo(input, weight, bias, params, algo).map(|out| (out, algo))
+}
+
+/// Default convolution entry point: resolution-aware dispatch into the packed engine.
 ///
 /// # Errors
 /// Returns an error if the parameters, weight shape, or bias length are inconsistent with
@@ -317,7 +476,314 @@ pub fn conv2d(
     bias: Option<&[f32]>,
     params: &Conv2dParams,
 ) -> Result<Tensor> {
-    conv2d_im2col(input, weight, bias, params)
+    conv2d_dispatch(input, weight, bias, params).map(|(out, _)| out)
+}
+
+/// Valid output range `[lo, hi)` along one spatial axis for a fixed kernel offset:
+/// the positions whose sampled input index lands inside `[0, input_extent)`.
+fn valid_out_range(
+    input_extent: usize,
+    out_extent: usize,
+    kernel_offset: usize,
+    stride: usize,
+    padding: usize,
+) -> (usize, usize) {
+    let lo = if kernel_offset >= padding { 0 } else { (padding - kernel_offset).div_ceil(stride) };
+    let last_valid = input_extent - 1 + padding;
+    if last_valid < kernel_offset {
+        return (0, 0);
+    }
+    let hi = ((last_valid - kernel_offset) / stride + 1).min(out_extent);
+    (lo.min(hi), hi)
+}
+
+/// Packs an im2col stripe (output rows `[oh0, oh1)`) directly into the engine's
+/// `NR`-column panel layout, skipping the intermediate row-major column matrix
+/// entirely. `dst` must arrive zeroed (padding positions are never written).
+#[allow(clippy::too_many_arguments)]
+fn im2col_pack_stripe(
+    input: &Tensor,
+    params: &Conv2dParams,
+    batch: usize,
+    group: usize,
+    oshape: Shape,
+    oh0: usize,
+    oh1: usize,
+    dst: &mut [f32],
+) {
+    let ishape = input.shape();
+    let k = params.kernel;
+    let stride = params.stride;
+    let pad = params.padding;
+    let in_per_group = params.in_channels / params.groups;
+    let rows = in_per_group * k * k;
+    let panel_stride = rows * NR;
+
+    for icg in 0..in_per_group {
+        let plane = input.plane(batch, group * in_per_group + icg);
+        for kh in 0..k {
+            let (oh_lo, oh_hi) = valid_out_range(ishape.h, oshape.h, kh, stride, pad);
+            for kw in 0..k {
+                let row = (icg * k + kh) * k + kw;
+                let (ow_lo, ow_hi) = valid_out_range(ishape.w, oshape.w, kw, stride, pad);
+                if ow_lo >= ow_hi {
+                    continue;
+                }
+                for oh in oh_lo.max(oh0)..oh_hi.min(oh1) {
+                    let ih = oh * stride + kh - pad;
+                    let src_row = &plane[ih * ishape.w..(ih + 1) * ishape.w];
+                    let j0 = (oh - oh0) * oshape.w + ow_lo;
+                    let mut within = j0 % NR;
+                    let mut index = (j0 / NR) * panel_stride + row * NR + within;
+                    if stride == 1 {
+                        // Contiguous source: copy in panel-aligned runs instead of
+                        // scattering element by element.
+                        let mut iw = ow_lo + kw - pad;
+                        let mut remaining = ow_hi - ow_lo;
+                        while remaining > 0 {
+                            let run = (NR - within).min(remaining);
+                            dst[index..index + run].copy_from_slice(&src_row[iw..iw + run]);
+                            iw += run;
+                            remaining -= run;
+                            index += run + if within + run == NR { panel_stride - NR } else { 0 };
+                            within = (within + run) % NR;
+                        }
+                    } else {
+                        let mut iw = ow_lo * stride + kw - pad;
+                        for _ in ow_lo..ow_hi {
+                            dst[index] = src_row[iw];
+                            iw += stride;
+                            within += 1;
+                            index += 1;
+                            if within == NR {
+                                within = 0;
+                                index += panel_stride - NR;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Output-row stripe height keeping one packed im2col stripe within the engine's
+/// scratch budget (resolution-aware: taller stripes at low resolution, shorter at
+/// high resolution).
+fn stripe_height(rows: usize, oshape: Shape) -> usize {
+    (engine::MAX_B_PANEL_ELEMS / (rows * oshape.w).max(1)).clamp(1, oshape.h)
+}
+
+/// Engine path for general convolutions: packing-aware im2col stripes + packed
+/// parallel GEMM, with zero steady-state allocations (all working memory comes from
+/// the thread-local scratch arena).
+///
+/// # Errors
+/// Returns an error if the parameters, weight shape, or bias length are inconsistent
+/// with the input shape.
+pub fn conv2d_im2col_packed(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    validate_weight(params, weight)?;
+    validate_bias(params, bias)?;
+    let ishape = input.shape();
+    let oshape = params.output_shape(ishape)?;
+    let mut out = Tensor::zeros(oshape);
+
+    let k = params.kernel;
+    let in_per_group = params.in_channels / params.groups;
+    let out_per_group = params.out_channels / params.groups;
+    let rows = in_per_group * k * k;
+    let plane = oshape.h * oshape.w;
+    let region_len = out_per_group * plane;
+    let stripe_oh = stripe_height(rows, oshape);
+    let parallel = params.macs(ishape).unwrap_or(0) >= engine::PARALLEL_MIN_MACS;
+
+    let wdata = weight.as_slice();
+    let out_data = out.as_mut_slice();
+    for n in 0..ishape.n {
+        for g in 0..params.groups {
+            let wslice = &wdata[g * out_per_group * rows..(g + 1) * out_per_group * rows];
+            let group_bias = bias.map(|b| &b[g * out_per_group..(g + 1) * out_per_group]);
+            let region_start = (n * params.groups + g) * region_len;
+            let region = &mut out_data[region_start..region_start + region_len];
+            let mut oh0 = 0;
+            while oh0 < oshape.h {
+                let oh1 = (oh0 + stripe_oh).min(oshape.h);
+                let stripe_cols = (oh1 - oh0) * oshape.w;
+                let mut bpack = scratch::take(stripe_cols.div_ceil(NR) * rows * NR);
+                im2col_pack_stripe(input, params, n, g, oshape, oh0, oh1, &mut bpack);
+                engine::parallel_packed_gemm(
+                    wslice,
+                    rows,
+                    out_per_group,
+                    rows,
+                    &bpack,
+                    stripe_cols,
+                    region,
+                    plane,
+                    oh0 * oshape.w,
+                    group_bias,
+                    false,
+                    parallel,
+                );
+                scratch::give(bpack);
+                oh0 = oh1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Engine fast path for 1×1 stride-1 pad-0 convolutions: the input planes of each
+/// group already form the GEMM right-hand side, so the convolution is a single packed
+/// GEMM per (batch, group) with no lowering step at all.
+///
+/// # Errors
+/// Returns an error if the shape is not a 1×1 stride-1 pad-0 convolution, or if the
+/// parameters, weight shape, or bias length are inconsistent with the input shape.
+pub fn conv2d_gemm_1x1(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    if !ConvAlgo::Gemm1x1.supports(params) {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![params.kernel, params.stride, params.padding],
+            right: vec![1, 1, 0],
+            op: "conv2d_gemm_1x1 requires kernel=1 stride=1 padding=0",
+        });
+    }
+    validate_weight(params, weight)?;
+    validate_bias(params, bias)?;
+    let ishape = input.shape();
+    let oshape = params.output_shape(ishape)?;
+    let mut out = Tensor::zeros(oshape);
+
+    let hw = ishape.h * ishape.w;
+    let in_per_group = params.in_channels / params.groups;
+    let out_per_group = params.out_channels / params.groups;
+    // Column stripes bound packed-B scratch for high-resolution feature maps.
+    let stripe_cols_max =
+        (engine::MAX_B_PANEL_ELEMS / in_per_group.max(1)).div_ceil(NR).max(1) * NR;
+    let parallel = params.macs(ishape).unwrap_or(0) >= engine::PARALLEL_MIN_MACS;
+
+    let wdata = weight.as_slice();
+    let in_data = input.as_slice();
+    let out_data = out.as_mut_slice();
+    for n in 0..ishape.n {
+        for g in 0..params.groups {
+            let wslice =
+                &wdata[g * out_per_group * in_per_group..(g + 1) * out_per_group * in_per_group];
+            let group_bias = bias.map(|b| &b[g * out_per_group..(g + 1) * out_per_group]);
+            let in_start = (n * params.groups + g) * in_per_group * hw;
+            let in_region = &in_data[in_start..in_start + in_per_group * hw];
+            let out_start = (n * params.groups + g) * out_per_group * hw;
+            let out_region = &mut out_data[out_start..out_start + out_per_group * hw];
+            let mut j0 = 0;
+            while j0 < hw {
+                let width = stripe_cols_max.min(hw - j0);
+                let mut bpack = scratch::take(width.div_ceil(NR) * in_per_group * NR);
+                engine::pack_b(in_region, in_per_group, hw, j0, width, &mut bpack);
+                engine::parallel_packed_gemm(
+                    wslice,
+                    in_per_group,
+                    out_per_group,
+                    in_per_group,
+                    &bpack,
+                    width,
+                    out_region,
+                    hw,
+                    j0,
+                    group_bias,
+                    false,
+                    parallel,
+                );
+                scratch::give(bpack);
+                j0 += width;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Engine kernel for depthwise convolutions (`groups == in_channels == out_channels`):
+/// per-channel shift-and-accumulate over contiguous rows, vectorizable at stride 1,
+/// parallel over output planes.
+///
+/// # Errors
+/// Returns an error if the shape is not depthwise, or if the parameters, weight
+/// shape, or bias length are inconsistent with the input shape.
+pub fn conv2d_depthwise(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    if !ConvAlgo::Depthwise.supports(params) {
+        return Err(TensorError::InvalidGrouping {
+            in_channels: params.in_channels,
+            out_channels: params.out_channels,
+            groups: params.groups,
+        });
+    }
+    validate_weight(params, weight)?;
+    validate_bias(params, bias)?;
+    let ishape = input.shape();
+    let oshape = params.output_shape(ishape)?;
+    let mut out = Tensor::zeros(oshape);
+
+    let k = params.kernel;
+    let stride = params.stride;
+    let pad = params.padding;
+    let ksq = k * k;
+    let channels = params.in_channels;
+    let out_plane = oshape.h * oshape.w;
+    let parallel = params.macs(ishape).unwrap_or(0) >= engine::PARALLEL_MIN_MACS;
+
+    let wdata = weight.as_slice();
+    let in_data = input.as_slice();
+    let in_plane = ishape.h * ishape.w;
+    parallel::for_each_chunk(out.as_mut_slice(), out_plane, parallel, |plane_index, dst| {
+        let n = plane_index / channels;
+        let c = plane_index % channels;
+        let src = &in_data[(n * channels + c) * in_plane..(n * channels + c + 1) * in_plane];
+        let wk = &wdata[c * ksq..(c + 1) * ksq];
+        dst.fill(bias.map_or(0.0, |b| b[c]));
+        for kh in 0..k {
+            let (oh_lo, oh_hi) = valid_out_range(ishape.h, oshape.h, kh, stride, pad);
+            for kw in 0..k {
+                let w = wk[kh * k + kw];
+                let (ow_lo, ow_hi) = valid_out_range(ishape.w, oshape.w, kw, stride, pad);
+                if ow_lo >= ow_hi {
+                    continue;
+                }
+                for oh in oh_lo..oh_hi {
+                    let ih = oh * stride + kh - pad;
+                    let iw0 = ow_lo * stride + kw - pad;
+                    let dst_row = &mut dst[oh * oshape.w + ow_lo..oh * oshape.w + ow_hi];
+                    if stride == 1 {
+                        let src_row = &src[ih * ishape.w + iw0..][..ow_hi - ow_lo];
+                        for (d, &s) in dst_row.iter_mut().zip(src_row) {
+                            *d += w * s;
+                        }
+                    } else {
+                        let src_row = &src[ih * ishape.w..(ih + 1) * ishape.w];
+                        let mut iw = iw0;
+                        for d in dst_row.iter_mut() {
+                            *d += w * src_row[iw];
+                            iw += stride;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -349,15 +815,12 @@ mod tests {
         // 1x1 convolution with identity weights is a channel-wise copy.
         let params = Conv2dParams::new(3, 3, 1, 1, 0);
         let input = sample_input(Shape::chw(3, 9, 9), 1);
-        let weight = Tensor::from_fn(Shape::new(3, 3, 1, 1), |o, i, _, _| {
-            if o == i {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let weight =
+            Tensor::from_fn(Shape::new(3, 3, 1, 1), |o, i, _, _| if o == i { 1.0 } else { 0.0 });
         let out = conv2d_direct(&input, &weight, None, &params).unwrap();
         assert_close(&out, &input, 1e-6);
+        let fast = conv2d_gemm_1x1(&input, &weight, None, &params).unwrap();
+        assert_close(&fast, &input, 1e-6);
     }
 
     #[test]
@@ -368,11 +831,16 @@ mod tests {
         let out = conv2d_direct(&input, &weight, Some(&[3.0, -1.0]), &params).unwrap();
         assert_eq!(out.plane(0, 0), &[3.0; 4]);
         assert_eq!(out.plane(0, 1), &[-1.0; 4]);
+        let fast = conv2d_gemm_1x1(&input, &weight, Some(&[3.0, -1.0]), &params).unwrap();
+        assert_eq!(fast.plane(0, 0), &[3.0; 4]);
+        assert_eq!(fast.plane(0, 1), &[-1.0; 4]);
     }
 
     #[test]
     fn im2col_matches_direct_dense() {
-        for (k, stride, pad, h) in [(3, 1, 1, 11), (3, 2, 1, 13), (1, 1, 0, 9), (7, 2, 3, 17), (5, 1, 2, 10)] {
+        for (k, stride, pad, h) in
+            [(3, 1, 1, 11), (3, 2, 1, 13), (1, 1, 0, 9), (7, 2, 3, 17), (5, 1, 2, 10)]
+        {
             let params = Conv2dParams::new(4, 6, k, stride, pad);
             let input = sample_input(Shape::new(2, 4, h, h), 42 + k as u64);
             let weight = sample_weight(&params, 7 + k as u64);
@@ -380,6 +848,8 @@ mod tests {
             let direct = conv2d_direct(&input, &weight, Some(&bias), &params).unwrap();
             let lowered = conv2d_im2col(&input, &weight, Some(&bias), &params).unwrap();
             assert_close(&direct, &lowered, 1e-3);
+            let packed = conv2d_im2col_packed(&input, &weight, Some(&bias), &params).unwrap();
+            assert_close(&direct, &packed, 1e-3);
         }
     }
 
@@ -391,6 +861,8 @@ mod tests {
         let direct = conv2d_direct(&input, &weight, None, &params).unwrap();
         let lowered = conv2d_im2col(&input, &weight, None, &params).unwrap();
         assert_close(&direct, &lowered, 1e-3);
+        let packed = conv2d_im2col_packed(&input, &weight, None, &params).unwrap();
+        assert_close(&direct, &packed, 1e-3);
 
         let dw = Conv2dParams::depthwise(6, 3, 2, 1);
         let input = sample_input(Shape::chw(6, 15, 15), 9);
@@ -398,6 +870,8 @@ mod tests {
         let direct = conv2d_direct(&input, &weight, None, &dw).unwrap();
         let lowered = conv2d_im2col(&input, &weight, None, &dw).unwrap();
         assert_close(&direct, &lowered, 1e-3);
+        let dedicated = conv2d_depthwise(&input, &weight, None, &dw).unwrap();
+        assert_close(&direct, &dedicated, 1e-3);
     }
 
     #[test]
@@ -425,8 +899,7 @@ mod tests {
         let input = sample_input(Shape::chw(4, 8, 8), 11);
         let weight = sample_weight(&params, 12);
         let direct = conv2d_direct(&input, &weight, None, &params).unwrap();
-        let tiled =
-            conv2d_tiled(&input, &weight, None, &params, ConvTiling::default()).unwrap();
+        let tiled = conv2d_tiled(&input, &weight, None, &params, ConvTiling::default()).unwrap();
         assert_close(&direct, &tiled, 1e-5);
     }
 
@@ -437,15 +910,108 @@ mod tests {
         let bad_weight = Tensor::zeros(Shape::new(4, 3, 5, 5));
         assert!(conv2d_direct(&input, &bad_weight, None, &params).is_err());
         assert!(conv2d_im2col(&input, &bad_weight, None, &params).is_err());
+        assert!(conv2d_im2col_packed(&input, &bad_weight, None, &params).is_err());
         let good_weight = sample_weight(&params, 2);
         assert!(conv2d_direct(&input, &good_weight, Some(&[0.0; 3]), &params).is_err());
+        assert!(conv2d_im2col_packed(&input, &good_weight, Some(&[0.0; 3]), &params).is_err());
     }
 
     #[test]
     fn strided_output_shape() {
         let params = Conv2dParams::new(3, 8, 3, 2, 1);
         let input = sample_input(Shape::chw(3, 224, 224), 0);
-        let out = conv2d_im2col(&input, &sample_weight(&params, 1), None, &params).unwrap();
+        let out = conv2d(&input, &sample_weight(&params, 1), None, &params).unwrap();
         assert_eq!(out.shape(), Shape::new(1, 8, 112, 112));
+    }
+
+    #[test]
+    fn dispatch_selects_the_documented_algorithms() {
+        let shape = Shape::chw(16, 32, 32);
+        assert_eq!(select_algo(&Conv2dParams::new(16, 32, 1, 1, 0), shape), ConvAlgo::Gemm1x1);
+        assert_eq!(select_algo(&Conv2dParams::depthwise(16, 3, 1, 1), shape), ConvAlgo::Depthwise);
+        assert_eq!(select_algo(&Conv2dParams::new(16, 32, 3, 1, 1), shape), ConvAlgo::Im2colPacked);
+        // 1x1 stride-2 must not take the fast path (it subsamples).
+        assert_eq!(select_algo(&Conv2dParams::new(16, 32, 1, 2, 0), shape), ConvAlgo::Im2colPacked);
+    }
+
+    #[test]
+    fn dispatch_reports_and_matches_reference() {
+        let _guard = crate::test_sync::global_state_lock();
+        for params in [
+            Conv2dParams::new(5, 7, 3, 1, 1),
+            Conv2dParams::new(5, 7, 1, 1, 0),
+            Conv2dParams::depthwise(6, 3, 1, 1),
+        ] {
+            let input = sample_input(Shape::chw(params.in_channels, 14, 14), 3);
+            let weight = sample_weight(&params, 4);
+            let (out, algo) = conv2d_dispatch(&input, &weight, None, &params).unwrap();
+            assert_eq!(algo, select_algo(&params, input.shape()));
+            let reference = conv2d_direct(&input, &weight, None, &params).unwrap();
+            assert_close(&out, &reference, 1e-3);
+        }
+    }
+
+    #[test]
+    fn forced_algo_overrides_and_falls_back() {
+        let _guard = crate::test_sync::global_state_lock();
+        let params = Conv2dParams::new(4, 4, 3, 1, 1);
+        let input = sample_input(Shape::chw(4, 10, 10), 1);
+        let weight = sample_weight(&params, 2);
+        force_conv_algo(Some(ConvAlgo::Direct));
+        let (_, algo) = conv2d_dispatch(&input, &weight, None, &params).unwrap();
+        assert_eq!(algo, ConvAlgo::Direct);
+        // A forced algo that cannot run this shape falls back to auto-dispatch.
+        force_conv_algo(Some(ConvAlgo::Gemm1x1));
+        let (_, algo) = conv2d_dispatch(&input, &weight, None, &params).unwrap();
+        assert_eq!(algo, ConvAlgo::Im2colPacked);
+        force_conv_algo(None);
+        let (_, algo) = conv2d_dispatch(&input, &weight, None, &params).unwrap();
+        assert_eq!(algo, ConvAlgo::Im2colPacked);
+    }
+
+    #[test]
+    fn algo_support_matrix() {
+        let dense = Conv2dParams::new(8, 16, 3, 1, 1);
+        let pointwise = Conv2dParams::new(8, 16, 1, 1, 0);
+        let depthwise = Conv2dParams::depthwise(8, 3, 1, 1);
+        assert!(ConvAlgo::Im2colPacked.supports(&dense));
+        assert!(!ConvAlgo::Gemm1x1.supports(&dense));
+        assert!(ConvAlgo::Gemm1x1.supports(&pointwise));
+        assert!(ConvAlgo::Depthwise.supports(&depthwise));
+        assert!(!ConvAlgo::Depthwise.supports(&dense));
+        assert_eq!(ConvAlgo::Gemm1x1.to_string(), "gemm_1x1");
+    }
+
+    #[test]
+    fn grouped_1x1_takes_fast_path_correctly() {
+        let params = Conv2dParams::new(8, 12, 1, 1, 0).with_groups(4);
+        let input = sample_input(Shape::new(2, 8, 9, 9), 13);
+        let weight = sample_weight(&params, 14);
+        let bias: Vec<f32> = (0..12).map(|i| 0.05 * i as f32).collect();
+        let direct = conv2d_direct(&input, &weight, Some(&bias), &params).unwrap();
+        let fast = conv2d_gemm_1x1(&input, &weight, Some(&bias), &params).unwrap();
+        assert_close(&direct, &fast, 1e-3);
+    }
+
+    #[test]
+    fn depthwise_strided_and_padded() {
+        for (k, stride, pad, h) in [(3, 1, 1, 13), (3, 2, 1, 16), (5, 2, 2, 19), (3, 3, 0, 15)] {
+            let params = Conv2dParams::depthwise(5, k, stride, pad);
+            let input = sample_input(Shape::new(2, 5, h, h), 100 + k as u64);
+            let weight = sample_weight(&params, 200 + stride as u64);
+            let bias: Vec<f32> = (0..5).map(|i| i as f32 * 0.2).collect();
+            let direct = conv2d_direct(&input, &weight, Some(&bias), &params).unwrap();
+            let dedicated = conv2d_depthwise(&input, &weight, Some(&bias), &params).unwrap();
+            assert_close(&direct, &dedicated, 1e-4);
+        }
+    }
+
+    #[test]
+    fn wrong_shape_for_specialized_kernels_errors() {
+        let not_1x1 = Conv2dParams::new(4, 4, 3, 1, 1);
+        let input = sample_input(Shape::chw(4, 8, 8), 1);
+        let weight = sample_weight(&not_1x1, 2);
+        assert!(conv2d_gemm_1x1(&input, &weight, None, &not_1x1).is_err());
+        assert!(conv2d_depthwise(&input, &weight, None, &not_1x1).is_err());
     }
 }

@@ -1,0 +1,518 @@
+//! The packed GEMM execution core.
+//!
+//! This module implements the register-blocked microkernel and panel packing that
+//! every fast execution path (packed GEMM, 1×1 convolution, packed im2col
+//! convolution) is built on:
+//!
+//! * **Microkernel** — an [`MR`]`×`[`NR`] f32 accumulator tile kept entirely in
+//!   registers while streaming over the shared dimension. With
+//!   `-C target-cpu=native` (set in `.cargo/config.toml`) the inner loop compiles to
+//!   FMA vector code.
+//! * **Packing** — A is repacked into `MR`-row column-major panels and B into
+//!   `NR`-column row-major panels, so the microkernel reads both operands at stride
+//!   1 regardless of the original layouts. Panels live in the thread-local
+//!   [`scratch`](crate::scratch) arena and are reused across layers.
+//! * **Parallelism** — output rows are split into panel-aligned chunks executed by
+//!   scoped worker threads ([`parallel::for_each_chunk`]). Each output element is
+//!   produced by exactly one task in one fixed accumulation order, so results are
+//!   bitwise identical for every thread count.
+//!
+//! The convolution dispatch layer in [`conv`](crate::conv) lowers convolutions onto
+//! [`packed_gemm_strided`]; dense GEMM callers use the [`crate::gemm_packed`]
+//! wrapper.
+
+use crate::{parallel, scratch};
+
+/// True when the AVX-512 microkernel is compiled in.
+const HAS_AVX512: bool = cfg!(all(target_arch = "x86_64", target_feature = "avx512f"));
+
+/// Microkernel tile height (rows of A / C).
+pub const MR: usize = 6;
+
+/// Microkernel tile width (columns of B / C): two vectors per accumulator row —
+/// 6×32 with AVX-512 (12 zmm accumulators), 6×16 with AVX2 (12 ymm accumulators
+/// plus two B vectors and one broadcast fit the 16 registers). The tile shape is
+/// fixed at compile time because the packed-panel layouts depend on it.
+pub const NR: usize = if HAS_AVX512 { 32 } else { 16 };
+
+/// Shared-dimension block size: one `KC × NR` B block (16–32 KiB) stays L1-resident
+/// while it is reused across every row tile of a worker's chunk.
+pub const KC: usize = 256;
+
+/// Row-chunk height handed to one worker task: several microkernel tiles, so each
+/// L1-resident B block amortizes across [`MC`]` / `[`MR`] tiles.
+pub const MC: usize = 8 * MR;
+
+/// Work (in multiply–accumulates) below which spawning worker threads costs more
+/// than it saves.
+pub const PARALLEL_MIN_MACS: u64 = 1 << 20;
+
+/// Number of f32 elements a packed B stripe may occupy (4 MiB), bounding scratch
+/// memory for high-resolution layers.
+pub const MAX_B_PANEL_ELEMS: usize = 1 << 20;
+
+/// How C rows are written back by [`packed_gemm_strided`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WriteMode<'a> {
+    /// `C[r][j] = acc + bias[r]` — used by convolutions, whose output tiles are
+    /// computed in a single pass over the full shared dimension.
+    Overwrite {
+        /// Per-row constants added to every element of the row (`None` = 0.0).
+        bias: Option<&'a [f32]>,
+    },
+    /// `C[r][j] += acc` — the historical GEMM contract (callers pre-initialize C).
+    Accumulate,
+}
+
+/// Packs `count` columns of row-major `src` (logical `rows × src_cols`, starting at
+/// column `col0`) into `NR`-wide panels: panel `p` holds columns
+/// `[p*NR, p*NR+NR)` as `rows` consecutive `NR`-element groups. Tail columns are
+/// zero-padded (the destination must arrive zeroed, as [`scratch::take`]
+/// guarantees).
+pub fn pack_b(
+    src: &[f32],
+    rows: usize,
+    src_cols: usize,
+    col0: usize,
+    count: usize,
+    dst: &mut [f32],
+) {
+    let panels = count.div_ceil(NR);
+    debug_assert!(dst.len() >= panels * rows * NR);
+    for panel in 0..panels {
+        let j0 = panel * NR;
+        let width = NR.min(count - j0);
+        let panel_dst = &mut dst[panel * rows * NR..(panel + 1) * rows * NR];
+        for p in 0..rows {
+            let src_row = &src[p * src_cols + col0 + j0..p * src_cols + col0 + j0 + width];
+            panel_dst[p * NR..p * NR + width].copy_from_slice(src_row);
+        }
+    }
+}
+
+/// Packs up to [`MR`] rows × `count` columns of row-major `a` (leading dimension
+/// `lda`, starting at `(row0, col0)`) into a column-major panel: element `(r, p)`
+/// lands at `dst[p*MR + r]`. Missing tail rows are zero-padded (destination must
+/// arrive zeroed).
+pub fn pack_a_panel(
+    a: &[f32],
+    row0: usize,
+    rows: usize,
+    col0: usize,
+    count: usize,
+    lda: usize,
+    dst: &mut [f32],
+) {
+    debug_assert!(rows <= MR && dst.len() >= count * MR);
+    for r in 0..rows {
+        let row = &a[(row0 + r) * lda + col0..(row0 + r) * lda + col0 + count];
+        for (p, &value) in row.iter().enumerate() {
+            dst[p * MR + r] = value;
+        }
+    }
+}
+
+/// The register-tiled inner kernel: accumulates `apanel · bpanel` over `k` steps
+/// into an `MR × NR` tile. Panels must be laid out by [`pack_a_panel`] / [`pack_b`].
+///
+/// On x86-64 builds with AVX2+FMA enabled (the workspace builds with
+/// `-C target-cpu=native`) this statically dispatches to a hand-scheduled intrinsics
+/// kernel holding all 12 accumulator vectors in registers; other targets use a
+/// portable loop that auto-vectorizes.
+#[inline]
+fn microkernel(k: usize, apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+    {
+        microkernel_avx512(k, apanel, bpanel)
+    }
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma",
+        not(target_feature = "avx512f")
+    ))]
+    {
+        microkernel_avx2(k, apanel, bpanel)
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "avx2", target_feature = "fma")))]
+    {
+        microkernel_portable(k, apanel, bpanel)
+    }
+}
+
+/// AVX-512 microkernel: 12 × `__m512` accumulators (6 rows × 32 columns), two B
+/// loads and six A broadcasts per k-step.
+///
+/// Safety: only compiled when AVX-512F is statically enabled, so the intrinsics are
+/// always executable; the `unsafe` blocks cover raw-pointer panel reads, whose
+/// bounds (`k * MR` / `k * NR` elements) are asserted on entry.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+#[inline]
+fn microkernel_avx512(k: usize, apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+    use core::arch::x86_64::{
+        __m512, _mm512_fmadd_ps, _mm512_loadu_ps, _mm512_set1_ps, _mm512_setzero_ps,
+        _mm512_storeu_ps,
+    };
+    assert!(apanel.len() >= k * MR && bpanel.len() >= k * NR);
+    unsafe {
+        let mut acc: [[__m512; 2]; MR] = [[_mm512_setzero_ps(); 2]; MR];
+        let mut ap = apanel.as_ptr();
+        let mut bp = bpanel.as_ptr();
+        for _ in 0..k {
+            let b_lo = _mm512_loadu_ps(bp);
+            let b_hi = _mm512_loadu_ps(bp.add(16));
+            macro_rules! fma_row {
+                ($r:literal) => {
+                    let a = _mm512_set1_ps(*ap.add($r));
+                    acc[$r][0] = _mm512_fmadd_ps(a, b_lo, acc[$r][0]);
+                    acc[$r][1] = _mm512_fmadd_ps(a, b_hi, acc[$r][1]);
+                };
+            }
+            fma_row!(0);
+            fma_row!(1);
+            fma_row!(2);
+            fma_row!(3);
+            fma_row!(4);
+            fma_row!(5);
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        let mut out = [[0.0f32; NR]; MR];
+        for r in 0..MR {
+            _mm512_storeu_ps(out[r].as_mut_ptr(), acc[r][0]);
+            _mm512_storeu_ps(out[r].as_mut_ptr().add(16), acc[r][1]);
+        }
+        out
+    }
+}
+
+#[allow(dead_code)]
+#[inline]
+fn microkernel_portable(k: usize, apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (avals, bvals) in apanel.chunks_exact(MR).zip(bpanel.chunks_exact(NR)).take(k) {
+        let mut b = [0.0f32; NR];
+        b.copy_from_slice(bvals);
+        for r in 0..MR {
+            let a = avals[r];
+            for c in 0..NR {
+                // `mul_add` lowers to a hardware FMA when the target has one; rustc
+                // never contracts `a * b + c` on its own.
+                if cfg!(target_feature = "fma") {
+                    acc[r][c] = a.mul_add(b[c], acc[r][c]);
+                } else {
+                    acc[r][c] += a * b[c];
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// AVX2+FMA microkernel: 12 × `__m256` accumulators (6 rows × 16 columns), two B
+/// loads and six A broadcasts per k-step — FMA-port bound rather than load bound.
+///
+/// Safety: only compiled when AVX2 and FMA are statically enabled, so the intrinsics
+/// are always executable; the `unsafe` blocks cover raw-pointer panel reads, whose
+/// bounds (`k * MR` / `k * NR` elements) are asserted on entry.
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma",
+    not(target_feature = "avx512f")
+))]
+#[inline]
+fn microkernel_avx2(k: usize, apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+    use core::arch::x86_64::{
+        __m256, _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+    assert!(apanel.len() >= k * MR && bpanel.len() >= k * NR);
+    unsafe {
+        let mut acc: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+        let mut ap = apanel.as_ptr();
+        let mut bp = bpanel.as_ptr();
+        for _ in 0..k {
+            let b_lo = _mm256_loadu_ps(bp);
+            let b_hi = _mm256_loadu_ps(bp.add(8));
+            // Fully unrolled over rows so every accumulator stays pinned to a register.
+            macro_rules! fma_row {
+                ($r:literal) => {
+                    let a = _mm256_broadcast_ss(&*ap.add($r));
+                    acc[$r][0] = _mm256_fmadd_ps(a, b_lo, acc[$r][0]);
+                    acc[$r][1] = _mm256_fmadd_ps(a, b_hi, acc[$r][1]);
+                };
+            }
+            fma_row!(0);
+            fma_row!(1);
+            fma_row!(2);
+            fma_row!(3);
+            fma_row!(4);
+            fma_row!(5);
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        let mut out = [[0.0f32; NR]; MR];
+        for r in 0..MR {
+            _mm256_storeu_ps(out[r].as_mut_ptr(), acc[r][0]);
+            _mm256_storeu_ps(out[r].as_mut_ptr().add(8), acc[r][1]);
+        }
+        out
+    }
+}
+
+/// Computes `rows` rows of `C = A · B` against pre-packed B panels, writing into a
+/// strided destination.
+///
+/// * `a` — row-major left operand, leading dimension `lda`; rows `[row0, row0+rows)`
+///   are consumed.
+/// * `bpack` — B packed by [`pack_b`]: `cols` logical columns over a shared
+///   dimension of `k`.
+/// * `dst` — destination window. Logical element `(r, j)` (with `r` relative to
+///   `row0`) is stored at `dst[r * row_stride + col_offset + j]`.
+///
+/// The caller guarantees `dst` is large enough; out-of-range tile tails are never
+/// touched.
+#[allow(clippy::too_many_arguments)]
+pub fn packed_gemm_strided(
+    a: &[f32],
+    lda: usize,
+    row0: usize,
+    rows: usize,
+    k: usize,
+    bpack: &[f32],
+    cols: usize,
+    dst: &mut [f32],
+    row_stride: usize,
+    col_offset: usize,
+    mode: WriteMode<'_>,
+) {
+    let col_panels = cols.div_ceil(NR);
+    let tiles = rows.div_ceil(MR);
+    let kc_step = KC;
+    // One A block: every tile of this chunk over one column slice, packed once per
+    // slice and reused across all B panels (it stays cache-resident).
+    let mut apack = scratch::take(tiles * kc_step * MR);
+    let mut pc = 0;
+    while pc < k {
+        let kc = kc_step.min(k - pc);
+        let first_slice = pc == 0;
+        if kc < kc_step || !rows.is_multiple_of(MR) {
+            apack.iter_mut().for_each(|x| *x = 0.0);
+        }
+        for tile in 0..tiles {
+            let tile_rows = MR.min(rows - tile * MR);
+            pack_a_panel(
+                a,
+                row0 + tile * MR,
+                tile_rows,
+                pc,
+                kc,
+                lda,
+                &mut apack[tile * kc_step * MR..tile * kc_step * MR + kc * MR],
+            );
+        }
+        for panel in 0..col_panels {
+            let j0 = panel * NR;
+            let width = NR.min(cols - j0);
+            // The KC × NR slice of this B panel: L1-resident across all row tiles.
+            let bslice = &bpack[panel * k * NR + pc * NR..panel * k * NR + (pc + kc) * NR];
+            for tile in 0..tiles {
+                let tile_rows = MR.min(rows - tile * MR);
+                let atile = &apack[tile * kc_step * MR..tile * kc_step * MR + kc * MR];
+                let acc = microkernel(kc, atile, bslice);
+                for r in 0..tile_rows {
+                    let start = (tile * MR + r) * row_stride + col_offset + j0;
+                    let out_row = &mut dst[start..start + width];
+                    match mode {
+                        WriteMode::Overwrite { bias } if first_slice => {
+                            let base = bias.map_or(0.0, |b| b[tile * MR + r]);
+                            for (o, &v) in out_row.iter_mut().zip(&acc[r][..width]) {
+                                *o = v + base;
+                            }
+                        }
+                        // Later KC slices accumulate onto the partial sums, as does
+                        // every slice in Accumulate mode.
+                        _ => {
+                            for (o, &v) in out_row.iter_mut().zip(&acc[r][..width]) {
+                                *o += v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        pc += kc;
+    }
+    scratch::give(apack);
+}
+
+/// Splits the rows of a C region into `MR`-aligned chunks and runs
+/// [`packed_gemm_strided`] on worker threads. `region` must hold `m` rows of
+/// `row_stride` elements each; row `r` of the product lands at
+/// `region[r * row_stride + col_offset ..]`. `bias`, when present, is indexed by
+/// absolute row.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_packed_gemm(
+    a: &[f32],
+    lda: usize,
+    m: usize,
+    k: usize,
+    bpack: &[f32],
+    cols: usize,
+    region: &mut [f32],
+    row_stride: usize,
+    col_offset: usize,
+    bias: Option<&[f32]>,
+    accumulate: bool,
+    parallel: bool,
+) {
+    // Chunk height balances B-block reuse (taller chunks amortize each L1-resident
+    // KC × NR slice across more row tiles) against load balance (enough chunks to
+    // feed every worker). Small or heavily-threaded products fall back to single
+    // tiles.
+    let threads = parallel::num_threads();
+    let rows_per_chunk = if !parallel || m >= threads * MC { MC } else { MR };
+    let chunk_len = rows_per_chunk * row_stride;
+    let want_parallel = parallel && (m as u64) * (k as u64) * (cols as u64) >= PARALLEL_MIN_MACS;
+    parallel::for_each_chunk(region, chunk_len, want_parallel, |chunk_index, chunk| {
+        let row0 = chunk_index * rows_per_chunk;
+        let rows = rows_per_chunk.min(m - row0);
+        let mode = if accumulate {
+            WriteMode::Accumulate
+        } else {
+            WriteMode::Overwrite { bias: bias.map(|b| &b[row0..row0 + rows]) }
+        };
+        packed_gemm_strided(
+            a, lda, row0, rows, k, bpack, cols, chunk, row_stride, col_offset, mode,
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = (0..k).map(|p| a[i * k + p] * b[p * n + j]).sum();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pack_b_round_trips_columns() {
+        let rows = 3usize;
+        let cols = 10usize;
+        let src: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+        let panels = cols.div_ceil(NR);
+        let mut packed = vec![0.0; panels * rows * NR];
+        pack_b(&src, rows, cols, 0, cols, &mut packed);
+        for j in 0..cols {
+            for p in 0..rows {
+                let panel = j / NR;
+                let within = j % NR;
+                assert_eq!(packed[panel * rows * NR + p * NR + within], src[p * cols + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_gemm_matches_reference() {
+        let (m, n, k) = (13, 21, 17);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7) % 23) as f32 - 11.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 5) % 19) as f32 - 9.0).collect();
+        let expect = reference(m, n, k, &a, &b);
+
+        let panels = n.div_ceil(NR);
+        let mut bpack = vec![0.0; panels * k * NR];
+        pack_b(&b, k, n, 0, n, &mut bpack);
+
+        // Write into a strided destination with a column offset.
+        let row_stride = n + 5;
+        let col_offset = 3;
+        let mut dst = vec![-1.0; m * row_stride + col_offset];
+        packed_gemm_strided(
+            &a,
+            k,
+            0,
+            m,
+            k,
+            &bpack,
+            n,
+            &mut dst,
+            row_stride,
+            col_offset,
+            WriteMode::Overwrite { bias: None },
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let got = dst[i * row_stride + col_offset + j];
+                assert!((got - expect[i * n + j]).abs() < 1e-3, "({i},{j}): {got}");
+            }
+        }
+        // Elements outside the window must be untouched.
+        assert!(dst[..col_offset].iter().all(|&x| x == -1.0));
+    }
+
+    #[test]
+    fn bias_and_accumulate_modes() {
+        let (m, n, k) = (9, 6, 4);
+        let a = vec![1.0; m * k];
+        let b = vec![2.0; k * n];
+        let bias: Vec<f32> = (0..m).map(|i| i as f32).collect();
+        let mut bpack = vec![0.0; n.div_ceil(NR) * k * NR];
+        pack_b(&b, k, n, 0, n, &mut bpack);
+
+        let mut dst = vec![0.0; m * n];
+        packed_gemm_strided(
+            &a,
+            k,
+            0,
+            m,
+            k,
+            &bpack,
+            n,
+            &mut dst,
+            n,
+            0,
+            WriteMode::Overwrite { bias: Some(&bias) },
+        );
+        for i in 0..m {
+            assert!(dst[i * n..(i + 1) * n].iter().all(|&x| (x - (8.0 + i as f32)).abs() < 1e-6));
+        }
+
+        let mut acc_dst = vec![1.0; m * n];
+        packed_gemm_strided(&a, k, 0, m, k, &bpack, n, &mut acc_dst, n, 0, WriteMode::Accumulate);
+        assert!(acc_dst.iter().all(|&x| (x - 9.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn parallel_driver_is_deterministic_across_thread_counts() {
+        let _guard = crate::test_sync::global_state_lock();
+        let (m, n, k) = (40usize, 120usize, 230usize);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 13) % 31) as f32 * 0.1 - 1.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 11) % 29) as f32 * 0.1 - 1.4).collect();
+        let mut bpack = vec![0.0; n.div_ceil(NR) * k * NR];
+        pack_b(&b, k, n, 0, n, &mut bpack);
+
+        let original = crate::parallel::num_threads();
+        let mut results = Vec::new();
+        for threads in [1usize, 2, 5] {
+            crate::parallel::set_num_threads(threads);
+            let mut out = vec![0.0f32; m * n];
+            parallel_packed_gemm(&a, k, m, k, &bpack, n, &mut out, n, 0, None, false, true);
+            results.push(out);
+        }
+        crate::parallel::set_num_threads(original);
+        assert_eq!(results[0], results[1], "1 vs 2 threads must agree bitwise");
+        assert_eq!(results[0], results[2], "1 vs 5 threads must agree bitwise");
+        let expect = reference(m, n, k, &a, &b);
+        for (x, y) in results[0].iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-2);
+        }
+    }
+}

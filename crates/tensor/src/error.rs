@@ -88,11 +88,7 @@ mod tests {
         assert!(err.to_string().contains("12"));
         assert!(err.to_string().contains("10"));
 
-        let err = TensorError::ShapeMismatch {
-            left: vec![1, 2],
-            right: vec![2, 1],
-            op: "add",
-        };
+        let err = TensorError::ShapeMismatch { left: vec![1, 2], right: vec![2, 1], op: "add" };
         assert!(err.to_string().contains("add"));
 
         let err = TensorError::InvalidWindow { input: 1, kernel: 3, stride: 1, padding: 0 };
@@ -101,8 +97,7 @@ mod tests {
         let err = TensorError::ZeroDimension { name: "channels" };
         assert!(err.to_string().contains("channels"));
 
-        let err =
-            TensorError::InvalidGrouping { in_channels: 3, out_channels: 8, groups: 2 };
+        let err = TensorError::InvalidGrouping { in_channels: 3, out_channels: 8, groups: 2 };
         assert!(err.to_string().contains("2 groups"));
     }
 

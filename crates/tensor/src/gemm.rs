@@ -1,9 +1,18 @@
 //! Dense matrix multiplication kernels.
 //!
-//! Two implementations are provided: a straightforward triple loop used as a reference,
-//! and a cache-blocked, register-tiled variant used by the im2col convolution path and by
-//! the Criterion benchmarks to demonstrate the utilization gap between naive and tuned
-//! kernels that the paper's autotuning section (§VI) builds on.
+//! Three implementations are provided: a straightforward triple loop used as a
+//! reference, the seed's cache-blocked variant kept as the measured baseline, and
+//! [`gemm_packed`] — the packed, register-tiled, multi-threaded kernel built on
+//! [`engine`](crate::engine) that the convolution paths and [`matmul`] use. The
+//! Criterion benchmarks sweep all three to demonstrate the utilization gap the
+//! paper's autotuning section (§VI) builds on.
+//!
+//! Note on zero handling: earlier revisions skipped `a[i][p] == 0.0` entries in the
+//! inner loops. On dense data that "optimization" is a mispredicted branch per
+//! element, and it silently broke IEEE semantics (`0 × NaN` must be NaN, not an
+//! untouched output). All kernels now multiply unconditionally.
+
+use crate::{engine, scratch};
 
 /// A row-major matrix view described by raw dimensions.
 ///
@@ -45,9 +54,6 @@ pub fn gemm_naive(dims: MatDims, a: &[f32], b: &[f32], out: &mut [f32]) {
     for i in 0..dims.m {
         for p in 0..dims.k {
             let av = a[i * dims.k + p];
-            if av == 0.0 {
-                continue;
-            }
             let brow = &b[p * dims.n..(p + 1) * dims.n];
             let orow = &mut out[i * dims.n..(i + 1) * dims.n];
             for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
@@ -103,9 +109,6 @@ pub fn gemm_blocked(dims: MatDims, blocking: GemmBlocking, a: &[f32], b: &[f32],
                     let orow = &mut out[i * n + j0..i * n + j1];
                     for p in p0..p1 {
                         let av = arow[p];
-                        if av == 0.0 {
-                            continue;
-                        }
                         let brow = &b[p * n + j0..p * n + j1];
                         for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                             *o += av * bv;
@@ -120,11 +123,45 @@ pub fn gemm_blocked(dims: MatDims, blocking: GemmBlocking, a: &[f32], b: &[f32],
     }
 }
 
-/// Convenience wrapper allocating and returning the output matrix (`m × n`, zero-initialized
-/// before accumulation), using the blocked kernel.
+/// Packed, register-tiled, multi-threaded GEMM with the same contract as
+/// [`gemm_naive`] (`out += a · b`, `out` pre-initialized by the caller).
+///
+/// A and B are repacked into microkernel panels held in the thread-local scratch
+/// arena; the `MR × NR` accumulator tile stays in registers across the full shared
+/// dimension; output rows are computed on worker threads when the problem is large
+/// enough (see [`engine`](crate::engine)). Results are bitwise identical for every
+/// thread count.
+///
+/// # Panics
+/// Panics if any slice is shorter than its required length.
+pub fn gemm_packed(dims: MatDims, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= dims.m * dims.k, "lhs too short");
+    assert!(b.len() >= dims.k * dims.n, "rhs too short");
+    assert!(out.len() >= dims.m * dims.n, "out too short");
+    let MatDims { m, n, k } = dims;
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let parallel = dims.macs() >= engine::PARALLEL_MIN_MACS;
+    // Column stripes bound packed-B scratch for very wide products.
+    let stripe_cols = (engine::MAX_B_PANEL_ELEMS / k).div_ceil(engine::NR).max(1) * engine::NR;
+    let out = &mut out[..m * n];
+    let mut j0 = 0;
+    while j0 < n {
+        let width = stripe_cols.min(n - j0);
+        let mut bpack = scratch::take(width.div_ceil(engine::NR) * k * engine::NR);
+        engine::pack_b(b, k, n, j0, width, &mut bpack);
+        engine::parallel_packed_gemm(a, k, m, k, &bpack, width, out, n, j0, None, true, parallel);
+        scratch::give(bpack);
+        j0 += width;
+    }
+}
+
+/// Convenience wrapper allocating and returning the output matrix (`m × n`,
+/// zero-initialized before accumulation), using the packed engine kernel.
 pub fn matmul(dims: MatDims, a: &[f32], b: &[f32]) -> Vec<f32> {
     let mut out = vec![0.0; dims.m * dims.n];
-    gemm_blocked(dims, GemmBlocking::default(), a, b, &mut out);
+    gemm_packed(dims, a, b, &mut out);
     out
 }
 
@@ -153,8 +190,7 @@ mod tests {
     #[test]
     fn identity_multiplication() {
         let dims = MatDims::new(3, 3, 3);
-        let eye: Vec<f32> =
-            (0..9).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
+        let eye: Vec<f32> = (0..9).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
         let a: Vec<f32> = (0..9).map(|i| i as f32).collect();
         assert_eq!(matmul(dims, &a, &eye), a);
         assert_eq!(matmul(dims, &eye, &a), a);
@@ -201,6 +237,50 @@ mod tests {
     #[test]
     fn macs_accounting() {
         assert_eq!(MatDims::new(2, 3, 4).macs(), 24);
+    }
+
+    #[test]
+    fn packed_matches_naive_for_awkward_shapes() {
+        for (m, n, k) in [(1, 1, 1), (8, 8, 8), (7, 9, 5), (17, 33, 40), (64, 100, 27)] {
+            let dims = MatDims::new(m, n, k);
+            let a: Vec<f32> = (0..m * k).map(|i| ((i * 31) % 17) as f32 * 0.25 - 2.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| ((i * 23) % 19) as f32 * 0.25 - 2.2).collect();
+            let mut naive = vec![0.0; m * n];
+            gemm_naive(dims, &a, &b, &mut naive);
+            let mut packed = vec![0.0; m * n];
+            gemm_packed(dims, &a, &b, &mut packed);
+            assert!(approx_eq(&naive, &packed), "{m}x{n}x{k} diverged");
+        }
+    }
+
+    #[test]
+    fn packed_accumulates_into_existing_output() {
+        let dims = MatDims::new(3, 3, 2);
+        let a = vec![1.0; 6];
+        let b = vec![1.0; 6];
+        let mut out = vec![10.0; 9];
+        gemm_packed(dims, &a, &b, &mut out);
+        assert!(out.iter().all(|&x| (x - 12.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn zero_times_nan_propagates() {
+        // The seed's `av == 0.0` skip silently dropped NaN/Inf propagation: a zero row
+        // in A multiplied against a NaN in B must produce NaN, not leave the output
+        // untouched.
+        let dims = MatDims::new(1, 2, 1);
+        let a = vec![0.0];
+        let b = vec![f32::NAN, f32::INFINITY];
+        for kernel in [
+            gemm_naive as fn(MatDims, &[f32], &[f32], &mut [f32]),
+            |d, a, b, out: &mut [f32]| gemm_blocked(d, GemmBlocking::default(), a, b, out),
+            gemm_packed,
+        ] {
+            let mut out = vec![0.0; 2];
+            kernel(dims, &a, &b, &mut out);
+            assert!(out[0].is_nan(), "0 * NaN must be NaN");
+            assert!(out[1].is_nan(), "0 * inf must be NaN");
+        }
     }
 
     #[test]

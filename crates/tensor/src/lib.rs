@@ -5,9 +5,37 @@
 //! resolution-characterization workspace is built on.
 //!
 //! The crate intentionally offers *multiple executable implementations* of convolution
-//! ([`conv2d_direct`], [`conv2d_im2col`], [`conv2d_tiled`]) so the benchmark harness can
-//! measure, with real wall-clock time, how kernel implementation choices interact with the
-//! input resolution — the phenomenon the paper's §VI (operator autotuning) is about.
+//! ([`conv2d_direct`], [`conv2d_im2col`], [`conv2d_tiled`], and the packed engine
+//! paths behind [`conv2d_with_algo`]) so the benchmark harness can measure, with real
+//! wall-clock time, how kernel implementation choices interact with the input
+//! resolution — the phenomenon the paper's §VI (operator autotuning) is about.
+//!
+//! # Engine architecture
+//!
+//! The hot path is a packed, multi-threaded convolution engine layered as:
+//!
+//! 1. **Microkernel** ([`engine`]) — an `MR × NR` f32 accumulator tile (6×32 with
+//!    AVX-512, 6×16 with AVX2, see [`engine::MR`]/[`engine::NR`]) held in registers
+//!    while streaming over the shared dimension; compiled with
+//!    `-C target-cpu=native` it lowers to hand-scheduled FMA intrinsics.
+//! 2. **Packing** ([`engine::pack_a_panel`] / [`engine::pack_b`]) — operands are
+//!    repacked into panel layouts read at stride 1 by the microkernel. The im2col
+//!    lowering writes *directly* into packed-B panels ("packing-aware im2col"), so no
+//!    intermediate column matrix is ever materialized.
+//! 3. **Scratch arena** ([`scratch`]) — packing buffers and im2col stripes are
+//!    recycled through a thread-local pool: steady-state forward passes perform zero
+//!    per-layer heap allocations.
+//! 4. **Parallelism** ([`parallel`]) — output rows/planes are split into disjoint
+//!    chunks executed by scoped worker threads (count from [`set_num_threads`] or
+//!    `RESCNN_THREADS`). Every element is produced by exactly one task in one fixed
+//!    accumulation order, so results are bitwise identical across thread counts.
+//! 5. **Dispatch** ([`select_algo`]) — 1×1 stride-1 convolutions route straight to
+//!    GEMM over the input planes ([`ConvAlgo::Gemm1x1`]), depthwise shapes to a
+//!    dedicated shift-and-accumulate kernel ([`ConvAlgo::Depthwise`]), everything
+//!    else to packed im2col stripes ([`ConvAlgo::Im2colPacked`]). The chosen
+//!    algorithm is observable via [`conv2d_dispatch`] and can be pinned with
+//!    [`force_conv_algo`] so autotuners and benchmarks can sweep algorithm × tiling
+//!    per resolution.
 //!
 //! # Examples
 //! ```
@@ -26,25 +54,49 @@
 #![warn(missing_docs)]
 
 mod conv;
+pub mod engine;
 mod error;
 mod gemm;
 mod ops;
+pub mod parallel;
+pub mod scratch;
 mod shape;
 mod tensor;
 
-pub use conv::{conv2d, conv2d_direct, conv2d_im2col, conv2d_tiled, im2col, ConvTiling};
-pub use error::{Result, TensorError};
-pub use gemm::{gemm_blocked, gemm_naive, matmul, GemmBlocking, MatDims};
-pub use ops::{
-    avg_pool2d, batch_norm, global_avg_pool, linear, max_pool2d, relu, relu6, sigmoid, softmax,
+pub use conv::{
+    conv2d, conv2d_depthwise, conv2d_direct, conv2d_dispatch, conv2d_gemm_1x1, conv2d_im2col,
+    conv2d_im2col_packed, conv2d_tiled, conv2d_with_algo, force_conv_algo, im2col, select_algo,
+    ConvAlgo, ConvTiling,
 };
+pub use error::{Result, TensorError};
+pub use gemm::{gemm_blocked, gemm_naive, gemm_packed, matmul, GemmBlocking, MatDims};
+pub use ops::{
+    add_relu_in_place, avg_pool2d, batch_norm, global_avg_pool, linear, max_pool2d, relu, relu6,
+    relu6_in_place, relu_in_place, sigmoid, softmax,
+};
+pub use parallel::{num_threads, set_num_threads};
 pub use shape::{conv_output_extent, Conv2dParams, Pool2dParams, Shape};
 pub use tensor::Tensor;
+
+#[cfg(test)]
+pub(crate) mod test_sync {
+    //! Serialization of tests that mutate process-global engine state (the worker
+    //! thread count, the forced conv algorithm): without it, concurrent tests in
+    //! this binary race and fail intermittently.
+
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn global_state_lock() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
 
 /// Commonly used items, intended for glob import.
 pub mod prelude {
     pub use crate::{
-        conv2d, Conv2dParams, ConvTiling, Pool2dParams, Shape, Tensor, TensorError,
+        conv2d, Conv2dParams, ConvAlgo, ConvTiling, Pool2dParams, Shape, Tensor, TensorError,
     };
 }
 
@@ -77,6 +129,19 @@ mod proptests {
             } else {
                 prop_assert!(i + 2 * p < k || s == 0);
             }
+        }
+
+        #[test]
+        fn engine_dispatch_matches_direct((ic, oc, k, s, p, hw) in small_conv_case()) {
+            prop_assume!(hw + 2 * p >= k);
+            let _guard = crate::test_sync::global_state_lock();
+            let params = Conv2dParams::new(ic, oc, k, s, p);
+            let input = Tensor::random_uniform(Shape::chw(ic, hw, hw), 1.0, (ic * 7 + hw) as u64);
+            let weight = Tensor::random_uniform(Shape::new(oc, ic, k, k), 0.7, (oc * 5 + k) as u64);
+            let direct = conv2d_direct(&input, &weight, None, &params).unwrap();
+            let (engine_out, algo) = conv2d_dispatch(&input, &weight, None, &params).unwrap();
+            prop_assert!(algo == select_algo(&params, input.shape()));
+            prop_assert!(direct.max_abs_diff(&engine_out).unwrap() < 1e-3);
         }
 
         #[test]

@@ -10,9 +10,39 @@ pub fn relu(input: &Tensor) -> Tensor {
     input.map(|x| x.max(0.0))
 }
 
+/// Rectified linear unit applied in place (the allocation-free variant the model zoo
+/// uses between fused conv layers).
+pub fn relu_in_place(input: &mut Tensor) {
+    input.map_inplace(|x| x.max(0.0));
+}
+
 /// ReLU6 (used by MobileNetV2), elementwise.
 pub fn relu6(input: &Tensor) -> Tensor {
     input.map(|x| x.clamp(0.0, 6.0))
+}
+
+/// ReLU6 applied in place.
+pub fn relu6_in_place(input: &mut Tensor) {
+    input.map_inplace(|x| x.clamp(0.0, 6.0));
+}
+
+/// Fused residual merge: `out = max(out + skip, 0)` in one pass over the data (the
+/// tail of every ResNet block; fusing saves a full read-modify-write sweep).
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn add_relu_in_place(out: &mut Tensor, skip: &Tensor) -> Result<()> {
+    if out.shape() != skip.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: out.shape().as_array().to_vec(),
+            right: skip.shape().as_array().to_vec(),
+            op: "add_relu_in_place",
+        });
+    }
+    for (o, &s) in out.as_mut_slice().iter_mut().zip(skip.as_slice()) {
+        *o = (*o + s).max(0.0);
+    }
+    Ok(())
 }
 
 /// Inference-mode batch normalization.
@@ -187,8 +217,8 @@ pub fn linear(
         for o in 0..out_features {
             let mut acc = bias.map_or(0.0, |b| b[o]);
             let wrow = &weight[o * in_features..(o + 1) * in_features];
-            for i in 0..in_features {
-                acc += input.get(n, i, 0, 0) * wrow[i];
+            for (i, &wv) in wrow.iter().enumerate() {
+                acc += input.get(n, i, 0, 0) * wv;
             }
             out.set(n, o, 0, 0, acc);
         }
@@ -245,15 +275,8 @@ mod tests {
     #[test]
     fn batch_norm_normalizes() {
         let input = Tensor::from_fn(Shape::new(1, 2, 2, 2), |_, c, _, _| c as f32 * 10.0 + 5.0);
-        let out = batch_norm(
-            &input,
-            &[5.0, 15.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[0.0, 1.0],
-            1e-5,
-        )
-        .unwrap();
+        let out =
+            batch_norm(&input, &[5.0, 15.0], &[1.0, 1.0], &[1.0, 2.0], &[0.0, 1.0], 1e-5).unwrap();
         // channel 0: (5-5)/1*1+0 = 0; channel 1: (15-15)/1*2+1 = 1.
         assert!(out.plane(0, 0).iter().all(|x| x.abs() < 1e-3));
         assert!(out.plane(0, 1).iter().all(|x| (x - 1.0).abs() < 1e-3));
@@ -312,8 +335,7 @@ mod tests {
 
     #[test]
     fn softmax_sums_to_one_and_is_stable() {
-        let input =
-            Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![1000.0, 1001.0, 1002.0]).unwrap();
+        let input = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![1000.0, 1001.0, 1002.0]).unwrap();
         let out = softmax(&input).unwrap();
         let sum: f32 = out.as_slice().iter().sum();
         assert!((sum - 1.0).abs() < 1e-5);

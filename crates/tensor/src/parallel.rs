@@ -1,0 +1,116 @@
+//! Thread-pool-free data parallelism for the kernel engine.
+//!
+//! The engine parallelizes by splitting output buffers into disjoint chunks and
+//! handing each chunk to a scoped worker thread ([`for_each_chunk`]). Because every
+//! output element is computed by exactly one task, in one fixed accumulation order,
+//! results are bitwise identical for every thread count — the property the
+//! multi-thread determinism tests in `tests/engine_parity.rs` pin down.
+//!
+//! The worker count comes from [`set_num_threads`], the `RESCNN_THREADS`
+//! environment variable, or `std::thread::available_parallelism`, in that order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads the engine may use (always at least 1).
+pub fn num_threads() -> usize {
+    let cached = NUM_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let configured = std::env::var("RESCNN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    NUM_THREADS.store(configured, Ordering::Relaxed);
+    configured
+}
+
+/// Overrides the engine's worker-thread count (clamped to at least 1).
+///
+/// Benchmarks use this to sweep thread counts; servers use it to bound kernel
+/// parallelism per request.
+pub fn set_num_threads(threads: usize) {
+    NUM_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the final chunk may
+/// be shorter) and invokes `f(chunk_index, chunk)` for every chunk, on worker threads
+/// when `parallel` is set and the configuration allows it.
+///
+/// Chunks are distributed through a shared work queue, so uneven chunk costs
+/// load-balance automatically. `f` must be safe to call concurrently; each invocation
+/// owns its chunk exclusively.
+pub fn for_each_chunk<T, F>(data: &mut [T], chunk_len: usize, parallel: bool, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = if parallel { num_threads().min(n_chunks) } else { 1 };
+    if workers <= 1 {
+        for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(index, chunk);
+        }
+        return;
+    }
+    let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("worker panicked holding queue").next();
+                match next {
+                    Some((index, chunk)) => f(index, chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_is_configurable() {
+        let _guard = crate::test_sync::global_state_lock();
+        let original = num_threads();
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert_eq!(num_threads(), 1, "zero clamps to one");
+        set_num_threads(original);
+    }
+
+    #[test]
+    fn chunks_cover_all_data_serial_and_parallel() {
+        let _guard = crate::test_sync::global_state_lock();
+        let original = num_threads();
+        for threads in [1usize, 4] {
+            set_num_threads(threads);
+            let mut data = vec![0u64; 1003];
+            for_each_chunk(&mut data, 64, true, |index, chunk| {
+                for (offset, value) in chunk.iter_mut().enumerate() {
+                    *value = (index * 64 + offset) as u64;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+        }
+        set_num_threads(original);
+    }
+
+    #[test]
+    fn chunk_indices_match_positions() {
+        let mut data = vec![0usize; 10];
+        for_each_chunk(&mut data, 4, false, |index, chunk| {
+            assert_eq!(chunk.len(), if index == 2 { 2 } else { 4 });
+            chunk.fill(index);
+        });
+        assert_eq!(data, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+    }
+}

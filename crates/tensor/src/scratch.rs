@@ -1,0 +1,86 @@
+//! Thread-local scratch-buffer arena.
+//!
+//! The packed convolution engine needs per-call working memory (packed A/B panels,
+//! im2col stripes). Allocating it per layer is what made the seed path
+//! allocation-bound, so buffers are recycled through a small thread-local pool:
+//! [`take`] hands out a zeroed buffer (reusing a retired allocation when one is big
+//! enough) and [`give`] retires it again. In steady state a network forward pass
+//! performs zero heap allocations for packing or im2col.
+
+use std::cell::RefCell;
+
+/// Retired buffers are only reused for requests at least this fraction of their
+/// capacity, so one huge early request cannot pin memory for tiny later ones.
+const MIN_UTILIZATION: f32 = 0.25;
+
+/// Maximum number of retired buffers kept per thread.
+const POOL_SLOTS: usize = 8;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a zero-filled buffer of exactly `len` elements from the thread-local pool,
+/// allocating only if no retired buffer is large enough.
+pub fn take(len: usize) -> Vec<f32> {
+    let reused = POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let position = pool.iter().position(|buffer| {
+            buffer.capacity() >= len && (len as f32) >= (buffer.capacity() as f32) * MIN_UTILIZATION
+        });
+        position.map(|index| pool.swap_remove(index))
+    });
+    match reused {
+        Some(mut buffer) => {
+            buffer.clear();
+            buffer.resize(len, 0.0);
+            buffer
+        }
+        None => vec![0.0; len],
+    }
+}
+
+/// Returns a buffer obtained from [`take`] to the pool for reuse.
+pub fn give(buffer: Vec<f32>) {
+    if buffer.capacity() == 0 {
+        return;
+    }
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < POOL_SLOTS {
+            pool.push(buffer);
+        } else if let Some(smallest) =
+            pool.iter().enumerate().min_by_key(|(_, b)| b.capacity()).map(|(i, _)| i)
+        {
+            if pool[smallest].capacity() < buffer.capacity() {
+                pool[smallest] = buffer;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_zeroed_and_reused() {
+        let mut buffer = take(256);
+        assert!(buffer.iter().all(|&x| x == 0.0));
+        buffer[0] = 7.0;
+        let ptr = buffer.as_ptr();
+        give(buffer);
+        let again = take(200);
+        assert!(again.iter().all(|&x| x == 0.0), "reused buffer must be re-zeroed");
+        assert_eq!(again.as_ptr(), ptr, "pool should reuse the retired allocation");
+        give(again);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_wasted_on_tiny_requests() {
+        give(vec![0.0; 1 << 20]);
+        let tiny = take(16);
+        assert!(tiny.capacity() < 1 << 20, "tiny request must not consume the huge buffer");
+        give(tiny);
+    }
+}

@@ -147,8 +147,8 @@ impl Conv2dParams {
             return Err(TensorError::ZeroDimension { name: "stride" });
         }
         if self.groups == 0
-            || self.in_channels % self.groups != 0
-            || self.out_channels % self.groups != 0
+            || !self.in_channels.is_multiple_of(self.groups)
+            || !self.out_channels.is_multiple_of(self.groups)
         {
             return Err(TensorError::InvalidGrouping {
                 in_channels: self.in_channels,
@@ -302,10 +302,7 @@ mod tests {
         assert_eq!(out, Shape::new(1, 64, 112, 112));
         // MACs = 112*112*64 * 3*7*7
         assert_eq!(p.macs(Shape::chw(3, 224, 224)).unwrap(), 112 * 112 * 64 * 3 * 7 * 7);
-        assert_eq!(
-            p.flops(Shape::chw(3, 224, 224)).unwrap(),
-            2 * 112 * 112 * 64 * 3 * 7 * 7
-        );
+        assert_eq!(p.flops(Shape::chw(3, 224, 224)).unwrap(), 2 * 112 * 112 * 64 * 3 * 7 * 7);
         assert_eq!(p.weight_count(), 64 * 3 * 7 * 7);
     }
 

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pipeline = DynamicResolutionPipeline::new(config, scale_model, AccuracyOracle::new(7))?;
 
     let test = DatasetSpec::for_kind(dataset_kind).with_len(150).with_max_dimension(224).build(99);
-    println!("Evaluating on {} held-out samples at a {} crop...\n", test.len(), surprise_crop.label());
+    println!(
+        "Evaluating on {} held-out samples at a {} crop...\n",
+        test.len(),
+        surprise_crop.label()
+    );
 
     println!("{:<22} {:>10} {:>12}", "method", "GFLOPs", "accuracy");
     let mut best_static = 0.0f64;

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let library = LibraryKernels::mkldnn_like();
     for profile in CpuProfile::paper_platforms() {
         println!("== {profile} ==");
-        println!("{:>10} {:>12} {:>12} {:>9}", "resolution", "tuned (ms)", "library (ms)", "speedup");
+        println!(
+            "{:>10} {:>12} {:>12} {:>9}",
+            "resolution", "tuned (ms)", "library (ms)", "speedup"
+        );
         for res in [112usize, 168, 224, 280, 336, 392, 448] {
             let tuned = tuner.tune_network(&arch, res, &profile)?;
             let lib = library.plan(&arch, res, &profile)?;
@@ -51,5 +54,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\nNo single implementation wins at every resolution — the reason the paper\nautotunes kernels per resolution instead of relying on a fixed library.");
+
+    // 3. The packed engine, measured: sweep real algorithms over one ResNet-50 layer
+    //    at two resolutions and compare with what the dispatch layer picks.
+    use rescnn::hwsim::{MeasuredSweepConfig, MeasuredTuner};
+    use rescnn::tensor::ConvAlgo;
+    println!("\nMeasured engine sweep (wall-clock, this host):");
+    let tuner = MeasuredTuner::new(MeasuredSweepConfig::default());
+    for res in [112usize, 224] {
+        let layer = arch.conv_layers(res)?[10];
+        println!("  layer {:?} at input {}:", layer.params.kernel, layer.input);
+        for kernel in tuner.sweep_layer(&layer, &ConvAlgo::ALL) {
+            println!(
+                "    {:<14} {:>2} thread(s) {:>8.2} ms  {:>6.1} GMAC/s",
+                kernel.algo.to_string(),
+                kernel.threads,
+                kernel.seconds * 1e3,
+                kernel.gmacs_per_s
+            );
+        }
+        println!("    dispatch picks: {}", tuner.dispatched_algo(&layer));
+    }
     Ok(())
 }

@@ -15,14 +15,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Computing calibration curves on a small Cars-like calibration split...");
     let calibration_set =
         DatasetSpec::for_kind(dataset_kind).with_len(24).with_max_dimension(224).build(3);
-    let curves =
-        CalibrationCurves::compute(&calibration_set, model, crop, &resolutions, 90)?;
+    let curves = CalibrationCurves::compute(&calibration_set, model, crop, &resolutions, 90)?;
     let oracle = AccuracyOracle::new(0);
 
     let calibrator = StorageCalibrator::default();
     let policy = calibrator.calibrate(&curves, &oracle);
 
-    println!("\n{:>10} {:>16} {:>14} {:>14} {:>14}", "resolution", "SSIM threshold", "full acc", "calib acc", "read size");
+    println!(
+        "\n{:>10} {:>16} {:>14} {:>14} {:>14}",
+        "resolution", "SSIM threshold", "full acc", "calib acc", "read size"
+    );
     for (idx, &res) in resolutions.iter().enumerate() {
         let threshold = policy.threshold_for(res).expect("calibrated resolution");
         let full = curves.full_read_accuracy(&oracle, idx);

@@ -28,8 +28,12 @@ fn trained_pipeline(
 
 #[test]
 fn dynamic_pipeline_is_near_best_static_and_cheaper_than_max_resolution() {
-    let pipeline =
-        trained_pipeline(DatasetKind::CarsLike, ModelKind::ResNet18, 0.56, StoragePolicy::read_all());
+    let pipeline = trained_pipeline(
+        DatasetKind::CarsLike,
+        ModelKind::ResNet18,
+        0.56,
+        StoragePolicy::read_all(),
+    );
     let test = DatasetSpec::cars_like().with_len(48).with_max_dimension(96).build(77);
 
     let dynamic = pipeline.evaluate(&test).expect("dynamic evaluation");
@@ -49,16 +53,10 @@ fn dynamic_pipeline_is_near_best_static_and_cheaper_than_max_resolution() {
 fn calibrated_storage_saves_bytes_without_losing_accuracy() {
     let crop = CropRatio::new(0.75).expect("valid crop");
     let resolutions = [224usize, 448];
-    let calibration_set =
-        DatasetSpec::cars_like().with_len(10).with_max_dimension(96).build(21);
-    let curves = CalibrationCurves::compute(
-        &calibration_set,
-        ModelKind::ResNet18,
-        crop,
-        &resolutions,
-        90,
-    )
-    .expect("curves");
+    let calibration_set = DatasetSpec::cars_like().with_len(10).with_max_dimension(96).build(21);
+    let curves =
+        CalibrationCurves::compute(&calibration_set, ModelKind::ResNet18, crop, &resolutions, 90)
+            .expect("curves");
     let oracle = AccuracyOracle::new(5);
     let policy = StorageCalibrator::default().calibrate(&curves, &oracle);
 

@@ -1,12 +1,19 @@
 //! Wall-clock benchmarks of the dynamic-resolution decision path (feature extraction,
-//! scale-model prediction) and of the analytic kernel autotuner, i.e. the per-image
-//! overhead the pipeline adds on top of backbone inference.
+//! scale-model prediction), the analytic kernel autotuner, the batched serving layer
+//! (resolution-bucketed scheduling across the 112–448 ladder at batch sizes 1/8/32),
+//! and the persistent pool's dispatch overhead against the legacy scoped-spawn path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rescnn_core::{extract_features, ScaleModel, ScaleModelConfig, TrainingExample, FEATURE_COUNT};
+use rescnn_core::{
+    extract_features, BatchOptions, DynamicResolutionPipeline, PipelineConfig, ScaleModel,
+    ScaleModelConfig, ScaleModelTrainer, TrainingExample, FEATURE_COUNT,
+};
+use rescnn_data::{DatasetKind, DatasetSpec};
 use rescnn_hwsim::{AutoTuner, CpuProfile, TunerConfig};
 use rescnn_imaging::{crop_and_resize, render_scene, CropRatio, SceneSpec};
 use rescnn_models::ModelKind;
+use rescnn_oracle::AccuracyOracle;
+use rescnn_tensor::parallel::{for_each_chunk, for_each_chunk_scoped};
 
 fn pipeline_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
@@ -36,5 +43,62 @@ fn pipeline_benchmarks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pipeline_benchmarks);
+/// Batched serving across the paper's full 112–448 resolution ladder: one
+/// scheduler drain (plan → bucket → execute) over a 32-request mixed-resolution
+/// queue, swept over batch sizes 1/8/32. Batch 1 degenerates to sequential
+/// serving, so the spread between the three is the value of resolution-bucketed
+/// batching itself.
+fn serving_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+
+    let ladder = vec![112usize, 168, 224, 280, 336, 392, 448];
+    let config = ScaleModelConfig { resolutions: ladder.clone(), epochs: 30, ..Default::default() };
+    let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet50, DatasetKind::CarsLike);
+    let train = DatasetSpec::cars_like().with_len(60).with_max_dimension(96).build(1);
+    let scale_model = trainer.train(&train, 3).expect("scale model trains");
+    let pipeline = DynamicResolutionPipeline::new(
+        PipelineConfig::new(ModelKind::ResNet50, DatasetKind::CarsLike).with_resolutions(ladder),
+        scale_model,
+        AccuracyOracle::new(7),
+    )
+    .expect("pipeline assembles");
+    let queue = DatasetSpec::cars_like().with_len(32).with_max_dimension(96).build(99);
+
+    for max_batch in [1usize, 8, 32] {
+        group.bench_function(format!("batched_evaluate_32req_b{max_batch}"), |b| {
+            b.iter(|| {
+                pipeline
+                    .evaluate_batched(&queue, BatchOptions::default().with_max_batch(max_batch))
+                    .expect("serving succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Dispatch overhead: the persistent pool (wake parked workers) vs. the legacy
+/// scoped path (spawn + join threads) on a job whose compute is negligible, so
+/// the measurement is almost pure dispatch cost.
+fn dispatch_overhead_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    let mut data = vec![0u64; 1 << 10];
+    group.bench_function("pool_dispatch_16_chunks", |b| {
+        b.iter(|| {
+            for_each_chunk(&mut data, 64, true, |index, chunk| {
+                chunk[0] = chunk[0].wrapping_add(index as u64);
+            })
+        })
+    });
+    group.bench_function("scoped_spawn_dispatch_16_chunks", |b| {
+        b.iter(|| {
+            for_each_chunk_scoped(&mut data, 64, true, |index, chunk| {
+                chunk[0] = chunk[0].wrapping_add(index as u64);
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_benchmarks, serving_benchmarks, dispatch_overhead_benchmarks);
 criterion_main!(benches);

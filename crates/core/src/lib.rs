@@ -9,7 +9,17 @@
 //! * [`CalibrationCurves`] / [`StorageCalibrator`] / [`StoragePolicy`] — the SSIM-threshold
 //!   storage calibration of §V (Figure 6, Tables III/IV).
 //! * [`DynamicResolutionPipeline`] — the two-model pipeline of Figure 4, with end-to-end
-//!   evaluation against static-resolution baselines (Figures 8/9).
+//!   evaluation against static-resolution baselines (Figures 8/9). Inference is split
+//!   into a [`plan`](DynamicResolutionPipeline::plan) stage (preview + scale model) and
+//!   an [`execute`](DynamicResolutionPipeline::execute) stage, and every kernel-bearing
+//!   call runs inside the pipeline's scoped
+//!   [`EngineContext`](rescnn_tensor::EngineContext) rather than mutating process-global
+//!   engine state.
+//! * [`BatchScheduler`] — the batched serving layer: groups queued requests into
+//!   resolution buckets, executes each bucket with batch-level data parallelism over
+//!   the persistent engine worker pool, and reports per-bucket latency/throughput
+//!   ([`BucketStats`]) alongside a [`PipelineReport`] identical to sequential
+//!   evaluation.
 //!
 //! # Examples
 //! ```no_run
@@ -42,20 +52,25 @@ mod error;
 mod features;
 mod pipeline;
 mod scale_model;
+mod serve;
 
 pub use calibration::{
     CalibrationCurves, SampleCurve, ScanPoint, StorageCalibrator, StoragePolicy,
 };
 pub use error::{CoreError, Result};
 pub use features::{extract_features, FEATURE_COUNT};
-pub use pipeline::{DynamicResolutionPipeline, InferenceRecord, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    DynamicResolutionPipeline, InferencePlan, InferenceRecord, PipelineConfig, PipelineReport,
+};
 pub use scale_model::{ScaleModel, ScaleModelConfig, ScaleModelTrainer, TrainingExample};
+pub use serve::{BatchOptions, BatchScheduler, BucketStats, ServeReport};
 
 /// Commonly used items, intended for glob import.
 pub mod prelude {
     pub use crate::{
-        CalibrationCurves, CoreError, DynamicResolutionPipeline, PipelineConfig, PipelineReport,
-        ScaleModel, ScaleModelConfig, ScaleModelTrainer, StorageCalibrator, StoragePolicy,
+        BatchOptions, BatchScheduler, CalibrationCurves, CoreError, DynamicResolutionPipeline,
+        PipelineConfig, PipelineReport, ScaleModel, ScaleModelConfig, ScaleModelTrainer,
+        ServeReport, StorageCalibrator, StoragePolicy,
     };
 }
 

@@ -16,8 +16,9 @@ use rescnn_imaging::{crop_and_resize, CropRatio};
 use rescnn_models::ModelKind;
 use rescnn_oracle::{AccuracyOracle, EvalContext};
 use rescnn_projpeg::{ProgressiveImage, ScanPlan};
+use rescnn_tensor::EngineContext;
 
-use crate::calibration::{CalibrationCurves, StoragePolicy};
+use crate::calibration::{CalibrationCurves, SampleCurve, ScanPoint, StoragePolicy};
 use crate::error::{CoreError, Result};
 use crate::features::extract_features;
 use crate::scale_model::ScaleModel;
@@ -39,11 +40,11 @@ pub struct PipelineConfig {
     pub storage: StoragePolicy,
     /// Model family used for the scale model's cost accounting (MobileNetV2 in the paper).
     pub scale_model_kind: ModelKind,
-    /// Worker threads the tensor engine may use for backbone kernels (`None` keeps the
-    /// engine's current setting: `RESCNN_THREADS` or the host's available parallelism).
-    /// Note: the engine's thread count is process-global state — constructing a
-    /// pipeline with `Some(n)` applies `n` to every engine kernel in the process
-    /// until something else changes it. Per-request isolation is a roadmap item.
+    /// Worker threads the tensor engine may use for this pipeline's kernels (`None`
+    /// keeps the engine's current setting: `RESCNN_THREADS` or the host's available
+    /// parallelism). Applied as a scoped [`EngineContext`] per call — never as
+    /// process-global state — so pipelines with different settings can serve
+    /// concurrently without racing.
     pub engine_threads: Option<usize>,
 }
 
@@ -81,11 +82,20 @@ impl PipelineConfig {
         self
     }
 
-    /// Bounds the tensor engine's kernel parallelism (applied process-globally when
-    /// the pipeline is constructed).
+    /// Bounds the tensor engine's kernel parallelism for this pipeline's calls
+    /// (scoped per call via [`EngineContext`]; does not mutate process state).
     pub fn with_engine_threads(mut self, threads: usize) -> Self {
         self.engine_threads = Some(threads.max(1));
         self
+    }
+
+    /// The scoped engine configuration this pipeline installs around kernel-bearing
+    /// calls.
+    pub fn engine_context(&self) -> EngineContext {
+        match self.engine_threads {
+            Some(threads) => EngineContext::new().with_threads(threads),
+            None => EngineContext::new(),
+        }
     }
 }
 
@@ -148,6 +158,32 @@ pub struct PipelineReport {
 }
 
 impl PipelineReport {
+    /// Folds per-sample records into the aggregate report, accumulating in
+    /// iteration order. Both the sequential [`DynamicResolutionPipeline::evaluate`]
+    /// and the batch scheduler build their reports through this one fold, which is
+    /// what makes their "identical results" guarantee structural rather than two
+    /// loops kept in sync by hand.
+    pub(crate) fn from_records<'r>(
+        label: String,
+        records: impl IntoIterator<Item = &'r InferenceRecord>,
+    ) -> Self {
+        let mut n = 0usize;
+        let mut correct = 0usize;
+        let mut gflops = 0.0;
+        let mut read_fraction = 0.0;
+        let mut bytes = 0.0;
+        let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        for record in records {
+            n += 1;
+            correct += usize::from(record.correct);
+            gflops += record.total_gflops();
+            read_fraction += record.read_fraction();
+            bytes += record.bytes_read as f64;
+            *histogram.entry(record.chosen_resolution).or_insert(0) += 1;
+        }
+        Self::from_parts(label, correct, gflops, read_fraction, bytes, histogram, n)
+    }
+
     fn from_parts(
         label: String,
         correct: usize,
@@ -168,6 +204,27 @@ impl PipelineReport {
             num_samples: n,
         }
     }
+}
+
+/// The committed outcome of inference stage 1 (preview read + scale-model choice),
+/// carrying the decoded storage state forward into [`DynamicResolutionPipeline::execute`].
+///
+/// Splitting planning from execution is what makes resolution-bucketed batch
+/// serving possible: a scheduler plans a whole queue, groups the plans by
+/// [`chosen_resolution`](Self::chosen_resolution), and executes each bucket as a
+/// batch (see [`BatchScheduler`](crate::BatchScheduler)).
+#[derive(Debug, Clone)]
+pub struct InferencePlan {
+    /// Resolution the scale model chose for the backbone pass.
+    pub chosen_resolution: usize,
+    /// The progressively encoded image (storage state).
+    encoded: ProgressiveImage,
+    /// Quality/read curves for the preview and every candidate resolution.
+    curves: Vec<SampleCurve>,
+    /// Resolution order matching `curves` (preview first).
+    all_res: Vec<usize>,
+    /// Scans/quality the preview stage already read.
+    preview_point: ScanPoint,
 }
 
 /// The dynamic-resolution pipeline.
@@ -194,9 +251,6 @@ impl DynamicResolutionPipeline {
         if config.resolutions.is_empty() {
             return Err(CoreError::InvalidConfig { reason: "no candidate resolutions".into() });
         }
-        if let Some(threads) = config.engine_threads {
-            rescnn_tensor::set_num_threads(threads);
-        }
         let backbone_arch = config.backbone.arch(config.dataset.num_classes());
         let mut backbone_gflops = BTreeMap::new();
         for &res in &config.resolutions {
@@ -212,6 +266,14 @@ impl DynamicResolutionPipeline {
         &self.config
     }
 
+    /// The scoped engine configuration installed around this pipeline's
+    /// kernel-bearing calls ([`infer`](Self::infer), [`plan`](Self::plan),
+    /// [`execute`](Self::execute)). Construction never mutates process-global
+    /// engine state, so pipelines with different thread budgets coexist safely.
+    pub fn engine_context(&self) -> EngineContext {
+        self.config.engine_context()
+    }
+
     /// Compute cost of the scale model per image, in GFLOPs.
     pub fn scale_model_gflops(&self) -> f64 {
         self.scale_gflops
@@ -222,11 +284,42 @@ impl DynamicResolutionPipeline {
         self.backbone_gflops.get(&resolution).copied()
     }
 
-    /// Runs the full dynamic pipeline on one sample.
+    /// Runs the full dynamic pipeline on one sample, inside this pipeline's
+    /// [`EngineContext`] scope.
     ///
     /// # Errors
     /// Returns an error if rendering, encoding, decoding, or feature extraction fails.
     pub fn infer(&self, sample: &Sample) -> Result<InferenceRecord> {
+        self.config.engine_context().scope(|| {
+            let plan = self.plan_unscoped(sample)?;
+            self.execute_unscoped(sample, &plan)
+        })
+    }
+
+    /// Stage 1 of an inference: reads the preview scans, runs the scale model, and
+    /// commits to a backbone resolution. The returned plan carries the decoded
+    /// state forward so [`execute`](Self::execute) never repeats storage work —
+    /// and so a batch scheduler can group plans by resolution before executing.
+    ///
+    /// # Errors
+    /// Returns an error if rendering, encoding, decoding, or feature extraction fails.
+    pub fn plan(&self, sample: &Sample) -> Result<InferencePlan> {
+        self.config.engine_context().scope(|| self.plan_unscoped(sample))
+    }
+
+    /// Stages 2–3 of an inference: reads whatever extra scans the planned
+    /// resolution requires and judges backbone correctness on exactly what was
+    /// decoded. `sample` must be the one the plan was produced from.
+    ///
+    /// # Errors
+    /// Returns an error if decoding fails.
+    pub fn execute(&self, sample: &Sample, plan: &InferencePlan) -> Result<InferenceRecord> {
+        self.config.engine_context().scope(|| self.execute_unscoped(sample, plan))
+    }
+
+    /// [`plan`](Self::plan) without installing the pipeline's engine context —
+    /// for callers (the batch scheduler) that manage their own thread budget.
+    pub(crate) fn plan_unscoped(&self, sample: &Sample) -> Result<InferencePlan> {
         let crop = self.config.crop;
         let preview_res = self.scale_model.preview_resolution();
         let original = sample.render()?;
@@ -239,7 +332,7 @@ impl DynamicResolutionPipeline {
         all_res.dedup();
         let curves = CalibrationCurves::sample_curves(&original, &encoded, crop, &all_res)?;
 
-        // Stage 1: read the preview's scans and run the scale model.
+        // Read the preview's scans and run the scale model.
         let preview_point = match self.config.storage.threshold_for(preview_res) {
             Some(t) => curves[0].point_for_threshold(t),
             None => *curves[0].points.last().expect("non-empty curve"),
@@ -249,22 +342,33 @@ impl DynamicResolutionPipeline {
         let features = extract_features(&preview_image)?;
         let chosen_resolution = self.scale_model.choose_resolution(&features);
 
+        Ok(InferencePlan { chosen_resolution, encoded, curves, all_res, preview_point })
+    }
+
+    /// [`execute`](Self::execute) without installing the pipeline's engine context.
+    pub(crate) fn execute_unscoped(
+        &self,
+        sample: &Sample,
+        plan: &InferencePlan,
+    ) -> Result<InferenceRecord> {
+        let chosen_resolution = plan.chosen_resolution;
+
         // Stage 2: read whatever extra data the chosen resolution requires.
-        let chosen_idx = all_res.iter().position(|&r| r == chosen_resolution).unwrap_or(0);
+        let chosen_idx = plan.all_res.iter().position(|&r| r == chosen_resolution).unwrap_or(0);
         let chosen_point = match self.config.storage.threshold_for(chosen_resolution) {
-            Some(t) => curves[chosen_idx].point_for_threshold(t),
-            None => *curves[chosen_idx].points.last().expect("non-empty curve"),
+            Some(t) => plan.curves[chosen_idx].point_for_threshold(t),
+            None => *plan.curves[chosen_idx].points.last().expect("non-empty curve"),
         };
-        let scans_read = preview_point.scans.max(chosen_point.scans);
-        let quality = curves[chosen_idx].points[scans_read - 1].ssim;
-        let bytes_read = encoded.cumulative_bytes(scans_read);
+        let scans_read = plan.preview_point.scans.max(chosen_point.scans);
+        let quality = plan.curves[chosen_idx].points[scans_read - 1].ssim;
+        let bytes_read = plan.encoded.cumulative_bytes(scans_read);
 
         // Stage 3: backbone correctness on exactly what was decoded.
         let ctx = EvalContext {
             model: self.config.backbone,
             dataset: self.config.dataset,
             resolution: chosen_resolution,
-            crop,
+            crop: self.config.crop,
             quality,
         };
         let correct = self.oracle.is_correct(sample, &ctx);
@@ -274,7 +378,7 @@ impl DynamicResolutionPipeline {
             chosen_resolution,
             scans_read,
             bytes_read,
-            total_bytes: encoded.total_bytes(),
+            total_bytes: plan.encoded.total_bytes(),
             quality,
             correct,
             backbone_gflops: self.backbone_gflops.get(&chosen_resolution).copied().unwrap_or(0.0),
@@ -290,28 +394,11 @@ impl DynamicResolutionPipeline {
         if dataset.is_empty() {
             return Err(CoreError::EmptyDataset);
         }
-        let mut correct = 0usize;
-        let mut gflops = 0.0;
-        let mut read_fraction = 0.0;
-        let mut bytes = 0.0;
-        let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut records = Vec::with_capacity(dataset.len());
         for sample in dataset {
-            let record = self.infer(sample)?;
-            correct += usize::from(record.correct);
-            gflops += record.total_gflops();
-            read_fraction += record.read_fraction();
-            bytes += record.bytes_read as f64;
-            *histogram.entry(record.chosen_resolution).or_insert(0) += 1;
+            records.push(self.infer(sample)?);
         }
-        Ok(PipelineReport::from_parts(
-            "dynamic".to_string(),
-            correct,
-            gflops,
-            read_fraction,
-            bytes,
-            histogram,
-            dataset.len(),
-        ))
+        Ok(PipelineReport::from_records("dynamic".to_string(), &records))
     }
 
     /// Evaluates a *static* baseline at a fixed resolution.
@@ -488,6 +575,66 @@ mod tests {
             pipeline.evaluate_static(&empty, 112, false),
             Err(CoreError::EmptyDataset)
         ));
+    }
+
+    #[test]
+    fn engine_threads_are_scoped_not_global() {
+        // Regression: `with_engine_threads` used to leak into a process-global via
+        // `set_num_threads` in `DynamicResolutionPipeline::new`, so two pipelines
+        // with different settings raced (last constructor won for both).
+        let config =
+            ScaleModelConfig { resolutions: vec![112, 224], epochs: 5, ..Default::default() };
+        let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+        let train = DatasetSpec::cars_like().with_len(12).with_max_dimension(64).build(1);
+        let scale_model = trainer.train(&train, 2).unwrap();
+
+        let global_before = rescnn_tensor::num_threads();
+        let narrow = DynamicResolutionPipeline::new(
+            PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike).with_engine_threads(1),
+            scale_model.clone(),
+            AccuracyOracle::new(1),
+        )
+        .unwrap();
+        let wide = DynamicResolutionPipeline::new(
+            PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike).with_engine_threads(3),
+            scale_model,
+            AccuracyOracle::new(1),
+        )
+        .unwrap();
+        assert_eq!(
+            rescnn_tensor::num_threads(),
+            global_before,
+            "pipeline construction must not mutate the process-global thread count"
+        );
+
+        // Each pipeline sees its own budget inside its scope; they don't clobber
+        // each other regardless of construction or use order.
+        assert_eq!(narrow.engine_context().scope(rescnn_tensor::num_threads), 1);
+        assert_eq!(wide.engine_context().scope(rescnn_tensor::num_threads), 3);
+        assert_eq!(narrow.engine_context().scope(rescnn_tensor::num_threads), 1);
+
+        // Both pipelines still infer correctly (and identically — thread budget
+        // must never change results).
+        let data = DatasetSpec::cars_like().with_len(3).with_max_dimension(64).build(9);
+        for sample in &data {
+            let a = narrow.infer(sample).unwrap();
+            let b = wide.infer(sample).unwrap();
+            assert_eq!(a, b, "thread budget must not affect inference results");
+        }
+        assert_eq!(rescnn_tensor::num_threads(), global_before);
+    }
+
+    #[test]
+    fn plan_execute_split_matches_monolithic_infer() {
+        let pipeline = build_pipeline(0.56, vec![112, 224, 336]);
+        let data = DatasetSpec::cars_like().with_len(5).with_max_dimension(96).build(33);
+        for sample in &data {
+            let plan = pipeline.plan(sample).unwrap();
+            assert!(pipeline.config().resolutions.contains(&plan.chosen_resolution));
+            let staged = pipeline.execute(sample, &plan).unwrap();
+            let monolithic = pipeline.infer(sample).unwrap();
+            assert_eq!(staged, monolithic, "plan+execute must equal infer exactly");
+        }
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! Batched serving: resolution-bucketed scheduling of concurrent inference
+//! requests over the persistent engine worker pool.
+//!
+//! The paper's thesis is that resolution is the dominant lever on CNN serving
+//! cost; a production deployment therefore sees *mixed-resolution* traffic — the
+//! scale model sends easy images to 112² and hard ones to 448². Executing such a
+//! queue one request at a time wastes the batch-level parallelism the persistent
+//! pool makes cheap. The [`BatchScheduler`] instead:
+//!
+//! 1. **Plans** every queued request ([`DynamicResolutionPipeline::plan`]): the
+//!    preview read + scale-model stage commits each request to a backbone
+//!    resolution. Planning itself is data-parallel across requests.
+//! 2. **Buckets** the plans by chosen resolution, so each batch is
+//!    shape-homogeneous — the layout that lets a backbone execute it as one
+//!    batched forward pass.
+//! 3. **Executes** each bucket in batches of at most
+//!    [`max_batch`](BatchOptions::max_batch), splitting the thread budget between
+//!    sample-level (outer) and kernel-level (inner) parallelism with
+//!    [`split_parallelism`]: a full batch runs one sample per worker, a partial
+//!    batch keeps every worker on one sample at a time.
+//! 4. **Reports** per-bucket latency/throughput ([`BucketStats`]) plus an
+//!    aggregate [`PipelineReport`] that is *identical* — bitwise, including float
+//!    accumulation order — to what the sequential
+//!    [`evaluate`](DynamicResolutionPipeline::evaluate) path produces, because
+//!    records are folded in submission order regardless of bucket or batch
+//!    scheduling.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use rescnn_data::{Dataset, Sample};
+use rescnn_tensor::parallel::parallel_map_indexed;
+use rescnn_tensor::{num_threads, split_parallelism};
+
+use crate::error::{CoreError, Result};
+use crate::pipeline::{DynamicResolutionPipeline, InferencePlan, InferenceRecord, PipelineReport};
+
+/// Tuning knobs for the batch scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchOptions {
+    /// Maximum requests executed as one batch (clamped to at least 1).
+    pub max_batch: usize,
+    /// Total worker-thread budget for the scheduler (`None` uses the pipeline's
+    /// engine context, falling back to the engine default).
+    pub threads: Option<usize>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { max_batch: 8, threads: None }
+    }
+}
+
+impl BatchOptions {
+    /// Creates options with the given batch size.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Bounds the scheduler's total thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+}
+
+/// Latency/throughput accounting for one resolution bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BucketStats {
+    /// The bucket's backbone resolution.
+    pub resolution: usize,
+    /// Requests routed to this bucket.
+    pub requests: usize,
+    /// Batches the bucket was executed in.
+    pub batches: usize,
+    /// Sample-level (outer) parallelism used for the bucket's full batches.
+    pub outer_parallelism: usize,
+    /// Kernel-level (inner) parallelism paired with `outer_parallelism`.
+    pub inner_parallelism: usize,
+    /// Wall-clock seconds spent executing the bucket.
+    pub total_seconds: f64,
+    /// Mean wall-clock latency per batch, in milliseconds.
+    pub mean_batch_latency_ms: f64,
+    /// Requests per second achieved within the bucket.
+    pub throughput_rps: f64,
+}
+
+/// The outcome of draining a [`BatchScheduler`] queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Aggregate accuracy/cost report, identical to the sequential
+    /// [`evaluate`](DynamicResolutionPipeline::evaluate) over the same requests in
+    /// the same submission order.
+    pub report: PipelineReport,
+    /// Per-resolution-bucket latency/throughput, ascending by resolution.
+    pub buckets: Vec<BucketStats>,
+    /// Wall-clock seconds spent in the planning stage (preview + scale model).
+    pub planning_seconds: f64,
+    /// Thread budget the scheduler distributed.
+    pub threads: usize,
+}
+
+/// Groups queued inference requests by chosen resolution and executes them as
+/// homogeneous batches over the persistent worker pool.
+///
+/// # Examples
+/// ```no_run
+/// use rescnn_core::{BatchOptions, BatchScheduler, DynamicResolutionPipeline};
+/// # fn demo(pipeline: &DynamicResolutionPipeline, data: &rescnn_data::Dataset)
+/// #     -> rescnn_core::Result<()> {
+/// let mut scheduler = BatchScheduler::new(pipeline, BatchOptions::default());
+/// scheduler.submit_all(data);
+/// let outcome = scheduler.run()?;
+/// for bucket in &outcome.buckets {
+///     println!("{}²: {:.1} req/s", bucket.resolution, bucket.throughput_rps);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchScheduler<'a> {
+    pipeline: &'a DynamicResolutionPipeline,
+    options: BatchOptions,
+    queue: Vec<&'a Sample>,
+}
+
+impl<'a> BatchScheduler<'a> {
+    /// Creates a scheduler serving one pipeline.
+    pub fn new(pipeline: &'a DynamicResolutionPipeline, options: BatchOptions) -> Self {
+        BatchScheduler { pipeline, options, queue: Vec::new() }
+    }
+
+    /// Enqueues one request, returning its position in the queue. Results are
+    /// always reported in submission order.
+    pub fn submit(&mut self, sample: &'a Sample) -> usize {
+        self.queue.push(sample);
+        self.queue.len() - 1
+    }
+
+    /// Enqueues every sample of a dataset in order.
+    pub fn submit_all(&mut self, dataset: &'a Dataset) {
+        self.queue.extend(dataset.iter());
+    }
+
+    /// Number of requests currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The scheduler's total thread budget.
+    fn thread_budget(&self) -> usize {
+        self.options
+            .threads
+            .or(self.pipeline.engine_context().threads)
+            .unwrap_or_else(num_threads)
+            .max(1)
+    }
+
+    /// Drains the queue: plans, buckets, executes, and aggregates.
+    ///
+    /// # Errors
+    /// Returns an error if the queue is empty or any per-request stage fails (the
+    /// first failure in submission order is reported).
+    pub fn run(&mut self) -> Result<ServeReport> {
+        if self.queue.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let queue = std::mem::take(&mut self.queue);
+        let threads = self.thread_budget();
+        let max_batch = self.options.max_batch.max(1);
+
+        // Stage 1: plan every request (data-parallel across the queue).
+        let planning_start = Instant::now();
+        let plans = run_batch(self.pipeline, threads, queue.len(), |index| {
+            self.pipeline.plan_unscoped(queue[index])
+        });
+        let planning_seconds = planning_start.elapsed().as_secs_f64();
+        let plans: Vec<InferencePlan> = collect_in_order(plans)?;
+
+        // Stage 2: bucket by chosen resolution (BTreeMap ⇒ ascending buckets).
+        let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for (index, plan) in plans.iter().enumerate() {
+            buckets.entry(plan.chosen_resolution).or_default().push(index);
+        }
+
+        // Stage 3: execute each bucket in homogeneous batches.
+        let mut records: Vec<Option<InferenceRecord>> = vec![None; queue.len()];
+        let mut bucket_stats = Vec::with_capacity(buckets.len());
+        for (&resolution, members) in &buckets {
+            let (outer, inner) = split_parallelism(max_batch.min(members.len()), threads);
+            let bucket_start = Instant::now();
+            let mut batches = 0usize;
+            for batch in members.chunks(max_batch) {
+                let outcomes = run_batch(self.pipeline, threads, batch.len(), |slot| {
+                    let index = batch[slot];
+                    self.pipeline.execute_unscoped(queue[index], &plans[index])
+                });
+                for (slot, outcome) in outcomes.into_iter().enumerate() {
+                    records[batch[slot]] = Some(outcome?);
+                }
+                batches += 1;
+            }
+            let total_seconds = bucket_start.elapsed().as_secs_f64();
+            bucket_stats.push(BucketStats {
+                resolution,
+                requests: members.len(),
+                batches,
+                outer_parallelism: outer,
+                inner_parallelism: inner,
+                total_seconds,
+                mean_batch_latency_ms: total_seconds * 1e3 / batches.max(1) as f64,
+                throughput_rps: members.len() as f64 / total_seconds.max(1e-12),
+            });
+        }
+        // The decoded storage state is the bulk of the scheduler's memory; release
+        // it before aggregation.
+        drop(plans);
+
+        // Stage 4: fold records in submission order through the same
+        // `PipelineReport::from_records` the sequential evaluate path uses, so the
+        // identical-results guarantee is structural, whatever the batching did.
+        let records: Vec<InferenceRecord> = records
+            .into_iter()
+            .map(|record| record.expect("every queued request was executed"))
+            .collect();
+        let report = PipelineReport::from_records("dynamic".to_string(), &records);
+        Ok(ServeReport { report, buckets: bucket_stats, planning_seconds, threads })
+    }
+}
+
+/// Runs `f(i)` for `i` in `0..count` with the scheduler's inner/outer thread
+/// split, returning the outcomes in index order. The pipeline's
+/// [`EngineContext`](rescnn_tensor::EngineContext) is installed first so
+/// [`parallel_map_indexed`] carries it (algorithm overrides included) onto pool
+/// workers; the inner thread budget replaces the pipeline's own setting for the
+/// duration of the batch.
+fn run_batch<T, F>(
+    pipeline: &DynamicResolutionPipeline,
+    threads: usize,
+    count: usize,
+    f: F,
+) -> Vec<Result<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    pipeline.engine_context().scope(|| parallel_map_indexed(count, threads, f))
+}
+
+/// Propagates the first error in index order, preserving determinism of which
+/// failure a mixed outcome reports.
+fn collect_in_order<T>(outcomes: Vec<Result<T>>) -> Result<Vec<T>> {
+    outcomes.into_iter().collect()
+}
+
+impl DynamicResolutionPipeline {
+    /// Evaluates the dynamic pipeline over a dataset through the batch scheduler.
+    ///
+    /// The returned [`ServeReport::report`] is identical to the sequential
+    /// [`evaluate`](Self::evaluate) — batching is an execution detail and must
+    /// never change results — while [`ServeReport::buckets`] adds the per-bucket
+    /// latency/throughput the serving layer is measured by.
+    ///
+    /// # Errors
+    /// Returns an error if the dataset is empty or any per-sample stage fails.
+    pub fn evaluate_batched(
+        &self,
+        dataset: &Dataset,
+        options: BatchOptions,
+    ) -> Result<ServeReport> {
+        let mut scheduler = BatchScheduler::new(self, options);
+        scheduler.submit_all(dataset);
+        scheduler.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale_model::{ScaleModelConfig, ScaleModelTrainer};
+    use crate::PipelineConfig;
+    use rescnn_data::{DatasetKind, DatasetSpec};
+    use rescnn_imaging::CropRatio;
+    use rescnn_models::ModelKind;
+    use rescnn_oracle::AccuracyOracle;
+
+    fn build_pipeline(resolutions: Vec<usize>) -> DynamicResolutionPipeline {
+        let config =
+            ScaleModelConfig { resolutions: resolutions.clone(), epochs: 30, ..Default::default() };
+        let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+        let train = DatasetSpec::cars_like().with_len(60).with_max_dimension(96).build(1);
+        let scale_model = trainer.train(&train, 3).unwrap();
+        let pipeline_config = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+            .with_crop(CropRatio::new(0.56).unwrap())
+            .with_resolutions(resolutions);
+        DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(77))
+            .unwrap()
+    }
+
+    #[test]
+    fn batched_report_is_identical_to_sequential_for_every_batch_size() {
+        let pipeline = build_pipeline(vec![112, 224, 336]);
+        let data = DatasetSpec::cars_like().with_len(24).with_max_dimension(96).build(123);
+        let sequential = pipeline.evaluate(&data).unwrap();
+        for max_batch in [1usize, 3, 8, 32] {
+            let served = pipeline
+                .evaluate_batched(&data, BatchOptions::default().with_max_batch(max_batch))
+                .unwrap();
+            assert_eq!(served.report, sequential, "batch size {max_batch} changed the report");
+            let bucketed: usize = served.buckets.iter().map(|b| b.requests).sum();
+            assert_eq!(bucketed, data.len(), "every request must land in a bucket");
+            for bucket in &served.buckets {
+                assert!(sequential.resolution_histogram.contains_key(&bucket.resolution));
+                assert_eq!(
+                    sequential.resolution_histogram[&bucket.resolution], bucket.requests,
+                    "bucket sizes must match the sequential resolution histogram"
+                );
+                assert!(bucket.batches >= 1);
+                assert!(bucket.batches <= bucket.requests.div_ceil(max_batch));
+                assert!(bucket.throughput_rps > 0.0);
+                assert!(bucket.outer_parallelism * bucket.inner_parallelism <= served.threads);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_results_are_stable_across_thread_budgets() {
+        let pipeline = build_pipeline(vec![112, 224]);
+        let data = DatasetSpec::cars_like().with_len(10).with_max_dimension(72).build(7);
+        let options = BatchOptions::default().with_max_batch(4);
+        let baseline = pipeline.evaluate_batched(&data, options.with_threads(1)).unwrap();
+        for threads in [2usize, 4, 7] {
+            let served = pipeline.evaluate_batched(&data, options.with_threads(threads)).unwrap();
+            assert_eq!(served.report, baseline.report, "{threads} threads changed results");
+            assert_eq!(served.threads, threads);
+        }
+    }
+
+    #[test]
+    fn scheduler_queue_bookkeeping() {
+        let pipeline = build_pipeline(vec![112, 224]);
+        let data = DatasetSpec::cars_like().with_len(4).with_max_dimension(64).build(2);
+        let mut scheduler = BatchScheduler::new(&pipeline, BatchOptions::default());
+        assert!(matches!(scheduler.run(), Err(CoreError::EmptyDataset)));
+        assert_eq!(scheduler.submit(&data[0]), 0);
+        assert_eq!(scheduler.submit(&data[1]), 1);
+        assert_eq!(scheduler.queued(), 2);
+        let outcome = scheduler.run().unwrap();
+        assert_eq!(outcome.report.num_samples, 2);
+        assert_eq!(scheduler.queued(), 0, "run drains the queue");
+        assert!(matches!(scheduler.run(), Err(CoreError::EmptyDataset)));
+    }
+
+    #[test]
+    fn options_clamp_and_default() {
+        let options = BatchOptions::default();
+        assert_eq!(options.max_batch, 8);
+        assert_eq!(options.threads, None);
+        assert_eq!(BatchOptions::default().with_max_batch(0).max_batch, 1);
+        assert_eq!(BatchOptions::default().with_threads(0).threads, Some(1));
+    }
+}

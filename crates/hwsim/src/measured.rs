@@ -13,8 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use rescnn_models::ConvLayerShape;
 use rescnn_tensor::{
-    conv2d_tiled, conv2d_with_algo, num_threads, select_algo, set_num_threads, ConvAlgo,
-    ConvTiling, Shape, Tensor,
+    conv2d_tiled, conv2d_with_algo, select_algo, ConvAlgo, ConvTiling, EngineContext, Shape, Tensor,
 };
 
 /// One wall-clock measurement of a kernel implementation on a layer shape.
@@ -97,12 +96,13 @@ impl MeasuredTuner {
         let algo = if algo.supports(&layer.params) { algo } else { ConvAlgo::Im2colPacked };
         let (input, weight) = self.instantiate(layer);
         let params = layer.params;
-        let previous_threads = num_threads();
-        set_num_threads(threads);
-        let seconds = self.time_runs(|| {
-            conv2d_with_algo(&input, &weight, None, &params, algo).expect("valid layer shape");
+        // Scoped override: the sweep's thread count never leaks into (or races
+        // with) the process-wide engine configuration.
+        let seconds = EngineContext::new().with_threads(threads).scope(|| {
+            self.time_runs(|| {
+                conv2d_with_algo(&input, &weight, None, &params, algo).expect("valid layer shape");
+            })
         });
-        set_num_threads(previous_threads);
         MeasuredKernel {
             algo,
             threads,

@@ -9,7 +9,7 @@
 
 use rescnn_tensor::{
     add_relu_in_place, avg_pool2d, conv2d_dispatch, global_avg_pool, linear, max_pool2d,
-    relu6_in_place, relu_in_place, softmax, Conv2dParams, Pool2dParams, Shape, Tensor,
+    num_threads, relu6_in_place, relu_in_place, softmax, Conv2dParams, Pool2dParams, Shape, Tensor,
 };
 
 use crate::arch::{Activation, ArchSpec, BlockSpec, ModelKind};
@@ -316,6 +316,39 @@ impl Network {
         let logits = self.forward(input)?;
         Ok(logits.argmax().unwrap_or(0))
     }
+
+    /// Runs forward passes for a batch of independent inputs (which may have
+    /// heterogeneous resolutions), returning per-input logits in order.
+    ///
+    /// The engine's thread budget is split between sample-level and kernel-level
+    /// parallelism with [`rescnn_tensor::split_parallelism`]: a batch with at
+    /// least as many inputs as threads runs one sample per pool worker (each
+    /// sample's kernels single-threaded), a smaller batch runs samples
+    /// sequentially with fully parallel kernels. Either way results are bitwise
+    /// identical to calling [`forward`](Self::forward) per input — the caller's
+    /// [`rescnn_tensor::EngineContext`] (e.g. an algorithm override) is carried
+    /// onto the worker threads.
+    ///
+    /// # Errors
+    /// See [`Network::forward`]; the first failing input (in batch order) is
+    /// reported.
+    pub fn forward_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        rescnn_tensor::parallel::parallel_map_indexed(inputs.len(), num_threads(), |index| {
+            self.forward(&inputs[index])
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Runs [`forward_batch`](Self::forward_batch) and returns the arg-max class
+    /// index per input.
+    ///
+    /// # Errors
+    /// See [`Network::forward_batch`].
+    pub fn predict_batch(&self, inputs: &[Tensor]) -> Result<Vec<usize>> {
+        let logits = self.forward_batch(inputs)?;
+        Ok(logits.into_iter().map(|l| l.argmax().unwrap_or(0)).collect())
+    }
 }
 
 /// A deliberately tiny CNN used in tests and examples where running a full ResNet would be
@@ -422,6 +455,64 @@ mod tests {
         let out_c = c.forward(&input).unwrap();
         assert!(out_a.max_abs_diff(&out_b).unwrap() < 1e-6);
         assert!(out_a.max_abs_diff(&out_c).unwrap() > 1e-6);
+    }
+
+    #[test]
+    fn batched_forward_matches_per_sample_bitwise() {
+        let net = Network::new(ModelKind::ResNet18, 4, 11);
+        // Mixed-resolution batch, larger than typical thread counts so the outer
+        // (sample-parallel) path is exercised on multi-core hosts.
+        let inputs: Vec<Tensor> = [24usize, 32, 40, 24, 56, 32, 48, 40, 24, 32]
+            .iter()
+            .enumerate()
+            .map(|(i, &res)| Tensor::random_uniform(Shape::chw(3, res, res), 1.0, i as u64))
+            .collect();
+        let batched = net.forward_batch(&inputs).unwrap();
+        assert_eq!(batched.len(), inputs.len());
+        for (input, batched_logits) in inputs.iter().zip(&batched) {
+            let solo = net.forward(input).unwrap();
+            assert_eq!(
+                solo.as_slice(),
+                batched_logits.as_slice(),
+                "batched forward must be bitwise identical to per-sample forward"
+            );
+        }
+        let classes = net.predict_batch(&inputs).unwrap();
+        assert_eq!(classes.len(), inputs.len());
+        assert!(classes.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn batched_forward_carries_caller_context_to_workers() {
+        use rescnn_tensor::{ConvAlgo, EngineContext};
+        // Regression: the outer (pool-worker) path used to rebuild the task
+        // context from scratch, silently dropping a caller-installed algorithm
+        // override for samples that landed on worker threads.
+        let net = Network::new(ModelKind::ResNet18, 3, 5);
+        let inputs: Vec<Tensor> =
+            (0..6).map(|i| Tensor::random_uniform(Shape::chw(3, 24, 24), 1.0, i as u64)).collect();
+        let context = EngineContext::new().with_threads(3).with_algo(ConvAlgo::Direct);
+        let expected: Vec<Tensor> =
+            context.scope(|| inputs.iter().map(|x| net.forward(x).unwrap()).collect());
+        let batched = context.scope(|| net.forward_batch(&inputs).unwrap());
+        for (solo, batch) in expected.iter().zip(&batched) {
+            assert_eq!(
+                solo.as_slice(),
+                batch.as_slice(),
+                "caller context must apply identically on every batch slot"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_forward_reports_first_bad_input() {
+        let net = Network::new(ModelKind::ResNet18, 3, 0);
+        let inputs = vec![
+            Tensor::random_uniform(Shape::chw(3, 32, 32), 1.0, 1),
+            Tensor::random_uniform(Shape::chw(1, 32, 32), 1.0, 2),
+        ];
+        assert!(net.forward_batch(&inputs).is_err());
+        assert!(net.forward_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -417,6 +417,11 @@ pub fn force_conv_algo(algo: Option<ConvAlgo>) {
 }
 
 fn forced_algo() -> Option<ConvAlgo> {
+    // A thread-scoped context override is more specific than the process-wide
+    // benchmark pin, so it wins.
+    if let Some(algo) = crate::context::EngineContext::current().algo {
+        return Some(algo);
+    }
     match FORCED_ALGO.load(Ordering::Relaxed) {
         0 => None,
         encoded => Some(ConvAlgo::ALL[encoded as usize - 1]),

@@ -12,10 +12,11 @@
 //!   `NR`-column row-major panels, so the microkernel reads both operands at stride
 //!   1 regardless of the original layouts. Panels live in the thread-local
 //!   [`scratch`](crate::scratch) arena and are reused across layers.
-//! * **Parallelism** — output rows are split into panel-aligned chunks executed by
-//!   scoped worker threads ([`parallel::for_each_chunk`]). Each output element is
-//!   produced by exactly one task in one fixed accumulation order, so results are
-//!   bitwise identical for every thread count.
+//! * **Parallelism** — output rows are split into panel-aligned chunks executed on
+//!   the persistent worker pool ([`parallel::for_each_chunk`]): per-call dispatch
+//!   cost is a worker wakeup, and long-lived workers keep their scratch arenas warm
+//!   across calls. Each output element is produced by exactly one task in one fixed
+//!   accumulation order, so results are bitwise identical for every thread count.
 //!
 //! The convolution dispatch layer in [`conv`](crate::conv) lowers convolutions onto
 //! [`packed_gemm_strided`]; dense GEMM callers use the [`crate::gemm_packed`]

@@ -26,16 +26,22 @@
 //!    recycled through a thread-local pool: steady-state forward passes perform zero
 //!    per-layer heap allocations.
 //! 4. **Parallelism** ([`parallel`]) — output rows/planes are split into disjoint
-//!    chunks executed by scoped worker threads (count from [`set_num_threads`] or
-//!    `RESCNN_THREADS`). Every element is produced by exactly one task in one fixed
+//!    chunks executed on a lazily-initialized **persistent worker pool** (parked
+//!    workers, job-queue handoff; per-call cost is a wakeup rather than a thread
+//!    spawn). Every element is produced by exactly one task in one fixed
 //!    accumulation order, so results are bitwise identical across thread counts.
+//!    The worker budget comes from the innermost [`EngineContext`] scope, then
+//!    [`set_num_threads`] / `RESCNN_THREADS`.
 //! 5. **Dispatch** ([`select_algo`]) — 1×1 stride-1 convolutions route straight to
 //!    GEMM over the input planes ([`ConvAlgo::Gemm1x1`]), depthwise shapes to a
 //!    dedicated shift-and-accumulate kernel ([`ConvAlgo::Depthwise`]), everything
 //!    else to packed im2col stripes ([`ConvAlgo::Im2colPacked`]). The chosen
-//!    algorithm is observable via [`conv2d_dispatch`] and can be pinned with
-//!    [`force_conv_algo`] so autotuners and benchmarks can sweep algorithm × tiling
-//!    per resolution.
+//!    algorithm is observable via [`conv2d_dispatch`] and can be pinned per scope
+//!    with [`EngineContext::with_algo`] or process-wide with [`force_conv_algo`]
+//!    so autotuners and benchmarks can sweep algorithm × tiling per resolution.
+//! 6. **Per-call configuration** ([`EngineContext`]) — thread budgets and
+//!    algorithm overrides are scoped values rather than global mutations, so
+//!    concurrent pipelines with different settings never race.
 //!
 //! # Examples
 //! ```
@@ -53,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+mod context;
 mod conv;
 pub mod engine;
 mod error;
@@ -63,6 +70,7 @@ pub mod scratch;
 mod shape;
 mod tensor;
 
+pub use context::EngineContext;
 pub use conv::{
     conv2d, conv2d_depthwise, conv2d_direct, conv2d_dispatch, conv2d_gemm_1x1, conv2d_im2col,
     conv2d_im2col_packed, conv2d_tiled, conv2d_with_algo, force_conv_algo, im2col, select_algo,
@@ -74,7 +82,7 @@ pub use ops::{
     add_relu_in_place, avg_pool2d, batch_norm, global_avg_pool, linear, max_pool2d, relu, relu6,
     relu6_in_place, relu_in_place, sigmoid, softmax,
 };
-pub use parallel::{num_threads, set_num_threads};
+pub use parallel::{num_threads, set_num_threads, shutdown_pool, split_parallelism};
 pub use shape::{conv_output_extent, Conv2dParams, Pool2dParams, Shape};
 pub use tensor::Tensor;
 
@@ -96,7 +104,8 @@ pub(crate) mod test_sync {
 /// Commonly used items, intended for glob import.
 pub mod prelude {
     pub use crate::{
-        conv2d, Conv2dParams, ConvAlgo, ConvTiling, Pool2dParams, Shape, Tensor, TensorError,
+        conv2d, Conv2dParams, ConvAlgo, ConvTiling, EngineContext, Pool2dParams, Shape, Tensor,
+        TensorError,
     };
 }
 

@@ -1,21 +1,76 @@
-//! Thread-pool-free data parallelism for the kernel engine.
+//! Persistent worker pool powering the kernel engine's data parallelism.
+//!
+//! # Architecture
 //!
 //! The engine parallelizes by splitting output buffers into disjoint chunks and
-//! handing each chunk to a scoped worker thread ([`for_each_chunk`]). Because every
-//! output element is computed by exactly one task, in one fixed accumulation order,
-//! results are bitwise identical for every thread count — the property the
-//! multi-thread determinism tests in `tests/engine_parity.rs` pin down.
+//! handing each chunk to a worker ([`for_each_chunk`]). Earlier revisions spawned
+//! scoped threads per call, which cost ~tens of µs of spawn/join per GEMM and meant
+//! worker-side thread-local scratch arenas never survived a call. Dispatch now goes
+//! through a lazily-initialized **persistent pool**:
 //!
-//! The worker count comes from [`set_num_threads`], the `RESCNN_THREADS`
-//! environment variable, or `std::thread::available_parallelism`, in that order.
+//! * **Parked workers.** The first parallel dispatch spawns `num_threads() − 1`
+//!   workers (the submitting thread always participates as a worker itself). Idle
+//!   workers park on a condvar; waking them is the only per-call cost.
+//! * **Job-queue handoff.** A dispatch publishes a [`Job`] — a type-erased task
+//!   plus an atomic chunk cursor — onto a shared queue and wakes the pool. Workers
+//!   claim chunk indices with a `fetch_add`, so uneven chunk costs load-balance
+//!   automatically, and several jobs can be in flight at once (concurrent
+//!   submitters from different threads never block each other's progress: each
+//!   submitter also executes its own job's chunks).
+//! * **Graceful resize.** [`set_num_threads`] only stores the target; the pool
+//!   grows (spawns) or shrinks (excess workers exit on their next wakeup) at the
+//!   next dispatch. [`shutdown_pool`] parks the whole pool for idle teardown; the
+//!   next dispatch transparently reinitializes it.
+//! * **Panic containment.** A panicking task marks its job poisoned, remaining
+//!   chunks of that job are drained without executing, and the panic payload is
+//!   re-raised on the submitting thread. Workers survive task panics, and other
+//!   in-flight jobs are unaffected — a panicking kernel can never deadlock the
+//!   queue.
+//! * **Worker-persistent scratch.** Because workers are long-lived, the
+//!   thread-local [`scratch`](crate::scratch) arenas they populate persist across
+//!   dispatches: in steady state the zero-allocation property holds on worker
+//!   threads, not just the caller.
+//!
+//! # Determinism
+//!
+//! Results are bitwise identical for every thread count and every scheduling order:
+//! the chunk decomposition is a pure function of the data length and `chunk_len`
+//! (never of the worker count), every output element is written by exactly one
+//! task, and each task uses one fixed accumulation order. Which worker executes a
+//! chunk affects only wall-clock time. Dispatch from inside a pool worker (nested
+//! parallelism) executes inline on that worker in ascending chunk order — the same
+//! decomposition, so nesting cannot change results either. The multi-thread
+//! determinism suite in `tests/engine_parity.rs` (run in CI under
+//! `RESCNN_THREADS=1,2,4`) pins this down.
+//!
+//! The effective worker count comes from the calling thread's
+//! [`EngineContext`](crate::EngineContext) override when one is installed, then
+//! [`set_num_threads`], then the `RESCNN_THREADS` environment variable, then
+//! `std::thread::available_parallelism`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Number of worker threads the engine may use (always at least 1).
+///
+/// A thread-scoped [`EngineContext`](crate::EngineContext) override takes
+/// precedence over the process-wide setting, which lets concurrent pipelines run
+/// with different thread budgets without racing on global state.
 pub fn num_threads() -> usize {
+    if let Some(threads) = crate::context::EngineContext::current().threads {
+        return threads;
+    }
+    configured_num_threads()
+}
+
+/// The process-wide worker-thread setting, ignoring any thread-scoped override.
+pub(crate) fn configured_num_threads() -> usize {
     let cached = NUM_THREADS.load(Ordering::Relaxed);
     if cached != 0 {
         return cached;
@@ -29,22 +84,346 @@ pub fn num_threads() -> usize {
     configured
 }
 
-/// Overrides the engine's worker-thread count (clamped to at least 1).
+/// Overrides the engine's process-wide worker-thread count (clamped to at least 1).
 ///
-/// Benchmarks use this to sweep thread counts; servers use it to bound kernel
-/// parallelism per request.
+/// The persistent pool resizes gracefully at the next dispatch: it spawns
+/// additional workers when the target grew and retires excess workers when it
+/// shrank. For a per-call bound that does not mutate process state, use
+/// [`EngineContext::with_threads`](crate::EngineContext::with_threads) instead.
 pub fn set_num_threads(threads: usize) {
     NUM_THREADS.store(threads.max(1), Ordering::Relaxed);
 }
 
+/// Splits a thread budget between sample-level (outer) and kernel-level (inner)
+/// parallelism, returning `(outer, inner)` with `outer * inner <= threads`.
+///
+/// The heuristic is deliberately simple: batch-level parallelism only pays once the
+/// batch can occupy every worker, so `batch >= threads` runs one sample per worker
+/// (`(threads, 1)`), and anything smaller keeps all threads on one sample at a time
+/// (`(1, threads)`) — the inner row-chunk parallelism scales near-linearly (see the
+/// PR 1 measurements in ROADMAP.md), whereas a partially-filled outer batch would
+/// idle `threads − batch` workers for the whole batch.
+pub fn split_parallelism(batch: usize, threads: usize) -> (usize, usize) {
+    let threads = threads.max(1);
+    if batch.max(1) >= threads {
+        (threads, 1)
+    } else {
+        (1, threads)
+    }
+}
+
+/// Runs `f(index)` for every index in `0..count` and returns the outcomes in
+/// index order, splitting `threads` between batch-level and kernel-level
+/// parallelism with [`split_parallelism`]. This is the one shared implementation
+/// of indexed batch dispatch (used by `Network::forward_batch` and the core
+/// `BatchScheduler`).
+///
+/// The caller's [`EngineContext`](crate::EngineContext) is snapshotted and
+/// re-installed around every task — also on pool worker threads, which have no
+/// ambient scope of their own — with only the thread budget replaced by the
+/// inner split. Results are therefore identical to running `f` sequentially in
+/// the caller's scope, whatever the schedule.
+pub fn parallel_map_indexed<R, F>(count: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let (outer, inner) = split_parallelism(count, threads);
+    let mut task_context = crate::context::EngineContext::current();
+    task_context.threads = Some(inner.max(1));
+    if outer <= 1 {
+        return task_context.scope(|| (0..count).map(f).collect());
+    }
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(count).collect();
+    // The dispatching scope bounds how many pool workers join the outer batch.
+    crate::context::EngineContext::new().with_threads(outer).scope(|| {
+        for_each_chunk(&mut slots, 1, true, |index, slot| {
+            slot[0] = Some(task_context.scope(|| f(index)));
+        });
+    });
+    slots.into_iter().map(|slot| slot.expect("every batch slot was executed")).collect()
+}
+
+/// A type-erased parallel task: `call(chunk_index)` for indices `0..total`.
+///
+/// The raw pointer refers into the submitting thread's stack frame; it is only
+/// dereferenced for chunk indices below `total`, all of which complete before the
+/// submitter returns from [`for_each_chunk`], so the referent always outlives use.
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    /// Next chunk index to claim.
+    cursor: AtomicUsize,
+    /// Total number of chunks.
+    total: usize,
+    /// Pool workers still allowed to join this job (decremented under the pool
+    /// lock). Bounds the job's parallelism to its submitter's thread budget even
+    /// when the shared pool is larger.
+    tickets: AtomicUsize,
+    /// The submitter's total worker budget for this job (including itself):
+    /// concurrent resize requests must not shrink the pool below what in-flight
+    /// jobs were promised.
+    workers: usize,
+    /// Set once any chunk of this job panics; remaining chunks drain without running.
+    poisoned: AtomicBool,
+    /// Completed-chunk count plus the first panic payload, guarded for the condvar.
+    done: Mutex<JobDone>,
+    done_signal: Condvar,
+}
+
+// Safety: the task pointer is only dereferenced while the submitting thread blocks
+// in `for_each_chunk` (see `Job` docs); the closure itself is `Sync`, so calling it
+// from several threads is sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct JobDone {
+    completed: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Job {
+    /// Claims and executes chunks until the job is exhausted. Returns once this
+    /// thread can make no further progress on the job (other threads may still be
+    /// finishing chunks they claimed).
+    fn work(&self) {
+        loop {
+            let index = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if index >= self.total {
+                return;
+            }
+            let result = if self.poisoned.load(Ordering::Acquire) {
+                Ok(())
+            } else {
+                // Dereference is in-bounds: index < total (see `Job` docs).
+                catch_unwind(AssertUnwindSafe(|| unsafe { (*self.task)(index) }))
+            };
+            let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(payload) = result {
+                self.poisoned.store(true, Ordering::Release);
+                done.panic.get_or_insert(payload);
+            }
+            done.completed += 1;
+            if done.completed == self.total {
+                self.done_signal.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every chunk has completed, then re-raises any task panic.
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while done.completed < self.total {
+            done = self.done_signal.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(payload) = done.panic.take() {
+            drop(done);
+            resume_unwind(payload);
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.total
+    }
+}
+
+/// Shared pool state: the job queue and the worker census.
+struct PoolState {
+    /// In-flight jobs. A job is pushed at submit and removed by its submitter once
+    /// fully complete; workers skip exhausted jobs.
+    jobs: Vec<Arc<Job>>,
+    /// Workers currently live (parked or running).
+    alive: usize,
+    /// Desired pool size; excess workers retire at their next wakeup.
+    target: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here; signalled on new jobs and on resize/shutdown.
+    work_signal: Condvar,
+    /// Signalled by each retiring worker so shutdown can await an empty pool.
+    retire_signal: Condvar,
+}
+
+static POOL: OnceLock<PoolShared> = OnceLock::new();
+
+fn pool() -> &'static PoolShared {
+    POOL.get_or_init(|| PoolShared {
+        state: Mutex::new(PoolState { jobs: Vec::new(), alive: 0, target: 0 }),
+        work_signal: Condvar::new(),
+        retire_signal: Condvar::new(),
+    })
+}
+
+thread_local! {
+    /// True on pool worker threads; nested dispatch from a worker runs inline.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn worker_main(shared: &'static PoolShared) {
+    IS_POOL_WORKER.with(|flag| flag.set(true));
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if state.alive > state.target {
+                    state.alive -= 1;
+                    shared.retire_signal.notify_all();
+                    return;
+                }
+                let available = state
+                    .jobs
+                    .iter()
+                    .find(|job| !job.exhausted() && job.tickets.load(Ordering::Relaxed) > 0);
+                if let Some(job) = available {
+                    // Claimed under the pool lock, so the ticket count never races.
+                    job.tickets.fetch_sub(1, Ordering::Relaxed);
+                    break Arc::clone(job);
+                }
+                state = shared.work_signal.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job.work();
+    }
+}
+
+/// Grows or shrinks the pool toward `target` workers. Growth is synchronous
+/// (threads are spawned before returning); shrinking is lazy (excess workers
+/// retire at their next wakeup, triggered here) and never drops below what
+/// unfinished in-flight jobs were promised — a concurrent narrow-budget
+/// submitter must not retire workers out from under a wide job mid-run.
+fn resize_pool(shared: &'static PoolShared, target: usize) {
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    let in_flight = state
+        .jobs
+        .iter()
+        .filter(|job| !job.exhausted())
+        .map(|job| job.workers.saturating_sub(1))
+        .max()
+        .unwrap_or(0);
+    let target = target.max(in_flight);
+    state.target = target;
+    if state.alive > target {
+        shared.work_signal.notify_all();
+    }
+    // Wake any in-progress shutdown_pool so it observes the raised target and
+    // cedes to the new work instead of waiting forever.
+    shared.retire_signal.notify_all();
+    while state.alive < target {
+        // Failing to spawn (resource exhaustion) degrades to fewer workers; the
+        // submitting thread always makes progress on its own.
+        let spawned: std::io::Result<JoinHandle<()>> = std::thread::Builder::new()
+            .name("rescnn-pool-worker".into())
+            .spawn(move || worker_main(shared));
+        match spawned {
+            Ok(handle) => {
+                drop(handle); // detached: lifecycle is tracked via the census
+                state.alive += 1;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Retires every pool worker and blocks until they have all exited.
+///
+/// Intended for idle teardown (e.g. a server draining before exit); the next
+/// parallel dispatch transparently respawns the pool. In-flight jobs finish
+/// normally before their workers retire. If another thread dispatches parallel
+/// work *while* the shutdown is draining, that dispatch revives the pool and the
+/// shutdown request is superseded: this function returns (rather than blocking
+/// until the process goes idle) and the pool stays up for the new work.
+pub fn shutdown_pool() {
+    let shared = pool();
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    state.target = 0;
+    shared.work_signal.notify_all();
+    while state.alive > 0 && state.target == 0 {
+        state = shared.retire_signal.wait(state).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Number of live pool workers (parked or running). Observability for tests and
+/// serving diagnostics; the submitting thread is not counted.
+pub fn pool_size() -> usize {
+    pool().state.lock().unwrap_or_else(|e| e.into_inner()).alive
+}
+
+/// Runs `task(i)` for every `i` in `0..total` across the persistent pool,
+/// blocking until all have completed. The submitting thread participates, so at
+/// most `workers - 1` pool workers join in.
+fn run_on_pool(total: usize, workers: usize, task: &(dyn Fn(usize) + Sync)) {
+    let shared = pool();
+    // Erase the stack lifetime: `Job` documents why the pointer never dangles.
+    let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+    let job = Arc::new(Job {
+        task,
+        cursor: AtomicUsize::new(0),
+        total,
+        tickets: AtomicUsize::new(workers.saturating_sub(1)),
+        workers,
+        poisoned: AtomicBool::new(false),
+        done: Mutex::new(JobDone { completed: 0, panic: None }),
+        done_signal: Condvar::new(),
+    });
+    // The pool tracks the process-wide setting; a larger per-call context budget
+    // grows it further for this dispatch.
+    resize_pool(shared, workers.max(configured_num_threads()).saturating_sub(1));
+    {
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.jobs.push(Arc::clone(&job));
+        shared.work_signal.notify_all();
+    }
+    job.work();
+    let outcome = catch_unwind(AssertUnwindSafe(|| job.wait()));
+    {
+        let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.jobs.retain(|other| !Arc::ptr_eq(other, &job));
+    }
+    if let Err(payload) = outcome {
+        resume_unwind(payload);
+    }
+}
+
 /// Splits `data` into consecutive chunks of `chunk_len` elements (the final chunk may
-/// be shorter) and invokes `f(chunk_index, chunk)` for every chunk, on worker threads
+/// be shorter) and invokes `f(chunk_index, chunk)` for every chunk, on pool workers
 /// when `parallel` is set and the configuration allows it.
 ///
-/// Chunks are distributed through a shared work queue, so uneven chunk costs
-/// load-balance automatically. `f` must be safe to call concurrently; each invocation
-/// owns its chunk exclusively.
+/// Chunks are claimed from a shared cursor, so uneven chunk costs load-balance
+/// automatically. `f` must be safe to call concurrently; each invocation owns its
+/// chunk exclusively. Called from inside a pool worker (nested parallelism), the
+/// chunks run inline on that worker in ascending order.
 pub fn for_each_chunk<T, F>(data: &mut [T], chunk_len: usize, parallel: bool, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let nested = IS_POOL_WORKER.with(|flag| flag.get());
+    let workers = if parallel && !nested { num_threads().min(n_chunks) } else { 1 };
+    if workers <= 1 {
+        for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(index, chunk);
+        }
+        return;
+    }
+    let len = data.len();
+    let base = SendPtr(data.as_mut_ptr());
+    run_on_pool(n_chunks, workers, &move |index: usize| {
+        let start = index * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // Safety: chunk windows [start, end) are pairwise disjoint across indices
+        // and in-bounds, and `data` is exclusively borrowed for the whole dispatch.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+        f(index, chunk);
+    });
+}
+
+/// Legacy dispatch: spawns scoped threads per call instead of using the persistent
+/// pool. Kept as the measured baseline for the pool's dispatch-overhead benchmarks
+/// (`pipeline_throughput`); kernels must not use it.
+pub fn for_each_chunk_scoped<T, F>(data: &mut [T], chunk_len: usize, parallel: bool, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
@@ -71,6 +450,21 @@ where
         }
     });
 }
+
+/// A raw pointer that may cross thread boundaries (the chunk decomposition above
+/// guarantees disjoint access).
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field use) so closures capture the whole
+    /// wrapper instead of the bare `*mut T`, keeping them `Sync`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -112,5 +506,101 @@ mod tests {
             chunk.fill(index);
         });
         assert_eq!(data, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn scoped_baseline_matches_pool_dispatch() {
+        let _guard = crate::test_sync::global_state_lock();
+        let original = num_threads();
+        set_num_threads(4);
+        let mut pooled = vec![0u32; 257];
+        let mut scoped = vec![0u32; 257];
+        for_each_chunk(&mut pooled, 16, true, |i, c| c.fill(i as u32 + 1));
+        for_each_chunk_scoped(&mut scoped, 16, true, |i, c| c.fill(i as u32 + 1));
+        assert_eq!(pooled, scoped);
+        set_num_threads(original);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let _guard = crate::test_sync::global_state_lock();
+        let original = num_threads();
+        set_num_threads(4);
+        let mut data = vec![0u64; 64];
+        for_each_chunk(&mut data, 8, true, |outer, chunk| {
+            let mut inner = vec![0u64; 32];
+            for_each_chunk(&mut inner, 4, true, |i, c| c.fill(i as u64));
+            let inner_sum: u64 = inner.iter().sum();
+            chunk.fill(outer as u64 * 1000 + inner_sum);
+        });
+        let expect_inner: u64 = (0..8u64).map(|i| i * 4).sum();
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 8) as u64 * 1000 + expect_inner);
+        }
+        set_num_threads(original);
+    }
+
+    #[test]
+    fn split_heuristic_prefers_inner_for_small_batches() {
+        assert_eq!(split_parallelism(1, 8), (1, 8));
+        assert_eq!(split_parallelism(4, 8), (1, 8));
+        assert_eq!(split_parallelism(8, 8), (8, 1));
+        assert_eq!(split_parallelism(32, 8), (8, 1));
+        assert_eq!(split_parallelism(5, 1), (1, 1));
+        assert_eq!(split_parallelism(0, 3), (1, 3));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_carries_caller_context() {
+        let _guard = crate::test_sync::global_state_lock();
+        let original = num_threads();
+        set_num_threads(4);
+        let caller = crate::context::EngineContext::new().with_algo(crate::conv::ConvAlgo::Direct);
+        // Batch >= threads forces the outer (pool-worker) path; every task must
+        // still observe the caller's algorithm override and its inner budget.
+        let observed = caller.scope(|| {
+            parallel_map_indexed(16, 4, |index| {
+                let ctx = crate::context::EngineContext::current();
+                (index, ctx.algo, ctx.threads)
+            })
+        });
+        for (position, (index, algo, threads)) in observed.iter().enumerate() {
+            assert_eq!(*index, position, "results must come back in index order");
+            assert_eq!(*algo, Some(crate::conv::ConvAlgo::Direct), "caller algo dropped");
+            assert_eq!(*threads, Some(1), "outer batch must single-thread each task");
+        }
+        // Small batch: sequential path, full inner budget.
+        let observed = parallel_map_indexed(2, 4, |index| {
+            (index, crate::context::EngineContext::current().threads)
+        });
+        assert_eq!(observed, vec![(0, Some(4)), (1, Some(4))]);
+        set_num_threads(original);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let _guard = crate::test_sync::global_state_lock();
+        let original = num_threads();
+        set_num_threads(4);
+        let results: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|submitter| {
+                    scope.spawn(move || {
+                        let mut data = vec![0u64; 500];
+                        for_each_chunk(&mut data, 16, true, |i, c| {
+                            c.fill(submitter as u64 * 10_000 + i as u64)
+                        });
+                        data
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (submitter, data) in results.iter().enumerate() {
+            for (pos, &v) in data.iter().enumerate() {
+                assert_eq!(v, submitter as u64 * 10_000 + (pos / 16) as u64);
+            }
+        }
+        set_num_threads(original);
     }
 }

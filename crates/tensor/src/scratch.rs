@@ -6,8 +6,31 @@
 //! [`take`] hands out a zeroed buffer (reusing a retired allocation when one is big
 //! enough) and [`give`] retires it again. In steady state a network forward pass
 //! performs zero heap allocations for packing or im2col.
+//!
+//! Arenas are thread-local, so the property depends on thread lifetime: with the
+//! persistent worker pool in [`parallel`](crate::parallel), worker threads — and
+//! therefore their arenas — survive across dispatches, and the zero-allocation
+//! property holds on workers too (verified via [`heap_allocations`] by the pool
+//! lifecycle tests). The old spawn-per-call dispatch re-allocated every arena on
+//! every parallel kernel.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of heap allocations performed by [`take`] (pool misses).
+/// Steady-state kernels must not move this — the pool-lifecycle tests use it to
+/// verify that worker-side arenas persist across dispatches.
+static HEAP_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total heap allocations [`take`] has performed process-wide since start-up.
+///
+/// In steady state (after a warm-up pass has populated every participating
+/// thread's arena) this counter must stop advancing: that is the engine's
+/// zero-allocation property, which the persistent worker pool extends to worker
+/// threads.
+pub fn heap_allocations() -> u64 {
+    HEAP_ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Retired buffers are only reused for requests at least this fraction of their
 /// capacity, so one huge early request cannot pin memory for tiny later ones.
@@ -36,7 +59,10 @@ pub fn take(len: usize) -> Vec<f32> {
             buffer.resize(len, 0.0);
             buffer
         }
-        None => vec![0.0; len],
+        None => {
+            HEAP_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            vec![0.0; len]
+        }
     }
 }
 

@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rescnn_imaging::{
-    crop_and_resize, render_scene, resize_square, ssim, CropRatio, Filter, SceneSpec,
+    crop_and_resize, reference, render_scene, resize_square, ssim, CropRatio, Filter, SceneSpec,
+    SsimConfig,
 };
 
 fn imaging_benchmarks(c: &mut Criterion) {
@@ -16,19 +17,29 @@ fn imaging_benchmarks(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("resize_bilinear", res), &res, |b, &res| {
             b.iter(|| resize_square(&image, res, Filter::Bilinear).unwrap())
         });
+        // The pre-PR 3 single-pass resize, kept as the measured baseline.
+        group.bench_with_input(
+            BenchmarkId::new("resize_bilinear_reference", res),
+            &res,
+            |b, &res| b.iter(|| reference::resize(&image, res, res, Filter::Bilinear).unwrap()),
+        );
     }
     let crop = CropRatio::new(0.75).unwrap();
     group.bench_function("crop_and_resize_224", |b| {
         b.iter(|| crop_and_resize(&image, crop, 224).unwrap())
     });
-    let reference = resize_square(&image, 224, Filter::Bilinear).unwrap();
+    let reference_img = resize_square(&image, 224, Filter::Bilinear).unwrap();
     let distorted = resize_square(
         &resize_square(&image, 112, Filter::Bilinear).unwrap(),
         224,
         Filter::Bilinear,
     )
     .unwrap();
-    group.bench_function("ssim_224", |b| b.iter(|| ssim(&reference, &distorted).unwrap()));
+    group.bench_function("ssim_224", |b| b.iter(|| ssim(&reference_img, &distorted).unwrap()));
+    // The pre-PR 3 O(window²)-per-window SSIM, kept as the measured baseline.
+    group.bench_function("ssim_224_reference", |b| {
+        b.iter(|| reference::ssim_with(&reference_img, &distorted, SsimConfig::default()).unwrap())
+    });
     group.finish();
 }
 

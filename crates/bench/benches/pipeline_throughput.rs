@@ -1,19 +1,40 @@
 //! Wall-clock benchmarks of the dynamic-resolution decision path (feature extraction,
-//! scale-model prediction), the analytic kernel autotuner, the batched serving layer
-//! (resolution-bucketed scheduling across the 112–448 ladder at batch sizes 1/8/32),
-//! and the persistent pool's dispatch overhead against the legacy scoped-spawn path.
+//! scale-model prediction), the analytic kernel autotuner, the plan stage in isolation
+//! (`planning` group: `sample_curves` plus one-request and 32-request `plan` latency —
+//! the PR 3 acceptance numbers), the batched serving layer (resolution-bucketed
+//! scheduling across the 112–448 ladder at batch sizes 1/8/32), and the persistent
+//! pool's dispatch overhead against the legacy scoped-spawn path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rescnn_core::{
-    extract_features, BatchOptions, DynamicResolutionPipeline, PipelineConfig, ScaleModel,
-    ScaleModelConfig, ScaleModelTrainer, TrainingExample, FEATURE_COUNT,
+    extract_features, BatchOptions, CalibrationCurves, DynamicResolutionPipeline, PipelineConfig,
+    ScaleModel, ScaleModelConfig, ScaleModelTrainer, TrainingExample, FEATURE_COUNT,
 };
 use rescnn_data::{DatasetKind, DatasetSpec};
 use rescnn_hwsim::{AutoTuner, CpuProfile, TunerConfig};
 use rescnn_imaging::{crop_and_resize, render_scene, CropRatio, SceneSpec};
 use rescnn_models::ModelKind;
 use rescnn_oracle::AccuracyOracle;
+use rescnn_projpeg::{ProgressiveImage, ScanPlan};
 use rescnn_tensor::parallel::{for_each_chunk, for_each_chunk_scoped};
+
+/// The paper's full candidate-resolution ladder.
+const LADDER: [usize; 7] = [112, 168, 224, 280, 336, 392, 448];
+
+/// Builds the ResNet-50 pipeline the serving/planning benches share.
+fn ladder_pipeline() -> DynamicResolutionPipeline {
+    let ladder = LADDER.to_vec();
+    let config = ScaleModelConfig { resolutions: ladder.clone(), epochs: 30, ..Default::default() };
+    let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet50, DatasetKind::CarsLike);
+    let train = DatasetSpec::cars_like().with_len(60).with_max_dimension(96).build(1);
+    let scale_model = trainer.train(&train, 3).expect("scale model trains");
+    DynamicResolutionPipeline::new(
+        PipelineConfig::new(ModelKind::ResNet50, DatasetKind::CarsLike).with_resolutions(ladder),
+        scale_model,
+        AccuracyOracle::new(7),
+    )
+    .expect("pipeline assembles")
+}
 
 fn pipeline_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
@@ -52,17 +73,7 @@ fn serving_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("serving");
     group.sample_size(10);
 
-    let ladder = vec![112usize, 168, 224, 280, 336, 392, 448];
-    let config = ScaleModelConfig { resolutions: ladder.clone(), epochs: 30, ..Default::default() };
-    let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet50, DatasetKind::CarsLike);
-    let train = DatasetSpec::cars_like().with_len(60).with_max_dimension(96).build(1);
-    let scale_model = trainer.train(&train, 3).expect("scale model trains");
-    let pipeline = DynamicResolutionPipeline::new(
-        PipelineConfig::new(ModelKind::ResNet50, DatasetKind::CarsLike).with_resolutions(ladder),
-        scale_model,
-        AccuracyOracle::new(7),
-    )
-    .expect("pipeline assembles");
+    let pipeline = ladder_pipeline();
     let queue = DatasetSpec::cars_like().with_len(32).with_max_dimension(96).build(99);
 
     for max_batch in [1usize, 8, 32] {
@@ -74,6 +85,39 @@ fn serving_benchmarks(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+/// Plan-stage latency, the serving-bench bottleneck PR 3 targets: the per-request
+/// quality/read-curve computation (progressive decode + crop/resize + SSIM at the
+/// preview and every candidate resolution) in isolation (`sample_curves` over the
+/// full 112–448 ladder on a representative 472×405 source), plus the end-to-end
+/// `plan` stage (render + encode + curves + scale model) for one request and a
+/// 32-request queue.
+fn planning_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planning");
+    group.sample_size(10);
+
+    let image = render_scene(&SceneSpec::new(472, 405, 9).with_detail(0.5)).unwrap();
+    let encoded = ProgressiveImage::encode(&image, 90, ScanPlan::standard()).unwrap();
+    let crop = CropRatio::new(0.75).unwrap();
+    group.bench_function("sample_curves_112_448_ladder", |b| {
+        b.iter(|| CalibrationCurves::sample_curves(&image, &encoded, crop, &LADDER).unwrap())
+    });
+
+    let pipeline = ladder_pipeline();
+    let queue = DatasetSpec::cars_like().with_len(32).with_max_dimension(96).build(99);
+    group.bench_function("plan_one_request", |b| {
+        b.iter(|| pipeline.plan(&queue[0]).expect("planning succeeds"))
+    });
+    group.bench_function("plan_32_requests", |b| {
+        b.iter(|| {
+            queue
+                .iter()
+                .map(|sample| pipeline.plan(sample).expect("planning succeeds"))
+                .collect::<Vec<_>>()
+        })
+    });
     group.finish();
 }
 
@@ -100,5 +144,11 @@ fn dispatch_overhead_benchmarks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pipeline_benchmarks, serving_benchmarks, dispatch_overhead_benchmarks);
+criterion_group!(
+    benches,
+    pipeline_benchmarks,
+    planning_benchmarks,
+    serving_benchmarks,
+    dispatch_overhead_benchmarks
+);
 criterion_main!(benches);

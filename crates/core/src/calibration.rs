@@ -8,15 +8,18 @@
 //! procedure the paper describes (binary search over `[0.94, 1.0]`, terminating at a step
 //! of 1e-4). The result is a [`StoragePolicy`] mapping resolutions to thresholds.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
 use rescnn_data::{Dataset, DatasetKind, Sample};
-use rescnn_imaging::{crop_and_resize, ssim, CropRatio, Image};
+use rescnn_imaging::{crop_and_resize_cow, ssim, CropRatio, Image};
 use rescnn_models::ModelKind;
 use rescnn_oracle::{AccuracyOracle, EvalContext};
-use rescnn_projpeg::{ProgressiveImage, ScanPlan};
+use rescnn_projpeg::{ProgressiveDecoder, ProgressiveImage, ScanPlan};
+use rescnn_tensor::num_threads;
+use rescnn_tensor::parallel::parallel_map_indexed;
 
 use crate::error::{CoreError, Result};
 
@@ -74,6 +77,13 @@ impl CalibrationCurves {
     /// `encode_quality` is the progressive encoder's quality factor (the paper transcodes
     /// existing JPEGs; 90 is a representative archival quality).
     ///
+    /// Samples are measured in parallel over the persistent engine worker pool
+    /// ([`parallel_map_indexed`], bounded by the caller's
+    /// [`EngineContext`](rescnn_tensor::EngineContext) /
+    /// [`num_threads`]). Each sample's measurement is independent and deterministic and
+    /// the results fold in sample order, so the output is identical for every thread
+    /// budget (the first failing sample in dataset order is the one reported).
+    ///
     /// # Errors
     /// Returns an error if the dataset is empty or any render/encode/decode step fails.
     pub fn compute(
@@ -89,13 +99,16 @@ impl CalibrationCurves {
         if resolutions.is_empty() {
             return Err(CoreError::InvalidConfig { reason: "no resolutions".into() });
         }
-        let mut curves = vec![Vec::with_capacity(dataset.len()); resolutions.len()];
-        for sample in dataset {
+        let per_sample = parallel_map_indexed(dataset.len(), num_threads(), |index| {
+            let sample = &dataset[index];
             let original = sample.render()?;
             let encoded =
                 ProgressiveImage::encode(&original, encode_quality, ScanPlan::standard())?;
-            let per_sample = Self::sample_curves(&original, &encoded, crop, resolutions)?;
-            for (res_idx, curve) in per_sample.into_iter().enumerate() {
+            Self::sample_curves(&original, &encoded, crop, resolutions)
+        });
+        let mut curves = vec![Vec::with_capacity(dataset.len()); resolutions.len()];
+        for outcome in per_sample {
+            for (res_idx, curve) in outcome?.into_iter().enumerate() {
                 curves[res_idx].push(curve);
             }
         }
@@ -111,6 +124,11 @@ impl CalibrationCurves {
 
     /// Computes the per-resolution scan curves for one already-encoded image.
     ///
+    /// Scan prefixes are decoded incrementally through one [`ProgressiveDecoder`] — O(S)
+    /// total decode work for S scans instead of the O(S²) of from-scratch decoding every
+    /// prefix — with frames bitwise identical to `encoded.decode(scans)` (the decoder's
+    /// pinned invariant), so the curves match the from-scratch computation exactly.
+    ///
     /// # Errors
     /// Returns an error if decoding or resizing fails.
     pub fn sample_curves(
@@ -120,17 +138,18 @@ impl CalibrationCurves {
         resolutions: &[usize],
     ) -> Result<Vec<SampleCurve>> {
         // Ground-truth reference at each resolution comes from the original pixels.
-        let references: Vec<Image> = resolutions
+        let references: Vec<Cow<'_, Image>> = resolutions
             .iter()
-            .map(|&res| crop_and_resize(original, crop, res))
+            .map(|&res| crop_and_resize_cow(original, crop, res))
             .collect::<std::result::Result<_, _>>()?;
         let mut out: Vec<SampleCurve> =
             resolutions.iter().map(|_| SampleCurve { points: Vec::new() }).collect();
+        let mut decoder = encoded.progressive_decoder()?;
         for scans in 1..=encoded.num_scans() {
-            let decoded = encoded.decode(scans)?;
+            let decoded = decoder.advance()?;
             let read_fraction = encoded.read_fraction(scans);
             for (res_idx, &res) in resolutions.iter().enumerate() {
-                let presented = crop_and_resize(&decoded, crop, res)?;
+                let presented = crop_and_resize_cow(decoded, crop, res)?;
                 let quality = ssim(&references[res_idx], &presented)?;
                 out[res_idx].points.push(ScanPoint { scans, read_fraction, ssim: quality });
             }
@@ -215,6 +234,78 @@ impl CalibrationCurves {
     }
 }
 
+/// Walks `decoder` forward and returns the cheapest [`ScanPoint`] whose SSIM at `res`
+/// reaches `threshold` — or the final point when no threshold is given or it is never
+/// met — together with the presented (cropped + resized) image at that point.
+///
+/// This is the serving-side early-exit complement to the full
+/// [`CalibrationCurves::sample_curves`]: `plan` only needs the point the storage policy
+/// would select, so with a threshold the walk scores one scan at a time and stops at the
+/// first sufficient prefix (identical to `point_for_threshold` on the full curve, which
+/// also returns the *first* sufficient point), and with no threshold (read-all) it jumps
+/// straight to the final scan and scores a single frame.
+///
+/// With a threshold the decoder must be fresh (zero scans applied) so the walk starts at
+/// scan 1; the decoder is left positioned at the returned point, ready for
+/// [`quality_at_scans`] follow-ups.
+pub(crate) fn cheapest_sufficient_point(
+    decoder: &mut ProgressiveDecoder<'_>,
+    reference: &Image,
+    crop: CropRatio,
+    res: usize,
+    threshold: Option<f64>,
+) -> Result<(ScanPoint, Image)> {
+    let encoded = decoder.image();
+    let num_scans = encoded.num_scans();
+    match threshold {
+        Some(threshold) => {
+            debug_assert_eq!(
+                decoder.scans_applied(),
+                0,
+                "threshold walks must score every prefix from the first scan"
+            );
+            loop {
+                let scans = decoder.scans_applied() + 1;
+                let frame = decoder.advance()?;
+                let presented = crop_and_resize_cow(frame, crop, res)?;
+                let quality = ssim(reference, &presented)?;
+                let point =
+                    ScanPoint { scans, read_fraction: encoded.read_fraction(scans), ssim: quality };
+                if quality >= threshold || scans == num_scans {
+                    return Ok((point, presented.into_owned()));
+                }
+            }
+        }
+        None => {
+            let frame = decoder.advance_to(num_scans)?;
+            let presented = crop_and_resize_cow(frame, crop, res)?;
+            let quality = ssim(reference, &presented)?;
+            let point = ScanPoint {
+                scans: num_scans,
+                read_fraction: encoded.read_fraction(num_scans),
+                ssim: quality,
+            };
+            Ok((point, presented.into_owned()))
+        }
+    }
+}
+
+/// SSIM of the decoded image at exactly `scans` scans against `reference`, advancing the
+/// decoder there. Used by the planner when the preview stage read deeper into the file
+/// than the chosen resolution's own sufficient point, so the quality actually presented
+/// to the backbone is that of the deeper prefix.
+pub(crate) fn quality_at_scans(
+    decoder: &mut ProgressiveDecoder<'_>,
+    reference: &Image,
+    crop: CropRatio,
+    res: usize,
+    scans: usize,
+) -> Result<f64> {
+    let frame = decoder.advance_to(scans)?;
+    let presented = crop_and_resize_cow(frame, crop, res)?;
+    Ok(ssim(reference, &presented)?)
+}
+
 /// A calibrated storage policy: the minimal SSIM threshold per resolution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoragePolicy {
@@ -252,7 +343,9 @@ impl StoragePolicy {
     ///
     /// This is an ingest-time decision (the full image is available to measure quality
     /// against), matching the paper's setup where per-image scan counts follow calibrated
-    /// thresholds.
+    /// thresholds. The search early-exits: it decodes incrementally and stops at the
+    /// first sufficient prefix instead of computing the full curve, returning exactly
+    /// the point `point_for_threshold` would pick from it.
     ///
     /// # Errors
     /// Returns an error if decoding or resizing fails.
@@ -263,12 +356,16 @@ impl StoragePolicy {
         crop: CropRatio,
         resolution: usize,
     ) -> Result<ScanPoint> {
-        let curves = CalibrationCurves::sample_curves(original, encoded, crop, &[resolution])?;
-        let curve = &curves[0];
-        match self.threshold_for(resolution) {
-            Some(threshold) => Ok(curve.point_for_threshold(threshold)),
-            None => Ok(*curve.points.last().expect("scan curves are never empty")),
-        }
+        let reference = crop_and_resize_cow(original, crop, resolution)?;
+        let mut decoder = encoded.progressive_decoder()?;
+        let (point, _) = cheapest_sufficient_point(
+            &mut decoder,
+            &reference,
+            crop,
+            resolution,
+            self.threshold_for(resolution),
+        )?;
+        Ok(point)
     }
 }
 
@@ -423,6 +520,68 @@ mod tests {
         }
         // The strictest threshold reads the most data.
         assert!(sweep.last().unwrap().0 >= sweep.first().unwrap().0);
+    }
+
+    #[test]
+    fn sample_curves_match_from_scratch_decoding() {
+        // The incremental decoder inside `sample_curves` must reproduce the original
+        // from-scratch computation bitwise: decode(k) for every prefix, crop + resize,
+        // SSIM against the reference resize.
+        let dataset = DatasetSpec::cars_like().with_len(2).with_max_dimension(96).build(17);
+        let crop = CropRatio::new(0.75).unwrap();
+        let resolutions = [112usize, 224];
+        for sample in &dataset {
+            let original = sample.render().unwrap();
+            let encoded = sample.encode_progressive(88).unwrap();
+            let fast =
+                CalibrationCurves::sample_curves(&original, &encoded, crop, &resolutions).unwrap();
+            for (res_idx, &res) in resolutions.iter().enumerate() {
+                let reference = rescnn_imaging::crop_and_resize(&original, crop, res).unwrap();
+                for scans in 1..=encoded.num_scans() {
+                    let decoded = encoded.decode(scans).unwrap();
+                    let presented = rescnn_imaging::crop_and_resize(&decoded, crop, res).unwrap();
+                    let expected = ssim(&reference, &presented).unwrap();
+                    let point = fast[res_idx].points[scans - 1];
+                    assert_eq!(point.scans, scans);
+                    assert_eq!(
+                        point.ssim.to_bits(),
+                        expected.to_bits(),
+                        "res {res} scan {scans}: {} vs {expected}",
+                        point.ssim
+                    );
+                    assert_eq!(point.read_fraction, encoded.read_fraction(scans));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_is_identical_across_thread_budgets() {
+        // The per-sample fan-out over the worker pool must never change results: each
+        // sample's measurement is independent and folds in dataset order.
+        use rescnn_tensor::EngineContext;
+        let dataset = DatasetSpec::cars_like().with_len(9).with_max_dimension(80).build(5);
+        let crop = CropRatio::new(0.75).unwrap();
+        let build = |threads: usize| {
+            EngineContext::new().with_threads(threads).scope(|| {
+                CalibrationCurves::compute(&dataset, ModelKind::ResNet18, crop, &[112, 168], 85)
+                    .unwrap()
+            })
+        };
+        let baseline = build(1);
+        for threads in [2usize, 4] {
+            let parallel = build(threads);
+            assert_eq!(parallel.resolutions, baseline.resolutions);
+            for res_idx in 0..baseline.resolutions.len() {
+                for sample_idx in 0..baseline.len() {
+                    assert_eq!(
+                        parallel.curve(res_idx, sample_idx),
+                        baseline.curve(res_idx, sample_idx),
+                        "threads={threads} res_idx={res_idx} sample={sample_idx}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,13 +12,13 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use rescnn_data::{Dataset, DatasetKind, Sample};
-use rescnn_imaging::{crop_and_resize, CropRatio};
+use rescnn_imaging::{crop_and_resize_cow, CropRatio};
 use rescnn_models::ModelKind;
 use rescnn_oracle::{AccuracyOracle, EvalContext};
 use rescnn_projpeg::{ProgressiveImage, ScanPlan};
 use rescnn_tensor::EngineContext;
 
-use crate::calibration::{CalibrationCurves, SampleCurve, ScanPoint, StoragePolicy};
+use crate::calibration::{cheapest_sufficient_point, quality_at_scans, ScanPoint, StoragePolicy};
 use crate::error::{CoreError, Result};
 use crate::features::extract_features;
 use crate::scale_model::ScaleModel;
@@ -207,24 +207,32 @@ impl PipelineReport {
 }
 
 /// The committed outcome of inference stage 1 (preview read + scale-model choice),
-/// carrying the decoded storage state forward into [`DynamicResolutionPipeline::execute`].
+/// carrying the storage decisions forward into [`DynamicResolutionPipeline::execute`].
 ///
 /// Splitting planning from execution is what makes resolution-bucketed batch
 /// serving possible: a scheduler plans a whole queue, groups the plans by
 /// [`chosen_resolution`](Self::chosen_resolution), and executes each bucket as a
 /// batch (see [`BatchScheduler`](crate::BatchScheduler)).
+///
+/// The plan carries exactly the points the execute stage consults — the preview
+/// read, the chosen resolution's sufficient point, and the quality at the deeper
+/// of the two — rather than full quality/read curves for every candidate
+/// resolution: the planner computes curves lazily and early-exits at the storage
+/// policy's thresholds, so points it never needed are never measured.
 #[derive(Debug, Clone)]
 pub struct InferencePlan {
     /// Resolution the scale model chose for the backbone pass.
     pub chosen_resolution: usize,
     /// The progressively encoded image (storage state).
     encoded: ProgressiveImage,
-    /// Quality/read curves for the preview and every candidate resolution.
-    curves: Vec<SampleCurve>,
-    /// Resolution order matching `curves` (preview first).
-    all_res: Vec<usize>,
     /// Scans/quality the preview stage already read.
     preview_point: ScanPoint,
+    /// The storage policy's point for the chosen resolution.
+    chosen_point: ScanPoint,
+    /// Scans the whole inference reads: the deeper of preview and chosen point.
+    scans_read: usize,
+    /// SSIM at the chosen resolution after `scans_read` scans — what the backbone sees.
+    quality: f64,
 }
 
 /// The dynamic-resolution pipeline.
@@ -319,30 +327,94 @@ impl DynamicResolutionPipeline {
 
     /// [`plan`](Self::plan) without installing the pipeline's engine context —
     /// for callers (the batch scheduler) that manage their own thread budget.
+    ///
+    /// The planner decodes incrementally and early-exits at the storage policy's
+    /// thresholds: the preview walk stops at the first sufficient scan prefix and
+    /// its presented image is fed straight to the scale model (no second decode of
+    /// the same prefix), and only the *chosen* resolution's point is measured —
+    /// never the full curve of every candidate. The resulting records are
+    /// identical to computing full curves and looking the points up afterwards,
+    /// because `point_for_threshold` selects exactly the first sufficient point.
     pub(crate) fn plan_unscoped(&self, sample: &Sample) -> Result<InferencePlan> {
         let crop = self.config.crop;
         let preview_res = self.scale_model.preview_resolution();
         let original = sample.render()?;
         let encoded =
             ProgressiveImage::encode(&original, self.config.encode_quality, ScanPlan::standard())?;
+        let num_scans = encoded.num_scans();
 
-        // Quality/read curves for the preview resolution and every candidate resolution.
-        let mut all_res = vec![preview_res];
-        all_res.extend(self.config.resolutions.iter().copied());
-        all_res.dedup();
-        let curves = CalibrationCurves::sample_curves(&original, &encoded, crop, &all_res)?;
-
-        // Read the preview's scans and run the scale model.
-        let preview_point = match self.config.storage.threshold_for(preview_res) {
-            Some(t) => curves[0].point_for_threshold(t),
-            None => *curves[0].points.last().expect("non-empty curve"),
-        };
-        let preview_decoded = encoded.decode(preview_point.scans)?;
-        let preview_image = crop_and_resize(&preview_decoded, crop, preview_res)?;
+        // Stage 1a: read the preview's scans (early-exiting at its threshold) and run
+        // the scale model on the frame that walk already presented.
+        let preview_reference = crop_and_resize_cow(&original, crop, preview_res)?;
+        let mut decoder = encoded.progressive_decoder()?;
+        let (preview_point, preview_image) = cheapest_sufficient_point(
+            &mut decoder,
+            &preview_reference,
+            crop,
+            preview_res,
+            self.config.storage.threshold_for(preview_res),
+        )?;
         let features = extract_features(&preview_image)?;
         let chosen_resolution = self.scale_model.choose_resolution(&features);
 
-        Ok(InferencePlan { chosen_resolution, encoded, curves, all_res, preview_point })
+        // Stage 1b: the storage decision for the chosen resolution, and the quality of
+        // the deepest prefix the inference will actually read.
+        let (chosen_point, scans_read, quality) = if chosen_resolution == preview_res {
+            (preview_point, preview_point.scans, preview_point.ssim)
+        } else {
+            let chosen_reference = crop_and_resize_cow(&original, crop, chosen_resolution)?;
+            match self.config.storage.threshold_for(chosen_resolution) {
+                None => {
+                    // Read-all: only the final scan's quality matters, and the preview
+                    // decoder can advance there directly.
+                    let (point, _) = cheapest_sufficient_point(
+                        &mut decoder,
+                        &chosen_reference,
+                        crop,
+                        chosen_resolution,
+                        None,
+                    )?;
+                    (point, preview_point.scans.max(num_scans), point.ssim)
+                }
+                Some(threshold) => {
+                    // Threshold search scores prefixes from scan 1, which needs a fresh
+                    // pass (the preview decoder is already past the early prefixes).
+                    let mut chosen_decoder = encoded.progressive_decoder()?;
+                    let (point, _) = cheapest_sufficient_point(
+                        &mut chosen_decoder,
+                        &chosen_reference,
+                        crop,
+                        chosen_resolution,
+                        Some(threshold),
+                    )?;
+                    let scans_read = preview_point.scans.max(point.scans);
+                    let quality = if scans_read == point.scans {
+                        point.ssim
+                    } else {
+                        // scans_read == preview_point.scans here, where the preview
+                        // decoder already sits — score its frame rather than advancing
+                        // the fresh pass through scans it would have to re-decode.
+                        quality_at_scans(
+                            &mut decoder,
+                            &chosen_reference,
+                            crop,
+                            chosen_resolution,
+                            scans_read,
+                        )?
+                    };
+                    (point, scans_read, quality)
+                }
+            }
+        };
+
+        Ok(InferencePlan {
+            chosen_resolution,
+            encoded,
+            preview_point,
+            chosen_point,
+            scans_read,
+            quality,
+        })
     }
 
     /// [`execute`](Self::execute) without installing the pipeline's engine context.
@@ -353,14 +425,9 @@ impl DynamicResolutionPipeline {
     ) -> Result<InferenceRecord> {
         let chosen_resolution = plan.chosen_resolution;
 
-        // Stage 2: read whatever extra data the chosen resolution requires.
-        let chosen_idx = plan.all_res.iter().position(|&r| r == chosen_resolution).unwrap_or(0);
-        let chosen_point = match self.config.storage.threshold_for(chosen_resolution) {
-            Some(t) => plan.curves[chosen_idx].point_for_threshold(t),
-            None => *plan.curves[chosen_idx].points.last().expect("non-empty curve"),
-        };
-        let scans_read = plan.preview_point.scans.max(chosen_point.scans);
-        let quality = plan.curves[chosen_idx].points[scans_read - 1].ssim;
+        // Stage 2: charge for whatever extra data the chosen resolution required.
+        let scans_read = plan.preview_point.scans.max(plan.chosen_point.scans);
+        debug_assert_eq!(scans_read, plan.scans_read);
         let bytes_read = plan.encoded.cumulative_bytes(scans_read);
 
         // Stage 3: backbone correctness on exactly what was decoded.
@@ -369,7 +436,7 @@ impl DynamicResolutionPipeline {
             dataset: self.config.dataset,
             resolution: chosen_resolution,
             crop: self.config.crop,
-            quality,
+            quality: plan.quality,
         };
         let correct = self.oracle.is_correct(sample, &ctx);
 
@@ -379,7 +446,7 @@ impl DynamicResolutionPipeline {
             scans_read,
             bytes_read,
             total_bytes: plan.encoded.total_bytes(),
-            quality,
+            quality: plan.quality,
             correct,
             backbone_gflops: self.backbone_gflops.get(&chosen_resolution).copied().unwrap_or(0.0),
             scale_gflops: self.scale_gflops,
@@ -634,6 +701,67 @@ mod tests {
             let staged = pipeline.execute(sample, &plan).unwrap();
             let monolithic = pipeline.infer(sample).unwrap();
             assert_eq!(staged, monolithic, "plan+execute must equal infer exactly");
+        }
+    }
+
+    #[test]
+    fn early_exit_plan_matches_full_curve_semantics() {
+        // The planner stops measuring a resolution at its first sufficient scan prefix.
+        // That early exit must reproduce exactly what the original implementation got by
+        // computing full curves for every candidate resolution and looking points up
+        // afterwards — including the case where the preview stage read deeper into the
+        // file than the chosen resolution's own sufficient point.
+        use crate::calibration::{CalibrationCurves, StoragePolicy};
+        use std::collections::BTreeMap;
+
+        let resolutions = vec![112usize, 224, 336];
+        let mut thresholds = BTreeMap::new();
+        for &res in &resolutions {
+            thresholds.insert(res, 0.97f64);
+        }
+        let config =
+            ScaleModelConfig { resolutions: resolutions.clone(), epochs: 30, ..Default::default() };
+        let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+        let train = DatasetSpec::cars_like().with_len(60).with_max_dimension(96).build(1);
+        let scale_model = trainer.train(&train, 3).unwrap();
+        let pipeline_config = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+            .with_crop(CropRatio::new(0.56).unwrap())
+            .with_resolutions(resolutions)
+            .with_storage(StoragePolicy::from_thresholds(thresholds));
+        let pipeline =
+            DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(77))
+                .unwrap();
+
+        let data = DatasetSpec::cars_like().with_len(8).with_max_dimension(96).build(41);
+        for sample in &data {
+            let record = pipeline.infer(sample).unwrap();
+
+            // Reconstruct the pre-early-exit semantics from full curves.
+            let crop = pipeline.config().crop;
+            let preview_res = 112usize;
+            let original = sample.render().unwrap();
+            let encoded = sample.encode_progressive(pipeline.config().encode_quality).unwrap();
+            let mut all_res = vec![preview_res];
+            all_res.extend(pipeline.config().resolutions.iter().copied());
+            all_res.dedup();
+            let curves =
+                CalibrationCurves::sample_curves(&original, &encoded, crop, &all_res).unwrap();
+            let point_for = |res: usize| {
+                let idx = all_res.iter().position(|&r| r == res).unwrap();
+                match pipeline.config().storage.threshold_for(res) {
+                    Some(t) => curves[idx].point_for_threshold(t),
+                    None => *curves[idx].points.last().unwrap(),
+                }
+            };
+            let preview_point = point_for(preview_res);
+            let chosen_point = point_for(record.chosen_resolution);
+            let scans_read = preview_point.scans.max(chosen_point.scans);
+            let chosen_idx = all_res.iter().position(|&r| r == record.chosen_resolution).unwrap();
+            let quality = curves[chosen_idx].points[scans_read - 1].ssim;
+
+            assert_eq!(record.scans_read, scans_read, "sample {}", sample.id);
+            assert_eq!(record.quality.to_bits(), quality.to_bits(), "sample {}", sample.id);
+            assert_eq!(record.bytes_read, encoded.cumulative_bytes(scans_read));
         }
     }
 

@@ -16,7 +16,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use rescnn_data::{Dataset, DatasetKind};
-use rescnn_imaging::{crop_and_resize, CropRatio};
+use rescnn_imaging::{crop_and_resize_cow, CropRatio};
 use rescnn_models::ModelKind;
 use rescnn_oracle::{AccuracyOracle, EvalContext};
 
@@ -244,7 +244,7 @@ impl ScaleModelTrainer {
         for sample in samples {
             let crop = self.crops[(sample.id % self.crops.len() as u64) as usize];
             let image = sample.render()?;
-            let preview = crop_and_resize(&image, crop, self.config.preview_resolution)?;
+            let preview = crop_and_resize_cow(&image, crop, self.config.preview_resolution)?;
             let features = extract_features(&preview)?;
             let labels = self
                 .config
@@ -374,7 +374,7 @@ mod tests {
         let mut low_correct = 0usize;
         for sample in &test_set {
             let image = sample.render().unwrap();
-            let preview = crop_and_resize(&image, crop, 112).unwrap();
+            let preview = crop_and_resize_cow(&image, crop, 112).unwrap();
             let features = extract_features(&preview).unwrap();
             let chosen = model.choose_resolution(&features);
             let ctx_dyn =

@@ -26,13 +26,17 @@
 mod error;
 mod image;
 mod metrics;
+pub mod reference;
 mod resize;
 mod synth;
 
 pub use error::{ImagingError, Result};
 pub use image::{Image, Normalization};
 pub use metrics::{psnr, ssim, ssim_with, QualityMetric, SsimConfig};
-pub use resize::{center_crop, crop, crop_and_resize, resize, resize_square, CropRatio, Filter};
+pub use resize::{
+    center_crop, crop, crop_and_resize, crop_and_resize_cow, resize, resize_cow, resize_square,
+    CropRatio, Filter,
+};
 pub use synth::{render_scene, ObjectShape, SceneSpec};
 
 /// Commonly used items, intended for glob import.

@@ -5,6 +5,10 @@
 //! and *resizing* the crop to the inference resolution (which changes the level of detail
 //! and the compute cost). Both are implemented here from scratch.
 
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::{ImagingError, Result};
@@ -20,7 +24,194 @@ pub enum Filter {
     Bilinear,
 }
 
-/// Resizes an image to `target_width × target_height`.
+/// Precomputed bilinear sampling positions for one axis: for each output coordinate, the
+/// two source indices and the interpolation weight. The weights are computed with the
+/// exact expressions of the reference single-pass implementation (half-pixel-centre
+/// alignment), so plan-driven resizes stay bitwise identical to it.
+struct AxisPlan {
+    src: usize,
+    dst: usize,
+    lo: Vec<usize>,
+    hi: Vec<usize>,
+    weight: Vec<f32>,
+}
+
+impl AxisPlan {
+    fn build(src: usize, dst: usize) -> Self {
+        let ratio = src as f32 / dst as f32;
+        let mut lo = Vec::with_capacity(dst);
+        let mut hi = Vec::with_capacity(dst);
+        let mut weight = Vec::with_capacity(dst);
+        for i in 0..dst {
+            // Align sample centres (the "half-pixel centres" convention).
+            let f = ((i as f32 + 0.5) * ratio - 0.5).clamp(0.0, src as f32 - 1.0);
+            let i0 = f.floor() as usize;
+            lo.push(i0);
+            hi.push((i0 + 1).min(src - 1));
+            weight.push(f - i0 as f32);
+        }
+        AxisPlan { src, dst, lo, hi, weight }
+    }
+}
+
+/// How many axis plans each thread keeps. The pipeline cycles through the preview
+/// resolution plus the candidate ladder (seven resolutions, two axes each at most),
+/// so 16 covers a full serving configuration without eviction.
+const AXIS_PLAN_CACHE_CAP: usize = 16;
+
+thread_local! {
+    /// Small MRU cache of axis plans keyed by `(src, dst)`. Thread-local so pool workers
+    /// planning different requests never contend on a lock.
+    static AXIS_PLANS: RefCell<Vec<Rc<AxisPlan>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn axis_plan(src: usize, dst: usize) -> Rc<AxisPlan> {
+    AXIS_PLANS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(pos) = cache.iter().position(|p| p.src == src && p.dst == dst) {
+            let plan = cache.remove(pos);
+            cache.push(Rc::clone(&plan));
+            return plan;
+        }
+        let plan = Rc::new(AxisPlan::build(src, dst));
+        if cache.len() >= AXIS_PLAN_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push(Rc::clone(&plan));
+        plan
+    })
+}
+
+/// Horizontally interpolates one source row through the x-axis plan.
+#[inline]
+fn interpolate_row(src_row: &[f32], plan: &AxisPlan, out: &mut [f32]) {
+    for x in 0..plan.dst {
+        let p0 = src_row[plan.lo[x]];
+        let p1 = src_row[plan.hi[x]];
+        out[x] = p0 * (1.0 - plan.weight[x]) + p1 * plan.weight[x];
+    }
+}
+
+/// Rolling cache of the two most recent horizontally-interpolated source rows. Because
+/// output rows walk the source top-to-bottom, two slots are enough for full reuse:
+/// consecutive output rows usually share a source row (`y1` of one is `y0` of the next).
+struct RowCache {
+    rows: [(usize, Vec<f32>); 2],
+}
+
+impl RowCache {
+    fn new(width: usize) -> Self {
+        RowCache { rows: [(usize::MAX, vec![0.0; width]), (usize::MAX, vec![0.0; width])] }
+    }
+
+    /// Returns the slot holding the interpolation of source row `sy`, computing it into
+    /// the least-recently-useful slot on a miss.
+    fn fetch(&mut self, sy: usize, src_plane: &[f32], src_w: usize, plan: &AxisPlan) -> usize {
+        if self.rows[0].0 == sy {
+            return 0;
+        }
+        if self.rows[1].0 == sy {
+            return 1;
+        }
+        // Fill an empty slot first, else evict the older source row: rows are consumed
+        // in ascending order, so the smaller index can never be needed again.
+        let slot = if self.rows[0].0 == usize::MAX {
+            0
+        } else if self.rows[1].0 == usize::MAX {
+            1
+        } else if self.rows[0].0 < self.rows[1].0 {
+            0
+        } else {
+            1
+        };
+        self.rows[slot].0 = sy;
+        interpolate_row(&src_plane[sy * src_w..(sy + 1) * src_w], plan, &mut self.rows[slot].1);
+        slot
+    }
+}
+
+fn resize_bilinear(image: &Image, target_width: usize, target_height: usize) -> Result<Image> {
+    let x_plan = axis_plan(image.width(), target_width);
+    let y_plan = axis_plan(image.height(), target_height);
+    let mut out = Image::zeros(target_width, target_height)?;
+    let src_w = image.width();
+    for c in 0..Image::CHANNELS {
+        let src_plane = image.plane(c);
+        let mut cache = RowCache::new(target_width);
+        let dst_plane = out.plane_mut(c);
+        for y in 0..target_height {
+            let wy = y_plan.weight[y];
+            let top = cache.fetch(y_plan.lo[y], src_plane, src_w, &x_plan);
+            let bottom = cache.fetch(y_plan.hi[y], src_plane, src_w, &x_plan);
+            let dst_row = &mut dst_plane[y * target_width..(y + 1) * target_width];
+            let (top_row, bottom_row) = (&cache.rows[top].1, &cache.rows[bottom].1);
+            for x in 0..target_width {
+                dst_row[x] = top_row[x] * (1.0 - wy) + bottom_row[x] * wy;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn resize_nearest(image: &Image, target_width: usize, target_height: usize) -> Result<Image> {
+    let (sw, sh) = (image.width() as f32, image.height() as f32);
+    let x_ratio = sw / target_width as f32;
+    let y_ratio = sh / target_height as f32;
+    // Index tables are computed once per axis instead of once per output pixel, with the
+    // reference expressions.
+    let sx: Vec<usize> = (0..target_width)
+        .map(|x| ((x as f32 + 0.5) * x_ratio).floor().clamp(0.0, sw - 1.0) as usize)
+        .collect();
+    let mut out = Image::zeros(target_width, target_height)?;
+    let src_w = image.width();
+    for c in 0..Image::CHANNELS {
+        let src_plane = image.plane(c);
+        let dst_plane = out.plane_mut(c);
+        for y in 0..target_height {
+            let sy = ((y as f32 + 0.5) * y_ratio).floor().clamp(0.0, sh - 1.0) as usize;
+            let src_row = &src_plane[sy * src_w..(sy + 1) * src_w];
+            let dst_row = &mut dst_plane[y * target_width..(y + 1) * target_width];
+            for (d, &s) in dst_row.iter_mut().zip(&sx) {
+                *d = src_row[s];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Resizes an image to `target_width × target_height`, borrowing the input when the
+/// dimensions already match instead of cloning it.
+///
+/// The bilinear path is a separable two-pass transform (horizontal interpolation of the
+/// needed source rows, then vertical blending) driven by per-axis index/weight tables
+/// cached per thread by `(src, dst)` extent. Each output sample evaluates the exact same
+/// floating-point expressions in the same order as the reference single-pass
+/// implementation ([`crate::reference::resize`]), so results are bitwise identical.
+///
+/// # Errors
+/// Returns [`ImagingError::InvalidResize`] when either target dimension is zero.
+pub fn resize_cow(
+    image: &Image,
+    target_width: usize,
+    target_height: usize,
+    filter: Filter,
+) -> Result<Cow<'_, Image>> {
+    if target_width == 0 || target_height == 0 {
+        return Err(ImagingError::InvalidResize { width: target_width, height: target_height });
+    }
+    if (target_width, target_height) == image.dimensions() {
+        return Ok(Cow::Borrowed(image));
+    }
+    let resized = match filter {
+        Filter::Nearest => resize_nearest(image, target_width, target_height)?,
+        Filter::Bilinear => resize_bilinear(image, target_width, target_height)?,
+    };
+    Ok(Cow::Owned(resized))
+}
+
+/// Resizes an image to `target_width × target_height`. See [`resize_cow`] for the
+/// implementation notes (and for a variant that avoids the clone when the dimensions
+/// already match).
 ///
 /// # Errors
 /// Returns [`ImagingError::InvalidResize`] when either target dimension is zero.
@@ -30,55 +221,7 @@ pub fn resize(
     target_height: usize,
     filter: Filter,
 ) -> Result<Image> {
-    if target_width == 0 || target_height == 0 {
-        return Err(ImagingError::InvalidResize { width: target_width, height: target_height });
-    }
-    if (target_width, target_height) == image.dimensions() {
-        return Ok(image.clone());
-    }
-    let mut out = Image::zeros(target_width, target_height)?;
-    let (sw, sh) = (image.width() as f32, image.height() as f32);
-    let x_ratio = sw / target_width as f32;
-    let y_ratio = sh / target_height as f32;
-
-    match filter {
-        Filter::Nearest => {
-            for y in 0..target_height {
-                let sy = ((y as f32 + 0.5) * y_ratio).floor().clamp(0.0, sh - 1.0) as usize;
-                for x in 0..target_width {
-                    let sx = ((x as f32 + 0.5) * x_ratio).floor().clamp(0.0, sw - 1.0) as usize;
-                    out.set_pixel(x, y, image.pixel(sx, sy));
-                }
-            }
-        }
-        Filter::Bilinear => {
-            for y in 0..target_height {
-                // Align sample centres (the "half-pixel centres" convention).
-                let fy = ((y as f32 + 0.5) * y_ratio - 0.5).clamp(0.0, sh - 1.0);
-                let y0 = fy.floor() as usize;
-                let y1 = (y0 + 1).min(image.height() - 1);
-                let wy = fy - y0 as f32;
-                for x in 0..target_width {
-                    let fx = ((x as f32 + 0.5) * x_ratio - 0.5).clamp(0.0, sw - 1.0);
-                    let x0 = fx.floor() as usize;
-                    let x1 = (x0 + 1).min(image.width() - 1);
-                    let wx = fx - x0 as f32;
-                    let p00 = image.pixel(x0, y0);
-                    let p10 = image.pixel(x1, y0);
-                    let p01 = image.pixel(x0, y1);
-                    let p11 = image.pixel(x1, y1);
-                    let mut rgb = [0.0f32; 3];
-                    for (c, v) in rgb.iter_mut().enumerate() {
-                        let top = p00[c] * (1.0 - wx) + p10[c] * wx;
-                        let bottom = p01[c] * (1.0 - wx) + p11[c] * wx;
-                        *v = top * (1.0 - wy) + bottom * wy;
-                    }
-                    out.set_pixel(x, y, rgb);
-                }
-            }
-        }
-    }
-    Ok(out)
+    Ok(resize_cow(image, target_width, target_height, filter)?.into_owned())
 }
 
 /// Resizes an image to a square `resolution × resolution`, the shape consumed by the
@@ -156,6 +299,16 @@ impl Default for CropRatio {
     }
 }
 
+/// The `(x0, y0, side)` rectangle [`center_crop`] extracts.
+fn center_crop_rect(image: &Image, ratio: CropRatio) -> (usize, usize, usize) {
+    let short = image.width().min(image.height());
+    let side = ((short as f64) * ratio.linear_fraction()).round().max(1.0) as usize;
+    let side = side.min(short);
+    let x0 = (image.width() - side) / 2;
+    let y0 = (image.height() - side) / 2;
+    (x0, y0, side)
+}
+
 /// Centre-crops an image according to a [`CropRatio`].
 ///
 /// The crop is square with side `linear_fraction * min(width, height)` — the common
@@ -165,22 +318,45 @@ impl Default for CropRatio {
 /// # Errors
 /// Returns an error if the crop degenerates to zero pixels.
 pub fn center_crop(image: &Image, ratio: CropRatio) -> Result<Image> {
-    let short = image.width().min(image.height());
-    let side = ((short as f64) * ratio.linear_fraction()).round().max(1.0) as usize;
-    let side = side.min(short);
-    let x0 = (image.width() - side) / 2;
-    let y0 = (image.height() - side) / 2;
+    let (x0, y0, side) = center_crop_rect(image, ratio);
     crop(image, x0, y0, side, side)
 }
 
 /// Centre-crops to the given ratio and resizes the crop to `resolution × resolution`,
-/// the standard preprocessing applied before backbone inference.
+/// borrowing the input when both steps are no-ops.
+///
+/// Unlike the owned [`crop_and_resize`], this never copies pixels it does not have to:
+/// an identity crop (square image, full ratio) skips the crop entirely, and a crop that
+/// already has the target extent skips the resize — the planning hot loop calls this for
+/// every scan prefix at every resolution, where the avoided clones add up.
+///
+/// # Errors
+/// Propagates crop and resize errors.
+pub fn crop_and_resize_cow(
+    image: &Image,
+    ratio: CropRatio,
+    resolution: usize,
+) -> Result<Cow<'_, Image>> {
+    let (x0, y0, side) = center_crop_rect(image, ratio);
+    if (side, side) == image.dimensions() {
+        // Identity crop: resize straight from the input (borrowed if it already fits).
+        return resize_cow(image, resolution, resolution, Filter::Bilinear);
+    }
+    let cropped = crop(image, x0, y0, side, side)?;
+    if cropped.dimensions() == (resolution, resolution) {
+        return Ok(Cow::Owned(cropped));
+    }
+    Ok(Cow::Owned(resize(&cropped, resolution, resolution, Filter::Bilinear)?))
+}
+
+/// Centre-crops to the given ratio and resizes the crop to `resolution × resolution`,
+/// the standard preprocessing applied before backbone inference. See
+/// [`crop_and_resize_cow`] for the allocation-avoiding variant.
 ///
 /// # Errors
 /// Propagates crop and resize errors.
 pub fn crop_and_resize(image: &Image, ratio: CropRatio, resolution: usize) -> Result<Image> {
-    let cropped = center_crop(image, ratio)?;
-    resize_square(&cropped, resolution, Filter::Bilinear)
+    Ok(crop_and_resize_cow(image, ratio, resolution)?.into_owned())
 }
 
 #[cfg(test)]
@@ -296,5 +472,76 @@ mod tests {
         let img = gradient(2, 2);
         let out = center_crop(&img, CropRatio::new(0.05).unwrap()).unwrap();
         assert_eq!(out.dimensions(), (1, 1));
+    }
+
+    fn assert_images_bitwise_equal(a: &Image, b: &Image, context: &str) {
+        assert_eq!(a.dimensions(), b.dimensions(), "{context}: dimensions");
+        for (i, (x, y)) in a.as_planar().iter().zip(b.as_planar()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{context}: sample {i} ({x} vs {y})");
+        }
+    }
+
+    #[test]
+    fn separable_resize_matches_reference_bitwise() {
+        // The two-pass plan-driven resize evaluates the same expressions in the same
+        // order as the single-pass reference, so outputs must match bit for bit —
+        // upscales, downscales, mixed aspect changes, both filters.
+        let img = Image::from_fn(59, 43, |x, y| {
+            let v = ((x * 31 + y * 17) % 23) as f32 / 23.0;
+            [v, (x as f32 / 59.0 + v) * 0.5, 1.0 - y as f32 / 43.0]
+        })
+        .unwrap();
+        for (tw, th) in [(112usize, 112usize), (17, 90), (90, 17), (224, 13), (1, 1), (59, 44)] {
+            for filter in [Filter::Bilinear, Filter::Nearest] {
+                let fast = resize(&img, tw, th, filter).unwrap();
+                let slow = crate::reference::resize(&img, tw, th, filter).unwrap();
+                assert_images_bitwise_equal(&fast, &slow, &format!("{tw}x{th} {filter:?}"));
+            }
+        }
+        // Repeat a resize so the second run exercises the thread-local plan cache.
+        let first = resize(&img, 112, 112, Filter::Bilinear).unwrap();
+        let second = resize(&img, 112, 112, Filter::Bilinear).unwrap();
+        assert_images_bitwise_equal(&first, &second, "plan cache reuse");
+    }
+
+    #[test]
+    fn cow_paths_borrow_when_identity() {
+        use std::borrow::Cow;
+        let img = gradient(64, 64);
+        // Same dimensions: borrowed, no clone.
+        assert!(matches!(resize_cow(&img, 64, 64, Filter::Bilinear).unwrap(), Cow::Borrowed(_)));
+        // Identity crop (square image, full ratio) with matching resolution: borrowed.
+        assert!(matches!(
+            crop_and_resize_cow(&img, CropRatio::full(), 64).unwrap(),
+            Cow::Borrowed(_)
+        ));
+        // Identity crop but different resolution: owned resize of the original.
+        let resized = crop_and_resize_cow(&img, CropRatio::full(), 32).unwrap();
+        assert!(matches!(resized, Cow::Owned(_)));
+        assert_eq!(resized.dimensions(), (32, 32));
+        // Real crop whose extent already matches the resolution: owned crop, no resize.
+        let rect = gradient(100, 60);
+        let cropped = crop_and_resize_cow(&rect, CropRatio::new(0.25).unwrap(), 30).unwrap();
+        assert_eq!(cropped.dimensions(), (30, 30));
+        assert_images_bitwise_equal(
+            &cropped,
+            &center_crop(&rect, CropRatio::new(0.25).unwrap()).unwrap(),
+            "crop-only path",
+        );
+        // The owned wrapper agrees with the reference composition everywhere.
+        for res in [20usize, 30, 64] {
+            let fast = crop_and_resize(&rect, CropRatio::new(0.56).unwrap(), res).unwrap();
+            let slow = crate::reference::resize(
+                &center_crop(&rect, CropRatio::new(0.56).unwrap()).unwrap(),
+                res,
+                res,
+                Filter::Bilinear,
+            )
+            .unwrap();
+            assert_images_bitwise_equal(&fast, &slow, &format!("crop_and_resize {res}"));
+        }
+        // Zero resolution still errors through every path.
+        assert!(crop_and_resize_cow(&img, CropRatio::full(), 0).is_err());
+        assert!(crop_and_resize_cow(&rect, CropRatio::new(0.25).unwrap(), 0).is_err());
     }
 }

@@ -153,12 +153,24 @@ impl EncodedScan {
     }
 }
 
+/// Number of colour components, visible to the incremental decoder.
+pub(crate) const NUM_COMPONENTS: usize = COMPONENTS;
+
 /// Quantized coefficient planes for the three components of an image.
-struct CoefficientPlanes {
+pub(crate) struct CoefficientPlanes {
     /// Per component: blocks in raster order, each block raster-order quantized levels.
-    blocks: [Vec<[i16; BLOCK_AREA]>; COMPONENTS],
-    blocks_x: usize,
-    blocks_y: usize,
+    pub(crate) blocks: [Vec<[i16; BLOCK_AREA]>; COMPONENTS],
+    pub(crate) blocks_x: usize,
+    pub(crate) blocks_y: usize,
+}
+
+impl CoefficientPlanes {
+    /// All-zero planes for a `blocks_x × blocks_y` block grid — the coefficient state of
+    /// an image of which no scan has been read yet.
+    pub(crate) fn zeroed(blocks_x: usize, blocks_y: usize) -> Self {
+        let empty = vec![[0i16; BLOCK_AREA]; blocks_x * blocks_y];
+        CoefficientPlanes { blocks: [empty.clone(), empty.clone(), empty], blocks_x, blocks_y }
+    }
 }
 
 /// A progressively encoded image.
@@ -266,13 +278,16 @@ impl ProgressiveImage {
         }
         let blocks_x = self.width.div_ceil(BLOCK);
         let blocks_y = self.height.div_ceil(BLOCK);
-        let empty = vec![[0i16; BLOCK_AREA]; blocks_x * blocks_y];
-        let mut planes =
-            CoefficientPlanes { blocks: [empty.clone(), empty.clone(), empty], blocks_x, blocks_y };
+        let mut planes = CoefficientPlanes::zeroed(blocks_x, blocks_y);
         for (index, scan) in self.scans[..num_scans].iter().enumerate() {
-            decode_scan(scan, index, &mut planes)?;
+            decode_scan(scan, index, &mut planes, None)?;
         }
         reconstruct_image(&planes, self.width, self.height, self.quality)
+    }
+
+    /// The encoded scans, for the incremental decoder.
+    pub(crate) fn scans(&self) -> &[EncodedScan] {
+        &self.scans
     }
 }
 
@@ -415,10 +430,18 @@ fn encode_scan(planes: &CoefficientPlanes, band: ScanBand) -> EncodedScan {
     EncodedScan { band, data }
 }
 
-fn decode_scan(
+/// Applies one entropy-coded scan to the coefficient planes.
+///
+/// When `dirty` is provided (one flag per block-grid position, shared across components),
+/// every block whose stored coefficients actually *changed* is flagged — the incremental
+/// decoder re-runs the IDCT for exactly those blocks. A write that stores the value
+/// already present (e.g. a zero DC difference on a still-zero block) is not a change, so
+/// unflagged blocks are guaranteed to reconstruct to bit-identical pixels.
+pub(crate) fn decode_scan(
     scan: &EncodedScan,
     scan_index: usize,
     planes: &mut CoefficientPlanes,
+    mut dirty: Option<&mut [bool]>,
 ) -> Result<()> {
     let (code, consumed) = HuffmanCode::read_table(&scan.data)
         .ok_or(CodecError::CorruptStream { scan: scan_index })?;
@@ -443,7 +466,13 @@ fn decode_scan(
                 let diff = decode_amplitude(raw, bits);
                 let dc = prev + diff;
                 prev = dc;
-                planes.blocks[c][b][0] = dc as i16;
+                let level = dc as i16;
+                if let Some(flags) = dirty.as_deref_mut() {
+                    if planes.blocks[c][b][0] != level {
+                        flags[b] = true;
+                    }
+                }
+                planes.blocks[c][b][0] = level;
             }
         } else {
             for b in 0..blocks_per_component {
@@ -468,13 +497,51 @@ fn decode_scan(
                     let raw = reader
                         .read_bits(bits)
                         .ok_or(CodecError::TruncatedStream { scan: scan_index })?;
-                    planes.blocks[c][b][ZIGZAG[zz]] = decode_amplitude(raw, bits) as i16;
+                    let level = decode_amplitude(raw, bits) as i16;
+                    if let Some(flags) = dirty.as_deref_mut() {
+                        if planes.blocks[c][b][ZIGZAG[zz]] != level {
+                            flags[b] = true;
+                        }
+                    }
+                    planes.blocks[c][b][ZIGZAG[zz]] = level;
                     zz += 1;
                 }
             }
         }
     }
     Ok(())
+}
+
+/// Dequantizes and inverse-transforms one block, writing its 8×8 spatial samples into the
+/// padded component plane. Shared by the from-scratch reconstruction and the incremental
+/// decoder so both produce bit-identical spatial planes from identical coefficients.
+pub(crate) fn reconstruct_block(
+    levels: &[i16; BLOCK_AREA],
+    table: &QuantTable,
+    plane: &mut [f32],
+    padded_w: usize,
+    bx: usize,
+    by: usize,
+) {
+    let coeffs = table.dequantize(levels);
+    let spatial = inverse_dct(&coeffs);
+    for dy in 0..BLOCK {
+        for dx in 0..BLOCK {
+            plane[(by * BLOCK + dy) * padded_w + bx * BLOCK + dx] = spatial[dy * BLOCK + dx];
+        }
+    }
+}
+
+/// Converts the YCbCr samples of the padded component planes at linear index `idx` into an
+/// RGB pixel. Shared by both reconstruction paths (same caveat as [`reconstruct_block`]).
+#[inline]
+pub(crate) fn pixel_from_planes(comp: &[Vec<f32>], idx: usize) -> [f32; 3] {
+    let ycbcr = [
+        (comp[0][idx] + 128.0) / 255.0,
+        (comp[1][idx] + 128.0) / 255.0,
+        (comp[2][idx] + 128.0) / 255.0,
+    ];
+    ycbcr_to_rgb(ycbcr)
 }
 
 fn reconstruct_image(
@@ -494,27 +561,12 @@ fn reconstruct_image(
         for by in 0..planes.blocks_y {
             for bx in 0..planes.blocks_x {
                 let levels = &planes.blocks[c][by * planes.blocks_x + bx];
-                let coeffs = table.dequantize(levels);
-                let spatial = inverse_dct(&coeffs);
-                for dy in 0..BLOCK {
-                    for dx in 0..BLOCK {
-                        plane[(by * BLOCK + dy) * padded_w + bx * BLOCK + dx] =
-                            spatial[dy * BLOCK + dx];
-                    }
-                }
+                reconstruct_block(levels, table, plane, padded_w, bx, by);
             }
         }
     }
 
-    let img = Image::from_fn(width, height, |x, y| {
-        let idx = y * padded_w + x;
-        let ycbcr = [
-            (comp[0][idx] + 128.0) / 255.0,
-            (comp[1][idx] + 128.0) / 255.0,
-            (comp[2][idx] + 128.0) / 255.0,
-        ];
-        ycbcr_to_rgb(ycbcr)
-    })?;
+    let img = Image::from_fn(width, height, |x, y| pixel_from_planes(&comp, y * padded_w + x))?;
     Ok(img)
 }
 

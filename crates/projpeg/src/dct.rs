@@ -25,55 +25,111 @@ fn alpha(k: usize) -> f32 {
     }
 }
 
+/// Precomputed transform constants. Values are produced by the exact same `basis`/`alpha`
+/// expressions the transforms previously evaluated inline, so table lookups return
+/// bit-identical `f32`s and the rewritten loops below reproduce the original results
+/// bitwise — only the transcendental calls are gone.
+struct DctTables {
+    /// `basis[k * BLOCK + n] = cos((2n+1) k π / 16)`.
+    basis: [f32; BLOCK_AREA],
+    /// `basis_t[n * BLOCK + k]`: the transpose, for passes whose contiguous lane is `k`.
+    basis_t: [f32; BLOCK_AREA],
+    /// `alpha[k]`: the DCT normalization factors.
+    alpha: [f32; BLOCK],
+}
+
+fn tables() -> &'static DctTables {
+    static TABLES: std::sync::OnceLock<DctTables> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t =
+            DctTables { basis: [0.0; BLOCK_AREA], basis_t: [0.0; BLOCK_AREA], alpha: [0.0; BLOCK] };
+        for k in 0..BLOCK {
+            t.alpha[k] = alpha(k);
+            for n in 0..BLOCK {
+                t.basis[k * BLOCK + n] = basis(k, n);
+                t.basis_t[n * BLOCK + k] = basis(k, n);
+            }
+        }
+        t
+    })
+}
+
 /// Forward 8×8 DCT-II of a raster-order block (values typically centred around zero).
 ///
 /// The output is in raster order; use [`ZIGZAG`] to reorder for spectral-selection scans.
+///
+/// Both passes keep one 8-wide accumulator array whose lanes are independent output
+/// coefficients, so the inner loops auto-vectorize; each lane's accumulation order (and
+/// hence its rounding) is identical to the original scalar triple loop.
 pub fn forward_dct(block: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let t = tables();
     let mut out = [0.0f32; BLOCK_AREA];
     // Separable: rows then columns.
     let mut tmp = [0.0f32; BLOCK_AREA];
     for y in 0..BLOCK {
-        for u in 0..BLOCK {
-            let mut acc = 0.0;
-            for x in 0..BLOCK {
-                acc += block[y * BLOCK + x] * basis(u, x);
+        // Lanes: acc[u] accumulates over x, exactly as the scalar loop did per (y, u).
+        let mut acc = [0.0f32; BLOCK];
+        for x in 0..BLOCK {
+            let sample = block[y * BLOCK + x];
+            let col = &t.basis_t[x * BLOCK..(x + 1) * BLOCK];
+            for u in 0..BLOCK {
+                acc[u] += sample * col[u];
             }
-            tmp[y * BLOCK + u] = acc * alpha(u);
+        }
+        for u in 0..BLOCK {
+            tmp[y * BLOCK + u] = acc[u] * t.alpha[u];
         }
     }
-    for u in 0..BLOCK {
-        for v in 0..BLOCK {
-            let mut acc = 0.0;
-            for y in 0..BLOCK {
-                acc += tmp[y * BLOCK + u] * basis(v, y);
+    for v in 0..BLOCK {
+        // Lanes: acc[u] accumulates over y.
+        let mut acc = [0.0f32; BLOCK];
+        for y in 0..BLOCK {
+            let b = t.basis[v * BLOCK + y];
+            let row = &tmp[y * BLOCK..(y + 1) * BLOCK];
+            for u in 0..BLOCK {
+                acc[u] += row[u] * b;
             }
-            out[v * BLOCK + u] = acc * alpha(v);
+        }
+        for u in 0..BLOCK {
+            out[v * BLOCK + u] = acc[u] * t.alpha[v];
         }
     }
     out
 }
 
 /// Inverse 8×8 DCT (DCT-III), the exact inverse of [`forward_dct`].
+///
+/// Table-driven and lane-parallel like [`forward_dct`], with per-output accumulation
+/// order (and rounding) identical to the original scalar implementation.
 pub fn inverse_dct(coeffs: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+    let t = tables();
     let mut out = [0.0f32; BLOCK_AREA];
     let mut tmp = [0.0f32; BLOCK_AREA];
-    for u in 0..BLOCK {
-        for y in 0..BLOCK {
-            let mut acc = 0.0;
-            for v in 0..BLOCK {
-                acc += alpha(v) * coeffs[v * BLOCK + u] * basis(v, y);
+    for y in 0..BLOCK {
+        // Lanes: acc[u] accumulates over v; `(alpha * coeff) * basis` preserves the
+        // original left-to-right product order.
+        let mut acc = [0.0f32; BLOCK];
+        for v in 0..BLOCK {
+            let a = t.alpha[v];
+            let b = t.basis[v * BLOCK + y];
+            let row = &coeffs[v * BLOCK..(v + 1) * BLOCK];
+            for u in 0..BLOCK {
+                acc[u] += a * row[u] * b;
             }
-            tmp[y * BLOCK + u] = acc;
         }
+        tmp[y * BLOCK..(y + 1) * BLOCK].copy_from_slice(&acc);
     }
     for y in 0..BLOCK {
-        for x in 0..BLOCK {
-            let mut acc = 0.0;
-            for u in 0..BLOCK {
-                acc += alpha(u) * tmp[y * BLOCK + u] * basis(u, x);
+        // Lanes: acc[x] accumulates over u.
+        let mut acc = [0.0f32; BLOCK];
+        for u in 0..BLOCK {
+            let s = t.alpha[u] * tmp[y * BLOCK + u];
+            let row = &t.basis[u * BLOCK..(u + 1) * BLOCK];
+            for x in 0..BLOCK {
+                acc[x] += s * row[x];
             }
-            out[y * BLOCK + x] = acc;
         }
+        out[y * BLOCK..(y + 1) * BLOCK].copy_from_slice(&acc);
     }
     out
 }
@@ -130,6 +186,77 @@ mod tests {
         let e_spatial: f32 = block.iter().map(|v| v * v).sum();
         let e_freq: f32 = coeffs.iter().map(|v| v * v).sum();
         assert!((e_spatial - e_freq).abs() / e_spatial < 1e-4);
+    }
+
+    #[test]
+    fn table_driven_transforms_match_inline_formulas_bitwise() {
+        // The pre-table scalar implementations, kept verbatim as the rounding reference:
+        // the lane-parallel rewrites must reproduce every output bit exactly.
+        fn forward_scalar(block: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+            let mut out = [0.0f32; BLOCK_AREA];
+            let mut tmp = [0.0f32; BLOCK_AREA];
+            for y in 0..BLOCK {
+                for u in 0..BLOCK {
+                    let mut acc = 0.0;
+                    for x in 0..BLOCK {
+                        acc += block[y * BLOCK + x] * basis(u, x);
+                    }
+                    tmp[y * BLOCK + u] = acc * alpha(u);
+                }
+            }
+            for u in 0..BLOCK {
+                for v in 0..BLOCK {
+                    let mut acc = 0.0;
+                    for y in 0..BLOCK {
+                        acc += tmp[y * BLOCK + u] * basis(v, y);
+                    }
+                    out[v * BLOCK + u] = acc * alpha(v);
+                }
+            }
+            out
+        }
+        fn inverse_scalar(coeffs: &[f32; BLOCK_AREA]) -> [f32; BLOCK_AREA] {
+            let mut out = [0.0f32; BLOCK_AREA];
+            let mut tmp = [0.0f32; BLOCK_AREA];
+            for u in 0..BLOCK {
+                for y in 0..BLOCK {
+                    let mut acc = 0.0;
+                    for v in 0..BLOCK {
+                        acc += alpha(v) * coeffs[v * BLOCK + u] * basis(v, y);
+                    }
+                    tmp[y * BLOCK + u] = acc;
+                }
+            }
+            for y in 0..BLOCK {
+                for x in 0..BLOCK {
+                    let mut acc = 0.0;
+                    for u in 0..BLOCK {
+                        acc += alpha(u) * tmp[y * BLOCK + u] * basis(u, x);
+                    }
+                    out[y * BLOCK + x] = acc;
+                }
+            }
+            out
+        }
+
+        for seed in 0u32..8 {
+            let mut block = [0.0f32; BLOCK_AREA];
+            for (i, v) in block.iter_mut().enumerate() {
+                *v = (((i as u32).wrapping_mul(2654435761).wrapping_add(seed * 40503) >> 16) & 0xFF)
+                    as f32
+                    - 128.0;
+            }
+            let fast = forward_dct(&block);
+            let slow = forward_scalar(&block);
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "forward coefficient {i} differs");
+            }
+            let fast = inverse_dct(&slow);
+            let slow = inverse_scalar(&slow.clone());
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "inverse sample {i} differs");
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub enum CodecError {
         /// Available scan count.
         available: usize,
     },
+    /// An incremental decoder was asked to move backwards (scans can only accumulate).
+    CannotRewind {
+        /// Scans already applied.
+        applied: usize,
+        /// Requested (smaller) scan count.
+        requested: usize,
+    },
     /// The image could not be constructed (propagated from the imaging crate).
     Imaging(String),
 }
@@ -52,6 +59,13 @@ impl fmt::Display for CodecError {
             }
             CodecError::ScanOutOfRange { requested, available } => {
                 write!(f, "requested {requested} scans but only {available} are encoded")
+            }
+            CodecError::CannotRewind { applied, requested } => {
+                write!(
+                    f,
+                    "progressive decoder already applied {applied} scans and cannot rewind to \
+                     {requested}"
+                )
             }
             CodecError::Imaging(msg) => write!(f, "imaging error: {msg}"),
         }

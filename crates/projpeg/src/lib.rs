@@ -30,6 +30,7 @@ mod color;
 mod dct;
 mod error;
 mod huffman;
+mod progressive;
 mod quant;
 
 pub use bits::{BitReader, BitWriter};
@@ -38,11 +39,12 @@ pub use color::{rgb_to_ycbcr, ycbcr_to_rgb};
 pub use dct::{forward_dct, inverse_dct, BLOCK, BLOCK_AREA, ZIGZAG};
 pub use error::{CodecError, Result};
 pub use huffman::HuffmanCode;
+pub use progressive::ProgressiveDecoder;
 pub use quant::{QuantTable, BASE_CHROMA, BASE_LUMA};
 
 /// Commonly used items, intended for glob import.
 pub mod prelude {
-    pub use crate::{CodecError, ProgressiveImage, ScanBand, ScanPlan};
+    pub use crate::{CodecError, ProgressiveDecoder, ProgressiveImage, ScanBand, ScanPlan};
 }
 
 #[cfg(test)]

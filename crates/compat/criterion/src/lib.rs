@@ -9,9 +9,47 @@
 //! Environment knobs:
 //! * `RESCNN_BENCH_MS` — target measurement time per benchmark in milliseconds
 //!   (default 300).
+//!
+//! Command-line arguments (mirroring the criterion conventions CI relies on):
+//! * positional arguments are substring **filters** — a benchmark runs only when
+//!   its full `group/function/parameter` name contains at least one of them;
+//! * `--test` runs each selected benchmark's routine **once** without timing
+//!   (the smoke mode CI uses to catch bench rot without timing flakiness);
+//! * other `--flags` (e.g. the `--bench` cargo passes to harness-less bench
+//!   binaries) are accepted and ignored.
 
 use std::fmt::{self, Display};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// Parsed command-line configuration shared by every group in the process.
+struct Cli {
+    /// Substring filters; empty means "run everything".
+    filters: Vec<String>,
+    /// When set, run each routine once instead of timing it.
+    test_mode: bool,
+}
+
+fn cli() -> &'static Cli {
+    static CLI: OnceLock<Cli> = OnceLock::new();
+    CLI.get_or_init(|| {
+        let mut filters = Vec::new();
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with("--") {
+                filters.push(arg);
+            }
+        }
+        Cli { filters, test_mode }
+    })
+}
+
+fn selected(name: &str) -> bool {
+    let cli = cli();
+    cli.filters.is_empty() || cli.filters.iter().any(|f| name.contains(f))
+}
 
 /// Prevents the optimizer from deleting a computed value.
 pub fn black_box<T>(value: T) -> T {
@@ -45,6 +83,8 @@ impl Display for BenchmarkId {
 /// Times closures passed to [`Bencher::iter`].
 pub struct Bencher {
     measurement: Duration,
+    /// Run the routine once without timing (`--test` mode).
+    test_mode: bool,
     /// (mean seconds per iteration, spread) recorded by the last `iter` call.
     result: Option<(f64, f64)>,
 }
@@ -52,6 +92,10 @@ pub struct Bencher {
 impl Bencher {
     /// Measures the mean wall-clock time of `routine`.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
         // Warm-up and batch-size calibration: grow until one batch takes >= ~2 ms.
         let mut batch = 1u64;
         let batch_time = loop {
@@ -101,8 +145,16 @@ fn measurement_budget() -> Duration {
 }
 
 fn run_one(name: &str, measurement: Duration, f: impl FnOnce(&mut Bencher)) {
-    let mut bencher = Bencher { measurement, result: None };
+    if !selected(name) {
+        return;
+    }
+    let test_mode = cli().test_mode;
+    let mut bencher = Bencher { measurement, test_mode, result: None };
     f(&mut bencher);
+    if test_mode {
+        println!("{name:<50} (test: 1 iteration, ok)");
+        return;
+    }
     match bencher.result {
         Some((mean, spread)) => {
             println!("{name:<50} time: [{} ± {}]", format_time(mean), format_time(spread))

@@ -8,13 +8,12 @@
 //! procedure the paper describes (binary search over `[0.94, 1.0]`, terminating at a step
 //! of 1e-4). The result is a [`StoragePolicy`] mapping resolutions to thresholds.
 
-use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
 use rescnn_data::{Dataset, DatasetKind, Sample};
-use rescnn_imaging::{crop_and_resize_cow, ssim, CropRatio, Image};
+use rescnn_imaging::{crop_and_resize_cow, CropRatio, Image, SsimConfig, SsimReference};
 use rescnn_models::ModelKind;
 use rescnn_oracle::{AccuracyOracle, EvalContext};
 use rescnn_projpeg::{ProgressiveDecoder, ProgressiveImage, ScanPlan};
@@ -127,7 +126,12 @@ impl CalibrationCurves {
     /// Scan prefixes are decoded incrementally through one [`ProgressiveDecoder`] — O(S)
     /// total decode work for S scans instead of the O(S²) of from-scratch decoding every
     /// prefix — with frames bitwise identical to `encoded.decode(scans)` (the decoder's
-    /// pinned invariant), so the curves match the from-scratch computation exactly.
+    /// pinned invariant). Each resolution's ground-truth reference is lifted into a
+    /// persistent [`SsimReference`], so the reference-side SSIM state (luma plane and
+    /// `Σx`/`Σx²` integral rows) is built once per reference frame and amortized across
+    /// all scan prefixes instead of being rebuilt per prefix; `SsimReference::score` is
+    /// bitwise identical to plain `ssim`, so the curves still match the from-scratch
+    /// computation exactly.
     ///
     /// # Errors
     /// Returns an error if decoding or resizing fails.
@@ -138,10 +142,13 @@ impl CalibrationCurves {
         resolutions: &[usize],
     ) -> Result<Vec<SampleCurve>> {
         // Ground-truth reference at each resolution comes from the original pixels.
-        let references: Vec<Cow<'_, Image>> = resolutions
+        let references: Vec<SsimReference> = resolutions
             .iter()
-            .map(|&res| crop_and_resize_cow(original, crop, res))
-            .collect::<std::result::Result<_, _>>()?;
+            .map(|&res| {
+                let reference = crop_and_resize_cow(original, crop, res)?;
+                Ok(SsimReference::new(&reference, SsimConfig::default())?)
+            })
+            .collect::<Result<_>>()?;
         let mut out: Vec<SampleCurve> =
             resolutions.iter().map(|_| SampleCurve { points: Vec::new() }).collect();
         let mut decoder = encoded.progressive_decoder()?;
@@ -150,7 +157,7 @@ impl CalibrationCurves {
             let read_fraction = encoded.read_fraction(scans);
             for (res_idx, &res) in resolutions.iter().enumerate() {
                 let presented = crop_and_resize_cow(decoded, crop, res)?;
-                let quality = ssim(&references[res_idx], &presented)?;
+                let quality = references[res_idx].score(&presented)?;
                 out[res_idx].points.push(ScanPoint { scans, read_fraction, ssim: quality });
             }
         }
@@ -245,12 +252,16 @@ impl CalibrationCurves {
 /// also returns the *first* sufficient point), and with no threshold (read-all) it jumps
 /// straight to the final scan and scores a single frame.
 ///
+/// The reference arrives as a persistent [`SsimReference`] so its integral state is
+/// shared across every prefix the walk scores (and any [`quality_at_scans`] follow-up);
+/// `SsimReference::score` is bitwise identical to plain `ssim`.
+///
 /// With a threshold the decoder must be fresh (zero scans applied) so the walk starts at
 /// scan 1; the decoder is left positioned at the returned point, ready for
 /// [`quality_at_scans`] follow-ups.
 pub(crate) fn cheapest_sufficient_point(
     decoder: &mut ProgressiveDecoder<'_>,
-    reference: &Image,
+    reference: &SsimReference,
     crop: CropRatio,
     res: usize,
     threshold: Option<f64>,
@@ -268,7 +279,7 @@ pub(crate) fn cheapest_sufficient_point(
                 let scans = decoder.scans_applied() + 1;
                 let frame = decoder.advance()?;
                 let presented = crop_and_resize_cow(frame, crop, res)?;
-                let quality = ssim(reference, &presented)?;
+                let quality = reference.score(&presented)?;
                 let point =
                     ScanPoint { scans, read_fraction: encoded.read_fraction(scans), ssim: quality };
                 if quality >= threshold || scans == num_scans {
@@ -279,7 +290,7 @@ pub(crate) fn cheapest_sufficient_point(
         None => {
             let frame = decoder.advance_to(num_scans)?;
             let presented = crop_and_resize_cow(frame, crop, res)?;
-            let quality = ssim(reference, &presented)?;
+            let quality = reference.score(&presented)?;
             let point = ScanPoint {
                 scans: num_scans,
                 read_fraction: encoded.read_fraction(num_scans),
@@ -296,14 +307,14 @@ pub(crate) fn cheapest_sufficient_point(
 /// to the backbone is that of the deeper prefix.
 pub(crate) fn quality_at_scans(
     decoder: &mut ProgressiveDecoder<'_>,
-    reference: &Image,
+    reference: &SsimReference,
     crop: CropRatio,
     res: usize,
     scans: usize,
 ) -> Result<f64> {
     let frame = decoder.advance_to(scans)?;
     let presented = crop_and_resize_cow(frame, crop, res)?;
-    Ok(ssim(reference, &presented)?)
+    Ok(reference.score(&presented)?)
 }
 
 /// A calibrated storage policy: the minimal SSIM threshold per resolution.
@@ -357,6 +368,7 @@ impl StoragePolicy {
         resolution: usize,
     ) -> Result<ScanPoint> {
         let reference = crop_and_resize_cow(original, crop, resolution)?;
+        let reference = SsimReference::new(&reference, SsimConfig::default())?;
         let mut decoder = encoded.progressive_decoder()?;
         let (point, _) = cheapest_sufficient_point(
             &mut decoder,
@@ -430,6 +442,7 @@ impl StorageCalibrator {
 mod tests {
     use super::*;
     use rescnn_data::DatasetSpec;
+    use rescnn_imaging::ssim;
 
     fn small_curves() -> CalibrationCurves {
         let dataset = DatasetSpec::cars_like().with_len(12).with_max_dimension(96).build(3);

@@ -60,7 +60,8 @@ pub use calibration::{
 pub use error::{CoreError, Result};
 pub use features::{extract_features, FEATURE_COUNT};
 pub use pipeline::{
-    DynamicResolutionPipeline, InferencePlan, InferenceRecord, PipelineConfig, PipelineReport,
+    install_conv_calibration, DynamicResolutionPipeline, InferencePlan, InferenceRecord,
+    PipelineConfig, PipelineReport,
 };
 pub use scale_model::{ScaleModel, ScaleModelConfig, ScaleModelTrainer, TrainingExample};
 pub use serve::{BatchOptions, BatchScheduler, BucketStats, ServeReport};

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use rescnn_data::{Dataset, DatasetKind, Sample};
-use rescnn_imaging::{crop_and_resize_cow, CropRatio};
+use rescnn_imaging::{crop_and_resize_cow, CropRatio, SsimConfig, SsimReference};
 use rescnn_models::ModelKind;
 use rescnn_oracle::{AccuracyOracle, EvalContext};
 use rescnn_projpeg::{ProgressiveImage, ScanPlan};
@@ -46,6 +46,15 @@ pub struct PipelineConfig {
     /// process-global state — so pipelines with different settings can serve
     /// concurrently without racing.
     pub engine_threads: Option<usize>,
+    /// Path to a persisted convolution-dispatch calibration (written by
+    /// `rescnn_hwsim::CalibratedCostModel::save`). When set, pipeline
+    /// construction loads it and installs the measured-fastest-algorithm table
+    /// via [`install_conv_calibration`], so serving starts warm with the
+    /// dispatch defaults wall-clock sweeps picked on this host. Unlike thread
+    /// budgets, the table is deliberately process-wide: it supplies *default*
+    /// choices only (scoped/global overrides and uncalibrated shapes are
+    /// unaffected), so concurrent pipelines cannot disagree about it.
+    pub conv_calibration: Option<String>,
 }
 
 impl PipelineConfig {
@@ -61,6 +70,7 @@ impl PipelineConfig {
             storage: StoragePolicy::read_all(),
             scale_model_kind: ModelKind::MobileNetV2,
             engine_threads: None,
+            conv_calibration: None,
         }
     }
 
@@ -86,6 +96,13 @@ impl PipelineConfig {
     /// (scoped per call via [`EngineContext`]; does not mutate process state).
     pub fn with_engine_threads(mut self, threads: usize) -> Self {
         self.engine_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Warm-starts convolution dispatch from a persisted calibration file (see
+    /// [`PipelineConfig::conv_calibration`]).
+    pub fn with_conv_calibration(mut self, path: impl Into<String>) -> Self {
+        self.conv_calibration = Some(path.into());
         self
     }
 
@@ -235,6 +252,31 @@ pub struct InferencePlan {
     quality: f64,
 }
 
+/// Loads a convolution-dispatch calibration persisted by
+/// `rescnn_hwsim::CalibratedCostModel::save` and installs its
+/// measured-fastest-algorithm table process-wide
+/// ([`rescnn_tensor::install_algo_calibration`]), returning the number of
+/// calibrated layer shapes.
+///
+/// Serving deployments run the measured sweep offline (see
+/// `examples/kernel_tuning.rs`), persist it, and point
+/// [`PipelineConfig::with_conv_calibration`] at the file so every pipeline in
+/// the process starts warm. Explicit algorithm overrides and shapes absent from
+/// the table are unaffected.
+///
+/// # Errors
+/// Returns [`CoreError::InvalidConfig`] if the file cannot be read or parsed.
+pub fn install_conv_calibration(path: &str) -> Result<usize> {
+    let model = rescnn_hwsim::CalibratedCostModel::load(path, rescnn_hwsim::CpuProfile::host())
+        .map_err(|e| CoreError::InvalidConfig {
+            reason: format!("conv calibration {path}: {e}"),
+        })?;
+    let table = model.dispatch_table();
+    let shapes = table.len();
+    rescnn_tensor::install_algo_calibration(Some(table));
+    Ok(shapes)
+}
+
 /// The dynamic-resolution pipeline.
 #[derive(Debug, Clone)]
 pub struct DynamicResolutionPipeline {
@@ -258,6 +300,9 @@ impl DynamicResolutionPipeline {
     ) -> Result<Self> {
         if config.resolutions.is_empty() {
             return Err(CoreError::InvalidConfig { reason: "no candidate resolutions".into() });
+        }
+        if let Some(path) = &config.conv_calibration {
+            install_conv_calibration(path)?;
         }
         let backbone_arch = config.backbone.arch(config.dataset.num_classes());
         let mut backbone_gflops = BTreeMap::new();
@@ -344,8 +389,11 @@ impl DynamicResolutionPipeline {
         let num_scans = encoded.num_scans();
 
         // Stage 1a: read the preview's scans (early-exiting at its threshold) and run
-        // the scale model on the frame that walk already presented.
+        // the scale model on the frame that walk already presented. The ground-truth
+        // reference is lifted into a persistent SsimReference, so its integral state
+        // is built once and shared by every prefix the walk scores.
         let preview_reference = crop_and_resize_cow(&original, crop, preview_res)?;
+        let preview_reference = SsimReference::new(&preview_reference, SsimConfig::default())?;
         let mut decoder = encoded.progressive_decoder()?;
         let (preview_point, preview_image) = cheapest_sufficient_point(
             &mut decoder,
@@ -363,6 +411,7 @@ impl DynamicResolutionPipeline {
             (preview_point, preview_point.scans, preview_point.ssim)
         } else {
             let chosen_reference = crop_and_resize_cow(&original, crop, chosen_resolution)?;
+            let chosen_reference = SsimReference::new(&chosen_reference, SsimConfig::default())?;
             match self.config.storage.threshold_for(chosen_resolution) {
                 None => {
                     // Read-all: only the final scan's quality matters, and the preview
@@ -763,6 +812,57 @@ mod tests {
             assert_eq!(record.quality.to_bits(), quality.to_bits(), "sample {}", sample.id);
             assert_eq!(record.bytes_read, encoded.cumulative_bytes(scans_read));
         }
+    }
+
+    #[test]
+    fn conv_calibration_warm_start_installs_table() {
+        // A pipeline configured with a persisted calibration installs it at
+        // construction; a missing file is a configuration error.
+        use rescnn_hwsim::{CalibratedCostModel, CpuProfile};
+        use rescnn_models::ConvLayerShape;
+        use rescnn_tensor::{Conv2dParams, ConvAlgo, ConvShapeKey, Shape};
+
+        let missing = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+            .with_conv_calibration("/nonexistent/rescnn-calibration.txt");
+        let config =
+            ScaleModelConfig { resolutions: vec![112, 224], epochs: 5, ..Default::default() };
+        let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+        let train = DatasetSpec::cars_like().with_len(12).with_max_dimension(64).build(1);
+        let scale_model = trainer.train(&train, 2).unwrap();
+        assert!(DynamicResolutionPipeline::new(
+            missing,
+            scale_model.clone(),
+            AccuracyOracle::new(0)
+        )
+        .is_err());
+
+        // Calibrate an exotic shape no test network uses, so the installed
+        // table cannot perturb any other test's dispatch decisions.
+        let layer = ConvLayerShape {
+            params: Conv2dParams::new(13, 13, 3, 1, 1),
+            input: Shape::chw(13, 37, 37),
+        };
+        let mut model = CalibratedCostModel::new(CpuProfile::host());
+        model.record(&layer, ConvAlgo::Winograd, 1.0e-3);
+        model.record(&layer, ConvAlgo::Im2colPacked, 2.0e-3);
+        let path =
+            std::env::temp_dir().join(format!("rescnn-core-warmstart-{}.txt", std::process::id()));
+        model.save(&path).unwrap();
+
+        let warm = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+            .with_conv_calibration(path.to_string_lossy().to_string());
+        let pipeline =
+            DynamicResolutionPipeline::new(warm, scale_model, AccuracyOracle::new(0)).unwrap();
+        assert!(pipeline.config().conv_calibration.is_some());
+        let table = rescnn_tensor::installed_algo_calibration().expect("table installed");
+        let key = ConvShapeKey::new(layer.params, layer.input);
+        assert_eq!(table.get(&key), Some(ConvAlgo::Winograd));
+        assert_eq!(
+            rescnn_tensor::select_algo(&layer.params, layer.input),
+            ConvAlgo::Winograd,
+            "dispatch must pick the measured-fastest algorithm for calibrated shapes"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

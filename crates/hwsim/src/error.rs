@@ -13,6 +13,11 @@ pub enum HwError {
         /// Explanation of the defect.
         reason: String,
     },
+    /// Reading or writing persisted calibration data failed.
+    Persistence {
+        /// Explanation of the failure (path and cause).
+        reason: String,
+    },
 }
 
 impl fmt::Display for HwError {
@@ -20,6 +25,7 @@ impl fmt::Display for HwError {
         match self {
             HwError::Model(msg) => write!(f, "model error: {msg}"),
             HwError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            HwError::Persistence { reason } => write!(f, "calibration persistence: {reason}"),
         }
     }
 }

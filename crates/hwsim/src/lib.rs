@@ -9,8 +9,12 @@
 //! * an [`AutoTuner`] that searches the space per layer (the stand-in for AutoTVM),
 //! * a [`LibraryKernels`] baseline modelling a shape-overfitted vendor library (MKLDNN), and
 //! * a [`MeasuredTuner`] that sweeps the *executable* engine kernels from
-//!   `rescnn-tensor` (algorithm × tiling × threads) with host wall-clock time,
-//!   closing the loop between the analytic model and real hardware.
+//!   `rescnn-tensor` (algorithm × tiling × threads, the Winograd arm included)
+//!   with host wall-clock time, and
+//! * a [`CalibratedCostModel`] that folds those measurements back into the
+//!   analytic model and exports the measured-fastest algorithm per shape as the
+//!   dispatch table `rescnn_tensor::conv2d_dispatch` consults — persistable to
+//!   disk so serving starts warm.
 //!
 //! # Examples
 //! ```
@@ -31,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod autotune;
+mod calibrated;
 mod cost;
 mod error;
 mod library;
@@ -39,6 +44,7 @@ mod profile;
 mod schedule;
 
 pub use autotune::{AutoTuner, KernelPlan, TunedKernel, TunerConfig};
+pub use calibrated::CalibratedCostModel;
 pub use cost::{CostModel, KernelEstimate};
 pub use error::{HwError, Result};
 pub use library::{LibraryConfig, LibraryKernels};
@@ -49,8 +55,8 @@ pub use schedule::{ConvSchedule, ScheduleSpace};
 /// Commonly used items, intended for glob import.
 pub mod prelude {
     pub use crate::{
-        AutoTuner, ConvSchedule, CostModel, CpuProfile, HwError, KernelEstimate, KernelPlan,
-        LibraryKernels, MeasuredTuner, TunerConfig,
+        AutoTuner, CalibratedCostModel, ConvSchedule, CostModel, CpuProfile, HwError,
+        KernelEstimate, KernelPlan, LibraryKernels, MeasuredTuner, TunerConfig,
     };
 }
 

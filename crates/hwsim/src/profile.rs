@@ -87,6 +87,18 @@ impl CpuProfile {
         vec![CpuProfile::intel_4790k(), CpuProfile::amd_2990wx()]
     }
 
+    /// A generic profile for the machine this process runs on: the 4790K
+    /// microarchitectural constants with the core count taken from the host.
+    ///
+    /// Consumers that only need *relative* rankings refined by measurements —
+    /// the calibrated dispatch model, whose exact-shape decisions come from
+    /// wall-clock sweeps on this very host — use this as their analytic prior;
+    /// faithful absolute latencies still call for one of the paper profiles.
+    pub fn host() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        CpuProfile { name: "host".to_string(), cores, ..CpuProfile::intel_4790k() }
+    }
+
     /// Theoretical peak multiply–accumulate throughput in MACs per second
     /// (`cores × simd × fma/cycle × frequency`).
     pub fn peak_macs_per_s(&self) -> f64 {

@@ -32,7 +32,7 @@ mod synth;
 
 pub use error::{ImagingError, Result};
 pub use image::{Image, Normalization};
-pub use metrics::{psnr, ssim, ssim_with, QualityMetric, SsimConfig};
+pub use metrics::{psnr, ssim, ssim_with, QualityMetric, SsimConfig, SsimReference};
 pub use resize::{
     center_crop, crop, crop_and_resize, crop_and_resize_cow, resize, resize_cow, resize_square,
     CropRatio, Filter,

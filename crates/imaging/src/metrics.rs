@@ -101,15 +101,23 @@ struct SsimIntegrals {
     row_sub: usize,
 }
 
+/// The banded-prefix layout shared by [`SsimIntegrals`] and [`SsimReference`]:
+/// per-band starting indices plus the total prefix length (each band holds its
+/// column count plus one leading zero entry).
+fn band_layout(w: usize, win: usize) -> (Vec<usize>, usize) {
+    let num_bands = w.div_ceil(win);
+    let mut band_offsets = Vec::with_capacity(num_bands);
+    let mut len = 0usize;
+    for c in 0..num_bands {
+        band_offsets.push(len);
+        len += win.min(w - c * win) + 1;
+    }
+    (band_offsets, len)
+}
+
 impl SsimIntegrals {
     fn new(w: usize, win: usize) -> Self {
-        let num_bands = w.div_ceil(win);
-        let mut band_offsets = Vec::with_capacity(num_bands);
-        let mut len = 0usize;
-        for c in 0..num_bands {
-            band_offsets.push(len);
-            len += win.min(w - c * win) + 1;
-        }
+        let (band_offsets, len) = band_layout(w, win);
         SsimIntegrals {
             win,
             cols: vec![[0.0; 5]; w],
@@ -264,6 +272,246 @@ pub fn ssim_with(reference: &Image, distorted: &Image, config: SsimConfig) -> Re
 /// Returns [`ImagingError::DimensionMismatch`] if the image dimensions differ.
 pub fn ssim(reference: &Image, distorted: &Image) -> Result<f64> {
     ssim_with(reference, distorted, SsimConfig::default())
+}
+
+/// Persistent per-reference SSIM state: everything [`ssim_with`] derives from the
+/// *reference* image alone, precomputed once and reused across many distorted
+/// candidates.
+///
+/// Of the five sliding window sums, two (`Σx`, `Σx²`) plus the reference luma
+/// plane depend only on the reference. Scoring the same reference against a
+/// sequence of candidates — exactly what the progressive-scan planners do, which
+/// score every scan prefix of a frame against one ground-truth resize — rebuilds
+/// that state from scratch on every call. A `SsimReference` instead stores the
+/// banded prefix sums of `[Σx, Σx²]` for every window row at construction, so
+/// [`score`](Self::score) only slides the three distorted-dependent sums
+/// (`Σy`, `Σy²`, `Σxy`) and skips the reference luma conversion entirely —
+/// roughly the 60 % of the integral work (plus one full-image luma pass and its
+/// allocation) that `ssim_with` repays per call.
+///
+/// **Parity contract:** every retained arithmetic operation is identical to
+/// [`ssim_with`] — each of the five sums accumulates independently there, so
+/// splitting them across construction/score changes no operation order — and the
+/// parity tests pin `score` to be **bitwise identical** to `ssim_with`.
+///
+/// # Examples
+/// ```
+/// use rescnn_imaging::{ssim, Image, SsimConfig, SsimReference};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let reference = Image::from_fn(32, 24, |x, y| [(x as f32) / 32.0, 0.5, (y as f32) / 24.0])?;
+/// let candidate = Image::filled(32, 24, [0.4, 0.5, 0.6])?;
+/// let state = SsimReference::new(&reference, SsimConfig::default())?;
+/// assert_eq!(state.score(&candidate)?, ssim(&reference, &candidate)?);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SsimReference {
+    width: usize,
+    height: usize,
+    win: usize,
+    stride: usize,
+    c1: f64,
+    c2: f64,
+    /// Reference luma plane (consumed by the `Σxy` cross sums during scoring).
+    lx: Vec<f32>,
+    /// `[Σx, Σx²]` banded prefix sums, one block of `prefix_len` entries per
+    /// window row (`y0 = row_index * stride`).
+    ref_prefix: Vec<[f64; 2]>,
+    band_offsets: Vec<usize>,
+    prefix_len: usize,
+}
+
+impl SsimReference {
+    /// Precomputes the reference-only SSIM state for `reference` under `config`.
+    ///
+    /// # Errors
+    /// Returns [`ImagingError::EmptyImage`] if the window or stride is zero.
+    pub fn new(reference: &Image, config: SsimConfig) -> Result<Self> {
+        if config.window == 0 || config.stride == 0 {
+            return Err(ImagingError::EmptyImage);
+        }
+        let (w, h) = reference.dimensions();
+        let lx = reference.to_luma();
+        let win = config.window.min(w).min(h);
+        let (band_offsets, prefix_len) = band_layout(w, win);
+
+        // Slide the reference column sums down the image exactly like
+        // `SsimIntegrals`, keeping only the x components, and snapshot the banded
+        // prefixes of every window row.
+        let mut cols = vec![[0.0f64; 2]; w];
+        let mut row_add = 0usize;
+        let mut row_sub = 0usize;
+        let mut ref_prefix = Vec::new();
+        let mut y0 = 0;
+        while y0 + win <= h {
+            while row_add < y0 + win {
+                for (col, &a) in cols.iter_mut().zip(&lx[row_add * w..(row_add + 1) * w]) {
+                    let a = a as f64;
+                    col[0] += a;
+                    col[1] += a * a;
+                }
+                row_add += 1;
+            }
+            while row_sub < y0 {
+                for (col, &a) in cols.iter_mut().zip(&lx[row_sub * w..(row_sub + 1) * w]) {
+                    let a = a as f64;
+                    col[0] -= a;
+                    col[1] -= a * a;
+                }
+                row_sub += 1;
+            }
+            let base = ref_prefix.len();
+            ref_prefix.resize(base + prefix_len, [0.0; 2]);
+            for (c, &offset) in band_offsets.iter().enumerate() {
+                let x_start = c * win;
+                let width = win.min(w - x_start);
+                ref_prefix[base + offset] = [0.0; 2];
+                for i in 0..width {
+                    let col = cols[x_start + i];
+                    let prev = ref_prefix[base + offset + i];
+                    ref_prefix[base + offset + i + 1] = [prev[0] + col[0], prev[1] + col[1]];
+                }
+            }
+            y0 += config.stride;
+        }
+
+        Ok(SsimReference {
+            width: w,
+            height: h,
+            win,
+            stride: config.stride,
+            c1: (config.k1 * 1.0_f64).powi(2),
+            c2: (config.k2 * 1.0_f64).powi(2),
+            lx,
+            ref_prefix,
+            band_offsets,
+            prefix_len,
+        })
+    }
+
+    /// Dimensions of the reference image this state was built from.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Sums a banded-prefix window `[x0, x0 + win)`: at most two band segments.
+    #[inline]
+    fn window_sums<const K: usize>(&self, prefix: &[[f64; K]], x0: usize) -> [f64; K] {
+        let x1 = x0 + self.win;
+        let b0 = x0 / self.win;
+        let b1 = (x1 - 1) / self.win;
+        let mut acc = [0.0f64; K];
+        let mut segment = |band: usize, c0: usize, c1: usize| {
+            let lo = &prefix[self.band_offsets[band] + c0];
+            let hi = &prefix[self.band_offsets[band] + c1];
+            for k in 0..K {
+                acc[k] += hi[k] - lo[k];
+            }
+        };
+        if b0 == b1 {
+            segment(b0, x0 - b0 * self.win, x1 - b0 * self.win);
+        } else {
+            let split = b1 * self.win;
+            segment(b0, x0 - b0 * self.win, split - b0 * self.win);
+            segment(b1, 0, x1 - split);
+        }
+        acc
+    }
+
+    /// Mean SSIM of `distorted` against the stored reference — bitwise identical
+    /// to `ssim_with(reference, distorted, config)` for the construction-time
+    /// reference and configuration.
+    ///
+    /// # Errors
+    /// Returns [`ImagingError::DimensionMismatch`] if `distorted` does not match
+    /// the reference dimensions.
+    pub fn score(&self, distorted: &Image) -> Result<f64> {
+        if distorted.dimensions() != (self.width, self.height) {
+            return Err(ImagingError::DimensionMismatch {
+                first: (self.width, self.height),
+                second: distorted.dimensions(),
+            });
+        }
+        let (w, h) = (self.width, self.height);
+        let win = self.win;
+        let ly = distorted.to_luma();
+
+        let mut cols = vec![[0.0f64; 3]; w];
+        let mut prefix = vec![[0.0f64; 3]; self.prefix_len];
+        let mut row_add = 0usize;
+        let mut row_sub = 0usize;
+        let mut total = 0.0;
+        let mut count = 0usize;
+        let mut row_index = 0usize;
+        let mut y0 = 0;
+        while y0 + win <= h {
+            // Slide the distorted-dependent column sums (Σy, Σy², Σxy).
+            let apply = |cols: &mut Vec<[f64; 3]>, y: usize, add: bool| {
+                let lx_row = &self.lx[y * w..(y + 1) * w];
+                let ly_row = &ly[y * w..(y + 1) * w];
+                for ((col, &a), &v) in cols.iter_mut().zip(lx_row).zip(ly_row) {
+                    let (a, v) = (a as f64, v as f64);
+                    let terms = [v, v * v, a * v];
+                    for k in 0..3 {
+                        if add {
+                            col[k] += terms[k];
+                        } else {
+                            col[k] -= terms[k];
+                        }
+                    }
+                }
+            };
+            while row_add < y0 + win {
+                apply(&mut cols, row_add, true);
+                row_add += 1;
+            }
+            while row_sub < y0 {
+                apply(&mut cols, row_sub, false);
+                row_sub += 1;
+            }
+            for (c, &offset) in self.band_offsets.iter().enumerate() {
+                let x_start = c * win;
+                let width = win.min(w - x_start);
+                prefix[offset] = [0.0; 3];
+                for i in 0..width {
+                    let col = cols[x_start + i];
+                    let prev = prefix[offset + i];
+                    let dst = &mut prefix[offset + i + 1];
+                    for k in 0..3 {
+                        dst[k] = prev[k] + col[k];
+                    }
+                }
+            }
+
+            let ref_row =
+                &self.ref_prefix[row_index * self.prefix_len..(row_index + 1) * self.prefix_len];
+            let mut x0 = 0;
+            while x0 + win <= w {
+                let [sum_x, sum_xx] = self.window_sums(ref_row, x0);
+                let [sum_y, sum_yy, sum_xy] = self.window_sums(&prefix, x0);
+                let n = (win * win) as f64;
+                let mu_x = sum_x / n;
+                let mu_y = sum_y / n;
+                let var_x = (sum_xx / n - mu_x * mu_x).max(0.0);
+                let var_y = (sum_yy / n - mu_y * mu_y).max(0.0);
+                let cov = sum_xy / n - mu_x * mu_y;
+                let score = ((2.0 * mu_x * mu_y + self.c1) * (2.0 * cov + self.c2))
+                    / ((mu_x * mu_x + mu_y * mu_y + self.c1) * (var_x + var_y + self.c2));
+                total += score;
+                count += 1;
+                x0 += self.stride;
+            }
+            row_index += 1;
+            y0 += self.stride;
+        }
+        if count == 0 {
+            // Unreachable in practice: `win ≤ min(w, h)` guarantees at least one
+            // window position, matching `ssim_with`'s degenerate fallback result.
+            return Ok(1.0);
+        }
+        Ok((total / count as f64).clamp(-1.0, 1.0))
+    }
 }
 
 /// Which quality metric to use for storage calibration (the paper uses SSIM; PSNR is kept
@@ -439,6 +687,63 @@ mod tests {
         let fast = ssim_with(&a, &b, config).unwrap();
         let slow = crate::reference::ssim_with(&a, &b, config).unwrap();
         assert!((fast - slow).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn ssim_reference_state_matches_ssim_with_bitwise() {
+        // The persistent per-reference state splits the five window sums into a
+        // reference part (precomputed once) and a distorted part (per score),
+        // changing no operation order — so scores must be *bitwise* identical to
+        // ssim_with, across sizes, configs, and many candidates per reference.
+        use crate::synth::{render_scene, SceneSpec};
+        let configs = [
+            SsimConfig::default(),
+            SsimConfig::dense(),
+            SsimConfig { window: 16, stride: 3, ..Default::default() },
+            SsimConfig { window: 64, stride: 1, ..Default::default() },
+        ];
+        for (w, h, seed) in [(48usize, 40usize, 0u64), (224, 224, 5), (331, 257, 9)] {
+            let reference =
+                render_scene(&SceneSpec::new(w, h, 3).with_seed(seed).with_detail(0.8)).unwrap();
+            for config in configs {
+                let state = SsimReference::new(&reference, config).unwrap();
+                assert_eq!(state.dimensions(), (w, h));
+                // One state scores a whole sequence of candidates — the planner's
+                // scan-prefix pattern.
+                for candidate_seed in 0..4u64 {
+                    let candidate =
+                        render_scene(&SceneSpec::new(w, h, 5).with_seed(seed + candidate_seed))
+                            .unwrap();
+                    let fast = state.score(&candidate).unwrap();
+                    let slow = ssim_with(&reference, &candidate, config).unwrap();
+                    assert_eq!(
+                        fast.to_bits(),
+                        slow.to_bits(),
+                        "{w}x{h} {config:?} candidate {candidate_seed}: {fast} vs {slow}"
+                    );
+                }
+            }
+        }
+        // Identity and smaller-than-window cases agree too.
+        let tiny_a = Image::filled(4, 4, [0.5; 3]).unwrap();
+        let tiny_b = Image::filled(4, 4, [0.25; 3]).unwrap();
+        let config = SsimConfig { window: 16, stride: 4, ..Default::default() };
+        let state = SsimReference::new(&tiny_a, config).unwrap();
+        assert_eq!(
+            state.score(&tiny_b).unwrap().to_bits(),
+            ssim_with(&tiny_a, &tiny_b, config).unwrap().to_bits()
+        );
+        assert_eq!(state.score(&tiny_a).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn ssim_reference_state_rejects_bad_inputs() {
+        let img = test_image(8);
+        assert!(SsimReference::new(&img, SsimConfig { window: 0, ..Default::default() }).is_err());
+        assert!(SsimReference::new(&img, SsimConfig { stride: 0, ..Default::default() }).is_err());
+        let state = SsimReference::new(&img, SsimConfig::default()).unwrap();
+        let other = Image::zeros(3, 3).unwrap();
+        assert!(state.score(&other).is_err());
     }
 
     #[test]

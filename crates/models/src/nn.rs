@@ -7,9 +7,12 @@
 //! kernel time) is measured rather than assumed. Networks are therefore instantiated with
 //! deterministic random weights.
 
+use std::sync::OnceLock;
+
 use rescnn_tensor::{
-    add_relu_in_place, avg_pool2d, conv2d_dispatch, global_avg_pool, linear, max_pool2d,
-    num_threads, relu6_in_place, relu_in_place, softmax, Conv2dParams, Pool2dParams, Shape, Tensor,
+    add_relu_in_place, avg_pool2d, conv2d_winograd_prepared, conv2d_with_algo, global_avg_pool,
+    linear, max_pool2d, num_threads, planned_conv_algo, relu6_in_place, relu_in_place, softmax,
+    Conv2dParams, ConvAlgo, FusedActivation, Pool2dParams, Shape, Tensor, WinogradFilter,
 };
 
 use crate::arch::{Activation, ArchSpec, BlockSpec, ModelKind};
@@ -22,6 +25,14 @@ use crate::error::{ModelError, Result};
 /// scaled weights and a per-channel bias. The forward pass is therefore a single
 /// engine-dispatched convolution plus an in-place activation — no extra passes or
 /// allocations over the activation tensor.
+///
+/// Winograd-eligible layers (dense stride-1 3×3) additionally cache their
+/// transformed filter bank `U = G·g·Gᵀ`: it is computed lazily the first time
+/// the dispatch layer actually picks [`ConvAlgo::Winograd`] for this layer
+/// (via a calibrated table or an override) and reused for every later forward,
+/// so the per-pass cost is input/output transforms plus GEMMs only — with the
+/// bias *and* the activation fused into the Winograd output transform, the
+/// separate in-place activation sweep disappears too.
 #[derive(Debug, Clone)]
 struct ConvBn {
     params: Conv2dParams,
@@ -30,6 +41,8 @@ struct ConvBn {
     /// Per-channel bias with the batch-norm shift folded in.
     bias: Vec<f32>,
     act: Activation,
+    /// Lazily-built Winograd filter transform (eligible layers only).
+    winograd: OnceLock<WinogradFilter>,
 }
 
 impl ConvBn {
@@ -63,12 +76,31 @@ impl ConvBn {
             }
             bias.push(beta[oc] - mean[oc] * scale);
         }
-        ConvBn { params, weight, bias, act }
+        ConvBn { params, weight, bias, act, winograd: OnceLock::new() }
     }
 
     fn forward(&self, input: &Tensor) -> Result<Tensor> {
-        let (mut out, _algo) =
-            conv2d_dispatch(input, &self.weight, Some(&self.bias), &self.params)?;
+        // One dispatch decision per layer call: the planned algorithm is both
+        // branched on and executed, so a concurrent calibration swap can never
+        // split the decision, and the hot path pays one table lookup, not two.
+        let algo = planned_conv_algo(&self.params, input.shape());
+        if algo == ConvAlgo::Winograd {
+            // Cached-transform fast path: the filter transform is paid once per
+            // layer, and bias + activation are fused into the output transform.
+            let filter = self.winograd.get_or_init(|| {
+                WinogradFilter::prepare(&self.weight, &self.params)
+                    .expect("dispatch only plans Winograd for eligible layers")
+            });
+            let fused = match self.act {
+                Activation::None => FusedActivation::None,
+                Activation::Relu => FusedActivation::Relu,
+                Activation::Relu6 => FusedActivation::Relu6,
+            };
+            let out =
+                conv2d_winograd_prepared(input, filter, Some(&self.bias), &self.params, fused)?;
+            return Ok(out);
+        }
+        let mut out = conv2d_with_algo(input, &self.weight, Some(&self.bias), &self.params, algo)?;
         match self.act {
             Activation::None => {}
             Activation::Relu => relu_in_place(&mut out),
@@ -524,6 +556,32 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-4);
         let class = net.predict_class(&input).unwrap();
         assert!(class < 6);
+    }
+
+    #[test]
+    fn winograd_forward_matches_default_within_tolerance() {
+        use rescnn_tensor::EngineContext;
+        // Forcing the Winograd arm routes every dense stride-1 3×3 layer through
+        // the cached filter-transform path (with fused bias + activation);
+        // ineligible shapes keep their engine fast paths. Winograd reassociates
+        // arithmetic, so the contract is elementwise tolerance, not bitwise
+        // equality — and the cache must make repeat passes identical.
+        let net = Network::new(ModelKind::ResNet18, 5, 21);
+        let input = Tensor::random_uniform(Shape::chw(3, 64, 64), 1.0, 4);
+        let default_out = net.forward(&input).unwrap();
+        let wino_context = EngineContext::new().with_algo(ConvAlgo::Winograd);
+        let wino_out = wino_context.scope(|| net.forward(&input).unwrap());
+        assert!(
+            default_out.max_abs_diff(&wino_out).unwrap() < 1e-2,
+            "winograd forward drifted: {}",
+            default_out.max_abs_diff(&wino_out).unwrap()
+        );
+        let wino_again = wino_context.scope(|| net.forward(&input).unwrap());
+        assert_eq!(
+            wino_out.as_slice(),
+            wino_again.as_slice(),
+            "cached filter transforms must make repeat winograd passes bitwise identical"
+        );
     }
 
     #[test]

@@ -12,18 +12,34 @@
 //! * The **packed engine** ([`conv2d_with_algo`]) — packed, multi-threaded kernels built
 //!   on [`engine`](crate::engine): a direct-GEMM fast path for 1×1 stride-1 convolutions
 //!   ([`ConvAlgo::Gemm1x1`]), a dedicated shift-and-accumulate depthwise kernel
-//!   ([`ConvAlgo::Depthwise`]), and a packing-aware im2col for everything else
-//!   ([`ConvAlgo::Im2colPacked`]).
+//!   ([`ConvAlgo::Depthwise`]), a Winograd F(2×2, 3×3) arm for stride-1 dense 3×3
+//!   layers ([`ConvAlgo::Winograd`], implemented in [`winograd`](crate::winograd)),
+//!   and a packing-aware im2col for everything else ([`ConvAlgo::Im2colPacked`]).
+//!
+//! The Winograd arm trades multiplies for transforms: ~2.25× fewer MACs than im2col +
+//! GEMM on the shapes it supports, bitwise deterministic across thread counts, but —
+//! because it legitimately reassociates the arithmetic — only *tolerance*-equal to the
+//! other paths. Its contract, pinned by `tests/winograd_parity.rs`, is elementwise
+//! agreement with [`ConvAlgo::Im2colPacked`] within `1e-4` at unit-scale activations.
 //!
 //! [`conv2d`] — the entry point the model zoo uses — routes through [`select_algo`],
 //! and [`conv2d_dispatch`] additionally reports which algorithm ran so autotuners and
 //! benchmarks can sweep algorithm × tiling per resolution. [`force_conv_algo`] pins the
 //! choice globally (benchmarks use it to time the legacy path through a whole network).
 //!
+//! Default selection is **measurement-aware**: an [`AlgoCalibration`] table — built by
+//! `rescnn-hwsim`'s measured tuner from wall-clock sweeps and installed process-wide
+//! via [`install_algo_calibration`] — maps exact layer shapes to their measured-fastest
+//! algorithm, and [`select_algo`] consults it before falling back to the static
+//! heuristics. Scoped ([`EngineContext::with_algo`](crate::EngineContext::with_algo))
+//! and global ([`force_conv_algo`]) overrides take precedence over calibration.
+//!
 //! Weights are stored as `O × I/g × K × K` tensors (encoded in the NCHW [`Shape`] as
 //! `n = O`, `c = I/g`, `h = w = K`).
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, RwLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -35,7 +51,7 @@ use crate::tensor::Tensor;
 use crate::{parallel, scratch};
 
 /// Validates that a weight tensor matches the convolution parameters.
-fn validate_weight(params: &Conv2dParams, weight: &Tensor) -> Result<()> {
+pub(crate) fn validate_weight(params: &Conv2dParams, weight: &Tensor) -> Result<()> {
     params.validate()?;
     let ws = weight.shape();
     let expected = Shape::new(
@@ -54,7 +70,7 @@ fn validate_weight(params: &Conv2dParams, weight: &Tensor) -> Result<()> {
     Ok(())
 }
 
-fn validate_bias(params: &Conv2dParams, bias: Option<&[f32]>) -> Result<()> {
+pub(crate) fn validate_bias(params: &Conv2dParams, bias: Option<&[f32]>) -> Result<()> {
     if let Some(b) = bias {
         if b.len() != params.out_channels {
             return Err(TensorError::LengthMismatch {
@@ -343,16 +359,24 @@ pub enum ConvAlgo {
     Gemm1x1,
     /// Engine: dedicated shift-and-accumulate depthwise kernel.
     Depthwise,
+    /// Engine: Winograd F(2×2, 3×3) minimal-filtering convolution for stride-1 dense
+    /// 3×3 layers (~2.25× fewer multiplies than im2col + GEMM). Bitwise deterministic
+    /// across thread counts; agrees with [`ConvAlgo::Im2colPacked`] elementwise within
+    /// `1e-4` at unit-scale activations (it reassociates arithmetic, so bitwise
+    /// equality with the GEMM paths is not part of the contract). See
+    /// [`winograd`](crate::winograd).
+    Winograd,
 }
 
 impl ConvAlgo {
     /// Every algorithm, in sweep order.
-    pub const ALL: [ConvAlgo; 5] = [
+    pub const ALL: [ConvAlgo; 6] = [
         ConvAlgo::Direct,
         ConvAlgo::Im2col,
         ConvAlgo::Im2colPacked,
         ConvAlgo::Gemm1x1,
         ConvAlgo::Depthwise,
+        ConvAlgo::Winograd,
     ];
 
     /// Whether this algorithm can execute the given convolution shape.
@@ -363,7 +387,14 @@ impl ConvAlgo {
             ConvAlgo::Depthwise => {
                 params.groups == params.in_channels && params.in_channels == params.out_channels
             }
+            ConvAlgo::Winograd => params.kernel == 3 && params.stride == 1 && params.groups == 1,
         }
+    }
+
+    /// Parses the [`Display`](std::fmt::Display) name back into an algorithm —
+    /// the inverse used by on-disk calibration tables.
+    pub fn from_name(name: &str) -> Option<ConvAlgo> {
+        ConvAlgo::ALL.iter().copied().find(|algo| algo.to_string() == name)
     }
 }
 
@@ -375,22 +406,143 @@ impl std::fmt::Display for ConvAlgo {
             ConvAlgo::Im2colPacked => "im2col_packed",
             ConvAlgo::Gemm1x1 => "gemm_1x1",
             ConvAlgo::Depthwise => "depthwise",
+            ConvAlgo::Winograd => "winograd",
         };
         f.write_str(name)
     }
 }
 
+/// Identifies one convolution workload for calibrated dispatch: the convolution
+/// parameters plus the input's spatial extent. The batch size is deliberately not
+/// part of the key — per-element algorithm preference is a property of the layer
+/// shape, and sweeps measure at batch 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvShapeKey {
+    /// Convolution parameters of the layer.
+    pub params: Conv2dParams,
+    /// Input spatial height.
+    pub height: usize,
+    /// Input spatial width.
+    pub width: usize,
+}
+
+impl ConvShapeKey {
+    /// Builds the key for a convolution applied to `input`.
+    pub fn new(params: Conv2dParams, input: Shape) -> Self {
+        ConvShapeKey { params, height: input.h, width: input.w }
+    }
+}
+
+/// A measurement-derived dispatch table: for each exact layer shape, the algorithm
+/// that was measured fastest on this host.
+///
+/// Built by `rescnn-hwsim`'s calibrated cost model from `MeasuredTuner` sweeps
+/// (and persistable to disk there, so serving starts warm), then installed
+/// process-wide with [`install_algo_calibration`]. [`select_algo`] consults the
+/// installed table before its static heuristics; scoped and global algorithm
+/// overrides still win, and entries whose algorithm cannot execute the shape are
+/// ignored defensively.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AlgoCalibration {
+    choices: HashMap<ConvShapeKey, ConvAlgo>,
+}
+
+impl AlgoCalibration {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the preferred algorithm for one layer shape (replacing any earlier
+    /// entry for the same shape).
+    pub fn set(&mut self, key: ConvShapeKey, algo: ConvAlgo) {
+        self.choices.insert(key, algo);
+    }
+
+    /// The calibrated algorithm for a layer shape, if one was recorded.
+    pub fn get(&self, key: &ConvShapeKey) -> Option<ConvAlgo> {
+        self.choices.get(key).copied()
+    }
+
+    /// Number of calibrated shapes.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Iterates over every calibrated `(shape, algorithm)` pair (unspecified order;
+    /// persistence layers sort by key fields for stable output).
+    pub fn entries(&self) -> impl Iterator<Item = (&ConvShapeKey, ConvAlgo)> {
+        self.choices.iter().map(|(key, &algo)| (key, algo))
+    }
+}
+
+/// Fast-path flag: true while a calibration table is installed, so the dispatch
+/// hot path skips the lock entirely in the (default) uncalibrated state.
+static CALIBRATION_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// The installed calibration table (`None` by default).
+static CALIBRATION: RwLock<Option<Arc<AlgoCalibration>>> = RwLock::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide dispatch calibration
+/// table consulted by [`select_algo`]. Returns the previously installed table.
+///
+/// Calibration supplies *default choices* only — it never overrides an explicit
+/// [`EngineContext`](crate::EngineContext) or [`force_conv_algo`] pin, and shapes
+/// absent from the table fall back to the static heuristics — so installing one
+/// is safe for every concurrent caller and is intentionally process-wide: a table
+/// measured on this host is equally valid for every pipeline in the process.
+pub fn install_algo_calibration(
+    calibration: Option<AlgoCalibration>,
+) -> Option<Arc<AlgoCalibration>> {
+    let calibration = calibration.map(Arc::new);
+    let mut slot = CALIBRATION.write().unwrap_or_else(|e| e.into_inner());
+    // The fast-path flag is updated while holding the write lock, so it can
+    // never disagree with the stored table under concurrent install/uninstall.
+    CALIBRATION_ACTIVE.store(calibration.is_some(), Ordering::Release);
+    std::mem::replace(&mut *slot, calibration)
+}
+
+/// The currently installed calibration table, if any.
+pub fn installed_algo_calibration() -> Option<Arc<AlgoCalibration>> {
+    if !CALIBRATION_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    CALIBRATION.read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// The calibrated algorithm for `(params, input)` when a table is installed, the
+/// entry exists, and its algorithm can actually execute the shape.
+fn calibrated_algo(params: &Conv2dParams, input: Shape) -> Option<ConvAlgo> {
+    let table = installed_algo_calibration()?;
+    let algo = table.get(&ConvShapeKey::new(*params, input))?;
+    algo.supports(params).then_some(algo)
+}
+
 /// Chooses the engine algorithm for a convolution shape.
 ///
 /// Dispatch rules, in priority order:
-/// 1. 1×1 stride-1 pad-0 convolutions (the majority of ResNet-50 layers) skip im2col
+/// 1. An installed [`AlgoCalibration`] entry for this exact shape — the algorithm
+///    wall-clock sweeps measured fastest on this host — wins (when it can execute
+///    the shape).
+/// 2. 1×1 stride-1 pad-0 convolutions (the majority of ResNet-50 layers) skip im2col
 ///    entirely — the input planes already are the GEMM right-hand side.
-/// 2. Depthwise convolutions (`groups == in == out`, the MobileNetV2 workhorse) run the
+/// 3. Depthwise convolutions (`groups == in == out`, the MobileNetV2 workhorse) run the
 ///    dedicated shift-and-accumulate kernel; lowering them to GEMM would spend
 ///    `k²`-fold more memory traffic for rank-1 matrix products.
-/// 3. Everything else runs packing-aware im2col stripes + packed GEMM, with stripe
+/// 4. Everything else runs packing-aware im2col stripes + packed GEMM, with stripe
 ///    heights sized from the output resolution so packed panels stay cache-resident.
-pub fn select_algo(params: &Conv2dParams, _input: Shape) -> ConvAlgo {
+///    ([`ConvAlgo::Winograd`] is never a *heuristic* default: whether its transform
+///    overhead pays off is shape- and host-dependent, which is exactly what the
+///    calibration table measures.)
+pub fn select_algo(params: &Conv2dParams, input: Shape) -> ConvAlgo {
+    if let Some(algo) = calibrated_algo(params, input) {
+        return algo;
+    }
     if ConvAlgo::Gemm1x1.supports(params) {
         ConvAlgo::Gemm1x1
     } else if ConvAlgo::Depthwise.supports(params) {
@@ -449,6 +601,22 @@ pub fn conv2d_with_algo(
         ConvAlgo::Im2colPacked => conv2d_im2col_packed(input, weight, bias, params),
         ConvAlgo::Gemm1x1 => conv2d_gemm_1x1(input, weight, bias, params),
         ConvAlgo::Depthwise => conv2d_depthwise(input, weight, bias, params),
+        ConvAlgo::Winograd => crate::winograd::conv2d_winograd(input, weight, bias, params),
+    }
+}
+
+/// The algorithm [`conv2d_dispatch`] would run for `(params, input)` right now:
+/// the innermost override (scoped [`EngineContext`](crate::EngineContext), then
+/// the process-wide [`force_conv_algo`] pin) when it supports the shape, else the
+/// calibrated/heuristic [`select_algo`] choice.
+///
+/// Exposed so callers that keep per-algorithm cached state (e.g. the model zoo's
+/// cached Winograd filter transforms) can see the decision without running the
+/// convolution.
+pub fn planned_conv_algo(params: &Conv2dParams, input: Shape) -> ConvAlgo {
+    match forced_algo() {
+        Some(forced) if forced.supports(params) => forced,
+        _ => select_algo(params, input),
     }
 }
 
@@ -463,10 +631,7 @@ pub fn conv2d_dispatch(
     bias: Option<&[f32]>,
     params: &Conv2dParams,
 ) -> Result<(Tensor, ConvAlgo)> {
-    let algo = match forced_algo() {
-        Some(forced) if forced.supports(params) => forced,
-        _ => select_algo(params, input.shape()),
-    };
+    let algo = planned_conv_algo(params, input.shape());
     conv2d_with_algo(input, weight, bias, params, algo).map(|out| (out, algo))
 }
 
@@ -931,6 +1096,7 @@ mod tests {
 
     #[test]
     fn dispatch_selects_the_documented_algorithms() {
+        let _guard = crate::test_sync::global_state_lock();
         let shape = Shape::chw(16, 32, 32);
         assert_eq!(select_algo(&Conv2dParams::new(16, 32, 1, 1, 0), shape), ConvAlgo::Gemm1x1);
         assert_eq!(select_algo(&Conv2dParams::depthwise(16, 3, 1, 1), shape), ConvAlgo::Depthwise);
@@ -985,6 +1151,65 @@ mod tests {
         assert!(ConvAlgo::Depthwise.supports(&depthwise));
         assert!(!ConvAlgo::Depthwise.supports(&dense));
         assert_eq!(ConvAlgo::Gemm1x1.to_string(), "gemm_1x1");
+        // The Winograd arm covers stride-1 dense 3x3 layers only.
+        assert!(ConvAlgo::Winograd.supports(&dense));
+        assert!(!ConvAlgo::Winograd.supports(&pointwise));
+        assert!(!ConvAlgo::Winograd.supports(&depthwise));
+        assert!(!ConvAlgo::Winograd.supports(&Conv2dParams::new(8, 16, 3, 2, 1)));
+        for algo in ConvAlgo::ALL {
+            assert_eq!(ConvAlgo::from_name(&algo.to_string()), Some(algo));
+        }
+        assert_eq!(ConvAlgo::from_name("made_up"), None);
+    }
+
+    #[test]
+    fn calibration_steers_default_dispatch_but_not_overrides() {
+        let _guard = crate::test_sync::global_state_lock();
+        let params = Conv2dParams::new(4, 4, 3, 1, 1);
+        let input_shape = Shape::chw(4, 12, 12);
+        let other_shape = Shape::chw(4, 20, 20);
+
+        let mut table = AlgoCalibration::new();
+        assert!(table.is_empty());
+        table.set(ConvShapeKey::new(params, input_shape), ConvAlgo::Winograd);
+        // An entry whose algorithm cannot execute its shape must be ignored.
+        let pointwise = Conv2dParams::new(4, 4, 1, 1, 0);
+        table.set(ConvShapeKey::new(pointwise, input_shape), ConvAlgo::Depthwise);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.entries().count(), 2);
+
+        let previous = install_algo_calibration(Some(table));
+        assert!(previous.is_none());
+        assert!(installed_algo_calibration().is_some());
+
+        // Calibrated shape: the measured choice becomes the default.
+        assert_eq!(select_algo(&params, input_shape), ConvAlgo::Winograd);
+        assert_eq!(planned_conv_algo(&params, input_shape), ConvAlgo::Winograd);
+        let input = sample_input(input_shape, 1);
+        let weight = sample_weight(&params, 2);
+        let (out, algo) = conv2d_dispatch(&input, &weight, None, &params).unwrap();
+        assert_eq!(algo, ConvAlgo::Winograd);
+        let reference = conv2d_direct(&input, &weight, None, &params).unwrap();
+        assert!(out.max_abs_diff(&reference).unwrap() < 1e-4);
+
+        // Uncalibrated shape: heuristics still apply.
+        assert_eq!(select_algo(&params, other_shape), ConvAlgo::Im2colPacked);
+        // Unsupported calibrated entry: ignored, heuristics apply.
+        assert_eq!(select_algo(&pointwise, input_shape), ConvAlgo::Gemm1x1);
+
+        // Explicit overrides still beat calibration.
+        force_conv_algo(Some(ConvAlgo::Direct));
+        assert_eq!(planned_conv_algo(&params, input_shape), ConvAlgo::Direct);
+        force_conv_algo(None);
+        let scoped = crate::context::EngineContext::new()
+            .with_algo(ConvAlgo::Im2colPacked)
+            .scope(|| planned_conv_algo(&params, input_shape));
+        assert_eq!(scoped, ConvAlgo::Im2colPacked);
+
+        let removed = install_algo_calibration(None);
+        assert_eq!(removed.map(|t| t.len()), Some(2));
+        assert!(installed_algo_calibration().is_none());
+        assert_eq!(select_algo(&params, input_shape), ConvAlgo::Im2colPacked);
     }
 
     #[test]

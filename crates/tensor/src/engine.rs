@@ -298,8 +298,15 @@ pub fn packed_gemm_strided(
     while pc < k {
         let kc = kc_step.min(k - pc);
         let first_slice = pc == 0;
-        if kc < kc_step || !rows.is_multiple_of(MR) {
-            apack.iter_mut().for_each(|x| *x = 0.0);
+        // Tiles pack densely at the current slice's `kc * MR` stride, so only the
+        // region actually consumed needs (re-)zeroing — and only when a partial
+        // tail tile leaves padding rows that packing does not overwrite. This
+        // matters for short shared dimensions (e.g. the Winograd per-point GEMMs,
+        // k = in_channels), where zeroing the full KC-sized buffer per call would
+        // cost more than the packing itself.
+        let tile_stride = kc * MR;
+        if !rows.is_multiple_of(MR) && !first_slice {
+            apack[..tiles * tile_stride].iter_mut().for_each(|x| *x = 0.0);
         }
         for tile in 0..tiles {
             let tile_rows = MR.min(rows - tile * MR);
@@ -310,7 +317,7 @@ pub fn packed_gemm_strided(
                 pc,
                 kc,
                 lda,
-                &mut apack[tile * kc_step * MR..tile * kc_step * MR + kc * MR],
+                &mut apack[tile * tile_stride..(tile + 1) * tile_stride],
             );
         }
         for panel in 0..col_panels {
@@ -320,7 +327,7 @@ pub fn packed_gemm_strided(
             let bslice = &bpack[panel * k * NR + pc * NR..panel * k * NR + (pc + kc) * NR];
             for tile in 0..tiles {
                 let tile_rows = MR.min(rows - tile * MR);
-                let atile = &apack[tile * kc_step * MR..tile * kc_step * MR + kc * MR];
+                let atile = &apack[tile * tile_stride..(tile + 1) * tile_stride];
                 let acc = microkernel(kc, atile, bslice);
                 for r in 0..tile_rows {
                     let start = (tile * MR + r) * row_stride + col_offset + j0;

@@ -35,7 +35,11 @@
 //! 5. **Dispatch** ([`select_algo`]) — 1×1 stride-1 convolutions route straight to
 //!    GEMM over the input planes ([`ConvAlgo::Gemm1x1`]), depthwise shapes to a
 //!    dedicated shift-and-accumulate kernel ([`ConvAlgo::Depthwise`]), everything
-//!    else to packed im2col stripes ([`ConvAlgo::Im2colPacked`]). The chosen
+//!    else to packed im2col stripes ([`ConvAlgo::Im2colPacked`]). A Winograd
+//!    F(2×2, 3×3) arm ([`ConvAlgo::Winograd`], module [`winograd`]) covers stride-1
+//!    dense 3×3 layers with ~2.25× fewer multiplies; it becomes the default for a
+//!    shape when an installed measurement-derived [`AlgoCalibration`] table (see
+//!    [`install_algo_calibration`]) says it was fastest there. The chosen
 //!    algorithm is observable via [`conv2d_dispatch`] and can be pinned per scope
 //!    with [`EngineContext::with_algo`] or process-wide with [`force_conv_algo`]
 //!    so autotuners and benchmarks can sweep algorithm × tiling per resolution.
@@ -69,12 +73,14 @@ pub mod parallel;
 pub mod scratch;
 mod shape;
 mod tensor;
+pub mod winograd;
 
 pub use context::EngineContext;
 pub use conv::{
     conv2d, conv2d_depthwise, conv2d_direct, conv2d_dispatch, conv2d_gemm_1x1, conv2d_im2col,
-    conv2d_im2col_packed, conv2d_tiled, conv2d_with_algo, force_conv_algo, im2col, select_algo,
-    ConvAlgo, ConvTiling,
+    conv2d_im2col_packed, conv2d_tiled, conv2d_with_algo, force_conv_algo, im2col,
+    install_algo_calibration, installed_algo_calibration, planned_conv_algo, select_algo,
+    AlgoCalibration, ConvAlgo, ConvShapeKey, ConvTiling,
 };
 pub use error::{Result, TensorError};
 pub use gemm::{gemm_blocked, gemm_naive, gemm_packed, matmul, GemmBlocking, MatDims};
@@ -85,6 +91,7 @@ pub use ops::{
 pub use parallel::{num_threads, set_num_threads, shutdown_pool, split_parallelism};
 pub use shape::{conv_output_extent, Conv2dParams, Pool2dParams, Shape};
 pub use tensor::Tensor;
+pub use winograd::{conv2d_winograd, conv2d_winograd_prepared, FusedActivation, WinogradFilter};
 
 #[cfg(test)]
 pub(crate) mod test_sync {

@@ -420,6 +420,37 @@ where
     });
 }
 
+/// Runs `f(index)` for every `index` in `0..total` on the persistent pool (when
+/// `parallel` allows), without slicing a data buffer.
+///
+/// [`for_each_chunk`] hands each task a contiguous `&mut` window, which fits
+/// kernels whose output decomposes into consecutive runs. Some kernels produce
+/// *strided* disjoint regions instead — the Winograd convolution, for example,
+/// writes a range of output rows in **every** output-channel plane per task — so
+/// this variant dispatches bare indices and leaves the (disjoint) data access to
+/// the caller. `f` must be safe to call concurrently and tasks must touch
+/// pairwise-disjoint data.
+///
+/// The determinism contract matches [`for_each_chunk`]: the index decomposition
+/// is `0..total` regardless of worker count, so as long as each output element is
+/// written by exactly one task in one fixed order, results are bitwise identical
+/// for every thread count. Called from inside a pool worker (nested parallelism),
+/// the indices run inline on that worker in ascending order.
+pub fn for_each_task<F>(total: usize, parallel: bool, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let nested = IS_POOL_WORKER.with(|flag| flag.get());
+    let workers = if parallel && !nested { num_threads().min(total) } else { 1 };
+    if workers <= 1 {
+        for index in 0..total {
+            f(index);
+        }
+        return;
+    }
+    run_on_pool(total, workers, &f);
+}
+
 /// Legacy dispatch: spawns scoped threads per call instead of using the persistent
 /// pool. Kept as the measured baseline for the pool's dispatch-overhead benchmarks
 /// (`pipeline_throughput`); kernels must not use it.

@@ -1,0 +1,612 @@
+//! Winograd F(2×2, 3×3) convolution: the minimal-filtering algorithm of Lavin &
+//! Gray, executing stride-1 3×3 convolutions with ~2.25× fewer multiplies than
+//! im2col + GEMM.
+//!
+//! # Algorithm
+//!
+//! Each 2×2 output tile is computed from a 4×4 input tile through three linear
+//! transforms:
+//!
+//! 1. **Filter transform** (once per layer): `U = G·g·Gᵀ`, lifting every 3×3
+//!    kernel `g` to 16 transform points. [`WinogradFilter`] caches this so a
+//!    forward pass pays only the input/output transforms and the GEMMs.
+//! 2. **Input transform** (per tile): `V = Bᵀ·d·B` over the 4×4 input patch `d`
+//!    (neighbouring patches overlap by two pixels; padding positions are zero).
+//! 3. **Elementwise stage as GEMMs**: the per-point channel reduction
+//!    `M(t) = U(t) · V(t)` is one `O×I × I×P` matrix product per transform point
+//!    `t ∈ 0..16`, where `P` is the number of tiles — executed on the packed
+//!    microkernel from [`engine`](crate::engine), with `V` written *directly* into
+//!    packed-B panel layout by the input transform (no repack pass).
+//! 4. **Output transform**: `Y = Aᵀ·M·A` folds the 16 points back into the 2×2
+//!    output tile, with the per-channel bias and an optional [`FusedActivation`]
+//!    applied in the same pass.
+//!
+//! # Execution
+//!
+//! Tiles are processed in chunks of whole tile rows sized from the engine's
+//! scratch budget ([`engine::MAX_B_PANEL_ELEMS`]); chunks run on the persistent
+//! worker pool ([`parallel::for_each_task`]). All working buffers (packed `V`,
+//! the 16 `M` matrices) come from the thread-local [`scratch`](crate::scratch)
+//! arena, so steady-state forward passes perform zero heap allocations here too.
+//!
+//! # Determinism and tolerance
+//!
+//! The chunk decomposition is a pure function of the output shape, every output
+//! element is written by exactly one task, and each task uses one fixed
+//! accumulation order (the engine's KC-blocked reduction per transform point,
+//! then the fixed 16-term inverse transform) — results are therefore **bitwise
+//! identical for every thread count**. Against [`ConvAlgo::Im2colPacked`]
+//! (crate::ConvAlgo::Im2colPacked) the results are *not* bitwise equal: Winograd
+//! legitimately reassociates the arithmetic, and the contract — pinned by
+//! `tests/winograd_parity.rs` — is elementwise agreement within `1e-4` at
+//! unit-scale activations.
+
+use crate::engine::{self, WriteMode, NR};
+use crate::error::{Result, TensorError};
+use crate::shape::Conv2dParams;
+use crate::tensor::Tensor;
+use crate::{parallel, scratch};
+
+/// Transform points of F(2×2, 3×3): a 4×4 grid.
+const POINTS: usize = 16;
+/// Output tile extent.
+const TILE: usize = 2;
+/// Input tile extent (`TILE + kernel − 1`).
+const ALPHA: usize = 4;
+
+/// Pointwise activation fused into the Winograd output transform, saving the
+/// separate full-tensor pass a caller would otherwise run after the convolution.
+///
+/// Applying the same function in a fused or a separate pass is bitwise
+/// equivalent (it is pointwise on the already-final value), so fusion never
+/// changes results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusedActivation {
+    /// No activation: `y`.
+    #[default]
+    None,
+    /// `max(y, 0)`.
+    Relu,
+    /// `clamp(y, 0, 6)` (the MobileNetV2 activation).
+    Relu6,
+}
+
+/// A 3×3 filter bank lifted to the 16 Winograd transform points: `U = G·g·Gᵀ`
+/// per (output channel, input channel) pair.
+///
+/// The transform is resolution-independent, so models cache one
+/// `WinogradFilter` per eligible convolution layer and reuse it at every input
+/// size; per-forward cost is then input/output transforms plus GEMMs only.
+/// Memory cost is `16/9 ≈ 1.78×` the original weights.
+///
+/// Layout: `u[t]` (for `t = 4·r + c`) is the row-major `O × I` matrix of point
+/// `(r, c)` — exactly the left-hand operand of that point's GEMM.
+#[derive(Debug, Clone)]
+pub struct WinogradFilter {
+    /// `[POINTS][out_channels][in_channels]`, row-major per point.
+    u: Vec<f32>,
+    out_channels: usize,
+    in_channels: usize,
+}
+
+impl WinogradFilter {
+    /// Computes the filter transform for a dense stride-1 3×3 convolution.
+    ///
+    /// # Errors
+    /// Returns an error if the parameters are not Winograd-eligible
+    /// (kernel 3, stride 1, dense groups) or the weight shape does not match.
+    pub fn prepare(weight: &Tensor, params: &Conv2dParams) -> Result<Self> {
+        if !crate::conv::ConvAlgo::Winograd.supports(params) {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![params.kernel, params.stride, params.groups],
+                right: vec![3, 1, 1],
+                op: "winograd requires kernel=3 stride=1 groups=1",
+            });
+        }
+        crate::conv::validate_weight(params, weight)?;
+        let o = params.out_channels;
+        let i = params.in_channels;
+        let mut u = vec![0.0f32; POINTS * o * i];
+        let wdata = weight.as_slice();
+        for oc in 0..o {
+            for ic in 0..i {
+                let g = &wdata[(oc * i + ic) * 9..(oc * i + ic) * 9 + 9];
+                // tmp = G·g, with G = [[1,0,0],[½,½,½],[½,−½,½],[0,0,1]].
+                let mut tmp = [[0.0f32; 3]; ALPHA];
+                for c in 0..3 {
+                    let (g0, g1, g2) = (g[c], g[3 + c], g[6 + c]);
+                    tmp[0][c] = g0;
+                    tmp[1][c] = 0.5 * (g0 + g1 + g2);
+                    tmp[2][c] = 0.5 * (g0 - g1 + g2);
+                    tmp[3][c] = g2;
+                }
+                // U = tmp·Gᵀ, same stencil along the rows.
+                for r in 0..ALPHA {
+                    let (t0, t1, t2) = (tmp[r][0], tmp[r][1], tmp[r][2]);
+                    let row = [t0, 0.5 * (t0 + t1 + t2), 0.5 * (t0 - t1 + t2), t2];
+                    for (c, &value) in row.iter().enumerate() {
+                        u[(r * ALPHA + c) * o * i + oc * i + ic] = value;
+                    }
+                }
+            }
+        }
+        Ok(WinogradFilter { u, out_channels: o, in_channels: i })
+    }
+
+    /// Output channels of the transformed filter bank.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Input channels of the transformed filter bank.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+}
+
+/// Interleaves two stencil-output lanes into one output row, adding the bias and
+/// applying the fused activation: `row[2t] = act(ya[t] + bias)`,
+/// `row[2t+1] = act(yb[t] + bias)`, with the odd tail column (odd output widths)
+/// taking `ya` only.
+#[inline]
+fn emit_output_row(out_row: &mut [f32], ya: &[f32], yb: &[f32], bias: f32, act: FusedActivation) {
+    // Monomorphize per activation so the interleave loop body is branch-free.
+    match act {
+        FusedActivation::None => emit_interleaved(out_row, ya, yb, bias, |y| y),
+        FusedActivation::Relu => emit_interleaved(out_row, ya, yb, bias, |y| y.max(0.0)),
+        FusedActivation::Relu6 => emit_interleaved(out_row, ya, yb, bias, |y| y.clamp(0.0, 6.0)),
+    }
+}
+
+#[inline]
+fn emit_interleaved(
+    out_row: &mut [f32],
+    ya: &[f32],
+    yb: &[f32],
+    bias: f32,
+    act: impl Fn(f32) -> f32,
+) {
+    let full = out_row.len() / 2;
+    let (pairs, tail) = out_row.split_at_mut(full * 2);
+    for ((pair, &a), &b) in pairs.chunks_exact_mut(2).zip(ya).zip(yb) {
+        pair[0] = act(a + bias);
+        pair[1] = act(b + bias);
+    }
+    if let [last] = tail {
+        *last = act(ya[full] + bias);
+    }
+}
+
+/// A raw output pointer that may cross thread boundaries; the tile-row chunk
+/// decomposition guarantees tasks write pairwise-disjoint elements.
+struct OutPtr(*mut f32);
+
+impl OutPtr {
+    /// Accessor (rather than direct field use) so closures capture the wrapper,
+    /// keeping them `Sync`.
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+unsafe impl Send for OutPtr {}
+unsafe impl Sync for OutPtr {}
+
+/// GEMM columns (tiles) one worker task aims to process per chunk. Swept
+/// empirically across layer shapes (32–512 channels, 14–448 px): ~224 columns is
+/// where the per-point GEMMs reach full throughput while the chunk's `V`/`M`
+/// buffers are still small enough that the transform stages stay cache-resident
+/// between the GEMM passes; larger chunks lose more to cache traffic than they
+/// gain in GEMM efficiency, smaller ones drown in per-call overhead.
+const TARGET_CHUNK_TILES: usize = 224;
+
+/// Tile rows per worker task: whole tile rows approximating
+/// [`TARGET_CHUNK_TILES`] GEMM columns, with the packed-`V` footprint capped at
+/// twice the engine's B-panel budget for very deep layers. A pure function of
+/// the layer shape (never of the thread count), which keeps the decomposition —
+/// and therefore the results — identical for every worker configuration.
+fn chunk_tile_rows(in_channels: usize, tiles_w: usize, tiles_h: usize) -> usize {
+    let tiles_w = tiles_w.max(1);
+    let rows_cap = (2 * engine::MAX_B_PANEL_ELEMS / (POINTS * in_channels * tiles_w)).max(1);
+    (TARGET_CHUNK_TILES / tiles_w).clamp(1, rows_cap).min(tiles_h)
+}
+
+/// Writes the four `z·B` stencil lanes of one `Bᵀ` row (transform points
+/// `4r + 0..4`) for a full tile row into their packed-`V` segments, splitting at
+/// `NR`-panel boundaries. One run walk feeds all four points, and the inner
+/// loops are counted raw-pointer sweeps — bounds are asserted once up front —
+/// so the per-run overhead stays small even when panel boundaries chop a tile
+/// row into short runs. `even`/`odd` are the deinterleaved columns of `z` row
+/// `r`: tile `t`'s four stencil inputs are `even[t], odd[t], even[t+1],
+/// odd[t+1]`, and the four lanes are `v₀ = z₀−z₂`, `v₁ = z₁+z₂`, `v₂ = z₂−z₁`,
+/// `v₃ = z₁−z₃` expressed over those arrays.
+#[allow(clippy::too_many_arguments)]
+fn scatter_stencil_rows(
+    vpack: &mut [f32],
+    vseg: usize,
+    in_ch: usize,
+    ic: usize,
+    point_base: usize,
+    j0: usize,
+    tiles_w: usize,
+    even: &[f32],
+    odd: &[f32],
+) {
+    assert!(even.len() > tiles_w && odd.len() > tiles_w);
+    let last_panel = (j0 + tiles_w - 1) / NR;
+    assert!((point_base + 3) * vseg + last_panel * (in_ch * NR) + ic * NR + NR <= vpack.len());
+    let base = vpack.as_mut_ptr();
+    let (e, o) = (even.as_ptr(), odd.as_ptr());
+    let mut tw = 0;
+    while tw < tiles_w {
+        let j = j0 + tw;
+        let lane = j % NR;
+        let run = (NR - lane).min(tiles_w - tw);
+        let panel_off = (j / NR) * (in_ch * NR) + ic * NR + lane;
+        // Safety: the assertions above bound every `dst.add(i)` for i < run and
+        // every `e/o.add(tw + i + 1)`; the four destinations are disjoint
+        // (distinct `vseg` segments).
+        unsafe {
+            let d0 = base.add(point_base * vseg + panel_off);
+            let d1 = base.add((point_base + 1) * vseg + panel_off);
+            let d2 = base.add((point_base + 2) * vseg + panel_off);
+            let d3 = base.add((point_base + 3) * vseg + panel_off);
+            for i in 0..run {
+                let (e0, o0) = (*e.add(tw + i), *o.add(tw + i));
+                let (e1, o1) = (*e.add(tw + i + 1), *o.add(tw + i + 1));
+                *d0.add(i) = e0 - e1;
+                *d1.add(i) = o0 + e1;
+                *d2.add(i) = e1 - o0;
+                *d3.add(i) = o0 - o1;
+            }
+        }
+        tw += run;
+    }
+}
+
+/// Winograd F(2×2, 3×3) convolution against a pre-transformed filter bank, with
+/// the bias and an optional activation fused into the output transform.
+///
+/// This is the path models use: the filter transform is paid once at layer
+/// construction ([`WinogradFilter::prepare`]) and every forward pass runs only
+/// transforms + GEMMs. See the [module docs](self) for the algorithm, the
+/// determinism argument, and the numerical-tolerance contract.
+///
+/// # Errors
+/// Returns an error if the parameters are not Winograd-eligible, the filter
+/// bank's channel counts do not match them, or the bias length is inconsistent.
+pub fn conv2d_winograd_prepared(
+    input: &Tensor,
+    filter: &WinogradFilter,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    activation: FusedActivation,
+) -> Result<Tensor> {
+    if !crate::conv::ConvAlgo::Winograd.supports(params) {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![params.kernel, params.stride, params.groups],
+            right: vec![3, 1, 1],
+            op: "winograd requires kernel=3 stride=1 groups=1",
+        });
+    }
+    if filter.out_channels != params.out_channels || filter.in_channels != params.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![filter.out_channels, filter.in_channels],
+            right: vec![params.out_channels, params.in_channels],
+            op: "winograd filter channels",
+        });
+    }
+    crate::conv::validate_bias(params, bias)?;
+    let ishape = input.shape();
+    let oshape = params.output_shape(ishape)?;
+    let mut out = Tensor::zeros(oshape);
+
+    let in_ch = params.in_channels;
+    let out_ch = params.out_channels;
+    let pad = params.padding as isize;
+    let pad_cols = params.padding;
+    let ih_extent = ishape.h as isize;
+    let (oh, ow) = (oshape.h, oshape.w);
+    let tiles_h = oh.div_ceil(TILE);
+    let tiles_w = ow.div_ceil(TILE);
+    let rows_per_chunk = chunk_tile_rows(in_ch, tiles_w, tiles_h);
+    let n_chunks = tiles_h.div_ceil(rows_per_chunk);
+    let parallel = params.macs(ishape).unwrap_or(0) >= engine::PARALLEL_MIN_MACS;
+
+    let u = &filter.u[..];
+    let out_ptr = OutPtr(out.as_mut_slice().as_mut_ptr());
+    for n in 0..ishape.n {
+        parallel::for_each_task(n_chunks, parallel && n_chunks > 1, |chunk| {
+            let tr0 = chunk * rows_per_chunk;
+            let tr1 = (tr0 + rows_per_chunk).min(tiles_h);
+            let p = (tr1 - tr0) * tiles_w;
+            let panels = p.div_ceil(NR);
+            let vseg = panels * in_ch * NR;
+            let mut vpack = scratch::take(POINTS * vseg);
+
+            // --- Input transform: V = Bᵀ·d·B, written straight into the 16
+            // packed-B segments (tile j is column j of every point's GEMM). The
+            // per-tile 4×4 transform is restructured as whole-tile-row slice
+            // arithmetic so every inner loop is a contiguous vectorizable sweep:
+            // stage the four (zero-padded) input rows, combine them into the four
+            // Bᵀ rows with even/odd columns split as they are produced, then each
+            // transform point is a two-term stencil over those arrays. ---
+            let wz = 2 * (tiles_w + 1);
+            let half = tiles_w + 1;
+            let mut stage = scratch::take(4 * wz + 8 * half);
+            for ic in 0..in_ch {
+                let plane = input.plane(n, ic);
+                for tr in tr0..tr1 {
+                    let ih0 = (tr * TILE) as isize - pad;
+                    let (rbuf, eo) = stage.split_at_mut(4 * wz);
+                    // Padded input rows: rbuf[r][x] = input(ih0 + r, x − pad), 0 outside.
+                    for r in 0..ALPHA {
+                        let row = &mut rbuf[r * wz..(r + 1) * wz];
+                        let ih = ih0 + r as isize;
+                        if ih < 0 || ih >= ih_extent {
+                            row.fill(0.0);
+                            continue;
+                        }
+                        let src = &plane[ih as usize * ishape.w..(ih as usize + 1) * ishape.w];
+                        let x0 = pad_cols.min(wz);
+                        let x1 = (pad_cols + ishape.w).min(wz);
+                        row[..x0].fill(0.0);
+                        row[x0..x1].copy_from_slice(&src[..x1 - x0]);
+                        row[x1..].fill(0.0);
+                    }
+                    // z = Bᵀ·d, with Bᵀ = [[1,0,−1,0],[0,1,1,0],[0,−1,1,0],[0,1,0,−1]]:
+                    // four elementwise row combinations, deinterleaved into even/odd
+                    // columns as they are produced so tile t's four stencil inputs
+                    // are `even[t], odd[t], even[t+1], odd[t+1]` — all unit-stride.
+                    {
+                        let (r0, r123) = rbuf.split_at(wz);
+                        let (r1, r23) = r123.split_at(wz);
+                        let (r2, r3) = r23.split_at(wz);
+                        let mut rows = eo.chunks_exact_mut(half);
+                        let mut combine = |a: &[f32], b: &[f32], sum: bool| {
+                            let even = rows.next().expect("eo holds 8 half-rows");
+                            let odd = rows.next().expect("eo holds 8 half-rows");
+                            let lanes = even.iter_mut().zip(odd.iter_mut());
+                            for (((e, o), pa), pb) in
+                                lanes.zip(a.chunks_exact(2)).zip(b.chunks_exact(2))
+                            {
+                                if sum {
+                                    *e = pa[0] + pb[0];
+                                    *o = pa[1] + pb[1];
+                                } else {
+                                    *e = pa[0] - pb[0];
+                                    *o = pa[1] - pb[1];
+                                }
+                            }
+                        };
+                        combine(r0, r2, false); // z₀ = d₀ − d₂
+                        combine(r1, r2, true); // z₁ = d₁ + d₂
+                        combine(r2, r1, false); // z₂ = d₂ − d₁
+                        combine(r1, r3, false); // z₃ = d₁ − d₃
+                    }
+                    // V = z·B per row: two-term stencils into the packed segments.
+                    let j0 = (tr - tr0) * tiles_w;
+                    for r in 0..ALPHA {
+                        let even = &eo[2 * r * half..2 * r * half + half];
+                        let odd = &eo[(2 * r + 1) * half..(2 * r + 1) * half + half];
+                        scatter_stencil_rows(
+                            &mut vpack,
+                            vseg,
+                            in_ch,
+                            ic,
+                            r * ALPHA,
+                            j0,
+                            tiles_w,
+                            even,
+                            odd,
+                        );
+                    }
+                }
+            }
+            scratch::give(stage);
+
+            // --- Per-point channel reduction: M(t) = U(t) · V(t), one packed GEMM
+            // per transform point (serial within the task; parallelism lives at the
+            // chunk level). ---
+            let mut mbuf = scratch::take(POINTS * out_ch * p);
+            for t in 0..POINTS {
+                engine::packed_gemm_strided(
+                    &u[t * out_ch * in_ch..(t + 1) * out_ch * in_ch],
+                    in_ch,
+                    0,
+                    out_ch,
+                    in_ch,
+                    &vpack[t * vseg..(t + 1) * vseg],
+                    p,
+                    &mut mbuf[t * out_ch * p..(t + 1) * out_ch * p],
+                    p,
+                    0,
+                    WriteMode::Overwrite { bias: None },
+                );
+            }
+
+            // --- Output transform: Y = Aᵀ·M·A + bias, activation fused, written
+            // into this chunk's output rows of every channel plane. Like the input
+            // transform, the per-tile 2×4 / 2×2 products are restructured as
+            // whole-tile-row slice sweeps over the 16 contiguous `M` streams.
+            // Safety: chunks own disjoint tile-row ranges, so all writes are
+            // pairwise disjoint and in-bounds. ---
+            let base_ptr = out_ptr.get();
+            let mut obuf = scratch::take(12 * tiles_w);
+            for c_out in 0..out_ch {
+                let bias_v = bias.map_or(0.0, |b| b[c_out]);
+                let plane_base = (n * out_ch + c_out) * oh * ow;
+                let mrows: [&[f32]; POINTS] = std::array::from_fn(|t| {
+                    &mbuf[t * out_ch * p + c_out * p..t * out_ch * p + (c_out + 1) * p]
+                });
+                for tr in tr0..tr1 {
+                    let jr = (tr - tr0) * tiles_w..(tr - tr0 + 1) * tiles_w;
+                    let (tt, y) = obuf.split_at_mut(8 * tiles_w);
+                    // tt = Aᵀ·M, with Aᵀ = [[1,1,1,0],[0,1,−1,−1]]: per transform
+                    // column c, two three-term elementwise combinations.
+                    for c in 0..ALPHA {
+                        let s0 = &mrows[c][jr.clone()];
+                        let s1 = &mrows[ALPHA + c][jr.clone()];
+                        let s2 = &mrows[2 * ALPHA + c][jr.clone()];
+                        let s3 = &mrows[3 * ALPHA + c][jr.clone()];
+                        let dst = &mut tt[c * tiles_w..(c + 1) * tiles_w];
+                        for (((d, &a), &b), &e) in dst.iter_mut().zip(s0).zip(s1).zip(s2) {
+                            *d = a + b + e;
+                        }
+                        let dst = &mut tt[(ALPHA + c) * tiles_w..(ALPHA + c + 1) * tiles_w];
+                        for (((d, &a), &b), &e) in dst.iter_mut().zip(s1).zip(s2).zip(s3) {
+                            *d = a - b - e;
+                        }
+                    }
+                    // Y = tt·A: fold the four columns into the 2×2 output lanes.
+                    for half_row in 0..TILE {
+                        let t0 =
+                            &tt[(half_row * ALPHA) * tiles_w..(half_row * ALPHA + 1) * tiles_w];
+                        let t1 =
+                            &tt[(half_row * ALPHA + 1) * tiles_w..(half_row * ALPHA + 2) * tiles_w];
+                        let t2 =
+                            &tt[(half_row * ALPHA + 2) * tiles_w..(half_row * ALPHA + 3) * tiles_w];
+                        let t3 =
+                            &tt[(half_row * ALPHA + 3) * tiles_w..(half_row * ALPHA + 4) * tiles_w];
+                        let (ya, yb) = y[2 * half_row * tiles_w..(2 * half_row + 2) * tiles_w]
+                            .split_at_mut(tiles_w);
+                        for (((d, &a), &b), &e) in ya.iter_mut().zip(t0).zip(t1).zip(t2) {
+                            *d = a + b + e;
+                        }
+                        for (((d, &a), &b), &e) in yb.iter_mut().zip(t1).zip(t2).zip(t3) {
+                            *d = a - b - e;
+                        }
+                    }
+                    let oh0 = tr * TILE;
+                    for half_row in 0..TILE {
+                        if oh0 + half_row >= oh {
+                            break;
+                        }
+                        let row_start = plane_base + (oh0 + half_row) * ow;
+                        // Safety: rows [tr0*2, tr1*2) of every plane belong
+                        // exclusively to this task (see above).
+                        let out_row =
+                            unsafe { std::slice::from_raw_parts_mut(base_ptr.add(row_start), ow) };
+                        let ya = &y[2 * half_row * tiles_w..(2 * half_row + 1) * tiles_w];
+                        let yb = &y[(2 * half_row + 1) * tiles_w..(2 * half_row + 2) * tiles_w];
+                        emit_output_row(out_row, ya, yb, bias_v, activation);
+                    }
+                }
+            }
+            scratch::give(obuf);
+            scratch::give(mbuf);
+            scratch::give(vpack);
+        });
+    }
+    Ok(out)
+}
+
+/// Winograd F(2×2, 3×3) convolution from raw weights: computes the filter
+/// transform and runs [`conv2d_winograd_prepared`]. The transform costs
+/// `O(O·I)` — negligible next to the convolution itself — but repeat callers
+/// should cache a [`WinogradFilter`] instead.
+///
+/// # Errors
+/// Returns an error if the parameters are not Winograd-eligible or the weight
+/// shape / bias length are inconsistent with them.
+pub fn conv2d_winograd(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    let filter = WinogradFilter::prepare(weight, params)?;
+    conv2d_winograd_prepared(input, &filter, bias, params, FusedActivation::None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{conv2d_direct, conv2d_im2col_packed};
+    use crate::shape::Shape;
+
+    fn close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        let diff = a.max_abs_diff(b).unwrap();
+        assert!(diff < tol, "tensors differ by {diff}");
+    }
+
+    #[test]
+    fn matches_direct_on_basic_shapes() {
+        for (ic, oc, h, w, pad) in [
+            (1usize, 1usize, 6usize, 6usize, 1usize),
+            (3, 4, 9, 7, 1),
+            (5, 2, 8, 8, 0),
+            (2, 3, 4, 5, 2),
+        ] {
+            let params = Conv2dParams::new(ic, oc, 3, 1, pad);
+            let input = Tensor::random_uniform(Shape::chw(ic, h, w), 1.0, (ic * h) as u64);
+            let weight = Tensor::random_uniform(Shape::new(oc, ic, 3, 3), 0.5, (oc + pad) as u64);
+            let bias: Vec<f32> = (0..oc).map(|i| 0.1 * i as f32).collect();
+            let reference = conv2d_direct(&input, &weight, Some(&bias), &params).unwrap();
+            let wino = conv2d_winograd(&input, &weight, Some(&bias), &params).unwrap();
+            close(&reference, &wino, 1e-4);
+        }
+    }
+
+    #[test]
+    fn matches_packed_on_batched_input() {
+        let params = Conv2dParams::new(4, 6, 3, 1, 1);
+        let input = Tensor::random_uniform(Shape::new(3, 4, 11, 13), 1.0, 7);
+        let weight = Tensor::random_uniform(Shape::new(6, 4, 3, 3), 0.5, 8);
+        let packed = conv2d_im2col_packed(&input, &weight, None, &params).unwrap();
+        let wino = conv2d_winograd(&input, &weight, None, &params).unwrap();
+        close(&packed, &wino, 1e-4);
+    }
+
+    #[test]
+    fn fused_activation_matches_separate_pass_bitwise() {
+        let params = Conv2dParams::new(3, 5, 3, 1, 1);
+        let input = Tensor::random_uniform(Shape::chw(3, 10, 10), 1.0, 3);
+        let weight = Tensor::random_uniform(Shape::new(5, 3, 3, 3), 0.5, 4);
+        let filter = WinogradFilter::prepare(&weight, &params).unwrap();
+        let plain = conv2d_winograd_prepared(&input, &filter, None, &params, FusedActivation::None)
+            .unwrap();
+        let fused = conv2d_winograd_prepared(&input, &filter, None, &params, FusedActivation::Relu)
+            .unwrap();
+        for (&x, &y) in plain.as_slice().iter().zip(fused.as_slice()) {
+            assert_eq!(x.max(0.0).to_bits(), y.to_bits());
+        }
+        let fused6 =
+            conv2d_winograd_prepared(&input, &filter, None, &params, FusedActivation::Relu6)
+                .unwrap();
+        for (&x, &y) in plain.as_slice().iter().zip(fused6.as_slice()) {
+            assert_eq!(x.clamp(0.0, 6.0).to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_non_winograd_shapes() {
+        let strided = Conv2dParams::new(4, 4, 3, 2, 1);
+        let input = Tensor::random_uniform(Shape::chw(4, 8, 8), 1.0, 1);
+        let weight = Tensor::random_uniform(Shape::new(4, 4, 3, 3), 0.5, 2);
+        assert!(conv2d_winograd(&input, &weight, None, &strided).is_err());
+        assert!(WinogradFilter::prepare(&weight, &strided).is_err());
+
+        let grouped = Conv2dParams::new(4, 4, 3, 1, 1).with_groups(2);
+        let gweight = Tensor::random_uniform(Shape::new(4, 2, 3, 3), 0.5, 3);
+        assert!(conv2d_winograd(&input, &gweight, None, &grouped).is_err());
+
+        let eligible = Conv2dParams::new(4, 4, 3, 1, 1);
+        let filter = WinogradFilter::prepare(&weight, &eligible).unwrap();
+        assert_eq!(filter.out_channels(), 4);
+        assert_eq!(filter.in_channels(), 4);
+        let wrong = Conv2dParams::new(4, 8, 3, 1, 1);
+        assert!(
+            conv2d_winograd_prepared(&input, &filter, None, &wrong, FusedActivation::None).is_err()
+        );
+        assert!(conv2d_winograd_prepared(
+            &input,
+            &filter,
+            Some(&[0.0; 3]),
+            &eligible,
+            FusedActivation::None
+        )
+        .is_err());
+    }
+}

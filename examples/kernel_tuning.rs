@@ -57,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. The packed engine, measured: sweep real algorithms over one ResNet-50 layer
     //    at two resolutions and compare with what the dispatch layer picks.
-    use rescnn::hwsim::{MeasuredSweepConfig, MeasuredTuner};
+    use rescnn::hwsim::{
+        CalibratedCostModel, CpuProfile as HwCpuProfile, MeasuredSweepConfig, MeasuredTuner,
+    };
     use rescnn::tensor::ConvAlgo;
     println!("\nMeasured engine sweep (wall-clock, this host):");
     let tuner = MeasuredTuner::new(MeasuredSweepConfig::default());
@@ -74,6 +76,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         println!("    dispatch picks: {}", tuner.dispatched_algo(&layer));
+    }
+
+    // 4. Winograd F(2x2,3x3) vs the packed im2col engine on stride-1 3x3 layers
+    //    across the full resolution ladder (the PR 4 speedup table; the
+    //    `winograd` group of `cargo bench --bench conv_kernels` reproduces the
+    //    same numbers with criterion timing).
+    use rescnn::tensor::{
+        conv2d_winograd_prepared, conv2d_with_algo, FusedActivation, WinogradFilter,
+    };
+    println!("\nWinograd F(2x2,3x3) vs packed im2col (64->64 3x3 stride-1, this host):");
+    println!("{:>10} {:>14} {:>12} {:>9}", "resolution", "im2col (ms)", "winograd (ms)", "speedup");
+    let params = Conv2dParams::new(64, 64, 3, 1, 1);
+    let weight = Tensor::kaiming(Shape::new(64, 64, 3, 3), 64 * 9, 1);
+    let filter = WinogradFilter::prepare(&weight, &params)?;
+    let time_ms = |f: &mut dyn FnMut()| {
+        f(); // warm caches and the scratch arena
+        let start = Instant::now();
+        let mut runs = 0u32;
+        while start.elapsed().as_millis() < 300 {
+            f();
+            runs += 1;
+        }
+        start.elapsed().as_secs_f64() * 1e3 / runs as f64
+    };
+    for res in [112usize, 168, 224, 280, 336, 392, 448] {
+        let input = Tensor::random_uniform(Shape::chw(64, res, res), 1.0, res as u64);
+        let base = time_ms(&mut || {
+            conv2d_with_algo(&input, &weight, None, &params, ConvAlgo::Im2colPacked).unwrap();
+        });
+        let wino = time_ms(&mut || {
+            conv2d_winograd_prepared(&input, &filter, None, &params, FusedActivation::None)
+                .unwrap();
+        });
+        println!("{res:>10} {base:>14.2} {wino:>12.2} {:>8.2}x", base / wino);
+    }
+
+    // 5. Close the loop: feed the measured sweeps into a calibrated cost model,
+    //    export the measured-fastest dispatch table, and persist it — the file a
+    //    serving deployment points `PipelineConfig::with_conv_calibration` at.
+    let mut calibrated = CalibratedCostModel::new(HwCpuProfile::host());
+    let layers = arch.conv_layers(224)?;
+    calibrated.calibrate_layers(&tuner, &layers[..layers.len().min(12)]);
+    let table = calibrated.dispatch_table();
+    let path = std::env::temp_dir().join("rescnn-conv-calibration.txt");
+    calibrated.save(&path)?;
+    println!(
+        "\nCalibrated dispatch: {} layer shapes measured; table persisted to {}",
+        table.len(),
+        path.display()
+    );
+    for layer in layers.iter().take(12) {
+        println!(
+            "  {:>3}x{:<3} k={} s={} {:>4}ch -> {}",
+            layer.input.h,
+            layer.input.w,
+            layer.params.kernel,
+            layer.params.stride,
+            layer.params.in_channels,
+            calibrated.best_algo(layer)
+        );
     }
     Ok(())
 }

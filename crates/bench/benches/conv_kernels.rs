@@ -205,7 +205,8 @@ fn resnet50_forward(c: &mut Criterion) {
     // where it actually won on this host. This is the deployment configuration.
     set_num_threads(original_threads);
     let layers = ModelKind::ResNet50.arch(1000).conv_layers(224).expect("resnet50 at 224");
-    let tuner = MeasuredTuner::new(MeasuredSweepConfig { reps: 2, max_threads: 1, seed: 0 });
+    let tuner =
+        MeasuredTuner::new(MeasuredSweepConfig { reps: 2, max_threads: 1, ..Default::default() });
     let mut calibrated = CalibratedCostModel::new(CpuProfile::host());
     let mut seen = std::collections::HashSet::new();
     for layer in &layers {
@@ -243,11 +244,64 @@ fn resnet50_forward(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR 5 acceptance benchmark: prepacked weights + fused epilogues + arena
+/// execution (`Network::forward`) vs the PR-4-era execution path
+/// (`Network::forward_reference`: per-call weight packing, separate
+/// activation/residual sweeps, fresh allocations per layer) — both under
+/// measurement-calibrated dispatch, at 224² and 448². The two paths are
+/// bitwise identical in results (pinned by the prepacked parity suites); only
+/// the execution strategy differs.
+fn forward_prepacked(c: &mut Criterion) {
+    let original_threads = num_threads();
+    set_num_threads(1);
+    let mut group = c.benchmark_group("forward_prepacked");
+    group.sample_size(10);
+    let net = Network::new(ModelKind::ResNet50, 1000, 0);
+    let tuner = MeasuredTuner::new(MeasuredSweepConfig { reps: 2, ..Default::default() });
+    for &res in &[224usize, 448] {
+        // Calibrate dispatch for this resolution's shapes (the serving config).
+        let layers = ModelKind::ResNet50.arch(1000).conv_layers(res).expect("resnet50 layers");
+        let mut calibrated = CalibratedCostModel::new(CpuProfile::host());
+        let mut seen = std::collections::HashSet::new();
+        for layer in &layers {
+            if ConvAlgo::Winograd.supports(&layer.params)
+                && seen.insert(ConvShapeKey::new(layer.params, layer.input))
+            {
+                for algo in [ConvAlgo::Im2colPacked, ConvAlgo::Winograd] {
+                    let kernel = tuner.measure_algo(layer, algo, 1);
+                    calibrated.record(layer, kernel.algo, kernel.seconds);
+                }
+            }
+        }
+        install_algo_calibration(Some(calibrated.dispatch_table()));
+
+        let shape = Shape::chw(3, res, res);
+        let input = Tensor::random_uniform(shape, 1.0, res as u64);
+        let plan = net.warm_thread_arena(shape).expect("arena plan");
+        println!(
+            "arena plan @{res}: {} buffers, {:.1} MiB arena, {:.1} MiB peak live activations",
+            plan.buffer_elems.len(),
+            plan.arena_bytes() as f64 / (1024.0 * 1024.0),
+            plan.peak_live_bytes as f64 / (1024.0 * 1024.0),
+        );
+        group.bench_with_input(BenchmarkId::new("prepacked", res), &res, |b, _| {
+            b.iter(|| net.forward(&input).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reference", res), &res, |b, _| {
+            b.iter(|| net.forward_reference(&input).unwrap())
+        });
+        install_algo_calibration(None);
+    }
+    group.finish();
+    set_num_threads(original_threads);
+}
+
 criterion_group!(
     benches,
     conv_benchmarks,
     engine_benchmarks,
     winograd_benchmarks,
+    forward_prepacked,
     resnet50_forward
 );
 criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! Sweep-once-on-boot serving calibration.
+//!
+//! A serving deployment wants measurement-driven conv dispatch
+//! ([`rescnn_tensor::AlgoCalibration`]) without blocking start-up on a
+//! wall-clock sweep and without shipping a pre-measured file for every host
+//! type. [`start_boot_calibration`] runs the [`MeasuredTuner`] sweep for the
+//! deployed backbone's layer shapes — at every resolution the deployment
+//! serves — on a background thread, then atomically installs the
+//! measured-fastest table process-wide (merged over any already-installed
+//! entries, in one locked step) the moment it is ready.
+//!
+//! Until the sweep finishes, dispatch simply keeps using its current defaults
+//! (heuristics or a previously persisted table), so serving starts instantly
+//! and upgrades itself in place; the batch scheduler's per-bucket dispatch
+//! caches notice the install via the calibration generation and re-resolve.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rescnn_hwsim::{CalibratedCostModel, CpuProfile, MeasuredSweepConfig, MeasuredTuner};
+use rescnn_models::ModelKind;
+use rescnn_tensor::{merge_algo_calibration, ConvAlgo, ConvShapeKey};
+
+use crate::error::{CoreError, Result};
+
+/// What the boot sweep measures.
+#[derive(Debug, Clone)]
+pub struct BootCalibrationConfig {
+    /// Backbone whose layer shapes are swept.
+    pub backbone: ModelKind,
+    /// Resolutions the deployment serves (one sweep covers all buckets; shapes
+    /// shared between resolutions are measured once).
+    pub resolutions: Vec<usize>,
+    /// Sweep parameters (repetitions, threads, prepacked timing).
+    pub sweep: MeasuredSweepConfig,
+    /// When set, the measured model is persisted here afterwards, so later
+    /// processes can warm-start via
+    /// [`PipelineConfig::with_conv_calibration`](crate::PipelineConfig::with_conv_calibration).
+    pub persist_path: Option<String>,
+}
+
+impl BootCalibrationConfig {
+    /// A sweep over the given backbone and resolution ladder with default
+    /// sweep parameters and no persistence.
+    pub fn new(backbone: ModelKind, resolutions: Vec<usize>) -> Self {
+        BootCalibrationConfig {
+            backbone,
+            resolutions,
+            sweep: MeasuredSweepConfig::default(),
+            persist_path: None,
+        }
+    }
+
+    /// Persists the measured model after installation.
+    pub fn with_persist_path(mut self, path: impl Into<String>) -> Self {
+        self.persist_path = Some(path.into());
+        self
+    }
+}
+
+/// Handle to a background boot-calibration sweep.
+#[derive(Debug)]
+pub struct BootCalibration {
+    ready: Arc<AtomicBool>,
+    handle: JoinHandle<Result<usize>>,
+}
+
+impl BootCalibration {
+    /// Whether the sweep has finished (and, on success, installed its table).
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the sweep finishes, returning the number of calibrated
+    /// layer shapes it installed.
+    ///
+    /// # Errors
+    /// Returns an error if the sweep failed (unservable resolution, persistence
+    /// failure) or its thread panicked.
+    pub fn wait(self) -> Result<usize> {
+        self.handle
+            .join()
+            .map_err(|_| CoreError::InvalidConfig { reason: "boot calibration panicked".into() })?
+    }
+}
+
+/// Starts the boot sweep on a background thread and returns immediately.
+///
+/// Serving can begin at once; the measured dispatch table installs itself
+/// process-wide when the sweep completes. Call [`BootCalibration::wait`] to
+/// block on it (tests, offline tooling) or drop the handle to let it finish
+/// detached.
+pub fn start_boot_calibration(config: BootCalibrationConfig) -> BootCalibration {
+    let ready = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&ready);
+    let handle = std::thread::Builder::new()
+        .name("rescnn-boot-calibration".into())
+        .spawn(move || {
+            let outcome = run_boot_sweep(&config);
+            flag.store(true, Ordering::Release);
+            outcome
+        })
+        .expect("spawning the boot-calibration thread");
+    BootCalibration { ready, handle }
+}
+
+/// The sweep body (also runnable synchronously by tooling): measures every
+/// Winograd-eligible layer shape of the backbone across the resolution ladder
+/// (the only shapes where dispatch is genuinely host-dependent — the 1×1 and
+/// depthwise fast paths are structurally dominant), installs the
+/// measured-fastest table merged over any existing installation, and optionally
+/// persists the measured model.
+///
+/// # Errors
+/// Returns an error if a resolution is too small for the backbone or the
+/// persist path cannot be written.
+pub fn run_boot_sweep(config: &BootCalibrationConfig) -> Result<usize> {
+    // Class count does not affect conv layer shapes; use the ImageNet default.
+    let arch = config.backbone.arch(1000);
+    let tuner = MeasuredTuner::new(config.sweep);
+    let mut model = CalibratedCostModel::new(CpuProfile::host());
+    let mut seen = std::collections::HashSet::new();
+    for &resolution in &config.resolutions {
+        let layers = arch.conv_layers(resolution).map_err(|e| CoreError::InvalidConfig {
+            reason: format!("boot sweep at {resolution}: {e}"),
+        })?;
+        for layer in &layers {
+            if ConvAlgo::Winograd.supports(&layer.params)
+                && seen.insert(ConvShapeKey::new(layer.params, layer.input))
+            {
+                for algo in [ConvAlgo::Im2colPacked, ConvAlgo::Winograd] {
+                    let kernel = tuner.measure_algo(layer, algo, 1);
+                    model.record(layer, kernel.algo, kernel.seconds);
+                }
+            }
+        }
+    }
+    let measured = model.dispatch_table();
+    let shapes = measured.len();
+    // Merge into the installed table in one locked step: boot measurements win
+    // for the shapes they cover, everything else is preserved, and a concurrent
+    // installer can never be lost to a read-modify-write race.
+    merge_algo_calibration(&measured);
+    if let Some(path) = &config.persist_path {
+        model.save(path).map_err(|e| CoreError::InvalidConfig {
+            reason: format!("persisting boot calibration to {path}: {e}"),
+        })?;
+    }
+    Ok(shapes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescnn_tensor::{
+        install_algo_calibration, installed_algo_calibration, select_algo, AlgoCalibration,
+    };
+
+    #[test]
+    fn boot_sweep_installs_and_persists_a_measured_table() {
+        let _guard = crate::test_sync::calibration_lock();
+        let previous = install_algo_calibration(None);
+        // Pre-install an entry the sweep does not cover: the merge must keep it.
+        let exotic_params = rescnn_tensor::Conv2dParams::new(19, 19, 3, 1, 1);
+        let exotic_shape = rescnn_tensor::Shape::chw(19, 41, 41);
+        let mut pre = AlgoCalibration::new();
+        pre.set(ConvShapeKey::new(exotic_params, exotic_shape), ConvAlgo::Winograd);
+        install_algo_calibration(Some(pre));
+
+        let path = std::env::temp_dir()
+            .join(format!("rescnn-boot-calibration-{}.txt", std::process::id()));
+        let config = BootCalibrationConfig::new(ModelKind::ResNet18, vec![24, 32])
+            .with_persist_path(path.to_string_lossy().to_string());
+        let sweep = MeasuredSweepConfig { reps: 1, ..Default::default() };
+        let boot = start_boot_calibration(BootCalibrationConfig { sweep, ..config });
+        let shapes = boot.wait().expect("boot sweep succeeds");
+        assert!(shapes > 0, "resnet18 has winograd-eligible shapes at 24/32");
+
+        let installed = installed_algo_calibration().expect("sweep installs a table");
+        assert!(installed.len() > shapes, "merge must keep the pre-installed entry");
+        assert_eq!(
+            installed.get(&ConvShapeKey::new(exotic_params, exotic_shape)),
+            Some(ConvAlgo::Winograd)
+        );
+        // Every installed backbone entry steers default dispatch.
+        let arch = ModelKind::ResNet18.arch(1000);
+        let mut steered = 0;
+        for layer in arch.conv_layers(32).unwrap() {
+            if let Some(algo) = installed.get(&ConvShapeKey::new(layer.params, layer.input)) {
+                assert_eq!(select_algo(&layer.params, layer.input), algo);
+                steered += 1;
+            }
+        }
+        assert!(steered > 0);
+        assert!(path.exists(), "sweep persists the measured model");
+
+        std::fs::remove_file(&path).ok();
+        install_algo_calibration(previous.map(|t| (*t).clone()));
+    }
+
+    #[test]
+    fn boot_sweep_rejects_impossible_resolutions() {
+        let _guard = crate::test_sync::calibration_lock();
+        let config = BootCalibrationConfig::new(ModelKind::ResNet18, vec![0]);
+        let boot = start_boot_calibration(config);
+        assert!(boot.wait().is_err());
+    }
+
+    #[test]
+    fn readiness_flag_flips_after_completion() {
+        let _guard = crate::test_sync::calibration_lock();
+        let previous = install_algo_calibration(None);
+        let sweep = MeasuredSweepConfig { reps: 1, ..Default::default() };
+        let config = BootCalibrationConfig {
+            sweep,
+            ..BootCalibrationConfig::new(ModelKind::ResNet18, vec![16])
+        };
+        let boot = start_boot_calibration(config);
+        // Serving would proceed here; poll until the background sweep lands.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        while !boot.is_ready() && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(boot.is_ready(), "sweep must finish well within the deadline");
+        // At 16² the post-stem spatial extents still leave eligible 3×3 layers.
+        assert!(boot.wait().unwrap() > 0);
+        install_algo_calibration(previous.map(|t| (*t).clone()));
+    }
+}

@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+mod boot;
 mod calibration;
 mod error;
 mod features;
@@ -54,6 +55,7 @@ mod pipeline;
 mod scale_model;
 mod serve;
 
+pub use boot::{run_boot_sweep, start_boot_calibration, BootCalibration, BootCalibrationConfig};
 pub use calibration::{
     CalibrationCurves, SampleCurve, ScanPoint, StorageCalibrator, StoragePolicy,
 };
@@ -65,6 +67,21 @@ pub use pipeline::{
 };
 pub use scale_model::{ScaleModel, ScaleModelConfig, ScaleModelTrainer, TrainingExample};
 pub use serve::{BatchOptions, BatchScheduler, BucketStats, ServeReport};
+
+#[cfg(test)]
+pub(crate) mod test_sync {
+    //! Serialization of tests that install process-wide dispatch calibration or
+    //! observe the process-wide allocation counter: without it, concurrent
+    //! tests in this binary race on that shared state.
+
+    use std::sync::{Mutex, MutexGuard};
+
+    static CALIBRATION_LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn calibration_lock() -> MutexGuard<'static, ()> {
+        CALIBRATION_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
 
 /// Commonly used items, intended for glob import.
 pub mod prelude {

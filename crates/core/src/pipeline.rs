@@ -8,6 +8,7 @@
 //! is accounted in FLOPs of the backbone at the chosen resolution plus the scale model.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -16,7 +17,7 @@ use rescnn_imaging::{crop_and_resize_cow, CropRatio, SsimConfig, SsimReference};
 use rescnn_models::ModelKind;
 use rescnn_oracle::{AccuracyOracle, EvalContext};
 use rescnn_projpeg::{ProgressiveImage, ScanPlan};
-use rescnn_tensor::EngineContext;
+use rescnn_tensor::{algo_calibration_generation, AlgoCalibration, ConvShapeKey, EngineContext};
 
 use crate::calibration::{cheapest_sufficient_point, quality_at_scans, ScanPoint, StoragePolicy};
 use crate::error::{CoreError, Result};
@@ -277,6 +278,10 @@ pub fn install_conv_calibration(path: &str) -> Result<usize> {
     Ok(shapes)
 }
 
+/// Cached per-resolution bucket dispatch tables, each tagged with the
+/// process-wide calibration generation it was resolved under.
+type BucketDispatchCache = BTreeMap<usize, (u64, Arc<AlgoCalibration>)>;
+
 /// The dynamic-resolution pipeline.
 #[derive(Debug, Clone)]
 pub struct DynamicResolutionPipeline {
@@ -285,6 +290,10 @@ pub struct DynamicResolutionPipeline {
     oracle: AccuracyOracle,
     backbone_gflops: BTreeMap<usize, f64>,
     scale_gflops: f64,
+    /// Per-resolution-bucket conv-dispatch tables, resolved lazily and tagged
+    /// with the calibration generation they were derived from (shared across
+    /// pipeline clones; see [`DynamicResolutionPipeline::bucket_dispatch`]).
+    bucket_dispatch: Arc<Mutex<BucketDispatchCache>>,
 }
 
 impl DynamicResolutionPipeline {
@@ -311,7 +320,53 @@ impl DynamicResolutionPipeline {
         }
         let scale_arch = config.scale_model_kind.arch(config.dataset.num_classes());
         let scale_gflops = scale_arch.gflops(scale_model.preview_resolution())?;
-        Ok(DynamicResolutionPipeline { config, scale_model, oracle, backbone_gflops, scale_gflops })
+        Ok(DynamicResolutionPipeline {
+            config,
+            scale_model,
+            oracle,
+            backbone_gflops,
+            scale_gflops,
+            bucket_dispatch: Arc::new(Mutex::new(BucketDispatchCache::new())),
+        })
+    }
+
+    /// The per-shape convolution dispatch table for one resolution bucket:
+    /// every conv layer of the backbone at `resolution`, resolved through
+    /// [`rescnn_tensor::select_algo`] **once** and cached — instead of per
+    /// layer per request inside the bucket. The cache is shared across
+    /// pipeline clones and invalidated automatically when a new process-wide
+    /// calibration table is installed (e.g. by a sweep-once-on-boot run
+    /// finishing).
+    ///
+    /// The batch scheduler installs the returned table as a scoped calibration
+    /// ([`rescnn_tensor::with_algo_calibration_scope`]) around each bucket's
+    /// execution. Because the entries are exactly what dispatch would have
+    /// resolved anyway, this never changes results — it removes the per-call
+    /// calibration lock from the bucket's hot path.
+    pub fn bucket_dispatch(&self, resolution: usize) -> Arc<AlgoCalibration> {
+        let generation = algo_calibration_generation();
+        let mut cache = self.bucket_dispatch.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((cached_generation, table)) = cache.get(&resolution) {
+            if *cached_generation == generation {
+                return Arc::clone(table);
+            }
+        }
+        let mut table = AlgoCalibration::new();
+        let arch = self.config.backbone.arch(self.config.dataset.num_classes());
+        if let Ok(layers) = arch.conv_layers(resolution) {
+            for layer in layers {
+                // `select_algo` (not `planned_conv_algo`): explicit overrides
+                // must stay dynamic — baking a caller's scoped override into
+                // the cached table would outlive its scope.
+                table.set(
+                    ConvShapeKey::new(layer.params, layer.input),
+                    rescnn_tensor::select_algo(&layer.params, layer.input),
+                );
+            }
+        }
+        let table = Arc::new(table);
+        cache.insert(resolution, (generation, Arc::clone(&table)));
+        table
     }
 
     /// The configuration in use.
@@ -818,6 +873,7 @@ mod tests {
     fn conv_calibration_warm_start_installs_table() {
         // A pipeline configured with a persisted calibration installs it at
         // construction; a missing file is a configuration error.
+        let _guard = crate::test_sync::calibration_lock();
         use rescnn_hwsim::{CalibratedCostModel, CpuProfile};
         use rescnn_models::ConvLayerShape;
         use rescnn_tensor::{Conv2dParams, ConvAlgo, ConvShapeKey, Shape};

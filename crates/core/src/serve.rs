@@ -25,6 +25,7 @@
 //!    records are folded in submission order regardless of bucket or batch
 //!    scheduling.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -75,6 +76,10 @@ pub struct BucketStats {
     pub requests: usize,
     /// Batches the bucket was executed in.
     pub batches: usize,
+    /// Conv layer shapes whose dispatch algorithm was resolved once for the
+    /// whole bucket (instead of per layer per request) and installed as a
+    /// scoped calibration around the bucket's execution.
+    pub dispatch_shapes: usize,
     /// Sample-level (outer) parallelism used for the bucket's full batches.
     pub outer_parallelism: usize,
     /// Kernel-level (inner) parallelism paired with `outer_parallelism`.
@@ -185,17 +190,29 @@ impl<'a> BatchScheduler<'a> {
             buckets.entry(plan.chosen_resolution).or_default().push(index);
         }
 
-        // Stage 3: execute each bucket in homogeneous batches.
+        // Stage 3: execute each bucket in homogeneous batches. The bucket's
+        // conv-dispatch table is resolved once per (resolution, calibration
+        // generation) — not per request — and installed as a scoped calibration
+        // around *each task body* (the scope is thread-local, so it must be
+        // entered on whichever thread — scheduler or pool worker — actually
+        // executes the request): every backbone kernel dispatched inside pays a
+        // thread-local lookup instead of the process-wide calibration lock, and
+        // all of a bucket's requests see one consistent table even if a boot
+        // sweep installs a new process-wide table mid-bucket.
         let mut records: Vec<Option<InferenceRecord>> = vec![None; queue.len()];
         let mut bucket_stats = Vec::with_capacity(buckets.len());
         for (&resolution, members) in &buckets {
             let (outer, inner) = split_parallelism(max_batch.min(members.len()), threads);
+            let dispatch = self.pipeline.bucket_dispatch(resolution);
+            let dispatch_shapes = dispatch.len();
             let bucket_start = Instant::now();
             let mut batches = 0usize;
             for batch in members.chunks(max_batch) {
                 let outcomes = run_batch(self.pipeline, threads, batch.len(), |slot| {
                     let index = batch[slot];
-                    self.pipeline.execute_unscoped(queue[index], &plans[index])
+                    rescnn_tensor::with_algo_calibration_scope(Arc::clone(&dispatch), || {
+                        self.pipeline.execute_unscoped(queue[index], &plans[index])
+                    })
                 });
                 for (slot, outcome) in outcomes.into_iter().enumerate() {
                     records[batch[slot]] = Some(outcome?);
@@ -207,6 +224,7 @@ impl<'a> BatchScheduler<'a> {
                 resolution,
                 requests: members.len(),
                 batches,
+                dispatch_shapes,
                 outer_parallelism: outer,
                 inner_parallelism: inner,
                 total_seconds,
@@ -336,6 +354,67 @@ mod tests {
             assert_eq!(served.report, baseline.report, "{threads} threads changed results");
             assert_eq!(served.threads, threads);
         }
+    }
+
+    #[test]
+    fn buckets_resolve_their_dispatch_tables_once() {
+        let pipeline = build_pipeline(vec![112, 224]);
+        let data = DatasetSpec::cars_like().with_len(8).with_max_dimension(72).build(11);
+        let served = pipeline.evaluate_batched(&data, BatchOptions::default()).unwrap();
+        for bucket in &served.buckets {
+            // Every bucket resolved the backbone's full per-shape algo table.
+            let layers = pipeline
+                .config()
+                .backbone
+                .arch(rescnn_data::DatasetKind::CarsLike.num_classes())
+                .conv_layers(bucket.resolution)
+                .unwrap();
+            let unique: std::collections::HashSet<_> = layers
+                .iter()
+                .map(|l| rescnn_tensor::ConvShapeKey::new(l.params, l.input))
+                .collect();
+            assert_eq!(bucket.dispatch_shapes, unique.len());
+            // The cached table is reused (same Arc) while the calibration
+            // generation is unchanged.
+            let first = pipeline.bucket_dispatch(bucket.resolution);
+            let second = pipeline.bucket_dispatch(bucket.resolution);
+            assert!(std::sync::Arc::ptr_eq(&first, &second));
+        }
+    }
+
+    #[test]
+    fn bucket_dispatch_cache_invalidates_on_new_calibration() {
+        let _guard = crate::test_sync::calibration_lock();
+        let pipeline = build_pipeline(vec![112]);
+        let before = pipeline.bucket_dispatch(112);
+        // Installing a calibration bumps the generation; the cache re-resolves.
+        let previous =
+            rescnn_tensor::install_algo_calibration(Some(rescnn_tensor::AlgoCalibration::new()));
+        let after = pipeline.bucket_dispatch(112);
+        assert!(!std::sync::Arc::ptr_eq(&before, &after), "stale bucket table survived");
+        rescnn_tensor::install_algo_calibration(previous.map(|t| (*t).clone()));
+    }
+
+    /// The execution stage's zero-allocation property must hold across warm
+    /// scheduler runs: a drained queue re-submitted and re-run advances the
+    /// engine's tracked allocation counter (kernel scratch + activation arena)
+    /// by zero.
+    #[test]
+    fn warm_scheduler_runs_do_not_allocate_tracked_buffers() {
+        let _guard = crate::test_sync::calibration_lock();
+        let pipeline = build_pipeline(vec![112, 224]);
+        let data = DatasetSpec::cars_like().with_len(6).with_max_dimension(72).build(3);
+        let options = BatchOptions::default().with_max_batch(3);
+        // Warm-up run populates every pool.
+        let baseline = pipeline.evaluate_batched(&data, options).unwrap();
+        let warm = rescnn_tensor::scratch::heap_allocations();
+        let again = pipeline.evaluate_batched(&data, options).unwrap();
+        assert_eq!(
+            rescnn_tensor::scratch::heap_allocations() - warm,
+            0,
+            "a warm BatchScheduler run must not allocate scratch or arena buffers"
+        );
+        assert_eq!(again.report, baseline.report);
     }
 
     #[test]

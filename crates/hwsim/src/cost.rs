@@ -58,11 +58,25 @@ pub struct CostModel {
     /// Fraction of repeated input reads served from the last-level cache when the whole
     /// input fits.
     pub llc_reuse: f64,
+    /// Whether weights arrive prepacked in GEMM panel layout (the engine's
+    /// serving default since the `PreparedLayer` path): when `false`, every
+    /// call pays a per-weight-element repacking pass, modelled as
+    /// [`CostModel::weight_pack_ns_per_elem`] of extra overhead.
+    pub prepacked_weights: bool,
+    /// Cost of packing one weight element into panel layout (read + strided
+    /// write, cache-friendly), in nanoseconds. Only charged when
+    /// [`CostModel::prepacked_weights`] is `false`.
+    pub weight_pack_ns_per_elem: f64,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { per_task_overhead_ns: 150.0, llc_reuse: 0.5 }
+        CostModel {
+            per_task_overhead_ns: 150.0,
+            llc_reuse: 0.5,
+            prepacked_weights: true,
+            weight_pack_ns_per_elem: 0.4,
+        }
     }
 }
 
@@ -70,6 +84,14 @@ impl CostModel {
     /// Creates the default cost model.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A model of the legacy pack-per-call execution stage (weights repacked on
+    /// every forward), for before/after comparisons against the prepacked
+    /// default.
+    pub fn with_per_call_packing(mut self) -> Self {
+        self.prepacked_weights = false;
+        self
     }
 
     /// Estimates the execution of `layer` with `schedule` on `profile`.
@@ -151,8 +173,16 @@ impl CostModel {
         let memory_seconds = bytes_moved / profile.dram_bytes_per_s();
 
         // --- Fixed overheads -------------------------------------------------------------
+        // Per-call weight repacking (absent when weights are prepacked at model
+        // load): one pass over the weight elements, parallel across threads.
+        let pack_seconds = if self.prepacked_weights {
+            0.0
+        } else {
+            params.weight_count() as f64 * self.weight_pack_ns_per_elem * 1e-9 / threads as f64
+        };
         let overhead_seconds = profile.launch_overhead_us * 1e-6
-            + tasks as f64 * self.per_task_overhead_ns * 1e-9 / threads as f64;
+            + tasks as f64 * self.per_task_overhead_ns * 1e-9 / threads as f64
+            + pack_seconds;
 
         let seconds = compute_seconds.max(memory_seconds) + overhead_seconds;
         let achieved_util = macs as f64 / seconds / profile.attainable_macs_per_s();
@@ -262,6 +292,26 @@ mod tests {
         let best_intel = best_estimate(&layer, &intel);
         let best_amd = best_estimate(&layer, &amd);
         assert!(best_amd.seconds < best_intel.seconds);
+    }
+
+    #[test]
+    fn per_call_packing_costs_more_than_prepacked() {
+        let profile = CpuProfile::intel_4790k();
+        let prepacked = CostModel::new();
+        assert!(prepacked.prepacked_weights);
+        let legacy = CostModel::new().with_per_call_packing();
+        let schedule = ConvSchedule::naive(&profile);
+        for layer in layers(224).into_iter().step_by(5) {
+            let fast = prepacked.estimate(&layer, schedule, &profile);
+            let slow = legacy.estimate(&layer, schedule, &profile);
+            assert!(
+                slow.seconds > fast.seconds,
+                "repacking weights every call must cost extra: {} vs {}",
+                slow.seconds,
+                fast.seconds
+            );
+            assert!(slow.overhead_seconds > fast.overhead_seconds);
+        }
     }
 
     #[test]

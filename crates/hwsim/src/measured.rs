@@ -13,8 +13,8 @@ use serde::{Deserialize, Serialize};
 
 use rescnn_models::ConvLayerShape;
 use rescnn_tensor::{
-    conv2d_tiled, conv2d_winograd_prepared, conv2d_with_algo, select_algo, ConvAlgo, ConvTiling,
-    EngineContext, FusedActivation, Shape, Tensor, WinogradFilter,
+    conv2d_tiled, conv2d_with_algo, select_algo, ConvAlgo, ConvEpilogue, ConvTiling, EngineContext,
+    PreparedLayer, Shape, Tensor,
 };
 
 /// One wall-clock measurement of a kernel implementation on a layer shape.
@@ -39,11 +39,16 @@ pub struct MeasuredSweepConfig {
     pub max_threads: usize,
     /// Random seed for the synthetic activations/weights.
     pub seed: u64,
+    /// Time the engine algorithms against prepared layers (weights prepacked
+    /// once, output written into a pre-sized buffer) — the steady-state serving
+    /// cost, matching how models execute since the `PreparedLayer` path. Set to
+    /// `false` to time the legacy pack-per-call entry points instead.
+    pub prepack: bool,
 }
 
 impl Default for MeasuredSweepConfig {
     fn default() -> Self {
-        MeasuredSweepConfig { reps: 3, max_threads: 1, seed: 0 }
+        MeasuredSweepConfig { reps: 3, max_threads: 1, seed: 0, prepack: true }
     }
 }
 
@@ -95,12 +100,16 @@ impl MeasuredTuner {
     /// ([`ConvAlgo::Im2colPacked`]) runs instead and the returned record reports the
     /// algorithm that actually executed, so sweep data is never mislabeled.
     ///
-    /// [`ConvAlgo::Winograd`] is timed against a pre-transformed filter bank
-    /// ([`WinogradFilter`]), matching its steady-state serving cost: the model
-    /// zoo caches the filter transform per layer, so it is a one-time
-    /// construction cost rather than a per-forward cost, and folding it into
-    /// every timed run would systematically bias calibrated dispatch against
-    /// Winograd on deep layers.
+    /// With [`MeasuredSweepConfig::prepack`] (the default) the engine
+    /// algorithms are timed through a [`PreparedLayer`]: weights prepacked
+    /// once, Winograd's filter transform cached, output written into a
+    /// pre-sized buffer. That matches the steady-state serving cost — the model
+    /// zoo prepares every layer at construction, so per-call packing (or the
+    /// filter transform) is a one-time cost, and folding it into every timed
+    /// run would systematically bias calibrated dispatch. The reference
+    /// algorithms ([`ConvAlgo::Direct`], [`ConvAlgo::Im2col`]) always run their
+    /// historical entry points (the prepared wrapper would add a copy they
+    /// never pay in practice).
     pub fn measure_algo(
         &self,
         layer: &ConvLayerShape,
@@ -110,14 +119,28 @@ impl MeasuredTuner {
         let algo = if algo.supports(&layer.params) { algo } else { ConvAlgo::Im2colPacked };
         let (input, weight) = self.instantiate(layer);
         let params = layer.params;
+        let prepacked = self.config.prepack
+            && matches!(
+                algo,
+                ConvAlgo::Im2colPacked
+                    | ConvAlgo::Gemm1x1
+                    | ConvAlgo::Depthwise
+                    | ConvAlgo::Winograd
+            );
         // Scoped override: the sweep's thread count never leaks into (or races
         // with) the process-wide engine configuration.
         let seconds = EngineContext::new().with_threads(threads).scope(|| {
-            if algo == ConvAlgo::Winograd {
-                let filter =
-                    WinogradFilter::prepare(&weight, &params).expect("winograd-eligible layer");
+            if prepacked {
+                let prepared = PreparedLayer::new(weight, None, params).expect("valid layer shape");
+                let mut out =
+                    Tensor::zeros(params.output_shape(input.shape()).expect("valid layer shape"));
+                if algo == ConvAlgo::Winograd {
+                    // Build the cached filter transform outside the timed runs.
+                    prepared.winograd_filter().expect("winograd-eligible layer");
+                }
                 self.time_runs(|| {
-                    conv2d_winograd_prepared(&input, &filter, None, &params, FusedActivation::None)
+                    prepared
+                        .forward_with_algo_into(&input, algo, ConvEpilogue::default(), &mut out)
                         .expect("valid layer shape");
                 })
             } else {
@@ -201,7 +224,11 @@ mod tests {
 
     #[test]
     fn sweep_covers_supported_algos_and_is_positive() {
-        let tuner = MeasuredTuner::new(MeasuredSweepConfig { reps: 1, max_threads: 2, seed: 0 });
+        let tuner = MeasuredTuner::new(MeasuredSweepConfig {
+            reps: 1,
+            max_threads: 2,
+            ..Default::default()
+        });
         let layer = small_layer();
         let results = tuner.sweep_layer(&layer, &ConvAlgo::ALL);
         assert!(!results.is_empty());
@@ -217,7 +244,12 @@ mod tests {
 
     #[test]
     fn best_kernel_exists_and_dispatch_is_sane() {
-        let tuner = MeasuredTuner::new(MeasuredSweepConfig { reps: 1, max_threads: 1, seed: 1 });
+        let tuner = MeasuredTuner::new(MeasuredSweepConfig {
+            reps: 1,
+            max_threads: 1,
+            seed: 1,
+            ..Default::default()
+        });
         let layer = small_layer();
         let best = tuner.best_kernel(&layer).unwrap();
         assert!(best.seconds > 0.0);
@@ -226,7 +258,12 @@ mod tests {
 
     #[test]
     fn tiling_sweep_reports_every_configuration() {
-        let tuner = MeasuredTuner::new(MeasuredSweepConfig { reps: 1, max_threads: 1, seed: 2 });
+        let tuner = MeasuredTuner::new(MeasuredSweepConfig {
+            reps: 1,
+            max_threads: 1,
+            seed: 2,
+            ..Default::default()
+        });
         let layer = small_layer();
         let tilings = [ConvTiling::new(8, 4, 16), ConvTiling::new(32, 8, 64)];
         let swept = tuner.sweep_tilings(&layer, &tilings);

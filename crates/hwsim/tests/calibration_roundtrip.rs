@@ -22,7 +22,12 @@ fn swept_layers() -> Vec<ConvLayerShape> {
 #[test]
 fn measured_calibration_round_trips_and_steers_dispatch() {
     let layers = swept_layers();
-    let tuner = MeasuredTuner::new(MeasuredSweepConfig { reps: 1, max_threads: 1, seed: 3 });
+    let tuner = MeasuredTuner::new(MeasuredSweepConfig {
+        reps: 1,
+        max_threads: 1,
+        seed: 3,
+        ..Default::default()
+    });
     let mut model = CalibratedCostModel::new(CpuProfile::host());
     model.calibrate_layers(&tuner, &layers);
     assert!(!model.is_empty(), "sweeps must record measurements");

@@ -6,13 +6,39 @@
 //! convolution kernels, so that resolution-dependent compute behaviour (shapes, FLOPs,
 //! kernel time) is measured rather than assumed. Networks are therefore instantiated with
 //! deterministic random weights.
-
-use std::sync::OnceLock;
+//!
+//! # Execution stage
+//!
+//! Every layer is *prepared once* at construction
+//! ([`rescnn_tensor::PreparedLayer`]): batch-norm is folded into the convolution,
+//! the folded weights are prepacked into GEMM panel layout per channel group, and
+//! Winograd-eligible layers cache their transformed filter bank. A forward pass
+//! then
+//!
+//! * never repacks a weight panel,
+//! * fuses each layer's activation — and each residual block's tail
+//!   (`+identity → ReLU`) — into the kernel's output write instead of separate
+//!   sweeps over the feature map, and
+//! * runs entirely out of a reusable [`ActivationArena`] (per thread, persistent
+//!   on the engine's worker pool), so warm forwards perform **zero heap
+//!   allocations** for activations and packing — pinned by
+//!   `rescnn_tensor::scratch::heap_allocations` in `tests/prepacked_forward.rs`.
+//!
+//! All three transformations are bitwise-neutral (data movement, fusion of
+//! pointwise tails in the same order, buffer recycling), so
+//! [`Network::forward`] is bitwise identical to the unprepared reference
+//! execution kept as [`Network::forward_reference`]. One deliberate numerics
+//! change rides along: the classifier now runs on the packed GEMM
+//! ([`rescnn_tensor::linear_prepared`], shared by both paths), whose KC-blocked
+//! vector reduction agrees with the old scalar `linear` only to reassociation
+//! level (~1e-4) — logits are *not* bit-comparable with pre-PR recordings.
 
 use rescnn_tensor::{
-    add_relu_in_place, avg_pool2d, conv2d_winograd_prepared, conv2d_with_algo, global_avg_pool,
-    linear, max_pool2d, num_threads, planned_conv_algo, relu6_in_place, relu_in_place, softmax,
-    Conv2dParams, ConvAlgo, FusedActivation, Pool2dParams, Shape, Tensor, WinogradFilter,
+    add_relu_in_place, avg_pool2d, conv2d_winograd_prepared, conv2d_with_algo,
+    global_avg_pool_into, linear_prepared, linear_prepared_into, max_pool2d_into, num_threads,
+    planned_conv_algo, relu6_in_place, relu_in_place, softmax, with_thread_arena, ActivationArena,
+    Conv2dParams, ConvAlgo, ConvEpilogue, FusedActivation, Pool2dParams, PreparedGemmB,
+    PreparedLayer, Shape, Tensor,
 };
 
 use crate::arch::{Activation, ArchSpec, BlockSpec, ModelKind};
@@ -22,27 +48,15 @@ use crate::error::{ModelError, Result};
 ///
 /// At construction the (inference-mode) batch normalization is folded into the
 /// convolution: `y = γ·(conv(x) − μ)/√(σ² + ε) + β` becomes a convolution with
-/// scaled weights and a per-channel bias. The forward pass is therefore a single
-/// engine-dispatched convolution plus an in-place activation — no extra passes or
-/// allocations over the activation tensor.
-///
-/// Winograd-eligible layers (dense stride-1 3×3) additionally cache their
-/// transformed filter bank `U = G·g·Gᵀ`: it is computed lazily the first time
-/// the dispatch layer actually picks [`ConvAlgo::Winograd`] for this layer
-/// (via a calibrated table or an override) and reused for every later forward,
-/// so the per-pass cost is input/output transforms plus GEMMs only — with the
-/// bias *and* the activation fused into the Winograd output transform, the
-/// separate in-place activation sweep disappears too.
+/// scaled weights and a per-channel bias, and the folded layer is prepared for
+/// the serving hot path ([`PreparedLayer`]: per-group prepacked GEMM weight
+/// panels, lazily-cached Winograd filter transform). The forward pass is one
+/// engine-dispatched convolution with the activation — and, at block tails, the
+/// residual add — fused into the kernel's output write.
 #[derive(Debug, Clone)]
 struct ConvBn {
-    params: Conv2dParams,
-    /// Convolution weights with the batch-norm scale folded in.
-    weight: Tensor,
-    /// Per-channel bias with the batch-norm shift folded in.
-    bias: Vec<f32>,
+    prepared: PreparedLayer,
     act: Activation,
-    /// Lazily-built Winograd filter transform (eligible layers only).
-    winograd: OnceLock<WinogradFilter>,
 }
 
 impl ConvBn {
@@ -76,31 +90,72 @@ impl ConvBn {
             }
             bias.push(beta[oc] - mean[oc] * scale);
         }
-        ConvBn { params, weight, bias, act, winograd: OnceLock::new() }
+        let prepared =
+            PreparedLayer::new(weight, Some(bias), params).expect("layer shapes are consistent");
+        ConvBn { prepared, act }
     }
 
-    fn forward(&self, input: &Tensor) -> Result<Tensor> {
-        // One dispatch decision per layer call: the planned algorithm is both
-        // branched on and executed, so a concurrent calibration swap can never
-        // split the decision, and the hot path pays one table lookup, not two.
-        let algo = planned_conv_algo(&self.params, input.shape());
+    fn fused_act(&self) -> FusedActivation {
+        match self.act {
+            Activation::None => FusedActivation::None,
+            Activation::Relu => FusedActivation::Relu,
+            Activation::Relu6 => FusedActivation::Relu6,
+        }
+    }
+
+    fn output_shape(&self, input: Shape) -> Result<Shape> {
+        Ok(self.prepared.params().output_shape(input)?)
+    }
+
+    /// Prepared forward with the layer's own activation fused, output from the
+    /// arena.
+    fn forward(&self, input: &Tensor, arena: &mut ActivationArena) -> Result<Tensor> {
+        self.forward_tail(input, None, self.fused_act(), arena)
+    }
+
+    /// Prepared forward with an explicit fused tail (block tails pass the
+    /// post-residual activation; the layer's own activation is `None` there).
+    fn forward_tail(
+        &self,
+        input: &Tensor,
+        residual: Option<&Tensor>,
+        activation: FusedActivation,
+        arena: &mut ActivationArena,
+    ) -> Result<Tensor> {
+        // A fused tail *replaces* the layer's own activation, which is only
+        // sound while tail convolutions are built with `Activation::None` (as
+        // every shipped block family is) — otherwise the reference path would
+        // apply the layer activation before the residual add and diverge.
+        debug_assert!(
+            activation == self.fused_act() || matches!(self.act, Activation::None),
+            "fused tail would drop this layer's own activation"
+        );
+        let mut out = arena.take(self.output_shape(input.shape())?);
+        let epilogue = ConvEpilogue { activation, residual };
+        self.prepared.forward_fused_into(input, epilogue, &mut out)?;
+        Ok(out)
+    }
+
+    /// The PR-4-era execution path: per-call weight packing (except the cached
+    /// Winograd transform, which PR 4 already cached), separate activation
+    /// passes, fresh allocations. Kept as the measured baseline and the parity
+    /// target — bitwise identical to [`ConvBn::forward`].
+    fn forward_reference(&self, input: &Tensor) -> Result<Tensor> {
+        let params = self.prepared.params();
+        let algo = planned_conv_algo(params, input.shape());
         if algo == ConvAlgo::Winograd {
-            // Cached-transform fast path: the filter transform is paid once per
-            // layer, and bias + activation are fused into the output transform.
-            let filter = self.winograd.get_or_init(|| {
-                WinogradFilter::prepare(&self.weight, &self.params)
-                    .expect("dispatch only plans Winograd for eligible layers")
-            });
-            let fused = match self.act {
-                Activation::None => FusedActivation::None,
-                Activation::Relu => FusedActivation::Relu,
-                Activation::Relu6 => FusedActivation::Relu6,
-            };
-            let out =
-                conv2d_winograd_prepared(input, filter, Some(&self.bias), &self.params, fused)?;
+            let filter = self.prepared.winograd_filter()?;
+            let out = conv2d_winograd_prepared(
+                input,
+                filter,
+                self.prepared.bias(),
+                params,
+                self.fused_act(),
+            )?;
             return Ok(out);
         }
-        let mut out = conv2d_with_algo(input, &self.weight, Some(&self.bias), &self.params, algo)?;
+        let mut out =
+            conv2d_with_algo(input, self.prepared.weight(), self.prepared.bias(), params, algo)?;
         match self.act {
             Activation::None => {}
             Activation::Relu => relu_in_place(&mut out),
@@ -110,8 +165,12 @@ impl ConvBn {
     }
 }
 
-/// One executable layer.
+/// One executable layer. (Variant sizes legitimately differ — a bottleneck
+/// carries four prepared convolutions, a pooling layer none — and the enum
+/// lives in a per-network `Vec`, so boxing variants would only add indirection
+/// to the forward hot loop.)
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
 enum LayerImpl {
     ConvBn(ConvBn),
     MaxPool(Pool2dParams),
@@ -119,7 +178,114 @@ enum LayerImpl {
     Bottleneck { conv1: ConvBn, conv2: ConvBn, conv3: ConvBn, downsample: Option<ConvBn> },
     Inverted { expand: Option<ConvBn>, depthwise: ConvBn, project: ConvBn, skip: bool },
     GlobalAvgPool,
-    Classifier { weight: Vec<f32>, bias: Vec<f32>, in_features: usize, out_features: usize },
+    Classifier { weight: PreparedGemmB, bias: Vec<f32>, in_features: usize, out_features: usize },
+}
+
+/// The current activation flowing through a forward pass: the caller's input is
+/// borrowed (no per-request clone), everything after the first layer is an
+/// arena-owned tensor retired as soon as it goes dead.
+enum Cursor<'a> {
+    Borrowed(&'a Tensor),
+    Owned(Tensor),
+}
+
+impl Cursor<'_> {
+    fn get(&self) -> &Tensor {
+        match self {
+            Cursor::Borrowed(t) => t,
+            Cursor::Owned(t) => t,
+        }
+    }
+
+    /// Retires an owned activation back to the arena.
+    fn retire(self, arena: &mut ActivationArena) {
+        if let Cursor::Owned(t) = self {
+            arena.give(t);
+        }
+    }
+}
+
+/// The planned activation-arena footprint of one `(model, resolution)` pair:
+/// the exact buffer sizes a forward pass at that input shape takes from its
+/// arena (in first-allocation order), derived by simulating the forward's
+/// take/retire sequence against the arena's best-fit policy — ping-pong chains
+/// reuse one another's buffers, residual branches extend liveness across their
+/// block.
+///
+/// [`ArenaPlan::reserve`] pre-populates an arena so the *first* forward at the
+/// planned resolution already allocates nothing; mixed-resolution serving keys
+/// one plan per resolution bucket and the shared arena grows to the per-bucket
+/// maxima.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArenaPlan {
+    /// Element counts of the arena buffers the forward allocates, in order.
+    pub buffer_elems: Vec<usize>,
+    /// Peak bytes of simultaneously-live activations during the forward.
+    pub peak_live_bytes: usize,
+}
+
+impl ArenaPlan {
+    /// Total bytes the arena holds once warmed with this plan.
+    pub fn arena_bytes(&self) -> usize {
+        self.buffer_elems.iter().sum::<usize>() * std::mem::size_of::<f32>()
+    }
+
+    /// Pre-populates an arena with this plan's buffers.
+    pub fn reserve(&self, arena: &mut ActivationArena) {
+        arena.reserve(&self.buffer_elems);
+    }
+}
+
+/// Size-only twin of [`ActivationArena`] used by the planner: same best-fit
+/// reuse policy over buffer capacities, recording every allocation it cannot
+/// serve from retired buffers. `tests/prepacked_forward.rs` pins that a
+/// reserve-from-plan really makes the first forward allocation-free, which
+/// keeps this simulation and the executor in lockstep.
+struct PlanArena {
+    free: Vec<usize>,
+    created: Vec<usize>,
+    live_elems: usize,
+    peak_live_elems: usize,
+}
+
+/// A simulated taken buffer: the capacity it occupies and the logical length it
+/// was taken for.
+#[derive(Clone, Copy)]
+struct PlanHandle {
+    cap: usize,
+    len: usize,
+}
+
+impl PlanArena {
+    fn new() -> Self {
+        PlanArena { free: Vec::new(), created: Vec::new(), live_elems: 0, peak_live_elems: 0 }
+    }
+
+    fn take(&mut self, shape: Shape) -> PlanHandle {
+        let len = shape.volume();
+        let position = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, &cap)| cap >= len)
+            .min_by_key(|(_, &cap)| cap)
+            .map(|(index, _)| index);
+        let cap = match position {
+            Some(index) => self.free.swap_remove(index),
+            None => {
+                self.created.push(len);
+                len
+            }
+        };
+        self.live_elems += len;
+        self.peak_live_elems = self.peak_live_elems.max(self.live_elems);
+        PlanHandle { cap, len }
+    }
+
+    fn give(&mut self, handle: PlanHandle) {
+        self.free.push(handle.cap);
+        self.live_elems -= handle.len;
+    }
 }
 
 /// An executable convolutional network.
@@ -244,7 +410,11 @@ impl Network {
                         bump(),
                     );
                     LayerImpl::Classifier {
-                        weight: w.into_vec(),
+                        weight: PreparedGemmB::prepare_transposed(
+                            w.as_slice(),
+                            num_classes,
+                            in_features,
+                        ),
                         bias: vec![0.0; num_classes],
                         in_features,
                         out_features: num_classes,
@@ -271,49 +441,198 @@ impl Network {
         self.layers.len()
     }
 
-    /// Runs a forward pass, returning raw logits of shape `N × num_classes × 1 × 1`.
-    ///
-    /// # Errors
-    /// Returns [`ModelError::BadInput`] if the input does not have three channels, or a
-    /// kernel error if the resolution is too small for the downsampling schedule.
-    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+    fn check_input(&self, input: &Tensor) -> Result<()> {
         if input.shape().c != 3 {
             return Err(ModelError::BadInput {
                 reason: format!("expected 3 input channels, got {}", input.shape().c),
             });
         }
+        Ok(())
+    }
+
+    /// Runs a forward pass, returning raw logits of shape `N × num_classes × 1 × 1`.
+    ///
+    /// Executes prepacked + fused out of the calling thread's persistent
+    /// [`ActivationArena`]: after a warm-up pass per input resolution, steady-state
+    /// forwards perform zero heap allocations apart from the returned logits
+    /// vector. Results are bitwise identical to
+    /// [`forward_reference`](Self::forward_reference).
+    ///
+    /// # Errors
+    /// Returns [`ModelError::BadInput`] if the input does not have three channels, or a
+    /// kernel error if the resolution is too small for the downsampling schedule.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        with_thread_arena(|arena| self.forward_with_arena(input, arena))
+    }
+
+    /// [`forward`](Self::forward) against a caller-owned arena (e.g. one arena
+    /// per resolution bucket in a serving layer).
+    ///
+    /// # Errors
+    /// See [`Network::forward`].
+    pub fn forward_with_arena(
+        &self,
+        input: &Tensor,
+        arena: &mut ActivationArena,
+    ) -> Result<Tensor> {
+        self.check_input(input)?;
+        let mut cur = Cursor::Borrowed(input);
+        for layer in &self.layers {
+            let next = match layer {
+                LayerImpl::ConvBn(conv) => conv.forward(cur.get(), arena)?,
+                LayerImpl::MaxPool(pool) => {
+                    let x = cur.get();
+                    let mut out = arena.take(pool.output_shape(x.shape())?);
+                    max_pool2d_into(x, pool, &mut out)?;
+                    out
+                }
+                LayerImpl::Basic { conv1, conv2, downsample } => {
+                    let x = cur.get();
+                    let a = conv1.forward(x, arena)?;
+                    let out = match downsample {
+                        Some(d) => {
+                            let skip = d.forward(x, arena)?;
+                            let out = conv2.forward_tail(
+                                &a,
+                                Some(&skip),
+                                FusedActivation::Relu,
+                                arena,
+                            )?;
+                            arena.give(skip);
+                            out
+                        }
+                        None => conv2.forward_tail(&a, Some(x), FusedActivation::Relu, arena)?,
+                    };
+                    arena.give(a);
+                    out
+                }
+                LayerImpl::Bottleneck { conv1, conv2, conv3, downsample } => {
+                    let x = cur.get();
+                    let a = conv1.forward(x, arena)?;
+                    let b = conv2.forward(&a, arena)?;
+                    arena.give(a);
+                    let out = match downsample {
+                        Some(d) => {
+                            let skip = d.forward(x, arena)?;
+                            let out = conv3.forward_tail(
+                                &b,
+                                Some(&skip),
+                                FusedActivation::Relu,
+                                arena,
+                            )?;
+                            arena.give(skip);
+                            out
+                        }
+                        None => conv3.forward_tail(&b, Some(x), FusedActivation::Relu, arena)?,
+                    };
+                    arena.give(b);
+                    out
+                }
+                LayerImpl::Inverted { expand, depthwise, project, skip } => {
+                    let x = cur.get();
+                    let t = match expand {
+                        Some(e) => {
+                            let hidden = e.forward(x, arena)?;
+                            let t = depthwise.forward(&hidden, arena)?;
+                            arena.give(hidden);
+                            t
+                        }
+                        None => depthwise.forward(x, arena)?,
+                    };
+                    let out = if *skip {
+                        project.forward_tail(&t, Some(x), FusedActivation::None, arena)?
+                    } else {
+                        project.forward(&t, arena)?
+                    };
+                    arena.give(t);
+                    out
+                }
+                LayerImpl::GlobalAvgPool => {
+                    let x = cur.get();
+                    let shape = Shape::new(x.shape().n, x.shape().c, 1, 1);
+                    let mut out = arena.take(shape);
+                    global_avg_pool_into(x, &mut out)?;
+                    out
+                }
+                LayerImpl::Classifier { weight, bias, in_features, out_features } => {
+                    let x = cur.get();
+                    if x.shape().c != *in_features || x.shape().h != 1 || x.shape().w != 1 {
+                        return Err(ModelError::BadInput {
+                            reason: format!(
+                                "classifier expected {}x1x1 features, got {}",
+                                in_features,
+                                x.shape()
+                            ),
+                        });
+                    }
+                    // The logits leave the forward (caller owns them), so they are
+                    // a fresh — tiny — allocation rather than an arena buffer.
+                    let mut out = Tensor::zeros(Shape::new(x.shape().n, *out_features, 1, 1));
+                    linear_prepared_into(x, weight, Some(bias), &mut out)?;
+                    out
+                }
+            };
+            cur.retire(arena);
+            cur = Cursor::Owned(next);
+        }
+        match cur {
+            Cursor::Owned(t) => Ok(t),
+            Cursor::Borrowed(t) => Ok(t.clone()),
+        }
+    }
+
+    /// The PR-4-era execution *strategy*, kept as the measured baseline (see
+    /// the `forward_prepacked` bench group) and the parity target: per-call
+    /// weight packing, separate activation / residual-add passes, a fresh
+    /// tensor per layer. Bitwise identical to [`forward`](Self::forward) —
+    /// pinned by `tests/prepacked_forward.rs` across thread counts.
+    ///
+    /// It is not a bit-exact historical replay: it shares this PR's
+    /// kernel-level improvements (the prepacked Winograd `U` bank, non-zeroing
+    /// kernel scratch, the GEMM classifier), so A/B against `forward` isolates
+    /// exactly the prepack + fuse + arena contribution; the full delta against
+    /// the PR 4 build is the recorded ROADMAP table.
+    ///
+    /// # Errors
+    /// See [`Network::forward`].
+    pub fn forward_reference(&self, input: &Tensor) -> Result<Tensor> {
+        self.check_input(input)?;
         let mut x = input.clone();
         for layer in &self.layers {
             x = match layer {
-                LayerImpl::ConvBn(conv) => conv.forward(&x)?,
-                LayerImpl::MaxPool(pool) => max_pool2d(&x, pool)?,
+                LayerImpl::ConvBn(conv) => conv.forward_reference(&x)?,
+                LayerImpl::MaxPool(pool) => rescnn_tensor::max_pool2d(&x, pool)?,
                 LayerImpl::Basic { conv1, conv2, downsample } => {
-                    let mut out = conv2.forward(&conv1.forward(&x)?)?;
+                    let mut out = conv2.forward_reference(&conv1.forward_reference(&x)?)?;
                     match downsample {
-                        Some(d) => add_relu_in_place(&mut out, &d.forward(&x)?)?,
+                        Some(d) => add_relu_in_place(&mut out, &d.forward_reference(&x)?)?,
                         None => add_relu_in_place(&mut out, &x)?,
                     }
                     out
                 }
                 LayerImpl::Bottleneck { conv1, conv2, conv3, downsample } => {
-                    let mut out = conv3.forward(&conv2.forward(&conv1.forward(&x)?)?)?;
+                    let mut out = conv3.forward_reference(
+                        &conv2.forward_reference(&conv1.forward_reference(&x)?)?,
+                    )?;
                     match downsample {
-                        Some(d) => add_relu_in_place(&mut out, &d.forward(&x)?)?,
+                        Some(d) => add_relu_in_place(&mut out, &d.forward_reference(&x)?)?,
                         None => add_relu_in_place(&mut out, &x)?,
                     }
                     out
                 }
                 LayerImpl::Inverted { expand, depthwise, project, skip } => {
                     let mut out = match expand {
-                        Some(e) => project.forward(&depthwise.forward(&e.forward(&x)?)?)?,
-                        None => project.forward(&depthwise.forward(&x)?)?,
+                        Some(e) => project.forward_reference(
+                            &depthwise.forward_reference(&e.forward_reference(&x)?)?,
+                        )?,
+                        None => project.forward_reference(&depthwise.forward_reference(&x)?)?,
                     };
                     if *skip {
                         out.add_assign(&x)?;
                     }
                     out
                 }
-                LayerImpl::GlobalAvgPool => global_avg_pool(&x),
+                LayerImpl::GlobalAvgPool => rescnn_tensor::global_avg_pool(&x),
                 LayerImpl::Classifier { weight, bias, in_features, out_features } => {
                     if x.shape().c != *in_features || x.shape().h != 1 || x.shape().w != 1 {
                         return Err(ModelError::BadInput {
@@ -324,11 +643,128 @@ impl Network {
                             ),
                         });
                     }
-                    linear(&x, weight, Some(bias), *out_features)?
+                    let _ = out_features;
+                    linear_prepared(&x, weight, Some(bias))?
                 }
             };
         }
         Ok(x)
+    }
+
+    /// Plans the activation-arena footprint of a forward pass at one input
+    /// shape: simulates the exact take/retire sequence
+    /// [`forward_with_arena`](Self::forward_with_arena) performs and returns
+    /// the buffer sizes it allocates plus the peak live-activation bytes.
+    ///
+    /// # Errors
+    /// Returns an error if the resolution is too small for the downsampling
+    /// schedule.
+    pub fn arena_plan(&self, input: Shape) -> Result<ArenaPlan> {
+        let mut arena = PlanArena::new();
+        let mut cur: Option<PlanHandle> = None; // handle of the owned cursor, if any
+        let mut shape = input;
+        for layer in &self.layers {
+            let (next_shape, next_handle) = match layer {
+                LayerImpl::ConvBn(conv) => {
+                    let os = conv.output_shape(shape)?;
+                    (os, Some(arena.take(os)))
+                }
+                LayerImpl::MaxPool(pool) => {
+                    let os = pool.output_shape(shape)?;
+                    (os, Some(arena.take(os)))
+                }
+                LayerImpl::Basic { conv1, conv2, downsample } => {
+                    let a_shape = conv1.output_shape(shape)?;
+                    let a = arena.take(a_shape);
+                    let os = conv2.output_shape(a_shape)?;
+                    let out = match downsample {
+                        Some(d) => {
+                            let skip = arena.take(d.output_shape(shape)?);
+                            let out = arena.take(os);
+                            arena.give(skip);
+                            out
+                        }
+                        None => arena.take(os),
+                    };
+                    arena.give(a);
+                    (os, Some(out))
+                }
+                LayerImpl::Bottleneck { conv1, conv2, conv3, downsample } => {
+                    let a_shape = conv1.output_shape(shape)?;
+                    let a = arena.take(a_shape);
+                    let b_shape = conv2.output_shape(a_shape)?;
+                    let b = arena.take(b_shape);
+                    arena.give(a);
+                    let os = conv3.output_shape(b_shape)?;
+                    let out = match downsample {
+                        Some(d) => {
+                            let skip = arena.take(d.output_shape(shape)?);
+                            let out = arena.take(os);
+                            arena.give(skip);
+                            out
+                        }
+                        None => arena.take(os),
+                    };
+                    arena.give(b);
+                    (os, Some(out))
+                }
+                LayerImpl::Inverted { expand, depthwise, project, .. } => {
+                    let (t_shape, t) = match expand {
+                        Some(e) => {
+                            let h_shape = e.output_shape(shape)?;
+                            let h = arena.take(h_shape);
+                            let t_shape = depthwise.output_shape(h_shape)?;
+                            let t = arena.take(t_shape);
+                            arena.give(h);
+                            (t_shape, t)
+                        }
+                        None => {
+                            let t_shape = depthwise.output_shape(shape)?;
+                            (t_shape, arena.take(t_shape))
+                        }
+                    };
+                    let os = project.output_shape(t_shape)?;
+                    let out = arena.take(os);
+                    arena.give(t);
+                    (os, Some(out))
+                }
+                LayerImpl::GlobalAvgPool => {
+                    let os = Shape::new(shape.n, shape.c, 1, 1);
+                    (os, Some(arena.take(os)))
+                }
+                LayerImpl::Classifier { out_features, .. } => {
+                    // Fresh (non-arena) allocation; nothing to simulate.
+                    (Shape::new(shape.n, *out_features, 1, 1), None)
+                }
+            };
+            if let Some(handle) = cur.take() {
+                arena.give(handle);
+            }
+            cur = next_handle;
+            shape = next_shape;
+        }
+        Ok(ArenaPlan {
+            buffer_elems: arena.created,
+            peak_live_bytes: arena.peak_live_elems * std::mem::size_of::<f32>(),
+        })
+    }
+
+    /// Plans and pre-populates the **calling thread's** arena for a resolution,
+    /// so even the first forward at that input shape allocates nothing on this
+    /// thread (benchmarks, sequential serving). Batched execution on the worker
+    /// pool uses each worker's own thread-local arena, which this cannot reach —
+    /// workers warm themselves on their first sample per resolution and stay
+    /// allocation-free from then on (their arenas persist across dispatches).
+    /// For caller-managed warming across executors, use
+    /// [`arena_plan`](Self::arena_plan) + [`ArenaPlan::reserve`] on an arena you
+    /// pass to [`forward_with_arena`](Self::forward_with_arena).
+    ///
+    /// # Errors
+    /// See [`Network::arena_plan`].
+    pub fn warm_thread_arena(&self, input: Shape) -> Result<ArenaPlan> {
+        let plan = self.arena_plan(input)?;
+        with_thread_arena(|arena| plan.reserve(arena));
+        Ok(plan)
     }
 
     /// Runs a forward pass and returns per-class probabilities (softmax of the logits).
@@ -359,7 +795,9 @@ impl Network {
     /// sequentially with fully parallel kernels. Either way results are bitwise
     /// identical to calling [`forward`](Self::forward) per input — the caller's
     /// [`rescnn_tensor::EngineContext`] (e.g. an algorithm override) is carried
-    /// onto the worker threads.
+    /// onto the worker threads. Inputs are borrowed straight into the first
+    /// layer (no per-request clone), and each executing thread's persistent
+    /// arena keeps warm batches allocation-free.
     ///
     /// # Errors
     /// See [`Network::forward`]; the first failing input (in batch order) is
@@ -420,15 +858,25 @@ impl TinyCnn {
     /// # Errors
     /// Returns a kernel error if the input is smaller than the downsampling schedule allows.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
-        let x = self.stem.forward(input)?;
-        let x = self.stage1.forward(&x)?;
-        let x = self.stage2.forward(&x)?;
-        let x = avg_pool2d(
-            &x,
-            &Pool2dParams::new(x.shape().h.min(x.shape().w), x.shape().h.min(x.shape().w), 0),
-        )?;
-        let x = global_avg_pool(&x);
-        Ok(linear(&x, &self.head_weight, Some(&self.head_bias), self.num_classes)?)
+        with_thread_arena(|arena| {
+            let x = self.stem.forward(input, arena)?;
+            let y = self.stage1.forward(&x, arena)?;
+            arena.give(x);
+            let z = self.stage2.forward(&y, arena)?;
+            arena.give(y);
+            let pooled = avg_pool2d(
+                &z,
+                &Pool2dParams::new(z.shape().h.min(z.shape().w), z.shape().h.min(z.shape().w), 0),
+            )?;
+            arena.give(z);
+            let pooled = rescnn_tensor::global_avg_pool(&pooled);
+            Ok(rescnn_tensor::linear(
+                &pooled,
+                &self.head_weight,
+                Some(&self.head_bias),
+                self.num_classes,
+            )?)
+        })
     }
 }
 
@@ -487,6 +935,47 @@ mod tests {
         let out_c = c.forward(&input).unwrap();
         assert!(out_a.max_abs_diff(&out_b).unwrap() < 1e-6);
         assert!(out_a.max_abs_diff(&out_c).unwrap() > 1e-6);
+    }
+
+    #[test]
+    fn prepared_forward_matches_reference_bitwise() {
+        // The tentpole contract: prepacked weights + fused epilogues + arena
+        // execution must be bitwise identical to the PR-4-era reference path,
+        // for every block family (basic, bottleneck, inverted residual).
+        for kind in [ModelKind::ResNet18, ModelKind::ResNet50, ModelKind::MobileNetV2] {
+            let net = Network::new(kind, 4, 13);
+            let input = Tensor::random_uniform(Shape::chw(3, 48, 48), 1.0, 3);
+            let fast = net.forward(&input).unwrap();
+            let reference = net.forward_reference(&input).unwrap();
+            assert_eq!(
+                fast.as_slice(),
+                reference.as_slice(),
+                "{kind} prepared forward diverged from the reference path"
+            );
+            // Repeat (warm arena) must also be identical.
+            let again = net.forward(&input).unwrap();
+            assert_eq!(fast.as_slice(), again.as_slice());
+        }
+    }
+
+    #[test]
+    fn arena_plan_shapes_are_sane() {
+        let net = Network::new(ModelKind::ResNet18, 5, 2);
+        let plan = net.arena_plan(Shape::chw(3, 64, 64)).unwrap();
+        assert!(!plan.buffer_elems.is_empty());
+        assert!(plan.arena_bytes() > 0);
+        assert!(plan.peak_live_bytes > 0);
+        // Ping-pong reuse must keep the buffer count far below the layer count.
+        assert!(
+            plan.buffer_elems.len() < net.num_layers(),
+            "planner found no reuse: {} buffers for {} layers",
+            plan.buffer_elems.len(),
+            net.num_layers()
+        );
+        // A larger resolution plans a strictly larger arena.
+        let large = net.arena_plan(Shape::chw(3, 128, 128)).unwrap();
+        assert!(large.arena_bytes() > plan.arena_bytes());
+        assert!(net.arena_plan(Shape::chw(3, 0, 0)).is_err());
     }
 
     #[test]
@@ -589,6 +1078,7 @@ mod tests {
         let net = Network::new(ModelKind::ResNet18, 3, 0);
         let input = Tensor::zeros(Shape::chw(1, 64, 64));
         assert!(matches!(net.forward(&input), Err(ModelError::BadInput { .. })));
+        assert!(matches!(net.forward_reference(&input), Err(ModelError::BadInput { .. })));
     }
 
     #[test]

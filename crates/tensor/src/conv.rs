@@ -37,17 +37,19 @@
 //! Weights are stored as `O × I/g × K × K` tensors (encoded in the NCHW [`Shape`] as
 //! `n = O`, `c = I/g`, `h = w = K`).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{self, NR};
+use crate::engine::{self, FusedActivation, NR};
 use crate::error::{Result, TensorError};
 use crate::gemm::{gemm_blocked, GemmBlocking, MatDims};
 use crate::shape::{Conv2dParams, Shape};
 use crate::tensor::Tensor;
+use crate::winograd::{conv2d_winograd_fused_into, WinogradFilter};
 use crate::{parallel, scratch};
 
 /// Validates that a weight tensor matches the convolution parameters.
@@ -488,6 +490,48 @@ static CALIBRATION_ACTIVE: AtomicBool = AtomicBool::new(false);
 /// The installed calibration table (`None` by default).
 static CALIBRATION: RwLock<Option<Arc<AlgoCalibration>>> = RwLock::new(None);
 
+/// Bumped on every [`install_algo_calibration`] call, so caches derived from
+/// the installed table (e.g. the serving layer's per-resolution-bucket tables)
+/// can detect staleness without holding the lock.
+static CALIBRATION_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic generation of the installed calibration table: changes every time
+/// [`install_algo_calibration`] runs. Derived caches compare generations to
+/// decide whether their resolved tables are still current.
+pub fn algo_calibration_generation() -> u64 {
+    CALIBRATION_GENERATION.load(Ordering::Acquire)
+}
+
+thread_local! {
+    /// A per-thread scoped calibration table consulted before the process-wide
+    /// one — the batch scheduler resolves each resolution bucket's shapes once
+    /// and installs the result here for the bucket's whole execution, so the
+    /// hot path pays a thread-local read instead of an `RwLock` read per layer
+    /// per request.
+    static SCOPED_CALIBRATION: RefCell<Option<Arc<AlgoCalibration>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with a calibration table installed for the current thread's dynamic
+/// extent, consulted by [`select_algo`] before the process-wide table.
+///
+/// Intended for tables *derived from* the current dispatch state (e.g. one
+/// [`planned_conv_algo`] resolution per shape of a serving bucket): installing
+/// such a table changes no decisions, it only removes the per-call lock. Scoped
+/// ([`EngineContext`](crate::EngineContext)) and global ([`force_conv_algo`])
+/// algorithm overrides still take precedence.
+pub fn with_algo_calibration_scope<R>(table: Arc<AlgoCalibration>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<AlgoCalibration>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            SCOPED_CALIBRATION.with(|cell| *cell.borrow_mut() = previous);
+        }
+    }
+    let previous = SCOPED_CALIBRATION.with(|cell| cell.borrow_mut().replace(table));
+    let _restore = Restore(previous);
+    f()
+}
+
 /// Installs (or, with `None`, removes) the process-wide dispatch calibration
 /// table consulted by [`select_algo`]. Returns the previously installed table.
 ///
@@ -504,7 +548,26 @@ pub fn install_algo_calibration(
     // The fast-path flag is updated while holding the write lock, so it can
     // never disagree with the stored table under concurrent install/uninstall.
     CALIBRATION_ACTIVE.store(calibration.is_some(), Ordering::Release);
+    CALIBRATION_GENERATION.fetch_add(1, Ordering::AcqRel);
     std::mem::replace(&mut *slot, calibration)
+}
+
+/// Merges `additions` into the process-wide calibration table in one step
+/// under the table's write lock — new entries win on conflicting shapes,
+/// everything else is preserved — so concurrent installers (a boot sweep
+/// finishing while a pipeline warm-starts from disk) can never lose each
+/// other's entries to a read-modify-write race. Returns the merged table size.
+pub fn merge_algo_calibration(additions: &AlgoCalibration) -> usize {
+    let mut slot = CALIBRATION.write().unwrap_or_else(|e| e.into_inner());
+    let mut merged = slot.as_deref().cloned().unwrap_or_default();
+    for (key, algo) in additions.entries() {
+        merged.set(*key, algo);
+    }
+    let len = merged.len();
+    CALIBRATION_ACTIVE.store(true, Ordering::Release);
+    CALIBRATION_GENERATION.fetch_add(1, Ordering::AcqRel);
+    *slot = Some(Arc::new(merged));
+    len
 }
 
 /// The currently installed calibration table, if any.
@@ -516,10 +579,20 @@ pub fn installed_algo_calibration() -> Option<Arc<AlgoCalibration>> {
 }
 
 /// The calibrated algorithm for `(params, input)` when a table is installed, the
-/// entry exists, and its algorithm can actually execute the shape.
+/// entry exists, and its algorithm can actually execute the shape. A scoped
+/// table ([`with_algo_calibration_scope`]) is consulted first; shapes it misses
+/// fall through to the process-wide table.
 fn calibrated_algo(params: &Conv2dParams, input: Shape) -> Option<ConvAlgo> {
+    let key = ConvShapeKey::new(*params, input);
+    let scoped =
+        SCOPED_CALIBRATION.with(|cell| cell.borrow().as_ref().and_then(|table| table.get(&key)));
+    if let Some(algo) = scoped {
+        if algo.supports(params) {
+            return Some(algo);
+        }
+    }
     let table = installed_algo_calibration()?;
-    let algo = table.get(&ConvShapeKey::new(*params, input))?;
+    let algo = table.get(&key)?;
     algo.supports(params).then_some(algo)
 }
 
@@ -649,6 +722,229 @@ pub fn conv2d(
     conv2d_dispatch(input, weight, bias, params).map(|(out, _)| out)
 }
 
+/// A convolution layer prepared once for the serving hot path: weights prepacked
+/// into GEMM panel layout per channel group ([`engine::PreparedGemmA`]), the
+/// bias captured, and — for Winograd-eligible layers — the transformed filter
+/// bank cached (lazily, the first time dispatch actually picks
+/// [`ConvAlgo::Winograd`]).
+///
+/// A `PreparedLayer` forward skips every per-call weight-packing pass and can
+/// fuse the block tail ([`ConvEpilogue`]: residual add + activation) into the
+/// kernel's output write. Both transformations are pure data movement /
+/// reassociation-free, so prepared forwards are **bitwise identical** to the
+/// unprepared `conv2d_with_algo` path per algorithm (pinned by
+/// `tests/prepacked_parity.rs`).
+///
+/// The raw weights are retained for the fallback algorithms
+/// ([`ConvAlgo::Direct`], [`ConvAlgo::Im2col`]) and the Winograd filter
+/// transform, so memory cost is roughly 2× the weights for GEMM-dispatched
+/// layers.
+#[derive(Debug, Clone)]
+pub struct PreparedLayer {
+    params: Conv2dParams,
+    weight: Tensor,
+    bias: Option<Vec<f32>>,
+    /// Per-group prepacked GEMM left operands (`out_per_group` rows over
+    /// `in_per_group * k * k`), shared by the 1×1 and packed-im2col paths.
+    gemm: Vec<engine::PreparedGemmA>,
+    /// Lazily-built Winograd filter transform (eligible layers only).
+    winograd: OnceLock<WinogradFilter>,
+}
+
+impl PreparedLayer {
+    /// Prepares a layer: validates the shapes and prepacks the per-group weight
+    /// panels.
+    ///
+    /// # Errors
+    /// Returns an error if the weight shape or bias length are inconsistent
+    /// with the parameters.
+    pub fn new(weight: Tensor, bias: Option<Vec<f32>>, params: Conv2dParams) -> Result<Self> {
+        validate_weight(&params, &weight)?;
+        validate_bias(&params, bias.as_deref())?;
+        let k = params.kernel;
+        let in_per_group = params.in_channels / params.groups;
+        let out_per_group = params.out_channels / params.groups;
+        let rows = in_per_group * k * k;
+        let wdata = weight.as_slice();
+        // Depthwise-dispatched layers never consume GEMM panels (their kernel
+        // reads raw weights, and MR-padding 1-row groups would cost ~6× the
+        // weight memory); an explicit GEMM-algo override on such a layer falls
+        // back to on-the-fly packing instead.
+        let gemm = if ConvAlgo::Depthwise.supports(&params) {
+            Vec::new()
+        } else {
+            (0..params.groups)
+                .map(|g| {
+                    let wslice = &wdata[g * out_per_group * rows..(g + 1) * out_per_group * rows];
+                    engine::PreparedGemmA::prepare(wslice, rows, out_per_group, rows)
+                })
+                .collect()
+        };
+        Ok(PreparedLayer { params, weight, bias, gemm, winograd: OnceLock::new() })
+    }
+
+    /// The layer's convolution parameters.
+    pub fn params(&self) -> &Conv2dParams {
+        &self.params
+    }
+
+    /// The raw (unpacked) weights.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The per-channel bias, if any.
+    pub fn bias(&self) -> Option<&[f32]> {
+        self.bias.as_deref()
+    }
+
+    /// The cached Winograd filter transform, building it on first use.
+    ///
+    /// # Errors
+    /// Returns an error if the layer is not Winograd-eligible.
+    pub fn winograd_filter(&self) -> Result<&WinogradFilter> {
+        if !ConvAlgo::Winograd.supports(&self.params) {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![self.params.kernel, self.params.stride, self.params.groups],
+                right: vec![3, 1, 1],
+                op: "winograd requires kernel=3 stride=1 groups=1",
+            });
+        }
+        Ok(self.winograd.get_or_init(|| {
+            WinogradFilter::prepare(&self.weight, &self.params).expect("eligibility checked above")
+        }))
+    }
+
+    /// Bytes resident beyond the raw weights (packed panels + any cached
+    /// Winograd bank).
+    pub fn prepacked_bytes(&self) -> usize {
+        self.gemm.iter().map(engine::PreparedGemmA::resident_bytes).sum::<usize>()
+            + self.winograd.get().map_or(0, WinogradFilter::resident_bytes)
+    }
+
+    /// Runs the layer through dispatch with a fused epilogue, writing into a
+    /// caller-provided output tensor (every element of which is overwritten —
+    /// arena-recycled buffers with stale contents are fine). Returns the
+    /// algorithm that executed.
+    ///
+    /// # Errors
+    /// Returns an error if the input, output, or residual shapes are
+    /// inconsistent with the layer.
+    pub fn forward_fused_into(
+        &self,
+        input: &Tensor,
+        epilogue: ConvEpilogue<'_>,
+        out: &mut Tensor,
+    ) -> Result<ConvAlgo> {
+        let algo = planned_conv_algo(&self.params, input.shape());
+        self.forward_with_algo_into(input, algo, epilogue, out)?;
+        Ok(algo)
+    }
+
+    /// Runs the layer with an explicit algorithm (shapes the algorithm cannot
+    /// execute fall back to [`ConvAlgo::Im2colPacked`], mirroring
+    /// [`conv2d_with_algo`]), writing into `out` with the fused epilogue.
+    ///
+    /// The engine algorithms run fully prepacked and fused; the reference
+    /// algorithms ([`ConvAlgo::Direct`], [`ConvAlgo::Im2col`]) execute their
+    /// historical allocating path followed by separate epilogue passes —
+    /// semantically (and bitwise) the same composition.
+    ///
+    /// # Errors
+    /// Returns an error if the input, output, or residual shapes are
+    /// inconsistent with the layer.
+    pub fn forward_with_algo_into(
+        &self,
+        input: &Tensor,
+        algo: ConvAlgo,
+        epilogue: ConvEpilogue<'_>,
+        out: &mut Tensor,
+    ) -> Result<()> {
+        let algo = if algo.supports(&self.params) { algo } else { ConvAlgo::Im2colPacked };
+        let bias = self.bias.as_deref();
+        // Layers whose default dispatch never hits a GEMM path carry no panels;
+        // an explicit GEMM-algo override packs on the fly from the raw weights.
+        let gemm_weights = if self.gemm.is_empty() {
+            ConvWeights::Raw(self.weight.as_slice())
+        } else {
+            ConvWeights::Packed(&self.gemm)
+        };
+        match algo {
+            ConvAlgo::Im2colPacked => {
+                im2col_packed_into(input, gemm_weights, bias, &self.params, epilogue, out)
+            }
+            ConvAlgo::Gemm1x1 => {
+                gemm_1x1_into(input, gemm_weights, bias, &self.params, epilogue, out)
+            }
+            ConvAlgo::Depthwise => {
+                depthwise_into(input, self.weight.as_slice(), bias, &self.params, epilogue, out)
+            }
+            ConvAlgo::Winograd => {
+                let filter = self.winograd_filter()?;
+                conv2d_winograd_fused_into(
+                    input,
+                    filter,
+                    bias,
+                    &self.params,
+                    epilogue.activation,
+                    epilogue.residual,
+                    out,
+                )
+            }
+            ConvAlgo::Direct | ConvAlgo::Im2col => {
+                let oshape = validate_into(&self.params, input, &epilogue, out)?;
+                let tmp = if algo == ConvAlgo::Direct {
+                    conv2d_direct(input, &self.weight, bias, &self.params)?
+                } else {
+                    conv2d_im2col(input, &self.weight, bias, &self.params)?
+                };
+                debug_assert_eq!(tmp.shape(), oshape);
+                out.as_mut_slice().copy_from_slice(tmp.as_slice());
+                apply_epilogue_separately(out, &epilogue);
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs the layer through dispatch with a fused epilogue, allocating the
+    /// output.
+    ///
+    /// # Errors
+    /// See [`PreparedLayer::forward_fused_into`].
+    pub fn forward_fused(&self, input: &Tensor, epilogue: ConvEpilogue<'_>) -> Result<Tensor> {
+        let mut out = Tensor::zeros(self.params.output_shape(input.shape())?);
+        self.forward_fused_into(input, epilogue, &mut out)?;
+        Ok(out)
+    }
+
+    /// Plain prepared forward: dispatch, no fused tail.
+    ///
+    /// # Errors
+    /// See [`PreparedLayer::forward_fused_into`].
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor> {
+        self.forward_fused(input, ConvEpilogue::default())
+    }
+}
+
+/// The unfused composition of a [`ConvEpilogue`]: separate residual-add and
+/// activation passes over the finished convolution output. Used by the
+/// reference algorithms; bitwise identical to the fused kernels' epilogues.
+fn apply_epilogue_separately(out: &mut Tensor, epilogue: &ConvEpilogue<'_>) {
+    match (epilogue.residual, epilogue.activation) {
+        (None, FusedActivation::None) => {}
+        (Some(skip), act) => {
+            for (o, &s) in out.as_mut_slice().iter_mut().zip(skip.as_slice()) {
+                *o = act.apply(*o + s);
+            }
+        }
+        (None, act) => {
+            for o in out.as_mut_slice().iter_mut() {
+                *o = act.apply(*o);
+            }
+        }
+    }
+}
+
 /// Valid output range `[lo, hi)` along one spatial axis for a fixed kernel offset:
 /// the positions whose sampled input index lands inside `[0, input_extent)`.
 fn valid_out_range(
@@ -744,6 +1040,86 @@ fn stripe_height(rows: usize, oshape: Shape) -> usize {
     (engine::MAX_B_PANEL_ELEMS / (rows * oshape.w).max(1)).clamp(1, oshape.h)
 }
 
+/// The weight operand of an engine GEMM convolution: raw row-major weights
+/// (packed into panels per call) or per-group panels prepacked once by
+/// [`PreparedLayer`].
+#[derive(Debug, Clone, Copy)]
+enum ConvWeights<'a> {
+    Raw(&'a [f32]),
+    Packed(&'a [engine::PreparedGemmA]),
+}
+
+impl<'a> ConvWeights<'a> {
+    /// The GEMM left operand for one channel group (`rows_per_group` output
+    /// rows over a shared dimension of `k`).
+    fn group_lhs(&self, group: usize, rows_per_group: usize, k: usize) -> engine::GemmLhs<'a> {
+        match *self {
+            ConvWeights::Raw(data) => engine::GemmLhs::Rows {
+                data: &data[group * rows_per_group * k..(group + 1) * rows_per_group * k],
+                lda: k,
+            },
+            ConvWeights::Packed(groups) => groups[group].as_lhs(),
+        }
+    }
+}
+
+/// The fused tail of a convolution: an optional residual operand added to the
+/// output and a pointwise activation, executed inside the kernel's output write
+/// (GEMM epilogue, Winograd output transform, or the depthwise kernel's final
+/// plane sweep) instead of separate passes over the feature map.
+///
+/// Fusion order matches the separate-pass composition (`act(conv + residual)`)
+/// exactly, so fused and unfused execution are bitwise identical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvEpilogue<'a> {
+    /// Activation applied to the final value.
+    pub activation: FusedActivation,
+    /// Residual operand (must match the output shape) added before the
+    /// activation — the ResNet block tail.
+    pub residual: Option<&'a Tensor>,
+}
+
+impl<'a> ConvEpilogue<'a> {
+    /// An epilogue applying only an activation.
+    pub fn activation(activation: FusedActivation) -> Self {
+        ConvEpilogue { activation, residual: None }
+    }
+
+    /// Adds a residual operand.
+    pub fn with_residual(mut self, residual: &'a Tensor) -> Self {
+        self.residual = Some(residual);
+        self
+    }
+}
+
+/// Validates an `_into` call's output (and optional residual) tensor against the
+/// convolution's output shape, returning that shape.
+fn validate_into(
+    params: &Conv2dParams,
+    input: &Tensor,
+    epilogue: &ConvEpilogue<'_>,
+    out: &Tensor,
+) -> Result<Shape> {
+    let oshape = params.output_shape(input.shape())?;
+    if out.shape() != oshape {
+        return Err(TensorError::ShapeMismatch {
+            left: out.shape().as_array().to_vec(),
+            right: oshape.as_array().to_vec(),
+            op: "conv output buffer",
+        });
+    }
+    if let Some(residual) = epilogue.residual {
+        if residual.shape() != oshape {
+            return Err(TensorError::ShapeMismatch {
+                left: residual.shape().as_array().to_vec(),
+                right: oshape.as_array().to_vec(),
+                op: "conv residual",
+            });
+        }
+    }
+    Ok(oshape)
+}
+
 /// Engine path for general convolutions: packing-aware im2col stripes + packed
 /// parallel GEMM, with zero steady-state allocations (all working memory comes from
 /// the thread-local scratch arena).
@@ -758,10 +1134,30 @@ pub fn conv2d_im2col_packed(
     params: &Conv2dParams,
 ) -> Result<Tensor> {
     validate_weight(params, weight)?;
+    let mut out = Tensor::zeros(params.output_shape(input.shape())?);
+    im2col_packed_into(
+        input,
+        ConvWeights::Raw(weight.as_slice()),
+        bias,
+        params,
+        ConvEpilogue::default(),
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// Core of the packed-im2col path; every element of `out` is overwritten.
+fn im2col_packed_into(
+    input: &Tensor,
+    weights: ConvWeights<'_>,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    epilogue: ConvEpilogue<'_>,
+    out: &mut Tensor,
+) -> Result<()> {
     validate_bias(params, bias)?;
     let ishape = input.shape();
-    let oshape = params.output_shape(ishape)?;
-    let mut out = Tensor::zeros(oshape);
+    let oshape = validate_into(params, input, &epilogue, out)?;
 
     let k = params.kernel;
     let in_per_group = params.in_channels / params.groups;
@@ -772,14 +1168,15 @@ pub fn conv2d_im2col_packed(
     let stripe_oh = stripe_height(rows, oshape);
     let parallel = params.macs(ishape).unwrap_or(0) >= engine::PARALLEL_MIN_MACS;
 
-    let wdata = weight.as_slice();
+    let residual = epilogue.residual.map(Tensor::as_slice);
     let out_data = out.as_mut_slice();
     for n in 0..ishape.n {
         for g in 0..params.groups {
-            let wslice = &wdata[g * out_per_group * rows..(g + 1) * out_per_group * rows];
+            let lhs = weights.group_lhs(g, out_per_group, rows);
             let group_bias = bias.map(|b| &b[g * out_per_group..(g + 1) * out_per_group]);
             let region_start = (n * params.groups + g) * region_len;
             let region = &mut out_data[region_start..region_start + region_len];
+            let group_skip = residual.map(|s| &s[region_start..region_start + region_len]);
             let mut oh0 = 0;
             while oh0 < oshape.h {
                 let oh1 = (oh0 + stripe_oh).min(oshape.h);
@@ -787,8 +1184,7 @@ pub fn conv2d_im2col_packed(
                 let mut bpack = scratch::take(stripe_cols.div_ceil(NR) * rows * NR);
                 im2col_pack_stripe(input, params, n, g, oshape, oh0, oh1, &mut bpack);
                 engine::parallel_packed_gemm(
-                    wslice,
-                    rows,
+                    lhs,
                     out_per_group,
                     rows,
                     &bpack,
@@ -796,7 +1192,11 @@ pub fn conv2d_im2col_packed(
                     region,
                     plane,
                     oh0 * oshape.w,
-                    group_bias,
+                    engine::Epilogue {
+                        bias: group_bias,
+                        residual: group_skip,
+                        activation: epilogue.activation,
+                    },
                     false,
                     parallel,
                 );
@@ -805,7 +1205,7 @@ pub fn conv2d_im2col_packed(
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Engine fast path for 1×1 stride-1 pad-0 convolutions: the input planes of each
@@ -821,6 +1221,28 @@ pub fn conv2d_gemm_1x1(
     bias: Option<&[f32]>,
     params: &Conv2dParams,
 ) -> Result<Tensor> {
+    validate_weight(params, weight)?;
+    let mut out = Tensor::zeros(params.output_shape(input.shape())?);
+    gemm_1x1_into(
+        input,
+        ConvWeights::Raw(weight.as_slice()),
+        bias,
+        params,
+        ConvEpilogue::default(),
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// Core of the 1×1 fast path; every element of `out` is overwritten.
+fn gemm_1x1_into(
+    input: &Tensor,
+    weights: ConvWeights<'_>,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    epilogue: ConvEpilogue<'_>,
+    out: &mut Tensor,
+) -> Result<()> {
     if !ConvAlgo::Gemm1x1.supports(params) {
         return Err(TensorError::ShapeMismatch {
             left: vec![params.kernel, params.stride, params.padding],
@@ -828,11 +1250,9 @@ pub fn conv2d_gemm_1x1(
             op: "conv2d_gemm_1x1 requires kernel=1 stride=1 padding=0",
         });
     }
-    validate_weight(params, weight)?;
     validate_bias(params, bias)?;
     let ishape = input.shape();
-    let oshape = params.output_shape(ishape)?;
-    let mut out = Tensor::zeros(oshape);
+    validate_into(params, input, &epilogue, out)?;
 
     let hw = ishape.h * ishape.w;
     let in_per_group = params.in_channels / params.groups;
@@ -842,26 +1262,26 @@ pub fn conv2d_gemm_1x1(
         (engine::MAX_B_PANEL_ELEMS / in_per_group.max(1)).div_ceil(NR).max(1) * NR;
     let parallel = params.macs(ishape).unwrap_or(0) >= engine::PARALLEL_MIN_MACS;
 
-    let wdata = weight.as_slice();
+    let residual = epilogue.residual.map(Tensor::as_slice);
     let in_data = input.as_slice();
     let out_data = out.as_mut_slice();
     for n in 0..ishape.n {
         for g in 0..params.groups {
-            let wslice =
-                &wdata[g * out_per_group * in_per_group..(g + 1) * out_per_group * in_per_group];
+            let lhs = weights.group_lhs(g, out_per_group, in_per_group);
             let group_bias = bias.map(|b| &b[g * out_per_group..(g + 1) * out_per_group]);
             let in_start = (n * params.groups + g) * in_per_group * hw;
             let in_region = &in_data[in_start..in_start + in_per_group * hw];
             let out_start = (n * params.groups + g) * out_per_group * hw;
-            let out_region = &mut out_data[out_start..out_start + out_per_group * hw];
+            let region_len = out_per_group * hw;
+            let out_region = &mut out_data[out_start..out_start + region_len];
+            let group_skip = residual.map(|s| &s[out_start..out_start + region_len]);
             let mut j0 = 0;
             while j0 < hw {
                 let width = stripe_cols_max.min(hw - j0);
-                let mut bpack = scratch::take(width.div_ceil(NR) * in_per_group * NR);
+                let mut bpack = scratch::take_uninit(width.div_ceil(NR) * in_per_group * NR);
                 engine::pack_b(in_region, in_per_group, hw, j0, width, &mut bpack);
                 engine::parallel_packed_gemm(
-                    wslice,
-                    in_per_group,
+                    lhs,
                     out_per_group,
                     in_per_group,
                     &bpack,
@@ -869,7 +1289,11 @@ pub fn conv2d_gemm_1x1(
                     out_region,
                     hw,
                     j0,
-                    group_bias,
+                    engine::Epilogue {
+                        bias: group_bias,
+                        residual: group_skip,
+                        activation: epilogue.activation,
+                    },
                     false,
                     parallel,
                 );
@@ -878,7 +1302,7 @@ pub fn conv2d_gemm_1x1(
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Engine kernel for depthwise convolutions (`groups == in_channels == out_channels`):
@@ -894,6 +1318,7 @@ pub fn conv2d_depthwise(
     bias: Option<&[f32]>,
     params: &Conv2dParams,
 ) -> Result<Tensor> {
+    validate_weight(params, weight)?;
     if !ConvAlgo::Depthwise.supports(params) {
         return Err(TensorError::InvalidGrouping {
             in_channels: params.in_channels,
@@ -901,11 +1326,33 @@ pub fn conv2d_depthwise(
             groups: params.groups,
         });
     }
-    validate_weight(params, weight)?;
+    let mut out = Tensor::zeros(params.output_shape(input.shape())?);
+    depthwise_into(input, weight.as_slice(), bias, params, ConvEpilogue::default(), &mut out)?;
+    Ok(out)
+}
+
+/// Core of the depthwise kernel; every element of `out` is overwritten. The
+/// epilogue (residual + activation) runs as a final sweep over each plane while
+/// it is still cache-resident — one fused pass instead of separate full-tensor
+/// sweeps after the convolution.
+fn depthwise_into(
+    input: &Tensor,
+    wdata: &[f32],
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    epilogue: ConvEpilogue<'_>,
+    out: &mut Tensor,
+) -> Result<()> {
+    if !ConvAlgo::Depthwise.supports(params) {
+        return Err(TensorError::InvalidGrouping {
+            in_channels: params.in_channels,
+            out_channels: params.out_channels,
+            groups: params.groups,
+        });
+    }
     validate_bias(params, bias)?;
     let ishape = input.shape();
-    let oshape = params.output_shape(ishape)?;
-    let mut out = Tensor::zeros(oshape);
+    let oshape = validate_into(params, input, &epilogue, out)?;
 
     let k = params.kernel;
     let stride = params.stride;
@@ -915,7 +1362,8 @@ pub fn conv2d_depthwise(
     let out_plane = oshape.h * oshape.w;
     let parallel = params.macs(ishape).unwrap_or(0) >= engine::PARALLEL_MIN_MACS;
 
-    let wdata = weight.as_slice();
+    let residual = epilogue.residual.map(Tensor::as_slice);
+    let activation = epilogue.activation;
     let in_data = input.as_slice();
     let in_plane = ishape.h * ishape.w;
     parallel::for_each_chunk(out.as_mut_slice(), out_plane, parallel, |plane_index, dst| {
@@ -952,8 +1400,27 @@ pub fn conv2d_depthwise(
                 }
             }
         }
+        // Fused tail while the plane is still hot.
+        match (residual, activation) {
+            (None, FusedActivation::None) => {}
+            (skip, act) => {
+                let skip = skip.map(|s| &s[plane_index * out_plane..(plane_index + 1) * out_plane]);
+                match skip {
+                    Some(skip) => {
+                        for (d, &s) in dst.iter_mut().zip(skip) {
+                            *d = act.apply(*d + s);
+                        }
+                    }
+                    None => {
+                        for d in dst.iter_mut() {
+                            *d = act.apply(*d);
+                        }
+                    }
+                }
+            }
+        }
     });
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -52,17 +52,204 @@ pub const PARALLEL_MIN_MACS: u64 = 1 << 20;
 /// memory for high-resolution layers.
 pub const MAX_B_PANEL_ELEMS: usize = 1 << 20;
 
+/// Pointwise activation fused into a kernel's output write (the GEMM epilogue or
+/// the Winograd output transform), saving the separate full-tensor pass a caller
+/// would otherwise run after the convolution.
+///
+/// Applying the same function in a fused or a separate pass is bitwise
+/// equivalent (it is pointwise on the already-final value), so fusion never
+/// changes results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusedActivation {
+    /// No activation: `y`.
+    #[default]
+    None,
+    /// `max(y, 0)`.
+    Relu,
+    /// `clamp(y, 0, 6)` (the MobileNetV2 activation).
+    Relu6,
+}
+
+impl FusedActivation {
+    /// Applies the activation to one already-final value.
+    #[inline]
+    pub fn apply(self, y: f32) -> f32 {
+        match self {
+            FusedActivation::None => y,
+            FusedActivation::Relu => y.max(0.0),
+            FusedActivation::Relu6 => y.clamp(0.0, 6.0),
+        }
+    }
+}
+
+/// The fused tail of an overwrite-mode GEMM: per-row bias, an optional residual
+/// add, and a pointwise activation, all applied in the output write of the final
+/// KC slice instead of separate sweeps over the destination.
+///
+/// Ordering matches the separate-pass composition exactly — partial sums
+/// accumulate across KC slices, then `y += residual`, then `y = activation(y)` —
+/// so a fused epilogue is bitwise identical to running the convolution followed
+/// by `add_relu_in_place`-style passes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Epilogue<'a> {
+    /// Per-row constants added to every element of the row (`None` = 0.0),
+    /// indexed relative to the call's `row0`.
+    pub bias: Option<&'a [f32]>,
+    /// Residual operand added elementwise after the reduction completes,
+    /// indexed exactly like the destination window (`r * row_stride +
+    /// col_offset + j`).
+    pub residual: Option<&'a [f32]>,
+    /// Activation applied last.
+    pub activation: FusedActivation,
+}
+
+impl<'a> Epilogue<'a> {
+    /// An epilogue that only adds the per-row bias (the historical Overwrite
+    /// behaviour).
+    pub fn with_bias(bias: Option<&'a [f32]>) -> Self {
+        Epilogue { bias, residual: None, activation: FusedActivation::None }
+    }
+}
+
 /// How C rows are written back by [`packed_gemm_strided`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub enum WriteMode<'a> {
-    /// `C[r][j] = acc + bias[r]` — used by convolutions, whose output tiles are
-    /// computed in a single pass over the full shared dimension.
+    /// `C[r][j] = activation(acc + bias[r] + residual[r][j])` — used by
+    /// convolutions, whose output tiles are computed in a single pass over the
+    /// full shared dimension. Bias is added on the first KC slice; residual and
+    /// activation apply on the last.
     Overwrite {
-        /// Per-row constants added to every element of the row (`None` = 0.0).
-        bias: Option<&'a [f32]>,
+        /// The fused output tail.
+        epilogue: Epilogue<'a>,
     },
     /// `C[r][j] += acc` — the historical GEMM contract (callers pre-initialize C).
     Accumulate,
+}
+
+/// The left-hand GEMM operand: either plain row-major data packed on the fly
+/// (per KC slice, into scratch), or panels prepacked once by
+/// [`PreparedGemmA::prepare`] — the layout weights are stored in so the hot
+/// path never repacks them.
+#[derive(Debug, Clone, Copy)]
+pub enum GemmLhs<'a> {
+    /// Row-major data with leading dimension `lda`; packed into panels per call.
+    Rows {
+        /// The matrix data.
+        data: &'a [f32],
+        /// Leading dimension (elements between consecutive rows).
+        lda: usize,
+    },
+    /// Prepacked full-K panels: tile `t` (rows `[t*MR, t*MR+MR)`) occupies
+    /// `panels[t*k*MR .. (t+1)*k*MR]` with element `(r, p)` at `p*MR + r`.
+    /// `row0` must be `MR`-aligned when this variant is used.
+    Packed {
+        /// The packed panel buffer.
+        panels: &'a [f32],
+        /// Shared dimension the panels were packed for.
+        k: usize,
+    },
+}
+
+/// A left-hand GEMM operand packed once into microkernel panel layout.
+///
+/// In this engine convolution weights are the *left* operand of every lowered
+/// GEMM (`C[out_ch][pixels] = W[out_ch][k] · im2col[k][pixels]`), so this is the
+/// type conv/FC weights are prepacked into at model-load time: the per-call
+/// [`pack_a_panel`] pass — identical for every forward, since weights never
+/// change — disappears from the hot path. Packing is pure data movement, so
+/// results are bitwise identical to the pack-per-call path.
+#[derive(Debug, Clone)]
+pub struct PreparedGemmA {
+    panels: Vec<f32>,
+    rows: usize,
+    k: usize,
+}
+
+impl PreparedGemmA {
+    /// Packs `rows × k` row-major data (leading dimension `lda`) into full-K
+    /// `MR`-row panels. Tail rows of the last tile are zero-padded.
+    pub fn prepare(a: &[f32], lda: usize, rows: usize, k: usize) -> Self {
+        let tiles = rows.div_ceil(MR);
+        let mut panels = vec![0.0f32; tiles * k * MR];
+        for tile in 0..tiles {
+            let tile_rows = MR.min(rows - tile * MR);
+            pack_a_panel(a, tile * MR, tile_rows, 0, k, lda, &mut panels[tile * k * MR..]);
+        }
+        PreparedGemmA { panels, rows, k }
+    }
+
+    /// Logical rows the panels cover.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Shared dimension the panels were packed for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The operand view [`packed_gemm_strided`] consumes.
+    pub fn as_lhs(&self) -> GemmLhs<'_> {
+        GemmLhs::Packed { panels: &self.panels, k: self.k }
+    }
+
+    /// Bytes resident in the packed panels.
+    pub fn resident_bytes(&self) -> usize {
+        self.panels.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// A right-hand GEMM operand packed once into [`pack_b`]'s `NR`-column panels.
+///
+/// Fully-connected weights are the *right* operand of the batched linear layer
+/// (`logits[n][o] = x[n][i] · Wᵀ[i][o]`), so the classifier prepacks `Wᵀ` here
+/// once instead of packing it on every forward.
+#[derive(Debug, Clone)]
+pub struct PreparedGemmB {
+    panels: Vec<f32>,
+    k: usize,
+    cols: usize,
+}
+
+impl PreparedGemmB {
+    /// Packs row-major `k × cols` data into `NR`-column panels.
+    pub fn prepare(b: &[f32], k: usize, cols: usize) -> Self {
+        let mut panels = vec![0.0f32; cols.div_ceil(NR) * k * NR];
+        pack_b(b, k, cols, 0, cols, &mut panels);
+        PreparedGemmB { panels, k, cols }
+    }
+
+    /// Packs the *transpose* of row-major `rows × k` data (so logical panel
+    /// element `(p, j)` is `w[j*k + p]`) — the layout a fully-connected weight
+    /// matrix `W[out][in]` needs to serve as the right operand `Wᵀ[in][out]`.
+    pub fn prepare_transposed(w: &[f32], rows: usize, k: usize) -> Self {
+        debug_assert!(w.len() >= rows * k);
+        let cols = rows;
+        let mut panels = vec![0.0f32; cols.div_ceil(NR) * k * NR];
+        for j in 0..cols {
+            let panel = j / NR;
+            let within = j % NR;
+            for p in 0..k {
+                panels[panel * k * NR + p * NR + within] = w[j * k + p];
+            }
+        }
+        PreparedGemmB { panels, k, cols }
+    }
+
+    /// The packed panel buffer, in the layout [`packed_gemm_strided`] expects.
+    pub fn panels(&self) -> &[f32] {
+        &self.panels
+    }
+
+    /// Shared dimension the panels were packed for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Logical columns the panels cover.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
 }
 
 /// Packs `count` columns of row-major `src` (logical `rows × src_cols`, starting at
@@ -262,22 +449,81 @@ fn microkernel_avx2(k: usize, apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR]
     }
 }
 
+/// Writes one output row's epilogue slice: combine the accumulator with the
+/// partial sum (or bias on a single-slice reduction), add the optional residual,
+/// apply the activation. Monomorphized per activation so the inner loop is
+/// branch-free.
+#[inline]
+fn write_row_epilogue(
+    out_row: &mut [f32],
+    acc_row: &[f32],
+    first_slice: bool,
+    base: f32,
+    skip_row: Option<&[f32]>,
+    activation: FusedActivation,
+) {
+    match activation {
+        FusedActivation::None => {
+            write_row_epilogue_with(out_row, acc_row, first_slice, base, skip_row, |y| y)
+        }
+        FusedActivation::Relu => {
+            write_row_epilogue_with(out_row, acc_row, first_slice, base, skip_row, |y| y.max(0.0))
+        }
+        FusedActivation::Relu6 => {
+            write_row_epilogue_with(out_row, acc_row, first_slice, base, skip_row, |y| {
+                y.clamp(0.0, 6.0)
+            })
+        }
+    }
+}
+
+#[inline]
+fn write_row_epilogue_with(
+    out_row: &mut [f32],
+    acc_row: &[f32],
+    first_slice: bool,
+    base: f32,
+    skip_row: Option<&[f32]>,
+    act: impl Fn(f32) -> f32,
+) {
+    match skip_row {
+        Some(skip) => {
+            for ((o, &v), &s) in out_row.iter_mut().zip(acc_row).zip(skip) {
+                let partial = if first_slice { v + base } else { *o + v };
+                *o = act(partial + s);
+            }
+        }
+        None => {
+            for (o, &v) in out_row.iter_mut().zip(acc_row) {
+                let partial = if first_slice { v + base } else { *o + v };
+                *o = act(partial);
+            }
+        }
+    }
+}
+
 /// Computes `rows` rows of `C = A · B` against pre-packed B panels, writing into a
 /// strided destination.
 ///
-/// * `a` — row-major left operand, leading dimension `lda`; rows `[row0, row0+rows)`
-///   are consumed.
+/// * `lhs` — the left operand: row-major data packed per KC slice into scratch, or
+///   panels prepacked once by [`PreparedGemmA`] (in which case `row0` must be
+///   `MR`-aligned and the packed `k` must match). Rows `[row0, row0+rows)` are
+///   consumed.
 /// * `bpack` — B packed by [`pack_b`]: `cols` logical columns over a shared
 ///   dimension of `k`.
 /// * `dst` — destination window. Logical element `(r, j)` (with `r` relative to
 ///   `row0`) is stored at `dst[r * row_stride + col_offset + j]`.
 ///
+/// In [`WriteMode::Overwrite`] the epilogue's bias lands on the first KC slice and
+/// its residual + activation on the last, so partial sums accumulate exactly as
+/// the unfused path would before the pointwise tail runs — fused output is
+/// bitwise identical to conv-then-separate-passes.
+///
 /// The caller guarantees `dst` is large enough; out-of-range tile tails are never
 /// touched.
 #[allow(clippy::too_many_arguments)]
 pub fn packed_gemm_strided(
-    a: &[f32],
-    lda: usize,
+    lhs: GemmLhs<'_>,
     row0: usize,
     rows: usize,
     k: usize,
@@ -291,13 +537,23 @@ pub fn packed_gemm_strided(
     let col_panels = cols.div_ceil(NR);
     let tiles = rows.div_ceil(MR);
     let kc_step = KC;
-    // One A block: every tile of this chunk over one column slice, packed once per
-    // slice and reused across all B panels (it stays cache-resident).
-    let mut apack = scratch::take(tiles * kc_step * MR);
+    // One A block (on-the-fly packing only): every tile of this chunk over one
+    // column slice, packed once per slice and reused across all B panels (it
+    // stays cache-resident). Prepacked operands skip this buffer entirely.
+    let mut apack = match lhs {
+        GemmLhs::Rows { .. } => Some(scratch::take(tiles * kc_step * MR)),
+        GemmLhs::Packed { panels, k: packed_k } => {
+            assert_eq!(packed_k, k, "prepacked panels were built for a different k");
+            assert!(row0.is_multiple_of(MR), "prepacked GEMM requires MR-aligned row chunks");
+            assert!(panels.len() >= (row0 / MR + tiles) * k * MR, "prepacked panels too short");
+            None
+        }
+    };
     let mut pc = 0;
     while pc < k {
         let kc = kc_step.min(k - pc);
         let first_slice = pc == 0;
+        let last_slice = pc + kc == k;
         // Tiles pack densely at the current slice's `kc * MR` stride, so only the
         // region actually consumed needs (re-)zeroing — and only when a partial
         // tail tile leaves padding rows that packing does not overwrite. This
@@ -305,20 +561,22 @@ pub fn packed_gemm_strided(
         // k = in_channels), where zeroing the full KC-sized buffer per call would
         // cost more than the packing itself.
         let tile_stride = kc * MR;
-        if !rows.is_multiple_of(MR) && !first_slice {
-            apack[..tiles * tile_stride].iter_mut().for_each(|x| *x = 0.0);
-        }
-        for tile in 0..tiles {
-            let tile_rows = MR.min(rows - tile * MR);
-            pack_a_panel(
-                a,
-                row0 + tile * MR,
-                tile_rows,
-                pc,
-                kc,
-                lda,
-                &mut apack[tile * tile_stride..(tile + 1) * tile_stride],
-            );
+        if let (GemmLhs::Rows { data, lda }, Some(apack)) = (lhs, apack.as_mut()) {
+            if !rows.is_multiple_of(MR) && !first_slice {
+                apack[..tiles * tile_stride].iter_mut().for_each(|x| *x = 0.0);
+            }
+            for tile in 0..tiles {
+                let tile_rows = MR.min(rows - tile * MR);
+                pack_a_panel(
+                    data,
+                    row0 + tile * MR,
+                    tile_rows,
+                    pc,
+                    kc,
+                    lda,
+                    &mut apack[tile * tile_stride..(tile + 1) * tile_stride],
+                );
+            }
         }
         for panel in 0..col_panels {
             let j0 = panel * NR;
@@ -327,19 +585,44 @@ pub fn packed_gemm_strided(
             let bslice = &bpack[panel * k * NR + pc * NR..panel * k * NR + (pc + kc) * NR];
             for tile in 0..tiles {
                 let tile_rows = MR.min(rows - tile * MR);
-                let atile = &apack[tile * tile_stride..(tile + 1) * tile_stride];
+                let atile: &[f32] = match (&lhs, &apack) {
+                    (GemmLhs::Rows { .. }, Some(apack)) => {
+                        &apack[tile * tile_stride..(tile + 1) * tile_stride]
+                    }
+                    (GemmLhs::Packed { panels, .. }, _) => {
+                        let t = row0 / MR + tile;
+                        &panels[t * k * MR + pc * MR..t * k * MR + (pc + kc) * MR]
+                    }
+                    _ => unreachable!("apack exists exactly for the Rows variant"),
+                };
                 let acc = microkernel(kc, atile, bslice);
                 for r in 0..tile_rows {
                     let start = (tile * MR + r) * row_stride + col_offset + j0;
                     let out_row = &mut dst[start..start + width];
                     match mode {
-                        WriteMode::Overwrite { bias } if first_slice => {
-                            let base = bias.map_or(0.0, |b| b[tile * MR + r]);
+                        WriteMode::Overwrite { epilogue } if last_slice => {
+                            let base = if first_slice {
+                                epilogue.bias.map_or(0.0, |b| b[tile * MR + r])
+                            } else {
+                                0.0
+                            };
+                            let skip_row = epilogue.residual.map(|s| &s[start..start + width]);
+                            write_row_epilogue(
+                                out_row,
+                                &acc[r][..width],
+                                first_slice,
+                                base,
+                                skip_row,
+                                epilogue.activation,
+                            );
+                        }
+                        WriteMode::Overwrite { epilogue } if first_slice => {
+                            let base = epilogue.bias.map_or(0.0, |b| b[tile * MR + r]);
                             for (o, &v) in out_row.iter_mut().zip(&acc[r][..width]) {
                                 *o = v + base;
                             }
                         }
-                        // Later KC slices accumulate onto the partial sums, as does
+                        // Middle KC slices accumulate onto the partial sums, as does
                         // every slice in Accumulate mode.
                         _ => {
                             for (o, &v) in out_row.iter_mut().zip(&acc[r][..width]) {
@@ -352,18 +635,20 @@ pub fn packed_gemm_strided(
         }
         pc += kc;
     }
-    scratch::give(apack);
+    if let Some(apack) = apack {
+        scratch::give(apack);
+    }
 }
 
 /// Splits the rows of a C region into `MR`-aligned chunks and runs
 /// [`packed_gemm_strided`] on worker threads. `region` must hold `m` rows of
 /// `row_stride` elements each; row `r` of the product lands at
-/// `region[r * row_stride + col_offset ..]`. `bias`, when present, is indexed by
-/// absolute row.
+/// `region[r * row_stride + col_offset ..]`. The epilogue's `bias` is indexed by
+/// absolute row and its `residual` exactly like `region` (it must have the same
+/// length); both are sliced per chunk here.
 #[allow(clippy::too_many_arguments)]
 pub fn parallel_packed_gemm(
-    a: &[f32],
-    lda: usize,
+    lhs: GemmLhs<'_>,
     m: usize,
     k: usize,
     bpack: &[f32],
@@ -371,7 +656,7 @@ pub fn parallel_packed_gemm(
     region: &mut [f32],
     row_stride: usize,
     col_offset: usize,
-    bias: Option<&[f32]>,
+    epilogue: Epilogue<'_>,
     accumulate: bool,
     parallel: bool,
 ) {
@@ -383,17 +668,25 @@ pub fn parallel_packed_gemm(
     let rows_per_chunk = if !parallel || m >= threads * MC { MC } else { MR };
     let chunk_len = rows_per_chunk * row_stride;
     let want_parallel = parallel && (m as u64) * (k as u64) * (cols as u64) >= PARALLEL_MIN_MACS;
+    if let Some(residual) = epilogue.residual {
+        debug_assert_eq!(residual.len(), region.len(), "residual must mirror the region");
+    }
     parallel::for_each_chunk(region, chunk_len, want_parallel, |chunk_index, chunk| {
         let row0 = chunk_index * rows_per_chunk;
         let rows = rows_per_chunk.min(m - row0);
         let mode = if accumulate {
             WriteMode::Accumulate
         } else {
-            WriteMode::Overwrite { bias: bias.map(|b| &b[row0..row0 + rows]) }
+            let start = chunk_index * chunk_len;
+            WriteMode::Overwrite {
+                epilogue: Epilogue {
+                    bias: epilogue.bias.map(|b| &b[row0..row0 + rows]),
+                    residual: epilogue.residual.map(|s| &s[start..start + chunk.len()]),
+                    activation: epilogue.activation,
+                },
+            }
         };
-        packed_gemm_strided(
-            a, lda, row0, rows, k, bpack, cols, chunk, row_stride, col_offset, mode,
-        );
+        packed_gemm_strided(lhs, row0, rows, k, bpack, cols, chunk, row_stride, col_offset, mode);
     });
 }
 
@@ -444,8 +737,7 @@ mod tests {
         let col_offset = 3;
         let mut dst = vec![-1.0; m * row_stride + col_offset];
         packed_gemm_strided(
-            &a,
-            k,
+            GemmLhs::Rows { data: &a, lda: k },
             0,
             m,
             k,
@@ -454,7 +746,7 @@ mod tests {
             &mut dst,
             row_stride,
             col_offset,
-            WriteMode::Overwrite { bias: None },
+            WriteMode::Overwrite { epilogue: Epilogue::with_bias(None) },
         );
         for i in 0..m {
             for j in 0..n {
@@ -464,6 +756,26 @@ mod tests {
         }
         // Elements outside the window must be untouched.
         assert!(dst[..col_offset].iter().all(|&x| x == -1.0));
+
+        // The prepacked left operand must reproduce the on-the-fly path bitwise.
+        let prepared = PreparedGemmA::prepare(&a, k, m, k);
+        assert_eq!(prepared.rows(), m);
+        assert_eq!(prepared.k(), k);
+        assert!(prepared.resident_bytes() > 0);
+        let mut pre = vec![-1.0; m * row_stride + col_offset];
+        packed_gemm_strided(
+            prepared.as_lhs(),
+            0,
+            m,
+            k,
+            &bpack,
+            n,
+            &mut pre,
+            row_stride,
+            col_offset,
+            WriteMode::Overwrite { epilogue: Epilogue::with_bias(None) },
+        );
+        assert_eq!(pre, dst, "prepacked lhs must be bitwise identical");
     }
 
     #[test]
@@ -477,8 +789,7 @@ mod tests {
 
         let mut dst = vec![0.0; m * n];
         packed_gemm_strided(
-            &a,
-            k,
+            GemmLhs::Rows { data: &a, lda: k },
             0,
             m,
             k,
@@ -487,15 +798,104 @@ mod tests {
             &mut dst,
             n,
             0,
-            WriteMode::Overwrite { bias: Some(&bias) },
+            WriteMode::Overwrite { epilogue: Epilogue::with_bias(Some(&bias)) },
         );
         for i in 0..m {
             assert!(dst[i * n..(i + 1) * n].iter().all(|&x| (x - (8.0 + i as f32)).abs() < 1e-6));
         }
 
         let mut acc_dst = vec![1.0; m * n];
-        packed_gemm_strided(&a, k, 0, m, k, &bpack, n, &mut acc_dst, n, 0, WriteMode::Accumulate);
+        packed_gemm_strided(
+            GemmLhs::Rows { data: &a, lda: k },
+            0,
+            m,
+            k,
+            &bpack,
+            n,
+            &mut acc_dst,
+            n,
+            0,
+            WriteMode::Accumulate,
+        );
         assert!(acc_dst.iter().all(|&x| (x - 9.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn fused_epilogue_matches_separate_passes_bitwise() {
+        // Multi-slice reduction (k > KC) so bias lands on the first slice and the
+        // residual + activation on the last.
+        let (m, n, k) = (11, 37, KC + 17);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 29) % 23) as f32 * 0.05 - 0.5).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 31) % 19) as f32 * 0.05 - 0.45).collect();
+        let bias: Vec<f32> = (0..m).map(|i| (i as f32 - 5.0) * 0.3).collect();
+        let skip: Vec<f32> = (0..m * n).map(|i| ((i * 13) % 11) as f32 * 0.2 - 1.0).collect();
+        let mut bpack = vec![0.0; n.div_ceil(NR) * k * NR];
+        pack_b(&b, k, n, 0, n, &mut bpack);
+
+        // Unfused: plain biased GEMM, then the separate residual + ReLU sweep.
+        let mut plain = vec![0.0; m * n];
+        packed_gemm_strided(
+            GemmLhs::Rows { data: &a, lda: k },
+            0,
+            m,
+            k,
+            &bpack,
+            n,
+            &mut plain,
+            n,
+            0,
+            WriteMode::Overwrite { epilogue: Epilogue::with_bias(Some(&bias)) },
+        );
+        let separate: Vec<f32> = plain.iter().zip(&skip).map(|(&o, &s)| (o + s).max(0.0)).collect();
+
+        let mut fused = vec![0.0; m * n];
+        packed_gemm_strided(
+            GemmLhs::Rows { data: &a, lda: k },
+            0,
+            m,
+            k,
+            &bpack,
+            n,
+            &mut fused,
+            n,
+            0,
+            WriteMode::Overwrite {
+                epilogue: Epilogue {
+                    bias: Some(&bias),
+                    residual: Some(&skip),
+                    activation: FusedActivation::Relu,
+                },
+            },
+        );
+        for (f, s) in fused.iter().zip(&separate) {
+            assert_eq!(f.to_bits(), s.to_bits(), "fused epilogue must be bitwise identical");
+        }
+    }
+
+    #[test]
+    fn fused_activation_applies() {
+        assert_eq!(FusedActivation::None.apply(-3.0), -3.0);
+        assert_eq!(FusedActivation::Relu.apply(-3.0), 0.0);
+        assert_eq!(FusedActivation::Relu.apply(2.0), 2.0);
+        assert_eq!(FusedActivation::Relu6.apply(9.0), 6.0);
+    }
+
+    #[test]
+    fn prepared_gemm_b_transposed_matches_pack_b() {
+        let (k, cols) = (5usize, 7usize);
+        // Row-major cols × k weight (the FC convention), and its transpose k × cols.
+        let w: Vec<f32> = (0..cols * k).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let mut wt = vec![0.0f32; k * cols];
+        for j in 0..cols {
+            for p in 0..k {
+                wt[p * cols + j] = w[j * k + p];
+            }
+        }
+        let from_rows = PreparedGemmB::prepare(&wt, k, cols);
+        let transposed = PreparedGemmB::prepare_transposed(&w, cols, k);
+        assert_eq!(from_rows.panels(), transposed.panels());
+        assert_eq!(transposed.k(), k);
+        assert_eq!(transposed.cols(), cols);
     }
 
     #[test]
@@ -512,7 +912,19 @@ mod tests {
         for threads in [1usize, 2, 5] {
             crate::parallel::set_num_threads(threads);
             let mut out = vec![0.0f32; m * n];
-            parallel_packed_gemm(&a, k, m, k, &bpack, n, &mut out, n, 0, None, false, true);
+            parallel_packed_gemm(
+                GemmLhs::Rows { data: &a, lda: k },
+                m,
+                k,
+                &bpack,
+                n,
+                &mut out,
+                n,
+                0,
+                Epilogue::default(),
+                false,
+                true,
+            );
             results.push(out);
         }
         crate::parallel::set_num_threads(original);

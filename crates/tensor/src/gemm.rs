@@ -149,9 +149,21 @@ pub fn gemm_packed(dims: MatDims, a: &[f32], b: &[f32], out: &mut [f32]) {
     let mut j0 = 0;
     while j0 < n {
         let width = stripe_cols.min(n - j0);
-        let mut bpack = scratch::take(width.div_ceil(engine::NR) * k * engine::NR);
+        let mut bpack = scratch::take_uninit(width.div_ceil(engine::NR) * k * engine::NR);
         engine::pack_b(b, k, n, j0, width, &mut bpack);
-        engine::parallel_packed_gemm(a, k, m, k, &bpack, width, out, n, j0, None, true, parallel);
+        engine::parallel_packed_gemm(
+            engine::GemmLhs::Rows { data: a, lda: k },
+            m,
+            k,
+            &bpack,
+            width,
+            out,
+            n,
+            j0,
+            engine::Epilogue::default(),
+            true,
+            parallel,
+        );
         scratch::give(bpack);
         j0 += width;
     }

@@ -63,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod context;
 mod conv;
 pub mod engine;
@@ -75,23 +76,29 @@ mod shape;
 mod tensor;
 pub mod winograd;
 
+pub use arena::{with_thread_arena, ActivationArena};
 pub use context::EngineContext;
 pub use conv::{
-    conv2d, conv2d_depthwise, conv2d_direct, conv2d_dispatch, conv2d_gemm_1x1, conv2d_im2col,
-    conv2d_im2col_packed, conv2d_tiled, conv2d_with_algo, force_conv_algo, im2col,
-    install_algo_calibration, installed_algo_calibration, planned_conv_algo, select_algo,
-    AlgoCalibration, ConvAlgo, ConvShapeKey, ConvTiling,
+    algo_calibration_generation, conv2d, conv2d_depthwise, conv2d_direct, conv2d_dispatch,
+    conv2d_gemm_1x1, conv2d_im2col, conv2d_im2col_packed, conv2d_tiled, conv2d_with_algo,
+    force_conv_algo, im2col, install_algo_calibration, installed_algo_calibration,
+    merge_algo_calibration, planned_conv_algo, select_algo, with_algo_calibration_scope,
+    AlgoCalibration, ConvAlgo, ConvEpilogue, ConvShapeKey, ConvTiling, PreparedLayer,
 };
+pub use engine::{Epilogue, FusedActivation, GemmLhs, PreparedGemmA, PreparedGemmB};
 pub use error::{Result, TensorError};
 pub use gemm::{gemm_blocked, gemm_naive, gemm_packed, matmul, GemmBlocking, MatDims};
 pub use ops::{
-    add_relu_in_place, avg_pool2d, batch_norm, global_avg_pool, linear, max_pool2d, relu, relu6,
-    relu6_in_place, relu_in_place, sigmoid, softmax,
+    add_relu_in_place, avg_pool2d, avg_pool2d_into, batch_norm, global_avg_pool,
+    global_avg_pool_into, linear, linear_prepared, linear_prepared_into, max_pool2d,
+    max_pool2d_into, relu, relu6, relu6_in_place, relu_in_place, sigmoid, softmax,
 };
 pub use parallel::{num_threads, set_num_threads, shutdown_pool, split_parallelism};
 pub use shape::{conv_output_extent, Conv2dParams, Pool2dParams, Shape};
 pub use tensor::Tensor;
-pub use winograd::{conv2d_winograd, conv2d_winograd_prepared, FusedActivation, WinogradFilter};
+pub use winograd::{
+    conv2d_winograd, conv2d_winograd_fused_into, conv2d_winograd_prepared, WinogradFilter,
+};
 
 #[cfg(test)]
 pub(crate) mod test_sync {

@@ -1,6 +1,11 @@
 //! Non-convolution neural-network operators: activations, pooling, normalization,
 //! fully-connected layers, and softmax.
+//!
+//! The pooling / pooling-like operators and the linear layer additionally offer
+//! `_into` variants writing into a caller-provided tensor (every element of
+//! which is overwritten), so arena-backed forward passes allocate nothing.
 
+use crate::engine::{self, PreparedGemmB};
 use crate::error::{Result, TensorError};
 use crate::shape::{Pool2dParams, Shape};
 use crate::tensor::Tensor;
@@ -88,7 +93,17 @@ pub fn batch_norm(
 /// # Errors
 /// Returns an error if the window does not fit in the padded input.
 pub fn max_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
-    pool2d(input, params, PoolKind::Max)
+    let mut out = Tensor::zeros(params.output_shape(input.shape())?);
+    pool2d_into(input, params, PoolKind::Max, &mut out)?;
+    Ok(out)
+}
+
+/// [`max_pool2d`] writing into a caller-provided tensor (fully overwritten).
+///
+/// # Errors
+/// Returns an error if the window does not fit, or `out` has the wrong shape.
+pub fn max_pool2d_into(input: &Tensor, params: &Pool2dParams, out: &mut Tensor) -> Result<()> {
+    pool2d_into(input, params, PoolKind::Max, out)
 }
 
 /// Average pooling over square windows (zero padding contributes to the divisor only when
@@ -97,7 +112,17 @@ pub fn max_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
 /// # Errors
 /// Returns an error if the window does not fit in the padded input.
 pub fn avg_pool2d(input: &Tensor, params: &Pool2dParams) -> Result<Tensor> {
-    pool2d(input, params, PoolKind::Avg)
+    let mut out = Tensor::zeros(params.output_shape(input.shape())?);
+    pool2d_into(input, params, PoolKind::Avg, &mut out)?;
+    Ok(out)
+}
+
+/// [`avg_pool2d`] writing into a caller-provided tensor (fully overwritten).
+///
+/// # Errors
+/// Returns an error if the window does not fit, or `out` has the wrong shape.
+pub fn avg_pool2d_into(input: &Tensor, params: &Pool2dParams, out: &mut Tensor) -> Result<()> {
+    pool2d_into(input, params, PoolKind::Avg, out)
 }
 
 #[derive(Clone, Copy)]
@@ -106,10 +131,21 @@ enum PoolKind {
     Avg,
 }
 
-fn pool2d(input: &Tensor, params: &Pool2dParams, kind: PoolKind) -> Result<Tensor> {
+fn pool2d_into(
+    input: &Tensor,
+    params: &Pool2dParams,
+    kind: PoolKind,
+    out: &mut Tensor,
+) -> Result<()> {
     let ishape = input.shape();
     let oshape = params.output_shape(ishape)?;
-    let mut out = Tensor::zeros(oshape);
+    if out.shape() != oshape {
+        return Err(TensorError::ShapeMismatch {
+            left: out.shape().as_array().to_vec(),
+            right: oshape.as_array().to_vec(),
+            op: "pool output buffer",
+        });
+    }
     let pad = params.padding as isize;
     for n in 0..ishape.n {
         for c in 0..ishape.c {
@@ -160,7 +196,7 @@ fn pool2d(input: &Tensor, params: &Pool2dParams, kind: PoolKind) -> Result<Tenso
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Global average pooling: reduces each channel plane to a single value, producing an
@@ -168,6 +204,25 @@ fn pool2d(input: &Tensor, params: &Pool2dParams, kind: PoolKind) -> Result<Tenso
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
     let ishape = input.shape();
     let mut out = Tensor::zeros(Shape::new(ishape.n, ishape.c, 1, 1));
+    global_avg_pool_into(input, &mut out).expect("freshly shaped output");
+    out
+}
+
+/// [`global_avg_pool`] writing into a caller-provided `N × C × 1 × 1` tensor
+/// (fully overwritten).
+///
+/// # Errors
+/// Returns an error if `out` has the wrong shape.
+pub fn global_avg_pool_into(input: &Tensor, out: &mut Tensor) -> Result<()> {
+    let ishape = input.shape();
+    let expected = Shape::new(ishape.n, ishape.c, 1, 1);
+    if out.shape() != expected {
+        return Err(TensorError::ShapeMismatch {
+            left: out.shape().as_array().to_vec(),
+            right: expected.as_array().to_vec(),
+            op: "global_avg_pool output buffer",
+        });
+    }
     let area = (ishape.h * ishape.w).max(1) as f32;
     for n in 0..ishape.n {
         for c in 0..ishape.c {
@@ -175,7 +230,7 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
             out.set(n, c, 0, 0, sum / area);
         }
     }
-    out
+    Ok(())
 }
 
 /// Fully-connected (linear) layer: `out[n][o] = Σ_i in[n][i] * weight[o][i] + bias[o]`.
@@ -224,6 +279,86 @@ pub fn linear(
         }
     }
     Ok(out)
+}
+
+/// Fully-connected layer against a weight matrix prepacked once into GEMM
+/// right-operand panels (`Wᵀ`, [`PreparedGemmB::prepare_transposed`]): the
+/// batched features are the GEMM left operand, so the forward runs on the
+/// packed microkernel with no per-call weight packing.
+///
+/// The engine reduction is KC-blocked vector arithmetic, so results agree with
+/// the scalar [`linear`] only to floating-point reassociation (≤ ~1e-4 at
+/// unit scale), not bitwise.
+///
+/// # Errors
+/// Returns an error if the input is not `N × C × 1 × 1`, its feature count does
+/// not match the packed weights, or the bias length is wrong.
+pub fn linear_prepared(
+    input: &Tensor,
+    weight: &PreparedGemmB,
+    bias: Option<&[f32]>,
+) -> Result<Tensor> {
+    let mut out = Tensor::zeros(Shape::new(input.shape().n, weight.cols(), 1, 1));
+    linear_prepared_into(input, weight, bias, &mut out)?;
+    Ok(out)
+}
+
+/// [`linear_prepared`] writing into a caller-provided `N × O × 1 × 1` tensor
+/// (fully overwritten).
+///
+/// # Errors
+/// See [`linear_prepared`]; additionally errors if `out` has the wrong shape.
+pub fn linear_prepared_into(
+    input: &Tensor,
+    weight: &PreparedGemmB,
+    bias: Option<&[f32]>,
+    out: &mut Tensor,
+) -> Result<()> {
+    let ishape = input.shape();
+    let (k, out_features) = (weight.k(), weight.cols());
+    if ishape.h != 1 || ishape.w != 1 || ishape.c != k {
+        return Err(TensorError::ShapeMismatch {
+            left: ishape.as_array().to_vec(),
+            right: vec![ishape.n, k, 1, 1],
+            op: "linear_prepared input",
+        });
+    }
+    let expected = Shape::new(ishape.n, out_features, 1, 1);
+    if out.shape() != expected {
+        return Err(TensorError::ShapeMismatch {
+            left: out.shape().as_array().to_vec(),
+            right: expected.as_array().to_vec(),
+            op: "linear_prepared output buffer",
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != out_features {
+            return Err(TensorError::LengthMismatch { expected: out_features, actual: b.len() });
+        }
+    }
+    engine::packed_gemm_strided(
+        engine::GemmLhs::Rows { data: input.as_slice(), lda: k },
+        0,
+        ishape.n,
+        k,
+        weight.panels(),
+        out_features,
+        out.as_mut_slice(),
+        out_features,
+        0,
+        engine::WriteMode::Overwrite { epilogue: engine::Epilogue::with_bias(None) },
+    );
+    if let Some(b) = bias {
+        // The engine's bias is per *row* (batch element); the linear bias is per
+        // column (output feature), so it is added in a tiny second sweep.
+        let data = out.as_mut_slice();
+        for n in 0..ishape.n {
+            for (o, &bv) in data[n * out_features..(n + 1) * out_features].iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Numerically-stable softmax over the channel dimension of an `N × C × 1 × 1` tensor.

@@ -32,6 +32,13 @@ pub fn heap_allocations() -> u64 {
     HEAP_ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// Advances the shared allocation counter on behalf of another recycling pool
+/// (the activation arena in [`arena`](crate::arena)), so one counter pins the
+/// whole engine's zero-allocation steady state.
+pub(crate) fn record_external_allocation() {
+    HEAP_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Retired buffers are only reused for requests at least this fraction of their
 /// capacity, so one huge early request cannot pin memory for tiny later ones.
 const MIN_UTILIZATION: f32 = 0.25;
@@ -46,6 +53,26 @@ thread_local! {
 /// Takes a zero-filled buffer of exactly `len` elements from the thread-local pool,
 /// allocating only if no retired buffer is large enough.
 pub fn take(len: usize) -> Vec<f32> {
+    take_impl(len, true)
+}
+
+/// Takes a buffer of exactly `len` elements **without** zeroing reused memory:
+/// contents are unspecified (stale values from earlier kernels, or zeros on a
+/// fresh allocation).
+///
+/// For buffers whose every consumed element is overwritten before being read —
+/// fully-written packed panels, GEMM outputs in overwrite mode — the [`take`]
+/// memset is pure waste that scales with the feature-map size; this variant
+/// skips it. Callers must not use it for buffers with *semantic* zero padding
+/// (e.g. im2col destinations, where unwritten positions represent the
+/// convolution's zero padding). Packed-panel tail lanes that stale values can
+/// reach are harmless: the microkernel computes garbage in those lanes and the
+/// writeback discards them.
+pub fn take_uninit(len: usize) -> Vec<f32> {
+    take_impl(len, false)
+}
+
+fn take_impl(len: usize, zero: bool) -> Vec<f32> {
     let reused = POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
         let position = pool.iter().position(|buffer| {
@@ -55,8 +82,19 @@ pub fn take(len: usize) -> Vec<f32> {
     });
     match reused {
         Some(mut buffer) => {
-            buffer.clear();
-            buffer.resize(len, 0.0);
+            if zero {
+                buffer.clear();
+                buffer.resize(len, 0.0);
+            } else {
+                // Truncate-then-resize initializes only the region beyond the
+                // buffer's previous length; the stale prefix stays as-is.
+                if buffer.len() > len {
+                    buffer.truncate(len);
+                }
+                if buffer.len() < len {
+                    buffer.resize(len, 0.0);
+                }
+            }
             buffer
         }
         None => {

@@ -41,11 +41,13 @@
 //! `tests/winograd_parity.rs` — is elementwise agreement within `1e-4` at
 //! unit-scale activations.
 
-use crate::engine::{self, WriteMode, NR};
+use crate::engine::{self, Epilogue, GemmLhs, WriteMode, MR, NR};
 use crate::error::{Result, TensorError};
 use crate::shape::Conv2dParams;
 use crate::tensor::Tensor;
 use crate::{parallel, scratch};
+
+pub use crate::engine::FusedActivation;
 
 /// Transform points of F(2×2, 3×3): a 4×4 grid.
 const POINTS: usize = 16;
@@ -54,37 +56,26 @@ const TILE: usize = 2;
 /// Input tile extent (`TILE + kernel − 1`).
 const ALPHA: usize = 4;
 
-/// Pointwise activation fused into the Winograd output transform, saving the
-/// separate full-tensor pass a caller would otherwise run after the convolution.
-///
-/// Applying the same function in a fused or a separate pass is bitwise
-/// equivalent (it is pointwise on the already-final value), so fusion never
-/// changes results.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum FusedActivation {
-    /// No activation: `y`.
-    #[default]
-    None,
-    /// `max(y, 0)`.
-    Relu,
-    /// `clamp(y, 0, 6)` (the MobileNetV2 activation).
-    Relu6,
-}
-
 /// A 3×3 filter bank lifted to the 16 Winograd transform points: `U = G·g·Gᵀ`
 /// per (output channel, input channel) pair.
 ///
 /// The transform is resolution-independent, so models cache one
 /// `WinogradFilter` per eligible convolution layer and reuse it at every input
 /// size; per-forward cost is then input/output transforms plus GEMMs only.
-/// Memory cost is `16/9 ≈ 1.78×` the original weights.
+/// Memory cost is `16/9 ≈ 1.78×` the original weights (rounded up to `MR`-row
+/// tiles).
 ///
-/// Layout: `u[t]` (for `t = 4·r + c`) is the row-major `O × I` matrix of point
-/// `(r, c)` — exactly the left-hand operand of that point's GEMM.
+/// Layout: each point's `O × I` matrix is stored **prepacked** into the engine's
+/// left-operand panel layout ([`engine::PreparedGemmA`]-style full-K `MR`-row
+/// tiles), so the per-point GEMMs never repack the transformed weights — an
+/// unprepacked Winograd pass used to re-pack the whole `U` bank once per tile
+/// chunk, every forward.
 #[derive(Debug, Clone)]
 pub struct WinogradFilter {
-    /// `[POINTS][out_channels][in_channels]`, row-major per point.
+    /// `[POINTS]` segments of `tiles × in_channels × MR` packed panels.
     u: Vec<f32>,
+    /// Elements per point segment.
+    point_seg: usize,
     out_channels: usize,
     in_channels: usize,
 }
@@ -106,9 +97,15 @@ impl WinogradFilter {
         crate::conv::validate_weight(params, weight)?;
         let o = params.out_channels;
         let i = params.in_channels;
-        let mut u = vec![0.0f32; POINTS * o * i];
+        // Packed destination: point t, tile oc/MR, element (r = oc % MR, p = ic)
+        // at `t*seg + tile*(i*MR) + ic*MR + r` — written directly, no O×I
+        // intermediate. Tail-tile padding rows stay zero.
+        let tiles = o.div_ceil(MR);
+        let point_seg = tiles * i * MR;
+        let mut u = vec![0.0f32; POINTS * point_seg];
         let wdata = weight.as_slice();
         for oc in 0..o {
+            let tile_base = (oc / MR) * (i * MR) + oc % MR;
             for ic in 0..i {
                 let g = &wdata[(oc * i + ic) * 9..(oc * i + ic) * 9 + 9];
                 // tmp = G·g, with G = [[1,0,0],[½,½,½],[½,−½,½],[0,0,1]].
@@ -125,12 +122,12 @@ impl WinogradFilter {
                     let (t0, t1, t2) = (tmp[r][0], tmp[r][1], tmp[r][2]);
                     let row = [t0, 0.5 * (t0 + t1 + t2), 0.5 * (t0 - t1 + t2), t2];
                     for (c, &value) in row.iter().enumerate() {
-                        u[(r * ALPHA + c) * o * i + oc * i + ic] = value;
+                        u[(r * ALPHA + c) * point_seg + tile_base + ic * MR] = value;
                     }
                 }
             }
         }
-        Ok(WinogradFilter { u, out_channels: o, in_channels: i })
+        Ok(WinogradFilter { u, point_seg, out_channels: o, in_channels: i })
     }
 
     /// Output channels of the transformed filter bank.
@@ -142,19 +139,33 @@ impl WinogradFilter {
     pub fn in_channels(&self) -> usize {
         self.in_channels
     }
+
+    /// Bytes resident in the packed transform bank.
+    pub fn resident_bytes(&self) -> usize {
+        self.u.len() * std::mem::size_of::<f32>()
+    }
 }
 
-/// Interleaves two stencil-output lanes into one output row, adding the bias and
-/// applying the fused activation: `row[2t] = act(ya[t] + bias)`,
-/// `row[2t+1] = act(yb[t] + bias)`, with the odd tail column (odd output widths)
-/// taking `ya` only.
+/// Interleaves two stencil-output lanes into one output row, adding the bias,
+/// the optional residual row, and the fused activation:
+/// `row[2t] = act(ya[t] + bias + skip[2t])`, `row[2t+1] = act(yb[t] + bias +
+/// skip[2t+1])`, with the odd tail column (odd output widths) taking `ya` only.
 #[inline]
-fn emit_output_row(out_row: &mut [f32], ya: &[f32], yb: &[f32], bias: f32, act: FusedActivation) {
+fn emit_output_row(
+    out_row: &mut [f32],
+    ya: &[f32],
+    yb: &[f32],
+    bias: f32,
+    skip: Option<&[f32]>,
+    act: FusedActivation,
+) {
     // Monomorphize per activation so the interleave loop body is branch-free.
     match act {
-        FusedActivation::None => emit_interleaved(out_row, ya, yb, bias, |y| y),
-        FusedActivation::Relu => emit_interleaved(out_row, ya, yb, bias, |y| y.max(0.0)),
-        FusedActivation::Relu6 => emit_interleaved(out_row, ya, yb, bias, |y| y.clamp(0.0, 6.0)),
+        FusedActivation::None => emit_interleaved(out_row, ya, yb, bias, skip, |y| y),
+        FusedActivation::Relu => emit_interleaved(out_row, ya, yb, bias, skip, |y| y.max(0.0)),
+        FusedActivation::Relu6 => {
+            emit_interleaved(out_row, ya, yb, bias, skip, |y| y.clamp(0.0, 6.0))
+        }
     }
 }
 
@@ -164,16 +175,34 @@ fn emit_interleaved(
     ya: &[f32],
     yb: &[f32],
     bias: f32,
+    skip: Option<&[f32]>,
     act: impl Fn(f32) -> f32,
 ) {
     let full = out_row.len() / 2;
-    let (pairs, tail) = out_row.split_at_mut(full * 2);
-    for ((pair, &a), &b) in pairs.chunks_exact_mut(2).zip(ya).zip(yb) {
-        pair[0] = act(a + bias);
-        pair[1] = act(b + bias);
-    }
-    if let [last] = tail {
-        *last = act(ya[full] + bias);
+    match skip {
+        Some(skip) => {
+            let (pairs, tail) = out_row.split_at_mut(full * 2);
+            let (skip_pairs, skip_tail) = skip.split_at(full * 2);
+            for (((pair, s), &a), &b) in
+                pairs.chunks_exact_mut(2).zip(skip_pairs.chunks_exact(2)).zip(ya).zip(yb)
+            {
+                pair[0] = act(a + bias + s[0]);
+                pair[1] = act(b + bias + s[1]);
+            }
+            if let [last] = tail {
+                *last = act(ya[full] + bias + skip_tail[0]);
+            }
+        }
+        None => {
+            let (pairs, tail) = out_row.split_at_mut(full * 2);
+            for ((pair, &a), &b) in pairs.chunks_exact_mut(2).zip(ya).zip(yb) {
+                pair[0] = act(a + bias);
+                pair[1] = act(b + bias);
+            }
+            if let [last] = tail {
+                *last = act(ya[full] + bias);
+            }
+        }
     }
 }
 
@@ -282,6 +311,33 @@ pub fn conv2d_winograd_prepared(
     params: &Conv2dParams,
     activation: FusedActivation,
 ) -> Result<Tensor> {
+    let oshape = params.output_shape(input.shape())?;
+    let mut out = Tensor::zeros(oshape);
+    conv2d_winograd_fused_into(input, filter, bias, params, activation, None, &mut out)?;
+    Ok(out)
+}
+
+/// [`conv2d_winograd_prepared`] writing into a caller-provided output tensor
+/// (every element of which is overwritten — arena-recycled buffers with stale
+/// contents are fine), with an optional residual operand added before the
+/// activation in the output transform: `out = act(conv(x) + bias + residual)`,
+/// the fused form of a ResNet block tail. Fusion order matches the separate
+/// `add_relu_in_place` pass exactly, so results are bitwise identical to
+/// conv-then-separate-passes.
+///
+/// # Errors
+/// Returns an error if the parameters are not Winograd-eligible, the filter
+/// bank's channel counts do not match them, the bias length is inconsistent, or
+/// the output/residual shapes do not match the convolution's output shape.
+pub fn conv2d_winograd_fused_into(
+    input: &Tensor,
+    filter: &WinogradFilter,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    activation: FusedActivation,
+    residual: Option<&Tensor>,
+    out: &mut Tensor,
+) -> Result<()> {
     if !crate::conv::ConvAlgo::Winograd.supports(params) {
         return Err(TensorError::ShapeMismatch {
             left: vec![params.kernel, params.stride, params.groups],
@@ -299,7 +355,23 @@ pub fn conv2d_winograd_prepared(
     crate::conv::validate_bias(params, bias)?;
     let ishape = input.shape();
     let oshape = params.output_shape(ishape)?;
-    let mut out = Tensor::zeros(oshape);
+    if out.shape() != oshape {
+        return Err(TensorError::ShapeMismatch {
+            left: out.shape().as_array().to_vec(),
+            right: oshape.as_array().to_vec(),
+            op: "winograd output buffer",
+        });
+    }
+    if let Some(skip) = residual {
+        if skip.shape() != oshape {
+            return Err(TensorError::ShapeMismatch {
+                left: skip.shape().as_array().to_vec(),
+                right: oshape.as_array().to_vec(),
+                op: "winograd residual",
+            });
+        }
+    }
+    let residual = residual.map(Tensor::as_slice);
 
     let in_ch = params.in_channels;
     let out_ch = params.out_channels;
@@ -314,6 +386,7 @@ pub fn conv2d_winograd_prepared(
     let parallel = params.macs(ishape).unwrap_or(0) >= engine::PARALLEL_MIN_MACS;
 
     let u = &filter.u[..];
+    let point_seg = filter.point_seg;
     let out_ptr = OutPtr(out.as_mut_slice().as_mut_ptr());
     for n in 0..ishape.n {
         parallel::for_each_task(n_chunks, parallel && n_chunks > 1, |chunk| {
@@ -322,7 +395,7 @@ pub fn conv2d_winograd_prepared(
             let p = (tr1 - tr0) * tiles_w;
             let panels = p.div_ceil(NR);
             let vseg = panels * in_ch * NR;
-            let mut vpack = scratch::take(POINTS * vseg);
+            let mut vpack = scratch::take_uninit(POINTS * vseg);
 
             // --- Input transform: V = Bᵀ·d·B, written straight into the 16
             // packed-B segments (tile j is column j of every point's GEMM). The
@@ -333,7 +406,7 @@ pub fn conv2d_winograd_prepared(
             // transform point is a two-term stencil over those arrays. ---
             let wz = 2 * (tiles_w + 1);
             let half = tiles_w + 1;
-            let mut stage = scratch::take(4 * wz + 8 * half);
+            let mut stage = scratch::take_uninit(4 * wz + 8 * half);
             for ic in 0..in_ch {
                 let plane = input.plane(n, ic);
                 for tr in tr0..tr1 {
@@ -407,12 +480,12 @@ pub fn conv2d_winograd_prepared(
 
             // --- Per-point channel reduction: M(t) = U(t) · V(t), one packed GEMM
             // per transform point (serial within the task; parallelism lives at the
-            // chunk level). ---
-            let mut mbuf = scratch::take(POINTS * out_ch * p);
+            // chunk level). U arrives prepacked in the filter bank, so the GEMMs
+            // consume it directly — no per-chunk repacking of the weights. ---
+            let mut mbuf = scratch::take_uninit(POINTS * out_ch * p);
             for t in 0..POINTS {
                 engine::packed_gemm_strided(
-                    &u[t * out_ch * in_ch..(t + 1) * out_ch * in_ch],
-                    in_ch,
+                    GemmLhs::Packed { panels: &u[t * point_seg..(t + 1) * point_seg], k: in_ch },
                     0,
                     out_ch,
                     in_ch,
@@ -421,7 +494,7 @@ pub fn conv2d_winograd_prepared(
                     &mut mbuf[t * out_ch * p..(t + 1) * out_ch * p],
                     p,
                     0,
-                    WriteMode::Overwrite { bias: None },
+                    WriteMode::Overwrite { epilogue: Epilogue::with_bias(None) },
                 );
             }
 
@@ -432,7 +505,7 @@ pub fn conv2d_winograd_prepared(
             // Safety: chunks own disjoint tile-row ranges, so all writes are
             // pairwise disjoint and in-bounds. ---
             let base_ptr = out_ptr.get();
-            let mut obuf = scratch::take(12 * tiles_w);
+            let mut obuf = scratch::take_uninit(12 * tiles_w);
             for c_out in 0..out_ch {
                 let bias_v = bias.map_or(0.0, |b| b[c_out]);
                 let plane_base = (n * out_ch + c_out) * oh * ow;
@@ -489,7 +562,8 @@ pub fn conv2d_winograd_prepared(
                             unsafe { std::slice::from_raw_parts_mut(base_ptr.add(row_start), ow) };
                         let ya = &y[2 * half_row * tiles_w..(2 * half_row + 1) * tiles_w];
                         let yb = &y[(2 * half_row + 1) * tiles_w..(2 * half_row + 2) * tiles_w];
-                        emit_output_row(out_row, ya, yb, bias_v, activation);
+                        let skip_row = residual.map(|s| &s[row_start..row_start + ow]);
+                        emit_output_row(out_row, ya, yb, bias_v, skip_row, activation);
                     }
                 }
             }
@@ -498,7 +572,7 @@ pub fn conv2d_winograd_prepared(
             scratch::give(vpack);
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Winograd F(2×2, 3×3) convolution from raw weights: computes the filter

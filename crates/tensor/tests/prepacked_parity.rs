@@ -1,0 +1,186 @@
+//! Parity suite for the prepacked + fused execution stage.
+//!
+//! Pins the PR's two core contracts:
+//!
+//! * **Prepacked weights are pure data movement** — a [`PreparedLayer`] forward
+//!   is bitwise identical to the pack-per-call `conv2d_with_algo` path for every
+//!   engine algorithm, at every thread count (CI re-runs this suite under
+//!   `RESCNN_THREADS=1,2,4`).
+//! * **Fused epilogues reassociate nothing** — executing the block tail
+//!   (residual add + activation) inside the kernel's output write is bitwise
+//!   identical to the separate `add_relu_in_place`-style passes.
+
+use rescnn_tensor::{
+    add_relu_in_place, conv2d_with_algo, linear, linear_prepared, relu6_in_place, relu_in_place,
+    ActivationArena, Conv2dParams, ConvAlgo, ConvEpilogue, FusedActivation, PreparedGemmB,
+    PreparedLayer, Shape, Tensor,
+};
+
+fn sample(params: &Conv2dParams, res: usize, seed: u64) -> (Tensor, Tensor, Vec<f32>) {
+    let input = Tensor::random_uniform(Shape::chw(params.in_channels, res, res), 1.0, seed);
+    let weight = Tensor::random_uniform(
+        Shape::new(
+            params.out_channels,
+            params.in_channels / params.groups,
+            params.kernel,
+            params.kernel,
+        ),
+        0.5,
+        seed ^ 0xF00D,
+    );
+    let bias: Vec<f32> = (0..params.out_channels).map(|i| (i as f32 - 3.0) * 0.17).collect();
+    (input, weight, bias)
+}
+
+/// Every engine algorithm: prepared forward must equal the unprepared path
+/// bitwise (packing is data movement, never arithmetic).
+#[test]
+fn prepared_layers_match_unpacked_paths_bitwise() {
+    let cases = [
+        (Conv2dParams::new(13, 21, 3, 1, 1), ConvAlgo::Im2colPacked, 33usize),
+        (Conv2dParams::new(9, 17, 5, 2, 2), ConvAlgo::Im2colPacked, 27),
+        (Conv2dParams::new(16, 24, 1, 1, 0), ConvAlgo::Gemm1x1, 19),
+        (Conv2dParams::new(8, 12, 1, 1, 0).with_groups(4), ConvAlgo::Gemm1x1, 15),
+        (Conv2dParams::depthwise(11, 3, 1, 1), ConvAlgo::Depthwise, 23),
+        // Depthwise shape forced onto the GEMM path: no panels are prepacked
+        // for depthwise-dispatched layers, so this exercises the raw-weight
+        // fallback inside the prepared layer.
+        (Conv2dParams::depthwise(11, 3, 1, 1), ConvAlgo::Im2colPacked, 23),
+        (Conv2dParams::new(7, 10, 3, 1, 1), ConvAlgo::Winograd, 18),
+    ];
+    for (params, algo, res) in cases {
+        let (input, weight, bias) = sample(&params, res, 42 + res as u64);
+        let unpacked = conv2d_with_algo(&input, &weight, Some(&bias), &params, algo).unwrap();
+        let prepared = PreparedLayer::new(weight, Some(bias), params).unwrap();
+        let mut out = Tensor::zeros(params.output_shape(input.shape()).unwrap());
+        prepared.forward_with_algo_into(&input, algo, ConvEpilogue::default(), &mut out).unwrap();
+        assert_eq!(
+            unpacked.as_slice(),
+            out.as_slice(),
+            "prepacked {algo} diverged from the unpacked path for {params:?}"
+        );
+        if ConvAlgo::Depthwise.supports(&params) {
+            // Depthwise layers skip GEMM panel prepacking entirely.
+            assert_eq!(prepared.prepacked_bytes(), 0);
+        } else {
+            assert!(prepared.prepacked_bytes() > 0);
+        }
+    }
+}
+
+/// The fused epilogue (residual + ReLU in the kernel's output write) must be
+/// bitwise identical to conv followed by the separate `add_relu_in_place` pass,
+/// for every algorithm a bottleneck tail can dispatch to.
+#[test]
+fn fused_residual_tails_match_separate_passes_bitwise() {
+    let cases = [
+        (Conv2dParams::new(12, 18, 1, 1, 0), ConvAlgo::Gemm1x1, 21usize),
+        (Conv2dParams::new(6, 14, 3, 1, 1), ConvAlgo::Im2colPacked, 24),
+        (Conv2dParams::new(6, 14, 3, 1, 1), ConvAlgo::Winograd, 24),
+        (Conv2dParams::depthwise(10, 3, 1, 1), ConvAlgo::Depthwise, 17),
+        (Conv2dParams::new(5, 8, 3, 1, 1), ConvAlgo::Direct, 12),
+    ];
+    for (params, algo, res) in cases {
+        let (input, weight, bias) = sample(&params, res, 7 + res as u64);
+        let oshape = params.output_shape(input.shape()).unwrap();
+        let skip = Tensor::random_uniform(oshape, 1.0, 99);
+
+        let mut separate = conv2d_with_algo(&input, &weight, Some(&bias), &params, algo).unwrap();
+        add_relu_in_place(&mut separate, &skip).unwrap();
+
+        let prepared = PreparedLayer::new(weight, Some(bias), params).unwrap();
+        let mut fused = Tensor::zeros(oshape);
+        prepared
+            .forward_with_algo_into(
+                &input,
+                algo,
+                ConvEpilogue::activation(FusedActivation::Relu).with_residual(&skip),
+                &mut fused,
+            )
+            .unwrap();
+        assert_eq!(
+            separate.as_slice(),
+            fused.as_slice(),
+            "fused residual tail diverged for {algo} {params:?}"
+        );
+    }
+}
+
+/// Fused activations without a residual must also match the separate in-place
+/// activation sweeps bitwise.
+#[test]
+fn fused_activations_match_separate_passes_bitwise() {
+    for (act, algo) in [
+        (FusedActivation::Relu, ConvAlgo::Gemm1x1),
+        (FusedActivation::Relu6, ConvAlgo::Im2colPacked),
+        (FusedActivation::Relu6, ConvAlgo::Depthwise),
+    ] {
+        let params = match algo {
+            ConvAlgo::Gemm1x1 => Conv2dParams::new(10, 16, 1, 1, 0),
+            ConvAlgo::Depthwise => Conv2dParams::depthwise(9, 3, 2, 1),
+            _ => Conv2dParams::new(8, 12, 3, 2, 1),
+        };
+        let (input, weight, bias) = sample(&params, 22, 5);
+        let mut separate = conv2d_with_algo(&input, &weight, Some(&bias), &params, algo).unwrap();
+        match act {
+            FusedActivation::Relu => relu_in_place(&mut separate),
+            FusedActivation::Relu6 => relu6_in_place(&mut separate),
+            FusedActivation::None => {}
+        }
+        let prepared = PreparedLayer::new(weight, Some(bias), params).unwrap();
+        let mut fused = Tensor::zeros(separate.shape());
+        prepared
+            .forward_with_algo_into(&input, algo, ConvEpilogue::activation(act), &mut fused)
+            .unwrap();
+        assert_eq!(separate.as_slice(), fused.as_slice(), "{algo} fused {act:?} diverged");
+    }
+}
+
+/// Arena-recycled (stale-content) output buffers must produce the same bits as
+/// fresh zeroed buffers: every kernel overwrites its full output.
+#[test]
+fn arena_backed_outputs_match_fresh_buffers_bitwise() {
+    let mut arena = ActivationArena::new();
+    for algo in [ConvAlgo::Im2colPacked, ConvAlgo::Gemm1x1, ConvAlgo::Winograd] {
+        let params = match algo {
+            ConvAlgo::Gemm1x1 => Conv2dParams::new(14, 10, 1, 1, 0),
+            _ => Conv2dParams::new(6, 9, 3, 1, 1),
+        };
+        let (input, weight, bias) = sample(&params, 20, 11);
+        let prepared = PreparedLayer::new(weight, Some(bias), params).unwrap();
+        let mut fresh = Tensor::zeros(params.output_shape(input.shape()).unwrap());
+        prepared.forward_with_algo_into(&input, algo, ConvEpilogue::default(), &mut fresh).unwrap();
+
+        // Poison a recycled buffer, then run into it.
+        let oshape = fresh.shape();
+        let mut poison = arena.take(oshape);
+        poison.as_mut_slice().fill(f32::NAN);
+        arena.give(poison);
+        let mut recycled = arena.take(oshape);
+        prepared
+            .forward_with_algo_into(&input, algo, ConvEpilogue::default(), &mut recycled)
+            .unwrap();
+        assert_eq!(fresh.as_slice(), recycled.as_slice(), "{algo} left stale buffer contents");
+        arena.give(recycled);
+    }
+}
+
+/// The prepacked linear layer agrees with the scalar reference within
+/// reassociation tolerance and is self-consistent across batches.
+#[test]
+fn prepared_linear_matches_reference() {
+    let (n, in_features, out_features) = (5usize, 37usize, 12usize);
+    let input = Tensor::random_uniform(Shape::new(n, in_features, 1, 1), 1.0, 3);
+    let w = Tensor::random_uniform(Shape::new(1, 1, out_features, in_features), 0.4, 4).into_vec();
+    let bias: Vec<f32> = (0..out_features).map(|i| i as f32 * 0.05 - 0.3).collect();
+
+    let reference = linear(&input, &w, Some(&bias), out_features).unwrap();
+    let packed = PreparedGemmB::prepare_transposed(&w, out_features, in_features);
+    let fast = linear_prepared(&input, &packed, Some(&bias)).unwrap();
+    assert_eq!(fast.shape(), reference.shape());
+    assert!(reference.max_abs_diff(&fast).unwrap() < 1e-4);
+
+    // Wrong feature count is rejected.
+    let bad = Tensor::zeros(Shape::new(1, in_features + 1, 1, 1));
+    assert!(linear_prepared(&bad, &packed, None).is_err());
+}

@@ -6,9 +6,11 @@
 //! pool's dispatch overhead against the legacy scoped-spawn path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rescnn_bench::load::{run_slo_load, ArrivalTrace, FaultPlan};
 use rescnn_core::{
     extract_features, BatchOptions, CalibrationCurves, DynamicResolutionPipeline, PipelineConfig,
-    ScaleModel, ScaleModelConfig, ScaleModelTrainer, TrainingExample, FEATURE_COUNT,
+    ResolutionLatencyModel, ScaleModel, ScaleModelConfig, ScaleModelTrainer, SloOptions,
+    TrainingExample, FEATURE_COUNT,
 };
 use rescnn_data::{DatasetKind, DatasetSpec};
 use rescnn_hwsim::{AutoTuner, CpuProfile, TunerConfig};
@@ -144,11 +146,36 @@ fn dispatch_overhead_benchmarks(c: &mut Criterion) {
     group.finish();
 }
 
+/// One SLO scheduler drain over a bursty 24-request trace with 5% stream
+/// corruption: plan → virtual-clock admission (degrade/shed) → bucketed
+/// execution with per-request fault isolation. Measures the serving core's
+/// end-to-end overhead on top of the plain batched path above.
+fn slo_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slo");
+    group.sample_size(10);
+
+    let pipeline = ladder_pipeline();
+    let data = DatasetSpec::cars_like().with_len(24).with_max_dimension(96).build(99);
+    let latency = ResolutionLatencyModel::analytic(&pipeline).expect("latency model builds");
+    let top_ms = latency.estimate_ms(448).max(1.0);
+    let trace = ArrivalTrace::bursty(24, 6, 4.0 * top_ms, 3.0 * top_ms);
+    let faults = FaultPlan::corruption(0.05, 7);
+    let options = SloOptions::default().with_latency_model(latency);
+    group.bench_function("slo_drain_24req_bursty_corrupt5", |b| {
+        b.iter(|| {
+            run_slo_load(&pipeline, &data, &trace, &faults, options.clone())
+                .expect("drain never aborts on per-request faults")
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     pipeline_benchmarks,
     planning_benchmarks,
     serving_benchmarks,
-    dispatch_overhead_benchmarks
+    dispatch_overhead_benchmarks,
+    slo_benchmarks
 );
 criterion_main!(benches);

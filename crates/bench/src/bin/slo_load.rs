@@ -1,0 +1,192 @@
+//! Trace-driven SLO load harness: drives the serving core through nominal,
+//! diurnal, overload, fault-injection, and latency-spike scenarios and reports
+//! goodput, virtual-latency percentiles, SLO-violation/shed rates, degradation
+//! counts, and mean delivered SSIM. Also re-runs the fault scenario under a
+//! squeezed thread budget and fails (exit 1) if any decision changes.
+//!
+//! Scale with `RESCNN_SAMPLES` (e.g. `RESCNN_SAMPLES=8` for a CI smoke run).
+
+use rescnn_bench::load::{run_slo_load, ArrivalTrace, FaultPlan};
+use rescnn_bench::{report, HarnessConfig};
+use rescnn_core::{
+    BatchOptions, DynamicResolutionPipeline, PipelineConfig, ResolutionLatencyModel,
+    ScaleModelConfig, ScaleModelTrainer, SloOptions, SloReport,
+};
+use rescnn_data::{DatasetKind, DatasetSpec};
+use rescnn_imaging::CropRatio;
+use rescnn_models::ModelKind;
+use rescnn_oracle::AccuracyOracle;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct ScenarioRow {
+    scenario: String,
+    requests: usize,
+    completed: usize,
+    degraded: usize,
+    shed: usize,
+    expired: usize,
+    faulted: usize,
+    goodput: f64,
+    p50_latency_ms: f64,
+    p99_latency_ms: f64,
+    slo_violation_rate: f64,
+    shed_rate: f64,
+    mean_delivered_ssim: f64,
+}
+
+fn row(name: &str, report: &SloReport) -> ScenarioRow {
+    ScenarioRow {
+        scenario: name.to_string(),
+        requests: report.total,
+        completed: report.completed,
+        degraded: report.degraded,
+        shed: report.shed,
+        expired: report.expired,
+        faulted: report.faulted,
+        goodput: report.goodput,
+        p50_latency_ms: report.p50_latency_ms,
+        p99_latency_ms: report.p99_latency_ms,
+        slo_violation_rate: report.slo_violation_rate,
+        shed_rate: report.shed_rate,
+        mean_delivered_ssim: report.mean_delivered_ssim,
+    }
+}
+
+fn build_pipeline(config: &HarnessConfig) -> DynamicResolutionPipeline {
+    let resolutions = vec![112usize, 168, 224];
+    let scale_config = ScaleModelConfig {
+        resolutions: resolutions.clone(),
+        seed: config.seed,
+        ..Default::default()
+    };
+    let trainer = ScaleModelTrainer::new(scale_config, ModelKind::ResNet18, DatasetKind::CarsLike);
+    let train = DatasetSpec::cars_like()
+        .with_len(config.train_samples)
+        .with_max_dimension(config.max_dimension.min(128))
+        .build(config.seed ^ 0xA11CE);
+    let scale_model = trainer.train(&train, 3).expect("scale-model training succeeds");
+    let pipeline_config = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+        .with_crop(CropRatio::new(0.56).expect("valid crop"))
+        .with_resolutions(resolutions);
+    DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(config.seed))
+        .expect("pipeline construction succeeds")
+}
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    let pipeline = build_pipeline(&config);
+    let data = DatasetSpec::cars_like()
+        .with_len(config.eval_samples.min(48))
+        .with_max_dimension(config.max_dimension.min(128))
+        .build(config.seed ^ 0x10AD);
+
+    // Virtual service estimates from the calibrated/analytic cost model; the
+    // trace shapes are expressed relative to the top-of-ladder estimate so the
+    // scenarios stress the same regimes on any host.
+    let latency =
+        ResolutionLatencyModel::analytic(&pipeline).expect("analytic latency model builds");
+    let top_ms = latency.estimate_ms(224).max(1.0);
+    let n = (config.eval_samples / 8).clamp(12, 64);
+
+    let base_options = SloOptions::default().with_latency_model(latency.clone());
+    let scenarios: Vec<(&str, ArrivalTrace, FaultPlan, SloOptions)> = vec![
+        (
+            "nominal",
+            ArrivalTrace::uniform(n, 2.0 * top_ms, 10.0 * top_ms),
+            FaultPlan::none(),
+            base_options.clone(),
+        ),
+        (
+            "diurnal",
+            ArrivalTrace::diurnal(n, 1.5 * top_ms, 0.8, n / 2, 5.0 * top_ms),
+            FaultPlan::none(),
+            base_options.clone(),
+        ),
+        (
+            "overload",
+            ArrivalTrace::bursty(n, 8, 8.0 * top_ms, 2.5 * top_ms),
+            FaultPlan::none(),
+            base_options.clone().with_ssim_floor(0.35),
+        ),
+        (
+            "corrupt5+chaos",
+            ArrivalTrace::bursty(n, 4, 6.0 * top_ms, 4.0 * top_ms),
+            FaultPlan::corruption(0.05, config.seed ^ 0xFA17),
+            base_options
+                .clone()
+                .with_batch(BatchOptions::default().with_threads(2))
+                .with_chaos_panic_every(17),
+        ),
+        (
+            "spikes",
+            ArrivalTrace::uniform(n, 2.0 * top_ms, 4.0 * top_ms),
+            FaultPlan { spike_rate: 0.10, spike_multiplier: 8.0, ..FaultPlan::none() },
+            base_options.clone(),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut fault_report: Option<SloReport> = None;
+    for (name, trace, faults, options) in &scenarios {
+        let report = run_slo_load(&pipeline, &data, trace, faults, options.clone())
+            .expect("load drain never aborts on per-request faults");
+        if *name == "corrupt5+chaos" {
+            fault_report = Some(report.clone());
+        }
+        rows.push(row(name, &report));
+    }
+
+    // Thread-budget squeeze: the fault scenario replayed at 1 and 4 threads
+    // must reproduce every virtual-clock decision and outcome bit-for-bit.
+    let (_, trace, faults, options) = &scenarios[3];
+    let mut deterministic = true;
+    for threads in [1usize, 4] {
+        let squeezed = options.clone().with_batch(BatchOptions::default().with_threads(threads));
+        let mut replay = run_slo_load(&pipeline, &data, trace, faults, squeezed)
+            .expect("squeezed drain never aborts on per-request faults");
+        let baseline = fault_report.as_ref().expect("fault scenario ran");
+        replay.wall_seconds = baseline.wall_seconds;
+        replay.threads = baseline.threads;
+        if &replay != baseline {
+            eprintln!("DETERMINISM MISMATCH: corrupt5+chaos differs at threads={threads}");
+            deterministic = false;
+        }
+    }
+
+    let formatted: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.requests.to_string(),
+                r.completed.to_string(),
+                r.degraded.to_string(),
+                r.shed.to_string(),
+                r.expired.to_string(),
+                r.faulted.to_string(),
+                report::fmt(r.goodput, 3),
+                report::fmt(r.p50_latency_ms, 1),
+                report::fmt(r.p99_latency_ms, 1),
+                report::fmt(r.slo_violation_rate, 3),
+                report::fmt(r.mean_delivered_ssim, 3),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "SLO load harness: goodput & delivered quality under load",
+        &[
+            "Scenario", "Req", "Done", "Degr", "Shed", "Expd", "Fault", "Goodput", "p50ms",
+            "p99ms", "Viol", "SSIM",
+        ],
+        &formatted,
+    );
+    println!(
+        "determinism across thread budgets (1/2/4): {}",
+        if deterministic { "OK" } else { "MISMATCH" }
+    );
+    report::save_json("slo_load", &rows);
+    if !deterministic {
+        std::process::exit(1);
+    }
+}

@@ -17,11 +17,13 @@
 //! | `table3` | Table III — ImageNet read-bandwidth savings |
 //! | `table4` | Table IV — Cars read-bandwidth savings |
 //! | `scale_overhead` | §VII-c — scale-model runtime overhead |
+//! | `slo_load` | SLO serving core under trace-driven load + fault injection |
 
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod experiments;
+pub mod load;
 pub mod report;
 
 pub use config::HarnessConfig;

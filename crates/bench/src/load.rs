@@ -1,0 +1,282 @@
+//! Trace-driven load generation and deterministic fault injection for the
+//! SLO-aware serving core (`rescnn_core::SloScheduler`).
+//!
+//! Everything here is seeded and pure: the same trace/fault plan produces the
+//! same requests on every run and every host, so the `slo_load` binary's
+//! goodput/latency/SSIM table and the CI fault-injection job are reproducible.
+
+use rescnn_core::{
+    DynamicResolutionPipeline, Result, SloOptions, SloReport, SloRequest, SloScheduler,
+};
+use rescnn_data::Dataset;
+
+/// Deterministic splitmix64 PRNG (no external crates; stable across hosts).
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw below `bound` (`bound` ≥ 1).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+}
+
+/// A virtual-clock arrival trace: one arrival timestamp (ms) per request, plus
+/// the per-request deadline slack the workload contracts for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    /// Ascending arrival timestamps in virtual milliseconds.
+    pub arrivals_ms: Vec<f64>,
+    /// Deadline = arrival + this slack, per request.
+    pub deadline_slack_ms: f64,
+}
+
+impl ArrivalTrace {
+    /// A uniform trace: `n` requests, one every `gap_ms`.
+    pub fn uniform(n: usize, gap_ms: f64, deadline_slack_ms: f64) -> Self {
+        ArrivalTrace { arrivals_ms: (0..n).map(|i| i as f64 * gap_ms).collect(), deadline_slack_ms }
+    }
+
+    /// A diurnal trace: the inter-arrival gap swings sinusoidally between
+    /// `base_gap_ms * (1 ± swing)` over `period` requests — quiet troughs and
+    /// a rush-hour peak per cycle.
+    pub fn diurnal(
+        n: usize,
+        base_gap_ms: f64,
+        swing: f64,
+        period: usize,
+        deadline_slack_ms: f64,
+    ) -> Self {
+        let swing = swing.clamp(0.0, 0.95);
+        let period = period.max(2) as f64;
+        let mut arrivals_ms = Vec::with_capacity(n);
+        let mut clock = 0.0f64;
+        for i in 0..n {
+            let phase = (i as f64 / period) * std::f64::consts::TAU;
+            clock += base_gap_ms * (1.0 - swing * phase.sin());
+            arrivals_ms.push(clock);
+        }
+        ArrivalTrace { arrivals_ms, deadline_slack_ms }
+    }
+
+    /// A bursty trace: bursts of `burst` near-simultaneous arrivals separated
+    /// by `burst_gap_ms` of silence.
+    pub fn bursty(n: usize, burst: usize, burst_gap_ms: f64, deadline_slack_ms: f64) -> Self {
+        let burst = burst.max(1);
+        let arrivals_ms =
+            (0..n).map(|i| (i / burst) as f64 * burst_gap_ms + (i % burst) as f64 * 0.01).collect();
+        ArrivalTrace { arrivals_ms, deadline_slack_ms }
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.arrivals_ms.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals_ms.is_empty()
+    }
+}
+
+/// What fault (if any) a request is injected with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultDecision {
+    /// Serve normally.
+    Healthy,
+    /// Flip one bit of the stored stream.
+    BitFlip {
+        /// Scan index (modulo-clamped by the injector).
+        scan: usize,
+        /// Byte offset (modulo-clamped).
+        byte: usize,
+        /// Bit within the byte.
+        bit: u8,
+    },
+    /// Truncate one scan of the stored stream.
+    Truncate {
+        /// Scan index (modulo-clamped).
+        scan: usize,
+        /// Bytes to keep.
+        keep: usize,
+    },
+    /// Multiply the request's estimated service time (a straggler/latency
+    /// spike).
+    Spike {
+        /// The service-time multiplier.
+        multiplier: f64,
+    },
+}
+
+/// Seeded per-request fault plan: rates for stream corruption, truncation, and
+/// latency spikes. Decisions are a pure function of `(seed, request index)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a request's stream gets one bit flipped.
+    pub bit_flip_rate: f64,
+    /// Probability a request's stream gets one scan truncated.
+    pub truncate_rate: f64,
+    /// Probability a request's service estimate is multiplied by
+    /// `spike_multiplier`.
+    pub spike_rate: f64,
+    /// The latency-spike multiplier.
+    pub spike_multiplier: f64,
+    /// Seed for the per-request decisions.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            bit_flip_rate: 0.0,
+            truncate_rate: 0.0,
+            spike_rate: 0.0,
+            spike_multiplier: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// A corruption-only plan: `rate` split evenly between bit flips and
+    /// truncations.
+    pub fn corruption(rate: f64, seed: u64) -> Self {
+        FaultPlan {
+            bit_flip_rate: rate / 2.0,
+            truncate_rate: rate / 2.0,
+            spike_rate: 0.0,
+            spike_multiplier: 1.0,
+            seed,
+        }
+    }
+
+    /// The (deterministic) fault decision for request `index`.
+    pub fn decide(&self, index: usize) -> FaultDecision {
+        let mut rng = SplitMix64::new(self.seed ^ (index as u64).wrapping_mul(0x9e37_79b9));
+        let roll = rng.next_f64();
+        if roll < self.bit_flip_rate {
+            return FaultDecision::BitFlip {
+                scan: rng.below(16) as usize,
+                byte: rng.below(4096) as usize,
+                bit: rng.below(8) as u8,
+            };
+        }
+        if roll < self.bit_flip_rate + self.truncate_rate {
+            return FaultDecision::Truncate {
+                scan: rng.below(16) as usize,
+                keep: rng.below(8) as usize,
+            };
+        }
+        if roll < self.bit_flip_rate + self.truncate_rate + self.spike_rate {
+            return FaultDecision::Spike { multiplier: self.spike_multiplier };
+        }
+        FaultDecision::Healthy
+    }
+}
+
+/// Drives one [`SloScheduler`] drain from a trace and a fault plan: request `i`
+/// serves `data[i % data.len()]`, arrives at `trace.arrivals_ms[i]`, and is
+/// injected per `faults.decide(i)`.
+///
+/// # Errors
+/// Returns an error if the trace or dataset is empty, or encoding a fault
+/// carrier fails; per-request faults never abort the drain.
+pub fn run_slo_load(
+    pipeline: &DynamicResolutionPipeline,
+    data: &Dataset,
+    trace: &ArrivalTrace,
+    faults: &FaultPlan,
+    options: SloOptions,
+) -> Result<SloReport> {
+    if data.is_empty() {
+        return Err(rescnn_core::CoreError::EmptyDataset);
+    }
+    let quality = pipeline.config().encode_quality;
+    let mut scheduler = SloScheduler::new(pipeline, options);
+    for (i, &arrival) in trace.arrivals_ms.iter().enumerate() {
+        let sample = &data.samples()[i % data.len()];
+        let mut request = SloRequest::new(sample, arrival, arrival + trace.deadline_slack_ms);
+        match faults.decide(i) {
+            FaultDecision::Healthy => {}
+            FaultDecision::BitFlip { scan, byte, bit } => {
+                let stream = sample
+                    .encode_progressive(quality)
+                    .map_err(rescnn_core::CoreError::from)?
+                    .with_bit_flip(scan, byte, bit);
+                request = request.with_storage(stream);
+            }
+            FaultDecision::Truncate { scan, keep } => {
+                let stream = sample
+                    .encode_progressive(quality)
+                    .map_err(rescnn_core::CoreError::from)?
+                    .with_truncated_scan(scan, keep);
+                request = request.with_storage(stream);
+            }
+            FaultDecision::Spike { multiplier } => {
+                request = request.with_cost_multiplier(multiplier);
+            }
+        }
+        scheduler.submit(request);
+    }
+    scheduler.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_ascending_and_sized() {
+        let uniform = ArrivalTrace::uniform(10, 5.0, 50.0);
+        assert_eq!(uniform.len(), 10);
+        assert_eq!(uniform.arrivals_ms[3], 15.0);
+        let diurnal = ArrivalTrace::diurnal(50, 10.0, 0.8, 20, 100.0);
+        assert_eq!(diurnal.len(), 50);
+        for pair in diurnal.arrivals_ms.windows(2) {
+            assert!(pair[1] > pair[0], "diurnal arrivals must strictly ascend");
+        }
+        let bursty = ArrivalTrace::bursty(12, 4, 100.0, 50.0);
+        assert_eq!(bursty.arrivals_ms[0], 0.0);
+        assert!(bursty.arrivals_ms[3] < 1.0, "intra-burst arrivals are near-simultaneous");
+        assert_eq!(bursty.arrivals_ms[4], 100.0);
+        assert!(!bursty.is_empty());
+        assert!(ArrivalTrace::uniform(0, 1.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_and_rate_bounded() {
+        let plan = FaultPlan::corruption(0.10, 42);
+        let first: Vec<FaultDecision> = (0..400).map(|i| plan.decide(i)).collect();
+        let second: Vec<FaultDecision> = (0..400).map(|i| plan.decide(i)).collect();
+        assert_eq!(first, second, "decisions must be a pure function of (seed, index)");
+        let faulted = first.iter().filter(|d| **d != FaultDecision::Healthy).count();
+        assert!(faulted > 10 && faulted < 100, "~10% of 400 requests fault, got {faulted}");
+        assert!(
+            first.iter().any(|d| matches!(d, FaultDecision::BitFlip { .. }))
+                && first.iter().any(|d| matches!(d, FaultDecision::Truncate { .. })),
+            "both corruption modes occur"
+        );
+        let none = FaultPlan::none();
+        assert!((0..100).all(|i| none.decide(i) == FaultDecision::Healthy));
+        let spiky = FaultPlan { spike_rate: 1.0, spike_multiplier: 8.0, ..FaultPlan::none() };
+        assert_eq!(spiky.decide(3), FaultDecision::Spike { multiplier: 8.0 });
+    }
+}

@@ -63,7 +63,16 @@ impl BootCalibrationConfig {
 #[derive(Debug)]
 pub struct BootCalibration {
     ready: Arc<AtomicBool>,
-    handle: JoinHandle<Result<usize>>,
+    outcome: SweepOutcome,
+}
+
+/// Where the sweep ran: its own thread (the normal case) or inline on the
+/// caller when the thread could not be spawned (resource exhaustion must
+/// degrade to a slower boot, not a panic).
+#[derive(Debug)]
+enum SweepOutcome {
+    Thread(JoinHandle<Result<usize>>),
+    Inline(Result<usize>),
 }
 
 impl BootCalibration {
@@ -79,9 +88,12 @@ impl BootCalibration {
     /// Returns an error if the sweep failed (unservable resolution, persistence
     /// failure) or its thread panicked.
     pub fn wait(self) -> Result<usize> {
-        self.handle
-            .join()
-            .map_err(|_| CoreError::InvalidConfig { reason: "boot calibration panicked".into() })?
+        match self.outcome {
+            SweepOutcome::Thread(handle) => handle.join().map_err(|_| {
+                CoreError::InvalidConfig { reason: "boot calibration panicked".into() }
+            })?,
+            SweepOutcome::Inline(outcome) => outcome,
+        }
     }
 }
 
@@ -94,15 +106,22 @@ impl BootCalibration {
 pub fn start_boot_calibration(config: BootCalibrationConfig) -> BootCalibration {
     let ready = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&ready);
-    let handle = std::thread::Builder::new()
-        .name("rescnn-boot-calibration".into())
-        .spawn(move || {
-            let outcome = run_boot_sweep(&config);
+    let spawn_config = config.clone();
+    let spawned =
+        std::thread::Builder::new().name("rescnn-boot-calibration".into()).spawn(move || {
+            let outcome = run_boot_sweep(&spawn_config);
             flag.store(true, Ordering::Release);
             outcome
-        })
-        .expect("spawning the boot-calibration thread");
-    BootCalibration { ready, handle }
+        });
+    match spawned {
+        Ok(handle) => BootCalibration { ready, outcome: SweepOutcome::Thread(handle) },
+        Err(_) => {
+            // Out of threads: degrade to a synchronous sweep instead of panicking.
+            let outcome = run_boot_sweep(&config);
+            ready.store(true, Ordering::Release);
+            BootCalibration { ready, outcome: SweepOutcome::Inline(outcome) }
+        }
+    }
 }
 
 /// The sweep body (also runnable synchronously by tooling): measures every

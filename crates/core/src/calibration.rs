@@ -42,14 +42,17 @@ pub struct SampleCurve {
 
 impl SampleCurve {
     /// The first (cheapest) point whose SSIM reaches `threshold`, or the final point if
-    /// none does (read everything).
-    pub fn point_for_threshold(&self, threshold: f64) -> ScanPoint {
+    /// none does (read everything). `None` only for an empty curve — curves built by
+    /// [`CalibrationCurves::compute`]/[`CalibrationCurves::sample_curves`] always carry
+    /// at least one point, but `points` is public, so a hand-built empty curve surfaces
+    /// here as an absent value rather than a panic.
+    pub fn point_for_threshold(&self, threshold: f64) -> Option<ScanPoint> {
         for p in &self.points {
             if p.ssim >= threshold {
-                return *p;
+                return Some(*p);
             }
         }
-        *self.points.last().expect("scan curves are never empty")
+        self.points.last().copied()
     }
 }
 
@@ -195,8 +198,12 @@ impl CalibrationCurves {
         let res = self.resolutions[res_idx];
         let mut correct = 0usize;
         let mut read = 0.0f64;
+        let mut scored = 0usize;
         for (sample, curve) in self.samples.iter().zip(&self.curves[res_idx]) {
-            let point = curve.point_for_threshold(threshold);
+            // Empty curves (impossible via `compute`, representable by hand) are
+            // skipped rather than panicking on a missing last point.
+            let Some(point) = curve.point_for_threshold(threshold) else { continue };
+            scored += 1;
             read += point.read_fraction;
             let ctx = EvalContext {
                 model: self.model,
@@ -207,7 +214,7 @@ impl CalibrationCurves {
             };
             correct += usize::from(oracle.is_correct(sample, &ctx));
         }
-        let n = self.samples.len() as f64;
+        let n = scored.max(1) as f64;
         (correct as f64 / n, read / n)
     }
 
@@ -481,12 +488,14 @@ mod tests {
     fn threshold_lookup_selects_cheapest_sufficient_point() {
         let curves = small_curves();
         let curve = curves.curve(1, 0);
-        let relaxed = curve.point_for_threshold(0.0);
+        let relaxed = curve.point_for_threshold(0.0).unwrap();
         assert_eq!(relaxed.scans, 1);
-        let strict = curve.point_for_threshold(2.0);
+        let strict = curve.point_for_threshold(2.0).unwrap();
         assert_eq!(strict.scans, 5);
-        let mid = curve.point_for_threshold(curve.points[2].ssim);
+        let mid = curve.point_for_threshold(curve.points[2].ssim).unwrap();
         assert!(mid.scans <= 3);
+        // An empty (hand-built) curve yields no point instead of panicking.
+        assert_eq!(SampleCurve { points: vec![] }.point_for_threshold(0.5), None);
     }
 
     #[test]

@@ -3,8 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// Error raised by pipeline construction, calibration, training, or inference.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CoreError {
     /// An image-processing step failed.
     Imaging(String),
@@ -19,6 +21,13 @@ pub enum CoreError {
     },
     /// A dataset required for training or calibration was empty.
     EmptyDataset,
+    /// A request's plan/execute stage panicked and was isolated to this record
+    /// (the panic never escapes the serving layer; see `BatchScheduler` /
+    /// `SloScheduler`).
+    Panicked {
+        /// The rendered panic payload.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -29,6 +38,7 @@ impl fmt::Display for CoreError {
             CoreError::Model(msg) => write!(f, "model error: {msg}"),
             CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             CoreError::EmptyDataset => write!(f, "dataset must contain at least one sample"),
+            CoreError::Panicked { message } => write!(f, "request panicked: {message}"),
         }
     }
 }
@@ -80,6 +90,9 @@ mod tests {
         assert!(e.to_string().contains("model"));
         let e: CoreError = rescnn_hwsim::HwError::Model("y".into()).into();
         assert!(e.to_string().contains("model"));
+        let e = CoreError::Panicked { message: "index out of bounds".into() };
+        assert!(e.to_string().contains("panicked"));
+        assert!(e.to_string().contains("index out of bounds"));
     }
 
     #[test]

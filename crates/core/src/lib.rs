@@ -19,7 +19,13 @@
 //!   resolution buckets, executes each bucket with batch-level data parallelism over
 //!   the persistent engine worker pool, and reports per-bucket latency/throughput
 //!   ([`BucketStats`]) alongside a [`PipelineReport`] identical to sequential
-//!   evaluation.
+//!   evaluation. Per-request failures (corrupt streams, contained panics) are
+//!   isolated into [`ServeReport::errors`] instead of aborting the batch.
+//! * [`SloScheduler`] — the SLO-aware serving core: per-request deadlines over a
+//!   deterministic virtual clock, admission control fed by a calibrated
+//!   [`ResolutionLatencyModel`], load-shedding that *degrades resolution* down the
+//!   ladder (bounded by an SSIM floor) before it ever sheds, and the same
+//!   per-request fault isolation.
 //!
 //! # Examples
 //! ```no_run
@@ -54,6 +60,7 @@ mod features;
 mod pipeline;
 mod scale_model;
 mod serve;
+mod slo;
 
 pub use boot::{run_boot_sweep, start_boot_calibration, BootCalibration, BootCalibrationConfig};
 pub use calibration::{
@@ -66,7 +73,11 @@ pub use pipeline::{
     PipelineConfig, PipelineReport,
 };
 pub use scale_model::{ScaleModel, ScaleModelConfig, ScaleModelTrainer, TrainingExample};
-pub use serve::{BatchOptions, BatchScheduler, BucketStats, ServeReport};
+pub use serve::{BatchOptions, BatchScheduler, BucketStats, RequestError, ServeReport};
+pub use slo::{
+    CompletedRequest, Rejected, ResolutionLatencyModel, SloOptions, SloOutcome, SloReport,
+    SloRequest, SloScheduler,
+};
 
 #[cfg(test)]
 pub(crate) mod test_sync {
@@ -87,8 +98,9 @@ pub(crate) mod test_sync {
 pub mod prelude {
     pub use crate::{
         BatchOptions, BatchScheduler, CalibrationCurves, CoreError, DynamicResolutionPipeline,
-        PipelineConfig, PipelineReport, ScaleModel, ScaleModelConfig, ScaleModelTrainer,
-        ServeReport, StorageCalibrator, StoragePolicy,
+        PipelineConfig, PipelineReport, Rejected, ResolutionLatencyModel, ScaleModel,
+        ScaleModelConfig, ScaleModelTrainer, ServeReport, SloOptions, SloOutcome, SloReport,
+        SloRequest, SloScheduler, StorageCalibrator, StoragePolicy,
     };
 }
 

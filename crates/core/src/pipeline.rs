@@ -242,15 +242,29 @@ pub struct InferencePlan {
     /// Resolution the scale model chose for the backbone pass.
     pub chosen_resolution: usize,
     /// The progressively encoded image (storage state).
-    encoded: ProgressiveImage,
+    pub(crate) encoded: ProgressiveImage,
     /// Scans/quality the preview stage already read.
-    preview_point: ScanPoint,
+    pub(crate) preview_point: ScanPoint,
     /// The storage policy's point for the chosen resolution.
-    chosen_point: ScanPoint,
+    pub(crate) chosen_point: ScanPoint,
     /// Scans the whole inference reads: the deeper of preview and chosen point.
-    scans_read: usize,
+    pub(crate) scans_read: usize,
     /// SSIM at the chosen resolution after `scans_read` scans — what the backbone sees.
-    quality: f64,
+    pub(crate) quality: f64,
+}
+
+impl InferencePlan {
+    /// SSIM of what the backbone will see at the planned resolution — the
+    /// delivered quality the SLO scheduler's degradation floor is checked
+    /// against.
+    pub fn quality(&self) -> f64 {
+        self.quality
+    }
+
+    /// Scans the inference will read from storage.
+    pub fn scans_read(&self) -> usize {
+        self.scans_read
+    }
 }
 
 /// Loads a convolution-dispatch calibration persisted by
@@ -436,18 +450,55 @@ impl DynamicResolutionPipeline {
     /// identical to computing full curves and looking the points up afterwards,
     /// because `point_for_threshold` selects exactly the first sufficient point.
     pub(crate) fn plan_unscoped(&self, sample: &Sample) -> Result<InferencePlan> {
-        let crop = self.config.crop;
-        let preview_res = self.scale_model.preview_resolution();
         let original = sample.render()?;
         let encoded =
             ProgressiveImage::encode(&original, self.config.encode_quality, ScanPlan::standard())?;
+        self.plan_from_parts(&original, encoded)
+    }
+
+    /// [`plan`](Self::plan) over a caller-supplied storage state instead of
+    /// re-encoding the rendered sample: the path by which externally stored —
+    /// possibly corrupt or truncated — progressive streams reach the decoder.
+    /// A stream error surfaces as [`CoreError::Codec`]; the serving layers
+    /// isolate it to the one request that carried the bad stream.
+    ///
+    /// # Errors
+    /// Returns an error if rendering, decoding, or feature extraction fails.
+    pub fn plan_with_storage(
+        &self,
+        sample: &Sample,
+        encoded: ProgressiveImage,
+    ) -> Result<InferencePlan> {
+        self.config.engine_context().scope(|| self.plan_with_storage_unscoped(sample, encoded))
+    }
+
+    /// [`plan_with_storage`](Self::plan_with_storage) without installing the
+    /// pipeline's engine context.
+    pub(crate) fn plan_with_storage_unscoped(
+        &self,
+        sample: &Sample,
+        encoded: ProgressiveImage,
+    ) -> Result<InferencePlan> {
+        let original = sample.render()?;
+        self.plan_from_parts(&original, encoded)
+    }
+
+    /// The planning body shared by the render-and-encode and caller-supplied
+    /// storage paths.
+    fn plan_from_parts(
+        &self,
+        original: &rescnn_imaging::Image,
+        encoded: ProgressiveImage,
+    ) -> Result<InferencePlan> {
+        let crop = self.config.crop;
+        let preview_res = self.scale_model.preview_resolution();
         let num_scans = encoded.num_scans();
 
         // Stage 1a: read the preview's scans (early-exiting at its threshold) and run
         // the scale model on the frame that walk already presented. The ground-truth
         // reference is lifted into a persistent SsimReference, so its integral state
         // is built once and shared by every prefix the walk scores.
-        let preview_reference = crop_and_resize_cow(&original, crop, preview_res)?;
+        let preview_reference = crop_and_resize_cow(original, crop, preview_res)?;
         let preview_reference = SsimReference::new(&preview_reference, SsimConfig::default())?;
         let mut decoder = encoded.progressive_decoder()?;
         let (preview_point, preview_image) = cheapest_sufficient_point(
@@ -465,7 +516,7 @@ impl DynamicResolutionPipeline {
         let (chosen_point, scans_read, quality) = if chosen_resolution == preview_res {
             (preview_point, preview_point.scans, preview_point.ssim)
         } else {
-            let chosen_reference = crop_and_resize_cow(&original, crop, chosen_resolution)?;
+            let chosen_reference = crop_and_resize_cow(original, crop, chosen_resolution)?;
             let chosen_reference = SsimReference::new(&chosen_reference, SsimConfig::default())?;
             match self.config.storage.threshold_for(chosen_resolution) {
                 None => {
@@ -515,6 +566,72 @@ impl DynamicResolutionPipeline {
             chosen_resolution,
             encoded,
             preview_point,
+            chosen_point,
+            scans_read,
+            quality,
+        })
+    }
+
+    /// Re-plans an already-planned request at a different backbone resolution,
+    /// reusing the plan's storage state and preview read — the SLO scheduler's
+    /// degradation ladder (`slo` module). The returned plan is bitwise identical
+    /// to what planning would have produced had the scale model chosen
+    /// `resolution` in the first place: the storage decision re-runs the same
+    /// `cheapest_sufficient_point` walk over the same encoded scans, and the
+    /// incremental decoder's invariant makes every scored frame identical to a
+    /// from-scratch decode.
+    ///
+    /// # Errors
+    /// Returns an error if rendering or decoding fails.
+    pub(crate) fn replan_at(
+        &self,
+        sample: &Sample,
+        plan: &InferencePlan,
+        resolution: usize,
+    ) -> Result<InferencePlan> {
+        if resolution == plan.chosen_resolution {
+            return Ok(plan.clone());
+        }
+        let crop = self.config.crop;
+        let original = sample.render()?;
+        let encoded = plan.encoded.clone();
+        let num_scans = encoded.num_scans();
+        let reference = crop_and_resize_cow(&original, crop, resolution)?;
+        let reference = SsimReference::new(&reference, SsimConfig::default())?;
+        let mut decoder = encoded.progressive_decoder()?;
+        let (chosen_point, scans_read, quality) = match self
+            .config
+            .storage
+            .threshold_for(resolution)
+        {
+            None => {
+                let (point, _) =
+                    cheapest_sufficient_point(&mut decoder, &reference, crop, resolution, None)?;
+                (point, plan.preview_point.scans.max(num_scans), point.ssim)
+            }
+            Some(threshold) => {
+                let (point, _) = cheapest_sufficient_point(
+                    &mut decoder,
+                    &reference,
+                    crop,
+                    resolution,
+                    Some(threshold),
+                )?;
+                let scans_read = plan.preview_point.scans.max(point.scans);
+                let quality = if scans_read == point.scans {
+                    point.ssim
+                } else {
+                    // The decoder sits at `point.scans` < `scans_read`; score the
+                    // deeper prefix the preview stage already paid for.
+                    quality_at_scans(&mut decoder, &reference, crop, resolution, scans_read)?
+                };
+                (point, scans_read, quality)
+            }
+        };
+        Ok(InferencePlan {
+            chosen_resolution: resolution,
+            encoded,
+            preview_point: plan.preview_point,
             chosen_point,
             scans_read,
             quality,
@@ -853,7 +970,7 @@ mod tests {
             let point_for = |res: usize| {
                 let idx = all_res.iter().position(|&r| r == res).unwrap();
                 match pipeline.config().storage.threshold_for(res) {
-                    Some(t) => curves[idx].point_for_threshold(t),
+                    Some(t) => curves[idx].point_for_threshold(t).unwrap(),
                     None => *curves[idx].points.last().unwrap(),
                 }
             };

@@ -24,6 +24,19 @@
 //!    [`evaluate`](DynamicResolutionPipeline::evaluate) path produces, because
 //!    records are folded in submission order regardless of bucket or batch
 //!    scheduling.
+//!
+//! # Fault isolation
+//!
+//! A serving queue is multi-tenant: one request carrying a truncated or
+//! bit-flipped progressive stream (see
+//! [`BatchScheduler::submit_with_storage`]), or one whose stage panics, must
+//! never take the rest of its batch down. Each request's plan and execute
+//! stages therefore run under [`parallel_map_isolated`]: a failure — including
+//! a caught panic, surfaced as [`CoreError::Panicked`] — becomes a
+//! [`RequestError`] in [`ServeReport::errors`] while every other request
+//! completes and is folded into the partial report. Set
+//! [`BatchOptions::strict`] to restore fail-fast semantics (the error with the
+//! lowest submission index is returned).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,8 +44,8 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use rescnn_data::{Dataset, Sample};
-use rescnn_tensor::parallel::parallel_map_indexed;
-use rescnn_tensor::{num_threads, split_parallelism};
+use rescnn_projpeg::ProgressiveImage;
+use rescnn_tensor::{num_threads, parallel_map_isolated, split_parallelism};
 
 use crate::error::{CoreError, Result};
 use crate::pipeline::{DynamicResolutionPipeline, InferencePlan, InferenceRecord, PipelineReport};
@@ -45,11 +58,16 @@ pub struct BatchOptions {
     /// Total worker-thread budget for the scheduler (`None` uses the pipeline's
     /// engine context, falling back to the engine default).
     pub threads: Option<usize>,
+    /// When `true`, the first per-request failure (in submission order) aborts
+    /// the run and is returned as the run's error. When `false` (the default),
+    /// failures are isolated into [`ServeReport::errors`] and every healthy
+    /// request still completes.
+    pub strict: bool,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { max_batch: 8, threads: None }
+        BatchOptions { max_batch: 8, threads: None, strict: false }
     }
 }
 
@@ -65,6 +83,25 @@ impl BatchOptions {
         self.threads = Some(threads.max(1));
         self
     }
+
+    /// Selects fail-fast (`true`) or isolate-and-continue (`false`) handling of
+    /// per-request failures.
+    pub fn with_strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+}
+
+/// A per-request failure isolated out of a serving run, keyed by the request's
+/// submission index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestError {
+    /// The request's position in submission order.
+    pub index: usize,
+    /// Identifier of the sample the request carried.
+    pub sample_id: u64,
+    /// What went wrong; panics are contained as [`CoreError::Panicked`].
+    pub error: CoreError,
 }
 
 /// Latency/throughput accounting for one resolution bucket.
@@ -95,12 +132,16 @@ pub struct BucketStats {
 /// The outcome of draining a [`BatchScheduler`] queue.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
-    /// Aggregate accuracy/cost report, identical to the sequential
-    /// [`evaluate`](DynamicResolutionPipeline::evaluate) over the same requests in
-    /// the same submission order.
+    /// Aggregate accuracy/cost report over the requests that completed,
+    /// identical to the sequential [`evaluate`](DynamicResolutionPipeline::evaluate)
+    /// over the same requests in the same submission order (a *partial* report
+    /// when [`errors`](Self::errors) is non-empty).
     pub report: PipelineReport,
     /// Per-resolution-bucket latency/throughput, ascending by resolution.
     pub buckets: Vec<BucketStats>,
+    /// Requests that failed, ascending by submission index; empty on a fully
+    /// healthy run. Each failure was isolated — it never aborted its batch.
+    pub errors: Vec<RequestError>,
     /// Wall-clock seconds spent in the planning stage (preview + scale model).
     pub planning_seconds: f64,
     /// Thread budget the scheduler distributed.
@@ -128,7 +169,15 @@ pub struct ServeReport {
 pub struct BatchScheduler<'a> {
     pipeline: &'a DynamicResolutionPipeline,
     options: BatchOptions,
-    queue: Vec<&'a Sample>,
+    queue: Vec<QueuedRequest<'a>>,
+}
+
+/// One queued request: the sample plus, optionally, an externally supplied
+/// storage state (the path by which corrupt streams reach the scheduler).
+#[derive(Debug)]
+struct QueuedRequest<'a> {
+    sample: &'a Sample,
+    storage: Option<ProgressiveImage>,
 }
 
 impl<'a> BatchScheduler<'a> {
@@ -140,13 +189,22 @@ impl<'a> BatchScheduler<'a> {
     /// Enqueues one request, returning its position in the queue. Results are
     /// always reported in submission order.
     pub fn submit(&mut self, sample: &'a Sample) -> usize {
-        self.queue.push(sample);
+        self.queue.push(QueuedRequest { sample, storage: None });
+        self.queue.len() - 1
+    }
+
+    /// Enqueues one request whose progressive stream is supplied by the caller
+    /// instead of re-encoded from the rendered sample — how externally stored
+    /// (possibly corrupt or truncated) streams enter the scheduler. A stream
+    /// error is isolated to this request; see [`ServeReport::errors`].
+    pub fn submit_with_storage(&mut self, sample: &'a Sample, storage: ProgressiveImage) -> usize {
+        self.queue.push(QueuedRequest { sample, storage: Some(storage) });
         self.queue.len() - 1
     }
 
     /// Enqueues every sample of a dataset in order.
     pub fn submit_all(&mut self, dataset: &'a Dataset) {
-        self.queue.extend(dataset.iter());
+        self.queue.extend(dataset.iter().map(|sample| QueuedRequest { sample, storage: None }));
     }
 
     /// Number of requests currently queued.
@@ -165,9 +223,14 @@ impl<'a> BatchScheduler<'a> {
 
     /// Drains the queue: plans, buckets, executes, and aggregates.
     ///
+    /// Per-request failures — codec errors from corrupt streams, stage panics
+    /// (contained as [`CoreError::Panicked`]) — are isolated into
+    /// [`ServeReport::errors`] while every other request completes, unless
+    /// [`BatchOptions::strict`] asks for fail-fast.
+    ///
     /// # Errors
-    /// Returns an error if the queue is empty or any per-request stage fails (the
-    /// first failure in submission order is reported).
+    /// Returns an error if the queue is empty, or — in strict mode only — the
+    /// per-request failure with the lowest submission index.
     pub fn run(&mut self) -> Result<ServeReport> {
         if self.queue.is_empty() {
             return Err(CoreError::EmptyDataset);
@@ -176,18 +239,38 @@ impl<'a> BatchScheduler<'a> {
         let threads = self.thread_budget();
         let max_batch = self.options.max_batch.max(1);
 
-        // Stage 1: plan every request (data-parallel across the queue).
+        // Stage 1: plan every request (data-parallel across the queue), each
+        // under its own fault-isolation boundary.
         let planning_start = Instant::now();
-        let plans = run_batch(self.pipeline, threads, queue.len(), |index| {
-            self.pipeline.plan_unscoped(queue[index])
+        let plans = run_batch_isolated(self.pipeline, threads, queue.len(), |index| {
+            let entry = &queue[index];
+            match &entry.storage {
+                Some(encoded) => {
+                    self.pipeline.plan_with_storage_unscoped(entry.sample, encoded.clone())
+                }
+                None => self.pipeline.plan_unscoped(entry.sample),
+            }
         });
         let planning_seconds = planning_start.elapsed().as_secs_f64();
-        let plans: Vec<InferencePlan> = collect_in_order(plans)?;
+        let mut errors: Vec<RequestError> = Vec::new();
+        let mut plan_slots: Vec<Option<InferencePlan>> = Vec::with_capacity(queue.len());
+        for (index, outcome) in plans.into_iter().enumerate() {
+            match outcome {
+                Ok(plan) => plan_slots.push(Some(plan)),
+                Err(error) => {
+                    errors.push(RequestError { index, sample_id: queue[index].sample.id, error });
+                    plan_slots.push(None);
+                }
+            }
+        }
 
-        // Stage 2: bucket by chosen resolution (BTreeMap ⇒ ascending buckets).
+        // Stage 2: bucket the planned requests by chosen resolution (BTreeMap ⇒
+        // ascending buckets). Failed plans never reach a bucket.
         let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
-        for (index, plan) in plans.iter().enumerate() {
-            buckets.entry(plan.chosen_resolution).or_default().push(index);
+        for (index, plan) in plan_slots.iter().enumerate() {
+            if let Some(plan) = plan {
+                buckets.entry(plan.chosen_resolution).or_default().push(index);
+            }
         }
 
         // Stage 3: execute each bucket in homogeneous batches. The bucket's
@@ -208,14 +291,23 @@ impl<'a> BatchScheduler<'a> {
             let bucket_start = Instant::now();
             let mut batches = 0usize;
             for batch in members.chunks(max_batch) {
-                let outcomes = run_batch(self.pipeline, threads, batch.len(), |slot| {
+                let outcomes = run_batch_isolated(self.pipeline, threads, batch.len(), |slot| {
                     let index = batch[slot];
+                    let plan = plan_slots[index].as_ref().expect("bucketed requests have plans");
                     rescnn_tensor::with_algo_calibration_scope(Arc::clone(&dispatch), || {
-                        self.pipeline.execute_unscoped(queue[index], &plans[index])
+                        self.pipeline.execute_unscoped(queue[index].sample, plan)
                     })
                 });
                 for (slot, outcome) in outcomes.into_iter().enumerate() {
-                    records[batch[slot]] = Some(outcome?);
+                    let index = batch[slot];
+                    match outcome {
+                        Ok(record) => records[index] = Some(record),
+                        Err(error) => errors.push(RequestError {
+                            index,
+                            sample_id: queue[index].sample.id,
+                            error,
+                        }),
+                    }
                 }
                 batches += 1;
             }
@@ -234,27 +326,37 @@ impl<'a> BatchScheduler<'a> {
         }
         // The decoded storage state is the bulk of the scheduler's memory; release
         // it before aggregation.
-        drop(plans);
+        drop(plan_slots);
 
-        // Stage 4: fold records in submission order through the same
-        // `PipelineReport::from_records` the sequential evaluate path uses, so the
-        // identical-results guarantee is structural, whatever the batching did.
-        let records: Vec<InferenceRecord> = records
-            .into_iter()
-            .map(|record| record.expect("every queued request was executed"))
-            .collect();
+        // Failures arrive plan-stage-first then bucket-by-bucket; report them in
+        // submission order. In strict mode the earliest one aborts the run.
+        errors.sort_by_key(|e| e.index);
+        if self.options.strict {
+            if let Some(first) = errors.first() {
+                return Err(first.error.clone());
+            }
+        }
+
+        // Stage 4: fold the completed records in submission order through the
+        // same `PipelineReport::from_records` the sequential evaluate path uses,
+        // so the identical-results guarantee is structural, whatever the
+        // batching did. On a run with failures this yields a *partial* report
+        // over exactly the requests that completed.
+        let records: Vec<InferenceRecord> = records.into_iter().flatten().collect();
         let report = PipelineReport::from_records("dynamic".to_string(), &records);
-        Ok(ServeReport { report, buckets: bucket_stats, planning_seconds, threads })
+        Ok(ServeReport { report, buckets: bucket_stats, errors, planning_seconds, threads })
     }
 }
 
 /// Runs `f(i)` for `i` in `0..count` with the scheduler's inner/outer thread
-/// split, returning the outcomes in index order. The pipeline's
-/// [`EngineContext`](rescnn_tensor::EngineContext) is installed first so
-/// [`parallel_map_indexed`] carries it (algorithm overrides included) onto pool
-/// workers; the inner thread budget replaces the pipeline's own setting for the
-/// duration of the batch.
-fn run_batch<T, F>(
+/// split and a per-task fault-isolation boundary, returning the outcomes in
+/// index order. The pipeline's [`EngineContext`](rescnn_tensor::EngineContext)
+/// is installed first so [`parallel_map_isolated`] carries it (algorithm
+/// overrides included) onto pool workers; the inner thread budget replaces the
+/// pipeline's own setting for the duration of the batch. A task that panics
+/// yields [`CoreError::Panicked`] in its own slot — the pool, the other tasks,
+/// and any scoped calibration state are unaffected.
+pub(crate) fn run_batch_isolated<T, F>(
     pipeline: &DynamicResolutionPipeline,
     threads: usize,
     count: usize,
@@ -264,13 +366,15 @@ where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
-    pipeline.engine_context().scope(|| parallel_map_indexed(count, threads, f))
-}
-
-/// Propagates the first error in index order, preserving determinism of which
-/// failure a mixed outcome reports.
-fn collect_in_order<T>(outcomes: Vec<Result<T>>) -> Result<Vec<T>> {
-    outcomes.into_iter().collect()
+    pipeline.engine_context().scope(|| {
+        parallel_map_isolated(count, threads, f)
+            .into_iter()
+            .map(|outcome| match outcome {
+                Ok(result) => result,
+                Err(message) => Err(CoreError::Panicked { message }),
+            })
+            .collect()
+    })
 }
 
 impl DynamicResolutionPipeline {
@@ -282,7 +386,8 @@ impl DynamicResolutionPipeline {
     /// latency/throughput the serving layer is measured by.
     ///
     /// # Errors
-    /// Returns an error if the dataset is empty or any per-sample stage fails.
+    /// Returns an error if the dataset is empty, or — in strict mode — the
+    /// earliest per-sample failure.
     pub fn evaluate_batched(
         &self,
         dataset: &Dataset,
@@ -437,7 +542,87 @@ mod tests {
         let options = BatchOptions::default();
         assert_eq!(options.max_batch, 8);
         assert_eq!(options.threads, None);
+        assert!(!options.strict);
         assert_eq!(BatchOptions::default().with_max_batch(0).max_batch, 1);
         assert_eq!(BatchOptions::default().with_threads(0).threads, Some(1));
+        assert!(BatchOptions::default().with_strict(true).strict);
+    }
+
+    #[test]
+    fn corrupt_streams_are_isolated_to_their_own_requests() {
+        let pipeline = build_pipeline(vec![112, 224]);
+        let data = DatasetSpec::cars_like().with_len(8).with_max_dimension(72).build(19);
+        let quality = pipeline.config().encode_quality;
+        let corrupt: Vec<usize> = vec![1, 5];
+
+        let mut scheduler = BatchScheduler::new(&pipeline, BatchOptions::default());
+        for (index, sample) in data.iter().enumerate() {
+            if corrupt.contains(&index) {
+                // Keep only 3 bytes of the first scan: the preview decode fails.
+                let stream = sample.encode_progressive(quality).unwrap().with_truncated_scan(0, 3);
+                scheduler.submit_with_storage(sample, stream);
+            } else {
+                scheduler.submit(sample);
+            }
+        }
+        let served = scheduler.run().unwrap();
+
+        // The failures are per-request records, in submission order.
+        assert_eq!(served.errors.len(), corrupt.len());
+        for (error, &index) in served.errors.iter().zip(&corrupt) {
+            assert_eq!(error.index, index);
+            assert_eq!(error.sample_id, data[index].id);
+            assert!(matches!(error.error, CoreError::Codec(_)), "got {:?}", error.error);
+        }
+        // Every healthy request completed, and the partial report is identical
+        // to serving the healthy subset alone.
+        assert_eq!(served.report.num_samples, data.len() - corrupt.len());
+        let mut healthy = BatchScheduler::new(&pipeline, BatchOptions::default());
+        for (index, sample) in data.iter().enumerate() {
+            if !corrupt.contains(&index) {
+                healthy.submit(sample);
+            }
+        }
+        let healthy = healthy.run().unwrap();
+        assert!(healthy.errors.is_empty());
+        assert_eq!(served.report, healthy.report);
+    }
+
+    #[test]
+    fn strict_mode_reports_the_earliest_failure_in_submission_order() {
+        let pipeline = build_pipeline(vec![112, 224]);
+        let data = DatasetSpec::cars_like().with_len(4).with_max_dimension(64).build(5);
+        let quality = pipeline.config().encode_quality;
+        let mut scheduler =
+            BatchScheduler::new(&pipeline, BatchOptions::default().with_strict(true));
+        scheduler.submit(&data[0]);
+        scheduler.submit_with_storage(
+            &data[1],
+            data[1].encode_progressive(quality).unwrap().with_truncated_scan(0, 1),
+        );
+        scheduler.submit(&data[2]);
+        scheduler.submit_with_storage(
+            &data[3],
+            data[3].encode_progressive(quality).unwrap().with_truncated_scan(0, 1),
+        );
+        match scheduler.run() {
+            Err(CoreError::Codec(_)) => {}
+            other => panic!("strict mode must fail fast with the codec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_storage_submissions_match_the_internal_encode_path() {
+        let pipeline = build_pipeline(vec![112, 224]);
+        let data = DatasetSpec::cars_like().with_len(6).with_max_dimension(72).build(23);
+        let quality = pipeline.config().encode_quality;
+        let baseline = pipeline.evaluate_batched(&data, BatchOptions::default()).unwrap();
+        let mut scheduler = BatchScheduler::new(&pipeline, BatchOptions::default());
+        for sample in &data {
+            scheduler.submit_with_storage(sample, sample.encode_progressive(quality).unwrap());
+        }
+        let served = scheduler.run().unwrap();
+        assert!(served.errors.is_empty());
+        assert_eq!(served.report, baseline.report, "caller-supplied healthy streams must match");
     }
 }

@@ -1,0 +1,606 @@
+//! SLO-aware serving: deadlines, admission control, load-shedding via
+//! resolution degradation, and per-request fault isolation.
+//!
+//! The paper's central lever — resolution — is exactly the knob a serving
+//! system can turn *per request, at admission time* when it is about to miss a
+//! deadline: executing at 224² instead of 448² cuts backbone cost roughly 4×
+//! while the calibrated storage policy keeps delivered SSIM above a
+//! deployment-chosen floor. The [`SloScheduler`] builds that policy on top of
+//! the resolution-bucketed [`BatchScheduler`](crate::BatchScheduler) machinery:
+//!
+//! 1. **Plan.** Every request is planned (preview read + scale model) under a
+//!    per-request fault-isolation boundary, committing it to a *planned*
+//!    resolution. A corrupt stream or a panic becomes a
+//!    [`SloOutcome::Failed`] record; every other request proceeds.
+//! 2. **Admit.** Requests are walked in arrival order over a deterministic
+//!    *virtual clock*: a single virtual server whose per-request service time
+//!    comes from a [`ResolutionLatencyModel`] (calibrated measurements when
+//!    available, the analytic roofline otherwise). A request whose queueing
+//!    delay alone exceeds its deadline has already expired
+//!    ([`Rejected::DeadlineExceeded`]). Otherwise the scheduler picks the
+//!    *largest* resolution — never above the plan's — whose estimated service
+//!    fits the remaining slack **and** whose re-planned delivered SSIM meets
+//!    [`SloOptions::ssim_floor`]; picking below the planned resolution is
+//!    *degradation*, counted in [`SloReport::degraded`]. Only when no such
+//!    resolution exists is the request shed ([`Rejected::Overloaded`]).
+//! 3. **Execute.** Admitted requests are bucketed by their final resolution and
+//!    executed as homogeneous batches over the persistent pool, again with
+//!    per-request isolation: one panicking or failing request yields its own
+//!    [`SloOutcome::Failed`] while the rest of its batch completes.
+//!
+//! Because every admission decision is a pure function of the plans, the
+//! latency model, and the requests' virtual arrival/deadline stamps — never of
+//! wall-clock time — the entire report (outcomes, degradations, sheds,
+//! latency percentiles) is bitwise reproducible across thread budgets;
+//! [`SloReport::wall_seconds`] is the only wall-clock-dependent field.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use rescnn_data::Sample;
+use rescnn_hwsim::{CalibratedCostModel, CpuProfile};
+use rescnn_projpeg::ProgressiveImage;
+
+use crate::error::{CoreError, Result};
+use crate::pipeline::{DynamicResolutionPipeline, InferencePlan, InferenceRecord, PipelineReport};
+use crate::serve::{run_batch_isolated, BatchOptions};
+
+/// One serving request with its SLO contract, timed on the virtual clock.
+#[derive(Debug, Clone)]
+pub struct SloRequest<'a> {
+    /// The sample to serve.
+    pub sample: &'a Sample,
+    /// Caller-supplied progressive stream (possibly corrupt); `None` encodes
+    /// from the rendered sample.
+    storage: Option<ProgressiveImage>,
+    /// Arrival time on the virtual clock, in milliseconds.
+    pub arrival_ms: f64,
+    /// Absolute completion deadline on the virtual clock, in milliseconds.
+    pub deadline_ms: f64,
+    /// Multiplier on the request's estimated service time (a fault-injection
+    /// hook: latency spikes, slow tenants). `1.0` is nominal.
+    pub cost_multiplier: f64,
+}
+
+impl<'a> SloRequest<'a> {
+    /// A request arriving at `arrival_ms` that must complete by `deadline_ms`.
+    pub fn new(sample: &'a Sample, arrival_ms: f64, deadline_ms: f64) -> Self {
+        SloRequest { sample, storage: None, arrival_ms, deadline_ms, cost_multiplier: 1.0 }
+    }
+
+    /// Serves a caller-supplied stored stream instead of re-encoding the sample
+    /// — the path by which corrupt or truncated streams enter the scheduler.
+    pub fn with_storage(mut self, storage: ProgressiveImage) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Scales the request's estimated service time (≥ 0; a fault-injection
+    /// latency spike).
+    pub fn with_cost_multiplier(mut self, multiplier: f64) -> Self {
+        self.cost_multiplier = multiplier.max(0.0);
+        self
+    }
+}
+
+/// Deterministic per-resolution service-time estimates, in milliseconds.
+///
+/// The admission controller needs an *a-priori* cost for "one request at
+/// resolution r" that never depends on wall-clock noise; this model supplies
+/// it, either from explicit estimates or from a
+/// [`CalibratedCostModel`](rescnn_hwsim::CalibratedCostModel) (exact
+/// measurements where swept, the analytic roofline elsewhere).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ResolutionLatencyModel {
+    /// Estimated milliseconds per request, keyed by resolution.
+    entries: BTreeMap<usize, f64>,
+}
+
+impl ResolutionLatencyModel {
+    /// Builds the model from explicit `(resolution, milliseconds)` estimates.
+    pub fn from_estimates(estimates: impl IntoIterator<Item = (usize, f64)>) -> Self {
+        ResolutionLatencyModel {
+            entries: estimates.into_iter().map(|(r, ms)| (r, ms.max(0.0))).collect(),
+        }
+    }
+
+    /// Predicts each resolution's forward cost for `pipeline`'s backbone from a
+    /// cost model (calibrated or purely analytic).
+    ///
+    /// # Errors
+    /// Returns an error if a resolution is unservable by the backbone.
+    pub fn from_cost_model(
+        model: &CalibratedCostModel,
+        pipeline: &DynamicResolutionPipeline,
+    ) -> Result<Self> {
+        let config = pipeline.config();
+        let arch = config.backbone.arch(config.dataset.num_classes());
+        let mut entries = BTreeMap::new();
+        for &resolution in &config.resolutions {
+            let layers = arch.conv_layers(resolution).map_err(|e| CoreError::InvalidConfig {
+                reason: format!("latency model at {resolution}: {e}"),
+            })?;
+            entries.insert(resolution, model.predict_forward_seconds(&layers) * 1e3);
+        }
+        Ok(ResolutionLatencyModel { entries })
+    }
+
+    /// The analytic-roofline model for the host CPU — the default when no
+    /// calibration has been recorded.
+    ///
+    /// # Errors
+    /// Returns an error if a resolution is unservable by the backbone.
+    pub fn analytic(pipeline: &DynamicResolutionPipeline) -> Result<Self> {
+        Self::from_cost_model(&CalibratedCostModel::new(CpuProfile::host()), pipeline)
+    }
+
+    /// Estimated service milliseconds at `resolution` (the nearest modelled
+    /// resolution at or above it when the exact one is absent, the largest
+    /// modelled one otherwise, `0` for an empty model).
+    pub fn estimate_ms(&self, resolution: usize) -> f64 {
+        if let Some(ms) = self.entries.get(&resolution) {
+            return *ms;
+        }
+        self.entries
+            .range(resolution..)
+            .next()
+            .or_else(|| self.entries.iter().next_back())
+            .map_or(0.0, |(_, ms)| *ms)
+    }
+}
+
+/// Why a request was rejected without executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Rejected {
+    /// The request's queueing delay alone exceeded its deadline: it expired
+    /// before the server could start it.
+    DeadlineExceeded,
+    /// Even the cheapest acceptable resolution (the SSIM floor's bucket) could
+    /// not finish within the deadline; the request was shed to protect the
+    /// rest of the queue.
+    Overloaded,
+}
+
+/// What happened to one request, in submission order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum SloOutcome {
+    /// The request executed; timing and the (possibly degraded) resolution are
+    /// in the payload.
+    Completed(CompletedRequest),
+    /// Admission control rejected the request.
+    Rejected(Rejected),
+    /// The request's own plan/execute stage failed (codec error on its stream,
+    /// contained panic, …); every other request was unaffected.
+    Failed(CoreError),
+}
+
+/// Timing and outcome detail of a completed request.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CompletedRequest {
+    /// The inference outcome (resolution, bytes, correctness, quality).
+    pub record: InferenceRecord,
+    /// Resolution the scale model originally planned.
+    pub planned_resolution: usize,
+    /// Resolution actually served (≤ planned; `<` means degraded).
+    pub served_resolution: usize,
+    /// When service began on the virtual clock.
+    pub virtual_start_ms: f64,
+    /// When service finished on the virtual clock.
+    pub virtual_finish_ms: f64,
+    /// Virtual finish minus arrival: the latency the client observed.
+    pub virtual_latency_ms: f64,
+}
+
+/// Policy knobs for the SLO scheduler.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct SloOptions {
+    /// Batching/thread/strictness knobs shared with the batch scheduler.
+    pub batch: BatchOptions,
+    /// Minimum delivered SSIM a degraded request may be served at. `None`
+    /// allows degrading to the cheapest resolution of the ladder.
+    pub ssim_floor: Option<f64>,
+    /// Service-time estimates; `None` builds the analytic model for the host.
+    pub latency: Option<ResolutionLatencyModel>,
+    /// Fault-injection hook: panic inside the execute stage of every `n`-th
+    /// admitted request (1-based submission count). Exercises the panic
+    /// containment path deterministically; `None` in production.
+    pub chaos_panic_every: Option<usize>,
+}
+
+impl SloOptions {
+    /// Sets the batching options.
+    pub fn with_batch(mut self, batch: BatchOptions) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the minimum delivered SSIM degradation may serve at.
+    pub fn with_ssim_floor(mut self, floor: f64) -> Self {
+        self.ssim_floor = Some(floor);
+        self
+    }
+
+    /// Supplies explicit service-time estimates.
+    pub fn with_latency_model(mut self, model: ResolutionLatencyModel) -> Self {
+        self.latency = Some(model);
+        self
+    }
+
+    /// Enables deterministic panic injection (every `n`-th request).
+    pub fn with_chaos_panic_every(mut self, n: usize) -> Self {
+        self.chaos_panic_every = Some(n.max(1));
+        self
+    }
+}
+
+/// The outcome of draining an [`SloScheduler`] queue.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloReport {
+    /// Aggregate accuracy/cost report over the *completed* requests, folded in
+    /// submission order.
+    pub report: PipelineReport,
+    /// Per-request outcome, in submission order.
+    pub outcomes: Vec<SloOutcome>,
+    /// Requests submitted.
+    pub total: usize,
+    /// Requests that executed to completion.
+    pub completed: usize,
+    /// Completed requests served below their planned resolution.
+    pub degraded: usize,
+    /// Requests shed by admission control ([`Rejected::Overloaded`]).
+    pub shed: usize,
+    /// Requests that expired in the queue ([`Rejected::DeadlineExceeded`]).
+    pub expired: usize,
+    /// Requests isolated after their own stage failed or panicked.
+    pub faulted: usize,
+    /// Completed requests / total — the headline goodput.
+    pub goodput: f64,
+    /// Shed requests / total.
+    pub shed_rate: f64,
+    /// Requests that did not complete within their deadline / total
+    /// (expired + shed + faulted; admitted requests meet their deadline by
+    /// construction of the admission test).
+    pub slo_violation_rate: f64,
+    /// Median virtual latency of completed requests, in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile virtual latency of completed requests, in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Mean delivered SSIM over completed requests.
+    pub mean_delivered_ssim: f64,
+    /// Largest queueing backlog any request saw at arrival, in virtual ms.
+    pub peak_backlog_ms: f64,
+    /// Real wall-clock seconds the run took (informational only; every other
+    /// field is wall-clock-independent).
+    pub wall_seconds: f64,
+    /// Thread budget the scheduler distributed.
+    pub threads: usize,
+}
+
+/// Deadline- and load-aware serving scheduler over one pipeline.
+///
+/// # Examples
+/// ```no_run
+/// use rescnn_core::{DynamicResolutionPipeline, SloOptions, SloRequest, SloScheduler};
+/// # fn demo(pipeline: &DynamicResolutionPipeline, data: &rescnn_data::Dataset)
+/// #     -> rescnn_core::Result<()> {
+/// let mut scheduler = SloScheduler::new(pipeline, SloOptions::default().with_ssim_floor(0.85));
+/// for (i, sample) in data.iter().enumerate() {
+///     let arrival = i as f64 * 2.0;
+///     scheduler.submit(SloRequest::new(sample, arrival, arrival + 50.0));
+/// }
+/// let outcome = scheduler.run()?;
+/// println!("goodput {:.3}, degraded {}, shed {}", outcome.goodput, outcome.degraded, outcome.shed);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SloScheduler<'a> {
+    pipeline: &'a DynamicResolutionPipeline,
+    options: SloOptions,
+    queue: Vec<SloRequest<'a>>,
+}
+
+/// Post-admission state of one admitted request.
+#[derive(Debug)]
+struct Admitted {
+    /// Submission index.
+    index: usize,
+    plan: InferencePlan,
+    planned_resolution: usize,
+    virtual_start_ms: f64,
+    virtual_finish_ms: f64,
+}
+
+impl<'a> SloScheduler<'a> {
+    /// Creates a scheduler serving one pipeline.
+    pub fn new(pipeline: &'a DynamicResolutionPipeline, options: SloOptions) -> Self {
+        SloScheduler { pipeline, options, queue: Vec::new() }
+    }
+
+    /// Enqueues one request, returning its submission index. Outcomes are
+    /// always reported in submission order.
+    pub fn submit(&mut self, request: SloRequest<'a>) -> usize {
+        self.queue.push(request);
+        self.queue.len() - 1
+    }
+
+    /// Number of requests currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn thread_budget(&self) -> usize {
+        self.options
+            .batch
+            .threads
+            .or(self.pipeline.engine_context().threads)
+            .unwrap_or_else(rescnn_tensor::num_threads)
+            .max(1)
+    }
+
+    /// Drains the queue: plans, admits over the virtual clock, executes, and
+    /// aggregates.
+    ///
+    /// # Errors
+    /// Returns an error only if the queue is empty or no latency model could be
+    /// built; per-request failures are isolated into [`SloOutcome::Failed`].
+    pub fn run(&mut self) -> Result<SloReport> {
+        if self.queue.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let wall_start = Instant::now();
+        let queue = std::mem::take(&mut self.queue);
+        let threads = self.thread_budget();
+        let latency = match &self.options.latency {
+            Some(model) => model.clone(),
+            None => ResolutionLatencyModel::analytic(self.pipeline)?,
+        };
+        let mut outcomes: Vec<Option<SloOutcome>> = vec![None; queue.len()];
+
+        // Stage 1: plan every request under per-request isolation.
+        let plans = run_batch_isolated(self.pipeline, threads, queue.len(), |index| {
+            let request = &queue[index];
+            match &request.storage {
+                Some(encoded) => {
+                    self.pipeline.plan_with_storage_unscoped(request.sample, encoded.clone())
+                }
+                None => self.pipeline.plan_unscoped(request.sample),
+            }
+        });
+        let mut plan_slots: Vec<Option<InferencePlan>> = Vec::with_capacity(queue.len());
+        for (index, outcome) in plans.into_iter().enumerate() {
+            match outcome {
+                Ok(plan) => plan_slots.push(Some(plan)),
+                Err(error) => {
+                    outcomes[index] = Some(SloOutcome::Failed(error));
+                    plan_slots.push(None);
+                }
+            }
+        }
+
+        // Stage 2: admission over the virtual clock, in arrival order (ties
+        // break by submission index, keeping the walk fully deterministic).
+        let mut order: Vec<usize> = (0..queue.len()).filter(|&i| plan_slots[i].is_some()).collect();
+        order.sort_by(|&a, &b| {
+            queue[a].arrival_ms.total_cmp(&queue[b].arrival_ms).then_with(|| a.cmp(&b))
+        });
+        let ladder = &self.pipeline.config().resolutions;
+        let mut server_free_ms = 0.0f64;
+        let mut peak_backlog_ms = 0.0f64;
+        let mut admitted: Vec<Admitted> = Vec::new();
+        for index in order {
+            let request = &queue[index];
+            let plan = plan_slots[index].take().expect("planned requests reach admission once");
+            let virtual_start = server_free_ms.max(request.arrival_ms);
+            peak_backlog_ms = peak_backlog_ms.max(virtual_start - request.arrival_ms);
+            if virtual_start >= request.deadline_ms {
+                outcomes[index] = Some(SloOutcome::Rejected(Rejected::DeadlineExceeded));
+                continue;
+            }
+            // Walk the ladder downward from the planned resolution: the
+            // largest bucket that fits the slack and meets the SSIM floor wins.
+            let planned_resolution = plan.chosen_resolution;
+            let mut candidates: Vec<usize> =
+                ladder.iter().copied().filter(|&r| r <= planned_resolution).collect();
+            candidates.sort_unstable_by(|a, b| b.cmp(a));
+            let mut placed = false;
+            for resolution in candidates {
+                let service_ms = latency.estimate_ms(resolution) * request.cost_multiplier;
+                if virtual_start + service_ms > request.deadline_ms {
+                    continue;
+                }
+                let final_plan = if resolution == planned_resolution {
+                    plan.clone()
+                } else {
+                    match self.pipeline.replan_at(request.sample, &plan, resolution) {
+                        Ok(replanned) => replanned,
+                        Err(error) => {
+                            outcomes[index] = Some(SloOutcome::Failed(error));
+                            placed = true;
+                            break;
+                        }
+                    }
+                };
+                if let Some(floor) = self.options.ssim_floor {
+                    if resolution != planned_resolution && final_plan.quality() < floor {
+                        // Degrading this far would deliver unacceptable
+                        // quality; cheaper buckets only read less.
+                        break;
+                    }
+                }
+                server_free_ms = virtual_start + service_ms;
+                admitted.push(Admitted {
+                    index,
+                    plan: final_plan,
+                    planned_resolution,
+                    virtual_start_ms: virtual_start,
+                    virtual_finish_ms: server_free_ms,
+                });
+                placed = true;
+                break;
+            }
+            if !placed {
+                outcomes[index] = Some(SloOutcome::Rejected(Rejected::Overloaded));
+            }
+        }
+
+        // Stage 3: execute admitted requests as homogeneous resolution buckets
+        // under per-request isolation, mirroring the batch scheduler.
+        let max_batch = self.options.batch.max_batch.max(1);
+        let chaos = self.options.chaos_panic_every;
+        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (slot, entry) in admitted.iter().enumerate() {
+            buckets.entry(entry.plan.chosen_resolution).or_default().push(slot);
+        }
+        for (&resolution, members) in &buckets {
+            let dispatch = self.pipeline.bucket_dispatch(resolution);
+            for batch in members.chunks(max_batch) {
+                let results = run_batch_isolated(self.pipeline, threads, batch.len(), |slot| {
+                    let entry = &admitted[batch[slot]];
+                    if let Some(every) = chaos {
+                        if (entry.index + 1).is_multiple_of(every) {
+                            panic!("chaos: injected panic in request {}", entry.index);
+                        }
+                    }
+                    rescnn_tensor::with_algo_calibration_scope(Arc::clone(&dispatch), || {
+                        self.pipeline.execute_unscoped(queue[entry.index].sample, &entry.plan)
+                    })
+                });
+                for (slot, result) in results.into_iter().enumerate() {
+                    let entry = &admitted[batch[slot]];
+                    outcomes[entry.index] = Some(match result {
+                        Ok(record) => SloOutcome::Completed(CompletedRequest {
+                            record,
+                            planned_resolution: entry.planned_resolution,
+                            served_resolution: entry.plan.chosen_resolution,
+                            virtual_start_ms: entry.virtual_start_ms,
+                            virtual_finish_ms: entry.virtual_finish_ms,
+                            virtual_latency_ms: entry.virtual_finish_ms
+                                - queue[entry.index].arrival_ms,
+                        }),
+                        Err(error) => SloOutcome::Failed(error),
+                    });
+                }
+            }
+        }
+        drop(admitted);
+
+        // Stage 4: aggregate in submission order.
+        let outcomes: Vec<SloOutcome> = outcomes
+            .into_iter()
+            .map(|outcome| outcome.expect("every request has an outcome"))
+            .collect();
+        let total = outcomes.len();
+        let mut completed_records: Vec<InferenceRecord> = Vec::new();
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut ssim_sum = 0.0f64;
+        let (mut completed, mut shed, mut expired, mut faulted) = (0usize, 0usize, 0usize, 0usize);
+        for outcome in &outcomes {
+            match outcome {
+                SloOutcome::Completed(done) => {
+                    completed += 1;
+                    ssim_sum += done.record.quality;
+                    latencies.push(done.virtual_latency_ms);
+                    completed_records.push(done.record);
+                }
+                SloOutcome::Rejected(Rejected::Overloaded) => shed += 1,
+                SloOutcome::Rejected(Rejected::DeadlineExceeded) => expired += 1,
+                SloOutcome::Failed(_) => faulted += 1,
+            }
+        }
+        // Only requests that actually completed count as degraded (a degraded
+        // admission that then faulted is a fault, not a degradation).
+        let degraded = outcomes
+            .iter()
+            .filter(
+                |o| matches!(o, SloOutcome::Completed(c) if c.served_resolution < c.planned_resolution),
+            )
+            .count();
+        latencies.sort_by(f64::total_cmp);
+        let report = PipelineReport::from_records("slo".to_string(), &completed_records);
+        let totalf = total.max(1) as f64;
+        Ok(SloReport {
+            report,
+            outcomes,
+            total,
+            completed,
+            degraded,
+            shed,
+            expired,
+            faulted,
+            goodput: completed as f64 / totalf,
+            shed_rate: shed as f64 / totalf,
+            slo_violation_rate: (shed + expired + faulted) as f64 / totalf,
+            p50_latency_ms: percentile(&latencies, 0.50),
+            p99_latency_ms: percentile(&latencies, 0.99),
+            mean_delivered_ssim: if completed > 0 { ssim_sum / completed as f64 } else { 0.0 },
+            peak_backlog_ms,
+            wall_seconds: wall_start.elapsed().as_secs_f64(),
+            threads,
+        })
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_model_lookup_rounds_up_then_falls_back() {
+        let model = ResolutionLatencyModel::from_estimates([(112, 4.0), (224, 16.0)]);
+        assert_eq!(model.estimate_ms(112), 4.0);
+        assert_eq!(model.estimate_ms(150), 16.0, "unknown resolutions round up");
+        assert_eq!(model.estimate_ms(448), 16.0, "beyond the ladder falls back to the largest");
+        let empty = ResolutionLatencyModel::from_estimates([]);
+        assert_eq!(empty.estimate_ms(224), 0.0);
+        let negative = ResolutionLatencyModel::from_estimates([(64, -3.0)]);
+        assert_eq!(negative.estimate_ms(64), 0.0, "estimates clamp to non-negative");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&values, 0.50), 2.0);
+        assert_eq!(percentile(&values, 0.99), 4.0);
+        assert_eq!(percentile(&values, 0.25), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn options_builders() {
+        let options = SloOptions::default();
+        assert!(options.ssim_floor.is_none());
+        assert!(options.latency.is_none());
+        assert!(options.chaos_panic_every.is_none());
+        let options = SloOptions::default()
+            .with_ssim_floor(0.9)
+            .with_latency_model(ResolutionLatencyModel::from_estimates([(112, 1.0)]))
+            .with_chaos_panic_every(0);
+        assert_eq!(options.ssim_floor, Some(0.9));
+        assert_eq!(options.chaos_panic_every, Some(1), "chaos interval clamps to 1");
+        assert!(options.latency.is_some());
+    }
+
+    #[test]
+    fn request_builders_clamp() {
+        let sample =
+            rescnn_data::DatasetSpec::cars_like().with_len(1).with_max_dimension(48).build(1);
+        let request = SloRequest::new(&sample[0], 1.0, 9.0).with_cost_multiplier(-2.0);
+        assert_eq!(request.cost_multiplier, 0.0);
+        assert_eq!(request.arrival_ms, 1.0);
+        assert_eq!(request.deadline_ms, 9.0);
+        assert!(request.storage.is_none());
+    }
+}

@@ -1,0 +1,275 @@
+//! Integration contract of the SLO-aware serving core: per-request fault
+//! isolation (corrupt streams, contained panics), degrade-before-shed
+//! admission, and bitwise determinism of every virtual-clock decision across
+//! thread budgets.
+
+use rescnn_core::{
+    BatchOptions, CoreError, DynamicResolutionPipeline, PipelineConfig, Rejected,
+    ResolutionLatencyModel, ScaleModelConfig, ScaleModelTrainer, SloOptions, SloOutcome, SloReport,
+    SloRequest, SloScheduler,
+};
+use rescnn_data::{DatasetKind, DatasetSpec, Sample};
+use rescnn_imaging::CropRatio;
+use rescnn_models::ModelKind;
+use rescnn_oracle::AccuracyOracle;
+
+fn build_pipeline(resolutions: Vec<usize>) -> DynamicResolutionPipeline {
+    let config =
+        ScaleModelConfig { resolutions: resolutions.clone(), epochs: 30, ..Default::default() };
+    let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+    let train = DatasetSpec::cars_like().with_len(60).with_max_dimension(96).build(1);
+    let scale_model = trainer.train(&train, 3).unwrap();
+    let pipeline_config = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+        .with_crop(CropRatio::new(0.56).unwrap())
+        .with_resolutions(resolutions);
+    DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(77)).unwrap()
+}
+
+/// A latency model with fixed, host-independent estimates, so admission
+/// decisions in these tests never depend on the machine.
+fn fixed_latency() -> ResolutionLatencyModel {
+    ResolutionLatencyModel::from_estimates([(112, 10.0), (224, 50.0)])
+}
+
+/// Zeroes the only wall-clock-dependent field so reports can be compared
+/// exactly.
+fn normalized(mut report: SloReport) -> SloReport {
+    report.wall_seconds = 0.0;
+    report
+}
+
+/// Finds a sample the pipeline plans at the top of the ladder, so degradation
+/// has somewhere to go.
+fn sample_planned_at<'d>(
+    pipeline: &DynamicResolutionPipeline,
+    data: &'d rescnn_data::Dataset,
+    resolution: usize,
+) -> &'d Sample {
+    data.iter()
+        .find(|sample| pipeline.plan(sample).unwrap().chosen_resolution == resolution)
+        .expect("dataset must contain a sample planned at the requested resolution")
+}
+
+#[test]
+fn corrupt_streams_fault_only_their_own_requests() {
+    let pipeline = build_pipeline(vec![112, 224]);
+    let data = DatasetSpec::cars_like().with_len(20).with_max_dimension(72).build(41);
+    let quality = pipeline.config().encode_quality;
+    // 5% corruption: request 7 carries a truncated stream.
+    let corrupt_index = 7usize;
+
+    let options = SloOptions::default().with_latency_model(fixed_latency());
+    let mut scheduler = SloScheduler::new(&pipeline, options);
+    for (i, sample) in data.iter().enumerate() {
+        let arrival = i as f64 * 60.0; // no backlog: isolation, not overload
+        let mut request = SloRequest::new(sample, arrival, arrival + 500.0);
+        if i == corrupt_index {
+            let stream = sample.encode_progressive(quality).unwrap().with_truncated_scan(0, 2);
+            request = request.with_storage(stream);
+        }
+        scheduler.submit(request);
+    }
+    let report = scheduler.run().unwrap();
+
+    assert_eq!(report.total, data.len());
+    assert_eq!(report.faulted, 1);
+    assert_eq!(report.completed, data.len() - 1);
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.expired, 0);
+    assert!((report.goodput - (data.len() - 1) as f64 / data.len() as f64).abs() < 1e-12);
+    match &report.outcomes[corrupt_index] {
+        SloOutcome::Failed(CoreError::Codec(_)) => {}
+        other => panic!("corrupt stream must fault with a codec error, got {other:?}"),
+    }
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        if i != corrupt_index {
+            assert!(matches!(outcome, SloOutcome::Completed(_)), "request {i}: {outcome:?}");
+        }
+    }
+    assert!(report.mean_delivered_ssim > 0.0);
+}
+
+#[test]
+fn chaos_panics_are_contained_and_survivors_match_the_clean_run() {
+    let pipeline = build_pipeline(vec![112, 224]);
+    let data = DatasetSpec::cars_like().with_len(9).with_max_dimension(72).build(13);
+    fn submit_all<'a>(scheduler: &mut SloScheduler<'a>, data: &'a rescnn_data::Dataset) {
+        for (i, sample) in data.iter().enumerate() {
+            let arrival = i as f64 * 60.0;
+            scheduler.submit(SloRequest::new(sample, arrival, arrival + 500.0));
+        }
+    }
+
+    let clean_options = SloOptions::default().with_latency_model(fixed_latency());
+    let mut clean = SloScheduler::new(&pipeline, clean_options.clone());
+    submit_all(&mut clean, &data);
+    let clean = clean.run().unwrap();
+    assert_eq!(clean.completed, data.len());
+
+    // Every 3rd request's execute stage panics: submission indices 2, 5, 8.
+    let mut chaotic = SloScheduler::new(&pipeline, clean_options.with_chaos_panic_every(3));
+    submit_all(&mut chaotic, &data);
+    let chaotic = chaotic.run().unwrap();
+
+    assert_eq!(chaotic.faulted, 3);
+    assert_eq!(chaotic.completed, data.len() - 3);
+    for (i, outcome) in chaotic.outcomes.iter().enumerate() {
+        if (i + 1) % 3 == 0 {
+            match outcome {
+                SloOutcome::Failed(CoreError::Panicked { message }) => {
+                    assert!(message.contains("chaos"), "panic payload surfaced: {message}");
+                }
+                other => panic!("request {i} must fault with a contained panic, got {other:?}"),
+            }
+        } else {
+            // Survivors are bitwise identical to the clean run: the panic
+            // never perturbed their batch, plans, or records.
+            assert_eq!(
+                chaotic.outcomes[i], clean.outcomes[i],
+                "survivor {i} diverged from the clean run"
+            );
+            assert!(matches!(outcome, SloOutcome::Completed(_)));
+        }
+    }
+}
+
+#[test]
+fn overload_degrades_down_the_ladder_before_shedding() {
+    let pipeline = build_pipeline(vec![112, 224]);
+    let data = DatasetSpec::cars_like().with_len(24).with_max_dimension(72).build(29);
+    let sample = sample_planned_at(&pipeline, &data, 224);
+
+    // Six identical requests, all arriving at t=0, deadline 115 ms, with
+    // service estimates 224² → 50 ms, 112² → 10 ms:
+    //   r0: start   0, 224² fits (50 ≤ 115)              → completed at 224²
+    //   r1: start  50, 224² fits (100 ≤ 115)             → completed at 224²
+    //   r2: start 100, 224² misses, 112² fits (110 ≤ 115) → degraded to 112²
+    //   r3: start 110, even 112² misses (120 > 115)       → shed (Overloaded)
+    //   r4, r5: same as r3                                → shed
+    let options = SloOptions::default().with_latency_model(fixed_latency());
+    let mut scheduler = SloScheduler::new(&pipeline, options);
+    for _ in 0..6 {
+        scheduler.submit(SloRequest::new(sample, 0.0, 115.0));
+    }
+    let report = scheduler.run().unwrap();
+
+    assert_eq!(report.completed, 3);
+    assert_eq!(report.degraded, 1);
+    assert_eq!(report.shed, 3);
+    assert_eq!(report.expired, 0);
+    assert_eq!(report.faulted, 0);
+    match &report.outcomes[2] {
+        SloOutcome::Completed(done) => {
+            assert_eq!(done.planned_resolution, 224);
+            assert_eq!(done.served_resolution, 112, "r2 must degrade, not shed");
+            assert_eq!(done.virtual_start_ms, 100.0);
+            assert_eq!(done.virtual_finish_ms, 110.0);
+        }
+        other => panic!("r2 must complete degraded, got {other:?}"),
+    }
+    for i in 3..6 {
+        assert_eq!(report.outcomes[i], SloOutcome::Rejected(Rejected::Overloaded));
+    }
+    assert!(report.peak_backlog_ms >= 100.0);
+    assert!((report.slo_violation_rate - 0.5).abs() < 1e-12);
+
+    // An unreachable SSIM floor forbids degradation: r2 is shed instead.
+    let floored = SloOptions::default().with_latency_model(fixed_latency()).with_ssim_floor(1.01);
+    let mut scheduler = SloScheduler::new(&pipeline, floored);
+    for _ in 0..6 {
+        scheduler.submit(SloRequest::new(sample, 0.0, 115.0));
+    }
+    let floored = scheduler.run().unwrap();
+    assert_eq!(floored.completed, 2);
+    assert_eq!(floored.degraded, 0);
+    assert_eq!(floored.shed, 4, "with no acceptable degradation, r2 joins the shed set");
+
+    // With slack to spare, nothing degrades and nothing is shed.
+    let relaxed = SloOptions::default().with_latency_model(fixed_latency());
+    let mut scheduler = SloScheduler::new(&pipeline, relaxed);
+    for _ in 0..6 {
+        scheduler.submit(SloRequest::new(sample, 0.0, 10_000.0));
+    }
+    let relaxed = scheduler.run().unwrap();
+    assert_eq!(relaxed.completed, 6);
+    assert_eq!(relaxed.degraded, 0);
+    assert_eq!(relaxed.shed, 0);
+}
+
+#[test]
+fn queue_expiry_and_latency_spikes_follow_the_virtual_clock() {
+    let pipeline = build_pipeline(vec![112, 224]);
+    let data = DatasetSpec::cars_like().with_len(8).with_max_dimension(72).build(3);
+    let sample = sample_planned_at(&pipeline, &data, 224);
+
+    let options = SloOptions::default().with_latency_model(fixed_latency());
+    let mut scheduler = SloScheduler::new(&pipeline, options);
+    // r0 hogs the server for 10× its estimate (a latency spike); r1's deadline
+    // passes while it waits in the queue.
+    scheduler.submit(SloRequest::new(sample, 0.0, 1_000.0).with_cost_multiplier(10.0));
+    scheduler.submit(SloRequest::new(sample, 0.0, 400.0));
+    scheduler.submit(SloRequest::new(sample, 0.0, 1_000.0));
+    let report = scheduler.run().unwrap();
+
+    assert_eq!(report.outcomes[1], SloOutcome::Rejected(Rejected::DeadlineExceeded));
+    assert_eq!(report.expired, 1);
+    assert_eq!(report.completed, 2);
+    match &report.outcomes[0] {
+        SloOutcome::Completed(done) => assert_eq!(done.virtual_finish_ms, 500.0),
+        other => panic!("spiked request still completes, got {other:?}"),
+    }
+    match &report.outcomes[2] {
+        SloOutcome::Completed(done) => {
+            assert_eq!(done.virtual_start_ms, 500.0);
+            assert_eq!(done.virtual_finish_ms, 550.0);
+        }
+        other => panic!("r2 completes after the spike, got {other:?}"),
+    }
+}
+
+#[test]
+fn reports_are_bitwise_deterministic_across_thread_budgets() {
+    let pipeline = build_pipeline(vec![112, 224]);
+    let data = DatasetSpec::cars_like().with_len(12).with_max_dimension(72).build(17);
+    let quality = pipeline.config().encode_quality;
+
+    let run_with = |threads: usize| {
+        let options = SloOptions::default()
+            .with_latency_model(fixed_latency())
+            .with_ssim_floor(0.5)
+            .with_chaos_panic_every(5)
+            .with_batch(BatchOptions::default().with_max_batch(3).with_threads(threads));
+        let mut scheduler = SloScheduler::new(&pipeline, options);
+        for (i, sample) in data.iter().enumerate() {
+            // A bursty trace: pairs arrive together, deadlines tight enough to
+            // force degradations and sheds, plus one corrupt stream.
+            let arrival = (i / 2) as f64 * 12.0;
+            let mut request = SloRequest::new(sample, arrival, arrival + 55.0);
+            if i == 4 {
+                request = request.with_storage(
+                    data[4].encode_progressive(quality).unwrap().with_truncated_scan(0, 1),
+                );
+            }
+            scheduler.submit(request);
+        }
+        normalized(scheduler.run().unwrap())
+    };
+
+    let baseline = run_with(1);
+    assert_eq!(baseline.total, data.len());
+    assert!(baseline.faulted >= 1, "at least the corrupt stream faults");
+    for threads in [2usize, 4] {
+        let mut report = run_with(threads);
+        assert_eq!(report.threads, threads);
+        report.threads = baseline.threads;
+        assert_eq!(report, baseline, "{threads} threads changed the SLO report");
+    }
+}
+
+#[test]
+fn empty_queue_is_rejected() {
+    let pipeline = build_pipeline(vec![112]);
+    let mut scheduler = SloScheduler::new(&pipeline, SloOptions::default());
+    assert!(matches!(scheduler.run(), Err(CoreError::EmptyDataset)));
+    assert_eq!(scheduler.queued(), 0);
+}

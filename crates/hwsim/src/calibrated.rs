@@ -166,6 +166,15 @@ impl CalibratedCostModel {
         best
     }
 
+    /// Predicted seconds for a full forward pass over `layers`, each layer at
+    /// its [`best_algo`](Self::best_algo). Deterministic for a fixed model
+    /// state (measurements are exact lookups, analytic estimates are pure
+    /// arithmetic), which is what lets an SLO scheduler base admission and
+    /// degradation decisions on it reproducibly.
+    pub fn predict_forward_seconds(&self, layers: &[ConvLayerShape]) -> f64 {
+        layers.iter().map(|layer| self.predict_seconds(layer, self.best_algo(layer))).sum()
+    }
+
     /// Exports the measured-fastest algorithm per swept shape as the dispatch
     /// table [`rescnn_tensor::conv2d_dispatch`] consults once installed with
     /// [`rescnn_tensor::install_algo_calibration`]. Only shapes with at least
@@ -332,6 +341,26 @@ mod tests {
         // A shape Winograd cannot execute never selects it.
         let strided = layer(8, 8, 3, 2, 64);
         assert_ne!(model.best_algo(&strided), ConvAlgo::Winograd);
+    }
+
+    #[test]
+    fn forward_prediction_sums_best_algo_times_and_orders_resolutions() {
+        let mut model = CalibratedCostModel::new(CpuProfile::intel_4790k());
+        let a = layer(8, 8, 3, 1, 16);
+        let b = layer(8, 16, 3, 1, 16);
+        model.record(&a, ConvAlgo::Winograd, 1.0e-3);
+        model.record(&a, ConvAlgo::Im2colPacked, 3.0e-3);
+        model.record(&b, ConvAlgo::Im2colPacked, 2.0e-3);
+        let both = [a, b];
+        assert_eq!(model.predict_forward_seconds(&both), 3.0e-3);
+        // Uncalibrated models fall back to the analytic roofline, which must
+        // still rank a deeper resolution as strictly more expensive.
+        let fresh = CalibratedCostModel::new(CpuProfile::intel_4790k());
+        let arch = ModelKind::ResNet18.arch(10);
+        let small = fresh.predict_forward_seconds(&arch.conv_layers(64).unwrap());
+        let large = fresh.predict_forward_seconds(&arch.conv_layers(128).unwrap());
+        assert!(small > 0.0);
+        assert!(large > small, "higher resolution must predict as more expensive");
     }
 
     #[test]

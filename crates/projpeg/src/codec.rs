@@ -289,6 +289,50 @@ impl ProgressiveImage {
     pub(crate) fn scans(&self) -> &[EncodedScan] {
         &self.scans
     }
+
+    /// Returns a copy of this image with one bit flipped in one scan's stored
+    /// data — a deterministic corrupt-stream injector for robustness tests and
+    /// the fault-injection load harness. `scan` and `byte` are reduced modulo
+    /// the scan count / scan length, so any `(scan, byte, bit)` triple (e.g.
+    /// drawn from a seeded PRNG) is a valid injection; an image with no scans
+    /// or an empty scan is returned unchanged.
+    ///
+    /// Decoding the result must never panic: every outcome is either a decoded
+    /// image (the flip landed somewhere the entropy coder tolerates) or a
+    /// [`CodecError`](crate::CodecError) stream error. `tests/decoder_robustness.rs`
+    /// pins this.
+    #[must_use]
+    pub fn with_bit_flip(&self, scan: usize, byte: usize, bit: u8) -> Self {
+        let mut corrupted = self.clone();
+        if corrupted.scans.is_empty() {
+            return corrupted;
+        }
+        let scan = scan % corrupted.scans.len();
+        let data = &mut corrupted.scans[scan].data;
+        if data.is_empty() {
+            return corrupted;
+        }
+        let byte = byte % data.len();
+        data[byte] ^= 1 << (bit % 8);
+        corrupted
+    }
+
+    /// Returns a copy of this image with one scan's stored data truncated to
+    /// `keep_bytes` bytes — a deterministic truncated-stream injector (an
+    /// interrupted read mid-scan, as opposed to the well-formed scan-prefix
+    /// truncation [`decode`](Self::decode) models). `scan` is reduced modulo
+    /// the scan count; `keep_bytes` beyond the scan's length keeps everything.
+    #[must_use]
+    pub fn with_truncated_scan(&self, scan: usize, keep_bytes: usize) -> Self {
+        let mut corrupted = self.clone();
+        if corrupted.scans.is_empty() {
+            return corrupted;
+        }
+        let scan = scan % corrupted.scans.len();
+        let data = &mut corrupted.scans[scan].data;
+        data.truncate(keep_bytes.min(data.len()));
+        corrupted
+    }
 }
 
 /// Converts an image into quantized DCT coefficient planes.
@@ -456,6 +500,12 @@ pub(crate) fn decode_scan(
                 let bits = code
                     .decode(&mut reader)
                     .ok_or(CodecError::TruncatedStream { scan: scan_index })?;
+                // Coefficients are i16, so a valid DC difference fits 17
+                // magnitude bits; anything larger is a corrupt symbol (and
+                // would overflow the amplitude decoder's shifts).
+                if bits > 17 {
+                    return Err(CodecError::CorruptStream { scan: scan_index });
+                }
                 let raw = if bits > 0 {
                     reader
                         .read_bits(bits)

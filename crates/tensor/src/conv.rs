@@ -1680,6 +1680,50 @@ mod tests {
     }
 
     #[test]
+    fn calibration_scope_is_unwind_safe() {
+        let _guard = crate::test_sync::global_state_lock();
+        let params = Conv2dParams::new(4, 4, 3, 1, 1);
+        let shape = Shape::chw(4, 12, 12);
+        let key = ConvShapeKey::new(params, shape);
+        let mut table = AlgoCalibration::new();
+        table.set(key, ConvAlgo::Winograd);
+        let inner = Arc::new(table);
+
+        // A panic inside the scope must restore the previous scoped table (here:
+        // none), exactly like a normal return — a serving request that dies
+        // mid-bucket cannot leave its bucket's dispatch table installed on the
+        // worker that ran it.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_algo_calibration_scope(Arc::clone(&inner), || {
+                assert_eq!(select_algo(&params, shape), ConvAlgo::Winograd);
+                panic!("request died inside the scope");
+            })
+        }));
+        assert!(caught.is_err());
+        assert_eq!(
+            select_algo(&params, shape),
+            ConvAlgo::Im2colPacked,
+            "scoped table survived a panic"
+        );
+
+        // Nested scopes unwind layer by layer: the outer scope stays installed
+        // after the inner one panics.
+        let outer = Arc::new({
+            let mut t = AlgoCalibration::new();
+            t.set(key, ConvAlgo::Direct);
+            t
+        });
+        with_algo_calibration_scope(Arc::clone(&outer), || {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_algo_calibration_scope(Arc::clone(&inner), || panic!("inner died"))
+            }));
+            assert!(caught.is_err());
+            assert_eq!(select_algo(&params, shape), ConvAlgo::Direct, "outer scope lost");
+        });
+        assert_eq!(select_algo(&params, shape), ConvAlgo::Im2colPacked);
+    }
+
+    #[test]
     fn grouped_1x1_takes_fast_path_correctly() {
         let params = Conv2dParams::new(8, 12, 1, 1, 0).with_groups(4);
         let input = sample_input(Shape::new(2, 8, 9, 9), 13);

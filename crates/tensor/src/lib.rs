@@ -93,7 +93,10 @@ pub use ops::{
     global_avg_pool_into, linear, linear_prepared, linear_prepared_into, max_pool2d,
     max_pool2d_into, relu, relu6, relu6_in_place, relu_in_place, sigmoid, softmax,
 };
-pub use parallel::{num_threads, set_num_threads, shutdown_pool, split_parallelism};
+pub use parallel::{
+    num_threads, panic_message, parallel_map_isolated, set_num_threads, shutdown_pool,
+    split_parallelism,
+};
 pub use shape::{conv_output_extent, Conv2dParams, Pool2dParams, Shape};
 pub use tensor::Tensor;
 pub use winograd::{

@@ -144,6 +144,47 @@ where
     slots.into_iter().map(|slot| slot.expect("every batch slot was executed")).collect()
 }
 
+/// Renders a panic payload as a human-readable message, for converting caught
+/// task panics into per-request error records. `&str` and `String` payloads
+/// (what `panic!` produces) come through verbatim; anything else gets a
+/// placeholder.
+pub fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "task panicked with a non-string payload".to_string()
+    }
+}
+
+/// [`parallel_map_indexed`] with **per-task panic isolation**: a panicking task
+/// yields `Err(message)` in its own slot instead of poisoning the job and
+/// re-raising on the submitter, so every other task still completes and returns
+/// its result.
+///
+/// The catch wraps only the caller's `f` — the surrounding
+/// [`EngineContext`](crate::EngineContext) scope (and any scoped calibration
+/// installed inside `f`) unwinds through its drop guards as usual, so a caught
+/// panic cannot leak thread-scoped state onto a pool worker. Because the pool's
+/// job never observes the panic, the job is never poisoned: the chunk
+/// decomposition, scheduling, and surviving tasks' results are identical to a
+/// run where the panicking task had merely returned an error, for every thread
+/// count.
+pub fn parallel_map_isolated<R, F>(
+    count: usize,
+    threads: usize,
+    f: F,
+) -> Vec<std::result::Result<R, String>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    parallel_map_indexed(count, threads, |index| {
+        catch_unwind(AssertUnwindSafe(|| f(index))).map_err(panic_message)
+    })
+}
+
 /// A type-erased parallel task: `call(chunk_index)` for indices `0..total`.
 ///
 /// The raw pointer refers into the submitting thread's stack frame; it is only
@@ -606,6 +647,69 @@ mod tests {
         });
         assert_eq!(observed, vec![(0, Some(4)), (1, Some(4))]);
         set_num_threads(original);
+    }
+
+    #[test]
+    fn isolated_map_contains_panics_to_their_own_slot() {
+        let _guard = crate::test_sync::global_state_lock();
+        let original = num_threads();
+        for threads in [1usize, 2, 4] {
+            set_num_threads(threads);
+            // Batch >= threads exercises the pool-worker path at 2 and 4.
+            let outcomes = parallel_map_isolated(8, threads, |index| {
+                if index == 3 {
+                    panic!("request {index} exploded");
+                }
+                index * 10
+            });
+            for (index, outcome) in outcomes.iter().enumerate() {
+                if index == 3 {
+                    let message = outcome.as_ref().unwrap_err();
+                    assert!(message.contains("request 3 exploded"), "got {message:?}");
+                } else {
+                    assert_eq!(
+                        *outcome,
+                        Ok(index * 10),
+                        "survivor {index} under {threads} threads"
+                    );
+                }
+            }
+        }
+        set_num_threads(original);
+    }
+
+    #[test]
+    fn isolated_map_leaves_the_pool_usable_and_scopes_clean() {
+        let _guard = crate::test_sync::global_state_lock();
+        let original = num_threads();
+        set_num_threads(4);
+        // A panicking task must not leak its EngineContext onto a pool worker:
+        // the next dispatch on the same workers observes no stale override.
+        let _ = parallel_map_isolated(8, 4, |index| {
+            if index % 2 == 0 {
+                panic!("boom {index}");
+            }
+            index
+        });
+        let contexts = parallel_map_indexed(8, 4, |_| crate::context::EngineContext::current());
+        for ctx in contexts {
+            assert_eq!(ctx.algo, None, "panicked task leaked scoped state onto a worker");
+        }
+        // The pool itself still dispatches normally.
+        let mut data = vec![0u64; 256];
+        for_each_chunk(&mut data, 16, true, |i, c| c.fill(i as u64));
+        assert!(data.iter().enumerate().all(|(i, &v)| v == (i / 16) as u64));
+        set_num_threads(original);
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let caught = catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(caught), "plain str");
+        let caught = catch_unwind(|| panic!("{} {}", "formatted", 7)).unwrap_err();
+        assert_eq!(panic_message(caught), "formatted 7");
+        let caught = catch_unwind(|| std::panic::panic_any(42i32)).unwrap_err();
+        assert!(panic_message(caught).contains("non-string"));
     }
 
     #[test]

@@ -1,15 +1,21 @@
 //! Real wall-clock micro-benchmarks of the executable convolution kernels: the
 //! measured counterpart of the analytic cost model.
 //!
-//! Four groups:
+//! Six groups:
 //!
 //! * `conv2d` — the seed comparison (direct / im2col / tiled) at small resolutions,
 //!   demonstrating that the best tiling depends on the input resolution (§VI).
 //! * `engine` — the packed engine across the paper's resolution ladder 112–448:
 //!   packed GEMM vs the seed's blocked GEMM, the 1×1 fast path, the dedicated
 //!   depthwise kernel, and thread counts 1/2/N.
-//! * `winograd` — the Winograd F(2×2,3×3) arm vs the packed im2col baseline on
-//!   stride-1 3×3 layers (the PR 4 acceptance table: ≥1.5× at 224² and 448²).
+//! * `winograd` — the Winograd F(2×2,3×3) and F(4×4,3×3) arms vs the packed
+//!   im2col baseline on stride-1 3×3 layers (the PR 4 acceptance table: ≥1.5×
+//!   at 224² and 448²; PR 7 adds the α=6 transform).
+//! * `forward_prepacked` — prepacked + fused + arena execution vs the PR-4-era
+//!   reference at 224² and 448², under three-way calibrated dispatch; writes
+//!   milestone latencies to `results/forward_latency.json`.
+//! * `chained_forward` — cache-resident conv→conv chaining vs layer-at-a-time
+//!   execution of the same dispatch (the PR 7 acceptance comparison).
 //! * `resnet50_forward` — the end-to-end acceptance benchmark: a ResNet-50-style
 //!   forward at 224×224 through the engine (heuristic, measurement-calibrated,
 //!   and forced-Winograd dispatch) vs the seed's im2col path.
@@ -18,14 +24,59 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rescnn_hwsim::{CalibratedCostModel, CpuProfile, MeasuredSweepConfig, MeasuredTuner};
 use rescnn_models::{ModelKind, Network};
 use rescnn_tensor::{
-    conv2d_direct, conv2d_im2col, conv2d_tiled, conv2d_winograd_prepared, conv2d_with_algo,
-    force_conv_algo, gemm_blocked, gemm_packed, install_algo_calibration, num_threads,
-    set_num_threads, Conv2dParams, ConvAlgo, ConvShapeKey, ConvTiling, FusedActivation,
-    GemmBlocking, MatDims, Shape, Tensor, WinogradFilter,
+    conv2d_direct, conv2d_im2col, conv2d_tiled, conv2d_winograd_f4_prepared,
+    conv2d_winograd_prepared, conv2d_with_algo, force_conv_algo, gemm_blocked, gemm_packed,
+    install_algo_calibration, num_threads, set_chain_mode, set_num_threads, ChainMode,
+    Conv2dParams, ConvAlgo, ConvShapeKey, ConvTiling, FusedActivation, GemmBlocking, MatDims,
+    Shape, Tensor, WinogradFilter,
 };
 
 /// The paper's inference-resolution ladder (§IV).
 const RESOLUTION_LADDER: [usize; 4] = [112, 168, 224, 448];
+
+/// One end-to-end forward latency measurement destined for
+/// `results/forward_latency.json`.
+struct LatencyRecord {
+    milestone: &'static str,
+    resolution: usize,
+    min_ms: f64,
+}
+
+/// Minimum wall-clock milliseconds over `reps` runs (after one warm-up): the
+/// same robust estimator the measured tuner uses, at network granularity.
+fn min_ms_of(reps: usize, mut run: impl FnMut()) -> f64 {
+    run();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = std::time::Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Persists the forward-latency records as hand-formatted JSON (the vendored
+/// serde stub does not serialize collections) so milestone-over-milestone
+/// regressions are diffable in-repo.
+fn write_forward_latency(records: &[LatencyRecord]) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{ \"milestone\": \"{}\", \"resolution\": {}, \"min_ms\": {:.3} }}{sep}\n",
+            r.milestone, r.resolution, r.min_ms
+        ));
+    }
+    out.push_str("]\n");
+    let path = format!("{dir}/forward_latency.json");
+    if std::fs::write(&path, out).is_ok() {
+        println!("forward latency records written to {path}");
+    }
+}
 
 fn conv_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv2d");
@@ -161,6 +212,26 @@ fn winograd_benchmarks(c: &mut Criterion) {
                     .unwrap()
             })
         });
+        // The α=6 arm (PR 7): ≈2.25× fewer transform-domain multiplies than
+        // F(2×2) on the same shapes, within its characterized tolerance.
+        let filter_f4 = WinogradFilter::prepare_f4(&weight, &params).expect("eligible layer");
+        group.bench_with_input(BenchmarkId::new("winograd_f4", res), &res, |b, _| {
+            b.iter(|| {
+                conv2d_with_algo(&input, &weight, None, &params, ConvAlgo::WinogradF4).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("winograd_f4_prepared", res), &res, |b, _| {
+            b.iter(|| {
+                conv2d_winograd_f4_prepared(
+                    &input,
+                    &filter_f4,
+                    None,
+                    &params,
+                    FusedActivation::None,
+                )
+                .unwrap()
+            })
+        });
     }
     // Secondary shapes: the shallow stem-like 32→64 layer (short GEMM reduction —
     // winograd's weakest case) and a deep low-resolution bottleneck 3×3.
@@ -217,6 +288,10 @@ fn resnet50_forward(c: &mut Criterion) {
                 let kernel = tuner.measure_algo(layer, algo, 1);
                 calibrated.record(layer, kernel.algo, kernel.seconds);
             }
+            if tuner.admits_f4(layer) {
+                let kernel = tuner.measure_algo(layer, ConvAlgo::WinogradF4, 1);
+                calibrated.record(layer, kernel.algo, kernel.seconds);
+            }
         }
     }
     install_algo_calibration(Some(calibrated.dispatch_table()));
@@ -258,8 +333,11 @@ fn forward_prepacked(c: &mut Criterion) {
     group.sample_size(10);
     let net = Network::new(ModelKind::ResNet50, 1000, 0);
     let tuner = MeasuredTuner::new(MeasuredSweepConfig { reps: 2, ..Default::default() });
+    let mut records = Vec::new();
     for &res in &[224usize, 448] {
         // Calibrate dispatch for this resolution's shapes (the serving config).
+        // The sweep now duels all three dense arms — packed im2col, F(2×2), and
+        // (where the numerical gate admits the shape) F(4×4).
         let layers = ModelKind::ResNet50.arch(1000).conv_layers(res).expect("resnet50 layers");
         let mut calibrated = CalibratedCostModel::new(CpuProfile::host());
         let mut seen = std::collections::HashSet::new();
@@ -269,6 +347,10 @@ fn forward_prepacked(c: &mut Criterion) {
             {
                 for algo in [ConvAlgo::Im2colPacked, ConvAlgo::Winograd] {
                     let kernel = tuner.measure_algo(layer, algo, 1);
+                    calibrated.record(layer, kernel.algo, kernel.seconds);
+                }
+                if tuner.admits_f4(layer) {
+                    let kernel = tuner.measure_algo(layer, ConvAlgo::WinogradF4, 1);
                     calibrated.record(layer, kernel.algo, kernel.seconds);
                 }
             }
@@ -284,14 +366,78 @@ fn forward_prepacked(c: &mut Criterion) {
             plan.arena_bytes() as f64 / (1024.0 * 1024.0),
             plan.peak_live_bytes as f64 / (1024.0 * 1024.0),
         );
+        // Under calibrated dispatch at one thread, ChainMode::Auto chains every
+        // eligible conv→conv pair; Off is the PR-5 execution of the same plan.
         group.bench_with_input(BenchmarkId::new("prepacked", res), &res, |b, _| {
             b.iter(|| net.forward(&input).unwrap())
         });
+        set_chain_mode(ChainMode::Off);
+        group.bench_with_input(BenchmarkId::new("prepacked_unchained", res), &res, |b, _| {
+            b.iter(|| net.forward(&input).unwrap())
+        });
+        set_chain_mode(ChainMode::Auto);
         group.bench_with_input(BenchmarkId::new("reference", res), &res, |b, _| {
             b.iter(|| net.forward_reference(&input).unwrap())
         });
+
+        // Milestone records for results/forward_latency.json.
+        records.push(LatencyRecord {
+            milestone: "pr7_calibrated_chained",
+            resolution: res,
+            min_ms: min_ms_of(3, || {
+                net.forward(&input).unwrap();
+            }),
+        });
+        set_chain_mode(ChainMode::Off);
+        records.push(LatencyRecord {
+            milestone: "pr5_calibrated_unchained",
+            resolution: res,
+            min_ms: min_ms_of(3, || {
+                net.forward(&input).unwrap();
+            }),
+        });
+        set_chain_mode(ChainMode::Auto);
+        records.push(LatencyRecord {
+            milestone: "pr4_reference",
+            resolution: res,
+            min_ms: min_ms_of(1, || {
+                net.forward_reference(&input).unwrap();
+            }),
+        });
         install_algo_calibration(None);
     }
+    write_forward_latency(&records);
+    group.finish();
+    set_num_threads(original_threads);
+}
+
+/// The PR 7 chaining benchmark in isolation: every dense stride-1 3×3 layer
+/// forced through the cached Winograd path so both chain shapes engage
+/// (3×3→3×3 in basic blocks, 3×3→1×1 bottleneck drains), chained vs unchained
+/// on the same dispatch. The 448² point is the acceptance target: the chained
+/// staging keeps producer tiles cache-resident where the full 448² mid
+/// activation (≈25 MiB at 64 channels) cannot be.
+fn chained_forward(c: &mut Criterion) {
+    let original_threads = num_threads();
+    set_num_threads(1);
+    let mut group = c.benchmark_group("chained_forward");
+    group.sample_size(10);
+    let net = Network::new(ModelKind::ResNet50, 1000, 0);
+    force_conv_algo(Some(ConvAlgo::Winograd));
+    for &res in &[224usize, 448] {
+        let input = Tensor::random_uniform(Shape::chw(3, res, res), 1.0, res as u64);
+        net.warm_thread_arena(Shape::chw(3, res, res)).expect("arena plan");
+        set_chain_mode(ChainMode::Force);
+        group.bench_with_input(BenchmarkId::new("chained", res), &res, |b, _| {
+            b.iter(|| net.forward(&input).unwrap())
+        });
+        set_chain_mode(ChainMode::Off);
+        group.bench_with_input(BenchmarkId::new("unchained", res), &res, |b, _| {
+            b.iter(|| net.forward(&input).unwrap())
+        });
+        set_chain_mode(ChainMode::Auto);
+    }
+    force_conv_algo(None);
     group.finish();
     set_num_threads(original_threads);
 }
@@ -302,6 +448,7 @@ criterion_group!(
     engine_benchmarks,
     winograd_benchmarks,
     forward_prepacked,
+    chained_forward,
     resnet50_forward
 );
 criterion_main!(benches);

@@ -152,6 +152,13 @@ pub fn run_boot_sweep(config: &BootCalibrationConfig) -> Result<usize> {
                     let kernel = tuner.measure_algo(layer, algo, 1);
                     model.record(layer, kernel.algo, kernel.seconds);
                 }
+                // The α=6 arm joins the sweep only where its characterized
+                // numerical gate admits the shape (see `MeasuredSweepConfig::
+                // f4_tolerance`); rejected shapes keep the F(2×2)/im2col duel.
+                if tuner.admits_f4(layer) {
+                    let kernel = tuner.measure_algo(layer, ConvAlgo::WinogradF4, 1);
+                    model.record(layer, kernel.algo, kernel.seconds);
+                }
             }
         }
     }

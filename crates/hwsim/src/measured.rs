@@ -13,8 +13,8 @@ use serde::{Deserialize, Serialize};
 
 use rescnn_models::ConvLayerShape;
 use rescnn_tensor::{
-    conv2d_tiled, conv2d_with_algo, select_algo, ConvAlgo, ConvEpilogue, ConvTiling, EngineContext,
-    PreparedLayer, Shape, Tensor,
+    conv2d_tiled, conv2d_with_algo, select_algo, winograd_f4_unit_error, ConvAlgo, ConvEpilogue,
+    ConvTiling, EngineContext, PreparedLayer, Shape, Tensor, WINOGRAD_F4_TOLERANCE,
 };
 
 /// One wall-clock measurement of a kernel implementation on a layer shape.
@@ -31,7 +31,7 @@ pub struct MeasuredKernel {
 }
 
 /// Configuration of the measured sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MeasuredSweepConfig {
     /// Repetitions per measurement (the minimum is reported).
     pub reps: usize,
@@ -44,11 +44,24 @@ pub struct MeasuredSweepConfig {
     /// cost, matching how models execute since the `PreparedLayer` path. Set to
     /// `false` to time the legacy pack-per-call entry points instead.
     pub prepack: bool,
+    /// Numerical gate for [`ConvAlgo::WinogradF4`]: the sweep only admits the
+    /// α=6 transform for a shape when its measured unit-scale deviation from
+    /// `Im2colPacked` ([`rescnn_tensor::winograd_f4_unit_error`]) stays within
+    /// this bound, so calibration can never trade accuracy it wasn't granted
+    /// for speed. Defaults to the characterized
+    /// [`rescnn_tensor::WINOGRAD_F4_TOLERANCE`].
+    pub f4_tolerance: f32,
 }
 
 impl Default for MeasuredSweepConfig {
     fn default() -> Self {
-        MeasuredSweepConfig { reps: 3, max_threads: 1, seed: 0, prepack: true }
+        MeasuredSweepConfig {
+            reps: 3,
+            max_threads: 1,
+            seed: 0,
+            prepack: true,
+            f4_tolerance: WINOGRAD_F4_TOLERANCE,
+        }
     }
 }
 
@@ -126,6 +139,7 @@ impl MeasuredTuner {
                     | ConvAlgo::Gemm1x1
                     | ConvAlgo::Depthwise
                     | ConvAlgo::Winograd
+                    | ConvAlgo::WinogradF4
             );
         // Scoped override: the sweep's thread count never leaks into (or races
         // with) the process-wide engine configuration.
@@ -134,9 +148,11 @@ impl MeasuredTuner {
                 let prepared = PreparedLayer::new(weight, None, params).expect("valid layer shape");
                 let mut out =
                     Tensor::zeros(params.output_shape(input.shape()).expect("valid layer shape"));
+                // Build any cached filter transform outside the timed runs.
                 if algo == ConvAlgo::Winograd {
-                    // Build the cached filter transform outside the timed runs.
                     prepared.winograd_filter().expect("winograd-eligible layer");
+                } else if algo == ConvAlgo::WinogradF4 {
+                    prepared.winograd_filter_f4().expect("winograd-eligible layer");
                 }
                 self.time_runs(|| {
                     prepared
@@ -167,6 +183,9 @@ impl MeasuredTuner {
             if !algo.supports(&layer.params) {
                 continue;
             }
+            if algo == ConvAlgo::WinogradF4 && !self.admits_f4(layer) {
+                continue;
+            }
             let mut threads = 1;
             while threads <= self.config.max_threads.max(1) {
                 results.push(self.measure_algo(layer, algo, threads));
@@ -174,6 +193,16 @@ impl MeasuredTuner {
             }
         }
         results
+    }
+
+    /// Whether the numerical gate admits [`ConvAlgo::WinogradF4`] for this
+    /// layer shape: its deterministic unit-scale deviation from `Im2colPacked`
+    /// must stay within [`MeasuredSweepConfig::f4_tolerance`]. Shapes that the
+    /// probe cannot evaluate are rejected.
+    pub fn admits_f4(&self, layer: &ConvLayerShape) -> bool {
+        winograd_f4_unit_error(&layer.params, layer.input)
+            .map(|err| err <= self.config.f4_tolerance)
+            .unwrap_or(false)
     }
 
     /// Times the output-tiled kernel across tiling configurations (dense layers
@@ -254,6 +283,26 @@ mod tests {
         let best = tuner.best_kernel(&layer).unwrap();
         assert!(best.seconds > 0.0);
         assert_eq!(tuner.dispatched_algo(&layer), ConvAlgo::Im2colPacked);
+    }
+
+    #[test]
+    fn f4_gate_rejects_shapes_beyond_tolerance() {
+        let layer = small_layer();
+        // Under the characterized default the small dense stage is admitted…
+        let default_tuner = MeasuredTuner::new(MeasuredSweepConfig::default());
+        assert!(default_tuner.admits_f4(&layer), "characterized bound admits the ladder shapes");
+        // …and with the bound tightened to zero the gate must reject it (the
+        // transform genuinely reassociates, so its unit error is nonzero), and
+        // the sweep must omit the α=6 arm while keeping F(2×2) in the duel.
+        let strict = MeasuredTuner::new(MeasuredSweepConfig {
+            reps: 1,
+            f4_tolerance: 0.0,
+            ..Default::default()
+        });
+        assert!(!strict.admits_f4(&layer), "a zero tolerance must reject every real shape");
+        let swept = strict.sweep_layer(&layer, &ConvAlgo::ALL);
+        assert!(swept.iter().all(|r| r.algo != ConvAlgo::WinogradF4));
+        assert!(swept.iter().any(|r| r.algo == ConvAlgo::Winograd));
     }
 
     #[test]

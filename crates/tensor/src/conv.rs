@@ -368,17 +368,25 @@ pub enum ConvAlgo {
     /// equality with the GEMM paths is not part of the contract). See
     /// [`winograd`](crate::winograd).
     Winograd,
+    /// Engine: Winograd F(4×4, 3×3) — the α=6 minimal-filtering variant (~4× fewer
+    /// multiplies than im2col + GEMM, ~1.78× fewer than F(2×2)). Same eligibility and
+    /// determinism contract as [`ConvAlgo::Winograd`], but the larger transform
+    /// stencils loosen the elementwise agreement with [`ConvAlgo::Im2colPacked`] to
+    /// [`WINOGRAD_F4_TOLERANCE`](crate::winograd::WINOGRAD_F4_TOLERANCE) at unit
+    /// scale — calibration sweeps gate it per shape on the measured unit error.
+    WinogradF4,
 }
 
 impl ConvAlgo {
     /// Every algorithm, in sweep order.
-    pub const ALL: [ConvAlgo; 6] = [
+    pub const ALL: [ConvAlgo; 7] = [
         ConvAlgo::Direct,
         ConvAlgo::Im2col,
         ConvAlgo::Im2colPacked,
         ConvAlgo::Gemm1x1,
         ConvAlgo::Depthwise,
         ConvAlgo::Winograd,
+        ConvAlgo::WinogradF4,
     ];
 
     /// Whether this algorithm can execute the given convolution shape.
@@ -389,7 +397,9 @@ impl ConvAlgo {
             ConvAlgo::Depthwise => {
                 params.groups == params.in_channels && params.in_channels == params.out_channels
             }
-            ConvAlgo::Winograd => params.kernel == 3 && params.stride == 1 && params.groups == 1,
+            ConvAlgo::Winograd | ConvAlgo::WinogradF4 => {
+                params.kernel == 3 && params.stride == 1 && params.groups == 1
+            }
         }
     }
 
@@ -409,6 +419,7 @@ impl std::fmt::Display for ConvAlgo {
             ConvAlgo::Gemm1x1 => "gemm_1x1",
             ConvAlgo::Depthwise => "depthwise",
             ConvAlgo::Winograd => "winograd",
+            ConvAlgo::WinogradF4 => "winograd_f4",
         };
         f.write_str(name)
     }
@@ -675,6 +686,7 @@ pub fn conv2d_with_algo(
         ConvAlgo::Gemm1x1 => conv2d_gemm_1x1(input, weight, bias, params),
         ConvAlgo::Depthwise => conv2d_depthwise(input, weight, bias, params),
         ConvAlgo::Winograd => crate::winograd::conv2d_winograd(input, weight, bias, params),
+        ConvAlgo::WinogradF4 => crate::winograd::conv2d_winograd_f4(input, weight, bias, params),
     }
 }
 
@@ -747,8 +759,10 @@ pub struct PreparedLayer {
     /// Per-group prepacked GEMM left operands (`out_per_group` rows over
     /// `in_per_group * k * k`), shared by the 1×1 and packed-im2col paths.
     gemm: Vec<engine::PreparedGemmA>,
-    /// Lazily-built Winograd filter transform (eligible layers only).
+    /// Lazily-built Winograd F(2×2) filter transform (eligible layers only).
     winograd: OnceLock<WinogradFilter>,
+    /// Lazily-built Winograd F(4×4) filter transform (eligible layers only).
+    winograd_f4: OnceLock<WinogradFilter>,
 }
 
 impl PreparedLayer {
@@ -780,7 +794,14 @@ impl PreparedLayer {
                 })
                 .collect()
         };
-        Ok(PreparedLayer { params, weight, bias, gemm, winograd: OnceLock::new() })
+        Ok(PreparedLayer {
+            params,
+            weight,
+            bias,
+            gemm,
+            winograd: OnceLock::new(),
+            winograd_f4: OnceLock::new(),
+        })
     }
 
     /// The layer's convolution parameters.
@@ -796,6 +817,16 @@ impl PreparedLayer {
     /// The per-channel bias, if any.
     pub fn bias(&self) -> Option<&[f32]> {
         self.bias.as_deref()
+    }
+
+    /// The prepacked dense (single-group) GEMM left operand, if this layer
+    /// carries packed panels. Used by the chain executor's pointwise consumer.
+    pub(crate) fn dense_gemm_lhs(&self) -> Option<engine::GemmLhs<'_>> {
+        if self.params.groups == 1 {
+            self.gemm.first().map(engine::PreparedGemmA::as_lhs)
+        } else {
+            None
+        }
     }
 
     /// The cached Winograd filter transform, building it on first use.
@@ -815,11 +846,31 @@ impl PreparedLayer {
         }))
     }
 
+    /// The cached Winograd F(4×4, 3×3) filter transform, building it on first
+    /// use.
+    ///
+    /// # Errors
+    /// Returns an error if the layer is not Winograd-eligible.
+    pub fn winograd_filter_f4(&self) -> Result<&WinogradFilter> {
+        if !ConvAlgo::WinogradF4.supports(&self.params) {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![self.params.kernel, self.params.stride, self.params.groups],
+                right: vec![3, 1, 1],
+                op: "winograd_f4 requires kernel=3 stride=1 groups=1",
+            });
+        }
+        Ok(self.winograd_f4.get_or_init(|| {
+            WinogradFilter::prepare_f4(&self.weight, &self.params)
+                .expect("eligibility checked above")
+        }))
+    }
+
     /// Bytes resident beyond the raw weights (packed panels + any cached
-    /// Winograd bank).
+    /// Winograd banks).
     pub fn prepacked_bytes(&self) -> usize {
         self.gemm.iter().map(engine::PreparedGemmA::resident_bytes).sum::<usize>()
             + self.winograd.get().map_or(0, WinogradFilter::resident_bytes)
+            + self.winograd_f4.get().map_or(0, WinogradFilter::resident_bytes)
     }
 
     /// Runs the layer through dispatch with a fused epilogue, writing into a
@@ -882,6 +933,18 @@ impl PreparedLayer {
             ConvAlgo::Winograd => {
                 let filter = self.winograd_filter()?;
                 conv2d_winograd_fused_into(
+                    input,
+                    filter,
+                    bias,
+                    &self.params,
+                    epilogue.activation,
+                    epilogue.residual,
+                    out,
+                )
+            }
+            ConvAlgo::WinogradF4 => {
+                let filter = self.winograd_filter_f4()?;
+                crate::winograd::conv2d_winograd_f4_fused_into(
                     input,
                     filter,
                     bias,

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod chain;
 mod context;
 mod conv;
 pub mod engine;
@@ -77,6 +78,10 @@ mod tensor;
 pub mod winograd;
 
 pub use arena::{with_thread_arena, ActivationArena};
+pub use chain::{
+    chain_enabled, chain_mode, chain_plan, conv2d_chain_fused_into, set_chain_mode, ChainConsumer,
+    ChainMode, ChainPlan,
+};
 pub use context::EngineContext;
 pub use conv::{
     algo_calibration_generation, conv2d, conv2d_depthwise, conv2d_direct, conv2d_dispatch,
@@ -100,7 +105,9 @@ pub use parallel::{
 pub use shape::{conv_output_extent, Conv2dParams, Pool2dParams, Shape};
 pub use tensor::Tensor;
 pub use winograd::{
-    conv2d_winograd, conv2d_winograd_fused_into, conv2d_winograd_prepared, WinogradFilter,
+    conv2d_winograd, conv2d_winograd_f4, conv2d_winograd_f4_fused_into,
+    conv2d_winograd_f4_prepared, conv2d_winograd_fused_into, conv2d_winograd_prepared,
+    winograd_f4_unit_error, WinogradFilter, WINOGRAD_F4_TOLERANCE,
 };
 
 #[cfg(test)]

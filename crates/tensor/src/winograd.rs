@@ -52,9 +52,41 @@ pub use crate::engine::FusedActivation;
 /// Transform points of F(2×2, 3×3): a 4×4 grid.
 const POINTS: usize = 16;
 /// Output tile extent.
-const TILE: usize = 2;
+pub(crate) const TILE: usize = 2;
 /// Input tile extent (`TILE + kernel − 1`).
-const ALPHA: usize = 4;
+pub(crate) const ALPHA: usize = 4;
+
+/// Transform points of F(4×4, 3×3): a 6×6 grid.
+const POINTS_F4: usize = 36;
+/// Output tile extent of F(4×4, 3×3).
+pub(crate) const TILE_F4: usize = 4;
+/// Input tile extent of F(4×4, 3×3) (`TILE_F4 + kernel − 1`).
+pub(crate) const ALPHA_F4: usize = 6;
+
+/// Elementwise agreement bound for F(4×4, 3×3) against `Im2colPacked` at
+/// unit-scale activations and half-scale weights, pinned by the
+/// characterization suite across the serving-ladder layer shapes. The α=6
+/// transform's larger stencil coefficients (up to 8 in `Aᵀ`, 1/24 in `G`)
+/// legitimately amplify rounding relative to F(2×2)'s `1e-4` contract;
+/// calibration only admits `WinogradF4` for a shape when
+/// [`winograd_f4_unit_error`] stays within this bound.
+pub const WINOGRAD_F4_TOLERANCE: f32 = 2e-3;
+
+/// The F(4×4, 3×3) filter-transform stencil `G·[g0,g1,g2]ᵀ` for one column,
+/// with `G` the 6×3 matrix of Lavin & Gray:
+/// `[[1/4,0,0],[−1/6,−1/6,−1/6],[−1/6,1/6,−1/6],[1/24,1/12,1/6],
+/// [1/24,−1/12,1/6],[0,0,1]]`.
+#[inline]
+fn f4_filter_stencil(g0: f32, g1: f32, g2: f32) -> [f32; ALPHA_F4] {
+    [
+        0.25 * g0,
+        -(g0 + g1 + g2) / 6.0,
+        (g1 - g0 - g2) / 6.0,
+        g0 / 24.0 + g1 / 12.0 + g2 / 6.0,
+        g0 / 24.0 - g1 / 12.0 + g2 / 6.0,
+        g2,
+    ]
+}
 
 /// A 3×3 filter bank lifted to the 16 Winograd transform points: `U = G·g·Gᵀ`
 /// per (output channel, input channel) pair.
@@ -72,10 +104,12 @@ const ALPHA: usize = 4;
 /// chunk, every forward.
 #[derive(Debug, Clone)]
 pub struct WinogradFilter {
-    /// `[POINTS]` segments of `tiles × in_channels × MR` packed panels.
+    /// `[points]` segments of `tiles × in_channels × MR` packed panels.
     u: Vec<f32>,
     /// Elements per point segment.
     point_seg: usize,
+    /// Transform points: [`POINTS`] for F(2×2), [`POINTS_F4`] for F(4×4).
+    points: usize,
     out_channels: usize,
     in_channels: usize,
 }
@@ -127,7 +161,61 @@ impl WinogradFilter {
                 }
             }
         }
-        Ok(WinogradFilter { u, point_seg, out_channels: o, in_channels: i })
+        Ok(WinogradFilter { u, point_seg, points: POINTS, out_channels: o, in_channels: i })
+    }
+
+    /// Computes the F(4×4, 3×3) filter transform: `U = G·g·Gᵀ` with the 6×3
+    /// `G` of [`f4_filter_stencil`], lifting every kernel to 36 transform
+    /// points in the same prepacked panel layout as [`Self::prepare`]. Memory
+    /// cost is `36/9 = 4×` the original weights (vs `1.78×` for F(2×2)), paid
+    /// once per layer.
+    ///
+    /// # Errors
+    /// Returns an error if the parameters are not Winograd-eligible
+    /// (kernel 3, stride 1, dense groups) or the weight shape does not match.
+    pub fn prepare_f4(weight: &Tensor, params: &Conv2dParams) -> Result<Self> {
+        if !crate::conv::ConvAlgo::WinogradF4.supports(params) {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![params.kernel, params.stride, params.groups],
+                right: vec![3, 1, 1],
+                op: "winograd_f4 requires kernel=3 stride=1 groups=1",
+            });
+        }
+        crate::conv::validate_weight(params, weight)?;
+        let o = params.out_channels;
+        let i = params.in_channels;
+        let tiles = o.div_ceil(MR);
+        let point_seg = tiles * i * MR;
+        let mut u = vec![0.0f32; POINTS_F4 * point_seg];
+        let wdata = weight.as_slice();
+        for oc in 0..o {
+            let tile_base = (oc / MR) * (i * MR) + oc % MR;
+            for ic in 0..i {
+                let g = &wdata[(oc * i + ic) * 9..(oc * i + ic) * 9 + 9];
+                // tmp = G·g: the 6-point stencil down each of the 3 columns.
+                let mut tmp = [[0.0f32; 3]; ALPHA_F4];
+                for c in 0..3 {
+                    let col = f4_filter_stencil(g[c], g[3 + c], g[6 + c]);
+                    for r in 0..ALPHA_F4 {
+                        tmp[r][c] = col[r];
+                    }
+                }
+                // U = tmp·Gᵀ: the same stencil along each row.
+                for r in 0..ALPHA_F4 {
+                    let row = f4_filter_stencil(tmp[r][0], tmp[r][1], tmp[r][2]);
+                    for (c, &value) in row.iter().enumerate() {
+                        u[(r * ALPHA_F4 + c) * point_seg + tile_base + ic * MR] = value;
+                    }
+                }
+            }
+        }
+        Ok(WinogradFilter { u, point_seg, points: POINTS_F4, out_channels: o, in_channels: i })
+    }
+
+    /// Whether this bank holds the 36-point F(4×4, 3×3) transform (as opposed
+    /// to the 16-point F(2×2, 3×3) one).
+    pub fn is_f4(&self) -> bool {
+        self.points == POINTS_F4
     }
 
     /// Output channels of the transformed filter bank.
@@ -143,6 +231,17 @@ impl WinogradFilter {
     /// Bytes resident in the packed transform bank.
     pub fn resident_bytes(&self) -> usize {
         self.u.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The packed per-point panel buffer (for the crate-internal chain
+    /// executor, which drives [`WinogradPass`] directly).
+    pub(crate) fn u(&self) -> &[f32] {
+        &self.u
+    }
+
+    /// Elements per point segment of [`WinogradFilter::u`].
+    pub(crate) fn point_seg(&self) -> usize {
+        self.point_seg
     }
 }
 
@@ -206,14 +305,74 @@ fn emit_interleaved(
     }
 }
 
+/// [`emit_output_row`] for F(4×4, 3×3): interleaves the four stencil-output
+/// lanes of `y` (`TILE_F4` slices of `tiles_w` each) into one output row,
+/// adding the bias, the optional residual row, and the fused activation; a
+/// partial tail tile (`ow % 4 ≠ 0`) takes its leading lanes only.
+#[inline]
+fn emit_output_row_f4(
+    out_row: &mut [f32],
+    y: &[f32],
+    tiles_w: usize,
+    bias: f32,
+    skip: Option<&[f32]>,
+    act: FusedActivation,
+) {
+    let lanes: [&[f32]; TILE_F4] = std::array::from_fn(|l| &y[l * tiles_w..(l + 1) * tiles_w]);
+    match act {
+        FusedActivation::None => emit_interleaved_f4(out_row, &lanes, bias, skip, |v| v),
+        FusedActivation::Relu => emit_interleaved_f4(out_row, &lanes, bias, skip, |v| v.max(0.0)),
+        FusedActivation::Relu6 => {
+            emit_interleaved_f4(out_row, &lanes, bias, skip, |v| v.clamp(0.0, 6.0))
+        }
+    }
+}
+
+#[inline]
+fn emit_interleaved_f4(
+    out_row: &mut [f32],
+    lanes: &[&[f32]; TILE_F4],
+    bias: f32,
+    skip: Option<&[f32]>,
+    act: impl Fn(f32) -> f32,
+) {
+    let full = out_row.len() / TILE_F4;
+    let (quads, tail) = out_row.split_at_mut(full * TILE_F4);
+    match skip {
+        Some(skip) => {
+            let (skip_quads, skip_tail) = skip.split_at(full * TILE_F4);
+            for (t, (quad, sq)) in
+                quads.chunks_exact_mut(TILE_F4).zip(skip_quads.chunks_exact(TILE_F4)).enumerate()
+            {
+                for (l, (d, &s)) in quad.iter_mut().zip(sq).enumerate() {
+                    *d = act(lanes[l][t] + bias + s);
+                }
+            }
+            for (l, (d, &s)) in tail.iter_mut().zip(skip_tail).enumerate() {
+                *d = act(lanes[l][full] + bias + s);
+            }
+        }
+        None => {
+            for (t, quad) in quads.chunks_exact_mut(TILE_F4).enumerate() {
+                for (l, d) in quad.iter_mut().enumerate() {
+                    *d = act(lanes[l][t] + bias);
+                }
+            }
+            for (l, d) in tail.iter_mut().enumerate() {
+                *d = act(lanes[l][full] + bias);
+            }
+        }
+    }
+}
+
 /// A raw output pointer that may cross thread boundaries; the tile-row chunk
 /// decomposition guarantees tasks write pairwise-disjoint elements.
-struct OutPtr(*mut f32);
+pub(crate) struct OutPtr(pub(crate) *mut f32);
 
 impl OutPtr {
     /// Accessor (rather than direct field use) so closures capture the wrapper,
     /// keeping them `Sync`.
-    fn get(&self) -> *mut f32 {
+    pub(crate) fn get(&self) -> *mut f32 {
         self.0
     }
 }
@@ -234,9 +393,17 @@ const TARGET_CHUNK_TILES: usize = 224;
 /// twice the engine's B-panel budget for very deep layers. A pure function of
 /// the layer shape (never of the thread count), which keeps the decomposition —
 /// and therefore the results — identical for every worker configuration.
-fn chunk_tile_rows(in_channels: usize, tiles_w: usize, tiles_h: usize) -> usize {
+pub(crate) fn chunk_tile_rows(in_channels: usize, tiles_w: usize, tiles_h: usize) -> usize {
     let tiles_w = tiles_w.max(1);
     let rows_cap = (2 * engine::MAX_B_PANEL_ELEMS / (POINTS * in_channels * tiles_w)).max(1);
+    (TARGET_CHUNK_TILES / tiles_w).clamp(1, rows_cap).min(tiles_h)
+}
+
+/// [`chunk_tile_rows`] for the 36-point F(4×4, 3×3) decomposition: same
+/// target and packed-`V` cap, with the footprint scaled by `POINTS_F4`.
+pub(crate) fn chunk_tile_rows_f4(in_channels: usize, tiles_w: usize, tiles_h: usize) -> usize {
+    let tiles_w = tiles_w.max(1);
+    let rows_cap = (2 * engine::MAX_B_PANEL_ELEMS / (POINTS_F4 * in_channels * tiles_w)).max(1);
     (TARGET_CHUNK_TILES / tiles_w).clamp(1, rows_cap).min(tiles_h)
 }
 
@@ -293,6 +460,63 @@ fn scatter_stencil_rows(
     }
 }
 
+/// [`scatter_stencil_rows`] for F(4×4, 3×3): writes the six `z·B` stencil
+/// lanes of one `Bᵀ` row (transform points `6r + 0..6`) into their packed-`V`
+/// segments. Tiles advance by four staged columns, so tile `t`'s six stencil
+/// inputs are `z[4t..4t+6]` read directly — no even/odd deinterleave — and the
+/// lanes mirror the `Bᵀ` row stencils: `v₀ = 4x₀−5x₂+x₄`,
+/// `v₁ = (x₃+x₄)−4(x₁+x₂)`, `v₂ = 4(x₁−x₂)+(x₄−x₃)`, `v₃ = (x₄−x₂)+2(x₃−x₁)`,
+/// `v₄ = (x₄−x₂)−2(x₃−x₁)`, `v₅ = 4x₁−5x₃+x₅`.
+#[allow(clippy::too_many_arguments)]
+fn scatter_stencil_rows_f4(
+    vpack: &mut [f32],
+    vseg: usize,
+    in_ch: usize,
+    ic: usize,
+    point_base: usize,
+    j0: usize,
+    tiles_w: usize,
+    z: &[f32],
+) {
+    assert!(z.len() >= 4 * tiles_w + 2);
+    let last_panel = (j0 + tiles_w - 1) / NR;
+    assert!((point_base + 5) * vseg + last_panel * (in_ch * NR) + ic * NR + NR <= vpack.len());
+    let base = vpack.as_mut_ptr();
+    let zp = z.as_ptr();
+    let mut tw = 0;
+    while tw < tiles_w {
+        let j = j0 + tw;
+        let lane = j % NR;
+        let run = (NR - lane).min(tiles_w - tw);
+        let panel_off = (j / NR) * (in_ch * NR) + ic * NR + lane;
+        // Safety: the assertions above bound every `dN.add(i)` for i < run and
+        // every `zp.add(4·(tw+i) + 5)`; the six destinations are disjoint
+        // (distinct `vseg` segments).
+        unsafe {
+            let d0 = base.add(point_base * vseg + panel_off);
+            let d1 = base.add((point_base + 1) * vseg + panel_off);
+            let d2 = base.add((point_base + 2) * vseg + panel_off);
+            let d3 = base.add((point_base + 3) * vseg + panel_off);
+            let d4 = base.add((point_base + 4) * vseg + panel_off);
+            let d5 = base.add((point_base + 5) * vseg + panel_off);
+            for i in 0..run {
+                let s = zp.add(4 * (tw + i));
+                let (x0, x1, x2) = (*s, *s.add(1), *s.add(2));
+                let (x3, x4, x5) = (*s.add(3), *s.add(4), *s.add(5));
+                let a42 = x4 - x2;
+                let b31 = 2.0 * (x3 - x1);
+                *d0.add(i) = 4.0 * x0 - 5.0 * x2 + x4;
+                *d1.add(i) = (x3 + x4) - 4.0 * (x1 + x2);
+                *d2.add(i) = 4.0 * (x1 - x2) + (x4 - x3);
+                *d3.add(i) = a42 + b31;
+                *d4.add(i) = a42 - b31;
+                *d5.add(i) = 4.0 * x1 - 5.0 * x3 + x5;
+            }
+        }
+        tw += run;
+    }
+}
+
 /// Winograd F(2×2, 3×3) convolution against a pre-transformed filter bank, with
 /// the bias and an optional activation fused into the output transform.
 ///
@@ -338,6 +562,31 @@ pub fn conv2d_winograd_fused_into(
     residual: Option<&Tensor>,
     out: &mut Tensor,
 ) -> Result<()> {
+    winograd_fused_into_any(input, filter, bias, params, activation, residual, out, false)
+}
+
+/// Shared validated driver for both transform sizes: builds one
+/// [`WinogradPass`] per sample over the full (unrung) input/output tensors and
+/// fans its tile-row chunks out on the worker pool.
+#[allow(clippy::too_many_arguments)]
+fn winograd_fused_into_any(
+    input: &Tensor,
+    filter: &WinogradFilter,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    activation: FusedActivation,
+    residual: Option<&Tensor>,
+    out: &mut Tensor,
+    f4: bool,
+) -> Result<()> {
+    let expected_points = if f4 { POINTS_F4 } else { POINTS };
+    if filter.points != expected_points {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![filter.points],
+            right: vec![expected_points],
+            op: "winograd filter transform points",
+        });
+    }
     if !crate::conv::ConvAlgo::Winograd.supports(params) {
         return Err(TensorError::ShapeMismatch {
             left: vec![params.kernel, params.stride, params.groups],
@@ -375,204 +624,476 @@ pub fn conv2d_winograd_fused_into(
 
     let in_ch = params.in_channels;
     let out_ch = params.out_channels;
-    let pad = params.padding as isize;
-    let pad_cols = params.padding;
-    let ih_extent = ishape.h as isize;
     let (oh, ow) = (oshape.h, oshape.w);
-    let tiles_h = oh.div_ceil(TILE);
-    let tiles_w = ow.div_ceil(TILE);
-    let rows_per_chunk = chunk_tile_rows(in_ch, tiles_w, tiles_h);
+    let tile = if f4 { TILE_F4 } else { TILE };
+    let tiles_h = oh.div_ceil(tile);
+    let tiles_w = ow.div_ceil(tile);
+    let rows_per_chunk = if f4 {
+        chunk_tile_rows_f4(in_ch, tiles_w, tiles_h)
+    } else {
+        chunk_tile_rows(in_ch, tiles_w, tiles_h)
+    };
     let n_chunks = tiles_h.div_ceil(rows_per_chunk);
     let parallel = params.macs(ishape).unwrap_or(0) >= engine::PARALLEL_MIN_MACS;
 
-    let u = &filter.u[..];
-    let point_seg = filter.point_seg;
-    let out_ptr = OutPtr(out.as_mut_slice().as_mut_ptr());
+    let in_plane = in_ch * ishape.h * ishape.w;
+    let out_plane = out_ch * oh * ow;
+    let in_all = input.as_slice();
+    let out_base = out.as_mut_slice().as_mut_ptr();
     for n in 0..ishape.n {
+        let pass = WinogradPass {
+            u: &filter.u,
+            point_seg: filter.point_seg,
+            in_ch,
+            out_ch,
+            pad: params.padding,
+            in_data: &in_all[n * in_plane..(n + 1) * in_plane],
+            in_rows: ishape.h,
+            ih: ishape.h,
+            iw: ishape.w,
+            // Safety: per-sample base pointer; chunks own disjoint tile-row
+            // ranges of it (see `OutPtr`).
+            out: OutPtr(unsafe { out_base.add(n * out_plane) }),
+            out_rows: oh,
+            oh,
+            ow,
+            tiles_w,
+            bias,
+            residual: residual.map(|s| &s[n * out_plane..(n + 1) * out_plane]),
+            activation,
+        };
         parallel::for_each_task(n_chunks, parallel && n_chunks > 1, |chunk| {
             let tr0 = chunk * rows_per_chunk;
             let tr1 = (tr0 + rows_per_chunk).min(tiles_h);
-            let p = (tr1 - tr0) * tiles_w;
-            let panels = p.div_ceil(NR);
-            let vseg = panels * in_ch * NR;
-            let mut vpack = scratch::take_uninit(POINTS * vseg);
-
-            // --- Input transform: V = Bᵀ·d·B, written straight into the 16
-            // packed-B segments (tile j is column j of every point's GEMM). The
-            // per-tile 4×4 transform is restructured as whole-tile-row slice
-            // arithmetic so every inner loop is a contiguous vectorizable sweep:
-            // stage the four (zero-padded) input rows, combine them into the four
-            // Bᵀ rows with even/odd columns split as they are produced, then each
-            // transform point is a two-term stencil over those arrays. ---
-            let wz = 2 * (tiles_w + 1);
-            let half = tiles_w + 1;
-            let mut stage = scratch::take_uninit(4 * wz + 8 * half);
-            for ic in 0..in_ch {
-                let plane = input.plane(n, ic);
-                for tr in tr0..tr1 {
-                    let ih0 = (tr * TILE) as isize - pad;
-                    let (rbuf, eo) = stage.split_at_mut(4 * wz);
-                    // Padded input rows: rbuf[r][x] = input(ih0 + r, x − pad), 0 outside.
-                    for r in 0..ALPHA {
-                        let row = &mut rbuf[r * wz..(r + 1) * wz];
-                        let ih = ih0 + r as isize;
-                        if ih < 0 || ih >= ih_extent {
-                            row.fill(0.0);
-                            continue;
-                        }
-                        let src = &plane[ih as usize * ishape.w..(ih as usize + 1) * ishape.w];
-                        let x0 = pad_cols.min(wz);
-                        let x1 = (pad_cols + ishape.w).min(wz);
-                        row[..x0].fill(0.0);
-                        row[x0..x1].copy_from_slice(&src[..x1 - x0]);
-                        row[x1..].fill(0.0);
-                    }
-                    // z = Bᵀ·d, with Bᵀ = [[1,0,−1,0],[0,1,1,0],[0,−1,1,0],[0,1,0,−1]]:
-                    // four elementwise row combinations, deinterleaved into even/odd
-                    // columns as they are produced so tile t's four stencil inputs
-                    // are `even[t], odd[t], even[t+1], odd[t+1]` — all unit-stride.
-                    {
-                        let (r0, r123) = rbuf.split_at(wz);
-                        let (r1, r23) = r123.split_at(wz);
-                        let (r2, r3) = r23.split_at(wz);
-                        let mut rows = eo.chunks_exact_mut(half);
-                        let mut combine = |a: &[f32], b: &[f32], sum: bool| {
-                            let even = rows.next().expect("eo holds 8 half-rows");
-                            let odd = rows.next().expect("eo holds 8 half-rows");
-                            let lanes = even.iter_mut().zip(odd.iter_mut());
-                            for (((e, o), pa), pb) in
-                                lanes.zip(a.chunks_exact(2)).zip(b.chunks_exact(2))
-                            {
-                                if sum {
-                                    *e = pa[0] + pb[0];
-                                    *o = pa[1] + pb[1];
-                                } else {
-                                    *e = pa[0] - pb[0];
-                                    *o = pa[1] - pb[1];
-                                }
-                            }
-                        };
-                        combine(r0, r2, false); // z₀ = d₀ − d₂
-                        combine(r1, r2, true); // z₁ = d₁ + d₂
-                        combine(r2, r1, false); // z₂ = d₂ − d₁
-                        combine(r1, r3, false); // z₃ = d₁ − d₃
-                    }
-                    // V = z·B per row: two-term stencils into the packed segments.
-                    let j0 = (tr - tr0) * tiles_w;
-                    for r in 0..ALPHA {
-                        let even = &eo[2 * r * half..2 * r * half + half];
-                        let odd = &eo[(2 * r + 1) * half..(2 * r + 1) * half + half];
-                        scatter_stencil_rows(
-                            &mut vpack,
-                            vseg,
-                            in_ch,
-                            ic,
-                            r * ALPHA,
-                            j0,
-                            tiles_w,
-                            even,
-                            odd,
-                        );
-                    }
-                }
+            if f4 {
+                pass.run_chunk_f4(tr0, tr1);
+            } else {
+                pass.run_chunk_f2(tr0, tr1);
             }
-            scratch::give(stage);
-
-            // --- Per-point channel reduction: M(t) = U(t) · V(t), one packed GEMM
-            // per transform point (serial within the task; parallelism lives at the
-            // chunk level). U arrives prepacked in the filter bank, so the GEMMs
-            // consume it directly — no per-chunk repacking of the weights. ---
-            let mut mbuf = scratch::take_uninit(POINTS * out_ch * p);
-            for t in 0..POINTS {
-                engine::packed_gemm_strided(
-                    GemmLhs::Packed { panels: &u[t * point_seg..(t + 1) * point_seg], k: in_ch },
-                    0,
-                    out_ch,
-                    in_ch,
-                    &vpack[t * vseg..(t + 1) * vseg],
-                    p,
-                    &mut mbuf[t * out_ch * p..(t + 1) * out_ch * p],
-                    p,
-                    0,
-                    WriteMode::Overwrite { epilogue: Epilogue::with_bias(None) },
-                );
-            }
-
-            // --- Output transform: Y = Aᵀ·M·A + bias, activation fused, written
-            // into this chunk's output rows of every channel plane. Like the input
-            // transform, the per-tile 2×4 / 2×2 products are restructured as
-            // whole-tile-row slice sweeps over the 16 contiguous `M` streams.
-            // Safety: chunks own disjoint tile-row ranges, so all writes are
-            // pairwise disjoint and in-bounds. ---
-            let base_ptr = out_ptr.get();
-            let mut obuf = scratch::take_uninit(12 * tiles_w);
-            for c_out in 0..out_ch {
-                let bias_v = bias.map_or(0.0, |b| b[c_out]);
-                let plane_base = (n * out_ch + c_out) * oh * ow;
-                let mrows: [&[f32]; POINTS] = std::array::from_fn(|t| {
-                    &mbuf[t * out_ch * p + c_out * p..t * out_ch * p + (c_out + 1) * p]
-                });
-                for tr in tr0..tr1 {
-                    let jr = (tr - tr0) * tiles_w..(tr - tr0 + 1) * tiles_w;
-                    let (tt, y) = obuf.split_at_mut(8 * tiles_w);
-                    // tt = Aᵀ·M, with Aᵀ = [[1,1,1,0],[0,1,−1,−1]]: per transform
-                    // column c, two three-term elementwise combinations.
-                    for c in 0..ALPHA {
-                        let s0 = &mrows[c][jr.clone()];
-                        let s1 = &mrows[ALPHA + c][jr.clone()];
-                        let s2 = &mrows[2 * ALPHA + c][jr.clone()];
-                        let s3 = &mrows[3 * ALPHA + c][jr.clone()];
-                        let dst = &mut tt[c * tiles_w..(c + 1) * tiles_w];
-                        for (((d, &a), &b), &e) in dst.iter_mut().zip(s0).zip(s1).zip(s2) {
-                            *d = a + b + e;
-                        }
-                        let dst = &mut tt[(ALPHA + c) * tiles_w..(ALPHA + c + 1) * tiles_w];
-                        for (((d, &a), &b), &e) in dst.iter_mut().zip(s1).zip(s2).zip(s3) {
-                            *d = a - b - e;
-                        }
-                    }
-                    // Y = tt·A: fold the four columns into the 2×2 output lanes.
-                    for half_row in 0..TILE {
-                        let t0 =
-                            &tt[(half_row * ALPHA) * tiles_w..(half_row * ALPHA + 1) * tiles_w];
-                        let t1 =
-                            &tt[(half_row * ALPHA + 1) * tiles_w..(half_row * ALPHA + 2) * tiles_w];
-                        let t2 =
-                            &tt[(half_row * ALPHA + 2) * tiles_w..(half_row * ALPHA + 3) * tiles_w];
-                        let t3 =
-                            &tt[(half_row * ALPHA + 3) * tiles_w..(half_row * ALPHA + 4) * tiles_w];
-                        let (ya, yb) = y[2 * half_row * tiles_w..(2 * half_row + 2) * tiles_w]
-                            .split_at_mut(tiles_w);
-                        for (((d, &a), &b), &e) in ya.iter_mut().zip(t0).zip(t1).zip(t2) {
-                            *d = a + b + e;
-                        }
-                        for (((d, &a), &b), &e) in yb.iter_mut().zip(t1).zip(t2).zip(t3) {
-                            *d = a - b - e;
-                        }
-                    }
-                    let oh0 = tr * TILE;
-                    for half_row in 0..TILE {
-                        if oh0 + half_row >= oh {
-                            break;
-                        }
-                        let row_start = plane_base + (oh0 + half_row) * ow;
-                        // Safety: rows [tr0*2, tr1*2) of every plane belong
-                        // exclusively to this task (see above).
-                        let out_row =
-                            unsafe { std::slice::from_raw_parts_mut(base_ptr.add(row_start), ow) };
-                        let ya = &y[2 * half_row * tiles_w..(2 * half_row + 1) * tiles_w];
-                        let yb = &y[(2 * half_row + 1) * tiles_w..(2 * half_row + 2) * tiles_w];
-                        let skip_row = residual.map(|s| &s[row_start..row_start + ow]);
-                        emit_output_row(out_row, ya, yb, bias_v, skip_row, activation);
-                    }
-                }
-            }
-            scratch::give(obuf);
-            scratch::give(mbuf);
-            scratch::give(vpack);
         });
     }
     Ok(())
+}
+
+/// One sample's Winograd execution context: the transform bank plus row views
+/// of the input and output planes. Logical row `r` of a channel plane lives at
+/// slot `r % in_rows` (respectively `r % out_rows`) — the identity mapping for
+/// full tensors, a ring for the layer-chain executor's halo bands
+/// ([`crate::chain`]). `run_chunk_f2`/`run_chunk_f4` execute one tile-row
+/// chunk; chunk decomposition and threading belong to the caller, and chunks
+/// write pairwise-disjoint output rows.
+pub(crate) struct WinogradPass<'a> {
+    /// Prepacked transform bank segments (`WinogradFilter::u`).
+    pub(crate) u: &'a [f32],
+    /// Elements per transform-point segment of `u`.
+    pub(crate) point_seg: usize,
+    pub(crate) in_ch: usize,
+    pub(crate) out_ch: usize,
+    pub(crate) pad: usize,
+    /// Input view: `in_ch` planes of `in_rows × iw`.
+    pub(crate) in_data: &'a [f32],
+    /// Ring capacity of the input view (== logical height when unrung).
+    pub(crate) in_rows: usize,
+    /// Logical input height (padding bounds).
+    pub(crate) ih: usize,
+    pub(crate) iw: usize,
+    /// Output view base: `out_ch` planes of `out_rows × ow`.
+    pub(crate) out: OutPtr,
+    /// Ring capacity of the output view (== `oh` when unrung).
+    pub(crate) out_rows: usize,
+    /// Logical output height.
+    pub(crate) oh: usize,
+    pub(crate) ow: usize,
+    pub(crate) tiles_w: usize,
+    pub(crate) bias: Option<&'a [f32]>,
+    /// Full-plane residual indexed by logical row; requires an unrung output.
+    pub(crate) residual: Option<&'a [f32]>,
+    pub(crate) activation: FusedActivation,
+}
+
+impl WinogradPass<'_> {
+    /// Dispatches to [`WinogradPass::run_chunk_f4`] or
+    /// [`WinogradPass::run_chunk_f2`] — the chain executor drives both variants
+    /// through one code path.
+    pub(crate) fn run_chunk_f2_or_f4(&self, f4: bool, tr0: usize, tr1: usize) {
+        if f4 {
+            self.run_chunk_f4(tr0, tr1);
+        } else {
+            self.run_chunk_f2(tr0, tr1);
+        }
+    }
+
+    /// Executes tile rows `[tr0, tr1)` of the F(2×2, 3×3) pipeline: input
+    /// transform into packed-B segments, one GEMM per transform point, fused
+    /// inverse transform into the output view.
+    pub(crate) fn run_chunk_f2(&self, tr0: usize, tr1: usize) {
+        debug_assert!(
+            self.residual.is_none() || self.out_rows == self.oh,
+            "residual fusion requires an unrung output view"
+        );
+        let (in_ch, out_ch, tiles_w) = (self.in_ch, self.out_ch, self.tiles_w);
+        let (u, point_seg) = (self.u, self.point_seg);
+        let (bias, residual, activation) = (self.bias, self.residual, self.activation);
+        let pad = self.pad as isize;
+        let pad_cols = self.pad;
+        let ih_extent = self.ih as isize;
+        let (oh, ow) = (self.oh, self.ow);
+        let p = (tr1 - tr0) * tiles_w;
+        let panels = p.div_ceil(NR);
+        let vseg = panels * in_ch * NR;
+        let mut vpack = scratch::take_uninit(POINTS * vseg);
+
+        // --- Input transform: V = Bᵀ·d·B, written straight into the 16
+        // packed-B segments (tile j is column j of every point's GEMM). The
+        // per-tile 4×4 transform is restructured as whole-tile-row slice
+        // arithmetic so every inner loop is a contiguous vectorizable sweep:
+        // stage the four (zero-padded) input rows, combine them into the four
+        // Bᵀ rows with even/odd columns split as they are produced, then each
+        // transform point is a two-term stencil over those arrays. ---
+        let wz = 2 * (tiles_w + 1);
+        let half = tiles_w + 1;
+        let mut stage = scratch::take_uninit(4 * wz + 8 * half);
+        for ic in 0..in_ch {
+            let plane =
+                &self.in_data[ic * self.in_rows * self.iw..(ic + 1) * self.in_rows * self.iw];
+            for tr in tr0..tr1 {
+                let ih0 = (tr * TILE) as isize - pad;
+                let (rbuf, eo) = stage.split_at_mut(4 * wz);
+                // Padded input rows: rbuf[r][x] = input(ih0 + r, x − pad), 0 outside.
+                for r in 0..ALPHA {
+                    let row = &mut rbuf[r * wz..(r + 1) * wz];
+                    let ih = ih0 + r as isize;
+                    if ih < 0 || ih >= ih_extent {
+                        row.fill(0.0);
+                        continue;
+                    }
+                    let slot = ih as usize % self.in_rows;
+                    let src = &plane[slot * self.iw..(slot + 1) * self.iw];
+                    let x0 = pad_cols.min(wz);
+                    let x1 = (pad_cols + self.iw).min(wz);
+                    row[..x0].fill(0.0);
+                    row[x0..x1].copy_from_slice(&src[..x1 - x0]);
+                    row[x1..].fill(0.0);
+                }
+                // z = Bᵀ·d, with Bᵀ = [[1,0,−1,0],[0,1,1,0],[0,−1,1,0],[0,1,0,−1]]:
+                // four elementwise row combinations, deinterleaved into even/odd
+                // columns as they are produced so tile t's four stencil inputs
+                // are `even[t], odd[t], even[t+1], odd[t+1]` — all unit-stride.
+                {
+                    let (r0, r123) = rbuf.split_at(wz);
+                    let (r1, r23) = r123.split_at(wz);
+                    let (r2, r3) = r23.split_at(wz);
+                    let mut rows = eo.chunks_exact_mut(half);
+                    let mut combine = |a: &[f32], b: &[f32], sum: bool| {
+                        let even = rows.next().expect("eo holds 8 half-rows");
+                        let odd = rows.next().expect("eo holds 8 half-rows");
+                        let lanes = even.iter_mut().zip(odd.iter_mut());
+                        for (((e, o), pa), pb) in
+                            lanes.zip(a.chunks_exact(2)).zip(b.chunks_exact(2))
+                        {
+                            if sum {
+                                *e = pa[0] + pb[0];
+                                *o = pa[1] + pb[1];
+                            } else {
+                                *e = pa[0] - pb[0];
+                                *o = pa[1] - pb[1];
+                            }
+                        }
+                    };
+                    combine(r0, r2, false); // z₀ = d₀ − d₂
+                    combine(r1, r2, true); // z₁ = d₁ + d₂
+                    combine(r2, r1, false); // z₂ = d₂ − d₁
+                    combine(r1, r3, false); // z₃ = d₁ − d₃
+                }
+                // V = z·B per row: two-term stencils into the packed segments.
+                let j0 = (tr - tr0) * tiles_w;
+                for r in 0..ALPHA {
+                    let even = &eo[2 * r * half..2 * r * half + half];
+                    let odd = &eo[(2 * r + 1) * half..(2 * r + 1) * half + half];
+                    scatter_stencil_rows(
+                        &mut vpack,
+                        vseg,
+                        in_ch,
+                        ic,
+                        r * ALPHA,
+                        j0,
+                        tiles_w,
+                        even,
+                        odd,
+                    );
+                }
+            }
+        }
+        scratch::give(stage);
+
+        // --- Per-point channel reduction: M(t) = U(t) · V(t), one packed GEMM
+        // per transform point (serial within the task; parallelism lives at the
+        // chunk level). U arrives prepacked in the filter bank, so the GEMMs
+        // consume it directly — no per-chunk repacking of the weights. ---
+        let mut mbuf = scratch::take_uninit(POINTS * out_ch * p);
+        for t in 0..POINTS {
+            engine::packed_gemm_strided(
+                GemmLhs::Packed { panels: &u[t * point_seg..(t + 1) * point_seg], k: in_ch },
+                0,
+                out_ch,
+                in_ch,
+                &vpack[t * vseg..(t + 1) * vseg],
+                p,
+                &mut mbuf[t * out_ch * p..(t + 1) * out_ch * p],
+                p,
+                0,
+                WriteMode::Overwrite { epilogue: Epilogue::with_bias(None) },
+            );
+        }
+
+        // --- Output transform: Y = Aᵀ·M·A + bias, activation fused, written
+        // into this chunk's output rows of every channel plane. Like the input
+        // transform, the per-tile 2×4 / 2×2 products are restructured as
+        // whole-tile-row slice sweeps over the 16 contiguous `M` streams.
+        // Safety: chunks own disjoint tile-row ranges, so all writes are
+        // pairwise disjoint and in-bounds. ---
+        let base_ptr = self.out.get();
+        let mut obuf = scratch::take_uninit(12 * tiles_w);
+        for c_out in 0..out_ch {
+            let bias_v = bias.map_or(0.0, |b| b[c_out]);
+            let plane_base = c_out * self.out_rows * ow;
+            let mrows: [&[f32]; POINTS] = std::array::from_fn(|t| {
+                &mbuf[t * out_ch * p + c_out * p..t * out_ch * p + (c_out + 1) * p]
+            });
+            for tr in tr0..tr1 {
+                let jr = (tr - tr0) * tiles_w..(tr - tr0 + 1) * tiles_w;
+                let (tt, y) = obuf.split_at_mut(8 * tiles_w);
+                // tt = Aᵀ·M, with Aᵀ = [[1,1,1,0],[0,1,−1,−1]]: per transform
+                // column c, two three-term elementwise combinations.
+                for c in 0..ALPHA {
+                    let s0 = &mrows[c][jr.clone()];
+                    let s1 = &mrows[ALPHA + c][jr.clone()];
+                    let s2 = &mrows[2 * ALPHA + c][jr.clone()];
+                    let s3 = &mrows[3 * ALPHA + c][jr.clone()];
+                    let dst = &mut tt[c * tiles_w..(c + 1) * tiles_w];
+                    for (((d, &a), &b), &e) in dst.iter_mut().zip(s0).zip(s1).zip(s2) {
+                        *d = a + b + e;
+                    }
+                    let dst = &mut tt[(ALPHA + c) * tiles_w..(ALPHA + c + 1) * tiles_w];
+                    for (((d, &a), &b), &e) in dst.iter_mut().zip(s1).zip(s2).zip(s3) {
+                        *d = a - b - e;
+                    }
+                }
+                // Y = tt·A: fold the four columns into the 2×2 output lanes.
+                for half_row in 0..TILE {
+                    let t0 = &tt[(half_row * ALPHA) * tiles_w..(half_row * ALPHA + 1) * tiles_w];
+                    let t1 =
+                        &tt[(half_row * ALPHA + 1) * tiles_w..(half_row * ALPHA + 2) * tiles_w];
+                    let t2 =
+                        &tt[(half_row * ALPHA + 2) * tiles_w..(half_row * ALPHA + 3) * tiles_w];
+                    let t3 =
+                        &tt[(half_row * ALPHA + 3) * tiles_w..(half_row * ALPHA + 4) * tiles_w];
+                    let (ya, yb) = y[2 * half_row * tiles_w..(2 * half_row + 2) * tiles_w]
+                        .split_at_mut(tiles_w);
+                    for (((d, &a), &b), &e) in ya.iter_mut().zip(t0).zip(t1).zip(t2) {
+                        *d = a + b + e;
+                    }
+                    for (((d, &a), &b), &e) in yb.iter_mut().zip(t1).zip(t2).zip(t3) {
+                        *d = a - b - e;
+                    }
+                }
+                let oh0 = tr * TILE;
+                for half_row in 0..TILE {
+                    if oh0 + half_row >= oh {
+                        break;
+                    }
+                    let row = oh0 + half_row;
+                    let row_start = plane_base + (row % self.out_rows) * ow;
+                    // Safety: rows [tr0*2, tr1*2) of every plane belong
+                    // exclusively to this task (see above).
+                    let out_row =
+                        unsafe { std::slice::from_raw_parts_mut(base_ptr.add(row_start), ow) };
+                    let ya = &y[2 * half_row * tiles_w..(2 * half_row + 1) * tiles_w];
+                    let yb = &y[(2 * half_row + 1) * tiles_w..(2 * half_row + 2) * tiles_w];
+                    let skip_row =
+                        residual.map(|s| &s[(c_out * oh + row) * ow..(c_out * oh + row + 1) * ow]);
+                    emit_output_row(out_row, ya, yb, bias_v, skip_row, activation);
+                }
+            }
+        }
+        scratch::give(obuf);
+        scratch::give(mbuf);
+        scratch::give(vpack);
+    }
+
+    /// Executes tile rows `[tr0, tr1)` of the F(4×4, 3×3) pipeline. Same
+    /// structure as [`Self::run_chunk_f2`] with the α=6 transforms: `Bᵀ`/`Aᵀ`
+    /// have six/four rows, tiles advance by four columns (no even/odd
+    /// deinterleave — tile `t` reads staged columns `4t..4t+6` directly), and
+    /// each tile row feeds 36 packed-B segments.
+    pub(crate) fn run_chunk_f4(&self, tr0: usize, tr1: usize) {
+        debug_assert!(
+            self.residual.is_none() || self.out_rows == self.oh,
+            "residual fusion requires an unrung output view"
+        );
+        let (in_ch, out_ch, tiles_w) = (self.in_ch, self.out_ch, self.tiles_w);
+        let (u, point_seg) = (self.u, self.point_seg);
+        let (bias, residual, activation) = (self.bias, self.residual, self.activation);
+        let pad = self.pad as isize;
+        let pad_cols = self.pad;
+        let ih_extent = self.ih as isize;
+        let (oh, ow) = (self.oh, self.ow);
+        let p = (tr1 - tr0) * tiles_w;
+        let panels = p.div_ceil(NR);
+        let vseg = panels * in_ch * NR;
+        let mut vpack = scratch::take_uninit(POINTS_F4 * vseg);
+
+        // --- Input transform: V = Bᵀ·d·B into the 36 packed-B segments. Tile
+        // t's column transform reads staged columns 4t..4t+6, so the staged
+        // width covers 4·tiles_w + 2 columns. ---
+        let wz = 4 * tiles_w + 2;
+        let mut stage = scratch::take_uninit(2 * ALPHA_F4 * wz);
+        for ic in 0..in_ch {
+            let plane =
+                &self.in_data[ic * self.in_rows * self.iw..(ic + 1) * self.in_rows * self.iw];
+            for tr in tr0..tr1 {
+                let ih0 = (tr * TILE_F4) as isize - pad;
+                let (rbuf, zbuf) = stage.split_at_mut(ALPHA_F4 * wz);
+                for r in 0..ALPHA_F4 {
+                    let row = &mut rbuf[r * wz..(r + 1) * wz];
+                    let ih = ih0 + r as isize;
+                    if ih < 0 || ih >= ih_extent {
+                        row.fill(0.0);
+                        continue;
+                    }
+                    let slot = ih as usize % self.in_rows;
+                    let src = &plane[slot * self.iw..(slot + 1) * self.iw];
+                    let x0 = pad_cols.min(wz);
+                    let x1 = (pad_cols + self.iw).min(wz);
+                    row[..x0].fill(0.0);
+                    row[x0..x1].copy_from_slice(&src[..x1 - x0]);
+                    row[x1..].fill(0.0);
+                }
+                // z = Bᵀ·d, with Bᵀ = [[4,0,−5,0,1,0],[0,−4,−4,1,1,0],
+                // [0,4,−4,−1,1,0],[0,−2,−1,2,1,0],[0,2,−1,−2,1,0],
+                // [0,4,0,−5,0,1]]: six elementwise row combinations.
+                for x in 0..wz {
+                    let d0 = rbuf[x];
+                    let d1 = rbuf[wz + x];
+                    let d2 = rbuf[2 * wz + x];
+                    let d3 = rbuf[3 * wz + x];
+                    let d4 = rbuf[4 * wz + x];
+                    let d5 = rbuf[5 * wz + x];
+                    let a42 = d4 - d2;
+                    let b31 = 2.0 * (d3 - d1);
+                    zbuf[x] = 4.0 * d0 - 5.0 * d2 + d4;
+                    zbuf[wz + x] = (d3 + d4) - 4.0 * (d1 + d2);
+                    zbuf[2 * wz + x] = 4.0 * (d1 - d2) + (d4 - d3);
+                    zbuf[3 * wz + x] = a42 + b31;
+                    zbuf[4 * wz + x] = a42 - b31;
+                    zbuf[5 * wz + x] = 4.0 * d1 - 5.0 * d3 + d5;
+                }
+                // V = z·B per row: the same six-lane stencil along the columns.
+                let j0 = (tr - tr0) * tiles_w;
+                for r in 0..ALPHA_F4 {
+                    scatter_stencil_rows_f4(
+                        &mut vpack,
+                        vseg,
+                        in_ch,
+                        ic,
+                        r * ALPHA_F4,
+                        j0,
+                        tiles_w,
+                        &zbuf[r * wz..(r + 1) * wz],
+                    );
+                }
+            }
+        }
+        scratch::give(stage);
+
+        // --- Per-point channel reduction: M(t) = U(t)·V(t), one packed GEMM
+        // per transform point against the prepacked bank. ---
+        let mut mbuf = scratch::take_uninit(POINTS_F4 * out_ch * p);
+        for t in 0..POINTS_F4 {
+            engine::packed_gemm_strided(
+                GemmLhs::Packed { panels: &u[t * point_seg..(t + 1) * point_seg], k: in_ch },
+                0,
+                out_ch,
+                in_ch,
+                &vpack[t * vseg..(t + 1) * vseg],
+                p,
+                &mut mbuf[t * out_ch * p..(t + 1) * out_ch * p],
+                p,
+                0,
+                WriteMode::Overwrite { epilogue: Epilogue::with_bias(None) },
+            );
+        }
+
+        // --- Output transform: Y = Aᵀ·M·A + bias, activation fused, with
+        // Aᵀ = [[1,1,1,1,1,0],[0,1,−1,2,−2,0],[0,1,1,4,4,0],[0,1,−1,8,−8,1]].
+        // Safety: chunks own disjoint tile-row ranges (see `OutPtr`). ---
+        let base_ptr = self.out.get();
+        let mut obuf = scratch::take_uninit(28 * tiles_w);
+        for c_out in 0..out_ch {
+            let bias_v = bias.map_or(0.0, |b| b[c_out]);
+            let plane_base = c_out * self.out_rows * ow;
+            let mrows: [&[f32]; POINTS_F4] = std::array::from_fn(|t| {
+                &mbuf[t * out_ch * p + c_out * p..t * out_ch * p + (c_out + 1) * p]
+            });
+            for tr in tr0..tr1 {
+                let jr = (tr - tr0) * tiles_w..(tr - tr0 + 1) * tiles_w;
+                let (tt, y) = obuf.split_at_mut(24 * tiles_w);
+                // tt = Aᵀ·M per transform column c: four stencil combinations
+                // of the six row streams.
+                for c in 0..ALPHA_F4 {
+                    let s: [&[f32]; ALPHA_F4] =
+                        std::array::from_fn(|r| &mrows[r * ALPHA_F4 + c][jr.clone()]);
+                    for j in 0..tiles_w {
+                        let p12 = s[1][j] + s[2][j];
+                        let m12 = s[1][j] - s[2][j];
+                        let p34 = s[3][j] + s[4][j];
+                        let m34 = s[3][j] - s[4][j];
+                        tt[c * tiles_w + j] = s[0][j] + p12 + p34;
+                        tt[(ALPHA_F4 + c) * tiles_w + j] = m12 + 2.0 * m34;
+                        tt[(2 * ALPHA_F4 + c) * tiles_w + j] = p12 + 4.0 * p34;
+                        tt[(3 * ALPHA_F4 + c) * tiles_w + j] = m12 + 8.0 * m34 + s[5][j];
+                    }
+                }
+                let oh0 = tr * TILE_F4;
+                for q in 0..TILE_F4 {
+                    if oh0 + q >= oh {
+                        break;
+                    }
+                    // Y row q = tt_q·A: the same stencil along the six columns,
+                    // producing the four interleave lanes.
+                    let trow = &tt[q * ALPHA_F4 * tiles_w..(q + 1) * ALPHA_F4 * tiles_w];
+                    for j in 0..tiles_w {
+                        let t0 = trow[j];
+                        let t1 = trow[tiles_w + j];
+                        let t2 = trow[2 * tiles_w + j];
+                        let t3 = trow[3 * tiles_w + j];
+                        let t4 = trow[4 * tiles_w + j];
+                        let t5 = trow[5 * tiles_w + j];
+                        let p12 = t1 + t2;
+                        let m12 = t1 - t2;
+                        let p34 = t3 + t4;
+                        let m34 = t3 - t4;
+                        y[j] = t0 + p12 + p34;
+                        y[tiles_w + j] = m12 + 2.0 * m34;
+                        y[2 * tiles_w + j] = p12 + 4.0 * p34;
+                        y[3 * tiles_w + j] = m12 + 8.0 * m34 + t5;
+                    }
+                    let row = oh0 + q;
+                    let row_start = plane_base + (row % self.out_rows) * ow;
+                    // Safety: rows [tr0*4, tr1*4) of every plane belong
+                    // exclusively to this task (see above).
+                    let out_row =
+                        unsafe { std::slice::from_raw_parts_mut(base_ptr.add(row_start), ow) };
+                    let skip_row =
+                        residual.map(|s| &s[(c_out * oh + row) * ow..(c_out * oh + row + 1) * ow]);
+                    emit_output_row_f4(out_row, y, tiles_w, bias_v, skip_row, activation);
+                }
+            }
+        }
+        scratch::give(obuf);
+        scratch::give(mbuf);
+        scratch::give(vpack);
+    }
 }
 
 /// Winograd F(2×2, 3×3) convolution from raw weights: computes the filter
@@ -591,6 +1112,93 @@ pub fn conv2d_winograd(
 ) -> Result<Tensor> {
     let filter = WinogradFilter::prepare(weight, params)?;
     conv2d_winograd_prepared(input, &filter, bias, params, FusedActivation::None)
+}
+
+/// Winograd F(4×4, 3×3) convolution against a pre-transformed filter bank
+/// (see [`WinogradFilter::prepare_f4`]), bias and activation fused into the
+/// output transform. The α=6 construction spends 36 multiplies per 16 outputs
+/// — 2.25 per output vs F(2×2)'s 4 — so the per-point GEMM work drops ~1.78×
+/// on top of F(2×2), at the cost of the looser numerical tolerance pinned by
+/// [`WINOGRAD_F4_TOLERANCE`].
+///
+/// # Errors
+/// Returns an error if the parameters are not Winograd-eligible, the filter
+/// bank is not an F(4×4) bank or its channels do not match, or the bias length
+/// is inconsistent.
+pub fn conv2d_winograd_f4_prepared(
+    input: &Tensor,
+    filter: &WinogradFilter,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    activation: FusedActivation,
+) -> Result<Tensor> {
+    let oshape = params.output_shape(input.shape())?;
+    let mut out = Tensor::zeros(oshape);
+    conv2d_winograd_f4_fused_into(input, filter, bias, params, activation, None, &mut out)?;
+    Ok(out)
+}
+
+/// [`conv2d_winograd_f4_prepared`] writing into a caller-provided output
+/// tensor, with an optional residual operand added before the activation —
+/// the F(4×4) counterpart of [`conv2d_winograd_fused_into`], with the same
+/// fusion-order (bitwise) and determinism contracts.
+///
+/// # Errors
+/// Returns an error if the parameters are not Winograd-eligible, the filter
+/// bank is not an F(4×4) bank or its channels do not match, the bias length is
+/// inconsistent, or the output/residual shapes do not match.
+pub fn conv2d_winograd_f4_fused_into(
+    input: &Tensor,
+    filter: &WinogradFilter,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+    activation: FusedActivation,
+    residual: Option<&Tensor>,
+    out: &mut Tensor,
+) -> Result<()> {
+    winograd_fused_into_any(input, filter, bias, params, activation, residual, out, true)
+}
+
+/// Winograd F(4×4, 3×3) convolution from raw weights: computes the filter
+/// transform and runs [`conv2d_winograd_f4_prepared`]. Repeat callers should
+/// cache the [`WinogradFilter`].
+///
+/// # Errors
+/// Returns an error if the parameters are not Winograd-eligible or the weight
+/// shape / bias length are inconsistent with them.
+pub fn conv2d_winograd_f4(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    params: &Conv2dParams,
+) -> Result<Tensor> {
+    let filter = WinogradFilter::prepare_f4(weight, params)?;
+    conv2d_winograd_f4_prepared(input, &filter, bias, params, FusedActivation::None)
+}
+
+/// Measures the F(4×4, 3×3) numerical error for one layer shape: the maximum
+/// elementwise difference against [`ConvAlgo::Im2colPacked`]
+/// (crate::ConvAlgo::Im2colPacked) on a deterministic unit-scale input and
+/// half-scale weights — the same operating point the parity suites pin. A pure
+/// function of the shape (the probe data is seeded from it), so the
+/// calibration gate ([`MeasuredSweepConfig::f4_tolerance`]
+/// (../hwsim/struct.MeasuredSweepConfig.html)) is reproducible across hosts
+/// and thread counts.
+///
+/// # Errors
+/// Returns an error if the parameters are not Winograd-eligible or the input
+/// shape does not match them.
+pub fn winograd_f4_unit_error(params: &Conv2dParams, input: crate::shape::Shape) -> Result<f32> {
+    let seed = (params.in_channels * 31 + params.out_channels * 7 + input.h * 3 + input.w) as u64;
+    let x = Tensor::random_uniform(input, 1.0, seed);
+    let weight = Tensor::random_uniform(
+        crate::shape::Shape::new(params.out_channels, params.in_channels, 3, 3),
+        0.5,
+        seed ^ 0x5a,
+    );
+    let reference = crate::conv::conv2d_im2col_packed(&x, &weight, None, params)?;
+    let f4 = conv2d_winograd_f4(&x, &weight, None, params)?;
+    reference.max_abs_diff(&f4)
 }
 
 #[cfg(test)]
@@ -652,6 +1260,86 @@ mod tests {
         for (&x, &y) in plain.as_slice().iter().zip(fused6.as_slice()) {
             assert_eq!(x.clamp(0.0, 6.0).to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn f4_matches_direct_on_basic_shapes() {
+        // Shapes chosen to exercise every tail case: exact 4×4 tiling, partial
+        // tail rows/columns, zero and double padding, width below one tile.
+        for (ic, oc, h, w, pad) in [
+            (1usize, 1usize, 8usize, 8usize, 1usize),
+            (3, 4, 9, 7, 1),
+            (5, 2, 12, 10, 0),
+            (2, 3, 4, 5, 2),
+            (4, 6, 6, 3, 1),
+        ] {
+            let params = Conv2dParams::new(ic, oc, 3, 1, pad);
+            let input = Tensor::random_uniform(Shape::chw(ic, h, w), 1.0, (ic * h) as u64);
+            let weight = Tensor::random_uniform(Shape::new(oc, ic, 3, 3), 0.5, (oc + pad) as u64);
+            let bias: Vec<f32> = (0..oc).map(|i| 0.1 * i as f32).collect();
+            let reference = conv2d_direct(&input, &weight, Some(&bias), &params).unwrap();
+            let wino = conv2d_winograd_f4(&input, &weight, Some(&bias), &params).unwrap();
+            close(&reference, &wino, WINOGRAD_F4_TOLERANCE);
+        }
+    }
+
+    #[test]
+    fn f4_matches_packed_on_batched_input() {
+        let params = Conv2dParams::new(4, 6, 3, 1, 1);
+        let input = Tensor::random_uniform(Shape::new(3, 4, 11, 13), 1.0, 7);
+        let weight = Tensor::random_uniform(Shape::new(6, 4, 3, 3), 0.5, 8);
+        let packed = conv2d_im2col_packed(&input, &weight, None, &params).unwrap();
+        let wino = conv2d_winograd_f4(&input, &weight, None, &params).unwrap();
+        close(&packed, &wino, WINOGRAD_F4_TOLERANCE);
+    }
+
+    #[test]
+    fn f4_fused_activation_matches_separate_pass_bitwise() {
+        let params = Conv2dParams::new(3, 5, 3, 1, 1);
+        let input = Tensor::random_uniform(Shape::chw(3, 10, 10), 1.0, 3);
+        let weight = Tensor::random_uniform(Shape::new(5, 3, 3, 3), 0.5, 4);
+        let filter = WinogradFilter::prepare_f4(&weight, &params).unwrap();
+        let plain =
+            conv2d_winograd_f4_prepared(&input, &filter, None, &params, FusedActivation::None)
+                .unwrap();
+        let fused =
+            conv2d_winograd_f4_prepared(&input, &filter, None, &params, FusedActivation::Relu)
+                .unwrap();
+        for (&x, &y) in plain.as_slice().iter().zip(fused.as_slice()) {
+            assert_eq!(x.max(0.0).to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn f4_filter_kind_and_shape_mismatches_are_rejected() {
+        let params = Conv2dParams::new(4, 4, 3, 1, 1);
+        let input = Tensor::random_uniform(Shape::chw(4, 8, 8), 1.0, 1);
+        let weight = Tensor::random_uniform(Shape::new(4, 4, 3, 3), 0.5, 2);
+        let f2 = WinogradFilter::prepare(&weight, &params).unwrap();
+        let f4 = WinogradFilter::prepare_f4(&weight, &params).unwrap();
+        assert!(!f2.is_f4());
+        assert!(f4.is_f4());
+        // Each entry point accepts only its own transform size.
+        assert!(
+            conv2d_winograd_f4_prepared(&input, &f2, None, &params, FusedActivation::None).is_err()
+        );
+        assert!(
+            conv2d_winograd_prepared(&input, &f4, None, &params, FusedActivation::None).is_err()
+        );
+
+        let strided = Conv2dParams::new(4, 4, 3, 2, 1);
+        assert!(WinogradFilter::prepare_f4(&weight, &strided).is_err());
+        assert!(conv2d_winograd_f4(&input, &weight, None, &strided).is_err());
+    }
+
+    #[test]
+    fn f4_unit_error_probe_is_deterministic_and_bounded() {
+        let params = Conv2dParams::new(8, 8, 3, 1, 1);
+        let shape = Shape::chw(8, 28, 28);
+        let a = winograd_f4_unit_error(&params, shape).unwrap();
+        let b = winograd_f4_unit_error(&params, shape).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits(), "probe must be a pure function of the shape");
+        assert!(a > 0.0 && a < WINOGRAD_F4_TOLERANCE, "unit error {a} vs pinned bound");
     }
 
     #[test]

@@ -78,18 +78,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("    dispatch picks: {}", tuner.dispatched_algo(&layer));
     }
 
-    // 4. Winograd F(2x2,3x3) vs the packed im2col engine on stride-1 3x3 layers
-    //    across the full resolution ladder (the PR 4 speedup table; the
-    //    `winograd` group of `cargo bench --bench conv_kernels` reproduces the
-    //    same numbers with criterion timing).
+    // 4. Winograd F(2x2,3x3) and F(4x4,3x3) vs the packed im2col engine on
+    //    stride-1 3x3 layers across the full resolution ladder (the PR 4/PR 7
+    //    speedup table; the `winograd` group of `cargo bench --bench
+    //    conv_kernels` reproduces the same numbers with criterion timing). The
+    //    alpha=6 arm only competes where its characterized numerical gate
+    //    admits the shape (`MeasuredTuner::admits_f4`).
+    use rescnn::models::ConvLayerShape;
     use rescnn::tensor::{
-        conv2d_winograd_prepared, conv2d_with_algo, FusedActivation, WinogradFilter,
+        conv2d_winograd_f4_prepared, conv2d_winograd_prepared, conv2d_with_algo, FusedActivation,
+        WinogradFilter,
     };
-    println!("\nWinograd F(2x2,3x3) vs packed im2col (64->64 3x3 stride-1, this host):");
-    println!("{:>10} {:>14} {:>12} {:>9}", "resolution", "im2col (ms)", "winograd (ms)", "speedup");
+    println!("\nWinograd F(2x2)/F(4x4) vs packed im2col (64->64 3x3 stride-1, this host):");
+    println!(
+        "{:>10} {:>12} {:>9} {:>9} {:>8} {:>8} {:>5}",
+        "resolution", "im2col (ms)", "f2 (ms)", "f4 (ms)", "f2 gain", "f4 gain", "gate"
+    );
     let params = Conv2dParams::new(64, 64, 3, 1, 1);
     let weight = Tensor::kaiming(Shape::new(64, 64, 3, 3), 64 * 9, 1);
     let filter = WinogradFilter::prepare(&weight, &params)?;
+    let filter_f4 = WinogradFilter::prepare_f4(&weight, &params)?;
     let time_ms = |f: &mut dyn FnMut()| {
         f(); // warm caches and the scratch arena
         let start = Instant::now();
@@ -109,7 +117,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             conv2d_winograd_prepared(&input, &filter, None, &params, FusedActivation::None)
                 .unwrap();
         });
-        println!("{res:>10} {base:>14.2} {wino:>12.2} {:>8.2}x", base / wino);
+        let wino_f4 = time_ms(&mut || {
+            conv2d_winograd_f4_prepared(&input, &filter_f4, None, &params, FusedActivation::None)
+                .unwrap();
+        });
+        let admitted = tuner.admits_f4(&ConvLayerShape { params, input: input.shape() });
+        println!(
+            "{res:>10} {base:>12.2} {wino:>9.2} {wino_f4:>9.2} {:>7.2}x {:>7.2}x {:>5}",
+            base / wino,
+            base / wino_f4,
+            if admitted { "ok" } else { "cut" }
+        );
     }
 
     // 5. Close the loop: feed the measured sweeps into a calibrated cost model,
@@ -125,6 +143,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nCalibrated dispatch: {} layer shapes measured; table persisted to {}",
         table.len(),
         path.display()
+    );
+    let swept = &layers[..layers.len().min(12)];
+    let f2_measured = swept
+        .iter()
+        .filter(|l| calibrated.measured_seconds(l, ConvAlgo::Winograd).is_some())
+        .count();
+    let f4_measured = swept
+        .iter()
+        .filter(|l| calibrated.measured_seconds(l, ConvAlgo::WinogradF4).is_some())
+        .count();
+    println!(
+        "  winograd arms measured & persisted: f2 on {f2_measured} shapes, f4 on {f4_measured} \
+         (numerical gate admits)"
     );
     for layer in layers.iter().take(12) {
         println!(

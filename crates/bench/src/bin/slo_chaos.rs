@@ -1,0 +1,430 @@
+//! Cross-layer chaos drill of the resilient request lifecycle: seeded fault
+//! injection at the decode (bit flips, truncations), execute (panics, latency
+//! spikes), and source (persistently corrupt client) layers, with every
+//! resilience policy — retry-with-demotion, circuit breaking, watchdog
+//! cancellation, and memory-budget backpressure — exercised under load.
+//!
+//! The harness machine-checks its invariants and exits 1 on any violation:
+//!
+//! * zero escaped panics: every drain completes under `catch_unwind`;
+//! * retry measurably converts transient failures into completions
+//!   (`transient_panics/retry` vs `transient_panics/no_retry`);
+//! * breaker trips shed a hot source at the gate; cold sources are untouched;
+//! * the watchdog cancels exactly the injected spike set, and retries
+//!   recover the cancelled work;
+//! * a memory budget below the top rung demotes (never OOMs, never sheds);
+//! * the combined-chaos report is bitwise identical across a same-seed rerun
+//!   and thread budgets 1/2/4;
+//! * per-scenario goodput floors hold.
+//!
+//! Scale with `RESCNN_SAMPLES` (e.g. `RESCNN_SAMPLES=96` for a CI smoke run).
+
+use rescnn_bench::chaos::{comparable, run_slo_chaos, ChaosPlan, HotSource};
+use rescnn_bench::load::{ArrivalTrace, FaultDecision, FaultPlan};
+use rescnn_bench::{report, HarnessConfig};
+use rescnn_core::{
+    BatchOptions, CircuitBreakerPolicy, DynamicResolutionPipeline, PipelineConfig,
+    ResolutionLatencyModel, RetryPolicy, ScaleModelConfig, ScaleModelTrainer, SloOptions,
+    SloReport, SourceId, WatchdogPolicy,
+};
+use rescnn_data::{Dataset, DatasetKind, DatasetSpec};
+use rescnn_imaging::CropRatio;
+use rescnn_models::ModelKind;
+use rescnn_oracle::AccuracyOracle;
+use serde::Serialize;
+use std::panic::AssertUnwindSafe;
+
+#[derive(Debug, Serialize)]
+struct ChaosRow {
+    scenario: String,
+    requests: usize,
+    completed: usize,
+    recovered: usize,
+    retry_attempts: usize,
+    degraded: usize,
+    memory_demoted: usize,
+    watchdog_cancelled: usize,
+    breaker_shed: usize,
+    breaker_trips: usize,
+    shed: usize,
+    expired: usize,
+    faulted: usize,
+    goodput: f64,
+    p99_latency_ms: f64,
+    slo_violation_rate: f64,
+    mean_delivered_ssim: f64,
+}
+
+fn row(name: &str, report: &SloReport) -> ChaosRow {
+    ChaosRow {
+        scenario: name.to_string(),
+        requests: report.total,
+        completed: report.completed,
+        recovered: report.recovered,
+        retry_attempts: report.retry_attempts,
+        degraded: report.degraded,
+        memory_demoted: report.memory_demoted,
+        watchdog_cancelled: report.watchdog_cancelled,
+        breaker_shed: report.breaker_shed,
+        breaker_trips: report.breaker_trips,
+        shed: report.shed,
+        expired: report.expired,
+        faulted: report.faulted,
+        goodput: report.goodput,
+        p99_latency_ms: report.p99_latency_ms,
+        slo_violation_rate: report.slo_violation_rate,
+        mean_delivered_ssim: report.mean_delivered_ssim,
+    }
+}
+
+fn build_pipeline(config: &HarnessConfig) -> DynamicResolutionPipeline {
+    let resolutions = vec![112usize, 168, 224];
+    let scale_config = ScaleModelConfig {
+        resolutions: resolutions.clone(),
+        seed: config.seed,
+        ..Default::default()
+    };
+    let trainer = ScaleModelTrainer::new(scale_config, ModelKind::ResNet18, DatasetKind::CarsLike);
+    let train = DatasetSpec::cars_like()
+        .with_len(config.train_samples)
+        .with_max_dimension(config.max_dimension.min(128))
+        .build(config.seed ^ 0xA11CE);
+    let scale_model = trainer.train(&train, 3).expect("scale-model training succeeds");
+    let pipeline_config = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+        .with_crop(CropRatio::new(0.56).expect("valid crop"))
+        .with_resolutions(resolutions);
+    DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(config.seed))
+        .expect("pipeline construction succeeds")
+}
+
+/// Runs one chaos drain under `catch_unwind`, recording an invariant
+/// violation if a panic ever escapes the serving core.
+fn drain(
+    pipeline: &DynamicResolutionPipeline,
+    data: &Dataset,
+    trace: &ArrivalTrace,
+    chaos: &ChaosPlan,
+    options: SloOptions,
+    violations: &mut Vec<String>,
+    name: &str,
+) -> Option<SloReport> {
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_slo_chaos(pipeline, data, trace, chaos, options)
+    }));
+    match caught {
+        Ok(Ok(report)) => Some(report),
+        Ok(Err(err)) => {
+            violations.push(format!("{name}: drain aborted with error: {err}"));
+            None
+        }
+        Err(_) => {
+            violations.push(format!("{name}: a panic ESCAPED the serving core"));
+            None
+        }
+    }
+}
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    let pipeline = build_pipeline(&config);
+    let data = DatasetSpec::cars_like()
+        .with_len(config.eval_samples.min(48))
+        .with_max_dimension(config.max_dimension.min(128))
+        .build(config.seed ^ 0xC405);
+
+    let latency =
+        ResolutionLatencyModel::analytic(&pipeline).expect("analytic latency model builds");
+    let top_ms = latency.estimate_ms(224).max(1.0);
+    let n = (config.eval_samples / 8).clamp(12, 64);
+    let trace = ArrivalTrace::uniform(n, 2.0 * top_ms, 10.0 * top_ms);
+    // Retries queue behind the whole first round on the single virtual
+    // server, so recovery scenarios need slack deep enough for a second pass.
+    let patient = ArrivalTrace::uniform(n, 2.0 * top_ms, 30.0 * top_ms);
+    let base = SloOptions::default().with_latency_model(latency.clone());
+    let top_peak = pipeline.arena_peak_bytes(224).expect("arena plan for the top rung");
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut rows: Vec<ChaosRow> = Vec::new();
+
+    // -- transient panics: retry converts failures into completions ---------
+    let panics = ChaosPlan { panic_every: 5, ..ChaosPlan::none() };
+    let no_retry = drain(
+        &pipeline,
+        &data,
+        &patient,
+        &panics,
+        base.clone(),
+        &mut violations,
+        "transient_panics/no_retry",
+    );
+    let with_retry = drain(
+        &pipeline,
+        &data,
+        &patient,
+        &panics,
+        base.clone().with_retry(RetryPolicy::new(2)),
+        &mut violations,
+        "transient_panics/retry",
+    );
+    if let (Some(no_retry), Some(with_retry)) = (&no_retry, &with_retry) {
+        rows.push(row("transient_panics/no_retry", no_retry));
+        rows.push(row("transient_panics/retry", with_retry));
+        if no_retry.faulted == 0 {
+            violations.push("transient_panics/no_retry: chaos injected no panics".into());
+        }
+        if with_retry.completed <= no_retry.completed || with_retry.recovered == 0 {
+            violations.push(format!(
+                "retry failed to convert failures: completed {} -> {}, recovered {}",
+                no_retry.completed, with_retry.completed, with_retry.recovered
+            ));
+        }
+        if with_retry.goodput < 0.85 {
+            violations.push(format!(
+                "transient_panics/retry: goodput {:.3} below floor 0.85",
+                with_retry.goodput
+            ));
+        }
+    }
+
+    // -- decode storm: bounded retries, corruption never cascades ------------
+    let storm = ChaosPlan {
+        faults: FaultPlan::corruption(0.25, config.seed ^ 0x5702),
+        ..ChaosPlan::none()
+    };
+    let corrupt_count =
+        (0..n).filter(|&i| storm.faults.decide(i) != FaultDecision::Healthy).count();
+    if let Some(report) = drain(
+        &pipeline,
+        &data,
+        &trace,
+        &storm,
+        base.clone().with_retry(RetryPolicy::new(1)),
+        &mut violations,
+        "decode_storm",
+    ) {
+        if report.completed < n - corrupt_count {
+            violations.push(format!(
+                "decode_storm: corruption cascaded: {} completed < {} healthy",
+                report.completed,
+                n - corrupt_count
+            ));
+        }
+        if report.faulted > corrupt_count {
+            violations.push(format!(
+                "decode_storm: {} faulted exceeds {} injected corruptions",
+                report.faulted, corrupt_count
+            ));
+        }
+        rows.push(row("decode_storm", &report));
+    }
+
+    // -- hot source: the breaker sheds a corrupt client at the gate ----------
+    let hot = ChaosPlan {
+        num_sources: 4,
+        hot_source: Some(HotSource { source: SourceId(1), recover_at_ms: f64::INFINITY }),
+        ..ChaosPlan::none()
+    };
+    let hot_count = (0..n).filter(|&i| i as u64 % 4 == 1).count();
+    if let Some(report) = drain(
+        &pipeline,
+        &data,
+        &trace,
+        &hot,
+        base.clone().with_breaker(CircuitBreakerPolicy::new(2, 20.0 * top_ms)),
+        &mut violations,
+        "hot_source_breaker",
+    ) {
+        if report.breaker_trips == 0 || report.breaker_shed == 0 {
+            violations.push(format!(
+                "hot_source_breaker: breaker never engaged (trips {}, shed {})",
+                report.breaker_trips, report.breaker_shed
+            ));
+        }
+        if report.completed != n - hot_count {
+            violations.push(format!(
+                "hot_source_breaker: cold sources must all complete: {} != {}",
+                report.completed,
+                n - hot_count
+            ));
+        }
+        rows.push(row("hot_source_breaker", &report));
+    }
+
+    // -- latency spikes: the watchdog cancels exactly the spiked set ---------
+    let spikes = ChaosPlan {
+        faults: FaultPlan {
+            spike_rate: 0.35,
+            spike_multiplier: 8.0,
+            seed: config.seed ^ 0x5B1C,
+            ..FaultPlan::none()
+        },
+        ..ChaosPlan::none()
+    };
+    let spiked =
+        (0..n).filter(|&i| matches!(spikes.faults.decide(i), FaultDecision::Spike { .. })).count();
+    if let Some(report) = drain(
+        &pipeline,
+        &data,
+        &patient,
+        &spikes,
+        base.clone().with_watchdog(WatchdogPolicy::new(2.0)).with_retry(RetryPolicy::new(1)),
+        &mut violations,
+        "spike_watchdog",
+    ) {
+        if report.watchdog_cancelled != spiked {
+            violations.push(format!(
+                "spike_watchdog: {} cancellations != {} injected spikes",
+                report.watchdog_cancelled, spiked
+            ));
+        }
+        if spiked > 0 && report.recovered == 0 {
+            violations.push("spike_watchdog: no cancelled execution was recovered by retry".into());
+        }
+        rows.push(row("spike_watchdog", &report));
+    }
+
+    // -- memory squeeze: a budget below the top rung demotes, never sheds ----
+    let planned_at_top = data
+        .samples()
+        .iter()
+        .cycle()
+        .take(n)
+        .filter(|sample| pipeline.plan(sample).map(|p| p.chosen_resolution == 224).unwrap_or(false))
+        .count();
+    if let Some(report) = drain(
+        &pipeline,
+        &data,
+        &trace,
+        &ChaosPlan::none(),
+        base.clone().with_memory_budget_bytes(top_peak - 1),
+        &mut violations,
+        "memory_squeeze",
+    ) {
+        if report.memory_demoted != planned_at_top {
+            violations.push(format!(
+                "memory_squeeze: {} demotions != {} requests planned at 224",
+                report.memory_demoted, planned_at_top
+            ));
+        }
+        if report.shed + report.expired + report.faulted > 0 || report.completed != n {
+            violations.push(format!(
+                "memory_squeeze: budget must demote, not reject: completed {}, shed {}, expired {}, faulted {}",
+                report.completed, report.shed, report.expired, report.faulted
+            ));
+        }
+        rows.push(row("memory_squeeze", &report));
+    }
+
+    // -- combined chaos: every layer and every policy at once ----------------
+    let combined = ChaosPlan {
+        faults: FaultPlan {
+            bit_flip_rate: 0.03,
+            truncate_rate: 0.03,
+            spike_rate: 0.08,
+            spike_multiplier: 8.0,
+            seed: config.seed ^ 0xC0DE,
+        },
+        panic_every: 9,
+        num_sources: 3,
+        hot_source: Some(HotSource {
+            source: SourceId(2),
+            recover_at_ms: trace.arrivals_ms[n - 1] * 0.5,
+        }),
+    };
+    let combined_options = base
+        .clone()
+        .with_batch(BatchOptions::default().with_threads(1))
+        .with_retry(RetryPolicy::new(2).with_backoff_ms(2.0))
+        .with_breaker(CircuitBreakerPolicy::new(2, 10.0 * top_ms))
+        .with_watchdog(WatchdogPolicy::new(2.5))
+        .with_memory_budget_bytes(top_peak - 1)
+        .with_ssim_floor(0.35);
+    let baseline = drain(
+        &pipeline,
+        &data,
+        &trace,
+        &combined,
+        combined_options.clone(),
+        &mut violations,
+        "combined",
+    );
+    if let Some(baseline) = &baseline {
+        rows.push(row("combined", baseline));
+        if baseline.goodput < 0.40 {
+            violations.push(format!("combined: goodput {:.3} below floor 0.40", baseline.goodput));
+        }
+
+        // Same-seed rerun: every field must reproduce bitwise.
+        if let Some(rerun) = drain(
+            &pipeline,
+            &data,
+            &trace,
+            &combined,
+            combined_options.clone(),
+            &mut violations,
+            "combined/rerun",
+        ) {
+            if comparable(rerun) != comparable(baseline.clone()) {
+                violations.push("combined: same-seed rerun diverged".into());
+            }
+        }
+
+        // Thread-budget squeeze: 2 and 4 workers must reproduce every
+        // virtual-clock decision of the single-threaded baseline.
+        for threads in [2usize, 4] {
+            let squeezed =
+                combined_options.clone().with_batch(BatchOptions::default().with_threads(threads));
+            if let Some(replay) = drain(
+                &pipeline,
+                &data,
+                &trace,
+                &combined,
+                squeezed,
+                &mut violations,
+                "combined/threads",
+            ) {
+                if comparable(replay) != comparable(baseline.clone()) {
+                    violations.push(format!("combined: outcome diverged at threads={threads}"));
+                }
+            }
+        }
+    }
+
+    let formatted: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.requests.to_string(),
+                r.completed.to_string(),
+                r.recovered.to_string(),
+                r.retry_attempts.to_string(),
+                r.memory_demoted.to_string(),
+                r.watchdog_cancelled.to_string(),
+                r.breaker_shed.to_string(),
+                r.breaker_trips.to_string(),
+                r.faulted.to_string(),
+                report::fmt(r.goodput, 3),
+                report::fmt(r.slo_violation_rate, 3),
+            ]
+        })
+        .collect();
+    report::print_table(
+        "SLO chaos drill: resilience policies under cross-layer fault injection",
+        &[
+            "Scenario", "Req", "Done", "Recov", "Retry", "MemDem", "WdCancel", "BrkShed",
+            "BrkTrip", "Fault", "Goodput", "Viol",
+        ],
+        &formatted,
+    );
+    report::save_json("slo_chaos", &rows);
+
+    if violations.is_empty() {
+        println!("chaos invariants: OK (panic containment, retry conversion, breaker gating, watchdog accounting, memory backpressure, determinism 1/2/4)");
+    } else {
+        for violation in &violations {
+            eprintln!("CHAOS INVARIANT VIOLATED: {violation}");
+        }
+        std::process::exit(1);
+    }
+}

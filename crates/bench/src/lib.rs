@@ -18,9 +18,11 @@
 //! | `table4` | Table IV — Cars read-bandwidth savings |
 //! | `scale_overhead` | §VII-c — scale-model runtime overhead |
 //! | `slo_load` | SLO serving core under trace-driven load + fault injection |
+//! | `slo_chaos` | cross-layer chaos drill of the resilient lifecycle (retry, breaker, watchdog, memory budget) |
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod experiments;
 pub mod load;

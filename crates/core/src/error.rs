@@ -28,6 +28,13 @@ pub enum CoreError {
         /// The rendered panic payload.
         message: String,
     },
+    /// The request's execution was cooperatively cancelled before or during
+    /// its run (watchdog overrun, superseded work); no result was produced and
+    /// any partially-computed data was discarded.
+    Cancelled {
+        /// Why the execution was cancelled.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +46,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             CoreError::EmptyDataset => write!(f, "dataset must contain at least one sample"),
             CoreError::Panicked { message } => write!(f, "request panicked: {message}"),
+            CoreError::Cancelled { reason } => write!(f, "request cancelled: {reason}"),
         }
     }
 }
@@ -93,6 +101,9 @@ mod tests {
         let e = CoreError::Panicked { message: "index out of bounds".into() };
         assert!(e.to_string().contains("panicked"));
         assert!(e.to_string().contains("index out of bounds"));
+        let e = CoreError::Cancelled { reason: "watchdog: 10x over estimate".into() };
+        assert!(e.to_string().contains("cancelled"));
+        assert!(e.to_string().contains("watchdog"));
     }
 
     #[test]

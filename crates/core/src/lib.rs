@@ -57,6 +57,7 @@ mod boot;
 mod calibration;
 mod error;
 mod features;
+mod lifecycle;
 mod pipeline;
 mod scale_model;
 mod serve;
@@ -68,9 +69,12 @@ pub use calibration::{
 };
 pub use error::{CoreError, Result};
 pub use features::{extract_features, FEATURE_COUNT};
+pub use lifecycle::{
+    BreakerState, CircuitBreaker, CircuitBreakerPolicy, RetryPolicy, SourceId, WatchdogPolicy,
+};
 pub use pipeline::{
     install_conv_calibration, DynamicResolutionPipeline, InferencePlan, InferenceRecord,
-    PipelineConfig, PipelineReport,
+    PipelineConfig, PipelineReport, PipelineWarning,
 };
 pub use scale_model::{ScaleModel, ScaleModelConfig, ScaleModelTrainer, TrainingExample};
 pub use serve::{BatchOptions, BatchScheduler, BucketStats, RequestError, ServeReport};
@@ -97,10 +101,11 @@ pub(crate) mod test_sync {
 /// Commonly used items, intended for glob import.
 pub mod prelude {
     pub use crate::{
-        BatchOptions, BatchScheduler, CalibrationCurves, CoreError, DynamicResolutionPipeline,
-        PipelineConfig, PipelineReport, Rejected, ResolutionLatencyModel, ScaleModel,
-        ScaleModelConfig, ScaleModelTrainer, ServeReport, SloOptions, SloOutcome, SloReport,
-        SloRequest, SloScheduler, StorageCalibrator, StoragePolicy,
+        BatchOptions, BatchScheduler, CalibrationCurves, CircuitBreakerPolicy, CoreError,
+        DynamicResolutionPipeline, PipelineConfig, PipelineReport, Rejected,
+        ResolutionLatencyModel, RetryPolicy, ScaleModel, ScaleModelConfig, ScaleModelTrainer,
+        ServeReport, SloOptions, SloOutcome, SloReport, SloRequest, SloScheduler, SourceId,
+        StorageCalibrator, StoragePolicy, WatchdogPolicy,
     };
 }
 

@@ -1,0 +1,290 @@
+//! Supervised request-lifecycle policies for the SLO scheduler: bounded
+//! retry with resolution demotion, per-source circuit breaking, and watchdog
+//! cancellation of runaway executions.
+//!
+//! The serving layer's recovery story is built from the same lever as its
+//! backpressure story — the resolution ladder. A failed attempt is retried
+//! *one rung down* (cheaper, therefore likelier to fit the remaining slack,
+//! and reading strictly less of a possibly-damaged stream), a misbehaving
+//! source is shed at the gate before any decode work is spent, and an
+//! execution that would overrun its latency estimate is charged a bounded
+//! service time and cooperatively cancelled. Every policy here is driven by
+//! the scheduler's deterministic virtual clock — no wall-clock reads — so
+//! reports stay bitwise reproducible across thread budgets and reruns.
+//!
+//! All policies are opt-in (`None` in [`SloOptions`](crate::SloOptions)): a
+//! scheduler with no lifecycle policies behaves exactly as before, bit for
+//! bit.
+
+use serde::Serialize;
+
+/// Identifies the origin of requests (a client, tenant, or upstream stream)
+/// for per-source fault accounting and circuit breaking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct SourceId(pub u64);
+
+/// Bounded re-admission of failed requests with virtual-clock backoff and
+/// resolution demotion.
+///
+/// A request whose plan or execute stage fails (codec error, contained panic,
+/// watchdog cancellation) is re-enqueued `max_retries` more times at most.
+/// Each retry arrives `backoff_ms · 2^attempt` after the failure on the
+/// virtual clock and — when the failure happened *after* planning — is
+/// preferentially served **one rung below** the previously-served resolution
+/// (bounded by the SSIM floor; the original rung remains the fallback).
+/// Injected cost spikes and chaos panics fire only on a request's first
+/// attempt (they model transient faults), so retries genuinely recover;
+/// deterministic failures (a corrupt stream) exhaust their budget and keep
+/// their final error.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RetryPolicy {
+    /// Extra attempts allowed beyond the first (0 disables retrying).
+    pub max_retries: usize,
+    /// Base virtual-clock backoff before the first retry, in milliseconds;
+    /// doubles per subsequent attempt.
+    pub backoff_ms: f64,
+    /// Whether a retry of an executed-and-failed attempt steps one rung down
+    /// the resolution ladder (the default).
+    pub demote_on_retry: bool,
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_retries` extra attempts with a 1 ms base
+    /// backoff and demotion enabled.
+    pub fn new(max_retries: usize) -> Self {
+        RetryPolicy { max_retries, backoff_ms: 1.0, demote_on_retry: true }
+    }
+
+    /// Sets the base backoff (clamped to ≥ 0).
+    pub fn with_backoff_ms(mut self, backoff_ms: f64) -> Self {
+        self.backoff_ms = backoff_ms.max(0.0);
+        self
+    }
+
+    /// Disables resolution demotion on retry (retries stay at the rung that
+    /// failed).
+    pub fn without_demotion(mut self) -> Self {
+        self.demote_on_retry = false;
+        self
+    }
+
+    /// Virtual milliseconds to wait after the failure of 0-based `attempt`
+    /// before re-admitting: exponential, `backoff_ms · 2^attempt`.
+    pub fn backoff_for(&self, attempt: usize) -> f64 {
+        self.backoff_ms * (1u64 << attempt.min(32)) as f64
+    }
+}
+
+/// Per-[`SourceId`] circuit-breaker policy: repeated failures from one source
+/// trip an open state that sheds that source's requests *at the gate* — before
+/// any decode or plan compute is spent — until a cooldown elapses and a single
+/// half-open probe is admitted to test recovery.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CircuitBreakerPolicy {
+    /// Consecutive failures from one source that trip its breaker (min 1).
+    pub failure_threshold: usize,
+    /// Virtual milliseconds the breaker stays open before admitting a probe.
+    pub cooldown_ms: f64,
+}
+
+impl CircuitBreakerPolicy {
+    /// A policy tripping after `failure_threshold` consecutive failures and
+    /// cooling down for `cooldown_ms` virtual milliseconds.
+    pub fn new(failure_threshold: usize, cooldown_ms: f64) -> Self {
+        CircuitBreakerPolicy {
+            failure_threshold: failure_threshold.max(1),
+            cooldown_ms: cooldown_ms.max(0.0),
+        }
+    }
+}
+
+/// The three states of one source's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BreakerState {
+    /// Healthy: requests pass the gate.
+    Closed,
+    /// Tripped: requests are shed until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed and a probe request was admitted; its outcome decides
+    /// (success closes the breaker, failure re-opens it). Further arrivals are
+    /// shed while the probe is outstanding.
+    HalfOpen,
+}
+
+/// Deterministic per-source circuit breaker, driven by the scheduler's
+/// virtual clock.
+///
+/// Transitions: `Closed` —(threshold consecutive failures at time *t*)→
+/// `Open(until t + cooldown)` —(arrival ≥ open-until admits a probe)→
+/// `HalfOpen` —(probe success)→ `Closed`, or —(probe failure)→ `Open` again.
+/// Failures are fed from both the plan stage (inline, in arrival order — a
+/// corrupt-stream source trips mid-round) and the execute stage (at each
+/// round's end, in admission order), timestamped on the virtual clock, so the
+/// whole state history is a pure function of the workload.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    policy: CircuitBreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: usize,
+    open_until_ms: f64,
+    trips: usize,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `policy`.
+    pub fn new(policy: CircuitBreakerPolicy) -> Self {
+        CircuitBreaker {
+            policy,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until_ms: 0.0,
+            trips: 0,
+        }
+    }
+
+    /// Gates one arrival at virtual time `now_ms`: `true` admits (including
+    /// the half-open probe), `false` sheds without spending compute.
+    pub fn admit(&mut self, now_ms: f64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_ms >= self.open_until_ms {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            // The probe is outstanding: exactly one request tests recovery.
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// Records a successful request from this source: resets the consecutive
+    /// count and closes a half-open breaker (probe success). An `Open`
+    /// breaker stays open — only the cooldown reopens the gate.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+        }
+    }
+
+    /// Resets the consecutive-failure count without touching the state, for
+    /// plan-stage successes whose execute outcome is still pending.
+    pub fn note_progress(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failed request from this source at virtual time `now_ms`;
+    /// trips the breaker when the threshold is reached (or immediately when
+    /// the failure is the half-open probe's).
+    pub fn record_failure(&mut self, now_ms: f64) {
+        self.consecutive_failures += 1;
+        let probe_failed = self.state == BreakerState::HalfOpen;
+        if probe_failed || self.consecutive_failures >= self.policy.failure_threshold {
+            self.state = BreakerState::Open;
+            self.open_until_ms = now_ms + self.policy.cooldown_ms;
+            self.trips += 1;
+            self.consecutive_failures = 0;
+        }
+    }
+
+    /// The breaker's current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped (entered `Open`).
+    pub fn trips(&self) -> usize {
+        self.trips
+    }
+}
+
+/// Watchdog policy: an execution whose charged service time would exceed its
+/// [`ResolutionLatencyModel`](crate::ResolutionLatencyModel) estimate by more
+/// than `overrun_factor` is flagged on the virtual clock, charged only the
+/// capped overrun (`estimate · overrun_factor` — one runaway must not blow
+/// every queued deadline), and cooperatively cancelled before any backbone
+/// compute is spent (the cancellation token is refused at the execute stage's
+/// task boundary).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WatchdogPolicy {
+    /// Factor over the latency-model estimate at which an execution is
+    /// flagged and cancelled (clamped to ≥ 1).
+    pub overrun_factor: f64,
+}
+
+impl WatchdogPolicy {
+    /// A watchdog firing at `overrun_factor` times the estimate.
+    pub fn new(overrun_factor: f64) -> Self {
+        WatchdogPolicy { overrun_factor: overrun_factor.max(1.0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_backoff_is_exponential_and_clamped() {
+        let policy = RetryPolicy::new(3).with_backoff_ms(2.0);
+        assert_eq!(policy.backoff_for(0), 2.0);
+        assert_eq!(policy.backoff_for(1), 4.0);
+        assert_eq!(policy.backoff_for(2), 8.0);
+        let negative = RetryPolicy::new(1).with_backoff_ms(-5.0);
+        assert_eq!(negative.backoff_ms, 0.0);
+        assert!(RetryPolicy::new(2).demote_on_retry);
+        assert!(!RetryPolicy::new(2).without_demotion().demote_on_retry);
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_and_probes() {
+        let mut breaker = CircuitBreaker::new(CircuitBreakerPolicy::new(2, 100.0));
+        assert!(breaker.admit(0.0));
+        breaker.record_failure(10.0);
+        assert_eq!(breaker.state(), BreakerState::Closed, "below threshold");
+        assert!(breaker.admit(11.0));
+        breaker.record_failure(20.0);
+        assert_eq!(breaker.state(), BreakerState::Open, "threshold trips");
+        assert_eq!(breaker.trips(), 1);
+        assert!(!breaker.admit(50.0), "open breaker sheds inside the cooldown");
+        assert!(breaker.admit(120.0), "cooldown elapsed admits the probe");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(!breaker.admit(121.0), "only one probe is outstanding");
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed, "probe success closes");
+        assert!(breaker.admit(122.0));
+    }
+
+    #[test]
+    fn probe_failure_reopens_immediately() {
+        let mut breaker = CircuitBreaker::new(CircuitBreakerPolicy::new(3, 50.0));
+        for t in 0..3 {
+            assert!(breaker.admit(t as f64));
+            breaker.record_failure(t as f64);
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(breaker.admit(60.0), "probe after cooldown");
+        breaker.record_failure(61.0);
+        assert_eq!(breaker.state(), BreakerState::Open, "one probe failure re-trips");
+        assert_eq!(breaker.trips(), 2);
+        assert!(!breaker.admit(100.0), "cooldown restarts from the probe failure");
+        assert!(breaker.admit(111.1));
+    }
+
+    #[test]
+    fn progress_resets_the_consecutive_count() {
+        let mut breaker = CircuitBreaker::new(CircuitBreakerPolicy::new(2, 10.0));
+        breaker.record_failure(0.0);
+        breaker.note_progress();
+        breaker.record_failure(1.0);
+        assert_eq!(breaker.state(), BreakerState::Closed, "non-consecutive failures never trip");
+    }
+
+    #[test]
+    fn policy_clamps() {
+        assert_eq!(CircuitBreakerPolicy::new(0, -1.0), CircuitBreakerPolicy::new(1, 0.0));
+        assert_eq!(WatchdogPolicy::new(0.5).overrun_factor, 1.0);
+    }
+}

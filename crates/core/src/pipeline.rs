@@ -296,6 +296,33 @@ pub fn install_conv_calibration(path: &str) -> Result<usize> {
 /// process-wide calibration generation it was resolved under.
 type BucketDispatchCache = BTreeMap<usize, (u64, Arc<AlgoCalibration>)>;
 
+/// A non-fatal condition recorded during pipeline construction: the pipeline
+/// is fully usable, but degraded from what the configuration asked for.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum PipelineWarning {
+    /// A configured conv-calibration file could not be loaded (missing,
+    /// truncated, corrupt). The pipeline fell back to the analytic cost model
+    /// instead of failing construction — a stale warm-start file must never
+    /// take serving down.
+    CalibrationLoadFailed {
+        /// The configured calibration path.
+        path: String,
+        /// Why the load failed.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PipelineWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineWarning::CalibrationLoadFailed { path, reason } => write!(
+                f,
+                "conv calibration {path} failed to load ({reason}); using the analytic cost model"
+            ),
+        }
+    }
+}
+
 /// The dynamic-resolution pipeline.
 #[derive(Debug, Clone)]
 pub struct DynamicResolutionPipeline {
@@ -308,6 +335,12 @@ pub struct DynamicResolutionPipeline {
     /// with the calibration generation they were derived from (shared across
     /// pipeline clones; see [`DynamicResolutionPipeline::bucket_dispatch`]).
     bucket_dispatch: Arc<Mutex<BucketDispatchCache>>,
+    /// Planned peak-live activation bytes per resolution, computed lazily from
+    /// `Network::arena_plan` (shared across clones; see
+    /// [`DynamicResolutionPipeline::arena_peak_bytes`]).
+    arena_peaks: Arc<Mutex<BTreeMap<usize, usize>>>,
+    /// Non-fatal degradations recorded at construction.
+    warnings: Vec<PipelineWarning>,
 }
 
 impl DynamicResolutionPipeline {
@@ -324,8 +357,16 @@ impl DynamicResolutionPipeline {
         if config.resolutions.is_empty() {
             return Err(CoreError::InvalidConfig { reason: "no candidate resolutions".into() });
         }
+        // A bad warm-start calibration file degrades to the analytic cost
+        // model with a recorded warning — it must not fail construction.
+        let mut warnings = Vec::new();
         if let Some(path) = &config.conv_calibration {
-            install_conv_calibration(path)?;
+            if let Err(error) = install_conv_calibration(path) {
+                warnings.push(PipelineWarning::CalibrationLoadFailed {
+                    path: path.clone(),
+                    reason: error.to_string(),
+                });
+            }
         }
         let backbone_arch = config.backbone.arch(config.dataset.num_classes());
         let mut backbone_gflops = BTreeMap::new();
@@ -341,7 +382,46 @@ impl DynamicResolutionPipeline {
             backbone_gflops,
             scale_gflops,
             bucket_dispatch: Arc::new(Mutex::new(BucketDispatchCache::new())),
+            arena_peaks: Arc::new(Mutex::new(BTreeMap::new())),
+            warnings,
         })
+    }
+
+    /// Non-fatal degradations recorded while the pipeline was constructed
+    /// (e.g. an unreadable calibration warm-start file). Empty in the healthy
+    /// case.
+    pub fn warnings(&self) -> &[PipelineWarning] {
+        &self.warnings
+    }
+
+    /// Planned peak-live activation bytes of one backbone forward at
+    /// `resolution`, from `Network::arena_plan`'s liveness simulation
+    /// (computed once per resolution, cached across pipeline clones).
+    ///
+    /// This is the per-request memory figure a memory-budgeted admission
+    /// controller charges: the measured arena high-water mark of a real
+    /// forward never exceeds it (`ActivationArena::peak_live_bytes` is pinned
+    /// against it in `rescnn-models`' tests).
+    ///
+    /// # Errors
+    /// Returns an error if the resolution is too small for the backbone's
+    /// downsampling schedule.
+    pub fn arena_peak_bytes(&self, resolution: usize) -> Result<usize> {
+        let mut cache = self.arena_peaks.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&bytes) = cache.get(&resolution) {
+            return Ok(bytes);
+        }
+        let network = rescnn_models::Network::new(
+            self.config.backbone,
+            self.config.dataset.num_classes(),
+            0, // weights do not affect the arena plan
+        );
+        let plan =
+            network.arena_plan(rescnn_tensor::Shape::chw(3, resolution, resolution)).map_err(
+                |e| CoreError::InvalidConfig { reason: format!("arena plan at {resolution}: {e}") },
+            )?;
+        cache.insert(resolution, plan.peak_live_bytes);
+        Ok(plan.peak_live_bytes)
     }
 
     /// The per-shape convolution dispatch table for one resolution bucket:
@@ -989,7 +1069,8 @@ mod tests {
     #[test]
     fn conv_calibration_warm_start_installs_table() {
         // A pipeline configured with a persisted calibration installs it at
-        // construction; a missing file is a configuration error.
+        // construction; an unloadable file degrades to the analytic cost model
+        // with a typed warning instead of failing construction.
         let _guard = crate::test_sync::calibration_lock();
         use rescnn_hwsim::{CalibratedCostModel, CpuProfile};
         use rescnn_models::ConvLayerShape;
@@ -1002,12 +1083,46 @@ mod tests {
         let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
         let train = DatasetSpec::cars_like().with_len(12).with_max_dimension(64).build(1);
         let scale_model = trainer.train(&train, 2).unwrap();
-        assert!(DynamicResolutionPipeline::new(
-            missing,
-            scale_model.clone(),
-            AccuracyOracle::new(0)
-        )
-        .is_err());
+        let degraded =
+            DynamicResolutionPipeline::new(missing, scale_model.clone(), AccuracyOracle::new(0))
+                .expect("a missing calibration degrades, it does not fail construction");
+        assert_eq!(degraded.warnings().len(), 1);
+        let PipelineWarning::CalibrationLoadFailed { path, .. } = &degraded.warnings()[0];
+        assert_eq!(path, "/nonexistent/rescnn-calibration.txt");
+        assert!(
+            degraded.warnings()[0].to_string().contains("analytic cost model"),
+            "the warning must say what the pipeline fell back to"
+        );
+        // The degraded pipeline still serves inference.
+        let probe = DatasetSpec::cars_like().with_len(1).with_max_dimension(64).build(9);
+        degraded.infer(&probe[0]).expect("degraded pipeline must still serve");
+
+        // A calibration file that was written and then truncated mid-byte (a
+        // crash during persist) degrades the same way.
+        let truncated_path =
+            std::env::temp_dir().join(format!("rescnn-core-truncated-{}.txt", std::process::id()));
+        {
+            let mut probe_model = CalibratedCostModel::new(CpuProfile::host());
+            probe_model.record(
+                &ConvLayerShape {
+                    params: Conv2dParams::new(13, 13, 3, 1, 1),
+                    input: Shape::chw(13, 37, 37),
+                },
+                ConvAlgo::Winograd,
+                1.0e-3,
+            );
+            probe_model.save(&truncated_path).unwrap();
+            // Tear the final record line (never just the trailing newline).
+            let bytes = std::fs::read(&truncated_path).unwrap();
+            std::fs::write(&truncated_path, &bytes[..bytes.len() - 5]).unwrap();
+        }
+        let torn = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+            .with_conv_calibration(truncated_path.to_string_lossy().to_string());
+        let torn =
+            DynamicResolutionPipeline::new(torn, scale_model.clone(), AccuracyOracle::new(0))
+                .expect("a truncated calibration degrades, it does not fail construction");
+        assert_eq!(torn.warnings().len(), 1, "truncated file must warn exactly once");
+        std::fs::remove_file(&truncated_path).ok();
 
         // Calibrate an exotic shape no test network uses, so the installed
         // table cannot perturb any other test's dispatch decisions.
@@ -1026,6 +1141,7 @@ mod tests {
             .with_conv_calibration(path.to_string_lossy().to_string());
         let pipeline =
             DynamicResolutionPipeline::new(warm, scale_model, AccuracyOracle::new(0)).unwrap();
+        assert!(pipeline.warnings().is_empty(), "a loadable calibration must not warn");
         assert!(pipeline.config().conv_calibration.is_some());
         let table = rescnn_tensor::installed_algo_calibration().expect("table installed");
         let key = ConvShapeKey::new(layer.params, layer.input);

@@ -371,6 +371,12 @@ where
             .into_iter()
             .map(|outcome| match outcome {
                 Ok(result) => result,
+                // Cooperative cancellations (a token installed around the batch,
+                // e.g. by the SLO watchdog) are refused at the task boundary and
+                // reported as such, not as panics.
+                Err(message) if message.starts_with("cancelled") => {
+                    Err(CoreError::Cancelled { reason: message })
+                }
                 Err(message) => Err(CoreError::Panicked { message }),
             })
             .collect()

@@ -28,11 +28,37 @@
 //!    per-request isolation: one panicking or failing request yields its own
 //!    [`SloOutcome::Failed`] while the rest of its batch completes.
 //!
+//! # Resilient lifecycle (all opt-in)
+//!
+//! Four policies extend the lifecycle without touching its determinism; with
+//! every policy `None` the scheduler behaves exactly as before, bit for bit:
+//!
+//! * **Retry with demotion** ([`RetryPolicy`]): a failed attempt is
+//!   re-admitted after a virtual-clock backoff, preferentially *one rung
+//!   below* the resolution that failed (bounded by the SSIM floor) — recovery
+//!   uses the same lever as load-shedding.
+//! * **Circuit breaking** ([`CircuitBreakerPolicy`]): requests tagged with a
+//!   [`SourceId`] are gated per source; repeated failures trip an open state
+//!   that sheds that source *before any decode or plan compute*
+//!   ([`Rejected::CircuitOpen`]), then a half-open probe tests recovery after
+//!   a cooldown.
+//! * **Watchdog cancellation** ([`WatchdogPolicy`]): an admission whose
+//!   charged service would overrun the latency-model estimate is capped and
+//!   the execution cooperatively cancelled — a pre-fired
+//!   [`CancellationToken`](rescnn_tensor::CancellationToken) is refused at the
+//!   execute stage's task boundary, so no backbone compute is spent.
+//! * **Memory-budget backpressure** ([`SloOptions::memory_budget_bytes`]):
+//!   rungs whose planned activation-arena peak
+//!   ([`DynamicResolutionPipeline::arena_peak_bytes`]) exceeds the budget are
+//!   skipped at admission — the budget demotes down the ladder exactly like a
+//!   deadline, shedding only when no rung fits.
+//!
 //! Because every admission decision is a pure function of the plans, the
 //! latency model, and the requests' virtual arrival/deadline stamps — never of
 //! wall-clock time — the entire report (outcomes, degradations, sheds,
-//! latency percentiles) is bitwise reproducible across thread budgets;
-//! [`SloReport::wall_seconds`] is the only wall-clock-dependent field.
+//! retries, breaker trips, latency percentiles) is bitwise reproducible across
+//! thread budgets; [`SloReport::wall_seconds`] is the only
+//! wall-clock-dependent field.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -45,6 +71,9 @@ use rescnn_hwsim::{CalibratedCostModel, CpuProfile};
 use rescnn_projpeg::ProgressiveImage;
 
 use crate::error::{CoreError, Result};
+use crate::lifecycle::{
+    CircuitBreaker, CircuitBreakerPolicy, RetryPolicy, SourceId, WatchdogPolicy,
+};
 use crate::pipeline::{DynamicResolutionPipeline, InferencePlan, InferenceRecord, PipelineReport};
 use crate::serve::{run_batch_isolated, BatchOptions};
 
@@ -63,12 +92,29 @@ pub struct SloRequest<'a> {
     /// Multiplier on the request's estimated service time (a fault-injection
     /// hook: latency spikes, slow tenants). `1.0` is nominal.
     pub cost_multiplier: f64,
+    /// Originating source (client/tenant), for per-source circuit breaking.
+    /// `None` opts the request out of breaker gating.
+    pub source: Option<SourceId>,
 }
 
 impl<'a> SloRequest<'a> {
     /// A request arriving at `arrival_ms` that must complete by `deadline_ms`.
     pub fn new(sample: &'a Sample, arrival_ms: f64, deadline_ms: f64) -> Self {
-        SloRequest { sample, storage: None, arrival_ms, deadline_ms, cost_multiplier: 1.0 }
+        SloRequest {
+            sample,
+            storage: None,
+            arrival_ms,
+            deadline_ms,
+            cost_multiplier: 1.0,
+            source: None,
+        }
+    }
+
+    /// Tags the request with its originating source for per-source circuit
+    /// breaking.
+    pub fn with_source(mut self, source: SourceId) -> Self {
+        self.source = Some(source);
+        self
     }
 
     /// Serves a caller-supplied stored stream instead of re-encoding the sample
@@ -162,6 +208,9 @@ pub enum Rejected {
     /// not finish within the deadline; the request was shed to protect the
     /// rest of the queue.
     Overloaded,
+    /// The request's source had its circuit breaker open: it was shed at the
+    /// gate, before any decode or plan compute was spent on it.
+    CircuitOpen,
 }
 
 /// What happened to one request, in submission order.
@@ -190,8 +239,12 @@ pub struct CompletedRequest {
     pub virtual_start_ms: f64,
     /// When service finished on the virtual clock.
     pub virtual_finish_ms: f64,
-    /// Virtual finish minus arrival: the latency the client observed.
+    /// Virtual finish minus the *original* arrival: the latency the client
+    /// observed, backoff and failed attempts included.
     pub virtual_latency_ms: f64,
+    /// Retries it took to complete (0 = succeeded on the first attempt; > 0
+    /// means a failure was recovered by [`RetryPolicy`]).
+    pub retries: usize,
 }
 
 /// Policy knobs for the SLO scheduler.
@@ -205,9 +258,27 @@ pub struct SloOptions {
     /// Service-time estimates; `None` builds the analytic model for the host.
     pub latency: Option<ResolutionLatencyModel>,
     /// Fault-injection hook: panic inside the execute stage of every `n`-th
-    /// admitted request (1-based submission count). Exercises the panic
+    /// admitted request (1-based submission count; first attempts only, so
+    /// retries model recovery from a transient fault). Exercises the panic
     /// containment path deterministically; `None` in production.
     pub chaos_panic_every: Option<usize>,
+    /// Fault-injection hook: panic inside the execute stage of exactly these
+    /// submission indices (first attempts only). Kept sorted and deduplicated;
+    /// empty in production.
+    pub chaos_panic_requests: Vec<usize>,
+    /// Bounded retry with virtual-clock backoff and resolution demotion;
+    /// `None` (the default) fails requests on their first error.
+    pub retry: Option<RetryPolicy>,
+    /// Per-[`SourceId`] circuit breaking; `None` (the default) never gates.
+    pub breaker: Option<CircuitBreakerPolicy>,
+    /// Watchdog cancellation of executions overrunning the latency-model
+    /// estimate; `None` (the default) lets overruns run (and be charged) in
+    /// full.
+    pub watchdog: Option<WatchdogPolicy>,
+    /// Activation-arena byte budget: admission skips rungs whose planned peak
+    /// exceeds it, demoting down the ladder like a deadline. `None` (the
+    /// default) never constrains.
+    pub memory_budget_bytes: Option<usize>,
 }
 
 impl SloOptions {
@@ -234,6 +305,39 @@ impl SloOptions {
         self.chaos_panic_every = Some(n.max(1));
         self
     }
+
+    /// Enables deterministic panic injection at exactly these submission
+    /// indices (first attempts only).
+    pub fn with_chaos_panic_requests(mut self, mut indices: Vec<usize>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        self.chaos_panic_requests = indices;
+        self
+    }
+
+    /// Enables bounded retry with demotion.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Enables per-source circuit breaking.
+    pub fn with_breaker(mut self, policy: CircuitBreakerPolicy) -> Self {
+        self.breaker = Some(policy);
+        self
+    }
+
+    /// Enables watchdog cancellation of estimate-overrunning executions.
+    pub fn with_watchdog(mut self, policy: WatchdogPolicy) -> Self {
+        self.watchdog = Some(policy);
+        self
+    }
+
+    /// Caps the activation-arena bytes admission may plan for.
+    pub fn with_memory_budget_bytes(mut self, bytes: usize) -> Self {
+        self.memory_budget_bytes = Some(bytes);
+        self
+    }
 }
 
 /// The outcome of draining an [`SloScheduler`] queue.
@@ -254,15 +358,30 @@ pub struct SloReport {
     pub shed: usize,
     /// Requests that expired in the queue ([`Rejected::DeadlineExceeded`]).
     pub expired: usize,
-    /// Requests isolated after their own stage failed or panicked.
+    /// Requests isolated after their own stage failed or panicked (their final
+    /// attempt, when retrying).
     pub faulted: usize,
+    /// Completed requests whose first attempt failed — failures the
+    /// [`RetryPolicy`] converted into completions.
+    pub recovered: usize,
+    /// Retry attempts scheduled across the run.
+    pub retry_attempts: usize,
+    /// Requests shed at the gate by an open circuit breaker
+    /// ([`Rejected::CircuitOpen`]); disjoint from [`shed`](Self::shed).
+    pub breaker_shed: usize,
+    /// Times any source's breaker tripped open.
+    pub breaker_trips: usize,
+    /// Executions cancelled by the watchdog before spending compute.
+    pub watchdog_cancelled: usize,
+    /// Completed requests served below a rung the memory budget vetoed.
+    pub memory_demoted: usize,
     /// Completed requests / total — the headline goodput.
     pub goodput: f64,
     /// Shed requests / total.
     pub shed_rate: f64,
     /// Requests that did not complete within their deadline / total
-    /// (expired + shed + faulted; admitted requests meet their deadline by
-    /// construction of the admission test).
+    /// (expired + shed + breaker-shed + faulted; admitted requests meet their
+    /// deadline by construction of the admission test).
     pub slo_violation_rate: f64,
     /// Median virtual latency of completed requests, in milliseconds.
     pub p50_latency_ms: f64,
@@ -303,15 +422,68 @@ pub struct SloScheduler<'a> {
     queue: Vec<SloRequest<'a>>,
 }
 
-/// Post-admission state of one admitted request.
+/// The plan a retry inherits from its failed predecessor: execute-stage
+/// failures keep their (possibly degraded) plan and demote from its rung;
+/// plan-stage failures carry nothing and re-plan from scratch.
 #[derive(Debug)]
-struct Admitted {
+struct PriorAttempt {
+    plan: InferencePlan,
+    served_resolution: usize,
+    planned_resolution: usize,
+}
+
+/// One scheduled attempt of a request's lifecycle: attempt 0 is the original
+/// admission, higher attempts are retries re-admitted after a virtual-clock
+/// backoff.
+#[derive(Debug)]
+struct PendingAttempt {
     /// Submission index.
     index: usize,
+    /// 0-based attempt number.
+    attempt: usize,
+    /// Arrival on the virtual clock (the original arrival for attempt 0, the
+    /// prior failure's finish plus backoff for retries).
+    arrival_ms: f64,
+    prior: Option<PriorAttempt>,
+    /// The error that scheduled this retry (`None` only for attempt 0).
+    last_error: Option<CoreError>,
+}
+
+/// Post-admission state of one attempt.
+#[derive(Debug)]
+struct AdmittedAttempt {
+    /// Position in the round's attempt list.
+    slot: usize,
+    /// Admission sequence within the round (virtual-server order), the order
+    /// execute outcomes are fed to the circuit breakers in.
+    seq: usize,
     plan: InferencePlan,
     planned_resolution: usize,
     virtual_start_ms: f64,
     virtual_finish_ms: f64,
+    /// Watchdog-flagged: charged the capped overrun and cooperatively
+    /// cancelled before any backbone compute.
+    cancelled: bool,
+}
+
+/// Plan-stage verdict for one attempt under breaker gating.
+#[derive(Debug)]
+enum Gate {
+    /// Shed at the gate by an open breaker; no decode or plan compute spent.
+    Shed,
+    /// Admitted past the gate; the plan stage ran.
+    Plan(Result<InferencePlan>),
+}
+
+/// One breaker-gated planning group: a source's attempts walked sequentially
+/// (so gating sees failures inline, in arrival order), or a single unsourced
+/// attempt.
+#[derive(Debug)]
+struct PlanGroup {
+    source: Option<SourceId>,
+    breaker: Option<CircuitBreaker>,
+    /// Positions in the round's attempt list, ascending by (arrival, index).
+    slots: Vec<usize>,
 }
 
 impl<'a> SloScheduler<'a> {
@@ -341,6 +513,17 @@ impl<'a> SloScheduler<'a> {
             .max(1)
     }
 
+    /// Plans one request (preview read + scale model), honouring its
+    /// caller-supplied storage when present.
+    fn plan_request(&self, request: &SloRequest<'_>) -> Result<InferencePlan> {
+        match &request.storage {
+            Some(encoded) => {
+                self.pipeline.plan_with_storage_unscoped(request.sample, encoded.clone())
+            }
+            None => self.pipeline.plan_unscoped(request.sample),
+        }
+    }
+
     /// Drains the queue: plans, admits over the virtual clock, executes, and
     /// aggregates.
     ///
@@ -358,135 +541,483 @@ impl<'a> SloScheduler<'a> {
             Some(model) => model.clone(),
             None => ResolutionLatencyModel::analytic(self.pipeline)?,
         };
-        let mut outcomes: Vec<Option<SloOutcome>> = vec![None; queue.len()];
-
-        // Stage 1: plan every request under per-request isolation.
-        let plans = run_batch_isolated(self.pipeline, threads, queue.len(), |index| {
-            let request = &queue[index];
-            match &request.storage {
-                Some(encoded) => {
-                    self.pipeline.plan_with_storage_unscoped(request.sample, encoded.clone())
-                }
-                None => self.pipeline.plan_unscoped(request.sample),
-            }
-        });
-        let mut plan_slots: Vec<Option<InferencePlan>> = Vec::with_capacity(queue.len());
-        for (index, outcome) in plans.into_iter().enumerate() {
-            match outcome {
-                Ok(plan) => plan_slots.push(Some(plan)),
-                Err(error) => {
-                    outcomes[index] = Some(SloOutcome::Failed(error));
-                    plan_slots.push(None);
-                }
-            }
-        }
-
-        // Stage 2: admission over the virtual clock, in arrival order (ties
-        // break by submission index, keeping the walk fully deterministic).
-        let mut order: Vec<usize> = (0..queue.len()).filter(|&i| plan_slots[i].is_some()).collect();
-        order.sort_by(|&a, &b| {
-            queue[a].arrival_ms.total_cmp(&queue[b].arrival_ms).then_with(|| a.cmp(&b))
-        });
+        // Memory budget: resolve every rung's planned activation-arena peak
+        // once, up front (the only fallible part of admission), keeping the
+        // per-request walk infallible.
         let ladder = &self.pipeline.config().resolutions;
+        let arena_peaks: Option<BTreeMap<usize, usize>> = match self.options.memory_budget_bytes {
+            Some(_) => {
+                let mut peaks = BTreeMap::new();
+                for &resolution in ladder {
+                    peaks.insert(resolution, self.pipeline.arena_peak_bytes(resolution)?);
+                }
+                Some(peaks)
+            }
+            None => None,
+        };
+
+        let mut outcomes: Vec<Option<SloOutcome>> = vec![None; queue.len()];
+        let mut memory_demoted_flag: Vec<bool> = vec![false; queue.len()];
+        let mut breakers: BTreeMap<SourceId, CircuitBreaker> = BTreeMap::new();
         let mut server_free_ms = 0.0f64;
         let mut peak_backlog_ms = 0.0f64;
-        let mut admitted: Vec<Admitted> = Vec::new();
-        for index in order {
-            let request = &queue[index];
-            let plan = plan_slots[index].take().expect("planned requests reach admission once");
-            let virtual_start = server_free_ms.max(request.arrival_ms);
-            peak_backlog_ms = peak_backlog_ms.max(virtual_start - request.arrival_ms);
-            if virtual_start >= request.deadline_ms {
-                outcomes[index] = Some(SloOutcome::Rejected(Rejected::DeadlineExceeded));
-                continue;
-            }
-            // Walk the ladder downward from the planned resolution: the
-            // largest bucket that fits the slack and meets the SSIM floor wins.
-            let planned_resolution = plan.chosen_resolution;
-            let mut candidates: Vec<usize> =
-                ladder.iter().copied().filter(|&r| r <= planned_resolution).collect();
-            candidates.sort_unstable_by(|a, b| b.cmp(a));
-            let mut placed = false;
-            for resolution in candidates {
-                let service_ms = latency.estimate_ms(resolution) * request.cost_multiplier;
-                if virtual_start + service_ms > request.deadline_ms {
-                    continue;
-                }
-                let final_plan = if resolution == planned_resolution {
-                    plan.clone()
-                } else {
-                    match self.pipeline.replan_at(request.sample, &plan, resolution) {
-                        Ok(replanned) => replanned,
-                        Err(error) => {
-                            outcomes[index] = Some(SloOutcome::Failed(error));
-                            placed = true;
-                            break;
-                        }
-                    }
-                };
-                if let Some(floor) = self.options.ssim_floor {
-                    if resolution != planned_resolution && final_plan.quality() < floor {
-                        // Degrading this far would deliver unacceptable
-                        // quality; cheaper buckets only read less.
-                        break;
-                    }
-                }
-                server_free_ms = virtual_start + service_ms;
-                admitted.push(Admitted {
-                    index,
-                    plan: final_plan,
-                    planned_resolution,
-                    virtual_start_ms: virtual_start,
-                    virtual_finish_ms: server_free_ms,
-                });
-                placed = true;
-                break;
-            }
-            if !placed {
-                outcomes[index] = Some(SloOutcome::Rejected(Rejected::Overloaded));
-            }
-        }
-
-        // Stage 3: execute admitted requests as homogeneous resolution buckets
-        // under per-request isolation, mirroring the batch scheduler.
+        let mut retry_attempts = 0usize;
+        let mut watchdog_cancelled = 0usize;
         let max_batch = self.options.batch.max_batch.max(1);
         let chaos = self.options.chaos_panic_every;
-        let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for (slot, entry) in admitted.iter().enumerate() {
-            buckets.entry(entry.plan.chosen_resolution).or_default().push(slot);
-        }
-        for (&resolution, members) in &buckets {
-            let dispatch = self.pipeline.bucket_dispatch(resolution);
-            for batch in members.chunks(max_batch) {
-                let results = run_batch_isolated(self.pipeline, threads, batch.len(), |slot| {
-                    let entry = &admitted[batch[slot]];
-                    if let Some(every) = chaos {
-                        if (entry.index + 1).is_multiple_of(every) {
-                            panic!("chaos: injected panic in request {}", entry.index);
+        let chaos_requests = &self.options.chaos_panic_requests;
+
+        // The lifecycle runs in rounds over one shared virtual server: round 0
+        // is every request's first attempt; each later round holds the retries
+        // scheduled by the previous one (attempt numbers strictly increase and
+        // are capped by the retry policy, so the loop is bounded). With no
+        // retry policy there is exactly one round and the flow below reduces
+        // to the policy-free scheduler, bit for bit.
+        let mut pending: Vec<PendingAttempt> = queue
+            .iter()
+            .enumerate()
+            .map(|(index, request)| PendingAttempt {
+                index,
+                attempt: 0,
+                arrival_ms: request.arrival_ms,
+                prior: None,
+                last_error: None,
+            })
+            .collect();
+        while !pending.is_empty() {
+            let round = std::mem::take(&mut pending);
+
+            // Stage 1: plan every attempt that needs one (retries of execute
+            // failures keep their plan) under per-request isolation.
+            let need_plan: Vec<usize> = round
+                .iter()
+                .enumerate()
+                .filter(|(_, attempt)| attempt.prior.is_none())
+                .map(|(slot, _)| slot)
+                .collect();
+            let mut gates: Vec<Option<Gate>> = Vec::new();
+            gates.resize_with(round.len(), || None);
+            if let Some(policy) = &self.options.breaker {
+                // Breaker gating needs each source's attempts walked in
+                // arrival order with failures fed inline, so planning is
+                // grouped per source (one isolated task per group — groups
+                // still plan in parallel); unsourced attempts are ungated
+                // singletons. A shed attempt is never decoded or planned.
+                let mut sourced: BTreeMap<SourceId, Vec<usize>> = BTreeMap::new();
+                let mut groups: Vec<PlanGroup> = Vec::new();
+                for &slot in &need_plan {
+                    match queue[round[slot].index].source {
+                        Some(source) => sourced.entry(source).or_default().push(slot),
+                        None => groups.push(PlanGroup {
+                            source: None,
+                            breaker: None,
+                            slots: vec![slot],
+                        }),
+                    }
+                }
+                for (source, mut slots) in sourced {
+                    slots.sort_by(|&a, &b| {
+                        round[a]
+                            .arrival_ms
+                            .total_cmp(&round[b].arrival_ms)
+                            .then_with(|| round[a].index.cmp(&round[b].index))
+                    });
+                    let breaker = breakers
+                        .entry(source)
+                        .or_insert_with(|| CircuitBreaker::new(policy.clone()))
+                        .clone();
+                    groups.push(PlanGroup { source: Some(source), breaker: Some(breaker), slots });
+                }
+                let group_outcomes =
+                    run_batch_isolated(self.pipeline, threads, groups.len(), |g| {
+                        let group = &groups[g];
+                        let mut breaker = group.breaker.clone();
+                        let mut walked: Vec<(usize, Gate)> = Vec::with_capacity(group.slots.len());
+                        for &slot in &group.slots {
+                            let attempt = &round[slot];
+                            if let Some(b) = breaker.as_mut() {
+                                if !b.admit(attempt.arrival_ms) {
+                                    walked.push((slot, Gate::Shed));
+                                    continue;
+                                }
+                            }
+                            // Panics are contained per member, not per group:
+                            // one poisoned stream must not fail its source's
+                            // healthy neighbours.
+                            let planned =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    self.plan_request(&queue[attempt.index])
+                                }))
+                                .unwrap_or_else(|payload| {
+                                    Err(CoreError::Panicked {
+                                        message: rescnn_tensor::panic_message(payload),
+                                    })
+                                });
+                            if let Some(b) = breaker.as_mut() {
+                                match &planned {
+                                    Ok(_) => b.note_progress(),
+                                    Err(_) => b.record_failure(attempt.arrival_ms),
+                                }
+                            }
+                            walked.push((slot, Gate::Plan(planned)));
+                        }
+                        Ok((walked, breaker))
+                    });
+                for (g, outcome) in group_outcomes.into_iter().enumerate() {
+                    let group = &groups[g];
+                    match outcome {
+                        Ok((walked, breaker)) => {
+                            if let (Some(source), Some(breaker)) = (group.source, breaker) {
+                                breakers.insert(source, breaker);
+                            }
+                            for (slot, gate) in walked {
+                                gates[slot] = Some(gate);
+                            }
+                        }
+                        // The walk itself failing (members are caught
+                        // individually) fails the whole group.
+                        Err(error) => {
+                            for &slot in &group.slots {
+                                gates[slot] = Some(Gate::Plan(Err(error.clone())));
+                            }
                         }
                     }
-                    rescnn_tensor::with_algo_calibration_scope(Arc::clone(&dispatch), || {
-                        self.pipeline.execute_unscoped(queue[entry.index].sample, &entry.plan)
+                }
+            } else {
+                // No breaker: the flat data-parallel plan stage (identical in
+                // structure — and in round 0, in per-task work — to the
+                // policy-free scheduler).
+                let planned = run_batch_isolated(self.pipeline, threads, need_plan.len(), |i| {
+                    self.plan_request(&queue[round[need_plan[i]].index])
+                });
+                for (i, outcome) in planned.into_iter().enumerate() {
+                    gates[need_plan[i]] = Some(Gate::Plan(outcome));
+                }
+            }
+
+            // Resolve gates: sheds and final plan failures settle now; plan
+            // failures with retry budget re-plan next round from scratch.
+            let mut viable: Vec<(usize, InferencePlan)> = Vec::new();
+            for (slot, attempt) in round.iter().enumerate() {
+                if let Some(prior) = &attempt.prior {
+                    viable.push((slot, prior.plan.clone()));
+                    continue;
+                }
+                match gates[slot].take().expect("every plan-needing attempt was gated") {
+                    Gate::Shed => {
+                        outcomes[attempt.index] = Some(SloOutcome::Rejected(Rejected::CircuitOpen));
+                    }
+                    Gate::Plan(Ok(plan)) => viable.push((slot, plan)),
+                    Gate::Plan(Err(error)) => {
+                        if let Some(policy) = &self.options.retry {
+                            if attempt.attempt < policy.max_retries {
+                                let next_arrival =
+                                    attempt.arrival_ms + policy.backoff_for(attempt.attempt);
+                                if next_arrival < queue[attempt.index].deadline_ms {
+                                    pending.push(PendingAttempt {
+                                        index: attempt.index,
+                                        attempt: attempt.attempt + 1,
+                                        arrival_ms: next_arrival,
+                                        prior: None,
+                                        last_error: Some(error.clone()),
+                                    });
+                                    retry_attempts += 1;
+                                }
+                            }
+                        }
+                        // Provisional when a retry was scheduled: the retry's
+                        // outcome overwrites it.
+                        outcomes[attempt.index] = Some(SloOutcome::Failed(error));
+                    }
+                }
+            }
+
+            // Stage 2: admission over the virtual clock, in arrival order
+            // (ties break by submission index, keeping the walk fully
+            // deterministic).
+            viable.sort_by(|a, b| {
+                round[a.0]
+                    .arrival_ms
+                    .total_cmp(&round[b.0].arrival_ms)
+                    .then_with(|| round[a.0].index.cmp(&round[b.0].index))
+            });
+            let mut admitted: Vec<AdmittedAttempt> = Vec::new();
+            for (slot, plan) in viable {
+                let attempt = &round[slot];
+                let request = &queue[attempt.index];
+                let virtual_start = server_free_ms.max(attempt.arrival_ms);
+                peak_backlog_ms = peak_backlog_ms.max(virtual_start - attempt.arrival_ms);
+                if virtual_start >= request.deadline_ms {
+                    outcomes[attempt.index] = Some(if attempt.attempt == 0 {
+                        SloOutcome::Rejected(Rejected::DeadlineExceeded)
+                    } else {
+                        // The backoff ran the clock out: keep the failure that
+                        // scheduled this retry.
+                        SloOutcome::Failed(
+                            attempt
+                                .last_error
+                                .clone()
+                                .expect("retries carry the error that scheduled them"),
+                        )
+                    });
+                    continue;
+                }
+                let planned_resolution = match &attempt.prior {
+                    Some(prior) => prior.planned_resolution,
+                    None => plan.chosen_resolution,
+                };
+                // Candidate rungs. First attempts (and re-plans) walk the
+                // ladder downward from the planned resolution — the largest
+                // bucket that fits the slack, the memory budget, and the SSIM
+                // floor wins, and a floor violation ends the walk (cheaper
+                // rungs only read less). A demoting retry instead prefers one
+                // rung *below* the resolution that failed, falling back to
+                // that rung itself (here a floor violation moves on: the
+                // fallback is the higher-quality option).
+                let (candidates, floor_break): (Vec<usize>, bool) = match &attempt.prior {
+                    Some(prior) => {
+                        let served = prior.served_resolution;
+                        let demote = self
+                            .options
+                            .retry
+                            .as_ref()
+                            .is_some_and(|policy| policy.demote_on_retry);
+                        let mut rungs = Vec::with_capacity(2);
+                        if demote {
+                            if let Some(below) =
+                                ladder.iter().copied().filter(|&r| r < served).max()
+                            {
+                                rungs.push(below);
+                            }
+                        }
+                        rungs.push(served);
+                        (rungs, false)
+                    }
+                    None => {
+                        let mut rungs: Vec<usize> =
+                            ladder.iter().copied().filter(|&r| r <= planned_resolution).collect();
+                        rungs.sort_unstable_by(|a, b| b.cmp(a));
+                        (rungs, true)
+                    }
+                };
+                // Injected cost spikes model transient faults: they fire on
+                // first attempts only, so a retry is charged the nominal
+                // estimate.
+                let multiplier = if attempt.attempt == 0 { request.cost_multiplier } else { 1.0 };
+                let mut placed = false;
+                let mut memory_skipped = false;
+                for resolution in candidates {
+                    if let (Some(peaks), Some(budget)) =
+                        (&arena_peaks, self.options.memory_budget_bytes)
+                    {
+                        if peaks.get(&resolution).copied().unwrap_or(0) > budget {
+                            // Over the arena budget: demote down the ladder
+                            // instead of risking the allocation.
+                            memory_skipped = true;
+                            continue;
+                        }
+                    }
+                    let estimate_ms = latency.estimate_ms(resolution);
+                    let mut service_ms = estimate_ms * multiplier;
+                    let mut cancelled = false;
+                    if let Some(watchdog) = &self.options.watchdog {
+                        let cap_ms = estimate_ms * watchdog.overrun_factor;
+                        if service_ms > cap_ms {
+                            // Overrun: charge only the cap (one runaway must
+                            // not blow every queued deadline) and cancel the
+                            // execution before it spends compute.
+                            service_ms = cap_ms;
+                            cancelled = true;
+                        }
+                    }
+                    if virtual_start + service_ms > request.deadline_ms {
+                        continue;
+                    }
+                    let final_plan = if resolution == plan.chosen_resolution {
+                        plan.clone()
+                    } else {
+                        match self.pipeline.replan_at(request.sample, &plan, resolution) {
+                            Ok(replanned) => replanned,
+                            Err(error) => {
+                                outcomes[attempt.index] = Some(SloOutcome::Failed(error));
+                                placed = true;
+                                break;
+                            }
+                        }
+                    };
+                    if let Some(floor) = self.options.ssim_floor {
+                        if resolution != planned_resolution && final_plan.quality() < floor {
+                            if floor_break {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                    server_free_ms = virtual_start + service_ms;
+                    if memory_skipped {
+                        memory_demoted_flag[attempt.index] = true;
+                    }
+                    if cancelled {
+                        watchdog_cancelled += 1;
+                    }
+                    admitted.push(AdmittedAttempt {
+                        slot,
+                        seq: admitted.len(),
+                        plan: final_plan,
+                        planned_resolution,
+                        virtual_start_ms: virtual_start,
+                        virtual_finish_ms: server_free_ms,
+                        cancelled,
+                    });
+                    placed = true;
+                    break;
+                }
+                if !placed {
+                    outcomes[attempt.index] = Some(if attempt.attempt == 0 {
+                        SloOutcome::Rejected(Rejected::Overloaded)
+                    } else {
+                        SloOutcome::Failed(
+                            attempt
+                                .last_error
+                                .clone()
+                                .expect("retries carry the error that scheduled them"),
+                        )
+                    });
+                }
+            }
+
+            // Stage 3: execute. Watchdog-doomed attempts run under a
+            // pre-fired cancellation token — the execute task is refused at
+            // its task boundary, so the cancellation path is exercised
+            // end-to-end while spending zero backbone compute. Everything
+            // else executes as homogeneous resolution buckets under
+            // per-request isolation, mirroring the batch scheduler.
+            let (doomed, normal): (Vec<AdmittedAttempt>, Vec<AdmittedAttempt>) =
+                admitted.into_iter().partition(|entry| entry.cancelled);
+            let mut executed: Vec<(AdmittedAttempt, Result<InferenceRecord>)> =
+                Vec::with_capacity(doomed.len() + normal.len());
+            if !doomed.is_empty() {
+                let token = rescnn_tensor::CancellationToken::new();
+                token.cancel();
+                let results = token.scope(|| {
+                    run_batch_isolated(self.pipeline, threads, doomed.len(), |slot| {
+                        let entry = &doomed[slot];
+                        self.pipeline
+                            .execute_unscoped(queue[round[entry.slot].index].sample, &entry.plan)
                     })
                 });
-                for (slot, result) in results.into_iter().enumerate() {
-                    let entry = &admitted[batch[slot]];
-                    outcomes[entry.index] = Some(match result {
-                        Ok(record) => SloOutcome::Completed(CompletedRequest {
+                let factor =
+                    self.options.watchdog.as_ref().map_or(f64::INFINITY, |w| w.overrun_factor);
+                for (entry, raw) in doomed.into_iter().zip(results) {
+                    debug_assert!(
+                        matches!(raw, Err(CoreError::Cancelled { .. })),
+                        "a pre-fired token must refuse the task, got {raw:?}"
+                    );
+                    // Replace the mechanism's task-local message with the
+                    // watchdog context (stable across reruns and budgets).
+                    let reason = format!(
+                        "watchdog: estimated service at {}\u{b2} exceeded {factor}x the \
+                         latency-model estimate; execution cancelled before start",
+                        entry.plan.chosen_resolution
+                    );
+                    executed.push((entry, Err(CoreError::Cancelled { reason })));
+                }
+            }
+            let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for (pos, entry) in normal.iter().enumerate() {
+                buckets.entry(entry.plan.chosen_resolution).or_default().push(pos);
+            }
+            let mut normal_results: Vec<Option<Result<InferenceRecord>>> = Vec::new();
+            normal_results.resize_with(normal.len(), || None);
+            for (&resolution, members) in &buckets {
+                let dispatch = self.pipeline.bucket_dispatch(resolution);
+                for batch in members.chunks(max_batch) {
+                    let results = run_batch_isolated(self.pipeline, threads, batch.len(), |slot| {
+                        let entry = &normal[batch[slot]];
+                        let attempt = &round[entry.slot];
+                        // Chaos panics model transient faults and fire on
+                        // first attempts only — a retry of a chaos-panicked
+                        // request genuinely recovers.
+                        if attempt.attempt == 0 {
+                            if let Some(every) = chaos {
+                                if (attempt.index + 1).is_multiple_of(every) {
+                                    panic!("chaos: injected panic in request {}", attempt.index);
+                                }
+                            }
+                            if chaos_requests.binary_search(&attempt.index).is_ok() {
+                                panic!("chaos: injected panic in request {}", attempt.index);
+                            }
+                        }
+                        rescnn_tensor::with_algo_calibration_scope(Arc::clone(&dispatch), || {
+                            self.pipeline.execute_unscoped(queue[attempt.index].sample, &entry.plan)
+                        })
+                    });
+                    for (slot, result) in results.into_iter().enumerate() {
+                        normal_results[batch[slot]] = Some(result);
+                    }
+                }
+            }
+            for (pos, entry) in normal.into_iter().enumerate() {
+                let result =
+                    normal_results[pos].take().expect("every admitted attempt was executed");
+                executed.push((entry, result));
+            }
+
+            // Settle outcomes and feed the breakers in admission order (the
+            // deterministic virtual-server order), then schedule retries.
+            executed.sort_by_key(|(entry, _)| entry.seq);
+            for (entry, result) in executed {
+                let attempt = &round[entry.slot];
+                let request = &queue[attempt.index];
+                if let (Some(policy), Some(source)) = (&self.options.breaker, request.source) {
+                    let breaker = breakers
+                        .entry(source)
+                        .or_insert_with(|| CircuitBreaker::new(policy.clone()));
+                    match &result {
+                        Ok(_) => breaker.record_success(),
+                        Err(_) => breaker.record_failure(entry.virtual_finish_ms),
+                    }
+                }
+                match result {
+                    Ok(record) => {
+                        outcomes[attempt.index] = Some(SloOutcome::Completed(CompletedRequest {
                             record,
                             planned_resolution: entry.planned_resolution,
                             served_resolution: entry.plan.chosen_resolution,
                             virtual_start_ms: entry.virtual_start_ms,
                             virtual_finish_ms: entry.virtual_finish_ms,
-                            virtual_latency_ms: entry.virtual_finish_ms
-                                - queue[entry.index].arrival_ms,
-                        }),
-                        Err(error) => SloOutcome::Failed(error),
-                    });
+                            virtual_latency_ms: entry.virtual_finish_ms - request.arrival_ms,
+                            retries: attempt.attempt,
+                        }));
+                    }
+                    Err(error) => {
+                        if let Some(policy) = &self.options.retry {
+                            if attempt.attempt < policy.max_retries {
+                                let next_arrival =
+                                    entry.virtual_finish_ms + policy.backoff_for(attempt.attempt);
+                                if next_arrival < request.deadline_ms {
+                                    pending.push(PendingAttempt {
+                                        index: attempt.index,
+                                        attempt: attempt.attempt + 1,
+                                        arrival_ms: next_arrival,
+                                        prior: Some(PriorAttempt {
+                                            served_resolution: entry.plan.chosen_resolution,
+                                            planned_resolution: entry.planned_resolution,
+                                            plan: entry.plan,
+                                        }),
+                                        last_error: Some(error.clone()),
+                                    });
+                                    retry_attempts += 1;
+                                }
+                            }
+                        }
+                        // Provisional when a retry was scheduled; final
+                        // otherwise.
+                        outcomes[attempt.index] = Some(SloOutcome::Failed(error));
+                    }
                 }
             }
         }
-        drop(admitted);
 
         // Stage 4: aggregate in submission order.
         let outcomes: Vec<SloOutcome> = outcomes
@@ -498,19 +1029,28 @@ impl<'a> SloScheduler<'a> {
         let mut latencies: Vec<f64> = Vec::new();
         let mut ssim_sum = 0.0f64;
         let (mut completed, mut shed, mut expired, mut faulted) = (0usize, 0usize, 0usize, 0usize);
-        for outcome in &outcomes {
+        let (mut breaker_shed, mut recovered, mut memory_demoted) = (0usize, 0usize, 0usize);
+        for (index, outcome) in outcomes.iter().enumerate() {
             match outcome {
                 SloOutcome::Completed(done) => {
                     completed += 1;
                     ssim_sum += done.record.quality;
                     latencies.push(done.virtual_latency_ms);
                     completed_records.push(done.record);
+                    if done.retries > 0 {
+                        recovered += 1;
+                    }
+                    if memory_demoted_flag[index] {
+                        memory_demoted += 1;
+                    }
                 }
                 SloOutcome::Rejected(Rejected::Overloaded) => shed += 1,
                 SloOutcome::Rejected(Rejected::DeadlineExceeded) => expired += 1,
+                SloOutcome::Rejected(Rejected::CircuitOpen) => breaker_shed += 1,
                 SloOutcome::Failed(_) => faulted += 1,
             }
         }
+        let breaker_trips = breakers.values().map(CircuitBreaker::trips).sum();
         // Only requests that actually completed count as degraded (a degraded
         // admission that then faulted is a fault, not a degradation).
         let degraded = outcomes
@@ -531,9 +1071,15 @@ impl<'a> SloScheduler<'a> {
             shed,
             expired,
             faulted,
+            recovered,
+            retry_attempts,
+            breaker_shed,
+            breaker_trips,
+            watchdog_cancelled,
+            memory_demoted,
             goodput: completed as f64 / totalf,
             shed_rate: shed as f64 / totalf,
-            slo_violation_rate: (shed + expired + faulted) as f64 / totalf,
+            slo_violation_rate: (shed + breaker_shed + expired + faulted) as f64 / totalf,
             p50_latency_ms: percentile(&latencies, 0.50),
             p99_latency_ms: percentile(&latencies, 0.99),
             mean_delivered_ssim: if completed > 0 { ssim_sum / completed as f64 } else { 0.0 },

@@ -1,0 +1,176 @@
+//! Property tests for `SloScheduler` admission invariants over seeded random
+//! workloads: deadlines are never violated by a completion, the degradation
+//! ladder is monotone (demote-only, never below the floor's reach), shed and
+//! expired requests consume zero execute compute, and a memory budget is a
+//! hard ceiling on the served rung.
+
+use proptest::prelude::*;
+use rescnn_core::{
+    DynamicResolutionPipeline, PipelineConfig, ResolutionLatencyModel, ScaleModelConfig,
+    ScaleModelTrainer, SloOptions, SloOutcome, SloRequest, SloScheduler,
+};
+use rescnn_data::{DatasetKind, DatasetSpec};
+use rescnn_imaging::CropRatio;
+use rescnn_models::ModelKind;
+use rescnn_oracle::AccuracyOracle;
+use std::sync::OnceLock;
+
+const LADDER: [usize; 2] = [112, 224];
+
+/// One shared pipeline: construction trains a scale model and is by far the
+/// most expensive step, so every proptest case reuses it.
+fn pipeline() -> &'static DynamicResolutionPipeline {
+    static PIPELINE: OnceLock<DynamicResolutionPipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let resolutions = LADDER.to_vec();
+        let config =
+            ScaleModelConfig { resolutions: resolutions.clone(), epochs: 30, ..Default::default() };
+        let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+        let train = DatasetSpec::cars_like().with_len(60).with_max_dimension(96).build(1);
+        let scale_model = trainer.train(&train, 3).unwrap();
+        let pipeline_config = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+            .with_crop(CropRatio::new(0.56).unwrap())
+            .with_resolutions(resolutions);
+        DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(77))
+            .unwrap()
+    })
+}
+
+fn fixed_latency() -> ResolutionLatencyModel {
+    ResolutionLatencyModel::from_estimates([(112, 10.0), (224, 50.0)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Over random arrival gaps and deadline slacks: outcome counters
+    // partition the queue, completions finish within their deadline and
+    // start no earlier than their arrival, and the ladder only ever demotes.
+    #[test]
+    fn admission_never_violates_deadlines_and_only_demotes(
+        seed in 0u64..40,
+        gap in 5.0f64..80.0,
+        slack in 20.0f64..400.0,
+    ) {
+        let pipeline = pipeline();
+        let data = DatasetSpec::cars_like().with_len(8).with_max_dimension(72).build(seed);
+        let options = SloOptions::default()
+            .with_latency_model(fixed_latency())
+            .with_ssim_floor(0.30);
+        let mut scheduler = SloScheduler::new(pipeline, options);
+        let mut deadlines = Vec::new();
+        for (i, sample) in data.iter().enumerate() {
+            let arrival = i as f64 * gap;
+            deadlines.push(arrival + slack);
+            scheduler.submit(SloRequest::new(sample, arrival, arrival + slack));
+        }
+        let report = scheduler.run().unwrap();
+
+        prop_assert_eq!(
+            report.completed + report.shed + report.breaker_shed + report.expired
+                + report.faulted,
+            report.total,
+            "outcome counters must partition the queue"
+        );
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            if let SloOutcome::Completed(done) = outcome {
+                let arrival = i as f64 * gap;
+                prop_assert!(
+                    done.virtual_finish_ms <= deadlines[i] + 1e-9,
+                    "request {i} finished at {} past its deadline {}",
+                    done.virtual_finish_ms,
+                    deadlines[i]
+                );
+                prop_assert!(done.virtual_start_ms >= arrival - 1e-9);
+                prop_assert!(
+                    done.served_resolution <= done.planned_resolution,
+                    "ladder must never promote: {} > {}",
+                    done.served_resolution,
+                    done.planned_resolution
+                );
+                prop_assert!(LADDER.contains(&done.served_resolution));
+                prop_assert_eq!(done.retries, 0, "no retry policy means no retries");
+            }
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Shed and expired requests consume zero execute compute: with a chaos
+    // plan that panics *every* execution, the rejection set is bitwise
+    // identical to the clean run's — admission decisions cannot observe
+    // execution at all — and nothing completes.
+    #[test]
+    fn rejected_requests_consume_zero_execute_compute(
+        seed in 0u64..40,
+        slack in 15.0f64..120.0,
+    ) {
+        let pipeline = pipeline();
+        let data = DatasetSpec::cars_like().with_len(8).with_max_dimension(72).build(seed);
+        // Simultaneous arrivals force a backlog, so some requests shed.
+        let options = SloOptions::default().with_latency_model(fixed_latency());
+        let mut clean = SloScheduler::new(pipeline, options.clone());
+        for sample in data.iter() {
+            clean.submit(SloRequest::new(sample, 0.0, slack));
+        }
+        let clean = clean.run().unwrap();
+
+        let mut chaotic = SloScheduler::new(pipeline, options.with_chaos_panic_every(1));
+        for sample in data.iter() {
+            chaotic.submit(SloRequest::new(sample, 0.0, slack));
+        }
+        let chaotic = chaotic.run().unwrap();
+
+        prop_assert_eq!(chaotic.completed, 0, "every execution panics");
+        prop_assert_eq!(chaotic.faulted, clean.completed, "admitted set is unchanged");
+        prop_assert_eq!(chaotic.shed, clean.shed);
+        prop_assert_eq!(chaotic.expired, clean.expired);
+        for (i, outcome) in clean.outcomes.iter().enumerate() {
+            if let SloOutcome::Rejected(rejection) = outcome {
+                prop_assert_eq!(
+                    &chaotic.outcomes[i],
+                    &SloOutcome::Rejected(*rejection),
+                    "rejection {i} must not depend on execution results"
+                );
+            }
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // A memory budget below the top rung's arena peak is a hard ceiling:
+    // nothing is served above the largest rung that fits the budget.
+    #[test]
+    fn memory_budget_is_a_hard_ceiling_on_the_served_rung(seed in 0u64..20) {
+        let pipeline = pipeline();
+        let budget = pipeline.arena_peak_bytes(224).unwrap() - 1;
+        let data = DatasetSpec::cars_like().with_len(6).with_max_dimension(72).build(seed);
+        let options = SloOptions::default()
+            .with_latency_model(fixed_latency())
+            .with_memory_budget_bytes(budget);
+        let mut scheduler = SloScheduler::new(pipeline, options);
+        for (i, sample) in data.iter().enumerate() {
+            let arrival = i as f64 * 60.0;
+            scheduler.submit(SloRequest::new(sample, arrival, arrival + 500.0));
+        }
+        let report = scheduler.run().unwrap();
+        for outcome in &report.outcomes {
+            if let SloOutcome::Completed(done) = outcome {
+                prop_assert!(
+                    pipeline.arena_peak_bytes(done.served_resolution).unwrap() <= budget,
+                    "served rung {} overcommits the {} byte budget",
+                    done.served_resolution,
+                    budget
+                );
+            }
+        }
+        prop_assert_eq!(report.shed + report.expired + report.faulted, 0);
+        prop_assert_eq!(report.completed, report.total, "budget demotes, never rejects");
+    }
+}

@@ -4,9 +4,9 @@
 //! thread budgets.
 
 use rescnn_core::{
-    BatchOptions, CoreError, DynamicResolutionPipeline, PipelineConfig, Rejected,
-    ResolutionLatencyModel, ScaleModelConfig, ScaleModelTrainer, SloOptions, SloOutcome, SloReport,
-    SloRequest, SloScheduler,
+    BatchOptions, CircuitBreakerPolicy, CoreError, DynamicResolutionPipeline, PipelineConfig,
+    Rejected, ResolutionLatencyModel, RetryPolicy, ScaleModelConfig, ScaleModelTrainer, SloOptions,
+    SloOutcome, SloReport, SloRequest, SloScheduler, SourceId, WatchdogPolicy,
 };
 use rescnn_data::{DatasetKind, DatasetSpec, Sample};
 use rescnn_imaging::CropRatio;
@@ -272,4 +272,295 @@ fn empty_queue_is_rejected() {
     let mut scheduler = SloScheduler::new(&pipeline, SloOptions::default());
     assert!(matches!(scheduler.run(), Err(CoreError::EmptyDataset)));
     assert_eq!(scheduler.queued(), 0);
+}
+
+#[test]
+fn retry_with_demotion_converts_transient_panics_into_completions() {
+    let pipeline = build_pipeline(vec![112, 224]);
+    let data = DatasetSpec::cars_like().with_len(24).with_max_dimension(72).build(29);
+    let sample = sample_planned_at(&pipeline, &data, 224);
+    fn submit<'a>(scheduler: &mut SloScheduler<'a>, sample: &'a Sample) {
+        for i in 0..4 {
+            let arrival = i as f64 * 60.0;
+            scheduler.submit(SloRequest::new(sample, arrival, arrival + 500.0));
+        }
+    }
+
+    // Without a retry policy, the injected panic is a terminal fault.
+    let base = SloOptions::default()
+        .with_latency_model(fixed_latency())
+        .with_chaos_panic_requests(vec![2]);
+    let mut unretried = SloScheduler::new(&pipeline, base.clone());
+    submit(&mut unretried, sample);
+    let unretried = unretried.run().unwrap();
+    assert_eq!(unretried.faulted, 1);
+    assert_eq!(unretried.recovered, 0);
+    assert!(matches!(unretried.outcomes[2], SloOutcome::Failed(CoreError::Panicked { .. })));
+
+    // With retry: the panic fires on the first attempt only (it models a
+    // transient fault), so the retry — demoted one rung — completes.
+    let mut retried = SloScheduler::new(&pipeline, base.clone().with_retry(RetryPolicy::new(2)));
+    submit(&mut retried, sample);
+    let retried = retried.run().unwrap();
+    assert_eq!(retried.faulted, 0, "the retry must convert the fault into a completion");
+    assert_eq!(retried.completed, 4);
+    assert_eq!(retried.recovered, 1);
+    assert_eq!(retried.retry_attempts, 1);
+    match &retried.outcomes[2] {
+        SloOutcome::Completed(done) => {
+            assert_eq!(done.retries, 1);
+            assert_eq!(done.served_resolution, 112, "the retry demotes one rung");
+            assert_eq!(done.planned_resolution, 224);
+            assert!(
+                done.virtual_latency_ms > 0.0,
+                "latency spans the failed attempt and the backoff"
+            );
+        }
+        other => panic!("request 2 must complete on retry, got {other:?}"),
+    }
+    // Every other request is untouched by the retry machinery.
+    for i in [0usize, 1, 3] {
+        assert_eq!(retried.outcomes[i], unretried.outcomes[i], "request {i} perturbed");
+    }
+
+    // Without demotion, the retry stays at the rung that failed.
+    let mut undemoted =
+        SloScheduler::new(&pipeline, base.with_retry(RetryPolicy::new(2).without_demotion()));
+    submit(&mut undemoted, sample);
+    let undemoted = undemoted.run().unwrap();
+    match &undemoted.outcomes[2] {
+        SloOutcome::Completed(done) => {
+            assert_eq!(done.retries, 1);
+            assert_eq!(done.served_resolution, 224);
+        }
+        other => panic!("request 2 must complete on retry, got {other:?}"),
+    }
+}
+
+#[test]
+fn circuit_breaker_sheds_a_corrupt_source_at_the_gate_and_probes_recovery() {
+    let pipeline = build_pipeline(vec![112, 224]);
+    let data = DatasetSpec::cars_like().with_len(12).with_max_dimension(72).build(41);
+    let quality = pipeline.config().encode_quality;
+    let hot = SourceId(7);
+    let cold = SourceId(9);
+
+    // Source 7 sends corrupt streams at t = 0, 10, 20, 30; threshold 2 trips
+    // the breaker at t = 10 with a 100 ms cooldown, so t = 20 and t = 30 are
+    // shed at the gate. Its healthy request at t = 120 is the half-open probe
+    // and completes, closing the breaker. Source 9 interleaves healthy
+    // requests throughout and must never be gated.
+    let options = SloOptions::default()
+        .with_latency_model(fixed_latency())
+        .with_breaker(CircuitBreakerPolicy::new(2, 100.0));
+    let mut scheduler = SloScheduler::new(&pipeline, options);
+    let corrupt = |i: usize| data[i].encode_progressive(quality).unwrap().with_truncated_scan(0, 2);
+    for (slot, t) in [0.0f64, 10.0, 20.0, 30.0].iter().enumerate() {
+        scheduler.submit(
+            SloRequest::new(&data[slot], *t, t + 5_000.0)
+                .with_storage(corrupt(slot))
+                .with_source(hot),
+        );
+    }
+    let probe_index = scheduler.submit(SloRequest::new(&data[4], 120.0, 5_000.0).with_source(hot));
+    for (offset, t) in [5.0f64, 15.0, 25.0].iter().enumerate() {
+        scheduler.submit(SloRequest::new(&data[5 + offset], *t, t + 5_000.0).with_source(cold));
+    }
+    let unsourced_index = scheduler.submit(SloRequest::new(&data[8], 22.0, 5_000.0));
+    let report = scheduler.run().unwrap();
+
+    assert!(matches!(report.outcomes[0], SloOutcome::Failed(CoreError::Codec(_))));
+    assert!(matches!(report.outcomes[1], SloOutcome::Failed(CoreError::Codec(_))));
+    assert_eq!(report.outcomes[2], SloOutcome::Rejected(Rejected::CircuitOpen));
+    assert_eq!(report.outcomes[3], SloOutcome::Rejected(Rejected::CircuitOpen));
+    assert!(
+        matches!(report.outcomes[probe_index], SloOutcome::Completed(_)),
+        "the post-cooldown probe must be admitted and complete: {:?}",
+        report.outcomes[probe_index]
+    );
+    for i in 5..8 {
+        assert!(
+            matches!(report.outcomes[i], SloOutcome::Completed(_)),
+            "source 9 must never be gated by source 7's breaker: request {i}"
+        );
+    }
+    assert!(matches!(report.outcomes[unsourced_index], SloOutcome::Completed(_)));
+    assert_eq!(report.breaker_shed, 2);
+    assert_eq!(report.breaker_trips, 1);
+    assert_eq!(report.faulted, 2);
+    assert_eq!(report.shed, 0, "breaker sheds are accounted separately from overload sheds");
+    assert!((report.slo_violation_rate - 4.0 / 9.0).abs() < 1e-12);
+}
+
+#[test]
+fn watchdog_cancels_overruns_cheaply_and_retry_recovers_them() {
+    let pipeline = build_pipeline(vec![112, 224]);
+    let data = DatasetSpec::cars_like().with_len(24).with_max_dimension(72).build(29);
+    let sample = sample_planned_at(&pipeline, &data, 224);
+
+    // r0 would hog the virtual server for 10× its 50 ms estimate. The
+    // watchdog (factor 2) charges it only 100 ms and cancels the execution,
+    // so r1 — which expires behind the full spike in
+    // `queue_expiry_and_latency_spikes_follow_the_virtual_clock` — now meets
+    // its deadline.
+    let watchdogged = SloOptions::default()
+        .with_latency_model(fixed_latency())
+        .with_watchdog(WatchdogPolicy::new(2.0));
+    let mut scheduler = SloScheduler::new(&pipeline, watchdogged.clone());
+    scheduler.submit(SloRequest::new(sample, 0.0, 1_000.0).with_cost_multiplier(10.0));
+    scheduler.submit(SloRequest::new(sample, 0.0, 400.0));
+    let report = scheduler.run().unwrap();
+
+    assert_eq!(report.watchdog_cancelled, 1);
+    match &report.outcomes[0] {
+        SloOutcome::Failed(CoreError::Cancelled { reason }) => {
+            assert!(reason.contains("watchdog"), "reason names the policy: {reason}");
+        }
+        other => panic!("the overrun must be cancelled, got {other:?}"),
+    }
+    match &report.outcomes[1] {
+        SloOutcome::Completed(done) => {
+            assert_eq!(done.virtual_start_ms, 100.0, "r1 queues behind the cap, not the spike");
+            assert_eq!(done.virtual_finish_ms, 150.0);
+        }
+        other => panic!("r1 must complete behind the capped overrun, got {other:?}"),
+    }
+
+    // With retry, the cancelled request re-admits at nominal cost (the spike
+    // models a transient) one rung down, and completes.
+    let mut scheduler = SloScheduler::new(&pipeline, watchdogged.with_retry(RetryPolicy::new(1)));
+    scheduler.submit(SloRequest::new(sample, 0.0, 1_000.0).with_cost_multiplier(10.0));
+    scheduler.submit(SloRequest::new(sample, 0.0, 400.0));
+    let recovered = scheduler.run().unwrap();
+    assert_eq!(recovered.watchdog_cancelled, 1);
+    assert_eq!(recovered.recovered, 1);
+    match &recovered.outcomes[0] {
+        SloOutcome::Completed(done) => {
+            assert_eq!(done.retries, 1);
+            assert_eq!(done.served_resolution, 112);
+            assert_eq!(done.virtual_start_ms, 150.0, "the retry queues behind r1");
+        }
+        other => panic!("the cancelled request must recover on retry, got {other:?}"),
+    }
+}
+
+#[test]
+fn memory_budget_demotes_down_the_ladder_instead_of_overcommitting() {
+    let pipeline = build_pipeline(vec![112, 224]);
+    let data = DatasetSpec::cars_like().with_len(24).with_max_dimension(72).build(29);
+    let sample = sample_planned_at(&pipeline, &data, 224);
+    let peak_224 = pipeline.arena_peak_bytes(224).unwrap();
+    let peak_112 = pipeline.arena_peak_bytes(112).unwrap();
+    assert!(peak_112 < peak_224, "the ladder's arena peaks must be ordered");
+
+    fn submit<'a>(scheduler: &mut SloScheduler<'a>, sample: &'a Sample) {
+        for i in 0..4 {
+            let arrival = i as f64 * 60.0;
+            scheduler.submit(SloRequest::new(sample, arrival, arrival + 500.0));
+        }
+    }
+    // A budget below the 224² plan demotes every request to 112² — nothing is
+    // shed, nothing overcommits.
+    let squeezed = SloOptions::default()
+        .with_latency_model(fixed_latency())
+        .with_memory_budget_bytes(peak_224 - 1);
+    let mut scheduler = SloScheduler::new(&pipeline, squeezed);
+    submit(&mut scheduler, sample);
+    let squeezed = scheduler.run().unwrap();
+    assert_eq!(squeezed.completed, 4);
+    assert_eq!(squeezed.shed, 0);
+    assert_eq!(squeezed.memory_demoted, 4);
+    for outcome in &squeezed.outcomes {
+        match outcome {
+            SloOutcome::Completed(done) => {
+                assert_eq!(done.served_resolution, 112);
+                assert!(
+                    pipeline.arena_peak_bytes(done.served_resolution).unwrap() < peak_224,
+                    "served rungs must fit the budget"
+                );
+            }
+            other => panic!("budget squeeze must demote, not reject: {other:?}"),
+        }
+    }
+
+    // A budget below even the cheapest rung sheds — it never overcommits and
+    // never panics.
+    let starved = SloOptions::default()
+        .with_latency_model(fixed_latency())
+        .with_memory_budget_bytes(peak_112 - 1);
+    let mut scheduler = SloScheduler::new(&pipeline, starved);
+    submit(&mut scheduler, sample);
+    let starved = scheduler.run().unwrap();
+    assert_eq!(starved.completed, 0);
+    assert_eq!(starved.shed, 4, "an unmeetable budget sheds instead of overcommitting");
+
+    // An unconstrained budget is bitwise identical to no budget at all.
+    let run_with = |options: SloOptions| {
+        let mut scheduler = SloScheduler::new(&pipeline, options);
+        submit(&mut scheduler, sample);
+        normalized(scheduler.run().unwrap())
+    };
+    let unbudgeted = run_with(SloOptions::default().with_latency_model(fixed_latency()));
+    let unconstrained = run_with(
+        SloOptions::default()
+            .with_latency_model(fixed_latency())
+            .with_memory_budget_bytes(usize::MAX),
+    );
+    assert_eq!(unconstrained, unbudgeted, "a non-binding budget must not change anything");
+    assert_eq!(unbudgeted.memory_demoted, 0);
+}
+
+#[test]
+fn resilient_reports_are_bitwise_deterministic_across_thread_budgets() {
+    let pipeline = build_pipeline(vec![112, 224]);
+    let data = DatasetSpec::cars_like().with_len(16).with_max_dimension(72).build(17);
+    let quality = pipeline.config().encode_quality;
+    let peak_224 = pipeline.arena_peak_bytes(224).unwrap();
+
+    // Every lifecycle policy on at once, over a trace mixing corruption,
+    // latency spikes, a hot source, and chaos panics.
+    let run_with = |threads: usize| {
+        let options = SloOptions::default()
+            .with_latency_model(fixed_latency())
+            .with_ssim_floor(0.5)
+            .with_retry(RetryPolicy::new(2).with_backoff_ms(2.0))
+            .with_breaker(CircuitBreakerPolicy::new(2, 80.0))
+            .with_watchdog(WatchdogPolicy::new(3.0))
+            .with_memory_budget_bytes(peak_224 - 1)
+            .with_chaos_panic_every(7)
+            .with_chaos_panic_requests(vec![3])
+            .with_batch(BatchOptions::default().with_max_batch(3).with_threads(threads));
+        let mut scheduler = SloScheduler::new(&pipeline, options);
+        for (i, sample) in data.iter().enumerate() {
+            let arrival = (i / 2) as f64 * 12.0;
+            let mut request = SloRequest::new(sample, arrival, arrival + 200.0)
+                .with_source(SourceId((i % 3) as u64));
+            if i % 5 == 4 {
+                request = request.with_storage(
+                    sample.encode_progressive(quality).unwrap().with_truncated_scan(0, 1),
+                );
+            }
+            if i == 6 {
+                request = request.with_cost_multiplier(8.0);
+            }
+            scheduler.submit(request);
+        }
+        normalized(scheduler.run().unwrap())
+    };
+
+    let baseline = run_with(1);
+    assert_eq!(baseline.total, data.len());
+    // The trace must actually exercise the machinery being pinned.
+    assert!(baseline.retry_attempts > 0, "no retries fired");
+    assert!(baseline.watchdog_cancelled > 0, "the watchdog never fired");
+    assert!(baseline.memory_demoted > 0 || baseline.completed == 0, "the budget never bound");
+    // Same seed, same report — rerun determinism.
+    let rerun = run_with(1);
+    assert_eq!(rerun, baseline, "a same-seed rerun changed the report");
+    for threads in [2usize, 4] {
+        let mut report = run_with(threads);
+        assert_eq!(report.threads, threads);
+        report.threads = baseline.threads;
+        assert_eq!(report, baseline, "{threads} threads changed the resilient SLO report");
+    }
 }

@@ -150,3 +150,25 @@ fn mixed_resolution_buckets_reach_steady_state() {
     assert_eq!(scratch::heap_allocations() - warm, 0, "warm mixed-resolution serving allocated");
     assert!(arena.resident_bytes() > 0);
 }
+
+/// The accounted live-byte high-water mark of a real forward never exceeds
+/// the arena planner's peak-live figure — the upper bound the serving core's
+/// memory-budget admission (`SloOptions::memory_budget_bytes`) relies on.
+#[test]
+fn measured_peak_live_bytes_never_exceed_the_planned_peak() {
+    let _guard = lock();
+    for (kind, hw) in [(ModelKind::ResNet18, 56usize), (ModelKind::MobileNetV2, 48)] {
+        let net = Network::new(kind, 4, 11);
+        let shape = Shape::chw(3, hw, hw);
+        let input = Tensor::random_uniform(shape, 1.0, 7);
+        let planned = net.arena_plan(shape).unwrap().peak_live_bytes;
+        let mut arena = ActivationArena::new();
+        net.forward_with_arena(&input, &mut arena).unwrap();
+        let measured = arena.peak_live_bytes();
+        assert!(measured > 0, "{kind}: a forward must account live activation bytes");
+        assert!(
+            measured <= planned,
+            "{kind} at {hw}²: measured peak {measured} exceeds planned peak {planned}"
+        );
+    }
+}

@@ -46,6 +46,12 @@ const MAX_SLOTS: usize = 24;
 #[derive(Debug, Default)]
 pub struct ActivationArena {
     slots: Vec<Vec<f32>>,
+    /// Bytes of activations currently checked out (taken and not yet given
+    /// back). Pure bookkeeping — never allocates.
+    live_bytes: usize,
+    /// High-water mark of [`live_bytes`](Self::live_bytes) since the last
+    /// [`reset_peak`](Self::reset_peak).
+    peak_live_bytes: usize,
 }
 
 impl ActivationArena {
@@ -87,11 +93,17 @@ impl ActivationArena {
         if buffer.len() < len {
             buffer.resize(len, 0.0);
         }
+        self.live_bytes += len * std::mem::size_of::<f32>();
+        self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
         Tensor::from_vec(shape, buffer).expect("buffer sized to the shape's volume")
     }
 
     /// Returns a tensor's buffer to the arena for reuse.
     pub fn give(&mut self, tensor: Tensor) {
+        // Saturating: tensors not taken from this arena may legitimately be
+        // retired into it (warm-up paths); accounting must never underflow.
+        self.live_bytes =
+            self.live_bytes.saturating_sub(tensor.shape().volume() * std::mem::size_of::<f32>());
         let buffer = tensor.into_vec();
         if buffer.capacity() == 0 {
             return;
@@ -126,6 +138,25 @@ impl ActivationArena {
     /// Bytes resident across all retired buffers.
     pub fn resident_bytes(&self) -> usize {
         self.slots.iter().map(|b| b.capacity() * std::mem::size_of::<f32>()).sum()
+    }
+
+    /// Bytes of activations currently checked out of the arena.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// High-water mark of simultaneously-live activation bytes since the last
+    /// [`reset_peak`](Self::reset_peak) (or arena creation). This is the
+    /// measured counterpart of a planned peak (`ArenaPlan::peak_live_bytes` in
+    /// `rescnn-models`), and what a memory-budgeted admission controller
+    /// ultimately bounds.
+    pub fn peak_live_bytes(&self) -> usize {
+        self.peak_live_bytes
+    }
+
+    /// Restarts peak tracking from the current live level.
+    pub fn reset_peak(&mut self) {
+        self.peak_live_bytes = self.live_bytes;
     }
 }
 
@@ -209,6 +240,50 @@ mod tests {
         let largest = arena.take(Shape::new(1, 1, 1, MAX_SLOTS + 4));
         assert_eq!(largest.shape().volume(), MAX_SLOTS + 4);
         drop(largest);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_live_and_peak() {
+        let mut arena = ActivationArena::new();
+        assert_eq!(arena.live_bytes(), 0);
+        assert_eq!(arena.peak_live_bytes(), 0);
+        let a = arena.take(Shape::new(1, 1, 1, 100)); // 400 B live
+        let b = arena.take(Shape::new(1, 1, 1, 50)); // 600 B live (peak)
+        assert_eq!(arena.live_bytes(), 600);
+        assert_eq!(arena.peak_live_bytes(), 600);
+        arena.give(a); // 200 B live
+        assert_eq!(arena.live_bytes(), 200);
+        assert_eq!(arena.peak_live_bytes(), 600, "peak holds after a give");
+        let c = arena.take(Shape::new(1, 1, 1, 75)); // 500 B live, below peak
+        assert_eq!(arena.live_bytes(), 500);
+        assert_eq!(arena.peak_live_bytes(), 600);
+        arena.give(b);
+        arena.reset_peak();
+        assert_eq!(arena.peak_live_bytes(), 300, "reset restarts from the live level");
+        arena.give(c);
+        assert_eq!(arena.live_bytes(), 0);
+    }
+
+    #[test]
+    fn foreign_gives_saturate_instead_of_underflowing() {
+        let mut arena = ActivationArena::new();
+        arena.give(Tensor::zeros(Shape::new(1, 1, 1, 64)));
+        assert_eq!(arena.live_bytes(), 0, "a give of a non-arena tensor must not underflow");
+        let t = arena.take(Shape::new(1, 1, 1, 32));
+        assert_eq!(arena.live_bytes(), 128);
+        arena.give(t);
+    }
+
+    #[test]
+    fn accounting_does_not_allocate() {
+        let mut arena = ActivationArena::new();
+        arena.reserve(&[256]);
+        arena.reset_peak();
+        let warm = scratch::heap_allocations();
+        let t = arena.take(Shape::new(1, 1, 1, 256));
+        assert_eq!(arena.peak_live_bytes(), 1024);
+        arena.give(t);
+        assert_eq!(scratch::heap_allocations() - warm, 0, "byte accounting must stay free");
     }
 
     #[test]

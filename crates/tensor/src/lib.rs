@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod cancel;
 pub mod chain;
 mod context;
 mod conv;
@@ -78,6 +79,7 @@ mod tensor;
 pub mod winograd;
 
 pub use arena::{with_thread_arena, ActivationArena};
+pub use cancel::CancellationToken;
 pub use chain::{
     chain_enabled, chain_mode, chain_plan, conv2d_chain_fused_into, set_chain_mode, ChainConsumer,
     ChainMode, ChainPlan,
@@ -100,7 +102,7 @@ pub use ops::{
 };
 pub use parallel::{
     num_threads, panic_message, parallel_map_isolated, set_num_threads, shutdown_pool,
-    split_parallelism,
+    split_parallelism, DrainReport,
 };
 pub use shape::{conv_output_extent, Conv2dParams, Pool2dParams, Shape};
 pub use tensor::Tensor;

@@ -55,6 +55,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+use crate::cancel::CancellationToken;
+
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Number of worker threads the engine may use (always at least 1).
@@ -134,11 +136,20 @@ where
     if outer <= 1 {
         return task_context.scope(|| (0..count).map(f).collect());
     }
+    // Pool workers have no ambient scopes of their own: carry the submitting
+    // thread's cancellation token (like the engine context above) onto them.
+    let token = crate::cancel::CancellationToken::current();
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(count).collect();
     // The dispatching scope bounds how many pool workers join the outer batch.
-    crate::context::EngineContext::new().with_threads(outer).scope(|| {
-        for_each_chunk(&mut slots, 1, true, |index, slot| {
-            slot[0] = Some(task_context.scope(|| f(index)));
+    // The token is masked around the slot-fill dispatch (every slot must be
+    // recorded, cancelled or not) and re-installed inside each task.
+    crate::cancel::mask_token_scope(|| {
+        crate::context::EngineContext::new().with_threads(outer).scope(|| {
+            for_each_chunk(&mut slots, 1, true, |index, slot| {
+                slot[0] = Some(crate::cancel::with_token_scope(token.as_ref(), || {
+                    task_context.scope(|| f(index))
+                }));
+            });
         });
     });
     slots.into_iter().map(|slot| slot.expect("every batch slot was executed")).collect()
@@ -171,6 +182,12 @@ pub fn panic_message(payload: Box<dyn Any + Send>) -> String {
 /// decomposition, scheduling, and surviving tasks' results are identical to a
 /// run where the panicking task had merely returned an error, for every thread
 /// count.
+///
+/// A [`CancellationToken`](crate::CancellationToken) in scope is honoured at
+/// *task* boundaries here: a task whose token has fired before it starts
+/// yields `Err("cancelled …")` without running, and a task whose token fires
+/// mid-run has its (partially-skipped, garbage) result replaced by the same
+/// error — cancelled work can never leak data out of the isolation boundary.
 pub fn parallel_map_isolated<R, F>(
     count: usize,
     threads: usize,
@@ -181,7 +198,15 @@ where
     F: Fn(usize) -> R + Sync,
 {
     parallel_map_indexed(count, threads, |index| {
-        catch_unwind(AssertUnwindSafe(|| f(index))).map_err(panic_message)
+        let token = crate::cancel::CancellationToken::current();
+        if token.as_ref().is_some_and(CancellationToken::is_cancelled) {
+            return Err(format!("cancelled before start: task {index}"));
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| f(index))).map_err(panic_message);
+        if token.is_some_and(|t| t.is_cancelled()) {
+            return Err(format!("cancelled mid-run: task {index}"));
+        }
+        result
     })
 }
 
@@ -307,7 +332,12 @@ fn worker_main(shared: &'static PoolShared) {
         let job = {
             let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if state.alive > state.target {
+                // A plain shrink retires immediately (resize tests rely on
+                // excess workers leaving at their next wakeup); a *shutdown*
+                // (target == 0) drains first — queued jobs are claimed and
+                // finished before this worker retires.
+                let draining = state.target == 0;
+                if !draining && state.alive > state.target {
                     state.alive -= 1;
                     shared.retire_signal.notify_all();
                     return;
@@ -320,6 +350,11 @@ fn worker_main(shared: &'static PoolShared) {
                     // Claimed under the pool lock, so the ticket count never races.
                     job.tickets.fetch_sub(1, Ordering::Relaxed);
                     break Arc::clone(job);
+                }
+                if state.alive > state.target {
+                    state.alive -= 1;
+                    shared.retire_signal.notify_all();
+                    return;
                 }
                 state = shared.work_signal.wait(state).unwrap_or_else(|e| e.into_inner());
             }
@@ -366,22 +401,40 @@ fn resize_pool(shared: &'static PoolShared, target: usize) {
     }
 }
 
-/// Retires every pool worker and blocks until they have all exited.
+/// What a [`shutdown_pool`] drain observed and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainReport {
+    /// Jobs with unclaimed chunks at the moment the drain began. Every one of
+    /// them was finished before the drain completed: workers drain queued work
+    /// before retiring, and each job's submitter drives its own job regardless.
+    pub jobs_in_flight: usize,
+    /// True when a concurrent dispatch raised the pool target while the drain
+    /// was waiting — the shutdown ceded to the new work and the pool stayed up.
+    pub superseded: bool,
+}
+
+/// Retires every pool worker and blocks until they have all exited, returning
+/// what the drain observed.
 ///
 /// Intended for idle teardown (e.g. a server draining before exit); the next
-/// parallel dispatch transparently respawns the pool. In-flight jobs finish
-/// normally before their workers retire. If another thread dispatches parallel
-/// work *while* the shutdown is draining, that dispatch revives the pool and the
-/// shutdown request is superseded: this function returns (rather than blocking
-/// until the process goes idle) and the pool stays up for the new work.
-pub fn shutdown_pool() {
+/// parallel dispatch transparently respawns the pool. Drain semantics: workers
+/// finish queued jobs before retiring (a shutdown never abandons unclaimed
+/// chunks — and even a worker-less pool cannot lose work, because every job's
+/// submitter executes and awaits its own job). If another thread dispatches
+/// parallel work *while* the shutdown is draining, that dispatch revives the
+/// pool and the shutdown request is superseded: this function returns with
+/// [`DrainReport::superseded`] set (rather than blocking until the process
+/// goes idle) and the pool stays up for the new work.
+pub fn shutdown_pool() -> DrainReport {
     let shared = pool();
     let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    let jobs_in_flight = state.jobs.iter().filter(|job| !job.exhausted()).count();
     state.target = 0;
     shared.work_signal.notify_all();
     while state.alive > 0 && state.target == 0 {
         state = shared.retire_signal.wait(state).unwrap_or_else(|e| e.into_inner());
     }
+    DrainReport { jobs_in_flight, superseded: state.target != 0 }
 }
 
 /// Number of live pool workers (parked or running). Observability for tests and
@@ -443,8 +496,17 @@ where
     let n_chunks = data.len().div_ceil(chunk_len);
     let nested = IS_POOL_WORKER.with(|flag| flag.get());
     let workers = if parallel && !nested { num_threads().min(n_chunks) } else { 1 };
+    // Snapshotted once per dispatch; checked at every chunk boundary. A fired
+    // token skips the remaining chunk bodies (output is then unspecified — the
+    // scope that installed the token discards the result).
+    let token = CancellationToken::current();
     if workers <= 1 {
         for (index, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            if let Some(token) = &token {
+                if token.is_cancelled() {
+                    return;
+                }
+            }
             f(index, chunk);
         }
         return;
@@ -452,6 +514,11 @@ where
     let len = data.len();
     let base = SendPtr(data.as_mut_ptr());
     run_on_pool(n_chunks, workers, &move |index: usize| {
+        if let Some(token) = &token {
+            if token.is_cancelled() {
+                return;
+            }
+        }
         let start = index * chunk_len;
         let end = (start + chunk_len).min(len);
         // Safety: chunk windows [start, end) are pairwise disjoint across indices
@@ -483,13 +550,26 @@ where
 {
     let nested = IS_POOL_WORKER.with(|flag| flag.get());
     let workers = if parallel && !nested { num_threads().min(total) } else { 1 };
+    let token = CancellationToken::current();
     if workers <= 1 {
         for index in 0..total {
+            if let Some(token) = &token {
+                if token.is_cancelled() {
+                    return;
+                }
+            }
             f(index);
         }
         return;
     }
-    run_on_pool(total, workers, &f);
+    run_on_pool(total, workers, &move |index: usize| {
+        if let Some(token) = &token {
+            if token.is_cancelled() {
+                return;
+            }
+        }
+        f(index);
+    });
 }
 
 /// Legacy dispatch: spawns scoped threads per call instead of using the persistent
@@ -699,6 +779,60 @@ mod tests {
         let mut data = vec![0u64; 256];
         for_each_chunk(&mut data, 16, true, |i, c| c.fill(i as u64));
         assert!(data.iter().enumerate().all(|(i, &v)| v == (i / 16) as u64));
+        set_num_threads(original);
+    }
+
+    #[test]
+    fn cancelled_token_skips_remaining_chunks() {
+        let _guard = crate::test_sync::global_state_lock();
+        let original = num_threads();
+        for threads in [1usize, 4] {
+            set_num_threads(threads);
+            // Pre-cancelled: no chunk body may run, serial or pooled.
+            let token = CancellationToken::new();
+            token.cancel();
+            let mut data = vec![0u64; 128];
+            token.scope(|| {
+                for_each_chunk(&mut data, 8, true, |_, chunk| chunk.fill(7));
+            });
+            assert!(data.iter().all(|&v| v == 0), "cancelled dispatch ran a chunk");
+            let ran = AtomicUsize::new(0);
+            token.scope(|| {
+                for_each_task(16, true, |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            assert_eq!(ran.load(Ordering::Relaxed), 0);
+            // Without cancellation the same scoped dispatch is unaffected.
+            let live = CancellationToken::new();
+            live.scope(|| for_each_chunk(&mut data, 8, true, |_, chunk| chunk.fill(7)));
+            assert!(data.iter().all(|&v| v == 7));
+        }
+        set_num_threads(original);
+    }
+
+    #[test]
+    fn isolated_map_reports_cancellation_as_task_errors() {
+        let _guard = crate::test_sync::global_state_lock();
+        let original = num_threads();
+        set_num_threads(4);
+        let token = CancellationToken::new();
+        token.cancel();
+        let outcomes = token.scope(|| parallel_map_isolated(6, 4, |index| index * 2));
+        for outcome in &outcomes {
+            let message = outcome.as_ref().expect_err("cancelled tasks must error, not run");
+            assert!(message.contains("cancelled"), "got {message:?}");
+        }
+        // A token that fires mid-task replaces that task's result with an error.
+        let mid = CancellationToken::new();
+        let inner = mid.clone();
+        let outcomes = mid.scope(|| {
+            parallel_map_isolated(1, 1, move |index| {
+                inner.cancel();
+                index
+            })
+        });
+        assert!(outcomes[0].as_ref().is_err_and(|m| m.contains("mid-run")));
         set_num_threads(original);
     }
 

@@ -1,0 +1,129 @@
+//! Resilient request lifecycle: retry-with-demotion and per-source circuit
+//! breaking, end to end.
+//!
+//! Act 1 injects transient execute-stage panics and shows the same queue
+//! served twice: without a retry policy the hit requests are terminal
+//! failures; with `RetryPolicy` they are re-admitted with virtual-clock
+//! backoff, demoted one rung down the ladder, and recovered as completions.
+//!
+//! Act 2 gives one client (`SourceId`) persistently corrupt streams: its
+//! repeated decode failures trip a per-source circuit breaker, later requests
+//! are shed at the gate without spending decode/plan compute, and after the
+//! cooldown a healthy probe closes the circuit again.
+//!
+//! Run with: `cargo run --release --example resilience`
+
+use rescnn::prelude::*;
+
+fn outcome_line(i: usize, outcome: &SloOutcome) -> String {
+    match outcome {
+        SloOutcome::Completed(c) if c.retries > 0 => format!(
+            "  req {i:>2}  recovered on retry {} at {} px (planned {} px), finished {:.1} ms",
+            c.retries, c.served_resolution, c.planned_resolution, c.virtual_finish_ms
+        ),
+        SloOutcome::Completed(c) if c.served_resolution < c.planned_resolution => format!(
+            "  req {i:>2}  degraded {} -> {} px, finished {:.1} ms",
+            c.planned_resolution, c.served_resolution, c.virtual_finish_ms
+        ),
+        SloOutcome::Completed(c) => format!(
+            "  req {i:>2}  completed at {} px, finished {:.1} ms",
+            c.served_resolution, c.virtual_finish_ms
+        ),
+        SloOutcome::Rejected(Rejected::CircuitOpen) => {
+            format!("  req {i:>2}  shed at the gate (source breaker open)")
+        }
+        SloOutcome::Rejected(rejection) => format!("  req {i:>2}  rejected: {rejection:?}"),
+        SloOutcome::Failed(err) => format!("  req {i:>2}  faulted: {err}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset_kind = DatasetKind::CarsLike;
+    let backbone = ModelKind::ResNet18;
+    let resolutions = vec![112usize, 224];
+
+    println!("Training the scale model...");
+    let train = DatasetSpec::for_kind(dataset_kind).with_len(60).with_max_dimension(96).build(1);
+    let trainer = ScaleModelTrainer::new(
+        ScaleModelConfig { resolutions: resolutions.clone(), ..Default::default() },
+        backbone,
+        dataset_kind,
+    );
+    let scale_model = trainer.train(&train, 3)?;
+    let config = PipelineConfig::new(backbone, dataset_kind)
+        .with_crop(CropRatio::new(0.56)?)
+        .with_resolutions(resolutions);
+    let pipeline = DynamicResolutionPipeline::new(config, scale_model, AccuracyOracle::new(77))?;
+    let latency = ResolutionLatencyModel::analytic(&pipeline)?;
+    let top_ms = latency.estimate_ms(224).max(1.0);
+
+    // ---- Act 1: retry-with-demotion converts transient failures ------------
+    println!("\n== Act 1: transient panics, with and without retry ==");
+    let queue = DatasetSpec::for_kind(dataset_kind).with_len(6).with_max_dimension(96).build(7);
+    let base = SloOptions::default()
+        .with_latency_model(latency.clone())
+        // Requests 1 and 4 panic mid-execute on their first attempt.
+        .with_chaos_panic_requests(vec![1, 4]);
+    for (label, options) in [
+        ("without retry", base.clone()),
+        ("with retry(2) + demotion", base.clone().with_retry(RetryPolicy::new(2))),
+    ] {
+        let mut scheduler = SloScheduler::new(&pipeline, options);
+        for (i, sample) in queue.iter().enumerate() {
+            let arrival = i as f64 * 2.0 * top_ms;
+            scheduler.submit(SloRequest::new(sample, arrival, arrival + 30.0 * top_ms));
+        }
+        let report = scheduler.run()?;
+        println!("{label}:");
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            println!("{}", outcome_line(i, outcome));
+        }
+        println!(
+            "  -> completed {}  recovered {}  retry attempts {}  faulted {}",
+            report.completed, report.recovered, report.retry_attempts, report.faulted
+        );
+    }
+
+    // ---- Act 2: circuit breaker trips, sheds, probes, recovers -------------
+    println!("\n== Act 2: a corrupt client trips its circuit breaker ==");
+    let quality = pipeline.config().encode_quality;
+    let hot = SourceId(7);
+    let cold = SourceId(9);
+    // Breaker: 2 consecutive failures trip; the circuit stays open for
+    // 10 estimated services, then one probe is admitted half-open.
+    let options = SloOptions::default()
+        .with_latency_model(latency)
+        .with_breaker(CircuitBreakerPolicy::new(2, 10.0 * top_ms));
+    let mut scheduler = SloScheduler::new(&pipeline, options);
+    let sample = &queue[0];
+    // The hot client sends a corrupt stream every estimated service; its
+    // 3rd and 4th requests are shed at the gate. At 15 services it has
+    // recovered — the probe request is healthy and closes the circuit.
+    for k in 0..4 {
+        let arrival = k as f64 * top_ms;
+        let corrupt = sample.encode_progressive(quality)?.with_truncated_scan(0, 2);
+        scheduler.submit(
+            SloRequest::new(sample, arrival, arrival + 40.0 * top_ms)
+                .with_source(hot)
+                .with_storage(corrupt),
+        );
+    }
+    scheduler.submit(
+        SloRequest::new(sample, 15.0 * top_ms, 55.0 * top_ms).with_source(hot), // healthy probe
+    );
+    // A well-behaved client interleaves and is never affected.
+    for k in 0..3 {
+        let arrival = (k as f64 + 0.5) * top_ms;
+        scheduler
+            .submit(SloRequest::new(sample, arrival, arrival + 40.0 * top_ms).with_source(cold));
+    }
+    let report = scheduler.run()?;
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        println!("{}", outcome_line(i, outcome));
+    }
+    println!(
+        "  -> breaker trips {}  shed at gate {}  faulted {}  completed {}",
+        report.breaker_trips, report.breaker_shed, report.faulted, report.completed
+    );
+    Ok(())
+}

@@ -71,6 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             SloOutcome::Rejected(Rejected::DeadlineExceeded) => {
                 println!("  req {i:>2}  expired in queue")
             }
+            SloOutcome::Rejected(Rejected::CircuitOpen) => {
+                println!("  req {i:>2}  shed (source breaker open)")
+            }
             SloOutcome::Failed(err) => println!("  req {i:>2}  faulted: {err}"),
         }
     }

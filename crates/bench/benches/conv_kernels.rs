@@ -1,7 +1,7 @@
 //! Real wall-clock micro-benchmarks of the executable convolution kernels: the
 //! measured counterpart of the analytic cost model.
 //!
-//! Six groups:
+//! Seven groups:
 //!
 //! * `conv2d` — the seed comparison (direct / im2col / tiled) at small resolutions,
 //!   demonstrating that the best tiling depends on the input resolution (§VI).
@@ -16,6 +16,9 @@
 //!   milestone latencies to `results/forward_latency.json`.
 //! * `chained_forward` — cache-resident conv→conv chaining vs layer-at-a-time
 //!   execution of the same dispatch (the PR 7 acceptance comparison).
+//! * `quantized` — the int8 u8×i8 arm vs the f32 packed engine on prepared
+//!   stage-shape layers, plus the calibrated ResNet-50 forward with the arm
+//!   admitted by its accuracy gate (the PR 9 acceptance comparison).
 //! * `resnet50_forward` — the end-to-end acceptance benchmark: a ResNet-50-style
 //!   forward at 224×224 through the engine (heuristic, measurement-calibrated,
 //!   and forced-Winograd dispatch) vs the seed's im2col path.
@@ -26,9 +29,9 @@ use rescnn_models::{ModelKind, Network};
 use rescnn_tensor::{
     conv2d_direct, conv2d_im2col, conv2d_tiled, conv2d_winograd_f4_prepared,
     conv2d_winograd_prepared, conv2d_with_algo, force_conv_algo, gemm_blocked, gemm_packed,
-    install_algo_calibration, num_threads, set_chain_mode, set_num_threads, ChainMode,
-    Conv2dParams, ConvAlgo, ConvShapeKey, ConvTiling, FusedActivation, GemmBlocking, MatDims,
-    Shape, Tensor, WinogradFilter,
+    install_algo_calibration, num_threads, set_chain_mode, set_num_threads, tensor_range,
+    ChainMode, Conv2dParams, ConvAlgo, ConvEpilogue, ConvShapeKey, ConvTiling, FusedActivation,
+    GemmBlocking, MatDims, PreparedLayer, Shape, Tensor, WinogradFilter,
 };
 
 /// The paper's inference-resolution ladder (§IV).
@@ -55,24 +58,46 @@ fn min_ms_of(reps: usize, mut run: impl FnMut()) -> f64 {
     best
 }
 
+/// Parses one record line of the hand-formatted latency JSON back into its
+/// fields (the vendored serde stub does not deserialize collections either).
+fn parse_latency_record(line: &str) -> Option<(String, usize, f64)> {
+    fn after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        Some(&line[line.find(key)? + key.len()..])
+    }
+    let rest = after(line, "\"milestone\": \"")?;
+    let milestone = rest[..rest.find('"')?].to_string();
+    let rest = after(line, "\"resolution\": ")?;
+    let resolution = rest[..rest.find(',')?].trim().parse().ok()?;
+    let rest = after(line, "\"min_ms\": ")?;
+    let min_ms = rest[..rest.find(' ').unwrap_or(rest.len())].parse().ok()?;
+    Some((milestone, resolution, min_ms))
+}
+
 /// Persists the forward-latency records as hand-formatted JSON (the vendored
 /// serde stub does not serialize collections) so milestone-over-milestone
-/// regressions are diffable in-repo.
+/// regressions are diffable in-repo. Records already on disk are preserved —
+/// several bench groups write their own milestones into the same file — with
+/// the newest measurement of a `(milestone, resolution)` pair winning.
 fn write_forward_latency(records: &[LatencyRecord]) {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
+    let path = format!("{dir}/forward_latency.json");
+    let mut combined: Vec<(String, usize, f64)> = std::fs::read_to_string(&path)
+        .map(|existing| existing.lines().filter_map(parse_latency_record).collect())
+        .unwrap_or_default();
+    combined.retain(|(m, r, _)| !records.iter().any(|n| n.milestone == m && n.resolution == *r));
+    combined.extend(records.iter().map(|r| (r.milestone.to_string(), r.resolution, r.min_ms)));
     let mut out = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        let sep = if i + 1 == records.len() { "" } else { "," };
+    for (i, (milestone, resolution, min_ms)) in combined.iter().enumerate() {
+        let sep = if i + 1 == combined.len() { "" } else { "," };
         out.push_str(&format!(
-            "  {{ \"milestone\": \"{}\", \"resolution\": {}, \"min_ms\": {:.3} }}{sep}\n",
-            r.milestone, r.resolution, r.min_ms
+            "  {{ \"milestone\": \"{milestone}\", \"resolution\": {resolution}, \
+             \"min_ms\": {min_ms:.3} }}{sep}\n"
         ));
     }
     out.push_str("]\n");
-    let path = format!("{dir}/forward_latency.json");
     if std::fs::write(&path, out).is_ok() {
         println!("forward latency records written to {path}");
     }
@@ -411,6 +436,122 @@ fn forward_prepacked(c: &mut Criterion) {
     set_num_threads(original_threads);
 }
 
+/// The int8 quantized arm: u8×i8 GEMM with i32 accumulation and fused f32
+/// dequantization vs the f32 packed engine, first on prepared stage-shape
+/// layers (the microbenchmark behind the PR 9 acceptance table), then as the
+/// end-to-end calibrated ResNet-50 forward with the arm admitted by its
+/// accuracy gate (`MeasuredTuner::admits_int8`) — the deployment
+/// configuration, with milestone latencies recorded alongside the f32 ones.
+fn quantized_benchmarks(c: &mut Criterion) {
+    let original_threads = num_threads();
+    set_num_threads(1);
+    let mut group = c.benchmark_group("quantized");
+    group.sample_size(10);
+
+    // Micro ladder: the four ResNet stage families at their 224²-input spatial
+    // extents, prepared weights and a calibrated (static) activation range on
+    // both arms — the serving operating point.
+    for (ic, oc, k, res) in [
+        (64usize, 64usize, 3usize, 56usize),
+        (128, 128, 3, 28),
+        (256, 256, 3, 14),
+        (512, 512, 3, 7),
+    ] {
+        let params = Conv2dParams::new(ic, oc, k, 1, k / 2);
+        let weight = Tensor::kaiming(Shape::new(oc, ic, k, k), ic * k * k, 7);
+        let input = Tensor::random_uniform(Shape::chw(ic, res, res), 1.0, res as u64);
+        let mut prepared = PreparedLayer::new(weight, None, params).expect("stage layer");
+        let (lo, hi) = tensor_range(&input);
+        prepared.set_int8_range(lo, hi);
+        prepared.int8_weights().expect("int8-eligible layer");
+        let mut out = Tensor::zeros(params.output_shape(input.shape()).expect("output shape"));
+        let label = format!("{ic}to{oc}k{k}_{res}");
+        group.bench_function(format!("f32_prepared/{label}"), |b| {
+            b.iter(|| {
+                prepared
+                    .forward_with_algo_into(
+                        &input,
+                        ConvAlgo::Im2colPacked,
+                        ConvEpilogue::activation(FusedActivation::None),
+                        &mut out,
+                    )
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("int8_prepared/{label}"), |b| {
+            b.iter(|| {
+                prepared
+                    .forward_with_algo_into(
+                        &input,
+                        ConvAlgo::Int8,
+                        ConvEpilogue::activation(FusedActivation::None),
+                        &mut out,
+                    )
+                    .unwrap()
+            })
+        });
+    }
+
+    // End-to-end: calibrate every unique conv shape across the dense arms with
+    // the int8 arm opted in (its accuracy gate still decides eligibility),
+    // install the measured-fastest table, and run the forward.
+    let mut net = Network::new(ModelKind::ResNet50, 1000, 0);
+    let tuner =
+        MeasuredTuner::new(MeasuredSweepConfig { reps: 2, int8: true, ..Default::default() });
+    let mut records = Vec::new();
+    for &res in &[224usize, 448] {
+        let input = Tensor::random_uniform(Shape::chw(3, res, res), 1.0, res as u64);
+        net.calibrate_int8_ranges(&input).expect("range calibration");
+        let layers = ModelKind::ResNet50.arch(1000).conv_layers(res).expect("resnet50 layers");
+        let mut calibrated = CalibratedCostModel::new(CpuProfile::host());
+        let mut seen = std::collections::HashSet::new();
+        for layer in &layers {
+            if !seen.insert(ConvShapeKey::new(layer.params, layer.input)) {
+                continue;
+            }
+            let mut algos = vec![ConvAlgo::Im2colPacked];
+            if ConvAlgo::Gemm1x1.supports(&layer.params) {
+                algos.push(ConvAlgo::Gemm1x1);
+            }
+            if ConvAlgo::Winograd.supports(&layer.params) {
+                algos.push(ConvAlgo::Winograd);
+                if tuner.admits_f4(layer) {
+                    algos.push(ConvAlgo::WinogradF4);
+                }
+            }
+            if tuner.admits_int8(layer) {
+                algos.push(ConvAlgo::Int8);
+            }
+            for algo in algos {
+                let kernel = tuner.measure_algo(layer, algo, 1);
+                calibrated.record(layer, kernel.algo, kernel.seconds);
+            }
+        }
+        let int8_shapes = calibrated
+            .dispatch_table()
+            .entries()
+            .filter(|(_, algo)| *algo == ConvAlgo::Int8)
+            .count();
+        println!("calibrated dispatch @{res}: int8 measured-fastest on {int8_shapes} shapes");
+        install_algo_calibration(Some(calibrated.dispatch_table()));
+        net.warm_thread_arena(Shape::chw(3, res, res)).expect("arena plan");
+        group.bench_with_input(BenchmarkId::new("resnet50_calibrated_int8", res), &res, |b, _| {
+            b.iter(|| net.forward(&input).unwrap())
+        });
+        records.push(LatencyRecord {
+            milestone: "pr9_calibrated_int8",
+            resolution: res,
+            min_ms: min_ms_of(3, || {
+                net.forward(&input).unwrap();
+            }),
+        });
+        install_algo_calibration(None);
+    }
+    write_forward_latency(&records);
+    group.finish();
+    set_num_threads(original_threads);
+}
+
 /// The PR 7 chaining benchmark in isolation: every dense stride-1 3×3 layer
 /// forced through the cached Winograd path so both chain shapes engage
 /// (3×3→3×3 in basic blocks, 3×3→1×1 bottleneck drains), chained vs unchained
@@ -448,6 +589,7 @@ criterion_group!(
     engine_benchmarks,
     winograd_benchmarks,
     forward_prepacked,
+    quantized_benchmarks,
     chained_forward,
     resnet50_forward
 );

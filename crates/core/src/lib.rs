@@ -59,6 +59,7 @@ mod error;
 mod features;
 mod lifecycle;
 mod pipeline;
+mod precision;
 mod scale_model;
 mod serve;
 mod slo;
@@ -73,14 +74,15 @@ pub use lifecycle::{
     BreakerState, CircuitBreaker, CircuitBreakerPolicy, RetryPolicy, SourceId, WatchdogPolicy,
 };
 pub use pipeline::{
-    install_conv_calibration, DynamicResolutionPipeline, InferencePlan, InferenceRecord,
-    PipelineConfig, PipelineReport, PipelineWarning,
+    install_conv_calibration, CalibrationInstall, DynamicResolutionPipeline, InferencePlan,
+    InferenceRecord, PipelineConfig, PipelineReport, PipelineWarning,
 };
+pub use precision::{PrecisionGate, PrecisionGateConfig, PrecisionVerdict};
 pub use scale_model::{ScaleModel, ScaleModelConfig, ScaleModelTrainer, TrainingExample};
 pub use serve::{BatchOptions, BatchScheduler, BucketStats, RequestError, ServeReport};
 pub use slo::{
-    CompletedRequest, Rejected, ResolutionLatencyModel, SloOptions, SloOutcome, SloReport,
-    SloRequest, SloScheduler,
+    CompletedRequest, PrecisionDemotion, Rejected, ResolutionLatencyModel, SloOptions, SloOutcome,
+    SloReport, SloRequest, SloScheduler,
 };
 
 #[cfg(test)]

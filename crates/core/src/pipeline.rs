@@ -17,7 +17,9 @@ use rescnn_imaging::{crop_and_resize_cow, CropRatio, SsimConfig, SsimReference};
 use rescnn_models::ModelKind;
 use rescnn_oracle::{AccuracyOracle, EvalContext};
 use rescnn_projpeg::{ProgressiveImage, ScanPlan};
-use rescnn_tensor::{algo_calibration_generation, AlgoCalibration, ConvShapeKey, EngineContext};
+use rescnn_tensor::{
+    algo_calibration_generation, AlgoCalibration, ConvAlgo, ConvShapeKey, EngineContext,
+};
 
 use crate::calibration::{cheapest_sufficient_point, quality_at_scans, ScanPoint, StoragePolicy};
 use crate::error::{CoreError, Result};
@@ -279,9 +281,35 @@ impl InferencePlan {
 /// the process starts warm. Explicit algorithm overrides and shapes absent from
 /// the table are unaffected.
 ///
+/// What [`install_conv_calibration`] accomplished: how much of the file this
+/// build could use, and what it had to leave behind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationInstall {
+    /// Calibrated layer shapes now steering default dispatch.
+    pub shapes: usize,
+    /// Persisted entries skipped because their algorithm names are unknown to
+    /// this build (a file written by a newer engine). The load still succeeds;
+    /// callers surface these as [`PipelineWarning::CalibrationEntriesSkipped`].
+    pub skipped: Vec<rescnn_hwsim::SkippedCalibration>,
+}
+
+/// Loads a convolution-dispatch calibration persisted by
+/// `rescnn_hwsim::CalibratedCostModel::save` and installs its
+/// measured-fastest-algorithm table process-wide
+/// ([`rescnn_tensor::install_algo_calibration`]), returning the number of
+/// calibrated layer shapes along with any entries the load skipped.
+///
+/// Serving deployments run the measured sweep offline (see
+/// `examples/kernel_tuning.rs`), persist it, and point
+/// [`PipelineConfig::with_conv_calibration`] at the file so every pipeline in
+/// the process starts warm. Explicit algorithm overrides and shapes absent from
+/// the table are unaffected. Entries whose algorithm name this build does not
+/// recognize are skipped (and reported), not fatal: a calibration file from a
+/// newer engine still warm-starts every arm this build has.
+///
 /// # Errors
 /// Returns [`CoreError::InvalidConfig`] if the file cannot be read or parsed.
-pub fn install_conv_calibration(path: &str) -> Result<usize> {
+pub fn install_conv_calibration(path: &str) -> Result<CalibrationInstall> {
     let model = rescnn_hwsim::CalibratedCostModel::load(path, rescnn_hwsim::CpuProfile::host())
         .map_err(|e| CoreError::InvalidConfig {
             reason: format!("conv calibration {path}: {e}"),
@@ -289,12 +317,13 @@ pub fn install_conv_calibration(path: &str) -> Result<usize> {
     let table = model.dispatch_table();
     let shapes = table.len();
     rescnn_tensor::install_algo_calibration(Some(table));
-    Ok(shapes)
+    Ok(CalibrationInstall { shapes, skipped: model.skipped_entries().to_vec() })
 }
 
-/// Cached per-resolution bucket dispatch tables, each tagged with the
-/// process-wide calibration generation it was resolved under.
-type BucketDispatchCache = BTreeMap<usize, (u64, Arc<AlgoCalibration>)>;
+/// Cached per-resolution bucket dispatch tables — keyed by `(resolution,
+/// int8)`, each tagged with the process-wide calibration generation it was
+/// resolved under.
+type BucketDispatchCache = BTreeMap<(usize, bool), (u64, Arc<AlgoCalibration>)>;
 
 /// A non-fatal condition recorded during pipeline construction: the pipeline
 /// is fully usable, but degraded from what the configuration asked for.
@@ -310,6 +339,18 @@ pub enum PipelineWarning {
         /// Why the load failed.
         reason: String,
     },
+    /// A conv-calibration file loaded, but some of its entries named kernel
+    /// algorithms this build does not have (the file came from a newer
+    /// engine). Every entry this build understands was installed; the named
+    /// arm simply contributes nothing to dispatch.
+    CalibrationEntriesSkipped {
+        /// The configured calibration path.
+        path: String,
+        /// The unrecognized algorithm name.
+        algo: String,
+        /// How many persisted entries carried that name.
+        lines: usize,
+    },
 }
 
 impl std::fmt::Display for PipelineWarning {
@@ -318,6 +359,12 @@ impl std::fmt::Display for PipelineWarning {
             PipelineWarning::CalibrationLoadFailed { path, reason } => write!(
                 f,
                 "conv calibration {path} failed to load ({reason}); using the analytic cost model"
+            ),
+            PipelineWarning::CalibrationEntriesSkipped { path, algo, lines } => write!(
+                f,
+                "conv calibration {path}: skipped {lines} entr{} for unknown algorithm \
+                 {algo:?}; remaining entries installed",
+                if *lines == 1 { "y" } else { "ies" }
             ),
         }
     }
@@ -361,11 +408,28 @@ impl DynamicResolutionPipeline {
         // model with a recorded warning — it must not fail construction.
         let mut warnings = Vec::new();
         if let Some(path) = &config.conv_calibration {
-            if let Err(error) = install_conv_calibration(path) {
-                warnings.push(PipelineWarning::CalibrationLoadFailed {
-                    path: path.clone(),
-                    reason: error.to_string(),
-                });
+            match install_conv_calibration(path) {
+                Ok(install) => {
+                    // Aggregate skips per unknown algorithm name: one warning
+                    // per foreign arm, not one per persisted line.
+                    let mut by_algo: BTreeMap<&str, usize> = BTreeMap::new();
+                    for entry in &install.skipped {
+                        *by_algo.entry(entry.algo.as_str()).or_insert(0) += 1;
+                    }
+                    for (algo, lines) in by_algo {
+                        warnings.push(PipelineWarning::CalibrationEntriesSkipped {
+                            path: path.clone(),
+                            algo: algo.to_string(),
+                            lines,
+                        });
+                    }
+                }
+                Err(error) => {
+                    warnings.push(PipelineWarning::CalibrationLoadFailed {
+                        path: path.clone(),
+                        reason: error.to_string(),
+                    });
+                }
             }
         }
         let backbone_arch = config.backbone.arch(config.dataset.num_classes());
@@ -438,9 +502,23 @@ impl DynamicResolutionPipeline {
     /// resolved anyway, this never changes results — it removes the per-call
     /// calibration lock from the bucket's hot path.
     pub fn bucket_dispatch(&self, resolution: usize) -> Arc<AlgoCalibration> {
+        self.bucket_dispatch_impl(resolution, false)
+    }
+
+    /// The quantized variant of [`bucket_dispatch`](Self::bucket_dispatch):
+    /// the same per-shape table with every int8-eligible convolution
+    /// overridden onto [`ConvAlgo::Int8`] (grouped/depthwise shapes keep
+    /// their f32 kernels — the arm cannot run them). The SLO scheduler scopes
+    /// this table around a precision-demoted bucket's execution; it never
+    /// leaks into f32 buckets or process-wide state.
+    pub fn bucket_dispatch_int8(&self, resolution: usize) -> Arc<AlgoCalibration> {
+        self.bucket_dispatch_impl(resolution, true)
+    }
+
+    fn bucket_dispatch_impl(&self, resolution: usize, int8: bool) -> Arc<AlgoCalibration> {
         let generation = algo_calibration_generation();
         let mut cache = self.bucket_dispatch.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some((cached_generation, table)) = cache.get(&resolution) {
+        if let Some((cached_generation, table)) = cache.get(&(resolution, int8)) {
             if *cached_generation == generation {
                 return Arc::clone(table);
             }
@@ -452,14 +530,16 @@ impl DynamicResolutionPipeline {
                 // `select_algo` (not `planned_conv_algo`): explicit overrides
                 // must stay dynamic — baking a caller's scoped override into
                 // the cached table would outlive its scope.
-                table.set(
-                    ConvShapeKey::new(layer.params, layer.input),
-                    rescnn_tensor::select_algo(&layer.params, layer.input),
-                );
+                let algo = if int8 && ConvAlgo::Int8.supports(&layer.params) {
+                    ConvAlgo::Int8
+                } else {
+                    rescnn_tensor::select_algo(&layer.params, layer.input)
+                };
+                table.set(ConvShapeKey::new(layer.params, layer.input), algo);
             }
         }
         let table = Arc::new(table);
-        cache.insert(resolution, (generation, Arc::clone(&table)));
+        cache.insert((resolution, int8), (generation, Arc::clone(&table)));
         table
     }
 
@@ -1087,7 +1167,9 @@ mod tests {
             DynamicResolutionPipeline::new(missing, scale_model.clone(), AccuracyOracle::new(0))
                 .expect("a missing calibration degrades, it does not fail construction");
         assert_eq!(degraded.warnings().len(), 1);
-        let PipelineWarning::CalibrationLoadFailed { path, .. } = &degraded.warnings()[0];
+        let PipelineWarning::CalibrationLoadFailed { path, .. } = &degraded.warnings()[0] else {
+            panic!("expected a load-failure warning, got {:?}", degraded.warnings()[0]);
+        };
         assert_eq!(path, "/nonexistent/rescnn-calibration.txt");
         assert!(
             degraded.warnings()[0].to_string().contains("analytic cost model"),
@@ -1152,6 +1234,50 @@ mod tests {
             "dispatch must pick the measured-fastest algorithm for calibrated shapes"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn forward_compatible_calibration_warns_but_installs() {
+        // A calibration file from a newer engine build — carrying an arm this
+        // build lacks — must still install every entry it understands, with a
+        // typed warning naming the foreign arm and how many lines it lost.
+        let _guard = crate::test_sync::calibration_lock();
+        let path =
+            std::env::temp_dir().join(format!("rescnn-core-future-{}.txt", std::process::id()));
+        std::fs::write(
+            &path,
+            "rescnn-conv-calibration v1\n\
+             measure 13 13 3 1 1 1 37 37 im2col_packed 2e-3\n\
+             measure 13 13 3 1 1 1 37 37 int4_packed 1e-3\n\
+             measure 13 13 3 1 1 1 41 41 int4_packed 1e-3\n",
+        )
+        .unwrap();
+
+        let config =
+            ScaleModelConfig { resolutions: vec![112, 224], epochs: 5, ..Default::default() };
+        let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+        let train = DatasetSpec::cars_like().with_len(12).with_max_dimension(64).build(1);
+        let scale_model = trainer.train(&train, 2).unwrap();
+        let warm = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+            .with_conv_calibration(path.to_string_lossy().to_string());
+        let pipeline =
+            DynamicResolutionPipeline::new(warm, scale_model, AccuracyOracle::new(0)).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(
+            pipeline.warnings(),
+            &[PipelineWarning::CalibrationEntriesSkipped {
+                path: path.to_string_lossy().to_string(),
+                algo: "int4_packed".into(),
+                lines: 2,
+            }]
+        );
+        assert!(pipeline.warnings()[0].to_string().contains("int4_packed"));
+        // The entry this build understands really did install.
+        let table = rescnn_tensor::installed_algo_calibration().expect("table installed");
+        use rescnn_tensor::{Conv2dParams, ConvAlgo, ConvShapeKey, Shape};
+        let key = ConvShapeKey::new(Conv2dParams::new(13, 13, 3, 1, 1), Shape::chw(13, 37, 37));
+        assert_eq!(table.get(&key), Some(ConvAlgo::Im2colPacked));
     }
 
     #[test]

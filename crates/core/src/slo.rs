@@ -47,6 +47,13 @@
 //!   the execution cooperatively cancelled — a pre-fired
 //!   [`CancellationToken`](rescnn_tensor::CancellationToken) is refused at the
 //!   execute stage's task boundary, so no backbone compute is spent.
+//! * **Precision demotion** ([`SloOptions::with_precision_demotion`]): a rung
+//!   whose f32 estimate misses the deadline may serve quantized (int8) *at the
+//!   same resolution* — tried before the walk steps a rung down — but only at
+//!   resolutions the end-to-end accuracy gate
+//!   ([`PrecisionGate`](crate::PrecisionGate)) admitted; demoted requests
+//!   execute under a scoped int8 dispatch table and are counted in
+//!   [`SloReport::precision_demoted`].
 //! * **Memory-budget backpressure** ([`SloOptions::memory_budget_bytes`]):
 //!   rungs whose planned activation-arena peak
 //!   ([`DynamicResolutionPipeline::arena_peak_bytes`]) exceeds the budget are
@@ -75,7 +82,21 @@ use crate::lifecycle::{
     CircuitBreaker, CircuitBreakerPolicy, RetryPolicy, SourceId, WatchdogPolicy,
 };
 use crate::pipeline::{DynamicResolutionPipeline, InferencePlan, InferenceRecord, PipelineReport};
+use crate::precision::PrecisionGate;
 use crate::serve::{run_batch_isolated, BatchOptions};
+
+/// The precision-demotion policy: the accuracy gate that says *where*
+/// quantized execution is allowed, and the service-time model that says what
+/// it costs. See [`SloOptions::with_precision_demotion`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PrecisionDemotion {
+    /// End-to-end accuracy gate; rungs it did not admit never run quantized,
+    /// no matter how late the queue is running.
+    pub gate: PrecisionGate,
+    /// Estimated quantized service milliseconds per resolution (the int8
+    /// counterpart of [`SloOptions::latency`]).
+    pub latency: ResolutionLatencyModel,
+}
 
 /// One serving request with its SLO contract, timed on the virtual clock.
 #[derive(Debug, Clone)]
@@ -279,6 +300,11 @@ pub struct SloOptions {
     /// exceeds it, demoting down the ladder like a deadline. `None` (the
     /// default) never constrains.
     pub memory_budget_bytes: Option<usize>,
+    /// Precision demotion: when a rung's f32 estimate misses the deadline,
+    /// admission tries the quantized estimate *at the same rung* — but only
+    /// where the accuracy gate admits it — before stepping down the
+    /// resolution ladder. `None` (the default) never trades precision.
+    pub precision: Option<PrecisionDemotion>,
 }
 
 impl SloOptions {
@@ -338,6 +364,23 @@ impl SloOptions {
         self.memory_budget_bytes = Some(bytes);
         self
     }
+
+    /// Enables precision demotion: resolution stays the primary lever, but a
+    /// rung whose f32 estimate misses the deadline may run quantized —
+    /// keeping its resolution — when `gate` admits that rung and the `latency`
+    /// model says the quantized forward fits the slack. Preserves the rung
+    /// order of the ladder walk: int8-at-rung-r is tried *before* f32 at the
+    /// next rung down, because serving full resolution at reduced precision
+    /// degrades accuracy less than dropping a resolution rung (the gate
+    /// guarantees as much, or it would not have admitted the rung).
+    pub fn with_precision_demotion(
+        mut self,
+        gate: PrecisionGate,
+        latency: ResolutionLatencyModel,
+    ) -> Self {
+        self.precision = Some(PrecisionDemotion { gate, latency });
+        self
+    }
 }
 
 /// The outcome of draining an [`SloScheduler`] queue.
@@ -375,6 +418,9 @@ pub struct SloReport {
     pub watchdog_cancelled: usize,
     /// Completed requests served below a rung the memory budget vetoed.
     pub memory_demoted: usize,
+    /// Completed requests served on the quantized (int8) arm because their
+    /// rung's f32 estimate missed the deadline.
+    pub precision_demoted: usize,
     /// Completed requests / total — the headline goodput.
     pub goodput: f64,
     /// Shed requests / total.
@@ -464,6 +510,9 @@ struct AdmittedAttempt {
     /// Watchdog-flagged: charged the capped overrun and cooperatively
     /// cancelled before any backbone compute.
     cancelled: bool,
+    /// Admitted onto the quantized arm (precision demotion): executes under
+    /// the int8 bucket-dispatch table and was charged the int8 estimate.
+    int8: bool,
 }
 
 /// Plan-stage verdict for one attempt under breaker gating.
@@ -558,6 +607,7 @@ impl<'a> SloScheduler<'a> {
 
         let mut outcomes: Vec<Option<SloOutcome>> = vec![None; queue.len()];
         let mut memory_demoted_flag: Vec<bool> = vec![false; queue.len()];
+        let mut precision_demoted_flag: Vec<bool> = vec![false; queue.len()];
         let mut breakers: BTreeMap<SourceId, CircuitBreaker> = BTreeMap::new();
         let mut server_free_ms = 0.0f64;
         let mut peak_backlog_ms = 0.0f64;
@@ -817,22 +867,42 @@ impl<'a> SloScheduler<'a> {
                             continue;
                         }
                     }
-                    let estimate_ms = latency.estimate_ms(resolution);
-                    let mut service_ms = estimate_ms * multiplier;
-                    let mut cancelled = false;
-                    if let Some(watchdog) = &self.options.watchdog {
-                        let cap_ms = estimate_ms * watchdog.overrun_factor;
-                        if service_ms > cap_ms {
-                            // Overrun: charge only the cap (one runaway must
-                            // not blow every queued deadline) and cancel the
-                            // execution before it spends compute.
-                            service_ms = cap_ms;
-                            cancelled = true;
+                    // Precision tiers at this rung: f32 first; when demotion
+                    // is enabled *and* the accuracy gate admits the rung, the
+                    // quantized arm is tried next — before the walk steps down
+                    // the resolution ladder, because serving full resolution
+                    // at gated-reduced precision degrades accuracy less than
+                    // dropping a rung.
+                    let mut tiers: Vec<(f64, bool)> =
+                        vec![(latency.estimate_ms(resolution), false)];
+                    if let Some(precision) = &self.options.precision {
+                        if precision.gate.admits(resolution) {
+                            tiers.push((precision.latency.estimate_ms(resolution), true));
                         }
                     }
-                    if virtual_start + service_ms > request.deadline_ms {
-                        continue;
+                    let mut fit: Option<(f64, bool, bool)> = None;
+                    for (estimate_ms, int8) in tiers {
+                        let mut service_ms = estimate_ms * multiplier;
+                        let mut cancelled = false;
+                        if let Some(watchdog) = &self.options.watchdog {
+                            let cap_ms = estimate_ms * watchdog.overrun_factor;
+                            if service_ms > cap_ms {
+                                // Overrun: charge only the cap (one runaway
+                                // must not blow every queued deadline) and
+                                // cancel the execution before it spends
+                                // compute.
+                                service_ms = cap_ms;
+                                cancelled = true;
+                            }
+                        }
+                        if virtual_start + service_ms <= request.deadline_ms {
+                            fit = Some((service_ms, cancelled, int8));
+                            break;
+                        }
                     }
+                    let Some((service_ms, cancelled, int8)) = fit else {
+                        continue;
+                    };
                     let final_plan = if resolution == plan.chosen_resolution {
                         plan.clone()
                     } else {
@@ -857,6 +927,7 @@ impl<'a> SloScheduler<'a> {
                     if memory_skipped {
                         memory_demoted_flag[attempt.index] = true;
                     }
+                    precision_demoted_flag[attempt.index] = int8;
                     if cancelled {
                         watchdog_cancelled += 1;
                     }
@@ -868,6 +939,7 @@ impl<'a> SloScheduler<'a> {
                         virtual_start_ms: virtual_start,
                         virtual_finish_ms: server_free_ms,
                         cancelled,
+                        int8,
                     });
                     placed = true;
                     break;
@@ -923,14 +995,21 @@ impl<'a> SloScheduler<'a> {
                     executed.push((entry, Err(CoreError::Cancelled { reason })));
                 }
             }
-            let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            // Buckets are keyed by (resolution, precision): a demoted request
+            // executes under the int8 dispatch table, a nominal one under the
+            // f32 table — never mixed in one scoped batch.
+            let mut buckets: BTreeMap<(usize, bool), Vec<usize>> = BTreeMap::new();
             for (pos, entry) in normal.iter().enumerate() {
-                buckets.entry(entry.plan.chosen_resolution).or_default().push(pos);
+                buckets.entry((entry.plan.chosen_resolution, entry.int8)).or_default().push(pos);
             }
             let mut normal_results: Vec<Option<Result<InferenceRecord>>> = Vec::new();
             normal_results.resize_with(normal.len(), || None);
-            for (&resolution, members) in &buckets {
-                let dispatch = self.pipeline.bucket_dispatch(resolution);
+            for (&(resolution, int8), members) in &buckets {
+                let dispatch = if int8 {
+                    self.pipeline.bucket_dispatch_int8(resolution)
+                } else {
+                    self.pipeline.bucket_dispatch(resolution)
+                };
                 for batch in members.chunks(max_batch) {
                     let results = run_batch_isolated(self.pipeline, threads, batch.len(), |slot| {
                         let entry = &normal[batch[slot]];
@@ -1030,6 +1109,7 @@ impl<'a> SloScheduler<'a> {
         let mut ssim_sum = 0.0f64;
         let (mut completed, mut shed, mut expired, mut faulted) = (0usize, 0usize, 0usize, 0usize);
         let (mut breaker_shed, mut recovered, mut memory_demoted) = (0usize, 0usize, 0usize);
+        let mut precision_demoted = 0usize;
         for (index, outcome) in outcomes.iter().enumerate() {
             match outcome {
                 SloOutcome::Completed(done) => {
@@ -1042,6 +1122,9 @@ impl<'a> SloScheduler<'a> {
                     }
                     if memory_demoted_flag[index] {
                         memory_demoted += 1;
+                    }
+                    if precision_demoted_flag[index] {
+                        precision_demoted += 1;
                     }
                 }
                 SloOutcome::Rejected(Rejected::Overloaded) => shed += 1,
@@ -1077,6 +1160,7 @@ impl<'a> SloScheduler<'a> {
             breaker_trips,
             watchdog_cancelled,
             memory_demoted,
+            precision_demoted,
             goodput: completed as f64 / totalf,
             shed_rate: shed as f64 / totalf,
             slo_violation_rate: (shed + breaker_shed + expired + faulted) as f64 / totalf,

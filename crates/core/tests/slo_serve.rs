@@ -5,8 +5,9 @@
 
 use rescnn_core::{
     BatchOptions, CircuitBreakerPolicy, CoreError, DynamicResolutionPipeline, PipelineConfig,
-    Rejected, ResolutionLatencyModel, RetryPolicy, ScaleModelConfig, ScaleModelTrainer, SloOptions,
-    SloOutcome, SloReport, SloRequest, SloScheduler, SourceId, WatchdogPolicy,
+    PrecisionGate, Rejected, ResolutionLatencyModel, RetryPolicy, ScaleModelConfig,
+    ScaleModelTrainer, SloOptions, SloOutcome, SloReport, SloRequest, SloScheduler, SourceId,
+    WatchdogPolicy,
 };
 use rescnn_data::{DatasetKind, DatasetSpec, Sample};
 use rescnn_imaging::CropRatio;
@@ -563,4 +564,68 @@ fn resilient_reports_are_bitwise_deterministic_across_thread_budgets() {
         report.threads = baseline.threads;
         assert_eq!(report, baseline, "{threads} threads changed the resilient SLO report");
     }
+}
+
+#[test]
+fn precision_demotion_serves_the_planned_rung_quantized_before_degrading() {
+    let pipeline = build_pipeline(vec![112, 224]);
+    let data = DatasetSpec::cars_like().with_len(24).with_max_dimension(72).build(29);
+    let sample = sample_planned_at(&pipeline, &data, 224);
+
+    // Same overload trace as `overload_degrades_down_the_ladder_before_shedding`
+    // (six requests at t=0, deadline 115 ms, f32 estimates 224² → 50 ms,
+    // 112² → 10 ms), but now the int8 gate admits 224² and the quantized
+    // forward is modeled at 10 ms:
+    //   r0: start   0, f32 224² fits (50 ≤ 115)                 → f32 at 224²
+    //   r1: start  50, f32 224² fits (100 ≤ 115)                → f32 at 224²
+    //   r2: start 100, f32 misses, int8 224² fits (110 ≤ 115)   → int8 at 224²
+    //   r3: start 110, f32 and int8 miss at both rungs (112² is
+    //       not gate-admitted, f32 112² gives 120 > 115)         → shed
+    //   r4, r5: same as r3                                       → shed
+    let int8_latency = ResolutionLatencyModel::from_estimates([(112, 5.0), (224, 10.0)]);
+    let options = SloOptions::default()
+        .with_latency_model(fixed_latency())
+        .with_precision_demotion(PrecisionGate::from_admitted([224]), int8_latency);
+    let mut scheduler = SloScheduler::new(&pipeline, options);
+    for _ in 0..6 {
+        scheduler.submit(SloRequest::new(sample, 0.0, 115.0));
+    }
+    let report = scheduler.run().unwrap();
+
+    assert_eq!(report.completed, 3);
+    assert_eq!(report.precision_demoted, 1, "r2 must be served quantized");
+    assert_eq!(report.degraded, 0, "demotion keeps the planned rung; nothing steps down");
+    assert_eq!(report.shed, 3);
+    match &report.outcomes[2] {
+        SloOutcome::Completed(done) => {
+            assert_eq!(done.planned_resolution, 224);
+            assert_eq!(done.served_resolution, 224, "r2 keeps its rung at reduced precision");
+            assert_eq!(done.virtual_start_ms, 100.0);
+            assert_eq!(done.virtual_finish_ms, 110.0);
+        }
+        other => panic!("r2 must complete at its planned rung, got {other:?}"),
+    }
+
+    // The same trace without the option degrades r2 down the ladder instead:
+    // precision demotion converted a resolution drop into a same-rung serve.
+    let baseline_options = SloOptions::default().with_latency_model(fixed_latency());
+    let mut scheduler = SloScheduler::new(&pipeline, baseline_options);
+    for _ in 0..6 {
+        scheduler.submit(SloRequest::new(sample, 0.0, 115.0));
+    }
+    let baseline = scheduler.run().unwrap();
+    assert_eq!(baseline.precision_demoted, 0);
+    assert_eq!(baseline.degraded, 1);
+
+    // A gate that admits nothing must be indistinguishable from no option at
+    // all — bit for bit, not just in the counters.
+    let denied_options = SloOptions::default()
+        .with_latency_model(fixed_latency())
+        .with_precision_demotion(PrecisionGate::deny_all(), fixed_latency());
+    let mut scheduler = SloScheduler::new(&pipeline, denied_options);
+    for _ in 0..6 {
+        scheduler.submit(SloRequest::new(sample, 0.0, 115.0));
+    }
+    let denied = scheduler.run().unwrap();
+    assert_eq!(normalized(denied), normalized(baseline), "a deny-all gate changed the report");
 }

@@ -39,6 +39,20 @@ use crate::schedule::ConvSchedule;
 /// File-format header; bump when the line layout changes.
 const FORMAT_HEADER: &str = "rescnn-conv-calibration v1";
 
+/// One persisted measurement [`CalibratedCostModel::load`] skipped because its
+/// algorithm name is unknown to this build — typically a file written by a
+/// newer engine with an extra kernel arm. Skipping (instead of failing the
+/// whole load) keeps calibration files forward-compatible: every measurement
+/// this build *can* interpret still loads, and the skips are surfaced so the
+/// serving layer can warn rather than silently run uncalibrated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedCalibration {
+    /// The unrecognized algorithm name exactly as it appeared in the file.
+    pub algo: String,
+    /// 1-based line number of the skipped entry.
+    pub line: usize,
+}
+
 /// An analytic cost model refined with measured kernel timings.
 #[derive(Debug, Clone)]
 pub struct CalibratedCostModel {
@@ -46,13 +60,27 @@ pub struct CalibratedCostModel {
     profile: CpuProfile,
     /// Best measured seconds per `(shape, algorithm)`.
     measurements: HashMap<ConvShapeKey, Vec<(ConvAlgo, f64)>>,
+    /// Entries [`load`](Self::load) skipped for unknown algorithm names.
+    skipped: Vec<SkippedCalibration>,
 }
 
 impl CalibratedCostModel {
     /// Creates an uncalibrated model over `profile` (predictions fall back to
     /// the analytic estimate until measurements arrive).
     pub fn new(profile: CpuProfile) -> Self {
-        CalibratedCostModel { analytic: CostModel::new(), profile, measurements: HashMap::new() }
+        CalibratedCostModel {
+            analytic: CostModel::new(),
+            profile,
+            measurements: HashMap::new(),
+            skipped: Vec::new(),
+        }
+    }
+
+    /// Persisted entries the last [`load`](Self::load) skipped because their
+    /// algorithm names are unknown to this build. Empty for models built by
+    /// sweeping (nothing to skip) and for files this build fully understands.
+    pub fn skipped_entries(&self) -> &[SkippedCalibration] {
+        &self.skipped
     }
 
     /// Number of `(shape, algorithm)` measurements recorded.
@@ -259,7 +287,16 @@ impl CalibratedCostModel {
             if nums.len() != 8 {
                 return Err(bad("non-numeric shape field"));
             }
-            let algo = ConvAlgo::from_name(fields[9]).ok_or_else(|| bad("unknown algorithm"))?;
+            // An unknown algorithm name is the one forgivable defect: it means
+            // the file came from a build with a kernel arm this one lacks, not
+            // that the file is corrupt. Skip the entry (recording it for the
+            // caller to surface) instead of rejecting the whole file.
+            let Some(algo) = ConvAlgo::from_name(fields[9]) else {
+                model
+                    .skipped
+                    .push(SkippedCalibration { algo: fields[9].to_string(), line: number + 1 });
+                continue;
+            };
             let seconds: f64 = fields[10].parse().map_err(|_| bad("bad seconds"))?;
             let params =
                 Conv2dParams::new(nums[0], nums[1], nums[2], nums[3], nums[4]).with_groups(nums[5]);
@@ -379,6 +416,40 @@ mod tests {
         assert_eq!(reloaded.len(), model.len());
         assert_eq!(reloaded.measured_seconds(&layers[1], ConvAlgo::Winograd), Some(1.5e-3));
         assert_eq!(reloaded.dispatch_table(), model.dispatch_table());
+    }
+
+    #[test]
+    fn load_skips_unknown_algorithms_and_records_them() {
+        let path = std::env::temp_dir()
+            .join(format!("rescnn-calibration-future-{}.txt", std::process::id()));
+        // A file written by a hypothetical future build: one arm this build
+        // knows, two entries for arms it does not.
+        std::fs::write(
+            &path,
+            format!(
+                "{FORMAT_HEADER}\n\
+                 measure 8 8 3 1 1 1 16 16 im2col_packed 2e-3\n\
+                 measure 8 8 3 1 1 1 16 16 int4_packed 1e-3\n\
+                 measure 8 8 3 1 1 1 32 32 int4_packed 4e-3\n"
+            ),
+        )
+        .unwrap();
+        let model = CalibratedCostModel::load(&path, CpuProfile::intel_4790k()).unwrap();
+        std::fs::remove_file(&path).ok();
+        // The known measurement loaded; the unknown ones were skipped, not fatal.
+        assert_eq!(model.len(), 1);
+        let l = layer(8, 8, 3, 1, 16);
+        assert_eq!(model.measured_seconds(&l, ConvAlgo::Im2colPacked), Some(2.0e-3));
+        assert_eq!(
+            model.skipped_entries(),
+            &[
+                SkippedCalibration { algo: "int4_packed".into(), line: 3 },
+                SkippedCalibration { algo: "int4_packed".into(), line: 4 },
+            ]
+        );
+        // Malformed lines (wrong arity, bad numbers) are still hard errors:
+        // only unknown names get forgiveness.
+        assert!(model.dispatch_table().len() == 1);
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod profile;
 mod schedule;
 
 pub use autotune::{AutoTuner, KernelPlan, TunedKernel, TunerConfig};
-pub use calibrated::CalibratedCostModel;
+pub use calibrated::{CalibratedCostModel, SkippedCalibration};
 pub use cost::{CostModel, KernelEstimate};
 pub use error::{HwError, Result};
 pub use library::{LibraryConfig, LibraryKernels};

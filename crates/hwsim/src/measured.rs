@@ -13,8 +13,9 @@ use serde::{Deserialize, Serialize};
 
 use rescnn_models::ConvLayerShape;
 use rescnn_tensor::{
-    conv2d_tiled, conv2d_with_algo, select_algo, winograd_f4_unit_error, ConvAlgo, ConvEpilogue,
-    ConvTiling, EngineContext, PreparedLayer, Shape, Tensor, WINOGRAD_F4_TOLERANCE,
+    conv2d_tiled, conv2d_with_algo, int8_unit_error, select_algo, winograd_f4_unit_error, ConvAlgo,
+    ConvEpilogue, ConvTiling, EngineContext, PreparedLayer, Shape, Tensor, INT8_TOLERANCE,
+    WINOGRAD_F4_TOLERANCE,
 };
 
 /// One wall-clock measurement of a kernel implementation on a layer shape.
@@ -51,6 +52,17 @@ pub struct MeasuredSweepConfig {
     /// for speed. Defaults to the characterized
     /// [`rescnn_tensor::WINOGRAD_F4_TOLERANCE`].
     pub f4_tolerance: f32,
+    /// Whether the sweep includes the quantized [`ConvAlgo::Int8`] arm.
+    /// Defaults to `false`: quantization changes output values, so a
+    /// deployment must opt in — mirroring the engine's own policy of never
+    /// choosing the arm heuristically.
+    pub int8: bool,
+    /// Numerical gate for [`ConvAlgo::Int8`]: when the int8 arm is enabled,
+    /// the sweep only admits it for a shape whose measured unit-scale
+    /// deviation from `Im2colPacked` ([`rescnn_tensor::int8_unit_error`])
+    /// stays within this bound. Defaults to the characterized
+    /// [`rescnn_tensor::INT8_TOLERANCE`].
+    pub int8_tolerance: f32,
 }
 
 impl Default for MeasuredSweepConfig {
@@ -61,6 +73,8 @@ impl Default for MeasuredSweepConfig {
             seed: 0,
             prepack: true,
             f4_tolerance: WINOGRAD_F4_TOLERANCE,
+            int8: false,
+            int8_tolerance: INT8_TOLERANCE,
         }
     }
 }
@@ -140,19 +154,27 @@ impl MeasuredTuner {
                     | ConvAlgo::Depthwise
                     | ConvAlgo::Winograd
                     | ConvAlgo::WinogradF4
+                    | ConvAlgo::Int8
             );
         // Scoped override: the sweep's thread count never leaks into (or races
         // with) the process-wide engine configuration.
         let seconds = EngineContext::new().with_threads(threads).scope(|| {
             if prepacked {
-                let prepared = PreparedLayer::new(weight, None, params).expect("valid layer shape");
+                let mut prepared =
+                    PreparedLayer::new(weight, None, params).expect("valid layer shape");
                 let mut out =
                     Tensor::zeros(params.output_shape(input.shape()).expect("valid layer shape"));
-                // Build any cached filter transform outside the timed runs.
+                // Build any cached filter transform (or quantized weights and the
+                // calibrated activation range) outside the timed runs: both are
+                // one-time preparation costs in steady-state serving.
                 if algo == ConvAlgo::Winograd {
                     prepared.winograd_filter().expect("winograd-eligible layer");
                 } else if algo == ConvAlgo::WinogradF4 {
                     prepared.winograd_filter_f4().expect("winograd-eligible layer");
+                } else if algo == ConvAlgo::Int8 {
+                    let (lo, hi) = rescnn_tensor::tensor_range(&input);
+                    prepared.set_int8_range(lo, hi);
+                    prepared.int8_weights().expect("int8-eligible layer");
                 }
                 self.time_runs(|| {
                     prepared
@@ -186,6 +208,9 @@ impl MeasuredTuner {
             if algo == ConvAlgo::WinogradF4 && !self.admits_f4(layer) {
                 continue;
             }
+            if algo == ConvAlgo::Int8 && !(self.config.int8 && self.admits_int8(layer)) {
+                continue;
+            }
             let mut threads = 1;
             while threads <= self.config.max_threads.max(1) {
                 results.push(self.measure_algo(layer, algo, threads));
@@ -202,6 +227,19 @@ impl MeasuredTuner {
     pub fn admits_f4(&self, layer: &ConvLayerShape) -> bool {
         winograd_f4_unit_error(&layer.params, layer.input)
             .map(|err| err <= self.config.f4_tolerance)
+            .unwrap_or(false)
+    }
+
+    /// Whether the numerical gate admits [`ConvAlgo::Int8`] for this layer
+    /// shape: its deterministic unit-scale deviation from `Im2colPacked`
+    /// ([`rescnn_tensor::int8_unit_error`]) must stay within
+    /// [`MeasuredSweepConfig::int8_tolerance`]. Shapes the probe cannot
+    /// evaluate are rejected. Note the gate is necessary but not sufficient
+    /// for the sweep to include the arm: [`MeasuredSweepConfig::int8`] must
+    /// also be set, because quantization is a deployment-level opt-in.
+    pub fn admits_int8(&self, layer: &ConvLayerShape) -> bool {
+        int8_unit_error(&layer.params, layer.input)
+            .map(|err| err <= self.config.int8_tolerance)
             .unwrap_or(false)
     }
 
@@ -303,6 +341,33 @@ mod tests {
         let swept = strict.sweep_layer(&layer, &ConvAlgo::ALL);
         assert!(swept.iter().all(|r| r.algo != ConvAlgo::WinogradF4));
         assert!(swept.iter().any(|r| r.algo == ConvAlgo::Winograd));
+    }
+
+    #[test]
+    fn int8_arm_is_opt_in_and_gated() {
+        let layer = small_layer();
+        // Disabled by default: even when the numerical gate admits the shape,
+        // the sweep must omit the quantized arm until a deployment opts in.
+        let default_tuner =
+            MeasuredTuner::new(MeasuredSweepConfig { reps: 1, ..Default::default() });
+        assert!(default_tuner.admits_int8(&layer), "characterized bound admits the ladder shapes");
+        let swept = default_tuner.sweep_layer(&layer, &ConvAlgo::ALL);
+        assert!(swept.iter().all(|r| r.algo != ConvAlgo::Int8));
+        // Opted in, the arm joins the duel…
+        let enabled =
+            MeasuredTuner::new(MeasuredSweepConfig { reps: 1, int8: true, ..Default::default() });
+        let swept = enabled.sweep_layer(&layer, &ConvAlgo::ALL);
+        assert!(swept.iter().any(|r| r.algo == ConvAlgo::Int8));
+        // …unless the tolerance is tightened past the arm's real unit error.
+        let strict = MeasuredTuner::new(MeasuredSweepConfig {
+            reps: 1,
+            int8: true,
+            int8_tolerance: 0.0,
+            ..Default::default()
+        });
+        assert!(!strict.admits_int8(&layer), "a zero tolerance must reject every real shape");
+        let swept = strict.sweep_layer(&layer, &ConvAlgo::ALL);
+        assert!(swept.iter().all(|r| r.algo != ConvAlgo::Int8));
     }
 
     #[test]

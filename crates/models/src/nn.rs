@@ -137,6 +137,18 @@ impl ConvBn {
         Ok(out)
     }
 
+    /// Widens the layer's recorded int8 activation range with one observed
+    /// input tensor (the range-calibration pass feeds every calibration
+    /// sample through this).
+    fn observe_int8_range(&mut self, input: &Tensor) {
+        let (lo, hi) = rescnn_tensor::tensor_range(input);
+        let (lo, hi) = match self.prepared.int8_range() {
+            Some((plo, phi)) => (plo.min(lo), phi.max(hi)),
+            None => (lo, hi),
+        };
+        self.prepared.set_int8_range(lo, hi);
+    }
+
     /// The PR-4-era execution path: per-call weight packing (except the cached
     /// Winograd transform, which PR 4 already cached), separate activation
     /// passes, fresh allocations. Kept as the measured baseline and the parity
@@ -163,6 +175,19 @@ impl ConvBn {
                 self.prepared.bias(),
                 params,
                 self.fused_act(),
+            )?;
+            return Ok(out);
+        }
+        if algo == ConvAlgo::Int8 {
+            // The quantized path must read the same prepared weight panels and
+            // calibration-recorded activation range as the hot path, or the two
+            // would disagree bitwise whenever a range is recorded.
+            let mut out = Tensor::zeros(params.output_shape(input.shape())?);
+            self.prepared.forward_with_algo_into(
+                input,
+                ConvAlgo::Int8,
+                ConvEpilogue::activation(self.fused_act()),
+                &mut out,
             )?;
             return Ok(out);
         }
@@ -764,6 +789,81 @@ impl Network {
             };
         }
         Ok(x)
+    }
+
+    /// Records per-convolution activation ranges for the int8 arm: feeds
+    /// `input` through the reference forward, observing each prepared
+    /// convolution's *input* min/max and widening any previously recorded
+    /// range — call once per calibration sample. Quantized forwards then read
+    /// the stored range instead of re-scanning each request's activations,
+    /// making the quantization grid (and therefore the output bits) a
+    /// deployment property rather than a per-request one.
+    ///
+    /// # Errors
+    /// See [`Network::forward`].
+    pub fn calibrate_int8_ranges(&mut self, input: &Tensor) -> Result<()> {
+        self.check_input(input)?;
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = match layer {
+                LayerImpl::ConvBn(conv) => {
+                    conv.observe_int8_range(&x);
+                    conv.forward_reference(&x)?
+                }
+                LayerImpl::MaxPool(pool) => rescnn_tensor::max_pool2d(&x, pool)?,
+                LayerImpl::Basic { conv1, conv2, downsample } => {
+                    conv1.observe_int8_range(&x);
+                    let mid = conv1.forward_reference(&x)?;
+                    conv2.observe_int8_range(&mid);
+                    let mut out = conv2.forward_reference(&mid)?;
+                    match downsample {
+                        Some(d) => {
+                            d.observe_int8_range(&x);
+                            add_relu_in_place(&mut out, &d.forward_reference(&x)?)?;
+                        }
+                        None => add_relu_in_place(&mut out, &x)?,
+                    }
+                    out
+                }
+                LayerImpl::Bottleneck { conv1, conv2, conv3, downsample } => {
+                    conv1.observe_int8_range(&x);
+                    let mid1 = conv1.forward_reference(&x)?;
+                    conv2.observe_int8_range(&mid1);
+                    let mid2 = conv2.forward_reference(&mid1)?;
+                    conv3.observe_int8_range(&mid2);
+                    let mut out = conv3.forward_reference(&mid2)?;
+                    match downsample {
+                        Some(d) => {
+                            d.observe_int8_range(&x);
+                            add_relu_in_place(&mut out, &d.forward_reference(&x)?)?;
+                        }
+                        None => add_relu_in_place(&mut out, &x)?,
+                    }
+                    out
+                }
+                LayerImpl::Inverted { expand, depthwise, project, skip } => {
+                    let mid1 = match expand {
+                        Some(e) => {
+                            e.observe_int8_range(&x);
+                            e.forward_reference(&x)?
+                        }
+                        None => x.clone(),
+                    };
+                    depthwise.observe_int8_range(&mid1);
+                    let mid2 = depthwise.forward_reference(&mid1)?;
+                    project.observe_int8_range(&mid2);
+                    let mut out = project.forward_reference(&mid2)?;
+                    if *skip {
+                        out.add_assign(&x)?;
+                    }
+                    out
+                }
+                LayerImpl::GlobalAvgPool => rescnn_tensor::global_avg_pool(&x),
+                // Nothing after the classifier consumes a convolution input.
+                LayerImpl::Classifier { .. } => break,
+            };
+        }
+        Ok(())
     }
 
     /// Plans the activation-arena footprint of a forward pass at one input

@@ -375,11 +375,23 @@ pub enum ConvAlgo {
     /// [`WINOGRAD_F4_TOLERANCE`](crate::winograd::WINOGRAD_F4_TOLERANCE) at unit
     /// scale — calibration sweeps gate it per shape on the measured unit error.
     WinogradF4,
+    /// Engine: int8-quantized u8×i8 GEMM for dense (groups == 1) layers —
+    /// per-output-channel symmetric weight scales folded at prepack time,
+    /// per-tensor asymmetric activation quantization, i32 accumulation with a
+    /// fused f32 dequant + epilogue writeback (VNNI / `vpmaddubsw` / portable
+    /// kernel tiers, all bitwise interchangeable). Quantization is an
+    /// *approximation*, so this arm is never a heuristic default: dispatch
+    /// reaches it only through an installed calibration table (gated per shape
+    /// on [`int8_unit_error`](crate::quant::int8_unit_error) against
+    /// [`INT8_TOLERANCE`](crate::quant::INT8_TOLERANCE), plus the serving
+    /// layer's end-to-end accuracy budget) or an explicit override. See
+    /// [`quant`](crate::quant).
+    Int8,
 }
 
 impl ConvAlgo {
     /// Every algorithm, in sweep order.
-    pub const ALL: [ConvAlgo; 7] = [
+    pub const ALL: [ConvAlgo; 8] = [
         ConvAlgo::Direct,
         ConvAlgo::Im2col,
         ConvAlgo::Im2colPacked,
@@ -387,6 +399,7 @@ impl ConvAlgo {
         ConvAlgo::Depthwise,
         ConvAlgo::Winograd,
         ConvAlgo::WinogradF4,
+        ConvAlgo::Int8,
     ];
 
     /// Whether this algorithm can execute the given convolution shape.
@@ -400,6 +413,7 @@ impl ConvAlgo {
             ConvAlgo::Winograd | ConvAlgo::WinogradF4 => {
                 params.kernel == 3 && params.stride == 1 && params.groups == 1
             }
+            ConvAlgo::Int8 => params.groups == 1,
         }
     }
 
@@ -420,6 +434,7 @@ impl std::fmt::Display for ConvAlgo {
             ConvAlgo::Depthwise => "depthwise",
             ConvAlgo::Winograd => "winograd",
             ConvAlgo::WinogradF4 => "winograd_f4",
+            ConvAlgo::Int8 => "int8_packed",
         };
         f.write_str(name)
     }
@@ -687,6 +702,7 @@ pub fn conv2d_with_algo(
         ConvAlgo::Depthwise => conv2d_depthwise(input, weight, bias, params),
         ConvAlgo::Winograd => crate::winograd::conv2d_winograd(input, weight, bias, params),
         ConvAlgo::WinogradF4 => crate::winograd::conv2d_winograd_f4(input, weight, bias, params),
+        ConvAlgo::Int8 => crate::quant::conv2d_int8(input, weight, bias, params),
     }
 }
 
@@ -763,6 +779,12 @@ pub struct PreparedLayer {
     winograd: OnceLock<WinogradFilter>,
     /// Lazily-built Winograd F(4×4) filter transform (eligible layers only).
     winograd_f4: OnceLock<WinogradFilter>,
+    /// Lazily-built int8-quantized weight panels (dense layers only), so
+    /// deployments that never enable the int8 arm pay nothing for it.
+    int8: OnceLock<crate::quant::QuantizedConv>,
+    /// Calibration-recorded activation range for the int8 path; absent ranges
+    /// fall back to a dynamic per-call min/max scan.
+    int8_range: Option<(f32, f32)>,
 }
 
 impl PreparedLayer {
@@ -801,6 +823,8 @@ impl PreparedLayer {
             gemm,
             winograd: OnceLock::new(),
             winograd_f4: OnceLock::new(),
+            int8: OnceLock::new(),
+            int8_range: None,
         })
     }
 
@@ -865,12 +889,43 @@ impl PreparedLayer {
         }))
     }
 
+    /// The cached int8-quantized weight panels, quantizing on first use.
+    ///
+    /// # Errors
+    /// Returns an error if the layer is not int8-eligible (grouped).
+    pub fn int8_weights(&self) -> Result<&crate::quant::QuantizedConv> {
+        if !ConvAlgo::Int8.supports(&self.params) {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![self.params.groups],
+                right: vec![1],
+                op: "int8 conv requires groups=1",
+            });
+        }
+        Ok(self.int8.get_or_init(|| {
+            crate::quant::QuantizedConv::prepare(&self.weight, &self.params)
+                .expect("eligibility checked above")
+        }))
+    }
+
+    /// Records the calibration-observed activation range consumed by the int8
+    /// path (see `Network::calibrate_int8_ranges` in `rescnn-models`). Without
+    /// it, int8 forwards derive the range from each input dynamically.
+    pub fn set_int8_range(&mut self, lo: f32, hi: f32) {
+        self.int8_range = Some((lo, hi));
+    }
+
+    /// The recorded int8 activation range, if calibration ran.
+    pub fn int8_range(&self) -> Option<(f32, f32)> {
+        self.int8_range
+    }
+
     /// Bytes resident beyond the raw weights (packed panels + any cached
-    /// Winograd banks).
+    /// Winograd banks or int8 panels).
     pub fn prepacked_bytes(&self) -> usize {
         self.gemm.iter().map(engine::PreparedGemmA::resident_bytes).sum::<usize>()
             + self.winograd.get().map_or(0, WinogradFilter::resident_bytes)
             + self.winograd_f4.get().map_or(0, WinogradFilter::resident_bytes)
+            + self.int8.get().map_or(0, crate::quant::QuantizedConv::resident_bytes)
     }
 
     /// Runs the layer through dispatch with a fused epilogue, writing into a
@@ -954,6 +1009,18 @@ impl PreparedLayer {
                     out,
                 )
             }
+            ConvAlgo::Int8 => {
+                let qconv = self.int8_weights()?;
+                crate::quant::int8_packed_into(
+                    input,
+                    qconv,
+                    bias,
+                    &self.params,
+                    epilogue,
+                    self.int8_range,
+                    out,
+                )
+            }
             ConvAlgo::Direct | ConvAlgo::Im2col => {
                 let oshape = validate_into(&self.params, input, &epilogue, out)?;
                 let tmp = if algo == ConvAlgo::Direct {
@@ -1010,7 +1077,7 @@ fn apply_epilogue_separately(out: &mut Tensor, epilogue: &ConvEpilogue<'_>) {
 
 /// Valid output range `[lo, hi)` along one spatial axis for a fixed kernel offset:
 /// the positions whose sampled input index lands inside `[0, input_extent)`.
-fn valid_out_range(
+pub(crate) fn valid_out_range(
     input_extent: usize,
     out_extent: usize,
     kernel_offset: usize,
@@ -1099,7 +1166,7 @@ fn im2col_pack_stripe(
 /// Output-row stripe height keeping one packed im2col stripe within the engine's
 /// scratch budget (resolution-aware: taller stripes at low resolution, shorter at
 /// high resolution).
-fn stripe_height(rows: usize, oshape: Shape) -> usize {
+pub(crate) fn stripe_height(rows: usize, oshape: Shape) -> usize {
     (engine::MAX_B_PANEL_ELEMS / (rows * oshape.w).max(1)).clamp(1, oshape.h)
 }
 
@@ -1157,7 +1224,7 @@ impl<'a> ConvEpilogue<'a> {
 
 /// Validates an `_into` call's output (and optional residual) tensor against the
 /// convolution's output shape, returning that shape.
-fn validate_into(
+pub(crate) fn validate_into(
     params: &Conv2dParams,
     input: &Tensor,
     epilogue: &ConvEpilogue<'_>,

@@ -73,6 +73,7 @@ mod error;
 mod gemm;
 mod ops;
 pub mod parallel;
+pub mod quant;
 pub mod scratch;
 mod shape;
 mod tensor;
@@ -104,6 +105,12 @@ pub use parallel::{
     num_threads, panic_message, parallel_map_isolated, set_num_threads, shutdown_pool,
     split_parallelism, DrainReport,
 };
+pub use quant::{
+    conv2d_int8, int8_unit_error, tensor_range, ActQuant, QuantizedConv, INT8_TOLERANCE,
+    INT8_WEIGHT_QMAX,
+};
+#[doc(hidden)]
+pub use quant::{int8_microkernel_dispatch, int8_microkernel_reference};
 pub use shape::{conv_output_extent, Conv2dParams, Pool2dParams, Shape};
 pub use tensor::Tensor;
 pub use winograd::{

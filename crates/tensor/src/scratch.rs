@@ -104,6 +104,59 @@ fn take_impl(len: usize, zero: bool) -> Vec<f32> {
     }
 }
 
+thread_local! {
+    /// Byte-buffer pool for the int8 engine's quantized im2col panels — separate
+    /// from the f32 pool (a `Vec<f32>` cannot be reinterpreted as `Vec<u8>`
+    /// without an allocation-contract violation) but sharing the same
+    /// [`HEAP_ALLOCATIONS`] counter, so one counter pins the whole engine's
+    /// zero-allocation steady state across both numeric regimes.
+    static BYTE_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a byte buffer of exactly `len` elements from the thread-local byte
+/// pool, allocating only on a pool miss. Contents are **unspecified** (stale
+/// bytes from earlier kernels, or zeros on a fresh allocation): the quantized
+/// im2col packer fills its panels with the activation zero-point before
+/// writing, so a zeroing pass here would be pure waste.
+pub fn take_bytes(len: usize) -> Vec<u8> {
+    let reused = BYTE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let position = pool.iter().position(|buffer| {
+            buffer.capacity() >= len && (len as f32) >= (buffer.capacity() as f32) * MIN_UTILIZATION
+        });
+        position.map(|index| pool.swap_remove(index))
+    });
+    match reused {
+        Some(mut buffer) => {
+            buffer.resize(len, 0);
+            buffer
+        }
+        None => {
+            HEAP_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            vec![0u8; len]
+        }
+    }
+}
+
+/// Returns a buffer obtained from [`take_bytes`] to the byte pool for reuse.
+pub fn give_bytes(buffer: Vec<u8>) {
+    if buffer.capacity() == 0 {
+        return;
+    }
+    BYTE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < POOL_SLOTS {
+            pool.push(buffer);
+        } else if let Some(smallest) =
+            pool.iter().enumerate().min_by_key(|(_, b)| b.capacity()).map(|(i, _)| i)
+        {
+            if pool[smallest].capacity() < buffer.capacity() {
+                pool[smallest] = buffer;
+            }
+        }
+    });
+}
+
 /// Returns a buffer obtained from [`take`] to the pool for reuse.
 pub fn give(buffer: Vec<f32>) {
     if buffer.capacity() == 0 {

@@ -8,7 +8,7 @@
 
 use rescnn_tensor::{
     conv2d_direct, conv2d_dispatch, conv2d_with_algo, gemm_packed, num_threads, select_algo,
-    set_num_threads, Conv2dParams, ConvAlgo, MatDims, Shape, Tensor,
+    set_num_threads, Conv2dParams, ConvAlgo, MatDims, Shape, Tensor, INT8_TOLERANCE,
 };
 
 const TOLERANCE: f32 = 1e-3;
@@ -184,7 +184,11 @@ fn every_algo_agrees_on_every_supported_shape() {
             }
             let out = conv2d_with_algo(&input, &weight, None, params, algo).unwrap();
             let diff = reference.max_abs_diff(&out).unwrap();
-            assert!(diff < TOLERANCE, "{algo} diverged by {diff} on {params:?}");
+            // The quantized arm is exact only up to its characterized bound
+            // (its own suite, int8_parity.rs, pins it per shape); every f32
+            // arm must agree to reassociation-level precision.
+            let bound = if algo == ConvAlgo::Int8 { INT8_TOLERANCE } else { TOLERANCE };
+            assert!(diff < bound, "{algo} diverged by {diff} on {params:?}");
         }
     }
 }

@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     use rescnn::tensor::ConvAlgo;
     println!("\nMeasured engine sweep (wall-clock, this host):");
-    let tuner = MeasuredTuner::new(MeasuredSweepConfig::default());
+    let tuner = MeasuredTuner::new(MeasuredSweepConfig { int8: true, ..Default::default() });
     for res in [112usize, 224] {
         let layer = arch.conv_layers(res)?[10];
         println!("  layer {:?} at input {}:", layer.params.kernel, layer.input);
@@ -130,7 +130,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 5. Close the loop: feed the measured sweeps into a calibrated cost model,
+    // 5. Int8 quantized GEMM vs the f32 packed engine on the ResNet stage
+    //    shapes (prepared layers, static activation range — the serving
+    //    configuration). The accuracy gate is the shape-pure unit-error probe
+    //    `int8_unit_error` checked against `INT8_TOLERANCE`; dispatch offers
+    //    the arm only where the gate admits AND the deployment opted in
+    //    (`MeasuredSweepConfig::int8`).
+    use rescnn::tensor::{
+        conv_output_extent, int8_unit_error, tensor_range, ConvEpilogue, PreparedLayer,
+        INT8_TOLERANCE,
+    };
+    println!("\nInt8 quantized vs f32 packed GEMM (prepared layers, this host):");
+    println!(
+        "{:>18} {:>12} {:>10} {:>8} {:>10} {:>5}",
+        "stage shape", "f32 (ms)", "int8 (ms)", "speedup", "unit err", "gate"
+    );
+    for (ic, oc, k, res) in [
+        (64usize, 64usize, 3usize, 56usize),
+        (128, 128, 3, 28),
+        (256, 256, 3, 14),
+        (512, 512, 3, 7),
+    ] {
+        let params = Conv2dParams::new(ic, oc, k, 1, k / 2);
+        let weight = Tensor::kaiming(Shape::new(oc, ic, k, k), ic * k * k, 7);
+        let input = Tensor::random_uniform(Shape::chw(ic, res, res), 1.0, res as u64);
+        let mut prepared = PreparedLayer::new(weight, None, params)?;
+        let (lo, hi) = tensor_range(&input);
+        prepared.set_int8_range(lo, hi);
+        prepared.int8_weights()?; // prepack outside the timed region
+        let oh = conv_output_extent(res, k, 1, k / 2)?;
+        let mut out = Tensor::zeros(Shape::chw(oc, oh, oh));
+        let f32_ms = time_ms(&mut || {
+            prepared
+                .forward_with_algo_into(
+                    &input,
+                    ConvAlgo::Im2colPacked,
+                    ConvEpilogue::activation(FusedActivation::None),
+                    &mut out,
+                )
+                .unwrap();
+        });
+        let int8_ms = time_ms(&mut || {
+            prepared
+                .forward_with_algo_into(
+                    &input,
+                    ConvAlgo::Int8,
+                    ConvEpilogue::activation(FusedActivation::None),
+                    &mut out,
+                )
+                .unwrap();
+        });
+        let err = int8_unit_error(&params, input.shape())?;
+        let admitted = err <= INT8_TOLERANCE;
+        println!(
+            "{:>11}x{k} @{res:<3} {f32_ms:>12.3} {int8_ms:>10.3} {:>7.2}x {err:>10.3} {:>5}",
+            format!("{ic}->{oc}"),
+            f32_ms / int8_ms,
+            if admitted { "ok" } else { "cut" }
+        );
+    }
+
+    // 6. Close the loop: feed the measured sweeps into a calibrated cost model,
     //    export the measured-fastest dispatch table, and persist it — the file a
     //    serving deployment points `PipelineConfig::with_conv_calibration` at.
     let mut calibrated = CalibratedCostModel::new(HwCpuProfile::host());
@@ -153,9 +213,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter(|l| calibrated.measured_seconds(l, ConvAlgo::WinogradF4).is_some())
         .count();
+    let int8_measured =
+        swept.iter().filter(|l| calibrated.measured_seconds(l, ConvAlgo::Int8).is_some()).count();
     println!(
         "  winograd arms measured & persisted: f2 on {f2_measured} shapes, f4 on {f4_measured} \
          (numerical gate admits)"
+    );
+    println!(
+        "  int8 arm measured & persisted on {int8_measured} shapes (opted in; unit-error gate \
+         admits)"
     );
     for layer in layers.iter().take(12) {
         println!(

@@ -15,7 +15,11 @@
 //! * a memory budget below the top rung demotes (never OOMs, never sheds);
 //! * the combined-chaos report is bitwise identical across a same-seed rerun
 //!   and thread budgets 1/2/4;
-//! * per-scenario goodput floors hold.
+//! * per-scenario goodput floors hold;
+//! * the async front-end contains injected panics across a graceful drain,
+//!   converts a wedged consumer into typed `QueueFull` backpressure with the
+//!   submission queue never exceeding its bound, and settles every ticket
+//!   accepted while submitters race the drain — with every refusal typed.
 //!
 //! Scale with `RESCNN_SAMPLES` (e.g. `RESCNN_SAMPLES=96` for a CI smoke run).
 
@@ -24,8 +28,8 @@ use rescnn_bench::load::{ArrivalTrace, FaultDecision, FaultPlan};
 use rescnn_bench::{report, HarnessConfig};
 use rescnn_core::{
     BatchOptions, CircuitBreakerPolicy, DynamicResolutionPipeline, PipelineConfig,
-    ResolutionLatencyModel, RetryPolicy, ScaleModelConfig, ScaleModelTrainer, SloOptions,
-    SloReport, SourceId, WatchdogPolicy,
+    ResolutionLatencyModel, RetryPolicy, ScaleModelConfig, ScaleModelTrainer, ServerConfig,
+    ServerRequest, SloOptions, SloReport, SloServer, SourceId, SubmitError, WatchdogPolicy,
 };
 use rescnn_data::{Dataset, DatasetKind, DatasetSpec};
 use rescnn_imaging::CropRatio;
@@ -33,6 +37,9 @@ use rescnn_models::ModelKind;
 use rescnn_oracle::AccuracyOracle;
 use serde::Serialize;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Debug, Serialize)]
 struct ChaosRow {
@@ -126,7 +133,7 @@ fn drain(
 
 fn main() {
     let config = HarnessConfig::from_env();
-    let pipeline = build_pipeline(&config);
+    let pipeline = Arc::new(build_pipeline(&config));
     let data = DatasetSpec::cars_like()
         .with_len(config.eval_samples.min(48))
         .with_max_dimension(config.max_dimension.min(128))
@@ -390,6 +397,212 @@ fn main() {
         }
     }
 
+    // -- server: injected panics during a drain stay contained ---------------
+    {
+        let name = "server/panic_during_drain";
+        let options = base.clone().with_chaos_panic_every(3).with_retry(RetryPolicy::new(2));
+        let server_config =
+            ServerConfig::default().with_options(options).with_drain_deadline_ms(120_000.0);
+        match SloServer::start(Arc::clone(&pipeline), server_config) {
+            Err(err) => violations.push(format!("{name}: server failed to start: {err}")),
+            Ok(mut server) => {
+                let stream = server.completions().expect("a fresh server has its stream");
+                let consumer = std::thread::spawn(move || stream.count());
+                let slack = (4 * n.max(16)) as f64 * top_ms;
+                let mut accepted = 0usize;
+                for i in 0..n {
+                    let sample = Arc::new(data[i % data.len()].clone());
+                    if server.submit(ServerRequest::new(sample, slack)).is_ok() {
+                        accepted += 1;
+                    }
+                }
+                // Drain immediately: the backlog executes while the drain is
+                // pending, so the injected panics fire inside the shutdown
+                // path and must still be caught, retried, and accounted.
+                server.drain();
+                match server.join() {
+                    Err(err) => {
+                        violations.push(format!("{name}: a panic ESCAPED the event loop: {err}"))
+                    }
+                    Ok(report) => {
+                        if !report.drained_gracefully || report.hard_cancelled > 0 {
+                            violations.push(format!(
+                                "{name}: drain was not graceful (hard_cancelled {})",
+                                report.hard_cancelled
+                            ));
+                        }
+                        if report.slo.recovered == 0 && report.slo.faulted == 0 {
+                            violations.push(format!("{name}: chaos injected no panics"));
+                        }
+                        if report.slo.outcomes.len() != accepted {
+                            violations.push(format!(
+                                "{name}: {} outcomes for {accepted} accepted tickets",
+                                report.slo.outcomes.len()
+                            ));
+                        }
+                        rows.push(row(name, &report.slo));
+                    }
+                }
+                let delivered = consumer.join().expect("the stream consumer never panics");
+                if delivered != accepted {
+                    violations.push(format!(
+                        "{name}: {delivered} completions for {accepted} accepted tickets"
+                    ));
+                }
+            }
+        }
+    }
+
+    // -- server: a wedged consumer becomes typed gate backpressure -----------
+    {
+        let name = "server/slow_consumer";
+        let queue_bound = 4usize;
+        let server_config = ServerConfig::default()
+            .with_options(base.clone())
+            .with_queue_capacity(queue_bound)
+            .with_completion_capacity(1)
+            .with_idle_tick_ms(1.0)
+            .with_drain_deadline_ms(120_000.0);
+        match SloServer::start(Arc::clone(&pipeline), server_config) {
+            Err(err) => violations.push(format!("{name}: server failed to start: {err}")),
+            Ok(mut server) => {
+                let stream = server.completions().expect("a fresh server has its stream");
+                let mut accepted = 0usize;
+                let mut queue_full = 0usize;
+                let mut max_depth = 0usize;
+                // Nobody consumes: the bounded completion queue wedges the
+                // event loop, and the stall must surface at the gate as typed
+                // QueueFull rejections — never as unbounded buffering.
+                for i in 0..(queue_bound * 16) {
+                    let sample = Arc::new(data[i % data.len()].clone());
+                    match server.submit(ServerRequest::new(sample, 0.0)) {
+                        Ok(_) => accepted += 1,
+                        Err(SubmitError::QueueFull { .. }) => queue_full += 1,
+                        Err(err) => violations.push(format!("{name}: unexpected rejection: {err}")),
+                    }
+                    max_depth = max_depth.max(server.queue_depth());
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                if queue_full == 0 {
+                    violations.push(format!(
+                        "{name}: a wedged consumer never produced QueueFull backpressure"
+                    ));
+                }
+                if max_depth > queue_bound {
+                    violations.push(format!(
+                        "{name}: queue depth {max_depth} exceeded its bound {queue_bound}"
+                    ));
+                }
+                // Unwedge and drain: every accepted ticket must still settle.
+                let consumer = std::thread::spawn(move || stream.count());
+                server.drain();
+                match server.join() {
+                    Err(err) => violations.push(format!("{name}: join failed: {err}")),
+                    Ok(report) => {
+                        if report.submitted != accepted || report.rejected_queue_full != queue_full
+                        {
+                            violations.push(format!(
+                                "{name}: gate accounting drifted: submitted {} vs {accepted}, queue_full {} vs {queue_full}",
+                                report.submitted, report.rejected_queue_full
+                            ));
+                        }
+                        if !report.drained_gracefully {
+                            violations.push(format!("{name}: drain was not graceful"));
+                        }
+                        rows.push(row(name, &report.slo));
+                    }
+                }
+                let delivered = consumer.join().expect("the stream consumer never panics");
+                if delivered != accepted {
+                    violations.push(format!(
+                        "{name}: {delivered} completions for {accepted} accepted tickets"
+                    ));
+                }
+            }
+        }
+    }
+
+    // -- server: submitters racing the drain lose with typed errors ----------
+    {
+        let name = "server/submit_vs_drain_race";
+        let server_config = ServerConfig::default()
+            .with_options(base.clone())
+            .with_queue_capacity(256)
+            .with_drain_deadline_ms(120_000.0);
+        match SloServer::start(Arc::clone(&pipeline), server_config) {
+            Err(err) => violations.push(format!("{name}: server failed to start: {err}")),
+            Ok(mut server) => {
+                let stream = server.completions().expect("a fresh server has its stream");
+                let consumer = std::thread::spawn(move || stream.count());
+                let slack = 1_000.0 * top_ms;
+                let accepted = AtomicUsize::new(0);
+                let rejected = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for submitter in 0..4usize {
+                        let server = &server;
+                        let data = &data;
+                        let accepted = &accepted;
+                        let rejected = &rejected;
+                        scope.spawn(move || {
+                            for i in 0..16usize {
+                                let index = (submitter * 16 + i) % data.len();
+                                let sample = Arc::new(data[index].clone());
+                                match server.submit(ServerRequest::new(sample, slack)) {
+                                    Ok(_) => {
+                                        accepted.fetch_add(1, Ordering::AcqRel);
+                                    }
+                                    // Losing the race is always a typed error,
+                                    // never a panic or a silent drop.
+                                    Err(
+                                        SubmitError::Draining
+                                        | SubmitError::Stopped
+                                        | SubmitError::QueueFull { .. },
+                                    ) => {
+                                        rejected.fetch_add(1, Ordering::AcqRel);
+                                    }
+                                }
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                        });
+                    }
+                    scope.spawn(|| {
+                        std::thread::sleep(Duration::from_millis(2));
+                        server.drain();
+                    });
+                });
+                let accepted = accepted.into_inner();
+                let rejected = rejected.into_inner();
+                if rejected == 0 {
+                    violations.push(format!("{name}: the drain raced no submitter"));
+                }
+                if accepted == 0 {
+                    violations.push(format!("{name}: every submission lost the race"));
+                }
+                match server.join() {
+                    Err(err) => violations.push(format!("{name}: join failed: {err}")),
+                    Ok(report) => {
+                        if report.submitted != accepted {
+                            violations.push(format!(
+                                "{name}: {} tickets issued for {accepted} accepted submits",
+                                report.submitted
+                            ));
+                        }
+                        if !report.drained_gracefully {
+                            violations.push(format!("{name}: drain was not graceful"));
+                        }
+                        rows.push(row(name, &report.slo));
+                    }
+                }
+                let delivered = consumer.join().expect("the stream consumer never panics");
+                if delivered != accepted {
+                    violations.push(format!(
+                        "{name}: {delivered} completions for {accepted} accepted tickets"
+                    ));
+                }
+            }
+        }
+    }
+
     let formatted: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -420,7 +633,7 @@ fn main() {
     report::save_json("slo_chaos", &rows);
 
     if violations.is_empty() {
-        println!("chaos invariants: OK (panic containment, retry conversion, breaker gating, watchdog accounting, memory backpressure, determinism 1/2/4)");
+        println!("chaos invariants: OK (panic containment, retry conversion, breaker gating, watchdog accounting, memory backpressure, determinism 1/2/4, server drain/backpressure/race drills)");
     } else {
         for violation in &violations {
             eprintln!("CHAOS INVARIANT VIOLATED: {violation}");

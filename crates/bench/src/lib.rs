@@ -19,6 +19,7 @@
 //! | `scale_overhead` | §VII-c — scale-model runtime overhead |
 //! | `slo_load` | SLO serving core under trace-driven load + fault injection |
 //! | `slo_chaos` | cross-layer chaos drill of the resilient lifecycle (retry, breaker, watchdog, memory budget) |
+//! | `slo_server` | real-clock async front-end under paced load + record/replay determinism check |
 
 #![warn(missing_docs)]
 
@@ -27,5 +28,6 @@ pub mod config;
 pub mod experiments;
 pub mod load;
 pub mod report;
+pub mod server_load;
 
 pub use config::HarnessConfig;

@@ -1,0 +1,106 @@
+//! Real-clock load driver for the async serving front-end: a paced submitter
+//! replays an [`ArrivalTrace`] against a live [`SloServer`] while a consumer
+//! thread drains the completion stream, plus a helper that replays a recorded
+//! [`ServingTrace`] through the deterministic batch scheduler so live and
+//! replayed admission decisions can be compared bitwise.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rescnn_core::{
+    CoreError, DynamicResolutionPipeline, Result, ServerConfig, ServerReport, ServerRequest,
+    ServingTrace, SloOptions, SloReport, SloRequest, SloScheduler, SloServer, SubmitError,
+};
+use rescnn_data::Dataset;
+
+use crate::load::ArrivalTrace;
+
+/// Outcome of one real-clock load run: the server's final report plus the
+/// submitter-side bookkeeping a replay needs.
+#[derive(Debug)]
+pub struct ServerLoadRun {
+    /// Final server report: virtual-clock outcomes, wall percentiles,
+    /// rejection counts, drain telemetry, and (when recording) the trace.
+    pub report: ServerReport,
+    /// Dataset index of each *accepted* submission, in ticket order. Replay
+    /// rebuilds the batch scheduler's queue from exactly these samples.
+    pub accepted: Vec<usize>,
+    /// Submissions rejected at the gate with [`SubmitError::QueueFull`].
+    pub rejected_queue_full: usize,
+    /// Completions observed on the stream; every accepted ticket must yield
+    /// exactly one, so this must equal `accepted.len()`.
+    pub delivered: usize,
+}
+
+/// Paces `trace` against a live [`SloServer`] in real time: request `i`
+/// serves `data[i % data.len()]`, is submitted no earlier than wall offset
+/// `trace.arrivals_ms[i]` from the first submission, and carries the trace's
+/// deadline slack as its wall/virtual deadline. A consumer thread drains the
+/// completion stream throughout, so the run measures steady-state serving
+/// rather than backpressure stalls. Ends with a graceful drain.
+///
+/// # Errors
+/// Returns an error if the dataset is empty, the server fails to start, or
+/// the event loop dies instead of draining.
+pub fn run_server_load(
+    pipeline: &Arc<DynamicResolutionPipeline>,
+    data: &Dataset,
+    trace: &ArrivalTrace,
+    config: ServerConfig,
+) -> Result<ServerLoadRun> {
+    if data.is_empty() {
+        return Err(CoreError::EmptyDataset);
+    }
+    let mut server = SloServer::start(Arc::clone(pipeline), config)?;
+    let stream = server.completions().expect("a fresh server always has its stream");
+    let consumer = std::thread::spawn(move || stream.count());
+
+    let epoch = Instant::now();
+    let mut accepted = Vec::new();
+    let mut rejected_queue_full = 0usize;
+    for (i, &arrival) in trace.arrivals_ms.iter().enumerate() {
+        let target = epoch + Duration::from_secs_f64(arrival.max(0.0) / 1000.0);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let index = i % data.len();
+        let sample = Arc::new(data[index].clone());
+        match server.submit(ServerRequest::new(sample, trace.deadline_slack_ms)) {
+            Ok(_) => accepted.push(index),
+            Err(SubmitError::QueueFull { .. }) => rejected_queue_full += 1,
+            // Unreachable here (the drain starts below), but never a panic.
+            Err(SubmitError::Draining | SubmitError::Stopped) => {}
+        }
+    }
+
+    server.drain();
+    let report = server.join()?;
+    let delivered = consumer.join().expect("the stream consumer never panics");
+    Ok(ServerLoadRun { report, accepted, rejected_queue_full, delivered })
+}
+
+/// Replays a recorded serving trace through the virtual-clock batch
+/// scheduler: the queue is rebuilt from the `accepted` sample indices of the
+/// live run, every request's stamps are overridden from the trace, and the
+/// recorded step times drive admission. For a gracefully drained recording
+/// the returned trace's decisions must equal the live trace's bitwise.
+///
+/// # Errors
+/// Returns an error if the trace is inconsistent with the rebuilt queue
+/// (wrong request count, non-replayable hard-cancelled recording).
+pub fn replay_trace(
+    pipeline: &DynamicResolutionPipeline,
+    data: &Dataset,
+    accepted: &[usize],
+    options: SloOptions,
+    trace: &ServingTrace,
+) -> Result<(SloReport, ServingTrace)> {
+    let mut scheduler = SloScheduler::new(pipeline, options);
+    for &index in accepted {
+        // Placeholder stamps: replay overwrites arrival and deadline from the
+        // recorded trace before any admission step runs.
+        scheduler.submit(SloRequest::new(&data[index], 0.0, 1.0));
+    }
+    scheduler.replay(trace)
+}

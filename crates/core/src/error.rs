@@ -77,6 +77,42 @@ impl From<rescnn_hwsim::HwError> for CoreError {
     }
 }
 
+/// Why [`SloServer::submit`](crate::SloServer::submit) refused a request.
+///
+/// Every refusal is typed and immediate — the server never silently drops a
+/// submission. `QueueFull` is the backpressure signal: the bounded submission
+/// queue is at capacity and the caller should retry later (or shed upstream).
+/// `Draining` and `Stopped` are lifecycle signals: the server no longer
+/// accepts new work, permanently.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum SubmitError {
+    /// The bounded submission queue is at capacity; retry after completions
+    /// drain or shed the request upstream.
+    QueueFull {
+        /// The configured queue bound the submission ran into.
+        capacity: usize,
+    },
+    /// Shutdown has begun: the server is draining in-flight work and accepts
+    /// no new submissions.
+    Draining,
+    /// The event loop has terminated (drained, or its worker died).
+    Stopped,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity}); apply backpressure")
+            }
+            SubmitError::Draining => write!(f, "server is draining; new submissions are rejected"),
+            SubmitError::Stopped => write!(f, "server is stopped"),
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;
 

@@ -62,13 +62,15 @@ mod pipeline;
 mod precision;
 mod scale_model;
 mod serve;
+mod server;
 mod slo;
+mod trace;
 
 pub use boot::{run_boot_sweep, start_boot_calibration, BootCalibration, BootCalibrationConfig};
 pub use calibration::{
     CalibrationCurves, SampleCurve, ScanPoint, StorageCalibrator, StoragePolicy,
 };
-pub use error::{CoreError, Result};
+pub use error::{CoreError, Result, SubmitError};
 pub use features::{extract_features, FEATURE_COUNT};
 pub use lifecycle::{
     BreakerState, CircuitBreaker, CircuitBreakerPolicy, RetryPolicy, SourceId, WatchdogPolicy,
@@ -80,10 +82,15 @@ pub use pipeline::{
 pub use precision::{PrecisionGate, PrecisionGateConfig, PrecisionVerdict};
 pub use scale_model::{ScaleModel, ScaleModelConfig, ScaleModelTrainer, TrainingExample};
 pub use serve::{BatchOptions, BatchScheduler, BucketStats, RequestError, ServeReport};
+pub use server::{
+    Completion, CompletionStream, ServerConfig, ServerReport, ServerRequest, ServerState,
+    SloServer, Ticket,
+};
 pub use slo::{
     CompletedRequest, PrecisionDemotion, Rejected, ResolutionLatencyModel, SloOptions, SloOutcome,
     SloReport, SloRequest, SloScheduler,
 };
+pub use trace::{ServingTrace, TraceDecision, TraceRequest};
 
 #[cfg(test)]
 pub(crate) mod test_sync {
@@ -106,8 +113,9 @@ pub mod prelude {
         BatchOptions, BatchScheduler, CalibrationCurves, CircuitBreakerPolicy, CoreError,
         DynamicResolutionPipeline, PipelineConfig, PipelineReport, Rejected,
         ResolutionLatencyModel, RetryPolicy, ScaleModel, ScaleModelConfig, ScaleModelTrainer,
-        ServeReport, SloOptions, SloOutcome, SloReport, SloRequest, SloScheduler, SourceId,
-        StorageCalibrator, StoragePolicy, WatchdogPolicy,
+        ServeReport, ServerConfig, ServerReport, ServerRequest, ServerState, ServingTrace,
+        SloOptions, SloOutcome, SloReport, SloRequest, SloScheduler, SloServer, SourceId,
+        StorageCalibrator, StoragePolicy, SubmitError, Ticket, WatchdogPolicy,
     };
 }
 

@@ -84,6 +84,12 @@ use crate::lifecycle::{
 use crate::pipeline::{DynamicResolutionPipeline, InferencePlan, InferenceRecord, PipelineReport};
 use crate::precision::PrecisionGate;
 use crate::serve::{run_batch_isolated, BatchOptions};
+use crate::trace::{ServingTrace, TraceDecision, TraceRequest};
+
+/// Cancellation reason the drain deadline settles stragglers with. Shared with
+/// trace replay so a replayed hard-cancel settles byte-identical errors.
+pub(crate) const DRAIN_CANCEL_REASON: &str =
+    "server drain deadline exceeded; pending work cancelled before execution";
 
 /// The precision-demotion policy: the accuracy gate that says *where*
 /// quantized execution is allowed, and the service-time model that says what
@@ -151,6 +157,49 @@ impl<'a> SloRequest<'a> {
         self.cost_multiplier = multiplier.max(0.0);
         self
     }
+
+    pub(crate) fn into_queued(self) -> QueuedRequest<'a> {
+        QueuedRequest {
+            sample: SampleRef::Borrowed(self.sample),
+            storage: self.storage,
+            arrival_ms: self.arrival_ms,
+            deadline_ms: self.deadline_ms,
+            cost_multiplier: self.cost_multiplier,
+            source: self.source,
+        }
+    }
+}
+
+/// How a queued request holds its sample: borrowed for the duration of a batch
+/// drain ([`SloScheduler`]), shared for requests that outlive their submitter
+/// (the real-clock [`SloServer`](crate::SloServer)).
+#[derive(Debug, Clone)]
+pub(crate) enum SampleRef<'a> {
+    /// Borrowed from the caller.
+    Borrowed(&'a Sample),
+    /// Shared ownership across threads.
+    Shared(Arc<Sample>),
+}
+
+impl SampleRef<'_> {
+    fn get(&self) -> &Sample {
+        match self {
+            SampleRef::Borrowed(sample) => sample,
+            SampleRef::Shared(sample) => sample,
+        }
+    }
+}
+
+/// A request as the admission core owns it — the meeting point of the
+/// borrowed-sample batch path and the owned-sample server path.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedRequest<'a> {
+    pub(crate) sample: SampleRef<'a>,
+    pub(crate) storage: Option<ProgressiveImage>,
+    pub(crate) arrival_ms: f64,
+    pub(crate) deadline_ms: f64,
+    pub(crate) cost_multiplier: f64,
+    pub(crate) source: Option<SourceId>,
 }
 
 /// Deterministic per-resolution service-time estimates, in milliseconds.
@@ -554,23 +603,7 @@ impl<'a> SloScheduler<'a> {
     }
 
     fn thread_budget(&self) -> usize {
-        self.options
-            .batch
-            .threads
-            .or(self.pipeline.engine_context().threads)
-            .unwrap_or_else(rescnn_tensor::num_threads)
-            .max(1)
-    }
-
-    /// Plans one request (preview read + scale model), honouring its
-    /// caller-supplied storage when present.
-    fn plan_request(&self, request: &SloRequest<'_>) -> Result<InferencePlan> {
-        match &request.storage {
-            Some(encoded) => {
-                self.pipeline.plan_with_storage_unscoped(request.sample, encoded.clone())
-            }
-            None => self.pipeline.plan_unscoped(request.sample),
-        }
+        thread_budget(self.pipeline, &self.options)
     }
 
     /// Drains the queue: plans, admits over the virtual clock, executes, and
@@ -580,529 +613,833 @@ impl<'a> SloScheduler<'a> {
     /// Returns an error only if the queue is empty or no latency model could be
     /// built; per-request failures are isolated into [`SloOutcome::Failed`].
     pub fn run(&mut self) -> Result<SloReport> {
+        Ok(self.run_inner(false)?.0)
+    }
+
+    /// Like [`run`](Self::run), additionally recording a replayable
+    /// [`ServingTrace`] of the drain.
+    ///
+    /// # Errors
+    /// Same as [`run`](Self::run).
+    pub fn run_recorded(&mut self) -> Result<(SloReport, ServingTrace)> {
+        let (report, trace) = self.run_inner(true)?;
+        Ok((report, trace.expect("a recording run produces a trace")))
+    }
+
+    fn run_inner(&mut self, record: bool) -> Result<(SloReport, Option<ServingTrace>)> {
         if self.queue.is_empty() {
             return Err(CoreError::EmptyDataset);
         }
         let wall_start = Instant::now();
         let queue = std::mem::take(&mut self.queue);
         let threads = self.thread_budget();
-        let latency = match &self.options.latency {
+        let mut core = AdmissionCore::new(self.pipeline, self.options.clone(), threads, record)?;
+        for request in queue {
+            core.submit(request.into_queued());
+        }
+        // A batch drain is the degenerate real-clock run: every step happens
+        // at `now = ∞`, so each step drains everything currently pending (all
+        // first attempts in round 0, each round's retries thereafter) —
+        // exactly the rounds loop this core was extracted from, bit for bit.
+        while core.has_pending() {
+            core.admit_step(f64::INFINITY);
+        }
+        Ok(core.finish(wall_start.elapsed().as_secs_f64()))
+    }
+
+    /// Replays a recorded [`ServingTrace`] through the virtual-clock core.
+    ///
+    /// Queued requests supply the payloads (samples, caller-supplied storage)
+    /// in submission order; the trace supplies every timing input — the
+    /// arrival/deadline/cost/source stamps, the submission/step interleaving,
+    /// and each step's `now`. For a gracefully drained trace
+    /// ([`ServingTrace::replayable`]) the admission decisions of the returned
+    /// report — and the returned re-recorded trace's
+    /// [`decisions`](ServingTrace::decisions) — are bitwise identical to the
+    /// live run's, across thread budgets.
+    ///
+    /// # Errors
+    /// Returns an error if the queued request count does not match the trace,
+    /// the queue is empty, or no latency model could be built.
+    pub fn replay(&mut self, trace: &ServingTrace) -> Result<(SloReport, ServingTrace)> {
+        if self.queue.len() != trace.requests.len() {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "replay: {} queued requests but the trace recorded {}",
+                    self.queue.len(),
+                    trace.requests.len()
+                ),
+            });
+        }
+        if self.queue.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        let wall_start = Instant::now();
+        let queue = std::mem::take(&mut self.queue);
+        let threads = self.thread_budget();
+        let mut core = AdmissionCore::new(self.pipeline, self.options.clone(), threads, true)?;
+        let mut feed = queue
+            .into_iter()
+            .zip(trace.requests.iter())
+            .map(|(request, stamps)| {
+                let mut queued = request.into_queued();
+                queued.arrival_ms = stamps.arrival_ms;
+                queued.deadline_ms = stamps.deadline_ms;
+                queued.cost_multiplier = stamps.cost_multiplier;
+                queued.source = stamps.source.map(SourceId);
+                (queued, stamps.enqueued_step)
+            })
+            .peekable();
+        for (step, &now_ms) in trace.steps.iter().enumerate() {
+            while let Some((queued, _)) = feed.next_if(|(_, enqueued)| *enqueued <= step) {
+                core.submit(queued);
+            }
+            core.admit_step(now_ms);
+        }
+        // Requests recorded after the final step (arrivals the live run never
+        // stepped past) plus any hand-authored tail.
+        for (queued, _) in feed {
+            core.submit(queued);
+        }
+        if trace.hard_cancelled {
+            core.cancel_pending(DRAIN_CANCEL_REASON);
+        } else {
+            while core.has_pending() {
+                core.admit_step(f64::INFINITY);
+            }
+        }
+        let (report, replayed) = core.finish(wall_start.elapsed().as_secs_f64());
+        Ok((report, replayed.expect("a replay records its own trace")))
+    }
+}
+
+/// The scheduler's thread budget: explicit batch option, else the pipeline's
+/// engine context, else the engine default.
+pub(crate) fn thread_budget(pipeline: &DynamicResolutionPipeline, options: &SloOptions) -> usize {
+    options
+        .batch
+        .threads
+        .or(pipeline.engine_context().threads)
+        .unwrap_or_else(rescnn_tensor::num_threads)
+        .max(1)
+}
+
+/// The incremental admission core: one shared virtual server stepped by
+/// explicit `now` values.
+///
+/// Both serving modes drive this one state machine. The batch
+/// [`SloScheduler::run`] submits everything and steps at `now = ∞` until the
+/// pending set drains — the original run-to-completion rounds loop. The
+/// real-clock [`SloServer`](crate::SloServer) submits requests as they arrive
+/// and steps at wall `now`, so a request joins whatever resolution bucket is
+/// forming at the next step (continuous batching) instead of waiting for a
+/// full drain. Every admission decision is a pure function of the submitted
+/// stamps and the step sequence — never of the wall clock — which is what
+/// makes recorded runs replayable bitwise.
+#[derive(Debug)]
+pub(crate) struct AdmissionCore<'a> {
+    pipeline: &'a DynamicResolutionPipeline,
+    options: SloOptions,
+    threads: usize,
+    latency: ResolutionLatencyModel,
+    arena_peaks: Option<BTreeMap<usize, usize>>,
+    queue: Vec<QueuedRequest<'a>>,
+    outcomes: Vec<Option<SloOutcome>>,
+    memory_demoted_flag: Vec<bool>,
+    precision_demoted_flag: Vec<bool>,
+    breakers: BTreeMap<SourceId, CircuitBreaker>,
+    pending: Vec<PendingAttempt>,
+    server_free_ms: f64,
+    peak_backlog_ms: f64,
+    retry_attempts: usize,
+    watchdog_cancelled: usize,
+    trace: Option<ServingTrace>,
+}
+
+impl<'a> AdmissionCore<'a> {
+    /// Resolves the fallible admission inputs up front — the latency model
+    /// and, when a memory budget is set, every rung's planned
+    /// activation-arena peak — keeping the per-request walk infallible (and
+    /// letting the server fail in `start()` rather than on its worker
+    /// thread).
+    pub(crate) fn resolve_models(
+        pipeline: &DynamicResolutionPipeline,
+        options: &SloOptions,
+    ) -> Result<(ResolutionLatencyModel, Option<BTreeMap<usize, usize>>)> {
+        let latency = match &options.latency {
             Some(model) => model.clone(),
-            None => ResolutionLatencyModel::analytic(self.pipeline)?,
+            None => ResolutionLatencyModel::analytic(pipeline)?,
         };
-        // Memory budget: resolve every rung's planned activation-arena peak
-        // once, up front (the only fallible part of admission), keeping the
-        // per-request walk infallible.
-        let ladder = &self.pipeline.config().resolutions;
-        let arena_peaks: Option<BTreeMap<usize, usize>> = match self.options.memory_budget_bytes {
+        let arena_peaks: Option<BTreeMap<usize, usize>> = match options.memory_budget_bytes {
             Some(_) => {
                 let mut peaks = BTreeMap::new();
-                for &resolution in ladder {
-                    peaks.insert(resolution, self.pipeline.arena_peak_bytes(resolution)?);
+                for &resolution in &pipeline.config().resolutions {
+                    peaks.insert(resolution, pipeline.arena_peak_bytes(resolution)?);
                 }
                 Some(peaks)
             }
             None => None,
         };
+        Ok((latency, arena_peaks))
+    }
 
-        let mut outcomes: Vec<Option<SloOutcome>> = vec![None; queue.len()];
-        let mut memory_demoted_flag: Vec<bool> = vec![false; queue.len()];
-        let mut precision_demoted_flag: Vec<bool> = vec![false; queue.len()];
-        let mut breakers: BTreeMap<SourceId, CircuitBreaker> = BTreeMap::new();
-        let mut server_free_ms = 0.0f64;
-        let mut peak_backlog_ms = 0.0f64;
-        let mut retry_attempts = 0usize;
-        let mut watchdog_cancelled = 0usize;
+    pub(crate) fn new(
+        pipeline: &'a DynamicResolutionPipeline,
+        options: SloOptions,
+        threads: usize,
+        record: bool,
+    ) -> Result<Self> {
+        let (latency, arena_peaks) = Self::resolve_models(pipeline, &options)?;
+        Ok(Self::with_resolved(pipeline, options, threads, record, latency, arena_peaks))
+    }
+
+    pub(crate) fn with_resolved(
+        pipeline: &'a DynamicResolutionPipeline,
+        options: SloOptions,
+        threads: usize,
+        record: bool,
+        latency: ResolutionLatencyModel,
+        arena_peaks: Option<BTreeMap<usize, usize>>,
+    ) -> Self {
+        AdmissionCore {
+            pipeline,
+            options,
+            threads,
+            latency,
+            arena_peaks,
+            queue: Vec::new(),
+            outcomes: Vec::new(),
+            memory_demoted_flag: Vec::new(),
+            precision_demoted_flag: Vec::new(),
+            breakers: BTreeMap::new(),
+            pending: Vec::new(),
+            server_free_ms: 0.0,
+            peak_backlog_ms: 0.0,
+            retry_attempts: 0,
+            watchdog_cancelled: 0,
+            trace: record.then(ServingTrace::default),
+        }
+    }
+
+    /// Accepts one request, scheduling its first attempt. Returns the
+    /// submission index (the server's ticket value).
+    pub(crate) fn submit(&mut self, request: QueuedRequest<'a>) -> usize {
+        let index = self.queue.len();
+        if let Some(trace) = &mut self.trace {
+            trace.requests.push(TraceRequest {
+                arrival_ms: request.arrival_ms,
+                deadline_ms: request.deadline_ms,
+                cost_multiplier: request.cost_multiplier,
+                source: request.source.map(|s| s.0),
+                enqueued_step: trace.steps.len(),
+            });
+        }
+        self.pending.push(PendingAttempt {
+            index,
+            attempt: 0,
+            arrival_ms: request.arrival_ms,
+            prior: None,
+            last_error: None,
+        });
+        self.queue.push(request);
+        self.outcomes.push(None);
+        self.memory_demoted_flag.push(false);
+        self.precision_demoted_flag.push(false);
+        index
+    }
+
+    /// Whether any attempt (first or retry) is still pending.
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Whether any pending attempt is eligible at `now_ms`.
+    pub(crate) fn has_eligible(&self, now_ms: f64) -> bool {
+        self.pending.iter().any(|attempt| attempt.arrival_ms <= now_ms)
+    }
+
+    /// Earliest pending arrival (the time the event loop should wake by).
+    pub(crate) fn next_pending_arrival(&self) -> Option<f64> {
+        self.pending.iter().map(|attempt| attempt.arrival_ms).min_by(f64::total_cmp)
+    }
+
+    /// The settled outcome of request `index`, when terminal.
+    pub(crate) fn outcome(&self, index: usize) -> Option<&SloOutcome> {
+        self.outcomes.get(index).and_then(Option::as_ref)
+    }
+
+    /// Settles every still-pending attempt as drain-cancelled without
+    /// executing it, returning the indices settled (ascending). Marks the
+    /// trace hard-cancelled: the tail of this run is no longer bitwise
+    /// replayable.
+    pub(crate) fn cancel_pending(&mut self, reason: &str) -> Vec<usize> {
+        let drained = std::mem::take(&mut self.pending);
+        let mut settled: Vec<usize> = Vec::with_capacity(drained.len());
+        for attempt in drained {
+            self.outcomes[attempt.index] =
+                Some(SloOutcome::Failed(CoreError::Cancelled { reason: reason.to_string() }));
+            settled.push(attempt.index);
+        }
+        settled.sort_unstable();
+        if !settled.is_empty() {
+            self.mark_hard_cancelled();
+        }
+        settled
+    }
+
+    /// Records that the run's drain deadline fired (in-flight executions were
+    /// refused by a wall-timed token), so replay is best-effort from here.
+    pub(crate) fn mark_hard_cancelled(&mut self) {
+        if let Some(trace) = &mut self.trace {
+            trace.hard_cancelled = true;
+        }
+    }
+
+    /// Plans one request (preview read + scale model), honouring its
+    /// caller-supplied storage when present.
+    fn plan_request(&self, index: usize) -> Result<InferencePlan> {
+        let request = &self.queue[index];
+        match &request.storage {
+            Some(encoded) => {
+                self.pipeline.plan_with_storage_unscoped(request.sample.get(), encoded.clone())
+            }
+            None => self.pipeline.plan_unscoped(request.sample.get()),
+        }
+    }
+
+    /// Runs one admission round over every pending attempt whose arrival is
+    /// at or before `now_ms`: plan (under per-request isolation and breaker
+    /// gating) → admit over the virtual clock → execute as homogeneous
+    /// resolution buckets → settle, scheduling retries. Returns the indices
+    /// of requests whose outcome became *terminal* this step (a provisional
+    /// failure with a retry scheduled is not terminal), ascending.
+    ///
+    /// At `now_ms = ∞` one step is exactly one round of the original
+    /// run-to-completion loop. At finite `now_ms` the step additionally
+    /// enforces the wall-clock deadline: an eligible request whose deadline
+    /// has already passed on the stepping clock expires without compute.
+    pub(crate) fn admit_step(&mut self, now_ms: f64) -> Vec<usize> {
+        let mut round: Vec<PendingAttempt> = Vec::new();
+        let mut deferred: Vec<PendingAttempt> = Vec::new();
+        for attempt in std::mem::take(&mut self.pending) {
+            if attempt.arrival_ms <= now_ms {
+                round.push(attempt);
+            } else {
+                deferred.push(attempt);
+            }
+        }
+        self.pending = deferred;
+        if round.is_empty() {
+            return Vec::new();
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.steps.push(now_ms);
+        }
+        let pipeline = self.pipeline;
+        let threads = self.threads;
         let max_batch = self.options.batch.max_batch.max(1);
-        let chaos = self.options.chaos_panic_every;
-        let chaos_requests = &self.options.chaos_panic_requests;
 
-        // The lifecycle runs in rounds over one shared virtual server: round 0
-        // is every request's first attempt; each later round holds the retries
-        // scheduled by the previous one (attempt numbers strictly increase and
-        // are capped by the retry policy, so the loop is bounded). With no
-        // retry policy there is exactly one round and the flow below reduces
-        // to the policy-free scheduler, bit for bit.
-        let mut pending: Vec<PendingAttempt> = queue
+        // Stage 1: plan every attempt that needs one (retries of execute
+        // failures keep their plan) under per-request isolation.
+        let need_plan: Vec<usize> = round
             .iter()
             .enumerate()
-            .map(|(index, request)| PendingAttempt {
-                index,
-                attempt: 0,
-                arrival_ms: request.arrival_ms,
-                prior: None,
-                last_error: None,
-            })
+            .filter(|(_, attempt)| attempt.prior.is_none())
+            .map(|(slot, _)| slot)
             .collect();
-        while !pending.is_empty() {
-            let round = std::mem::take(&mut pending);
-
-            // Stage 1: plan every attempt that needs one (retries of execute
-            // failures keep their plan) under per-request isolation.
-            let need_plan: Vec<usize> = round
-                .iter()
-                .enumerate()
-                .filter(|(_, attempt)| attempt.prior.is_none())
-                .map(|(slot, _)| slot)
-                .collect();
-            let mut gates: Vec<Option<Gate>> = Vec::new();
-            gates.resize_with(round.len(), || None);
-            if let Some(policy) = &self.options.breaker {
-                // Breaker gating needs each source's attempts walked in
-                // arrival order with failures fed inline, so planning is
-                // grouped per source (one isolated task per group — groups
-                // still plan in parallel); unsourced attempts are ungated
-                // singletons. A shed attempt is never decoded or planned.
-                let mut sourced: BTreeMap<SourceId, Vec<usize>> = BTreeMap::new();
-                let mut groups: Vec<PlanGroup> = Vec::new();
-                for &slot in &need_plan {
-                    match queue[round[slot].index].source {
-                        Some(source) => sourced.entry(source).or_default().push(slot),
-                        None => groups.push(PlanGroup {
-                            source: None,
-                            breaker: None,
-                            slots: vec![slot],
-                        }),
-                    }
-                }
-                for (source, mut slots) in sourced {
-                    slots.sort_by(|&a, &b| {
-                        round[a]
-                            .arrival_ms
-                            .total_cmp(&round[b].arrival_ms)
-                            .then_with(|| round[a].index.cmp(&round[b].index))
-                    });
-                    let breaker = breakers
-                        .entry(source)
-                        .or_insert_with(|| CircuitBreaker::new(policy.clone()))
-                        .clone();
-                    groups.push(PlanGroup { source: Some(source), breaker: Some(breaker), slots });
-                }
-                let group_outcomes =
-                    run_batch_isolated(self.pipeline, threads, groups.len(), |g| {
-                        let group = &groups[g];
-                        let mut breaker = group.breaker.clone();
-                        let mut walked: Vec<(usize, Gate)> = Vec::with_capacity(group.slots.len());
-                        for &slot in &group.slots {
-                            let attempt = &round[slot];
-                            if let Some(b) = breaker.as_mut() {
-                                if !b.admit(attempt.arrival_ms) {
-                                    walked.push((slot, Gate::Shed));
-                                    continue;
-                                }
-                            }
-                            // Panics are contained per member, not per group:
-                            // one poisoned stream must not fail its source's
-                            // healthy neighbours.
-                            let planned =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    self.plan_request(&queue[attempt.index])
-                                }))
-                                .unwrap_or_else(|payload| {
-                                    Err(CoreError::Panicked {
-                                        message: rescnn_tensor::panic_message(payload),
-                                    })
-                                });
-                            if let Some(b) = breaker.as_mut() {
-                                match &planned {
-                                    Ok(_) => b.note_progress(),
-                                    Err(_) => b.record_failure(attempt.arrival_ms),
-                                }
-                            }
-                            walked.push((slot, Gate::Plan(planned)));
-                        }
-                        Ok((walked, breaker))
-                    });
-                for (g, outcome) in group_outcomes.into_iter().enumerate() {
-                    let group = &groups[g];
-                    match outcome {
-                        Ok((walked, breaker)) => {
-                            if let (Some(source), Some(breaker)) = (group.source, breaker) {
-                                breakers.insert(source, breaker);
-                            }
-                            for (slot, gate) in walked {
-                                gates[slot] = Some(gate);
-                            }
-                        }
-                        // The walk itself failing (members are caught
-                        // individually) fails the whole group.
-                        Err(error) => {
-                            for &slot in &group.slots {
-                                gates[slot] = Some(Gate::Plan(Err(error.clone())));
-                            }
-                        }
-                    }
-                }
-            } else {
-                // No breaker: the flat data-parallel plan stage (identical in
-                // structure — and in round 0, in per-task work — to the
-                // policy-free scheduler).
-                let planned = run_batch_isolated(self.pipeline, threads, need_plan.len(), |i| {
-                    self.plan_request(&queue[round[need_plan[i]].index])
-                });
-                for (i, outcome) in planned.into_iter().enumerate() {
-                    gates[need_plan[i]] = Some(Gate::Plan(outcome));
-                }
-            }
-
-            // Resolve gates: sheds and final plan failures settle now; plan
-            // failures with retry budget re-plan next round from scratch.
-            let mut viable: Vec<(usize, InferencePlan)> = Vec::new();
-            for (slot, attempt) in round.iter().enumerate() {
-                if let Some(prior) = &attempt.prior {
-                    viable.push((slot, prior.plan.clone()));
-                    continue;
-                }
-                match gates[slot].take().expect("every plan-needing attempt was gated") {
-                    Gate::Shed => {
-                        outcomes[attempt.index] = Some(SloOutcome::Rejected(Rejected::CircuitOpen));
-                    }
-                    Gate::Plan(Ok(plan)) => viable.push((slot, plan)),
-                    Gate::Plan(Err(error)) => {
-                        if let Some(policy) = &self.options.retry {
-                            if attempt.attempt < policy.max_retries {
-                                let next_arrival =
-                                    attempt.arrival_ms + policy.backoff_for(attempt.attempt);
-                                if next_arrival < queue[attempt.index].deadline_ms {
-                                    pending.push(PendingAttempt {
-                                        index: attempt.index,
-                                        attempt: attempt.attempt + 1,
-                                        arrival_ms: next_arrival,
-                                        prior: None,
-                                        last_error: Some(error.clone()),
-                                    });
-                                    retry_attempts += 1;
-                                }
-                            }
-                        }
-                        // Provisional when a retry was scheduled: the retry's
-                        // outcome overwrites it.
-                        outcomes[attempt.index] = Some(SloOutcome::Failed(error));
-                    }
-                }
-            }
-
-            // Stage 2: admission over the virtual clock, in arrival order
-            // (ties break by submission index, keeping the walk fully
-            // deterministic).
-            viable.sort_by(|a, b| {
-                round[a.0]
-                    .arrival_ms
-                    .total_cmp(&round[b.0].arrival_ms)
-                    .then_with(|| round[a.0].index.cmp(&round[b.0].index))
-            });
-            let mut admitted: Vec<AdmittedAttempt> = Vec::new();
-            for (slot, plan) in viable {
-                let attempt = &round[slot];
-                let request = &queue[attempt.index];
-                let virtual_start = server_free_ms.max(attempt.arrival_ms);
-                peak_backlog_ms = peak_backlog_ms.max(virtual_start - attempt.arrival_ms);
-                if virtual_start >= request.deadline_ms {
-                    outcomes[attempt.index] = Some(if attempt.attempt == 0 {
-                        SloOutcome::Rejected(Rejected::DeadlineExceeded)
-                    } else {
-                        // The backoff ran the clock out: keep the failure that
-                        // scheduled this retry.
-                        SloOutcome::Failed(
-                            attempt
-                                .last_error
-                                .clone()
-                                .expect("retries carry the error that scheduled them"),
-                        )
-                    });
-                    continue;
-                }
-                let planned_resolution = match &attempt.prior {
-                    Some(prior) => prior.planned_resolution,
-                    None => plan.chosen_resolution,
-                };
-                // Candidate rungs. First attempts (and re-plans) walk the
-                // ladder downward from the planned resolution — the largest
-                // bucket that fits the slack, the memory budget, and the SSIM
-                // floor wins, and a floor violation ends the walk (cheaper
-                // rungs only read less). A demoting retry instead prefers one
-                // rung *below* the resolution that failed, falling back to
-                // that rung itself (here a floor violation moves on: the
-                // fallback is the higher-quality option).
-                let (candidates, floor_break): (Vec<usize>, bool) = match &attempt.prior {
-                    Some(prior) => {
-                        let served = prior.served_resolution;
-                        let demote = self
-                            .options
-                            .retry
-                            .as_ref()
-                            .is_some_and(|policy| policy.demote_on_retry);
-                        let mut rungs = Vec::with_capacity(2);
-                        if demote {
-                            if let Some(below) =
-                                ladder.iter().copied().filter(|&r| r < served).max()
-                            {
-                                rungs.push(below);
-                            }
-                        }
-                        rungs.push(served);
-                        (rungs, false)
-                    }
+        let mut gates: Vec<Option<Gate>> = Vec::new();
+        gates.resize_with(round.len(), || None);
+        if let Some(policy) = &self.options.breaker {
+            // Breaker gating needs each source's attempts walked in
+            // arrival order with failures fed inline, so planning is
+            // grouped per source (one isolated task per group — groups
+            // still plan in parallel); unsourced attempts are ungated
+            // singletons. A shed attempt is never decoded or planned.
+            let mut sourced: BTreeMap<SourceId, Vec<usize>> = BTreeMap::new();
+            let mut groups: Vec<PlanGroup> = Vec::new();
+            for &slot in &need_plan {
+                match self.queue[round[slot].index].source {
+                    Some(source) => sourced.entry(source).or_default().push(slot),
                     None => {
-                        let mut rungs: Vec<usize> =
-                            ladder.iter().copied().filter(|&r| r <= planned_resolution).collect();
-                        rungs.sort_unstable_by(|a, b| b.cmp(a));
-                        (rungs, true)
+                        groups.push(PlanGroup { source: None, breaker: None, slots: vec![slot] })
                     }
-                };
-                // Injected cost spikes model transient faults: they fire on
-                // first attempts only, so a retry is charged the nominal
-                // estimate.
-                let multiplier = if attempt.attempt == 0 { request.cost_multiplier } else { 1.0 };
-                let mut placed = false;
-                let mut memory_skipped = false;
-                for resolution in candidates {
-                    if let (Some(peaks), Some(budget)) =
-                        (&arena_peaks, self.options.memory_budget_bytes)
-                    {
-                        if peaks.get(&resolution).copied().unwrap_or(0) > budget {
-                            // Over the arena budget: demote down the ladder
-                            // instead of risking the allocation.
-                            memory_skipped = true;
-                            continue;
-                        }
-                    }
-                    // Precision tiers at this rung: f32 first; when demotion
-                    // is enabled *and* the accuracy gate admits the rung, the
-                    // quantized arm is tried next — before the walk steps down
-                    // the resolution ladder, because serving full resolution
-                    // at gated-reduced precision degrades accuracy less than
-                    // dropping a rung.
-                    let mut tiers: Vec<(f64, bool)> =
-                        vec![(latency.estimate_ms(resolution), false)];
-                    if let Some(precision) = &self.options.precision {
-                        if precision.gate.admits(resolution) {
-                            tiers.push((precision.latency.estimate_ms(resolution), true));
-                        }
-                    }
-                    let mut fit: Option<(f64, bool, bool)> = None;
-                    for (estimate_ms, int8) in tiers {
-                        let mut service_ms = estimate_ms * multiplier;
-                        let mut cancelled = false;
-                        if let Some(watchdog) = &self.options.watchdog {
-                            let cap_ms = estimate_ms * watchdog.overrun_factor;
-                            if service_ms > cap_ms {
-                                // Overrun: charge only the cap (one runaway
-                                // must not blow every queued deadline) and
-                                // cancel the execution before it spends
-                                // compute.
-                                service_ms = cap_ms;
-                                cancelled = true;
-                            }
-                        }
-                        if virtual_start + service_ms <= request.deadline_ms {
-                            fit = Some((service_ms, cancelled, int8));
-                            break;
-                        }
-                    }
-                    let Some((service_ms, cancelled, int8)) = fit else {
-                        continue;
-                    };
-                    let final_plan = if resolution == plan.chosen_resolution {
-                        plan.clone()
-                    } else {
-                        match self.pipeline.replan_at(request.sample, &plan, resolution) {
-                            Ok(replanned) => replanned,
-                            Err(error) => {
-                                outcomes[attempt.index] = Some(SloOutcome::Failed(error));
-                                placed = true;
-                                break;
-                            }
-                        }
-                    };
-                    if let Some(floor) = self.options.ssim_floor {
-                        if resolution != planned_resolution && final_plan.quality() < floor {
-                            if floor_break {
-                                break;
-                            }
-                            continue;
-                        }
-                    }
-                    server_free_ms = virtual_start + service_ms;
-                    if memory_skipped {
-                        memory_demoted_flag[attempt.index] = true;
-                    }
-                    precision_demoted_flag[attempt.index] = int8;
-                    if cancelled {
-                        watchdog_cancelled += 1;
-                    }
-                    admitted.push(AdmittedAttempt {
-                        slot,
-                        seq: admitted.len(),
-                        plan: final_plan,
-                        planned_resolution,
-                        virtual_start_ms: virtual_start,
-                        virtual_finish_ms: server_free_ms,
-                        cancelled,
-                        int8,
-                    });
-                    placed = true;
-                    break;
-                }
-                if !placed {
-                    outcomes[attempt.index] = Some(if attempt.attempt == 0 {
-                        SloOutcome::Rejected(Rejected::Overloaded)
-                    } else {
-                        SloOutcome::Failed(
-                            attempt
-                                .last_error
-                                .clone()
-                                .expect("retries carry the error that scheduled them"),
-                        )
-                    });
                 }
             }
-
-            // Stage 3: execute. Watchdog-doomed attempts run under a
-            // pre-fired cancellation token — the execute task is refused at
-            // its task boundary, so the cancellation path is exercised
-            // end-to-end while spending zero backbone compute. Everything
-            // else executes as homogeneous resolution buckets under
-            // per-request isolation, mirroring the batch scheduler.
-            let (doomed, normal): (Vec<AdmittedAttempt>, Vec<AdmittedAttempt>) =
-                admitted.into_iter().partition(|entry| entry.cancelled);
-            let mut executed: Vec<(AdmittedAttempt, Result<InferenceRecord>)> =
-                Vec::with_capacity(doomed.len() + normal.len());
-            if !doomed.is_empty() {
-                let token = rescnn_tensor::CancellationToken::new();
-                token.cancel();
-                let results = token.scope(|| {
-                    run_batch_isolated(self.pipeline, threads, doomed.len(), |slot| {
-                        let entry = &doomed[slot];
-                        self.pipeline
-                            .execute_unscoped(queue[round[entry.slot].index].sample, &entry.plan)
-                    })
+            for (source, mut slots) in sourced {
+                slots.sort_by(|&a, &b| {
+                    round[a]
+                        .arrival_ms
+                        .total_cmp(&round[b].arrival_ms)
+                        .then_with(|| round[a].index.cmp(&round[b].index))
                 });
-                let factor =
-                    self.options.watchdog.as_ref().map_or(f64::INFINITY, |w| w.overrun_factor);
-                for (entry, raw) in doomed.into_iter().zip(results) {
-                    debug_assert!(
-                        matches!(raw, Err(CoreError::Cancelled { .. })),
-                        "a pre-fired token must refuse the task, got {raw:?}"
-                    );
-                    // Replace the mechanism's task-local message with the
-                    // watchdog context (stable across reruns and budgets).
-                    let reason = format!(
-                        "watchdog: estimated service at {}\u{b2} exceeded {factor}x the \
-                         latency-model estimate; execution cancelled before start",
-                        entry.plan.chosen_resolution
-                    );
-                    executed.push((entry, Err(CoreError::Cancelled { reason })));
-                }
+                let breaker = self
+                    .breakers
+                    .entry(source)
+                    .or_insert_with(|| CircuitBreaker::new(policy.clone()))
+                    .clone();
+                groups.push(PlanGroup { source: Some(source), breaker: Some(breaker), slots });
             }
-            // Buckets are keyed by (resolution, precision): a demoted request
-            // executes under the int8 dispatch table, a nominal one under the
-            // f32 table — never mixed in one scoped batch.
-            let mut buckets: BTreeMap<(usize, bool), Vec<usize>> = BTreeMap::new();
-            for (pos, entry) in normal.iter().enumerate() {
-                buckets.entry((entry.plan.chosen_resolution, entry.int8)).or_default().push(pos);
-            }
-            let mut normal_results: Vec<Option<Result<InferenceRecord>>> = Vec::new();
-            normal_results.resize_with(normal.len(), || None);
-            for (&(resolution, int8), members) in &buckets {
-                let dispatch = if int8 {
-                    self.pipeline.bucket_dispatch_int8(resolution)
-                } else {
-                    self.pipeline.bucket_dispatch(resolution)
-                };
-                for batch in members.chunks(max_batch) {
-                    let results = run_batch_isolated(self.pipeline, threads, batch.len(), |slot| {
-                        let entry = &normal[batch[slot]];
-                        let attempt = &round[entry.slot];
-                        // Chaos panics model transient faults and fire on
-                        // first attempts only — a retry of a chaos-panicked
-                        // request genuinely recovers.
-                        if attempt.attempt == 0 {
-                            if let Some(every) = chaos {
-                                if (attempt.index + 1).is_multiple_of(every) {
-                                    panic!("chaos: injected panic in request {}", attempt.index);
-                                }
-                            }
-                            if chaos_requests.binary_search(&attempt.index).is_ok() {
-                                panic!("chaos: injected panic in request {}", attempt.index);
-                            }
+            let group_outcomes = run_batch_isolated(pipeline, threads, groups.len(), |g| {
+                let group = &groups[g];
+                let mut breaker = group.breaker.clone();
+                let mut walked: Vec<(usize, Gate)> = Vec::with_capacity(group.slots.len());
+                for &slot in &group.slots {
+                    let attempt = &round[slot];
+                    if let Some(b) = breaker.as_mut() {
+                        if !b.admit(attempt.arrival_ms) {
+                            walked.push((slot, Gate::Shed));
+                            continue;
                         }
-                        rescnn_tensor::with_algo_calibration_scope(Arc::clone(&dispatch), || {
-                            self.pipeline.execute_unscoped(queue[attempt.index].sample, &entry.plan)
-                        })
+                    }
+                    // Panics are contained per member, not per group:
+                    // one poisoned stream must not fail its source's
+                    // healthy neighbours.
+                    let planned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.plan_request(attempt.index)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(CoreError::Panicked { message: rescnn_tensor::panic_message(payload) })
                     });
-                    for (slot, result) in results.into_iter().enumerate() {
-                        normal_results[batch[slot]] = Some(result);
+                    if let Some(b) = breaker.as_mut() {
+                        match &planned {
+                            Ok(_) => b.note_progress(),
+                            Err(_) => b.record_failure(attempt.arrival_ms),
+                        }
                     }
+                    walked.push((slot, Gate::Plan(planned)));
                 }
-            }
-            for (pos, entry) in normal.into_iter().enumerate() {
-                let result =
-                    normal_results[pos].take().expect("every admitted attempt was executed");
-                executed.push((entry, result));
-            }
-
-            // Settle outcomes and feed the breakers in admission order (the
-            // deterministic virtual-server order), then schedule retries.
-            executed.sort_by_key(|(entry, _)| entry.seq);
-            for (entry, result) in executed {
-                let attempt = &round[entry.slot];
-                let request = &queue[attempt.index];
-                if let (Some(policy), Some(source)) = (&self.options.breaker, request.source) {
-                    let breaker = breakers
-                        .entry(source)
-                        .or_insert_with(|| CircuitBreaker::new(policy.clone()));
-                    match &result {
-                        Ok(_) => breaker.record_success(),
-                        Err(_) => breaker.record_failure(entry.virtual_finish_ms),
+                Ok((walked, breaker))
+            });
+            for (g, outcome) in group_outcomes.into_iter().enumerate() {
+                let group = &groups[g];
+                match outcome {
+                    Ok((walked, breaker)) => {
+                        if let (Some(source), Some(breaker)) = (group.source, breaker) {
+                            self.breakers.insert(source, breaker);
+                        }
+                        for (slot, gate) in walked {
+                            gates[slot] = Some(gate);
+                        }
                     }
-                }
-                match result {
-                    Ok(record) => {
-                        outcomes[attempt.index] = Some(SloOutcome::Completed(CompletedRequest {
-                            record,
-                            planned_resolution: entry.planned_resolution,
-                            served_resolution: entry.plan.chosen_resolution,
-                            virtual_start_ms: entry.virtual_start_ms,
-                            virtual_finish_ms: entry.virtual_finish_ms,
-                            virtual_latency_ms: entry.virtual_finish_ms - request.arrival_ms,
-                            retries: attempt.attempt,
-                        }));
-                    }
+                    // The walk itself failing (members are caught
+                    // individually) fails the whole group.
                     Err(error) => {
-                        if let Some(policy) = &self.options.retry {
-                            if attempt.attempt < policy.max_retries {
-                                let next_arrival =
-                                    entry.virtual_finish_ms + policy.backoff_for(attempt.attempt);
-                                if next_arrival < request.deadline_ms {
-                                    pending.push(PendingAttempt {
-                                        index: attempt.index,
-                                        attempt: attempt.attempt + 1,
-                                        arrival_ms: next_arrival,
-                                        prior: Some(PriorAttempt {
-                                            served_resolution: entry.plan.chosen_resolution,
-                                            planned_resolution: entry.planned_resolution,
-                                            plan: entry.plan,
-                                        }),
-                                        last_error: Some(error.clone()),
-                                    });
-                                    retry_attempts += 1;
-                                }
+                        for &slot in &group.slots {
+                            gates[slot] = Some(Gate::Plan(Err(error.clone())));
+                        }
+                    }
+                }
+            }
+        } else {
+            // No breaker: the flat data-parallel plan stage (identical in
+            // structure — and in round 0, in per-task work — to the
+            // policy-free scheduler).
+            let planned = run_batch_isolated(pipeline, threads, need_plan.len(), |i| {
+                self.plan_request(round[need_plan[i]].index)
+            });
+            for (i, outcome) in planned.into_iter().enumerate() {
+                gates[need_plan[i]] = Some(Gate::Plan(outcome));
+            }
+        }
+
+        // Resolve gates: sheds and final plan failures settle now; plan
+        // failures with retry budget re-plan next round from scratch.
+        let mut viable: Vec<(usize, InferencePlan)> = Vec::new();
+        for (slot, attempt) in round.iter().enumerate() {
+            if let Some(prior) = &attempt.prior {
+                viable.push((slot, prior.plan.clone()));
+                continue;
+            }
+            match gates[slot].take().expect("every plan-needing attempt was gated") {
+                Gate::Shed => {
+                    self.outcomes[attempt.index] =
+                        Some(SloOutcome::Rejected(Rejected::CircuitOpen));
+                }
+                Gate::Plan(Ok(plan)) => viable.push((slot, plan)),
+                Gate::Plan(Err(error)) => {
+                    if let Some(policy) = &self.options.retry {
+                        if attempt.attempt < policy.max_retries {
+                            let next_arrival =
+                                attempt.arrival_ms + policy.backoff_for(attempt.attempt);
+                            if next_arrival < self.queue[attempt.index].deadline_ms {
+                                self.pending.push(PendingAttempt {
+                                    index: attempt.index,
+                                    attempt: attempt.attempt + 1,
+                                    arrival_ms: next_arrival,
+                                    prior: None,
+                                    last_error: Some(error.clone()),
+                                });
+                                self.retry_attempts += 1;
                             }
                         }
-                        // Provisional when a retry was scheduled; final
-                        // otherwise.
-                        outcomes[attempt.index] = Some(SloOutcome::Failed(error));
                     }
+                    // Provisional when a retry was scheduled: the retry's
+                    // outcome overwrites it.
+                    self.outcomes[attempt.index] = Some(SloOutcome::Failed(error));
                 }
             }
         }
 
-        // Stage 4: aggregate in submission order.
+        // Stage 2: admission over the virtual clock, in arrival order
+        // (ties break by submission index, keeping the walk fully
+        // deterministic).
+        viable.sort_by(|a, b| {
+            round[a.0]
+                .arrival_ms
+                .total_cmp(&round[b.0].arrival_ms)
+                .then_with(|| round[a.0].index.cmp(&round[b.0].index))
+        });
+        let ladder = &pipeline.config().resolutions;
+        let mut admitted: Vec<AdmittedAttempt> = Vec::new();
+        for (slot, plan) in viable {
+            let attempt = &round[slot];
+            let request = &self.queue[attempt.index];
+            let virtual_start = self.server_free_ms.max(attempt.arrival_ms);
+            self.peak_backlog_ms = self.peak_backlog_ms.max(virtual_start - attempt.arrival_ms);
+            // Wall-clock deadline enforcement: on a real-clock step whose
+            // `now` has already passed the deadline, the request expires
+            // without compute. Batch drains step at `now = ∞` (not finite),
+            // so their admission test is the virtual-only one, bit for bit.
+            let wall_expired = now_ms.is_finite() && now_ms >= request.deadline_ms;
+            if wall_expired || virtual_start >= request.deadline_ms {
+                self.outcomes[attempt.index] = Some(if attempt.attempt == 0 {
+                    SloOutcome::Rejected(Rejected::DeadlineExceeded)
+                } else {
+                    // The backoff ran the clock out: keep the failure that
+                    // scheduled this retry.
+                    SloOutcome::Failed(
+                        attempt
+                            .last_error
+                            .clone()
+                            .expect("retries carry the error that scheduled them"),
+                    )
+                });
+                continue;
+            }
+            let planned_resolution = match &attempt.prior {
+                Some(prior) => prior.planned_resolution,
+                None => plan.chosen_resolution,
+            };
+            // Candidate rungs. First attempts (and re-plans) walk the
+            // ladder downward from the planned resolution — the largest
+            // bucket that fits the slack, the memory budget, and the SSIM
+            // floor wins, and a floor violation ends the walk (cheaper
+            // rungs only read less). A demoting retry instead prefers one
+            // rung *below* the resolution that failed, falling back to
+            // that rung itself (here a floor violation moves on: the
+            // fallback is the higher-quality option).
+            let (candidates, floor_break): (Vec<usize>, bool) = match &attempt.prior {
+                Some(prior) => {
+                    let served = prior.served_resolution;
+                    let demote =
+                        self.options.retry.as_ref().is_some_and(|policy| policy.demote_on_retry);
+                    let mut rungs = Vec::with_capacity(2);
+                    if demote {
+                        if let Some(below) = ladder.iter().copied().filter(|&r| r < served).max() {
+                            rungs.push(below);
+                        }
+                    }
+                    rungs.push(served);
+                    (rungs, false)
+                }
+                None => {
+                    let mut rungs: Vec<usize> =
+                        ladder.iter().copied().filter(|&r| r <= planned_resolution).collect();
+                    rungs.sort_unstable_by(|a, b| b.cmp(a));
+                    (rungs, true)
+                }
+            };
+            // Injected cost spikes model transient faults: they fire on
+            // first attempts only, so a retry is charged the nominal
+            // estimate.
+            let multiplier = if attempt.attempt == 0 { request.cost_multiplier } else { 1.0 };
+            let mut placed = false;
+            let mut memory_skipped = false;
+            for resolution in candidates {
+                if let (Some(peaks), Some(budget)) =
+                    (&self.arena_peaks, self.options.memory_budget_bytes)
+                {
+                    if peaks.get(&resolution).copied().unwrap_or(0) > budget {
+                        // Over the arena budget: demote down the ladder
+                        // instead of risking the allocation.
+                        memory_skipped = true;
+                        continue;
+                    }
+                }
+                // Precision tiers at this rung: f32 first; when demotion
+                // is enabled *and* the accuracy gate admits the rung, the
+                // quantized arm is tried next — before the walk steps down
+                // the resolution ladder, because serving full resolution
+                // at gated-reduced precision degrades accuracy less than
+                // dropping a rung.
+                let mut tiers: Vec<(f64, bool)> =
+                    vec![(self.latency.estimate_ms(resolution), false)];
+                if let Some(precision) = &self.options.precision {
+                    if precision.gate.admits(resolution) {
+                        tiers.push((precision.latency.estimate_ms(resolution), true));
+                    }
+                }
+                let mut fit: Option<(f64, bool, bool)> = None;
+                for (estimate_ms, int8) in tiers {
+                    let mut service_ms = estimate_ms * multiplier;
+                    let mut cancelled = false;
+                    if let Some(watchdog) = &self.options.watchdog {
+                        let cap_ms = estimate_ms * watchdog.overrun_factor;
+                        if service_ms > cap_ms {
+                            // Overrun: charge only the cap (one runaway
+                            // must not blow every queued deadline) and
+                            // cancel the execution before it spends
+                            // compute.
+                            service_ms = cap_ms;
+                            cancelled = true;
+                        }
+                    }
+                    if virtual_start + service_ms <= request.deadline_ms {
+                        fit = Some((service_ms, cancelled, int8));
+                        break;
+                    }
+                }
+                let Some((service_ms, cancelled, int8)) = fit else {
+                    continue;
+                };
+                let final_plan = if resolution == plan.chosen_resolution {
+                    plan.clone()
+                } else {
+                    match pipeline.replan_at(request.sample.get(), &plan, resolution) {
+                        Ok(replanned) => replanned,
+                        Err(error) => {
+                            self.outcomes[attempt.index] = Some(SloOutcome::Failed(error));
+                            placed = true;
+                            break;
+                        }
+                    }
+                };
+                if let Some(floor) = self.options.ssim_floor {
+                    if resolution != planned_resolution && final_plan.quality() < floor {
+                        if floor_break {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+                self.server_free_ms = virtual_start + service_ms;
+                if memory_skipped {
+                    self.memory_demoted_flag[attempt.index] = true;
+                }
+                self.precision_demoted_flag[attempt.index] = int8;
+                if cancelled {
+                    self.watchdog_cancelled += 1;
+                }
+                admitted.push(AdmittedAttempt {
+                    slot,
+                    seq: admitted.len(),
+                    plan: final_plan,
+                    planned_resolution,
+                    virtual_start_ms: virtual_start,
+                    virtual_finish_ms: self.server_free_ms,
+                    cancelled,
+                    int8,
+                });
+                placed = true;
+                break;
+            }
+            if !placed {
+                self.outcomes[attempt.index] = Some(if attempt.attempt == 0 {
+                    SloOutcome::Rejected(Rejected::Overloaded)
+                } else {
+                    SloOutcome::Failed(
+                        attempt
+                            .last_error
+                            .clone()
+                            .expect("retries carry the error that scheduled them"),
+                    )
+                });
+            }
+        }
+
+        // Stage 3: execute. Watchdog-doomed attempts run under a
+        // pre-fired cancellation token — the execute task is refused at
+        // its task boundary, so the cancellation path is exercised
+        // end-to-end while spending zero backbone compute. Everything
+        // else executes as homogeneous resolution buckets under
+        // per-request isolation, mirroring the batch scheduler.
+        let (doomed, normal): (Vec<AdmittedAttempt>, Vec<AdmittedAttempt>) =
+            admitted.into_iter().partition(|entry| entry.cancelled);
+        let mut executed: Vec<(AdmittedAttempt, Result<InferenceRecord>)> =
+            Vec::with_capacity(doomed.len() + normal.len());
+        if !doomed.is_empty() {
+            let token = rescnn_tensor::CancellationToken::new();
+            token.cancel();
+            let results = token.scope(|| {
+                run_batch_isolated(pipeline, threads, doomed.len(), |slot| {
+                    let entry = &doomed[slot];
+                    pipeline.execute_unscoped(
+                        self.queue[round[entry.slot].index].sample.get(),
+                        &entry.plan,
+                    )
+                })
+            });
+            let factor = self.options.watchdog.as_ref().map_or(f64::INFINITY, |w| w.overrun_factor);
+            for (entry, raw) in doomed.into_iter().zip(results) {
+                debug_assert!(
+                    matches!(raw, Err(CoreError::Cancelled { .. })),
+                    "a pre-fired token must refuse the task, got {raw:?}"
+                );
+                // Replace the mechanism's task-local message with the
+                // watchdog context (stable across reruns and budgets).
+                let reason = format!(
+                    "watchdog: estimated service at {}\u{b2} exceeded {factor}x the \
+                     latency-model estimate; execution cancelled before start",
+                    entry.plan.chosen_resolution
+                );
+                executed.push((entry, Err(CoreError::Cancelled { reason })));
+            }
+        }
+        // Buckets are keyed by (resolution, precision): a demoted request
+        // executes under the int8 dispatch table, a nominal one under the
+        // f32 table — never mixed in one scoped batch.
+        let mut buckets: BTreeMap<(usize, bool), Vec<usize>> = BTreeMap::new();
+        for (pos, entry) in normal.iter().enumerate() {
+            buckets.entry((entry.plan.chosen_resolution, entry.int8)).or_default().push(pos);
+        }
+        let mut normal_results: Vec<Option<Result<InferenceRecord>>> = Vec::new();
+        normal_results.resize_with(normal.len(), || None);
+        for (&(resolution, int8), members) in &buckets {
+            let dispatch = if int8 {
+                pipeline.bucket_dispatch_int8(resolution)
+            } else {
+                pipeline.bucket_dispatch(resolution)
+            };
+            for batch in members.chunks(max_batch) {
+                let results = run_batch_isolated(pipeline, threads, batch.len(), |slot| {
+                    let entry = &normal[batch[slot]];
+                    let attempt = &round[entry.slot];
+                    // Chaos panics model transient faults and fire on
+                    // first attempts only — a retry of a chaos-panicked
+                    // request genuinely recovers.
+                    if attempt.attempt == 0 {
+                        if let Some(every) = self.options.chaos_panic_every {
+                            if (attempt.index + 1).is_multiple_of(every) {
+                                panic!("chaos: injected panic in request {}", attempt.index);
+                            }
+                        }
+                        if self.options.chaos_panic_requests.binary_search(&attempt.index).is_ok() {
+                            panic!("chaos: injected panic in request {}", attempt.index);
+                        }
+                    }
+                    rescnn_tensor::with_algo_calibration_scope(Arc::clone(&dispatch), || {
+                        pipeline
+                            .execute_unscoped(self.queue[attempt.index].sample.get(), &entry.plan)
+                    })
+                });
+                for (slot, result) in results.into_iter().enumerate() {
+                    normal_results[batch[slot]] = Some(result);
+                }
+            }
+        }
+        for (pos, entry) in normal.into_iter().enumerate() {
+            let result = normal_results[pos].take().expect("every admitted attempt was executed");
+            executed.push((entry, result));
+        }
+
+        // Settle outcomes and feed the breakers in admission order (the
+        // deterministic virtual-server order), then schedule retries.
+        executed.sort_by_key(|(entry, _)| entry.seq);
+        for (entry, result) in executed {
+            let attempt = &round[entry.slot];
+            let request = &self.queue[attempt.index];
+            if let (Some(policy), Some(source)) = (&self.options.breaker, request.source) {
+                let breaker = self
+                    .breakers
+                    .entry(source)
+                    .or_insert_with(|| CircuitBreaker::new(policy.clone()));
+                match &result {
+                    Ok(_) => breaker.record_success(),
+                    Err(_) => breaker.record_failure(entry.virtual_finish_ms),
+                }
+            }
+            match result {
+                Ok(record) => {
+                    self.outcomes[attempt.index] = Some(SloOutcome::Completed(CompletedRequest {
+                        record,
+                        planned_resolution: entry.planned_resolution,
+                        served_resolution: entry.plan.chosen_resolution,
+                        virtual_start_ms: entry.virtual_start_ms,
+                        virtual_finish_ms: entry.virtual_finish_ms,
+                        virtual_latency_ms: entry.virtual_finish_ms - request.arrival_ms,
+                        retries: attempt.attempt,
+                    }));
+                }
+                Err(error) => {
+                    if let Some(policy) = &self.options.retry {
+                        if attempt.attempt < policy.max_retries {
+                            let next_arrival =
+                                entry.virtual_finish_ms + policy.backoff_for(attempt.attempt);
+                            if next_arrival < request.deadline_ms {
+                                self.pending.push(PendingAttempt {
+                                    index: attempt.index,
+                                    attempt: attempt.attempt + 1,
+                                    arrival_ms: next_arrival,
+                                    prior: Some(PriorAttempt {
+                                        served_resolution: entry.plan.chosen_resolution,
+                                        planned_resolution: entry.planned_resolution,
+                                        plan: entry.plan,
+                                    }),
+                                    last_error: Some(error.clone()),
+                                });
+                                self.retry_attempts += 1;
+                            }
+                        }
+                    }
+                    // Provisional when a retry was scheduled; final
+                    // otherwise.
+                    self.outcomes[attempt.index] = Some(SloOutcome::Failed(error));
+                }
+            }
+        }
+
+        // A request settled terminally this step iff it was in the round and
+        // no retry re-entered it into the pending set.
+        let mut settled: Vec<usize> = round.iter().map(|attempt| attempt.index).collect();
+        settled.retain(|&index| !self.pending.iter().any(|p| p.index == index));
+        settled.sort_unstable();
+        debug_assert!(
+            settled.iter().all(|&index| self.outcomes[index].is_some()),
+            "a settled request must hold a terminal outcome"
+        );
+        settled
+    }
+
+    /// Aggregates the settled outcomes into an [`SloReport`] (and the recorded
+    /// trace, when recording), in submission order. Every accepted request
+    /// must have settled.
+    pub(crate) fn finish(self, wall_seconds: f64) -> (SloReport, Option<ServingTrace>) {
+        debug_assert!(self.pending.is_empty(), "finish() with attempts still pending");
+        let AdmissionCore {
+            threads,
+            outcomes,
+            memory_demoted_flag,
+            precision_demoted_flag,
+            breakers,
+            peak_backlog_ms,
+            retry_attempts,
+            watchdog_cancelled,
+            mut trace,
+            ..
+        } = self;
         let outcomes: Vec<SloOutcome> = outcomes
             .into_iter()
             .map(|outcome| outcome.expect("every request has an outcome"))
             .collect();
+        if let Some(trace) = &mut trace {
+            trace.decisions = outcomes
+                .iter()
+                .enumerate()
+                .map(|(index, outcome)| {
+                    TraceDecision::from_outcome(outcome, precision_demoted_flag[index])
+                })
+                .collect();
+        }
         let total = outcomes.len();
         let mut completed_records: Vec<InferenceRecord> = Vec::new();
         let mut latencies: Vec<f64> = Vec::new();
@@ -1145,7 +1482,7 @@ impl<'a> SloScheduler<'a> {
         latencies.sort_by(f64::total_cmp);
         let report = PipelineReport::from_records("slo".to_string(), &completed_records);
         let totalf = total.max(1) as f64;
-        Ok(SloReport {
+        let report = SloReport {
             report,
             outcomes,
             total,
@@ -1168,14 +1505,15 @@ impl<'a> SloScheduler<'a> {
             p99_latency_ms: percentile(&latencies, 0.99),
             mean_delivered_ssim: if completed > 0 { ssim_sum / completed as f64 } else { 0.0 },
             peak_backlog_ms,
-            wall_seconds: wall_start.elapsed().as_secs_f64(),
+            wall_seconds,
             threads,
-        })
+        };
+        (report, trace)
     }
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice (0 when empty).
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

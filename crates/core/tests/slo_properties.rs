@@ -7,20 +7,24 @@
 use proptest::prelude::*;
 use rescnn_core::{
     DynamicResolutionPipeline, PipelineConfig, ResolutionLatencyModel, ScaleModelConfig,
-    ScaleModelTrainer, SloOptions, SloOutcome, SloRequest, SloScheduler,
+    ScaleModelTrainer, ServerConfig, ServerRequest, SloOptions, SloOutcome, SloRequest,
+    SloScheduler, SloServer, SubmitError,
 };
 use rescnn_data::{DatasetKind, DatasetSpec};
 use rescnn_imaging::CropRatio;
 use rescnn_models::ModelKind;
 use rescnn_oracle::AccuracyOracle;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 const LADDER: [usize; 2] = [112, 224];
 
 /// One shared pipeline: construction trains a scale model and is by far the
-/// most expensive step, so every proptest case reuses it.
-fn pipeline() -> &'static DynamicResolutionPipeline {
-    static PIPELINE: OnceLock<DynamicResolutionPipeline> = OnceLock::new();
+/// most expensive step, so every proptest case reuses it. Returned as an
+/// `Arc` so the server tests can share it with their event-loop thread; the
+/// scheduler tests deref it in place.
+fn pipeline() -> &'static Arc<DynamicResolutionPipeline> {
+    static PIPELINE: OnceLock<Arc<DynamicResolutionPipeline>> = OnceLock::new();
     PIPELINE.get_or_init(|| {
         let resolutions = LADDER.to_vec();
         let config =
@@ -31,8 +35,10 @@ fn pipeline() -> &'static DynamicResolutionPipeline {
         let pipeline_config = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
             .with_crop(CropRatio::new(0.56).unwrap())
             .with_resolutions(resolutions);
-        DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(77))
-            .unwrap()
+        Arc::new(
+            DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(77))
+                .unwrap(),
+        )
     })
 }
 
@@ -173,4 +179,150 @@ proptest! {
         prop_assert_eq!(report.shed + report.expired + report.faulted, 0);
         prop_assert_eq!(report.completed, report.total, "budget demotes, never rejects");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Server invariants: bounded backpressure, typed rejection, exactly-one
+// terminal outcome per ticket, idempotent shutdown.
+// ---------------------------------------------------------------------------
+
+fn server_options() -> SloOptions {
+    SloOptions::default().with_latency_model(fixed_latency()).with_ssim_floor(0.30)
+}
+
+fn sample_arc(seed: u64) -> Arc<rescnn_data::Sample> {
+    let data = DatasetSpec::cars_like().with_len(1).with_max_dimension(72).build(seed);
+    Arc::new(data[0].clone())
+}
+
+/// Queue depth never exceeds the configured bound, and the submission that
+/// would exceed it gets a typed `QueueFull` — never a silent drop. The event
+/// loop is wedged behind a capacity-1 completion queue that nobody consumes,
+/// so the inbox genuinely fills.
+#[test]
+fn server_queue_depth_never_exceeds_its_bound() {
+    let capacity = 3usize;
+    let config = ServerConfig::default()
+        .with_options(server_options())
+        .with_queue_capacity(capacity)
+        .with_completion_capacity(1)
+        .with_idle_tick_ms(1.0)
+        .with_drain_deadline_ms(20_000.0);
+    let mut server = SloServer::start(Arc::clone(pipeline()), config).unwrap();
+    let stream = server.completions().unwrap();
+    // Immediately-expiring requests settle without compute; the first
+    // completion fills the queue, the second wedges the loop.
+    let sample = sample_arc(3);
+    let mut accepted = 0usize;
+    let mut queue_full = 0usize;
+    let give_up = Instant::now() + Duration::from_secs(20);
+    while queue_full < 4 && Instant::now() < give_up {
+        match server.submit(ServerRequest::new(Arc::clone(&sample), 0.0)) {
+            Ok(_) => accepted += 1,
+            Err(SubmitError::QueueFull { capacity: reported }) => {
+                assert_eq!(reported, capacity);
+                queue_full += 1;
+            }
+            Err(other) => panic!("unexpected rejection before drain: {other}"),
+        }
+        assert!(server.queue_depth() <= capacity, "queue depth exceeded its bound");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(queue_full >= 4, "backpressure never engaged");
+    // Release the wedge and finish: every accepted ticket still settles.
+    drop(stream);
+    server.drain();
+    let report = server.join().unwrap();
+    assert_eq!(report.submitted, accepted);
+    assert_eq!(report.slo.outcomes.len(), accepted);
+    assert!(report.rejected_queue_full >= queue_full);
+}
+
+/// From the moment `drain()` returns, every submit is rejected with the typed
+/// `Draining` error — no race window in which a submission is silently
+/// dropped or accepted-but-never-settled.
+#[test]
+fn server_submit_after_drain_start_is_always_rejected() {
+    let server = SloServer::start(
+        Arc::clone(pipeline()),
+        ServerConfig::default().with_options(server_options()),
+    )
+    .unwrap();
+    let sample = sample_arc(4);
+    let ticket = server.submit(ServerRequest::new(Arc::clone(&sample), 60_000.0)).unwrap();
+    server.drain();
+    for _ in 0..8 {
+        match server.submit(ServerRequest::new(Arc::clone(&sample), 60_000.0)) {
+            Err(SubmitError::Draining | SubmitError::Stopped) => {}
+            other => panic!("submit after drain must be rejected, got {other:?}"),
+        }
+    }
+    let report = server.join().unwrap();
+    assert_eq!(report.submitted, 1, "only the pre-drain ticket is owed an outcome");
+    assert_eq!(report.slo.outcomes.len(), 1);
+    assert!(report.rejected_draining >= 8);
+    assert_eq!(ticket.0, 0);
+}
+
+/// Every accepted ticket yields exactly one terminal completion on the
+/// stream, and the final report carries exactly one outcome per ticket.
+#[test]
+fn server_every_accepted_ticket_settles_exactly_once() {
+    let mut server = SloServer::start(
+        Arc::clone(pipeline()),
+        ServerConfig::default().with_options(server_options()),
+    )
+    .unwrap();
+    let stream = server.completions().unwrap();
+    let sample = sample_arc(5);
+    // Mixed fates: generous slack completes, zero slack expires.
+    let slacks = [60_000.0, 0.0, 60_000.0, 0.0, 0.0];
+    for slack in slacks {
+        server.submit(ServerRequest::new(Arc::clone(&sample), slack)).unwrap();
+    }
+    server.drain();
+    let report = server.join().unwrap();
+    let mut seen = vec![0usize; slacks.len()];
+    for completion in stream {
+        seen[completion.ticket.0 as usize] += 1;
+    }
+    assert!(seen.iter().all(|&count| count == 1), "ticket settle counts {seen:?} must all be 1");
+    assert_eq!(report.slo.outcomes.len(), slacks.len());
+    assert_eq!(
+        report.slo.completed
+            + report.slo.shed
+            + report.slo.breaker_shed
+            + report.slo.expired
+            + report.slo.faulted,
+        slacks.len(),
+        "outcome counters must partition the accepted tickets"
+    );
+}
+
+/// Shutdown is idempotent: double-drain is a no-op, and dropping an
+/// already-drained (or already-joined) server neither hangs nor panics.
+#[test]
+fn server_shutdown_is_idempotent() {
+    let server = SloServer::start(
+        Arc::clone(pipeline()),
+        ServerConfig::default().with_options(server_options()),
+    )
+    .unwrap();
+    let sample = sample_arc(6);
+    server.submit(ServerRequest::new(sample, 60_000.0)).unwrap();
+    assert!(server.drain());
+    assert!(!server.drain(), "second drain must be a no-op");
+    assert!(!server.drain());
+    let report = server.join().unwrap();
+    assert_eq!(report.submitted, 1);
+
+    // Drop-after-drain: the drop path re-enters the drain/join sequence and
+    // must be a clean no-op on an already-draining server.
+    let server = SloServer::start(
+        Arc::clone(pipeline()),
+        ServerConfig::default().with_options(server_options()),
+    )
+    .unwrap();
+    server.drain();
+    drop(server);
 }

@@ -1,0 +1,219 @@
+//! Integration tests for the async real-clock serving front-end: lifecycle
+//! probes, graceful drain (including via `Drop`), wall-clock deadline
+//! enforcement, and the record/replay determinism contract.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use rescnn_core::{
+    DynamicResolutionPipeline, PipelineConfig, Rejected, ResolutionLatencyModel, ScaleModelConfig,
+    ScaleModelTrainer, ServerConfig, ServerRequest, ServerState, SloOptions, SloOutcome,
+    SloRequest, SloScheduler, SloServer,
+};
+use rescnn_data::{Dataset, DatasetKind, DatasetSpec};
+use rescnn_imaging::CropRatio;
+use rescnn_models::ModelKind;
+use rescnn_oracle::AccuracyOracle;
+
+const LADDER: [usize; 2] = [112, 224];
+
+/// Server tests exercise real threads, the shared engine pool, and pool
+/// drains; serialize them so one test's shutdown never supersedes another's.
+fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn pipeline() -> Arc<DynamicResolutionPipeline> {
+    Arc::clone(pipeline_ref())
+}
+
+fn pipeline_ref() -> &'static Arc<DynamicResolutionPipeline> {
+    static PIPELINE: OnceLock<Arc<DynamicResolutionPipeline>> = OnceLock::new();
+    PIPELINE.get_or_init(|| {
+        let resolutions = LADDER.to_vec();
+        let config =
+            ScaleModelConfig { resolutions: resolutions.clone(), epochs: 30, ..Default::default() };
+        let trainer = ScaleModelTrainer::new(config, ModelKind::ResNet18, DatasetKind::CarsLike);
+        let train = DatasetSpec::cars_like().with_len(60).with_max_dimension(96).build(1);
+        let scale_model = trainer.train(&train, 3).unwrap();
+        let pipeline_config = PipelineConfig::new(ModelKind::ResNet18, DatasetKind::CarsLike)
+            .with_crop(CropRatio::new(0.56).unwrap())
+            .with_resolutions(resolutions);
+        Arc::new(
+            DynamicResolutionPipeline::new(pipeline_config, scale_model, AccuracyOracle::new(77))
+                .unwrap(),
+        )
+    })
+}
+
+fn data() -> &'static Dataset {
+    static DATA: OnceLock<Dataset> = OnceLock::new();
+    DATA.get_or_init(|| DatasetSpec::cars_like().with_len(12).with_max_dimension(72).build(9))
+}
+
+fn fixed_latency() -> ResolutionLatencyModel {
+    ResolutionLatencyModel::from_estimates([(112, 10.0), (224, 50.0)])
+}
+
+fn options() -> SloOptions {
+    SloOptions::default().with_latency_model(fixed_latency()).with_ssim_floor(0.30)
+}
+
+#[test]
+fn lifecycle_probes_and_graceful_join() {
+    let _guard = test_lock();
+    let server =
+        SloServer::start(pipeline(), ServerConfig::default().with_options(options())).unwrap();
+    // Starting → Ready happens on the worker; wait briefly for readiness.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !server.is_ready() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(server.is_ready(), "event loop never became ready");
+    assert!(server.is_healthy());
+    assert_eq!(server.state(), ServerState::Ready);
+
+    let sample = Arc::new(data()[0].clone());
+    let ticket = server.submit(ServerRequest::new(sample, 60_000.0)).unwrap();
+    assert_eq!(ticket.0, 0);
+
+    assert!(server.drain(), "first drain call must initiate the drain");
+    assert!(!server.drain(), "second drain call must be a no-op");
+    let report = server.join().unwrap();
+    assert_eq!(report.submitted, 1);
+    assert!(report.drained_gracefully, "one in-flight request must drain gracefully");
+    assert_eq!(report.hard_cancelled, 0);
+    assert!(
+        matches!(report.slo.outcomes[0], SloOutcome::Completed(_)),
+        "the accepted request must complete, got {:?}",
+        report.slo.outcomes[0]
+    );
+}
+
+#[test]
+fn drop_drains_gracefully_and_abandons_no_pool_jobs() {
+    let _guard = test_lock();
+    let requests = 4usize;
+    let mut server =
+        SloServer::start(pipeline(), ServerConfig::default().with_options(options())).unwrap();
+    let stream = server.completions().expect("stream is available once");
+    for i in 0..requests {
+        let sample = Arc::new(data()[i % data().len()].clone());
+        server.submit(ServerRequest::new(sample, 60_000.0)).unwrap();
+    }
+    // Drop with work in flight: the contract is a graceful drain bounded by
+    // the drain deadline, not an abort.
+    drop(server);
+    let completions: Vec<_> = stream.collect();
+    assert_eq!(completions.len(), requests, "every accepted ticket yields one completion");
+    for completion in &completions {
+        assert!(
+            matches!(completion.outcome, SloOutcome::Completed(_)),
+            "in-flight work must complete on drop, got {:?}",
+            completion.outcome
+        );
+    }
+    // The engine pool saw the whole drain: nothing was abandoned mid-job.
+    let drain = rescnn_tensor::shutdown_pool();
+    assert_eq!(drain.abandoned, 0, "graceful server drain must abandon no pool jobs: {drain:?}");
+}
+
+#[test]
+fn wall_clock_deadline_expires_stalled_requests() {
+    let _guard = test_lock();
+    // Completion capacity 1 and an unconsumed stream wedge the event loop on
+    // delivery, so the third request sits in the inbox until its wall
+    // deadline has passed; its virtual admission (arrival < deadline, empty
+    // virtual server) would have served it.
+    let config = ServerConfig::default()
+        .with_options(options())
+        .with_completion_capacity(1)
+        .with_idle_tick_ms(1.0)
+        .with_drain_deadline_ms(20_000.0);
+    let mut server = SloServer::start(pipeline(), config).unwrap();
+    let stream = server.completions().unwrap();
+    let sample = || Arc::new(data()[0].clone());
+    // Two immediately-expiring requests: the first's completion fills the
+    // queue, the second's delivery blocks the loop.
+    server.submit(ServerRequest::new(sample(), 0.0)).unwrap();
+    server.submit(ServerRequest::new(sample(), 0.0)).unwrap();
+    let wedged_by = Instant::now() + Duration::from_secs(10);
+    while server.in_flight() != 1 && Instant::now() < wedged_by {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(server.in_flight(), 1, "event loop never wedged on the full completion queue");
+    // Submitted while wedged, with a slack that will have elapsed by the time
+    // the loop resumes.
+    let stalled = server.submit(ServerRequest::new(sample(), 5.0)).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let first = stream.recv().expect("first completion");
+    assert!(matches!(first.outcome, SloOutcome::Rejected(Rejected::DeadlineExceeded)));
+    let mut outcomes = vec![first];
+    server.drain();
+    let report = server.join().unwrap();
+    outcomes.extend(stream);
+    assert_eq!(outcomes.len(), 3);
+    let stalled_outcome =
+        outcomes.iter().find(|c| c.ticket == stalled).expect("stalled ticket settled");
+    assert!(
+        matches!(stalled_outcome.outcome, SloOutcome::Rejected(Rejected::DeadlineExceeded)),
+        "a request whose wall deadline passed in the inbox must expire, got {:?}",
+        stalled_outcome.outcome
+    );
+    assert!(!stalled_outcome.deadline_met);
+    assert_eq!(report.slo.expired, 3);
+}
+
+#[test]
+fn recorded_trace_replays_bitwise_through_the_batch_scheduler() {
+    let _guard = test_lock();
+    let config = ServerConfig::default()
+        .with_options(options())
+        .with_record(true)
+        .with_drain_deadline_ms(60_000.0);
+    let mut server = SloServer::start(pipeline(), config).unwrap();
+    let stream = server.completions().unwrap();
+    let consumer = std::thread::spawn(move || stream.count());
+    // A mix of generous, tight, and hopeless slacks so the live run serves,
+    // degrades, and rejects.
+    let slacks = [60_000.0, 60.0, 15.0, 0.0, 60_000.0, 25.0, 60.0, 0.0];
+    let mut accepted: Vec<usize> = Vec::new();
+    for (i, slack) in slacks.iter().enumerate() {
+        let index = i % data().len();
+        let sample = Arc::new(data()[index].clone());
+        if server.submit(ServerRequest::new(sample, *slack)).is_ok() {
+            accepted.push(index);
+        }
+        std::thread::sleep(Duration::from_millis(3));
+    }
+    server.drain();
+    let report = server.join().unwrap();
+    assert_eq!(consumer.join().unwrap(), accepted.len());
+    let trace = report.trace.as_ref().expect("recording run carries its trace");
+    assert!(report.drained_gracefully);
+    assert!(trace.replayable(), "a graceful drain must be replayable");
+    assert_eq!(trace.requests.len(), accepted.len());
+    assert_eq!(trace.decisions.len(), accepted.len());
+
+    // Round-trip through the on-disk format, then replay through the
+    // virtual-clock scheduler: admission decisions must match bitwise.
+    let persisted = trace.to_text();
+    let reloaded = rescnn_core::ServingTrace::from_text(&persisted).unwrap();
+    assert_eq!(&reloaded, trace);
+
+    let mut scheduler = SloScheduler::new(pipeline_ref(), options());
+    let samples: Vec<_> = accepted.iter().map(|&index| data()[index].clone()).collect();
+    for sample in &samples {
+        scheduler.submit(SloRequest::new(sample, 0.0, 1.0));
+    }
+    let (replayed_report, replayed_trace) = scheduler.replay(&reloaded).unwrap();
+    assert_eq!(
+        replayed_trace.decisions, trace.decisions,
+        "replayed admission decisions must match the live run bitwise"
+    );
+    assert_eq!(replayed_report.completed, report.slo.completed);
+    assert_eq!(replayed_report.degraded, report.slo.degraded);
+    assert_eq!(replayed_report.shed, report.slo.shed);
+    assert_eq!(replayed_report.expired, report.slo.expired);
+}

@@ -411,6 +411,11 @@ pub struct DrainReport {
     /// True when a concurrent dispatch raised the pool target while the drain
     /// was waiting — the shutdown ceded to the new work and the pool stayed up.
     pub superseded: bool,
+    /// Jobs still holding unclaimed chunks *after* the drain completed. Always
+    /// zero on a non-superseded drain (the invariant a graceful server
+    /// shutdown pins its tests on); a superseded drain may observe the new
+    /// work's jobs here.
+    pub abandoned: usize,
 }
 
 /// Retires every pool worker and blocks until they have all exited, returning
@@ -434,7 +439,8 @@ pub fn shutdown_pool() -> DrainReport {
     while state.alive > 0 && state.target == 0 {
         state = shared.retire_signal.wait(state).unwrap_or_else(|e| e.into_inner());
     }
-    DrainReport { jobs_in_flight, superseded: state.target != 0 }
+    let abandoned = state.jobs.iter().filter(|job| !job.exhausted()).count();
+    DrainReport { jobs_in_flight, superseded: state.target != 0, abandoned }
 }
 
 /// Number of live pool workers (parked or running). Observability for tests and

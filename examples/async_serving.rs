@@ -1,0 +1,130 @@
+//! Async real-clock serving: a long-running front-end with non-blocking
+//! submission, bounded backpressure, graceful drain, and deterministic
+//! record/replay.
+//!
+//! An [`SloServer`] wraps the virtual-clock admission core in a real-clock
+//! event loop: requests are submitted from this thread as they "arrive",
+//! completions stream to a consumer thread as they settle, and shutdown is a
+//! graceful drain that finishes in-flight work before the report is built.
+//! The run is recorded, and the recorded trace is then replayed through the
+//! batch scheduler — the replayed admission decisions must match the live
+//! run's bit for bit.
+//!
+//! Run with: `cargo run --release --example async_serving`
+
+use rescnn::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset_kind = DatasetKind::CarsLike;
+    let backbone = ModelKind::ResNet18;
+    let resolutions = vec![112, 168, 224];
+
+    println!("Training the scale model...");
+    let train = DatasetSpec::for_kind(dataset_kind).with_len(60).with_max_dimension(96).build(1);
+    let trainer = ScaleModelTrainer::new(
+        ScaleModelConfig { resolutions: resolutions.clone(), ..Default::default() },
+        backbone,
+        dataset_kind,
+    );
+    let scale_model = trainer.train(&train, 3)?;
+    let config = PipelineConfig::new(backbone, dataset_kind)
+        .with_crop(CropRatio::new(0.56)?)
+        .with_resolutions(resolutions);
+    let pipeline =
+        Arc::new(DynamicResolutionPipeline::new(config, scale_model, AccuracyOracle::new(77))?);
+
+    let latency = ResolutionLatencyModel::analytic(&pipeline)?;
+    let top_ms = latency.estimate_ms(224).max(1.0);
+    let options = SloOptions::default().with_latency_model(latency).with_ssim_floor(0.35);
+
+    // A long-running server: bounded submission queue, recorded admission.
+    let server_config = ServerConfig::default()
+        .with_options(options.clone())
+        .with_queue_capacity(16)
+        .with_record(true);
+    let mut server = SloServer::start(Arc::clone(&pipeline), server_config)?;
+
+    // Completions stream to their own consumer as they settle — submission
+    // never waits for inference.
+    let stream = server.completions().expect("a fresh server has its stream");
+    let consumer = std::thread::spawn(move || {
+        let mut settled = Vec::new();
+        for completion in stream {
+            let verdict = match &completion.outcome {
+                SloOutcome::Completed(c) if c.served_resolution < c.planned_resolution => {
+                    format!("degraded {} -> {} px", c.planned_resolution, c.served_resolution)
+                }
+                SloOutcome::Completed(c) => format!("completed at {} px", c.served_resolution),
+                SloOutcome::Rejected(Rejected::Overloaded) => "shed (overload)".into(),
+                SloOutcome::Rejected(Rejected::DeadlineExceeded) => "expired".into(),
+                SloOutcome::Rejected(Rejected::CircuitOpen) => "shed (breaker)".into(),
+                SloOutcome::Failed(err) => format!("faulted: {err}"),
+            };
+            println!(
+                "  ticket {:>2}  {verdict:<22} wall {:>6.1} ms  deadline {}",
+                completion.ticket.0,
+                completion.wall_latency_ms,
+                if completion.deadline_met { "met" } else { "missed" },
+            );
+            settled.push(completion);
+        }
+        settled
+    });
+
+    // A paced burst: generous, tight, and hopeless deadlines mixed so the
+    // live run serves some requests and sheds or expires the rest.
+    println!("\nSubmitting a paced burst (slack in units of the top-rung estimate):");
+    let queue = DatasetSpec::for_kind(dataset_kind).with_len(12).with_max_dimension(96).build(7);
+    let slacks = [20.0, 20.0, 4.0, 2.0, 0.0, 20.0, 1.5, 4.0, 0.0, 20.0, 2.0, 1.0];
+    let mut accepted = Vec::new();
+    for (i, slack) in slacks.iter().enumerate() {
+        let index = i % queue.len();
+        let sample = Arc::new(queue[index].clone());
+        match server.submit(ServerRequest::new(sample, slack * top_ms)) {
+            Ok(_) => accepted.push(index),
+            // Bounded queue: overload surfaces as a typed error at the gate.
+            Err(err) => println!("  submit {i:>2}  rejected: {err}"),
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Graceful shutdown: new submissions are rejected, in-flight work drains.
+    server.drain();
+    match server.submit(ServerRequest::new(Arc::new(queue[0].clone()), 1_000.0)) {
+        Err(SubmitError::Draining) => println!("\nDraining: late submission rejected (typed)"),
+        other => println!("\nUnexpected post-drain submit result: {other:?}"),
+    }
+    let report = server.join()?;
+    let settled = consumer.join().expect("consumer thread finished");
+    assert_eq!(settled.len(), accepted.len(), "every accepted ticket settles exactly once");
+
+    println!(
+        "\nserved {}  degraded {}  shed {}  expired {}  wall p50 {:.1} ms  p99 {:.1} ms  drain {:.1} ms ({})",
+        report.slo.completed,
+        report.slo.degraded,
+        report.slo.shed,
+        report.slo.expired,
+        report.wall_p50_ms,
+        report.wall_p99_ms,
+        report.drain_seconds * 1_000.0,
+        if report.drained_gracefully { "graceful" } else { "hard-cancelled" },
+    );
+
+    // Deterministic replay: round-trip the recorded trace through its on-disk
+    // format, rebuild the batch scheduler over the same samples, and replay.
+    let trace = report.trace.as_ref().expect("recording runs carry their trace");
+    let reloaded = ServingTrace::from_text(&trace.to_text())?;
+    let mut scheduler = SloScheduler::new(&pipeline, options);
+    for &index in &accepted {
+        scheduler.submit(SloRequest::new(&queue[index], 0.0, 1.0));
+    }
+    let (_, replayed) = scheduler.replay(&reloaded)?;
+    assert_eq!(
+        replayed.decisions, trace.decisions,
+        "replayed admission decisions must match the live run bitwise"
+    );
+    println!("replay: {} recorded decisions reproduced bitwise", trace.decisions.len());
+    Ok(())
+}
